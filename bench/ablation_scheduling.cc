@@ -1,0 +1,152 @@
+// Ablation for the §5.4 load-balancing discussion: BioOpera cannot migrate
+// a job once started; the paper proposes a kill-and-restart strategy and
+// argues its value depends on the external users' utilization pattern —
+// if they "tend to fill all machines" killing helps little (the restarted
+// TEU finds nowhere better and loses its progress), while if they use only
+// a subset of the nodes, migrating stuck TEUs to the free subset improves
+// the WALL time.
+//
+// Also compares the scheduling policies on a dedicated cluster.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "cluster/external_load.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "darwin/generator.h"
+#include "workloads/allvsall.h"
+
+namespace biopera::bench {
+namespace {
+
+struct RunOutcome {
+  double wall_days = 0;
+  double wasted_cpu_days = 0;
+  bool completed = false;
+};
+
+RunOutcome RunScenario(const std::string& policy, bool migration,
+                       double node_coverage, uint64_t seed,
+                       bool heterogeneous = false) {
+  core::EngineOptions options;
+  options.policy = policy;
+  options.migration_enabled = migration;
+  options.dispatch_retry = Duration::Minutes(10);
+  BenchWorld world(options);
+  // 8 dual-CPU nodes; in the heterogeneous configuration half of them are
+  // 3x faster (policies that ignore speed leave the fast nodes idle while
+  // slow nodes hold the stragglers).
+  for (int i = 0; i < 8; ++i) {
+    world.cluster->AddNode({.name = StrFormat("node%d", i),
+                            .num_cpus = 2,
+                            .speed = heterogeneous && i % 2 == 0 ? 2.1 : 0.7});
+  }
+  Rng data_rng(seed);
+  darwin::GeneratorOptions gen;
+  gen.num_sequences = 12000;
+  darwin::DatasetMeta meta = darwin::GenerateDatasetMeta(gen, &data_rng);
+  auto ctx = workloads::MakeSyntheticContext(std::move(meta.lengths),
+                                             std::move(meta.family_of));
+  if (!workloads::RegisterAllVsAllActivities(&world.registry, ctx).ok()) {
+    std::abort();
+  }
+
+  Rng env_rng(seed ^ 0xabcdULL);
+  cluster::ExternalLoadOptions load;
+  load.mean_busy = Duration::Hours(20);
+  load.mean_idle = Duration::Hours(6);
+  load.fill_all_probability = 1.0;
+  load.node_coverage = node_coverage;
+  cluster::ExternalLoadGenerator external(world.cluster.get(), load,
+                                          &env_rng);
+  external.Start();
+
+  if (!world.engine->Startup().ok()) std::abort();
+  world.engine->RegisterTemplate(workloads::BuildAllVsAllProcess());
+  world.engine->RegisterTemplate(workloads::BuildAlignPartitionProcess());
+  ocr::Value::Map args;
+  args["db_name"] = ocr::Value("ablation");
+  args["num_teus"] = ocr::Value(48);
+  auto id = world.engine->StartProcess("all_vs_all", args);
+  if (!id.ok()) std::abort();
+
+  RunOutcome outcome;
+  for (int step = 0; step < 4 * 120; ++step) {  // up to 120 days
+    world.sim.RunFor(Duration::Hours(6));
+    auto state = world.engine->GetInstanceState(*id);
+    if (state.ok() && *state == core::InstanceState::kDone) {
+      outcome.completed = true;
+      break;
+    }
+  }
+  auto summary = world.engine->Summary(*id);
+  if (summary.ok()) {
+    outcome.wall_days = summary->stats.WallTime().ToDays();
+  }
+  outcome.wasted_cpu_days = world.cluster->WastedWork().ToDays();
+  return outcome;
+}
+
+int Main() {
+  std::printf("== Ablation: kill-and-restart migration vs external "
+              "utilization pattern (Section 5.4) ==\n\n");
+
+  TextTable table({"external pattern", "migration", "WALL (days)",
+                   "wasted CPU (days)", "completed"});
+  struct Cell {
+    double coverage;
+    const char* label;
+  };
+  double wall[2][2] = {};
+  int idx_pattern = 0;
+  for (Cell pattern : {Cell{1.0, "fills ALL machines"},
+                       Cell{0.5, "fills a SUBSET (half)"}}) {
+    int idx_mig = 0;
+    for (bool migration : {false, true}) {
+      // Average over seeds.
+      double wall_sum = 0, waste_sum = 0;
+      int completed = 0;
+      const int kSeeds = 3;
+      for (int s = 0; s < kSeeds; ++s) {
+        RunOutcome r = RunScenario("least_loaded", migration,
+                                   pattern.coverage, 700 + s);
+        wall_sum += r.wall_days;
+        waste_sum += r.wasted_cpu_days;
+        completed += r.completed ? 1 : 0;
+      }
+      wall[idx_pattern][idx_mig] = wall_sum / kSeeds;
+      table.AddRow({pattern.label, migration ? "kill-and-restart" : "off",
+                    StrFormat("%.1f", wall_sum / kSeeds),
+                    StrFormat("%.2f", waste_sum / kSeeds),
+                    StrFormat("%d/%d", completed, kSeeds)});
+      ++idx_mig;
+    }
+    ++idx_pattern;
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  double gain_all = (wall[0][0] - wall[0][1]) / wall[0][0] * 100;
+  double gain_subset = (wall[1][0] - wall[1][1]) / wall[1][0] * 100;
+  std::printf("WALL gain from migration: fill-all %.0f%%, subset %.0f%%\n",
+              gain_all, gain_subset);
+  std::printf("paper expectation: migration helps much more when external "
+              "users leave a free subset: %s\n\n",
+              gain_subset > gain_all ? "holds" : "DOES NOT HOLD");
+
+  std::printf("-- scheduling policies on a dedicated heterogeneous "
+              "cluster (half the nodes 3x faster) --\n");
+  TextTable policies({"policy", "WALL (days)", "completed"});
+  for (const char* policy :
+       {"least_loaded", "round_robin", "speed_weighted", "random"}) {
+    RunOutcome r = RunScenario(policy, false, 0.0, 900,
+                               /*heterogeneous=*/true);
+    policies.AddRow({policy, StrFormat("%.2f", r.wall_days),
+                     r.completed ? "yes" : "NO"});
+  }
+  std::printf("%s", policies.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace biopera::bench
+
+int main() { return biopera::bench::Main(); }

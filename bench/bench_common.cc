@@ -1,0 +1,90 @@
+#include "bench/bench_common.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace biopera::bench {
+
+void AddIkSunCluster(cluster::ClusterSim* cluster, int nodes) {
+  for (int i = 0; i < nodes; ++i) {
+    cluster::NodeConfig node;
+    node.name = StrFormat("ik-sun%d", i);
+    node.num_cpus = 1;
+    node.speed = kIkSunSpeed;
+    node.os = "solaris";
+    cluster->AddNode(node);
+  }
+}
+
+void AddLinneusCluster(cluster::ClusterSim* cluster) {
+  for (int i = 0; i < 16; ++i) {
+    cluster::NodeConfig node;
+    node.name = StrFormat("linneus%02d", i);
+    node.num_cpus = 2;
+    node.speed = kLinneusPcSpeed;
+    node.os = "linux";
+    cluster->AddNode(node);
+  }
+  cluster::NodeConfig sparc;
+  sparc.name = "linneus-sparc";
+  sparc.num_cpus = 6;
+  sparc.speed = kSparcSpeed;
+  sparc.os = "solaris";
+  cluster->AddNode(sparc);
+}
+
+void AddIkLinuxCluster(cluster::ClusterSim* cluster, int cpus) {
+  for (int i = 0; i < 8; ++i) {
+    cluster::NodeConfig node;
+    node.name = StrFormat("ik-linux%d", i);
+    node.num_cpus = cpus;
+    node.speed = kIkLinuxSpeed;
+    node.os = "linux";
+    cluster->AddNode(node);
+  }
+}
+
+namespace {
+std::string MakeTempDir() {
+  auto base = std::filesystem::temp_directory_path() / "biopera_bench";
+  std::filesystem::create_directories(base);
+  static int counter = 0;
+  auto dir = base / StrFormat("w%d_%d", ++counter, ::getpid());
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+}  // namespace
+
+BenchWorld::BenchWorld(const core::EngineOptions& options)
+    : store_dir(MakeTempDir()) {
+  auto opened = RecordStore::Open(store_dir);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "store open failed: %s\n",
+                 opened.status().ToString().c_str());
+    std::abort();
+  }
+  store = std::move(*opened);
+  cluster = std::make_unique<cluster::ClusterSim>(&sim);
+  engine = std::make_unique<core::Engine>(&sim, cluster.get(), store.get(),
+                                          &registry, options);
+}
+
+BenchWorld::~BenchWorld() {
+  engine.reset();
+  store.reset();
+  std::error_code ec;
+  std::filesystem::remove_all(store_dir, ec);
+}
+
+std::string FormatDhm(double seconds) {
+  long long total_minutes = static_cast<long long>(seconds / 60);
+  long long days = total_minutes / (24 * 60);
+  long long hours = (total_minutes / 60) % 24;
+  long long minutes = total_minutes % 60;
+  return StrFormat("%lldd %lldh %lldm", days, hours, minutes);
+}
+
+}  // namespace biopera::bench

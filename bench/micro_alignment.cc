@@ -1,0 +1,103 @@
+// Microbenchmarks of the Darwin-substitute alignment kernels: they anchor
+// the cost model (sw_cell_seconds on modern hardware vs the 1999 reference)
+// and document the fixed-pass / refinement cost ratio the simulated
+// experiments assume.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "darwin/align.h"
+#include "darwin/banded.h"
+#include "darwin/generator.h"
+#include "darwin/pam.h"
+
+namespace biopera::darwin {
+namespace {
+
+Sequence MakeRandom(size_t length, uint64_t seed) {
+  Rng rng(seed);
+  const auto& f = BackgroundFrequencies();
+  std::vector<double> weights(f.begin(), f.end());
+  std::vector<uint8_t> residues(length);
+  for (auto& r : residues) r = static_cast<uint8_t>(rng.Discrete(weights));
+  return Sequence("bench", std::move(residues));
+}
+
+void BM_SmithWatermanScore(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  Sequence a = MakeRandom(len, 1);
+  Sequence b = MakeRandom(len, 2);
+  const ScoringMatrix& matrix = SharedPamFamily().Scoring(250);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SmithWatermanScore(a, b, matrix));
+  }
+  state.counters["cells/s"] = benchmark::Counter(
+      static_cast<double>(len) * len * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SmithWatermanScore)->Arg(100)->Arg(360)->Arg(1000);
+
+void BM_BandedSmithWaterman(benchmark::State& state) {
+  const size_t len = 360;
+  const size_t band = static_cast<size_t>(state.range(0));
+  Sequence a = MakeRandom(len, 21);
+  Sequence b = MakeRandom(len, 22);
+  const ScoringMatrix& matrix = SharedPamFamily().Scoring(250);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BandedSmithWatermanScore(a, b, matrix, band));
+  }
+  state.counters["band"] = static_cast<double>(band);
+}
+BENCHMARK(BM_BandedSmithWaterman)->Arg(16)->Arg(64)->Arg(512);
+
+void BM_SmithWatermanTraceback(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  Sequence a = MakeRandom(len, 3);
+  Sequence b = MutateSequence(a, 120, SharedPamFamily(), &rng);
+  const ScoringMatrix& matrix = SharedPamFamily().Scoring(120);
+  for (auto _ : state) {
+    auto result = SmithWatermanAlign(a, b, matrix);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SmithWatermanTraceback)->Arg(100)->Arg(360);
+
+void BM_PamRefinement(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  Sequence a = MakeRandom(len, 4);
+  Sequence b = MutateSequence(a, 180, SharedPamFamily(), &rng);
+  int evaluations = 0;
+  for (auto _ : state) {
+    RefinementResult r = RefinePamDistance(a, b, SharedPamFamily());
+    evaluations = r.evaluations;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["sw_evals"] = evaluations;
+}
+BENCHMARK(BM_PamRefinement)->Arg(100)->Arg(360);
+
+void BM_PamMatrixPower(benchmark::State& state) {
+  for (auto _ : state) {
+    // A fresh family each iteration: measures the matrix-power pipeline.
+    PamFamily family;
+    benchmark::DoNotOptimize(family.Scoring(static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_PamMatrixPower)->Arg(250)->Arg(719);
+
+void BM_DatasetGeneration(benchmark::State& state) {
+  GeneratorOptions options;
+  options.num_sequences = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(7);
+    benchmark::DoNotOptimize(GenerateDataset(options, &rng));
+  }
+}
+BENCHMARK(BM_DatasetGeneration)->Arg(100)->Arg(532);
+
+}  // namespace
+}  // namespace biopera::darwin
+
+BENCHMARK_MAIN();

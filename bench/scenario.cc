@@ -1,0 +1,264 @@
+#include "bench/scenario.h"
+
+#include <cstdio>
+
+#include "cluster/external_load.h"
+#include "cluster/failure.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "darwin/generator.h"
+#include "workloads/allvsall.h"
+
+namespace biopera::bench {
+
+namespace {
+
+/// Size of the synthetic Swiss-Prot release 38 stand-in. SP38 has ~80,000
+/// entries; with the calibrated cost model this yields several hundred
+/// reference-CPU-days of work, matching the month-scale runs of §5.4/5.5.
+constexpr size_t kSp38Entries = 80000;
+constexpr int kNumTeus = 250;  // §5.3: the granularity chosen for the run
+
+std::shared_ptr<workloads::AllVsAllContext> MakeSp38Context(uint64_t seed) {
+  Rng rng(seed);
+  darwin::GeneratorOptions gen;
+  gen.num_sequences = kSp38Entries;
+  darwin::DatasetMeta meta = darwin::GenerateDatasetMeta(gen, &rng);
+  return workloads::MakeSyntheticContext(std::move(meta.lengths),
+                                         std::move(meta.family_of));
+}
+
+std::string StartAllVsAll(BenchWorld* world,
+                          std::shared_ptr<workloads::AllVsAllContext> ctx) {
+  if (!workloads::RegisterAllVsAllActivities(&world->registry, ctx).ok()) {
+    std::abort();
+  }
+  if (!world->engine->Startup().ok()) std::abort();
+  world->engine->RegisterTemplate(workloads::BuildAllVsAllProcess());
+  world->engine->RegisterTemplate(workloads::BuildAlignPartitionProcess());
+  ocr::Value::Map args;
+  args["db_name"] = ocr::Value("SP38-synthetic");
+  args["num_teus"] = ocr::Value(kNumTeus);
+  auto id = world->engine->StartProcess("all_vs_all", args);
+  if (!id.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", id.status().ToString().c_str());
+    std::abort();
+  }
+  return *id;
+}
+
+/// Runs until the instance completes or `max_days` of virtual time pass.
+void RunToCompletion(BenchWorld* world, const std::string& id,
+                     double max_days) {
+  while (world->sim.Now().SinceEpoch().ToDays() < max_days) {
+    world->sim.RunFor(Duration::Hours(6));
+    auto state = world->engine->GetInstanceState(id);
+    if (state.ok() && *state == core::InstanceState::kDone) break;
+  }
+}
+
+ScenarioResult Collect(BenchWorld* world, const std::string& id,
+                       int manual_interventions) {
+  ScenarioResult result;
+  auto summary = world->engine->Summary(id);
+  if (summary.ok()) {
+    result.summary = *summary;
+    result.completed = summary->state == core::InstanceState::kDone;
+    result.wall_days = result.summary.stats.WallTime().ToDays();
+  }
+  result.availability = world->cluster->AvailabilitySeries();
+  result.utilization = world->cluster->UtilizationSeries();
+  result.events = world->cluster->Events();
+  core::Engine::MonitoringStats mon = world->engine->GetMonitoringStats();
+  result.monitor_samples = mon.samples_taken;
+  result.monitor_reports = mon.reports_sent;
+  result.max_cpus = static_cast<int>(result.availability.MaxOver(0, 1e9));
+  result.manual_interventions = manual_interventions;
+  return result;
+}
+
+}  // namespace
+
+ScenarioResult RunSharedClusterScenario(uint64_t seed) {
+  core::EngineOptions options;
+  options.dispatch_retry = Duration::Minutes(10);
+  options.checkpoint_every_commits = 5000;
+  BenchWorld world(options);
+  AddLinneusCluster(world.cluster.get());
+  AddIkSunCluster(world.cluster.get(), /*nodes=*/2);
+
+  auto ctx = MakeSp38Context(seed);
+  Rng env_rng(seed ^ 0xfeedULL);
+
+  // Other users of the shared cluster: episodes that often fill entire
+  // machines (BioOpera runs in nice mode and yields to them).
+  cluster::ExternalLoadOptions load;
+  load.mean_busy = Duration::Hours(14);
+  load.mean_idle = Duration::Hours(9);
+  load.fill_all_probability = 0.75;
+  cluster::ExternalLoadGenerator external(world.cluster.get(), load,
+                                          &env_rng);
+  external.Start();
+
+  std::string id = StartAllVsAll(&world, ctx);
+  cluster::FailureInjector inject(world.cluster.get());
+  core::Engine* engine = world.engine.get();
+  cluster::ClusterSim* cluster = world.cluster.get();
+  Simulator* sim = &world.sim;
+  int manual = 0;
+
+  // --- The ten events of Figure 5, scripted onto the timeline. ---
+  // 1: another user requests exclusive access; the process is manually
+  //    suspended (running jobs finish) and resumed 1.5 days later.
+  inject.ScheduleAction(TimePoint::FromMicros(0) + Duration::Days(2.0),
+                        "1: other user needs cluster (suspend)", [&, id] {
+                          engine->Suspend(id);
+                          ++manual;
+                        });
+  sim->ScheduleAt(TimePoint::FromMicros(0) + Duration::Days(3.5), [&, id] {
+    engine->Resume(id);
+    ++manual;
+  });
+  // 2: heavy external load period.
+  external.ScheduleHeavyPeriod(TimePoint::FromMicros(0) + Duration::Days(5),
+                               Duration::Days(3),
+                               "2: cluster busy with other jobs");
+  // 3: massive hardware failure of the whole cluster, 12 hours.
+  inject.ScheduleClusterOutage(TimePoint::FromMicros(0) + Duration::Days(10),
+                               Duration::Hours(12), "3: cluster failure");
+  // 4: the BioOpera server crashes; it recovers automatically 4 h later.
+  inject.ScheduleAction(TimePoint::FromMicros(0) + Duration::Days(13),
+                        "4: BioOpera server crash", [&] { engine->Crash(); });
+  sim->ScheduleAt(TimePoint::FromMicros(0) + Duration::Days(13) +
+                      Duration::Hours(4),
+                  [&] { engine->Startup(); });
+  // 5: the process runs out of disk space; nobody notices for a while,
+  //    activities fail and exhaust their retries.
+  inject.ScheduleAction(TimePoint::FromMicros(0) + Duration::Days(16),
+                        "5: disk space shortage",
+                        [&] { engine->SetStorageFailure(true); });
+  // 6: an operator fixes the storage and restarts the process.
+  inject.ScheduleAction(TimePoint::FromMicros(0) + Duration::Days(17.5),
+                        "6: storage fixed, process restarted", [&, id] {
+                          engine->SetStorageFailure(false);
+                          engine->Restart(id);
+                          ++manual;
+                        });
+  // 7: hardware failure of half the cluster for 8 hours.
+  sim->ScheduleAt(TimePoint::FromMicros(0) + Duration::Days(21), [&] {
+    cluster->Annotate("7: hardware failure (half the nodes)");
+    auto nodes = cluster->Nodes();
+    for (size_t i = 0; i < nodes.size() / 2; ++i) {
+      cluster->CrashNode(nodes[i].name);
+    }
+  });
+  sim->ScheduleAt(
+      TimePoint::FromMicros(0) + Duration::Days(21) + Duration::Hours(8),
+      [&] {
+        for (const auto& node : cluster->Nodes()) {
+          cluster->RepairNode(node.name);
+        }
+      });
+  // 8: another period of heavy external utilization.
+  external.ScheduleHeavyPeriod(TimePoint::FromMicros(0) + Duration::Days(23),
+                               Duration::Days(3.5),
+                               "8: cluster busy with other jobs");
+  // 9: some nodes unavailable (maintenance) for two days.
+  sim->ScheduleAt(TimePoint::FromMicros(0) + Duration::Days(28), [&] {
+    cluster->Annotate("9: some nodes unavailable");
+    auto nodes = cluster->Nodes();
+    for (size_t i = 0; i < 6 && i < nodes.size(); ++i) {
+      cluster->CrashNode(nodes[i].name);
+    }
+  });
+  sim->ScheduleAt(TimePoint::FromMicros(0) + Duration::Days(30), [&] {
+    auto nodes = cluster->Nodes();
+    for (size_t i = 0; i < 6 && i < nodes.size(); ++i) {
+      cluster->RepairNode(nodes[i].name);
+    }
+  });
+  // 10: two nodes drop off the network and their TEUs never report; the
+  //     operator restarts the process, which immediately re-schedules them.
+  sim->ScheduleAt(TimePoint::FromMicros(0) + Duration::Days(32), [&] {
+    cluster->Annotate("10: TEUs fail to report (software problem)");
+    cluster->SetConnected("ik-sun0", false);
+    cluster->SetConnected("ik-sun1", false);
+  });
+  sim->ScheduleAt(TimePoint::FromMicros(0) + Duration::Days(33), [&, id] {
+    engine->Restart(id);
+    ++manual;
+  });
+  sim->ScheduleAt(TimePoint::FromMicros(0) + Duration::Days(34), [&] {
+    cluster->SetConnected("ik-sun0", true);
+    cluster->SetConnected("ik-sun1", true);
+  });
+
+  RunToCompletion(&world, id, /*max_days=*/90);
+  return Collect(&world, id, manual);
+}
+
+ScenarioResult RunNonSharedClusterScenario(uint64_t seed) {
+  core::EngineOptions options;
+  options.dispatch_retry = Duration::Minutes(10);
+  options.checkpoint_every_commits = 5000;
+  BenchWorld world(options);
+  AddIkLinuxCluster(world.cluster.get(), /*cpus=*/1);
+
+  auto ctx = MakeSp38Context(seed);
+  std::string id = StartAllVsAll(&world, ctx);
+  cluster::FailureInjector inject(world.cluster.get());
+  core::Engine* engine = world.engine.get();
+  int manual = 0;
+
+  // Two planned network outages, each preceded by a manual suspend
+  // (§5.5: "planned network outages that required to suspend the
+  // execution of the process").
+  for (double day : {9.0, 18.0}) {
+    world.sim.ScheduleAt(TimePoint::FromMicros(0) + Duration::Days(day),
+                         [&, id] {
+                           world.cluster->Annotate("planned network outage");
+                           engine->Suspend(id);
+                           ++manual;
+                           world.cluster->SetAllConnected(false);
+                         });
+    world.sim.ScheduleAt(
+        TimePoint::FromMicros(0) + Duration::Days(day) + Duration::Hours(10),
+        [&, id] {
+          world.cluster->SetAllConnected(true);
+          engine->Resume(id);
+          ++manual;
+        });
+  }
+  // The OS/hardware upgrade: a second processor per node from day 25,
+  // picked up by BioOpera without intervention (Figure 6).
+  inject.ScheduleCpuUpgrade(TimePoint::FromMicros(0) + Duration::Days(25), 2,
+                            "OS config change: 2nd processor per node");
+
+  RunToCompletion(&world, id, /*max_days=*/90);
+  return Collect(&world, id, manual);
+}
+
+std::string RenderLifecycle(const ScenarioResult& result, int height) {
+  const double t1 = result.wall_days > 0
+                        ? result.wall_days
+                        : (result.availability.points().empty()
+                               ? 1.0
+                               : result.availability.points().back().t);
+  const size_t width = 78;
+  std::vector<double> avail = result.availability.Resample(0, t1, width);
+  std::vector<double> util = result.utilization.Resample(0, t1, width);
+  double y_max = result.max_cpus > 0 ? result.max_cpus : 1;
+  std::string out = AsciiAreaChart(avail, util, y_max, height);
+  out += StrFormat("       x-axis: 0 .. %.0f days\n", t1);
+  if (!result.events.empty()) {
+    out += "\nevents:\n";
+    for (const auto& event : result.events) {
+      out += StrFormat("  day %5.1f  %s\n",
+                       event.time.SinceEpoch().ToDays(),
+                       event.label.c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace biopera::bench

@@ -1,0 +1,48 @@
+#ifndef BIOPERA_BENCH_SCENARIO_H_
+#define BIOPERA_BENCH_SCENARIO_H_
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/stats.h"
+#include "core/engine.h"
+
+namespace biopera::bench {
+
+/// Outcome of one full all-vs-all lifecycle run (used by the Table 1,
+/// Figure 5 and Figure 6 benches).
+struct ScenarioResult {
+  core::InstanceSummary summary;
+  /// CPUs available / effectively computing over time (x in days).
+  StepSeries availability;
+  StepSeries utilization;
+  std::vector<cluster::TraceEvent> events;
+  int max_cpus = 0;
+  double wall_days = 0;
+  bool completed = false;
+  /// Adaptive-monitoring overhead during the run (samples vs reports).
+  uint64_t monitor_samples = 0;
+  uint64_t monitor_reports = 0;
+  /// Manual operator interventions performed by the scenario script
+  /// (suspend/resume/restart), mirroring §5.4's accounting of how much
+  /// human attention the run needed.
+  int manual_interventions = 0;
+};
+
+/// First run (§5.4): the full synthetic-SP38 all-vs-all on the *shared*
+/// linneus + ik-sun clusters, BioOpera jobs at lowest priority, with the
+/// ten numbered disturbance events of Figure 5 scripted onto the timeline.
+ScenarioResult RunSharedClusterScenario(uint64_t seed);
+
+/// Second run (§5.5): same computation on the dedicated ik-linux cluster;
+/// two planned network outages and the mid-run CPU doubling of Figure 6.
+ScenarioResult RunNonSharedClusterScenario(uint64_t seed);
+
+/// Renders a Figure 5/6-style lifecycle report (ASCII area chart plus the
+/// event legend).
+std::string RenderLifecycle(const ScenarioResult& result, int height);
+
+}  // namespace biopera::bench
+
+#endif  // BIOPERA_BENCH_SCENARIO_H_

@@ -1,0 +1,134 @@
+// Interactive steering (paper §3.4): "the monitor allows users to actively
+// influence the computation as the user can start, stop, abort, re-start
+// and change input parameters during each step"; visualization tools are
+// "incorporated as user triggered activities". This example drives a
+// tree-search process while an operator:
+//   1. watches progress through the monitoring queries,
+//   2. triggers a gated visualization activity with an OCR event,
+//   3. suspends, changes a whiteboard parameter, and resumes,
+// and a standby BackupServer takes over when the primary dies.
+//
+//   $ ./build/examples/interactive_steering
+#include <cstdio>
+#include <filesystem>
+
+#include "cluster/cluster.h"
+#include "core/backup.h"
+#include "core/engine.h"
+#include "ocr/builder.h"
+#include "sim/simulator.h"
+#include "store/record_store.h"
+#include "workloads/tree_search.h"
+
+using namespace biopera;
+using core::ActivityInput;
+using core::ActivityOutput;
+using ocr::TaskBuilder;
+using ocr::Value;
+
+namespace {
+
+void PrintStatus(core::Engine* engine, const std::string& id,
+                 Simulator* sim) {
+  auto summary = engine->Summary(id);
+  if (!summary.ok()) return;
+  std::printf("[t=%-10s] state=%-9s done=%zu/%zu running=%zu queued=%zu "
+              "CPU=%s\n",
+              sim->Now().ToString().c_str(),
+              std::string(core::InstanceStateName(summary->state)).c_str(),
+              summary->tasks_done, summary->tasks_total,
+              summary->tasks_running, engine->QueueDepth(),
+              summary->stats.CpuTime().ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "biopera_steering").string();
+  std::filesystem::remove_all(dir);
+  auto store = RecordStore::Open(dir);
+  Simulator sim;
+  cluster::ClusterSim cluster(&sim);
+  for (int i = 0; i < 4; ++i) {
+    cluster.AddNode({.name = "node" + std::to_string(i), .num_cpus = 2});
+  }
+
+  core::ActivityRegistry registry;
+  auto ts_ctx = std::make_shared<workloads::TreeSearchContext>();
+  workloads::RegisterTreeSearchActivities(&registry, ts_ctx);
+  registry.Register("viz.render",
+                    [](const ActivityInput& in) -> Result<ActivityOutput> {
+                      std::printf("    >> visualization: current best "
+                                  "log-likelihood %s rendered for the user\n",
+                                  in.Get("best").ToText().c_str());
+                      ActivityOutput out;
+                      out.fields["rendered"] = Value(true);
+                      out.cost = Duration::Seconds(30);
+                      return out;
+                    });
+
+  core::Engine engine(&sim, &cluster, store->get(), &registry);
+  engine.Startup();
+
+  // The base search process, extended with a user-triggered visualization
+  // activity gated on the "user_check" event.
+  ocr::ProcessDef search = workloads::BuildTreeSearchProcess(/*rounds=*/4);
+  auto viz = TaskBuilder::Activity("visualize", "viz.render")
+                 .OnEvent("user_check")
+                 .Input("wb.best_ll", "in.best");
+  search.tasks.push_back(std::move(viz).Build());
+  search.connectors.push_back({"select_1", "visualize", ""});
+  engine.RegisterTemplate(search);
+
+  auto id = engine.StartProcess("tree_search");
+  std::printf("started %s; a standby server watches the primary\n\n",
+              id->c_str());
+  core::BackupServer backup(&sim, &cluster, store->get(), &registry);
+  backup.Watch(&engine, Duration::Minutes(1));
+
+  // Watch progress for a while.
+  for (int i = 0; i < 3; ++i) {
+    sim.RunFor(Duration::Minutes(4));
+    PrintStatus(backup.active(), *id, &sim);
+  }
+
+  // The user checks intermediate results: trigger the gated activity.
+  std::printf("\noperator: raise event 'user_check' (user-triggered "
+              "visualization)\n");
+  backup.active()->RaiseEvent(*id, "user_check");
+  sim.RunFor(Duration::Minutes(2));
+
+  // Suspend, tweak a parameter on the whiteboard, resume (§3.4: change
+  // input parameters during the computation).
+  std::printf("\noperator: suspend, set num_taxa=32 (cheaper evaluations), "
+              "resume\n");
+  backup.active()->Suspend(*id);
+  backup.active()->FindInstance(*id)->whiteboard()["num_taxa"] = Value(32);
+  backup.active()->Resume(*id);
+  sim.RunFor(Duration::Minutes(4));
+  PrintStatus(backup.active(), *id, &sim);
+
+  // Kill the primary; nobody restarts it manually — the standby promotes.
+  std::printf("\nprimary server crashes; standby heartbeat takes over...\n");
+  engine.Crash();
+  sim.RunFor(Duration::Minutes(3));
+  std::printf("backup promoted: %s (at t=%s)\n",
+              backup.promoted() ? "yes" : "no",
+              backup.promoted_at().ToString().c_str());
+  sim.Run();
+
+  PrintStatus(backup.active(), *id, &sim);
+  auto best = backup.active()->GetWhiteboardValue(*id, "best_ll");
+  auto state = backup.active()->GetInstanceState(*id);
+  std::printf("\nfinal best log-likelihood: %s\n", best->ToText().c_str());
+
+  std::printf("\nlast history entries:\n");
+  auto history = backup.active()->GetHistory(*id);
+  for (size_t k = history.size() > 8 ? history.size() - 8 : 0;
+       k < history.size(); ++k) {
+    std::printf("  %s\n", history[k].c_str());
+  }
+  std::filesystem::remove_all(dir);
+  return state.ok() && *state == core::InstanceState::kDone ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+// The tower of information (paper Figure 1): from raw DNA to protein
+// function as a hierarchy of subprocesses, with automatic lineage
+// tracking — every derived dataset records which step produced it, so
+// the system can recompute when algorithms or inputs change.
+//
+//   $ ./build/examples/tower_of_information
+#include <cstdio>
+#include <filesystem>
+
+#include "cluster/cluster.h"
+#include "core/engine.h"
+#include "ocr/ocr_text.h"
+#include "sim/simulator.h"
+#include "store/record_store.h"
+#include "workloads/tower.h"
+
+using namespace biopera;
+using ocr::Value;
+
+int main() {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "biopera_tower").string();
+  std::filesystem::remove_all(dir);
+  auto store = RecordStore::Open(dir);
+  Simulator sim;
+  cluster::ClusterSim cluster(&sim);
+  for (int i = 0; i < 6; ++i) {
+    cluster.AddNode({.name = "node" + std::to_string(i), .num_cpus = 2});
+  }
+
+  core::ActivityRegistry registry;
+  auto context = std::make_shared<workloads::TowerContext>();
+  workloads::RegisterTowerActivities(&registry, context);
+  core::Engine engine(&sim, &cluster, store->get(), &registry);
+  engine.Startup();
+  engine.RegisterTemplate(workloads::BuildTowerProcess());
+  for (const auto& sub : workloads::BuildTowerSubprocesses()) {
+    engine.RegisterTemplate(sub);
+  }
+
+  std::printf("--- the tower, in OCR ---\n%s\n",
+              ocr::PrintOcr(workloads::BuildTowerProcess()).c_str());
+
+  Value::Map args;
+  args["num_dna"] = Value(2000);
+  auto id = engine.StartProcess("tower_of_information", args);
+  if (!id.ok()) {
+    std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
+    return 1;
+  }
+  sim.Run();
+
+  auto summary = engine.Summary(*id);
+  std::printf("tower complete in %s WALL (%s of CPU across %llu "
+              "activities)\n\n",
+              summary->stats.WallTime().ToString().c_str(),
+              summary->stats.CpuTime().ToString().c_str(),
+              static_cast<unsigned long long>(
+                  summary->stats.activities_completed));
+
+  // Walk the derived datasets with their lineage.
+  std::printf("%-22s %-12s %s\n", "derived dataset", "value",
+              "produced by (lineage)");
+  for (const char* var : {"dna_count", "protein_count", "tree_count",
+                          "prediction_count"}) {
+    auto value = engine.GetWhiteboardValue(*id, var);
+    auto writer = engine.GetLineage(*id, var);
+    std::printf("%-22s %-12s %s\n", var,
+                value.ok() ? value->ToText().c_str() : "-",
+                writer.ok() ? writer->c_str() : "-");
+  }
+
+  std::printf("\nbecause every dependency is recorded, changing an upstream\n"
+              "algorithm means re-running only the affected subprocesses —\n"
+              "this is what makes computing the tower thousands of times\n"
+              "feasible (paper Section 1).\n");
+  std::filesystem::remove_all(dir);
+  return summary->state == core::InstanceState::kDone ? 0 : 1;
+}

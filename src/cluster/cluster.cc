@@ -1,0 +1,361 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace biopera::cluster {
+
+bool NodeConfig::ServesClass(std::string_view cls) const {
+  if (cls.empty() || resource_classes.empty()) return true;
+  for (const std::string& c : StrSplit(resource_classes, ',')) {
+    if (StripWhitespace(c) == cls) return true;
+  }
+  return false;
+}
+
+double ClusterSim::Node::RatePerJob() const {
+  if (!up || jobs.empty()) return 0;
+  double free = std::max(
+      0.0, static_cast<double>(config.num_cpus) - external_busy);
+  double share = std::min(1.0, free / static_cast<double>(jobs.size()));
+  return config.speed * share;
+}
+
+double ClusterSim::Node::EffectiveBusyCpus() const {
+  if (!up || jobs.empty()) return 0;
+  double free = std::max(
+      0.0, static_cast<double>(config.num_cpus) - external_busy);
+  return std::min(static_cast<double>(jobs.size()), free);
+}
+
+ClusterSim::ClusterSim(Simulator* sim) : sim_(sim) {
+  UpdateTrace();
+}
+
+Status ClusterSim::AddNode(const NodeConfig& config) {
+  if (config.num_cpus <= 0 || config.speed <= 0) {
+    return Status::InvalidArgument("node " + config.name +
+                                   ": cpus and speed must be positive");
+  }
+  if (nodes_.contains(config.name)) {
+    return Status::AlreadyExists("node " + config.name);
+  }
+  Node node;
+  node.config = config;
+  node.last_update = sim_->Now();
+  nodes_.emplace(config.name, std::move(node));
+  UpdateTrace();
+  return Status::OK();
+}
+
+Status ClusterSim::RemoveNode(const std::string& name) {
+  Node* node = Find(name);
+  if (node == nullptr) return Status::NotFound("node " + name);
+  // Treat as a crash first so running jobs are reported lost.
+  if (node->up) BIOPERA_RETURN_IF_ERROR(CrashNode(name));
+  nodes_.erase(name);
+  UpdateTrace();
+  return Status::OK();
+}
+
+std::vector<NodeConfig> ClusterSim::Nodes() const {
+  std::vector<NodeConfig> out;
+  for (const auto& [name, node] : nodes_) out.push_back(node.config);
+  return out;
+}
+
+Result<NodeConfig> ClusterSim::GetNode(const std::string& name) const {
+  const Node* node = Find(name);
+  if (node == nullptr) return Status::NotFound("node " + name);
+  return node->config;
+}
+
+bool ClusterSim::IsUp(const std::string& name) const {
+  const Node* node = Find(name);
+  return node != nullptr && node->up;
+}
+
+int ClusterSim::AvailableCpus() const {
+  int total = 0;
+  for (const auto& [name, node] : nodes_) {
+    if (node.up) total += node.config.num_cpus;
+  }
+  return total;
+}
+
+ClusterSim::Node* ClusterSim::Find(const std::string& name) {
+  auto it = nodes_.find(name);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+const ClusterSim::Node* ClusterSim::Find(const std::string& name) const {
+  auto it = nodes_.find(name);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+void ClusterSim::Advance(Node* node) {
+  TimePoint now = sim_->Now();
+  double elapsed = (now - node->last_update).ToSeconds();
+  if (elapsed > 0) {
+    double rate = node->RatePerJob();
+    if (rate > 0) {
+      for (Job& job : node->jobs) {
+        job.remaining_seconds =
+            std::max(0.0, job.remaining_seconds - elapsed * rate);
+      }
+    }
+  }
+  node->last_update = now;
+}
+
+void ClusterSim::Reschedule(Node* node) {
+  double rate = node->RatePerJob();
+  for (Job& job : node->jobs) {
+    if (job.completion != kInvalidEventId) {
+      sim_->Cancel(job.completion);
+      job.completion = kInvalidEventId;
+    }
+    if (rate > 0) {
+      Duration eta = Duration::Seconds(job.remaining_seconds / rate);
+      JobId id = job.id;
+      std::string name = node->config.name;
+      job.completion = sim_->Schedule(eta, [this, name, id] {
+        Node* n = Find(name);
+        if (n != nullptr) CompleteJob(n, id);
+      });
+    }
+  }
+}
+
+Status ClusterSim::StartJob(JobId id, const std::string& node_name,
+                            Duration work) {
+  Node* node = Find(node_name);
+  if (node == nullptr) return Status::NotFound("node " + node_name);
+  if (!node->up) return Status::Unavailable("node " + node_name + " is down");
+  if (job_locations_.contains(id)) {
+    return Status::AlreadyExists(StrFormat("job %llu already running",
+                                           static_cast<unsigned long long>(id)));
+  }
+  Advance(node);
+  node->jobs.push_back(
+      Job{id, work.ToSeconds(), work.ToSeconds(), kInvalidEventId});
+  job_locations_[id] = node_name;
+  Reschedule(node);
+  UpdateTrace();
+  return Status::OK();
+}
+
+Status ClusterSim::KillJob(JobId id) {
+  auto it = job_locations_.find(id);
+  if (it == job_locations_.end()) {
+    return Status::NotFound(StrFormat("job %llu not running",
+                                      static_cast<unsigned long long>(id)));
+  }
+  Node* node = Find(it->second);
+  assert(node != nullptr);
+  Advance(node);
+  auto job = std::find_if(node->jobs.begin(), node->jobs.end(),
+                          [&](const Job& j) { return j.id == id; });
+  assert(job != node->jobs.end());
+  if (job->completion != kInvalidEventId) sim_->Cancel(job->completion);
+  wasted_seconds_ += job->initial_seconds - job->remaining_seconds;
+  node->jobs.erase(job);
+  job_locations_.erase(it);
+  Reschedule(node);
+  UpdateTrace();
+  return Status::OK();
+}
+
+void ClusterSim::KillAllJobs() {
+  for (auto& [name, node] : nodes_) {
+    Advance(&node);
+    for (Job& job : node.jobs) {
+      if (job.completion != kInvalidEventId) sim_->Cancel(job.completion);
+      wasted_seconds_ += job.initial_seconds - job.remaining_seconds;
+    }
+    node.jobs.clear();
+  }
+  job_locations_.clear();
+  UpdateTrace();
+}
+
+size_t ClusterSim::NumRunningJobs() const { return job_locations_.size(); }
+
+Result<std::string> ClusterSim::JobNode(JobId id) const {
+  auto it = job_locations_.find(id);
+  if (it == job_locations_.end()) {
+    return Status::NotFound("job not running");
+  }
+  return it->second;
+}
+
+Result<Duration> ClusterSim::JobRemaining(JobId id) const {
+  auto it = job_locations_.find(id);
+  if (it == job_locations_.end()) {
+    return Status::NotFound("job not running");
+  }
+  const Node* node = Find(it->second);
+  for (const Job& job : node->jobs) {
+    if (job.id == id) {
+      // Account for progress since the node's last bookkeeping update.
+      double elapsed = (sim_->Now() - node->last_update).ToSeconds();
+      double remaining =
+          std::max(0.0, job.remaining_seconds - elapsed * node->RatePerJob());
+      return Duration::Seconds(remaining);
+    }
+  }
+  return Status::Internal("job location desync");
+}
+
+void ClusterSim::CompleteJob(Node* node, JobId id) {
+  Advance(node);
+  auto job = std::find_if(node->jobs.begin(), node->jobs.end(),
+                          [&](const Job& j) { return j.id == id; });
+  if (job == node->jobs.end()) return;  // raced with a kill
+  node->jobs.erase(job);
+  job_locations_.erase(id);
+  Report(node, id, /*success=*/true, "");
+  Reschedule(node);  // survivors get a bigger share
+  UpdateTrace();
+}
+
+void ClusterSim::Report(Node* node, JobId id, bool success,
+                        const std::string& reason) {
+  if (!node->connected) {
+    node->pending_reports.push_back({id, success, reason});
+    return;
+  }
+  if (listener_ == nullptr) return;
+  if (success) {
+    listener_->OnJobFinished(id, node->config.name);
+  } else {
+    listener_->OnJobFailed(id, node->config.name, reason);
+  }
+}
+
+void ClusterSim::FlushReports(Node* node) {
+  while (!node->pending_reports.empty() && node->connected) {
+    auto report = node->pending_reports.front();
+    node->pending_reports.pop_front();
+    if (listener_ != nullptr) {
+      if (report.success) {
+        listener_->OnJobFinished(report.id, node->config.name);
+      } else {
+        listener_->OnJobFailed(report.id, node->config.name, report.reason);
+      }
+    }
+  }
+}
+
+Status ClusterSim::CrashNode(const std::string& name) {
+  Node* node = Find(name);
+  if (node == nullptr) return Status::NotFound("node " + name);
+  if (!node->up) return Status::OK();
+  Advance(node);
+  node->up = false;
+  // Running jobs die with the node; queued reports die with the PEC.
+  std::vector<JobId> lost;
+  for (Job& job : node->jobs) {
+    if (job.completion != kInvalidEventId) sim_->Cancel(job.completion);
+    wasted_seconds_ += job.initial_seconds - job.remaining_seconds;
+    lost.push_back(job.id);
+  }
+  node->jobs.clear();
+  node->pending_reports.clear();
+  for (JobId id : lost) job_locations_.erase(id);
+  UpdateTrace();
+  // The server detects the dead PEC (heartbeat timeout) and classifies the
+  // node's active jobs as failed (paper §5.4 events 3 and 7).
+  if (listener_ != nullptr) {
+    listener_->OnNodeDown(name);
+    for (JobId id : lost) {
+      listener_->OnJobFailed(id, name, "node crash");
+    }
+  }
+  return Status::OK();
+}
+
+Status ClusterSim::RepairNode(const std::string& name) {
+  Node* node = Find(name);
+  if (node == nullptr) return Status::NotFound("node " + name);
+  if (node->up) return Status::OK();
+  node->up = true;
+  node->last_update = sim_->Now();
+  UpdateTrace();
+  if (listener_ != nullptr) listener_->OnNodeUp(name);
+  return Status::OK();
+}
+
+Status ClusterSim::SetNodeCpus(const std::string& name, int num_cpus) {
+  Node* node = Find(name);
+  if (node == nullptr) return Status::NotFound("node " + name);
+  if (num_cpus <= 0) return Status::InvalidArgument("num_cpus must be > 0");
+  Advance(node);
+  node->config.num_cpus = num_cpus;
+  Reschedule(node);
+  UpdateTrace();
+  if (listener_ != nullptr) listener_->OnConfigChanged(node->config);
+  return Status::OK();
+}
+
+Status ClusterSim::SetExternalLoad(const std::string& name,
+                                   double busy_cpus) {
+  Node* node = Find(name);
+  if (node == nullptr) return Status::NotFound("node " + name);
+  busy_cpus = std::clamp(busy_cpus, 0.0,
+                         static_cast<double>(node->config.num_cpus));
+  Advance(node);
+  node->external_busy = busy_cpus;
+  Reschedule(node);
+  UpdateTrace();
+  // Raw load change; the PEC's adaptive monitor decides whether to
+  // propagate a report (wired externally via the monitor module). The PEC
+  // reports the *external* load fraction — it can tell its own jobs apart.
+  if (listener_ != nullptr && node->connected && node->up) {
+    listener_->OnLoadReport(name,
+                            node->external_busy / node->config.num_cpus);
+  }
+  return Status::OK();
+}
+
+double ClusterSim::ExternalLoad(const std::string& name) const {
+  const Node* node = Find(name);
+  return node == nullptr ? 0 : node->external_busy;
+}
+
+Status ClusterSim::SetConnected(const std::string& name, bool connected) {
+  Node* node = Find(name);
+  if (node == nullptr) return Status::NotFound("node " + name);
+  if (node->connected == connected) return Status::OK();
+  node->connected = connected;
+  if (connected) FlushReports(node);
+  return Status::OK();
+}
+
+void ClusterSim::SetAllConnected(bool connected) {
+  for (auto& [name, node] : nodes_) {
+    node.connected = connected;
+    if (connected) FlushReports(&node);
+  }
+}
+
+void ClusterSim::Annotate(std::string label) {
+  events_.push_back({sim_->Now(), std::move(label)});
+}
+
+void ClusterSim::UpdateTrace() {
+  double t_days = sim_->Now().SinceEpoch().ToDays();
+  double avail = 0, util = 0;
+  for (const auto& [name, node] : nodes_) {
+    if (!node.up) continue;
+    avail += node.config.num_cpus;
+    util += node.EffectiveBusyCpus();
+  }
+  availability_.Set(t_days, avail);
+  utilization_.Set(t_days, util);
+}
+
+}  // namespace biopera::cluster

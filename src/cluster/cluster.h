@@ -1,0 +1,183 @@
+#ifndef BIOPERA_CLUSTER_CLUSTER_H_
+#define BIOPERA_CLUSTER_CLUSTER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "common/time.h"
+#include "sim/simulator.h"
+
+namespace biopera::cluster {
+
+using JobId = uint64_t;
+
+/// Static description of one cluster node, as kept in BioOpera's
+/// configuration space (paper §3.2): hardware and OS characteristics used
+/// for placement decisions.
+struct NodeConfig {
+  std::string name;
+  int num_cpus = 1;
+  /// Speed relative to the reference CPU of the Darwin cost model.
+  double speed = 1.0;
+  std::string os = "linux";
+  /// Comma-separated resource classes this node serves; empty = any.
+  /// (The paper dedicates the slower ik-sun machines to refinement.)
+  std::string resource_classes;
+
+  /// True if this node may run activities of `cls` ("" matches any node).
+  bool ServesClass(std::string_view cls) const;
+};
+
+/// Engine-facing notifications from the simulated cluster. Mirrors what
+/// the paper's Program Execution Clients report to the BioOpera server:
+/// job completions and failures, node availability changes, and load.
+class ClusterListener {
+ public:
+  virtual ~ClusterListener() = default;
+  virtual void OnJobFinished(JobId id, const std::string& node) = 0;
+  virtual void OnJobFailed(JobId id, const std::string& node,
+                           const std::string& reason) = 0;
+  virtual void OnNodeDown(const std::string& node) = 0;
+  virtual void OnNodeUp(const std::string& node) = 0;
+  /// Periodic load report (fraction of CPUs busy, 0..1), already filtered
+  /// by the PEC's adaptive monitor.
+  virtual void OnLoadReport(const std::string& node, double load) = 0;
+  virtual void OnConfigChanged(const NodeConfig& config) = 0;
+};
+
+/// A timestamped annotation on the experiment timeline (the numbered
+/// events of Figures 5 and 6).
+struct TraceEvent {
+  TimePoint time;
+  std::string label;
+};
+
+/// Discrete-event model of a compute cluster running BioOpera jobs
+/// "nice" (lowest priority): external (other users') load takes CPUs
+/// first, the remaining capacity is shared equally among BioOpera jobs on
+/// the node. Job progress integrates node speed x share over time, so
+/// completions respond to failures, external load changes, and mid-run
+/// hardware upgrades exactly as the engine would observe on real hardware.
+class ClusterSim {
+ public:
+  explicit ClusterSim(Simulator* sim);
+  ClusterSim(const ClusterSim&) = delete;
+  ClusterSim& operator=(const ClusterSim&) = delete;
+
+  void SetListener(ClusterListener* listener) { listener_ = listener; }
+  ClusterListener* listener() const { return listener_; }
+
+  // --- Topology -----------------------------------------------------------
+  Status AddNode(const NodeConfig& config);
+  Status RemoveNode(const std::string& name);
+  std::vector<NodeConfig> Nodes() const;
+  Result<NodeConfig> GetNode(const std::string& name) const;
+  bool IsUp(const std::string& name) const;
+  /// Total CPUs across nodes that are up.
+  int AvailableCpus() const;
+
+  // --- Job control (called by the dispatcher) -----------------------------
+  /// Starts a job of `work` CPU-time (at reference speed 1.0) on `node`.
+  /// Fails if the node is down or unknown.
+  Status StartJob(JobId id, const std::string& node, Duration work);
+  /// Kills a running job without any report (used when the server aborts
+  /// or migrates it). Returns NotFound if not running.
+  Status KillJob(JobId id);
+  /// Kills every running job (server crash semantics: ongoing processes
+  /// are stopped; the recovered server re-dispatches from the store).
+  void KillAllJobs();
+  size_t NumRunningJobs() const;
+  /// Node a job currently runs on; NotFound if not running.
+  Result<std::string> JobNode(JobId id) const;
+  /// Remaining reference-CPU work of a running job.
+  Result<Duration> JobRemaining(JobId id) const;
+
+  // --- Environment changes (failure injector / load generator) ------------
+  /// Crashes a node: running jobs are lost and reported failed (the server
+  /// learns of the crash via OnNodeDown as its PEC heartbeat dies).
+  Status CrashNode(const std::string& name);
+  Status RepairNode(const std::string& name);
+  /// Changes the number of CPUs (the ik-linux mid-run upgrade of Fig. 6).
+  Status SetNodeCpus(const std::string& name, int num_cpus);
+  /// Sets how many CPUs external users occupy on the node (may be
+  /// fractional; clamped to [0, num_cpus]).
+  Status SetExternalLoad(const std::string& name, double busy_cpus);
+  double ExternalLoad(const std::string& name) const;
+  /// Disconnects / reconnects a node from the network: completion and
+  /// failure reports queue at the node and flush on reconnect.
+  Status SetConnected(const std::string& name, bool connected);
+  /// Convenience: network outage over the whole cluster.
+  void SetAllConnected(bool connected);
+
+  // --- Tracing (Figures 5 and 6) -------------------------------------------
+  /// Availability: CPUs on nodes that are up, over time (days).
+  const StepSeries& AvailabilitySeries() const { return availability_; }
+  /// Utilization: CPUs effectively computing BioOpera jobs, over time.
+  const StepSeries& UtilizationSeries() const { return utilization_; }
+  void Annotate(std::string label);
+  const std::vector<TraceEvent>& Events() const { return events_; }
+
+  /// Total reference-CPU work consumed by jobs that were killed or lost to
+  /// crashes before completing — the work a re-execution has to redo.
+  /// Measures the §3.3 checkpoint-granularity effect ("smaller activities
+  /// result in less work lost when failures occur").
+  Duration WastedWork() const { return Duration::Seconds(wasted_seconds_); }
+
+  Simulator* sim() { return sim_; }
+
+ private:
+  struct Job {
+    JobId id;
+    double remaining_seconds;  // at reference speed 1.0
+    double initial_seconds;
+    EventId completion = kInvalidEventId;
+  };
+  struct Node {
+    NodeConfig config;
+    bool up = true;
+    bool connected = true;
+    double external_busy = 0;
+    std::vector<Job> jobs;
+    TimePoint last_update;
+    /// Reports queued while disconnected: (job, success, reason).
+    struct PendingReport {
+      JobId id;
+      bool success;
+      std::string reason;
+    };
+    std::deque<PendingReport> pending_reports;
+
+    double RatePerJob() const;
+    double EffectiveBusyCpus() const;
+  };
+
+  Node* Find(const std::string& name);
+  const Node* Find(const std::string& name) const;
+  /// Folds elapsed progress into `remaining_seconds` of each job.
+  void Advance(Node* node);
+  /// Re-schedules completion events after any rate change.
+  void Reschedule(Node* node);
+  void CompleteJob(Node* node, JobId id);
+  void Report(Node* node, JobId id, bool success, const std::string& reason);
+  void FlushReports(Node* node);
+  void UpdateTrace();
+
+  Simulator* sim_;
+  ClusterListener* listener_ = nullptr;
+  std::map<std::string, Node> nodes_;
+  std::map<JobId, std::string> job_locations_;
+  StepSeries availability_;
+  StepSeries utilization_;
+  std::vector<TraceEvent> events_;
+  double wasted_seconds_ = 0;
+};
+
+}  // namespace biopera::cluster
+
+#endif  // BIOPERA_CLUSTER_CLUSTER_H_

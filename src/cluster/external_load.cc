@@ -1,0 +1,62 @@
+#include "cluster/external_load.h"
+
+namespace biopera::cluster {
+
+ExternalLoadGenerator::ExternalLoadGenerator(
+    ClusterSim* cluster, const ExternalLoadOptions& options, Rng* rng)
+    : cluster_(cluster), options_(options), rng_(rng) {}
+
+void ExternalLoadGenerator::Start() {
+  for (const NodeConfig& node : cluster_->Nodes()) {
+    if (rng_->Bernoulli(options_.node_coverage)) {
+      covered_.push_back(node.name);
+      ScheduleEpisode(node.name);
+    }
+  }
+}
+
+void ExternalLoadGenerator::ScheduleEpisode(const std::string& node) {
+  // Idle gap, then a busy episode, then recurse.
+  Duration idle =
+      Duration::Seconds(rng_->Exponential(options_.mean_idle.ToSeconds()));
+  cluster_->sim()->ScheduleDaemon(idle, [this, node] {
+    if (heavy_depth_ == 0) {
+      Result<NodeConfig> config = cluster_->GetNode(node);
+      if (!config.ok()) return;  // node removed
+      double busy_cpus;
+      if (rng_->Bernoulli(options_.fill_all_probability)) {
+        busy_cpus = config->num_cpus;
+      } else {
+        busy_cpus = rng_->Uniform(0.3, 0.9) * config->num_cpus;
+      }
+      cluster_->SetExternalLoad(node, busy_cpus);
+    }
+    Duration busy =
+        Duration::Seconds(rng_->Exponential(options_.mean_busy.ToSeconds()));
+    cluster_->sim()->ScheduleDaemon(busy, [this, node] {
+      if (heavy_depth_ == 0) cluster_->SetExternalLoad(node, 0);
+      ScheduleEpisode(node);
+    });
+  });
+}
+
+void ExternalLoadGenerator::ScheduleHeavyPeriod(TimePoint at, Duration length,
+                                                const std::string& label) {
+  cluster_->sim()->ScheduleAt(at, [this, label] {
+    cluster_->Annotate(label);
+    ++heavy_depth_;
+    for (const NodeConfig& node : cluster_->Nodes()) {
+      cluster_->SetExternalLoad(node.name, node.num_cpus);
+    }
+  });
+  cluster_->sim()->ScheduleAt(at + length, [this] {
+    --heavy_depth_;
+    if (heavy_depth_ == 0) {
+      for (const NodeConfig& node : cluster_->Nodes()) {
+        cluster_->SetExternalLoad(node.name, 0);
+      }
+    }
+  });
+}
+
+}  // namespace biopera::cluster

@@ -1,0 +1,58 @@
+#ifndef BIOPERA_CLUSTER_EXTERNAL_LOAD_H_
+#define BIOPERA_CLUSTER_EXTERNAL_LOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace biopera::cluster {
+
+/// How other users of a shared cluster occupy CPUs (paper §5.4: BioOpera
+/// runs nice, so external jobs preempt it; the discussion distinguishes
+/// users who "tend to fill all machines" from users who use a subset).
+struct ExternalLoadOptions {
+  /// Mean duration of an external busy episode on a node.
+  Duration mean_busy = Duration::Hours(6);
+  /// Mean idle gap between episodes on a node.
+  Duration mean_idle = Duration::Hours(10);
+  /// During a busy episode, probability the user fills ALL CPUs of the
+  /// node (vs. a uniform fraction of them).
+  double fill_all_probability = 0.6;
+  /// Fraction of nodes that external users ever touch (1.0 = any node).
+  double node_coverage = 1.0;
+};
+
+/// Drives per-node external load episodes on a ClusterSim. Each covered
+/// node alternates idle and busy episodes independently; episode lengths
+/// are exponential, intensities follow `fill_all_probability`.
+class ExternalLoadGenerator {
+ public:
+  ExternalLoadGenerator(ClusterSim* cluster, const ExternalLoadOptions& options,
+                        Rng* rng);
+
+  /// Starts episodes on all (covered) current nodes. Call once after the
+  /// topology is set up.
+  void Start();
+
+  /// Additionally schedules a cluster-wide "heavy period" during which all
+  /// covered nodes are saturated (Fig. 5 events 1 and 8).
+  void ScheduleHeavyPeriod(TimePoint at, Duration length,
+                           const std::string& label);
+
+ private:
+  void ScheduleEpisode(const std::string& node);
+
+  ClusterSim* cluster_;
+  ExternalLoadOptions options_;
+  Rng* rng_;
+  std::vector<std::string> covered_;
+  /// During a heavy period the per-node episodes are overridden.
+  int heavy_depth_ = 0;
+};
+
+}  // namespace biopera::cluster
+
+#endif  // BIOPERA_CLUSTER_EXTERNAL_LOAD_H_

@@ -1,0 +1,110 @@
+#include "cluster/failure.h"
+
+#include "common/logging.h"
+
+namespace biopera::cluster {
+
+FailureInjector::FailureInjector(ClusterSim* cluster) : cluster_(cluster) {}
+
+void FailureInjector::ScheduleNodeOutage(TimePoint at, Duration downtime,
+                                         const std::string& node,
+                                         const std::string& label) {
+  Simulator* sim = cluster_->sim();
+  sim->ScheduleAt(at, [this, node, label] {
+    cluster_->Annotate(label);
+    cluster_->CrashNode(node);
+  });
+  sim->ScheduleAt(at + downtime, [this, node] {
+    cluster_->RepairNode(node);
+  });
+}
+
+void FailureInjector::ScheduleClusterOutage(TimePoint at, Duration downtime,
+                                            const std::string& label) {
+  Simulator* sim = cluster_->sim();
+  sim->ScheduleAt(at, [this, label] {
+    cluster_->Annotate(label);
+    for (const NodeConfig& node : cluster_->Nodes()) {
+      cluster_->CrashNode(node.name);
+    }
+  });
+  sim->ScheduleAt(at + downtime, [this] {
+    for (const NodeConfig& node : cluster_->Nodes()) {
+      cluster_->RepairNode(node.name);
+    }
+  });
+}
+
+void FailureInjector::ScheduleNetworkOutage(TimePoint at, Duration downtime,
+                                            const std::string& label) {
+  Simulator* sim = cluster_->sim();
+  sim->ScheduleAt(at, [this, label] {
+    cluster_->Annotate(label);
+    cluster_->SetAllConnected(false);
+  });
+  sim->ScheduleAt(at + downtime, [this] {
+    cluster_->SetAllConnected(true);
+  });
+}
+
+void FailureInjector::ScheduleCpuUpgrade(TimePoint at, int new_cpus,
+                                         const std::string& label) {
+  cluster_->sim()->ScheduleAt(at, [this, new_cpus, label] {
+    cluster_->Annotate(label);
+    for (const NodeConfig& node : cluster_->Nodes()) {
+      cluster_->SetNodeCpus(node.name, new_cpus);
+    }
+  });
+}
+
+void FailureInjector::ScheduleAction(TimePoint at, const std::string& label,
+                                     std::function<void()> action) {
+  cluster_->sim()->ScheduleAt(at, [this, label, action = std::move(action)] {
+    cluster_->Annotate(label);
+    action();
+  });
+}
+
+void FailureInjector::StartRandomNodeFailures(Duration mtbf,
+                                              Duration mean_downtime,
+                                              Rng* rng) {
+  random_active_ = true;
+  mtbf_ = mtbf;
+  mean_downtime_ = mean_downtime;
+  rng_ = rng;
+  ScheduleNextRandomFailure();
+}
+
+void FailureInjector::StopRandomFailures() {
+  random_active_ = false;
+  if (random_event_ != kInvalidEventId) {
+    cluster_->sim()->Cancel(random_event_);
+    random_event_ = kInvalidEventId;
+  }
+}
+
+void FailureInjector::ScheduleNextRandomFailure() {
+  if (!random_active_) return;
+  Duration gap = Duration::Seconds(rng_->Exponential(mtbf_.ToSeconds()));
+  random_event_ = cluster_->sim()->ScheduleDaemon(gap, [this] {
+    random_event_ = kInvalidEventId;
+    if (!random_active_) return;
+    auto nodes = cluster_->Nodes();
+    if (!nodes.empty()) {
+      const std::string victim =
+          nodes[rng_->NextUint64(nodes.size())].name;
+      if (cluster_->IsUp(victim)) {
+        Duration downtime =
+            Duration::Seconds(rng_->Exponential(mean_downtime_.ToSeconds()));
+        cluster_->Annotate("random crash: " + victim);
+        cluster_->CrashNode(victim);
+        cluster_->sim()->Schedule(downtime, [this, victim] {
+          cluster_->RepairNode(victim);
+        });
+      }
+    }
+    ScheduleNextRandomFailure();
+  });
+}
+
+}  // namespace biopera::cluster

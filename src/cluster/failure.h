@@ -1,0 +1,60 @@
+#ifndef BIOPERA_CLUSTER_FAILURE_H_
+#define BIOPERA_CLUSTER_FAILURE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+
+namespace biopera::cluster {
+
+/// Schedules environment events against a ClusterSim: scripted (exact
+/// times, for reproducing the numbered events of Figures 5 and 6) or
+/// random (rates, for robustness tests). The paper stresses that its
+/// failures "were not injected but part of the everyday operation"; here
+/// the injector plays the role of that everyday operation.
+class FailureInjector {
+ public:
+  explicit FailureInjector(ClusterSim* cluster);
+
+  // --- Scripted events ------------------------------------------------------
+  /// Node crash at `at`, repaired `downtime` later. Annotates the trace.
+  void ScheduleNodeOutage(TimePoint at, Duration downtime,
+                          const std::string& node, const std::string& label);
+  /// Crash + repair of every node (cluster-wide failure).
+  void ScheduleClusterOutage(TimePoint at, Duration downtime,
+                             const std::string& label);
+  /// Network partition of the whole cluster.
+  void ScheduleNetworkOutage(TimePoint at, Duration downtime,
+                             const std::string& label);
+  /// CPU upgrade on all nodes at `at` (Fig. 6: one to two processors).
+  void ScheduleCpuUpgrade(TimePoint at, int new_cpus,
+                          const std::string& label);
+  /// Arbitrary scripted action with a trace annotation.
+  void ScheduleAction(TimePoint at, const std::string& label,
+                      std::function<void()> action);
+
+  // --- Random failures ------------------------------------------------------
+  /// Starts a Poisson process of node crashes: mean time between failures
+  /// across the cluster `mtbf`, each down for Exponential(`mean_downtime`).
+  /// Runs until the simulator drains or `StopRandomFailures` is called.
+  void StartRandomNodeFailures(Duration mtbf, Duration mean_downtime,
+                               Rng* rng);
+  void StopRandomFailures();
+
+ private:
+  void ScheduleNextRandomFailure();
+
+  ClusterSim* cluster_;
+  bool random_active_ = false;
+  Duration mtbf_;
+  Duration mean_downtime_;
+  Rng* rng_ = nullptr;
+  EventId random_event_ = kInvalidEventId;
+};
+
+}  // namespace biopera::cluster
+
+#endif  // BIOPERA_CLUSTER_FAILURE_H_

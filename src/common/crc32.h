@@ -1,0 +1,20 @@
+#ifndef BIOPERA_COMMON_CRC32_H_
+#define BIOPERA_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace biopera {
+
+/// CRC-32C (Castagnoli), software table implementation. Used to checksum
+/// WAL records and snapshot files.
+uint32_t Crc32c(const void* data, size_t n);
+inline uint32_t Crc32c(std::string_view s) { return Crc32c(s.data(), s.size()); }
+
+/// Extends a running CRC with more data.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+}  // namespace biopera
+
+#endif  // BIOPERA_COMMON_CRC32_H_

@@ -1,0 +1,41 @@
+#ifndef BIOPERA_COMMON_LOGGING_H_
+#define BIOPERA_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace biopera {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted to stderr. Default: kWarning
+/// (benches and tests stay quiet unless something is wrong).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log line; emits on destruction when `level` is enabled.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace biopera
+
+#define BIOPERA_LOG(level)                                             \
+  ::biopera::internal_logging::LogMessage(::biopera::LogLevel::level, \
+                                          __FILE__, __LINE__)          \
+      .stream()
+
+#endif  // BIOPERA_COMMON_LOGGING_H_

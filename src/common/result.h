@@ -1,0 +1,78 @@
+#ifndef BIOPERA_COMMON_RESULT_H_
+#define BIOPERA_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace biopera {
+
+/// Either a value of type T or an error Status. The OK status is never
+/// stored without a value; constructing a Result from an OK status is a
+/// programming error and is converted to an Internal error.
+///
+/// Typical use:
+///
+///   Result<int> ParsePort(std::string_view s);
+///   ...
+///   BIOPERA_ASSIGN_OR_RETURN(int port, ParsePort(arg));
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit, like absl::StatusOr).
+  Result(T value) : value_(std::move(value)) {}
+  /// Constructs a Result holding an error.
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  /// Returns the error (or OK if a value is held).
+  const Status& status() const { return status_; }
+
+  /// Value accessors; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` on error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace biopera
+
+#define BIOPERA_CONCAT_IMPL_(a, b) a##b
+#define BIOPERA_CONCAT_(a, b) BIOPERA_CONCAT_IMPL_(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// assigns the value to `lhs` (which may include a type declaration).
+#define BIOPERA_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  auto BIOPERA_CONCAT_(_res_, __LINE__) = (rexpr);                \
+  if (!BIOPERA_CONCAT_(_res_, __LINE__).ok())                     \
+    return BIOPERA_CONCAT_(_res_, __LINE__).status();             \
+  lhs = std::move(BIOPERA_CONCAT_(_res_, __LINE__)).value()
+
+#endif  // BIOPERA_COMMON_RESULT_H_

@@ -1,0 +1,138 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace biopera {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextUint64(uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (0 - n) % n;
+  while (true) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(NextUint64(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return NextDouble() < p;
+}
+
+double Rng::Exponential(double mean) {
+  assert(mean > 0);
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 <= 0) u1 = 0x1.0p-53;
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+double Rng::LogNormal(double median, double sigma) {
+  assert(median > 0);
+  return median * std::exp(Normal(0.0, sigma));
+}
+
+double Rng::Gamma(double shape, double scale) {
+  assert(shape > 0 && scale > 0);
+  if (shape < 1.0) {
+    // Johnk/boosting trick: Gamma(a) = Gamma(a+1) * U^(1/a).
+    double u = NextDouble();
+    if (u <= 0) u = 0x1.0p-53;
+    return Gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x = Normal(0.0, 1.0);
+    double v = 1.0 + c * x;
+    if (v <= 0) continue;
+    v = v * v * v;
+    double u = NextDouble();
+    if (u <= 0) u = 0x1.0p-53;
+    if (std::log(u) < 0.5 * x * x + d - d * v + d * std::log(v)) {
+      return d * v * scale;
+    }
+  }
+}
+
+size_t Rng::Discrete(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) {
+    assert(w >= 0);
+    total += w;
+  }
+  assert(total > 0);
+  double target = NextDouble() * total;
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+}  // namespace biopera

@@ -1,0 +1,135 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace biopera {
+
+void SampleStats::Add(double v) {
+  samples_.push_back(v);
+  sum_ += v;
+  sorted_valid_ = false;
+}
+
+void SampleStats::Clear() {
+  samples_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+  sum_ = 0;
+}
+
+double SampleStats::Mean() const {
+  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+}
+
+void SampleStats::EnsureSorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double SampleStats::Min() const {
+  EnsureSorted();
+  return sorted_.empty() ? 0.0 : sorted_.front();
+}
+
+double SampleStats::Max() const {
+  EnsureSorted();
+  return sorted_.empty() ? 0.0 : sorted_.back();
+}
+
+double SampleStats::Stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  double mean = Mean();
+  double ss = 0;
+  for (double v : samples_) ss += (v - mean) * (v - mean);
+  return std::sqrt(ss / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleStats::Percentile(double p) const {
+  EnsureSorted();
+  if (sorted_.empty()) return 0.0;
+  if (sorted_.size() == 1) return sorted_[0];
+  double rank = (p / 100.0) * static_cast<double>(sorted_.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1 - frac) + sorted_[hi] * frac;
+}
+
+std::string SampleStats::Summary() const {
+  return StrFormat("n=%zu mean=%.4g p50=%.4g p95=%.4g max=%.4g", count(),
+                   Mean(), Percentile(50), Percentile(95), Max());
+}
+
+void StepSeries::Set(double t, double value) {
+  assert(points_.empty() || t >= points_.back().t);
+  if (!points_.empty() && points_.back().t == t) {
+    points_.back().value = value;
+    return;
+  }
+  // Skip no-op transitions to keep the series compact.
+  if (!points_.empty() && points_.back().value == value) return;
+  points_.push_back({t, value});
+}
+
+double StepSeries::At(double t) const {
+  double v = 0;
+  for (const auto& p : points_) {
+    if (p.t > t) break;
+    v = p.value;
+  }
+  return v;
+}
+
+double StepSeries::Integral(double t0, double t1) const {
+  if (t1 <= t0 || points_.empty()) return 0;
+  double integral = 0;
+  double cur_value = 0;
+  double cur_t = t0;
+  for (const auto& p : points_) {
+    if (p.t <= t0) {
+      cur_value = p.value;
+      continue;
+    }
+    if (p.t >= t1) break;
+    integral += cur_value * (p.t - cur_t);
+    cur_t = p.t;
+    cur_value = p.value;
+  }
+  integral += cur_value * (t1 - cur_t);
+  return integral;
+}
+
+double StepSeries::TimeAverage(double t0, double t1) const {
+  if (t1 <= t0) return 0;
+  return Integral(t0, t1) / (t1 - t0);
+}
+
+double StepSeries::MaxOver(double t0, double t1) const {
+  double m = At(t0);
+  for (const auto& p : points_) {
+    if (p.t > t0 && p.t <= t1) m = std::max(m, p.value);
+  }
+  return m;
+}
+
+std::vector<double> StepSeries::Resample(double t0, double t1,
+                                         size_t buckets) const {
+  std::vector<double> out;
+  out.reserve(buckets);
+  if (buckets == 0 || t1 <= t0) return out;
+  double w = (t1 - t0) / static_cast<double>(buckets);
+  for (size_t i = 0; i < buckets; ++i) {
+    double a = t0 + w * static_cast<double>(i);
+    out.push_back(TimeAverage(a, a + w));
+  }
+  return out;
+}
+
+}  // namespace biopera

@@ -1,0 +1,79 @@
+#ifndef BIOPERA_COMMON_STATS_H_
+#define BIOPERA_COMMON_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace biopera {
+
+/// Accumulates scalar samples and reports summary statistics. Keeps all
+/// samples (experiments here are small enough) so exact percentiles are
+/// available.
+class SampleStats {
+ public:
+  void Add(double v);
+  void Clear();
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double sum() const { return sum_; }
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  double Stddev() const;
+  /// p in [0, 100]; linear interpolation between order statistics.
+  double Percentile(double p) const;
+
+  /// "n=.. mean=.. p50=.. p95=.. max=.."
+  std::string Summary() const;
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0;
+};
+
+/// A (time, value) step series: value holds from each point until the next.
+/// Used for processor availability/utilization curves (Figures 5 and 6) and
+/// load traces.
+class StepSeries {
+ public:
+  struct Point {
+    double t;
+    double value;
+  };
+
+  /// Records that the series takes `value` from time `t` on. Times must be
+  /// non-decreasing; a duplicate time overwrites the previous value.
+  void Set(double t, double value);
+
+  /// Value at time t (0 before the first point).
+  double At(double t) const;
+
+  /// Time-weighted mean over [t0, t1].
+  double TimeAverage(double t0, double t1) const;
+
+  /// Integral of the series over [t0, t1].
+  double Integral(double t0, double t1) const;
+
+  /// Maximum value attained in [t0, t1].
+  double MaxOver(double t0, double t1) const;
+
+  const std::vector<Point>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+
+  /// Resamples onto a uniform grid of `buckets` cells over [t0, t1],
+  /// each cell holding the time-average within it.
+  std::vector<double> Resample(double t0, double t1, size_t buckets) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace biopera
+
+#endif  // BIOPERA_COMMON_STATS_H_

@@ -1,0 +1,81 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace biopera {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += "  ";
+      // Right-align numeric-looking cells.
+      double d;
+      bool numeric = ParseDouble(row[c], &d);
+      size_t pad = width[c] - row[c].size();
+      if (numeric) line += std::string(pad, ' ');
+      line += row[c];
+      if (!numeric) line += std::string(pad, ' ');
+    }
+    return line;
+  };
+  std::string out = render_row(header_);
+  out += "\n";
+  size_t rule = 0;
+  for (size_t c = 0; c < width.size(); ++c) rule += width[c] + (c ? 2 : 0);
+  out += std::string(rule, '-');
+  out += "\n";
+  for (const auto& row : rows_) {
+    out += render_row(row);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string AsciiAreaChart(const std::vector<double>& availability,
+                           const std::vector<double>& utilization,
+                           double y_max, int height) {
+  assert(availability.size() == utilization.size());
+  assert(height > 0 && y_max > 0);
+  const size_t w = availability.size();
+  std::string out;
+  for (int r = height; r >= 1; --r) {
+    double threshold = y_max * (static_cast<double>(r) - 0.5) /
+                       static_cast<double>(height);
+    std::string line = StrFormat("%5.1f |", y_max * r / height);
+    for (size_t x = 0; x < w; ++x) {
+      if (utilization[x] >= threshold) {
+        line += '#';  // processors actually computing BioOpera jobs
+      } else if (availability[x] >= threshold) {
+        line += '.';  // processors available but idle / used by others
+      } else {
+        line += ' ';
+      }
+    }
+    out += line;
+    out += "\n";
+  }
+  out += "      +" + std::string(w, '-') + "\n";
+  out += "       # = utilized by engine, . = available\n";
+  return out;
+}
+
+}  // namespace biopera

@@ -1,0 +1,36 @@
+#ifndef BIOPERA_COMMON_TABLE_H_
+#define BIOPERA_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace biopera {
+
+/// Builds fixed-width text tables for benchmark output, mirroring the rows
+/// the paper's tables/figures report.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with a header rule; right-aligns cells that parse as numbers.
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders `series` (values per x-step, already resampled) as a compact
+/// ASCII area chart of the given height; used by the lifecycle benches to
+/// draw the Figure 5 / Figure 6 availability-utilization curves.
+std::string AsciiAreaChart(const std::vector<double>& availability,
+                           const std::vector<double>& utilization,
+                           double y_max, int height);
+
+}  // namespace biopera
+
+#endif  // BIOPERA_COMMON_TABLE_H_

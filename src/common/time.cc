@@ -1,0 +1,42 @@
+#include "common/time.h"
+
+#include "common/strings.h"
+
+namespace biopera {
+
+std::string Duration::ToString() const {
+  int64_t us = micros_;
+  bool neg = us < 0;
+  if (neg) us = -us;
+  std::string body;
+  if (us >= 86400LL * 1000000) {
+    int64_t days = us / (86400LL * 1000000);
+    int64_t rem = us % (86400LL * 1000000);
+    int64_t hours = rem / (3600LL * 1000000);
+    int64_t mins = (rem % (3600LL * 1000000)) / (60LL * 1000000);
+    body = StrFormat("%lldd %02lldh %02lldm", static_cast<long long>(days),
+                     static_cast<long long>(hours),
+                     static_cast<long long>(mins));
+  } else if (us >= 3600LL * 1000000) {
+    int64_t hours = us / (3600LL * 1000000);
+    int64_t mins = (us % (3600LL * 1000000)) / (60LL * 1000000);
+    int64_t secs = (us % (60LL * 1000000)) / 1000000;
+    body = StrFormat("%lldh %02lldm %02llds", static_cast<long long>(hours),
+                     static_cast<long long>(mins),
+                     static_cast<long long>(secs));
+  } else if (us >= 60LL * 1000000) {
+    int64_t mins = us / (60LL * 1000000);
+    int64_t secs = (us % (60LL * 1000000)) / 1000000;
+    body = StrFormat("%lldm %02llds", static_cast<long long>(mins),
+                     static_cast<long long>(secs));
+  } else if (us >= 1000000) {
+    body = StrFormat("%.3fs", us / 1e6);
+  } else if (us >= 1000) {
+    body = StrFormat("%.3fms", us / 1e3);
+  } else {
+    body = StrFormat("%lldus", static_cast<long long>(us));
+  }
+  return neg ? "-" + body : body;
+}
+
+}  // namespace biopera

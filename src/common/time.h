@@ -1,0 +1,110 @@
+#ifndef BIOPERA_COMMON_TIME_H_
+#define BIOPERA_COMMON_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace biopera {
+
+/// A span of (virtual) time with microsecond resolution.
+///
+/// All engine and simulator code uses these strong types rather than raw
+/// integers or std::chrono so that virtual time (discrete-event simulation)
+/// and real time share one vocabulary.
+class Duration {
+ public:
+  constexpr Duration() : micros_(0) {}
+
+  static constexpr Duration Micros(int64_t us) { return Duration(us); }
+  static constexpr Duration Millis(int64_t ms) { return Duration(ms * 1000); }
+  static constexpr Duration Seconds(double s) {
+    return Duration(static_cast<int64_t>(s * 1e6));
+  }
+  static constexpr Duration Minutes(double m) { return Seconds(m * 60); }
+  static constexpr Duration Hours(double h) { return Seconds(h * 3600); }
+  static constexpr Duration Days(double d) { return Seconds(d * 86400); }
+  static constexpr Duration Zero() { return Duration(0); }
+  static constexpr Duration Max() { return Duration(INT64_MAX); }
+
+  constexpr int64_t micros() const { return micros_; }
+  constexpr double ToSeconds() const { return micros_ / 1e6; }
+  constexpr double ToMinutes() const { return ToSeconds() / 60; }
+  constexpr double ToHours() const { return ToSeconds() / 3600; }
+  constexpr double ToDays() const { return ToSeconds() / 86400; }
+
+  constexpr bool IsZero() const { return micros_ == 0; }
+
+  constexpr Duration operator+(Duration o) const {
+    return Duration(micros_ + o.micros_);
+  }
+  constexpr Duration operator-(Duration o) const {
+    return Duration(micros_ - o.micros_);
+  }
+  constexpr Duration operator*(double f) const {
+    return Duration(static_cast<int64_t>(micros_ * f));
+  }
+  constexpr Duration operator/(double f) const {
+    return Duration(static_cast<int64_t>(micros_ / f));
+  }
+  constexpr double operator/(Duration o) const {
+    return static_cast<double>(micros_) / static_cast<double>(o.micros_);
+  }
+  Duration& operator+=(Duration o) {
+    micros_ += o.micros_;
+    return *this;
+  }
+  Duration& operator-=(Duration o) {
+    micros_ -= o.micros_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  /// Formats like "2d 03h 14m", "41m 12s", "3.250s", or "412us".
+  std::string ToString() const;
+
+ private:
+  explicit constexpr Duration(int64_t us) : micros_(us) {}
+  int64_t micros_;
+};
+
+/// An instant on the (virtual) timeline; time 0 is the simulation start.
+class TimePoint {
+ public:
+  constexpr TimePoint() : micros_(0) {}
+  static constexpr TimePoint FromMicros(int64_t us) { return TimePoint(us); }
+  static constexpr TimePoint Zero() { return TimePoint(0); }
+  static constexpr TimePoint Max() { return TimePoint(INT64_MAX); }
+
+  constexpr int64_t micros() const { return micros_; }
+  constexpr Duration SinceEpoch() const { return Duration::Micros(micros_); }
+
+  constexpr TimePoint operator+(Duration d) const {
+    return TimePoint(micros_ + d.micros());
+  }
+  constexpr TimePoint operator-(Duration d) const {
+    return TimePoint(micros_ - d.micros());
+  }
+  constexpr Duration operator-(TimePoint o) const {
+    return Duration::Micros(micros_ - o.micros_);
+  }
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  /// Formats the elapsed time since epoch, as Duration::ToString.
+  std::string ToString() const { return SinceEpoch().ToString(); }
+
+ private:
+  explicit constexpr TimePoint(int64_t us) : micros_(us) {}
+  int64_t micros_;
+};
+
+/// Read-only clock abstraction. The simulator implements this with virtual
+/// time; tests may implement it with a hand-driven value.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimePoint Now() const = 0;
+};
+
+}  // namespace biopera
+
+#endif  // BIOPERA_COMMON_TIME_H_

@@ -1,0 +1,35 @@
+#include "core/activity.h"
+
+namespace biopera::core {
+
+const ocr::Value& ActivityInput::Get(const std::string& name) const {
+  static const ocr::Value& null_value = *new ocr::Value();
+  auto it = params.find(name);
+  return it == params.end() ? null_value : it->second;
+}
+
+Status ActivityRegistry::Register(std::string binding, ActivityFn fn) {
+  auto [it, inserted] = fns_.emplace(std::move(binding), std::move(fn));
+  if (!inserted) {
+    return Status::AlreadyExists("binding already registered: " + it->first);
+  }
+  return Status::OK();
+}
+
+void ActivityRegistry::Override(std::string binding, ActivityFn fn) {
+  fns_[std::move(binding)] = std::move(fn);
+}
+
+Result<ActivityFn> ActivityRegistry::Find(const std::string& binding) const {
+  auto it = fns_.find(binding);
+  if (it == fns_.end()) {
+    return Status::NotFound("no activity binding: " + binding);
+  }
+  return it->second;
+}
+
+bool ActivityRegistry::Contains(const std::string& binding) const {
+  return fns_.contains(binding);
+}
+
+}  // namespace biopera::core

@@ -1,0 +1,66 @@
+#include "core/backup.h"
+
+#include "common/logging.h"
+
+namespace biopera::core {
+
+BackupServer::BackupServer(Simulator* sim, cluster::ClusterSim* cluster,
+                           RecordStore* store, ActivityRegistry* registry,
+                           const EngineOptions& options)
+    : sim_(sim),
+      cluster_(cluster),
+      store_(store),
+      registry_(registry),
+      options_(options) {}
+
+BackupServer::~BackupServer() { StopWatching(); }
+
+void BackupServer::Watch(Engine* primary, Duration heartbeat_interval) {
+  primary_ = primary;
+  interval_ = heartbeat_interval;
+  watching_ = true;
+  next_beat_ = sim_->ScheduleDaemon(interval_, [this] { Beat(); });
+}
+
+void BackupServer::StopWatching() {
+  watching_ = false;
+  if (next_beat_ != kInvalidEventId) {
+    sim_->Cancel(next_beat_);
+    next_beat_ = kInvalidEventId;
+  }
+}
+
+Engine* BackupServer::active() {
+  if (promoted_) return standby_.get();
+  return primary_;
+}
+
+void BackupServer::Beat() {
+  next_beat_ = kInvalidEventId;
+  if (!watching_) return;
+  if (!promoted_ && primary_ != nullptr && !primary_->IsUp()) {
+    // Take over: construct a fresh engine over the shared spaces (its
+    // constructor re-registers as the cluster listener, so PEC reports
+    // flow to the standby) and run the standard recovery.
+    BIOPERA_LOG(kInfo) << "backup server taking over";
+    standby_ = std::make_unique<Engine>(sim_, cluster_, store_, registry_,
+                                        options_);
+    Status st = standby_->Startup();
+    if (!st.ok()) {
+      BIOPERA_LOG(kError) << "backup takeover failed: " << st.ToString();
+      standby_.reset();
+      // The primary's listener registration was clobbered by the failed
+      // standby's constructor/destructor; it is down anyway.
+    } else {
+      promoted_ = true;
+      promoted_at_ = sim_->Now();
+      watching_ = false;  // one takeover per standby
+      return;
+    }
+  }
+  if (watching_) {
+    next_beat_ = sim_->ScheduleDaemon(interval_, [this] { Beat(); });
+  }
+}
+
+}  // namespace biopera::core

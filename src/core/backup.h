@@ -1,0 +1,65 @@
+#ifndef BIOPERA_CORE_BACKUP_H_
+#define BIOPERA_CORE_BACKUP_H_
+
+#include <memory>
+
+#include "core/engine.h"
+
+namespace biopera::core {
+
+/// Backup architecture for the BioOpera server (the paper's stated future
+/// work, §6: "if a server fails or requires maintenance, the backup can
+/// assume control and continue execution smoothly").
+///
+/// The standby watches the primary with a heartbeat; when a heartbeat
+/// finds the primary down, it promotes itself: it constructs a fresh
+/// Engine over the SAME persistent spaces (which is all the state there
+/// is — the design's whole point) and runs the standard recovery path.
+/// Processes continue from their last committed transition; the takeover
+/// latency is bounded by the heartbeat interval plus recovery time.
+class BackupServer {
+ public:
+  /// The standby shares the primary's simulator, cluster, store and
+  /// activity registry (in a real deployment: the same database and the
+  /// same PECs re-registering with whoever is primary).
+  BackupServer(Simulator* sim, cluster::ClusterSim* cluster,
+               RecordStore* store, ActivityRegistry* registry,
+               const EngineOptions& options = {});
+  ~BackupServer();
+  BackupServer(const BackupServer&) = delete;
+  BackupServer& operator=(const BackupServer&) = delete;
+
+  /// Starts heartbeat-monitoring `primary`. Must be called once.
+  void Watch(Engine* primary, Duration heartbeat_interval);
+  /// Stops monitoring (e.g. the operator decommissions the standby).
+  void StopWatching();
+
+  /// True once the standby has taken over.
+  bool promoted() const { return promoted_; }
+  /// The engine currently in charge: the primary until promotion, the
+  /// standby afterwards (nullptr before Watch()).
+  Engine* active();
+  /// Virtual time of the takeover (zero if not promoted).
+  TimePoint promoted_at() const { return promoted_at_; }
+
+ private:
+  void Beat();
+
+  Simulator* sim_;
+  cluster::ClusterSim* cluster_;
+  RecordStore* store_;
+  ActivityRegistry* registry_;
+  EngineOptions options_;
+
+  Engine* primary_ = nullptr;
+  std::unique_ptr<Engine> standby_;
+  Duration interval_ = Duration::Seconds(30);
+  bool watching_ = false;
+  bool promoted_ = false;
+  TimePoint promoted_at_;
+  EventId next_beat_ = kInvalidEventId;
+};
+
+}  // namespace biopera::core
+
+#endif  // BIOPERA_CORE_BACKUP_H_

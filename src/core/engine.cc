@@ -1,0 +1,1729 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "ocr/ocr_text.h"
+
+namespace biopera::core {
+
+using ocr::ControlConnector;
+using ocr::ProcessDef;
+using ocr::TaskDef;
+using ocr::TaskKind;
+using ocr::Value;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reference resolution
+// ---------------------------------------------------------------------------
+
+/// Descends a dotted path inside a Value (maps only).
+Result<Value> Descend(const Value& v, const std::vector<std::string>& path,
+                      size_t from) {
+  const Value* cur = &v;
+  for (size_t i = from; i < path.size(); ++i) {
+    if (!cur->is_map()) {
+      return Status::NotFound("cannot descend into non-map at " + path[i]);
+    }
+    auto it = cur->AsMap().find(path[i]);
+    if (it == cur->AsMap().end()) {
+      return Status::NotFound("no field " + path[i]);
+    }
+    cur = &it->second;
+  }
+  return *cur;
+}
+
+/// Sets `value` at a dotted path inside `map`, creating nested maps.
+Status SetIntoMap(Value::Map* map, const std::vector<std::string>& path,
+                  size_t from, Value value) {
+  assert(from < path.size());
+  Value::Map* cur = map;
+  for (size_t i = from; i + 1 < path.size(); ++i) {
+    Value& slot = (*cur)[path[i]];
+    if (!slot.is_map()) slot = Value(Value::Map{});
+    cur = &slot.AsMap();
+  }
+  (*cur)[path.back()] = std::move(value);
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> SplitRef(const std::string& ref) {
+  BIOPERA_ASSIGN_OR_RETURN(ocr::Expr e, ocr::Expr::Parse(ref));
+  if (e.kind() != ocr::Expr::Kind::kRef) {
+    return Status::InvalidArgument("not a data reference: " + ref);
+  }
+  return e.ref_path();
+}
+
+/// Evaluation context rooted at one scope node: resolves wb.*, sibling
+/// task outputs, and parallel-body locals (item / index).
+class ScopeEvalContext : public ocr::EvalContext {
+ public:
+  ScopeEvalContext(TaskNode* scope, const TaskNode* current)
+      : scope_(scope), current_(current) {}
+
+  Result<Value> Lookup(const std::vector<std::string>& path) const override {
+    if (path.empty()) return Status::InvalidArgument("empty reference");
+    const std::string& root = path[0];
+    if (root == "wb") {
+      if (path.size() < 2) return Status::InvalidArgument("bare wb ref");
+      Value::Map* wb = scope_->ScopeWhiteboard();
+      auto it = wb->find(path[1]);
+      if (it == wb->end()) return Status::NotFound("no wb var " + path[1]);
+      return Descend(it->second, path, 2);
+    }
+    if (root == "item" || root == "index") {
+      const TaskNode* body =
+          current_ != nullptr ? current_->BodyAncestor() : nullptr;
+      if (body == nullptr) body = scope_->BodyAncestor();
+      if (body == nullptr) {
+        return Status::NotFound("no parallel body in scope for " + root);
+      }
+      if (root == "index") return Value(body->index);
+      return Descend(body->item, path, 1);
+    }
+    // Sibling task outputs: <task>.out.<field>...
+    TaskNode* sibling = scope_->FindChild(root);
+    if (sibling == nullptr) {
+      return Status::NotFound("no task or variable " + root);
+    }
+    if (path.size() < 2 || path[1] != "out") {
+      return Status::InvalidArgument("task reference must use " + root +
+                                     ".out.*");
+    }
+    if (path.size() == 2) return Value(sibling->outputs);
+    auto it = sibling->outputs.find(path[2]);
+    if (it == sibling->outputs.end()) {
+      return Status::NotFound("no output field " + path[2]);
+    }
+    return Descend(it->second, path, 3);
+  }
+
+ private:
+  TaskNode* scope_;
+  const TaskNode* current_;
+};
+
+// ---------------------------------------------------------------------------
+// Persistence record codecs (Value::Map <-> text via Value::ToText)
+// ---------------------------------------------------------------------------
+
+std::string TaskRecordKey(const std::string& path) { return "task/" + path; }
+
+std::string EncodeTaskRecord(const TaskNode& node) {
+  Value::Map rec;
+  rec["state"] = Value(std::string(TaskStateName(node.state)));
+  rec["attempts"] = Value(static_cast<int64_t>(node.attempts));
+  if (!node.binding_used.empty()) rec["binding"] = Value(node.binding_used);
+  if (!node.outputs.empty()) rec["outputs"] = Value(node.outputs);
+  if (node.cost != Duration::Zero()) {
+    rec["cost_us"] = Value(node.cost.micros());
+  }
+  rec["started_us"] = Value(node.started.micros());
+  rec["finished_us"] = Value(node.finished.micros());
+  if (!node.expansion.is_null()) rec["expansion"] = node.expansion;
+  if (node.sub_def != nullptr) rec["sub"] = Value(node.sub_def->name);
+  return Value(std::move(rec)).ToText();
+}
+
+std::string EncodeWhiteboard(const Value::Map& wb) {
+  return Value(wb).ToText();
+}
+
+std::string EncodeHeader(const ProcessInstance& inst) {
+  Value::Map rec;
+  rec["template"] = Value(inst.def().name);
+  rec["state"] = Value(std::string(InstanceStateName(inst.state())));
+  rec["priority"] = Value(static_cast<int64_t>(inst.priority()));
+  rec["cpu_seconds"] = Value(inst.stats().cpu_seconds);
+  rec["completed"] =
+      Value(static_cast<int64_t>(inst.stats().activities_completed));
+  rec["failed"] = Value(static_cast<int64_t>(inst.stats().activities_failed));
+  rec["started_us"] = Value(inst.stats().started.micros());
+  rec["finished_us"] = Value(inst.stats().finished.micros());
+  Value::Map lineage;
+  for (const auto& [var, writer] : inst.lineage()) {
+    lineage[var] = Value(writer);
+  }
+  rec["lineage"] = Value(std::move(lineage));
+  if (!inst.raised_events().empty()) {
+    Value::List events;
+    for (const auto& event : inst.raised_events()) {
+      events.emplace_back(event);
+    }
+    rec["events"] = Value(std::move(events));
+  }
+  return Value(std::move(rec)).ToText();
+}
+
+int64_t RecInt(const Value::Map& rec, const std::string& key, int64_t dflt) {
+  auto it = rec.find(key);
+  if (it == rec.end() || !it->second.is_number()) return dflt;
+  return it->second.is_int() ? it->second.AsInt()
+                             : static_cast<int64_t>(it->second.AsDouble());
+}
+
+double RecDouble(const Value::Map& rec, const std::string& key, double dflt) {
+  auto it = rec.find(key);
+  if (it == rec.end() || !it->second.is_number()) return dflt;
+  return it->second.AsDouble();
+}
+
+std::string RecString(const Value::Map& rec, const std::string& key) {
+  auto it = rec.find(key);
+  return it != rec.end() && it->second.is_string() ? it->second.AsString()
+                                                   : std::string();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Construction / lifecycle
+// ---------------------------------------------------------------------------
+
+Engine::Engine(Simulator* sim, cluster::ClusterSim* cluster,
+               RecordStore* store, ActivityRegistry* registry,
+               const EngineOptions& options)
+    : sim_(sim),
+      cluster_(cluster),
+      spaces_(store),
+      registry_(registry),
+      options_(options),
+      rng_(options.seed) {
+  cluster_->SetListener(this);
+}
+
+Engine::~Engine() {
+  // Another engine (a promoted backup) may have registered after us.
+  if (cluster_->listener() == this) cluster_->SetListener(nullptr);
+}
+
+Status Engine::Startup() {
+  if (up_) return Status::FailedPrecondition("server already up");
+  Result<std::unique_ptr<sched::SchedulingPolicy>> policy =
+      sched::MakePolicy(options_.policy, &rng_);
+  BIOPERA_RETURN_IF_ERROR(policy.status());
+  policy_ = std::move(*policy);
+  up_ = true;
+
+  // Discover the cluster topology (the PECs re-register with the server).
+  for (const cluster::NodeConfig& node : cluster_->Nodes()) {
+    awareness_.RegisterNode(node, sim_->Now());
+    if (!cluster_->IsUp(node.name)) {
+      awareness_.NodeDown(node.name, sim_->Now());
+    } else {
+      // Seed the awareness with the current true load; afterwards the
+      // adaptive monitor (or raw pushes) keeps it fresh.
+      awareness_.UpdateLoad(node.name,
+                            cluster_->ExternalLoad(node.name) /
+                                std::max(1, node.num_cpus),
+                            sim_->Now());
+      if (options_.adaptive_monitoring) OnNodeUp(node.name);
+    }
+    // Record hardware characteristics in the configuration space.
+    Value::Map cfg;
+    cfg["cpus"] = Value(static_cast<int64_t>(node.num_cpus));
+    cfg["speed"] = Value(node.speed);
+    cfg["os"] = Value(node.os);
+    cfg["classes"] = Value(node.resource_classes);
+    BIOPERA_RETURN_IF_ERROR(
+        spaces_.PutConfig("node/" + node.name, Value(cfg).ToText()));
+  }
+
+  // Restore the instance-id counter.
+  Result<std::string> seq = spaces_.GetConfig("next_instance_seq");
+  if (seq.ok()) {
+    long long v = 1;
+    if (ParseInt64(*seq, &v)) next_instance_seq_ = static_cast<uint64_t>(v);
+  }
+
+  // Recover every persisted instance.
+  for (const std::string& id : spaces_.ListInstances()) {
+    Status st = RecoverInstance(id);
+    if (!st.ok()) {
+      BIOPERA_LOG(kError) << "recovery of " << id << " failed: "
+                          << st.ToString();
+      return st;
+    }
+  }
+  PumpDispatch();
+  return Status::OK();
+}
+
+void Engine::Crash() {
+  up_ = false;
+  // Ongoing jobs are stopped when the server dies (paper §5.4, event 4).
+  cluster_->KillAllJobs();
+  monitors_.clear();
+  instances_.clear();
+  ready_queue_.clear();
+  jobs_.clear();
+  awareness_ = monitor::AwarenessModel();
+  policy_.reset();
+  if (pump_event_ != kInvalidEventId) {
+    sim_->Cancel(pump_event_);
+    pump_event_ = kInvalidEventId;
+  }
+  pump_scheduled_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Templates
+// ---------------------------------------------------------------------------
+
+Status Engine::RegisterTemplate(const ProcessDef& def) {
+  BIOPERA_RETURN_IF_ERROR(ocr::ValidateProcess(def));
+  BIOPERA_RETURN_IF_ERROR(spaces_.PutTemplate(def.name, ocr::PrintOcr(def)));
+  // Retire (but keep alive) any cached parse: existing instances hold
+  // pointers into it; new activations late-bind to the fresh text.
+  auto it = template_cache_.find(def.name);
+  if (it != template_cache_.end()) {
+    retired_defs_.push_back(std::move(it->second));
+    template_cache_.erase(it);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Engine::ListTemplates() const {
+  return spaces_.ListTemplates();
+}
+
+Result<const ProcessDef*> Engine::ResolveTemplate(const std::string& name) {
+  auto it = template_cache_.find(name);
+  if (it != template_cache_.end()) return it->second.get();
+  BIOPERA_ASSIGN_OR_RETURN(std::string text, spaces_.GetTemplate(name));
+  BIOPERA_ASSIGN_OR_RETURN(ProcessDef def, ocr::ParseOcr(text));
+  auto owned = std::make_unique<ProcessDef>(std::move(def));
+  const ProcessDef* ptr = owned.get();
+  template_cache_[name] = std::move(owned);
+  return ptr;
+}
+
+// ---------------------------------------------------------------------------
+// Instance control
+// ---------------------------------------------------------------------------
+
+Result<std::string> Engine::StartProcess(const std::string& template_name,
+                                         const Value::Map& args,
+                                         int priority) {
+  if (!up_) return Status::Unavailable("server is down");
+  BIOPERA_ASSIGN_OR_RETURN(const ProcessDef* def,
+                           ResolveTemplate(template_name));
+  std::string id = StrFormat("%s-%06llu", template_name.c_str(),
+                             static_cast<unsigned long long>(
+                                 next_instance_seq_++));
+  BIOPERA_RETURN_IF_ERROR(
+      spaces_.PutConfig("next_instance_seq",
+                        StrFormat("%llu", static_cast<unsigned long long>(
+                                              next_instance_seq_))));
+
+  auto inst = std::make_unique<ProcessInstance>(id, def);
+  inst->set_priority(priority);
+  inst->stats().started = sim_->Now();
+  for (const auto& [key, value] : args) {
+    inst->whiteboard()[key] = value;
+  }
+  ProcessInstance* raw = inst.get();
+  instances_[id] = std::move(inst);
+
+  WriteBatch batch;
+  PersistHeader(raw, &batch);
+  PersistWhiteboard(raw, raw->root(), &batch);
+  BIOPERA_RETURN_IF_ERROR(EvaluateScope(raw, raw->root(), &batch));
+  BIOPERA_RETURN_IF_ERROR(MaybeCompleteScope(raw, raw->root(), &batch));
+  BIOPERA_RETURN_IF_ERROR(Commit(&batch));
+  AppendHistory(id, "started template=" + template_name);
+  PumpDispatch();
+  return id;
+}
+
+Status Engine::Suspend(const std::string& instance_id) {
+  ProcessInstance* inst = FindInstance(instance_id);
+  if (inst == nullptr) return Status::NotFound("no instance " + instance_id);
+  if (inst->state() != InstanceState::kRunning) {
+    return Status::FailedPrecondition("instance not running");
+  }
+  inst->set_state(InstanceState::kSuspended);
+  WriteBatch batch;
+  PersistHeader(inst, &batch);
+  BIOPERA_RETURN_IF_ERROR(Commit(&batch));
+  AppendHistory(instance_id, "suspended");
+  return Status::OK();
+}
+
+Status Engine::Resume(const std::string& instance_id) {
+  ProcessInstance* inst = FindInstance(instance_id);
+  if (inst == nullptr) return Status::NotFound("no instance " + instance_id);
+  if (inst->state() != InstanceState::kSuspended) {
+    return Status::FailedPrecondition("instance not suspended");
+  }
+  inst->set_state(InstanceState::kRunning);
+  WriteBatch batch;
+  PersistHeader(inst, &batch);
+  BIOPERA_RETURN_IF_ERROR(Commit(&batch));
+  AppendHistory(instance_id, "resumed");
+  PumpDispatch();
+  return Status::OK();
+}
+
+Status Engine::Abort(const std::string& instance_id) {
+  ProcessInstance* inst = FindInstance(instance_id);
+  if (inst == nullptr) return Status::NotFound("no instance " + instance_id);
+  // Kill this instance's running jobs.
+  std::vector<cluster::JobId> to_kill;
+  for (const auto& [job_id, pending] : jobs_) {
+    if (pending.instance_id == instance_id) to_kill.push_back(job_id);
+  }
+  for (cluster::JobId job_id : to_kill) {
+    cluster_->KillJob(job_id);
+    awareness_.JobfinishedOrFailed(jobs_[job_id].node, /*failed=*/false);
+    jobs_.erase(job_id);
+  }
+  inst->set_state(InstanceState::kAborted);
+  WriteBatch batch;
+  PersistHeader(inst, &batch);
+  BIOPERA_RETURN_IF_ERROR(Commit(&batch));
+  AppendHistory(instance_id, "aborted");
+  return Status::OK();
+}
+
+Status Engine::Restart(const std::string& instance_id) {
+  ProcessInstance* inst = FindInstance(instance_id);
+  if (inst == nullptr) return Status::NotFound("no instance " + instance_id);
+  inst->set_state(InstanceState::kRunning);
+  WriteBatch batch;
+  // Re-queue permanently failed and stuck work; completed activities keep
+  // their checkpointed results. Outstanding jobs of this instance are
+  // killed and re-scheduled (the paper's event 10: a restart immediately
+  // re-schedules TEUs that never reported).
+  std::vector<cluster::JobId> stale;
+  for (const auto& [job_id, pending] : jobs_) {
+    if (pending.instance_id == instance_id) stale.push_back(job_id);
+  }
+  for (cluster::JobId job_id : stale) {
+    const PendingJob& pending = jobs_[job_id];
+    cluster_->KillJob(job_id);  // NotFound if it already finished silently
+    awareness_.JobfinishedOrFailed(pending.node, /*failed=*/false);
+    jobs_.erase(job_id);
+  }
+  inst->ForEachNode([&](TaskNode* node) {
+    switch (node->state) {
+      case TaskState::kFailed:
+      case TaskState::kRetryWait:
+      case TaskState::kRunning:
+        node->attempts = 0;
+        if (node->kind() == TaskKind::kActivity) {
+          node->state = TaskState::kReady;
+          EnqueueReady(inst, node);
+        } else {
+          // Composite: children re-queue themselves; mark running again.
+          node->state = TaskState::kRunning;
+        }
+        PersistTask(inst, node, &batch);
+        break;
+      case TaskState::kSkipped:
+        // Dead paths may have been skipped because their source failed;
+        // reset and let re-evaluation decide again.
+        node->state = TaskState::kInactive;
+        PersistTask(inst, node, &batch);
+        break;
+      default:
+        break;
+    }
+  });
+  PersistHeader(inst, &batch);
+  // Re-run navigation over every active scope: connectors whose sources
+  // are already complete must re-activate the tasks we just reset.
+  BIOPERA_RETURN_IF_ERROR(ReevaluateAll(inst, &batch));
+  BIOPERA_RETURN_IF_ERROR(Commit(&batch));
+  AppendHistory(instance_id, "restarted");
+  PumpDispatch();
+  return Status::OK();
+}
+
+Status Engine::ReevaluateAll(ProcessInstance* inst, WriteBatch* batch) {
+  // Bottom-up over composite scopes so child completions bubble upward.
+  std::function<Status(TaskNode*)> visit = [&](TaskNode* scope) -> Status {
+    for (auto& child : scope->children) {
+      if (!child->children.empty() &&
+          child->state == TaskState::kRunning) {
+        BIOPERA_RETURN_IF_ERROR(visit(child.get()));
+      }
+    }
+    if (scope->is_root() || scope->state == TaskState::kRunning) {
+      BIOPERA_RETURN_IF_ERROR(EvaluateScope(inst, scope, batch));
+      BIOPERA_RETURN_IF_ERROR(MaybeCompleteScope(inst, scope, batch));
+    }
+    return Status::OK();
+  };
+  return visit(inst->root());
+}
+
+void Engine::DiscardSubtree(ProcessInstance* inst, TaskNode* node,
+                            WriteBatch* batch) {
+  // Kill any outstanding jobs under this subtree first.
+  std::vector<cluster::JobId> stale;
+  for (const auto& [job_id, pending] : jobs_) {
+    if (pending.instance_id != inst->id()) continue;
+    TaskNode* owner = inst->FindByPath(pending.path);
+    for (TaskNode* walk = owner; walk != nullptr; walk = walk->parent) {
+      if (walk == node) {
+        stale.push_back(job_id);
+        break;
+      }
+    }
+  }
+  for (cluster::JobId job_id : stale) {
+    const PendingJob& pending = jobs_[job_id];
+    cluster_->KillJob(job_id);
+    awareness_.JobfinishedOrFailed(pending.node, /*failed=*/false);
+    jobs_.erase(job_id);
+  }
+  std::function<void(TaskNode*)> discard = [&](TaskNode* n) {
+    for (auto& child : n->children) {
+      discard(child.get());
+      spaces_.BatchDeleteInstanceRecord(batch, inst->id(),
+                                        "task/" + child->path);
+      if (child->own_whiteboard != nullptr) {
+        spaces_.BatchDeleteInstanceRecord(batch, inst->id(),
+                                          "wb/" + child->path);
+      }
+      inst->UnindexNode(child->path);
+    }
+    n->children.clear();
+  };
+  discard(node);
+}
+
+Status Engine::Invalidate(const std::string& instance_id,
+                          const std::string& task_name) {
+  if (!up_) return Status::Unavailable("server is down");
+  ProcessInstance* inst = FindInstance(instance_id);
+  if (inst == nullptr) return Status::NotFound("no instance " + instance_id);
+  if (inst->state() == InstanceState::kAborted) {
+    return Status::FailedPrecondition("instance aborted");
+  }
+  TaskNode* target = inst->root()->FindChild(task_name);
+  if (target == nullptr) {
+    return Status::NotFound("no top-level task " + task_name);
+  }
+  // Transitive control-flow closure over the top-level connectors.
+  std::set<std::string> affected = {task_name};
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const ocr::ControlConnector& conn : inst->def().connectors) {
+      if (affected.contains(conn.source) && !affected.contains(conn.target)) {
+        affected.insert(conn.target);
+        grew = true;
+      }
+    }
+  }
+  WriteBatch batch;
+  for (const std::string& name : affected) {
+    TaskNode* node = inst->root()->FindChild(name);
+    if (node == nullptr || node->state == TaskState::kInactive) continue;
+    DiscardSubtree(inst, node, &batch);
+    node->state = TaskState::kInactive;
+    node->attempts = 0;
+    node->outputs.clear();
+    node->expansion = Value();
+    node->sub_def = nullptr;
+    node->own_whiteboard.reset();
+    node->connectors = nullptr;
+    PersistTask(inst, node, &batch);
+  }
+  if (inst->state() != InstanceState::kSuspended) {
+    inst->set_state(InstanceState::kRunning);
+  }
+  inst->stats().finished = TimePoint();
+  PersistHeader(inst, &batch);
+  AppendHistory(instance_id,
+                StrFormat("invalidated %s and %zu downstream task(s)",
+                          task_name.c_str(), affected.size() - 1));
+  // Upstream results are intact; re-evaluation re-activates the tail.
+  BIOPERA_RETURN_IF_ERROR(ReevaluateAll(inst, &batch));
+  BIOPERA_RETURN_IF_ERROR(Commit(&batch));
+  PumpDispatch();
+  return Status::OK();
+}
+
+Status Engine::Archive(const std::string& instance_id) {
+  ProcessInstance* inst = FindInstance(instance_id);
+  if (inst == nullptr) return Status::NotFound("no instance " + instance_id);
+  if (inst->state() == InstanceState::kRunning ||
+      inst->state() == InstanceState::kSuspended) {
+    return Status::FailedPrecondition(
+        "instance still active; abort or let it finish first");
+  }
+  BIOPERA_RETURN_IF_ERROR(spaces_.DeleteInstance(instance_id));
+  AppendHistory(instance_id, "archived");
+  instances_.erase(instance_id);
+  return Status::OK();
+}
+
+Status Engine::RaiseEvent(const std::string& instance_id,
+                          const std::string& event) {
+  if (!up_) return Status::Unavailable("server is down");
+  ProcessInstance* inst = FindInstance(instance_id);
+  if (inst == nullptr) return Status::NotFound("no instance " + instance_id);
+  if (inst->raised_events().contains(event)) return Status::OK();
+  inst->raised_events().insert(event);
+  AppendHistory(instance_id, "event raised: " + event);
+  WriteBatch batch;
+  PersistHeader(inst, &batch);
+  // Release every task gated on this event.
+  std::vector<TaskNode*> waiting;
+  inst->ForEachNode([&](TaskNode* node) {
+    if (node->state == TaskState::kEventWait && node->def != nullptr &&
+        node->def->wait_event == event) {
+      waiting.push_back(node);
+    }
+  });
+  for (TaskNode* node : waiting) {
+    node->state = TaskState::kInactive;
+    BIOPERA_RETURN_IF_ERROR(ActivateTask(inst, node, &batch));
+  }
+  BIOPERA_RETURN_IF_ERROR(Commit(&batch));
+  PumpDispatch();
+  return Status::OK();
+}
+
+Status Engine::CompensateSphere(ProcessInstance* inst, TaskNode* scope,
+                                WriteBatch* batch) {
+  AppendHistory(inst->id(),
+                StrFormat("sphere %s failed; running compensation",
+                          scope->path.c_str()));
+  // Completed activities with undo actions, in reverse completion order.
+  std::vector<TaskNode*> done;
+  std::function<void(TaskNode*)> collect = [&](TaskNode* n) {
+    for (auto& child : n->children) {
+      collect(child.get());
+      if (child->kind() == TaskKind::kActivity &&
+          child->state == TaskState::kDone && child->def != nullptr &&
+          !child->def->compensation_binding.empty()) {
+        done.push_back(child.get());
+      }
+    }
+  };
+  collect(scope);
+  std::stable_sort(done.begin(), done.end(),
+                   [](const TaskNode* a, const TaskNode* b) {
+                     return a->finished > b->finished;
+                   });
+  bool compensation_failed = false;
+  for (TaskNode* node : done) {
+    Result<ActivityFn> fn =
+        registry_->Find(node->def->compensation_binding);
+    ActivityInput input;
+    input.params = node->outputs;  // the undo action sees what was produced
+    Result<ActivityOutput> out =
+        fn.ok() ? (*fn)(input) : Result<ActivityOutput>(fn.status());
+    if (!out.ok()) {
+      AppendHistory(inst->id(),
+                    StrFormat("compensation of %s FAILED: %s",
+                              node->path.c_str(),
+                              out.status().ToString().c_str()));
+      compensation_failed = true;
+      break;
+    }
+    inst->stats().cpu_seconds += out->cost.ToSeconds();
+    AppendHistory(inst->id(),
+                  StrFormat("compensated %s via %s", node->path.c_str(),
+                            node->def->compensation_binding.c_str()));
+  }
+  DiscardSubtree(inst, scope, batch);
+  ++inst->stats().activities_failed;
+  ++scope->attempts;
+  PersistHeader(inst, batch);
+  if (!compensation_failed &&
+      scope->attempts <= scope->def->failure.max_retries) {
+    AppendHistory(inst->id(),
+                  StrFormat("re-running sphere %s (attempt %d)",
+                            scope->path.c_str(), scope->attempts + 1));
+    BIOPERA_RETURN_IF_ERROR(ExpandComposite(inst, scope, batch));
+    PersistTask(inst, scope, batch);
+    BIOPERA_RETURN_IF_ERROR(EvaluateScope(inst, scope, batch));
+    return MaybeCompleteScope(inst, scope, batch);
+  }
+  PersistTask(inst, scope, batch);
+  // Exhausted (or an undo action itself failed): regular failure path.
+  // HandleTaskFailure sees a composite and routes to kFailed/ignore.
+  return HandleTaskFailure(inst, scope,
+                           compensation_failed
+                               ? "sphere compensation failed"
+                               : "sphere retries exhausted",
+                           batch);
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+ProcessInstance* Engine::FindInstance(const std::string& instance_id) {
+  auto it = instances_.find(instance_id);
+  return it == instances_.end() ? nullptr : it->second.get();
+}
+
+const ProcessInstance* Engine::FindInstance(
+    const std::string& instance_id) const {
+  auto it = instances_.find(instance_id);
+  return it == instances_.end() ? nullptr : it->second.get();
+}
+
+Result<InstanceSummary> Engine::Summary(const std::string& instance_id) const {
+  const ProcessInstance* inst = FindInstance(instance_id);
+  if (inst == nullptr) return Status::NotFound("no instance " + instance_id);
+  InstanceSummary s;
+  s.id = instance_id;
+  s.template_name = inst->def().name;
+  s.state = inst->state();
+  s.stats = inst->stats();
+  // For in-flight instances report wall time so far.
+  if (s.stats.finished < s.stats.started) s.stats.finished = sim_->Now();
+  const_cast<ProcessInstance*>(inst)->ForEachNode([&](TaskNode* node) {
+    ++s.tasks_total;
+    switch (node->state) {
+      case TaskState::kDone: ++s.tasks_done; break;
+      case TaskState::kRunning: ++s.tasks_running; break;
+      case TaskState::kReady: ++s.tasks_ready; break;
+      case TaskState::kFailed: ++s.tasks_failed; break;
+      default: break;
+    }
+  });
+  return s;
+}
+
+std::vector<InstanceSummary> Engine::ListInstances() const {
+  std::vector<InstanceSummary> out;
+  for (const auto& [id, inst] : instances_) {
+    Result<InstanceSummary> s = Summary(id);
+    if (s.ok()) out.push_back(*s);
+  }
+  return out;
+}
+
+Result<InstanceState> Engine::GetInstanceState(
+    const std::string& instance_id) const {
+  const ProcessInstance* inst = FindInstance(instance_id);
+  if (inst == nullptr) return Status::NotFound("no instance " + instance_id);
+  return inst->state();
+}
+
+Result<Value> Engine::GetWhiteboardValue(const std::string& instance_id,
+                                         const std::string& var) const {
+  const ProcessInstance* inst = FindInstance(instance_id);
+  if (inst == nullptr) return Status::NotFound("no instance " + instance_id);
+  auto it = inst->whiteboard().find(var);
+  if (it == inst->whiteboard().end()) {
+    return Status::NotFound("no whiteboard variable " + var);
+  }
+  return it->second;
+}
+
+Result<std::string> Engine::GetLineage(const std::string& instance_id,
+                                       const std::string& var) const {
+  const ProcessInstance* inst = FindInstance(instance_id);
+  if (inst == nullptr) return Status::NotFound("no instance " + instance_id);
+  auto it = inst->lineage().find(var);
+  if (it == inst->lineage().end()) {
+    return Status::NotFound("no lineage for " + var);
+  }
+  return it->second;
+}
+
+std::vector<std::string> Engine::GetHistory(
+    const std::string& instance_id) const {
+  return spaces_.History(instance_id);
+}
+
+Engine::MonitoringStats Engine::GetMonitoringStats() const {
+  MonitoringStats stats;
+  for (const auto& [node, mon] : monitors_) {
+    stats.samples_taken += mon->samples_taken();
+    stats.reports_sent += mon->reports_sent();
+  }
+  return stats;
+}
+
+std::vector<Engine::RunningJob> Engine::GetRunningJobs() const {
+  std::vector<RunningJob> out;
+  for (const auto& [job_id, pending] : jobs_) {
+    out.push_back({job_id, pending.instance_id, pending.path, pending.node,
+                   pending.cost});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Navigation
+// ---------------------------------------------------------------------------
+
+Status Engine::ExpandComposite(ProcessInstance* inst, TaskNode* node,
+                               WriteBatch* batch) {
+  const TaskDef* def = node->def;
+  switch (node->kind()) {
+    case TaskKind::kBlock: {
+      node->connectors = &def->connectors;
+      for (const TaskDef& sub : def->subtasks) {
+        auto child = std::make_unique<TaskNode>();
+        child->def = &sub;
+        child->parent = node;
+        child->path = node->path + "." + sub.name;
+        inst->IndexNode(child.get());
+        node->children.push_back(std::move(child));
+      }
+      break;
+    }
+    case TaskKind::kParallel: {
+      ScopeEvalContext ctx(node->parent, node);
+      BIOPERA_ASSIGN_OR_RETURN(std::vector<std::string> ref,
+                               SplitRef(def->list_input));
+      BIOPERA_ASSIGN_OR_RETURN(Value list, ctx.Lookup(ref));
+      if (!list.is_list()) {
+        return Status::InvalidArgument(
+            node->path + ": parallel LIST input " + def->list_input +
+            " is not a list (got " + std::string(list.TypeName()) + ")");
+      }
+      node->expansion = list;
+      const auto& items = list.AsList();
+      for (size_t i = 0; i < items.size(); ++i) {
+        auto child = std::make_unique<TaskNode>();
+        child->def = &def->body[0];
+        child->parent = node;
+        child->path = StrFormat("%s[%zu]", node->path.c_str(), i);
+        child->item = items[i];
+        child->index = static_cast<int64_t>(i);
+        inst->IndexNode(child.get());
+        node->children.push_back(std::move(child));
+      }
+      break;
+    }
+    case TaskKind::kSubprocess: {
+      // Late binding: the template is resolved only now, so a re-registered
+      // definition takes effect for instances expanded afterwards (§3.1).
+      BIOPERA_ASSIGN_OR_RETURN(const ProcessDef* sub,
+                               ResolveTemplate(def->subprocess_name));
+      node->sub_def = sub;
+      node->connectors = &sub->connectors;
+      node->own_whiteboard = std::make_unique<Value::Map>();
+      for (const ocr::DataObjectDef& d : sub->whiteboard) {
+        (*node->own_whiteboard)[d.name] = d.initial;
+      }
+      // Input mappings initialize same-named whiteboard variables.
+      ScopeEvalContext ctx(node->parent, node);
+      for (const ocr::Mapping& m : def->inputs) {
+        BIOPERA_ASSIGN_OR_RETURN(std::vector<std::string> from,
+                                 SplitRef(m.from));
+        BIOPERA_ASSIGN_OR_RETURN(std::vector<std::string> to, SplitRef(m.to));
+        Result<Value> v = ctx.Lookup(from);
+        if (!v.ok() && v.status().IsNotFound()) continue;  // optional input
+        BIOPERA_RETURN_IF_ERROR(v.status());
+        // to = "in.<param>": parameter name doubles as wb variable name.
+        BIOPERA_RETURN_IF_ERROR(
+            SetIntoMap(node->own_whiteboard.get(), to, 1, *v));
+      }
+      for (const TaskDef& sub_task : sub->tasks) {
+        auto child = std::make_unique<TaskNode>();
+        child->def = &sub_task;
+        child->parent = node;
+        child->path = node->path + "/" + sub_task.name;
+        inst->IndexNode(child.get());
+        node->children.push_back(std::move(child));
+      }
+      PersistWhiteboard(inst, node, batch);
+      break;
+    }
+    case TaskKind::kActivity:
+      return Status::Internal("activities have no children");
+  }
+  return Status::OK();
+}
+
+Status Engine::ActivateTask(ProcessInstance* inst, TaskNode* node,
+                            WriteBatch* batch) {
+  // ON_EVENT gate: the task is eligible but waits for its trigger.
+  if (node->def != nullptr && !node->def->wait_event.empty() &&
+      !inst->raised_events().contains(node->def->wait_event)) {
+    node->state = TaskState::kEventWait;
+    PersistTask(inst, node, batch);
+    AppendHistory(inst->id(), StrFormat("task %s waiting for event '%s'",
+                                        node->path.c_str(),
+                                        node->def->wait_event.c_str()));
+    return Status::OK();
+  }
+  node->started = sim_->Now();
+  if (node->kind() == TaskKind::kActivity) {
+    node->state = TaskState::kReady;
+    PersistTask(inst, node, batch);
+    EnqueueReady(inst, node);
+    return Status::OK();
+  }
+  node->state = TaskState::kRunning;
+  BIOPERA_RETURN_IF_ERROR(ExpandComposite(inst, node, batch));
+  PersistTask(inst, node, batch);
+  BIOPERA_RETURN_IF_ERROR(EvaluateScope(inst, node, batch));
+  // An empty expansion (or empty subprocess) completes immediately.
+  BIOPERA_RETURN_IF_ERROR(MaybeCompleteScope(inst, node, batch));
+  return Status::OK();
+}
+
+Status Engine::SkipTask(ProcessInstance* inst, TaskNode* node,
+                        WriteBatch* batch) {
+  node->state = TaskState::kSkipped;
+  node->finished = sim_->Now();
+  PersistTask(inst, node, batch);
+  return Status::OK();
+}
+
+Status Engine::EvaluateScope(ProcessInstance* inst, TaskNode* scope,
+                             WriteBatch* batch) {
+  // Parallel scopes: all bodies start unconditionally.
+  if (scope->kind() == TaskKind::kParallel && !scope->is_root()) {
+    for (auto& child : scope->children) {
+      if (child->state == TaskState::kInactive) {
+        BIOPERA_RETURN_IF_ERROR(ActivateTask(inst, child.get(), batch));
+      }
+    }
+    return Status::OK();
+  }
+  if (scope->connectors == nullptr) return Status::OK();
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& child : scope->children) {
+      if (child->state != TaskState::kInactive) continue;
+      // Collect incoming connectors of this child.
+      bool all_evaluated = true;
+      bool any_true = false;
+      bool has_incoming = false;
+      for (const ControlConnector& conn : *scope->connectors) {
+        if (conn.target != child->def->name) continue;
+        has_incoming = true;
+        TaskNode* source = scope->FindChild(conn.source);
+        if (source == nullptr) {
+          return Status::Internal("connector source missing: " + conn.source);
+        }
+        if (!IsTerminal(source->state)) {
+          all_evaluated = false;
+          break;
+        }
+        if (source->state == TaskState::kSkipped ||
+            source->state == TaskState::kFailed) {
+          continue;  // dead path: connector is false
+        }
+        bool value = true;
+        if (!conn.condition.empty()) {
+          BIOPERA_ASSIGN_OR_RETURN(ocr::Expr expr,
+                                   ocr::Expr::Parse(conn.condition));
+          ScopeEvalContext ctx(scope, child.get());
+          BIOPERA_ASSIGN_OR_RETURN(Value v, expr.Eval(ctx));
+          value = v.Truthy();
+        }
+        any_true = any_true || value;
+      }
+      if (!has_incoming) {
+        // Start task of the scope: activates as soon as the scope runs.
+        BIOPERA_RETURN_IF_ERROR(ActivateTask(inst, child.get(), batch));
+        changed = true;
+        continue;
+      }
+      if (!all_evaluated) continue;
+      if (any_true) {
+        BIOPERA_RETURN_IF_ERROR(ActivateTask(inst, child.get(), batch));
+      } else {
+        BIOPERA_RETURN_IF_ERROR(SkipTask(inst, child.get(), batch));
+      }
+      changed = true;
+    }
+  }
+  return Status::OK();
+}
+
+Status Engine::ApplyOutputMappings(ProcessInstance* inst, TaskNode* node,
+                                   WriteBatch* batch) {
+  if (node->def == nullptr || node->def->outputs.empty()) return Status::OK();
+  // Parallel bodies contribute via collection, not mappings.
+  if (node->index >= 0) return Status::OK();
+  TaskNode* scope = node->parent->ScopeOwner();
+  Value::Map* wb = scope->ScopeWhiteboard();
+  bool wrote_wb = false;
+  for (const ocr::Mapping& m : node->def->outputs) {
+    BIOPERA_ASSIGN_OR_RETURN(std::vector<std::string> from, SplitRef(m.from));
+    BIOPERA_ASSIGN_OR_RETURN(std::vector<std::string> to, SplitRef(m.to));
+    // from = "out.<field>..."
+    Result<Value> v = Descend(Value(node->outputs), from, 1);
+    if (!v.ok() && v.status().IsNotFound()) continue;  // absent output field
+    BIOPERA_RETURN_IF_ERROR(v.status());
+    if (to[0] != "wb" || to.size() < 2) {
+      return Status::InvalidArgument(node->path + ": output target " + m.to +
+                                     " must be wb.*");
+    }
+    BIOPERA_RETURN_IF_ERROR(SetIntoMap(wb, to, 1, std::move(*v)));
+    inst->lineage()[to[1]] = node->path;
+    wrote_wb = true;
+  }
+  if (wrote_wb) PersistWhiteboard(inst, scope, batch);
+  return Status::OK();
+}
+
+Status Engine::CompleteTask(ProcessInstance* inst, TaskNode* node,
+                            Value::Map outputs, Duration cost,
+                            WriteBatch* batch) {
+  node->outputs = std::move(outputs);
+  node->cost = cost;
+  node->state = TaskState::kDone;
+  node->finished = sim_->Now();
+  if (node->kind() == TaskKind::kActivity) {
+    inst->stats().cpu_seconds += cost.ToSeconds();
+    ++inst->stats().activities_completed;
+  }
+  BIOPERA_RETURN_IF_ERROR(ApplyOutputMappings(inst, node, batch));
+  PersistTask(inst, node, batch);
+  PersistHeader(inst, batch);
+
+  TaskNode* parent = node->parent;
+  if (parent == nullptr) return Status::OK();
+  // Re-evaluate the surrounding scope: our completion may enable siblings.
+  TaskNode* scope = parent;
+  BIOPERA_RETURN_IF_ERROR(EvaluateScope(inst, scope, batch));
+  return MaybeCompleteScope(inst, scope, batch);
+}
+
+Status Engine::MaybeCompleteScope(ProcessInstance* inst, TaskNode* scope,
+                                  WriteBatch* batch) {
+  if (scope->state != TaskState::kRunning && !scope->is_root()) {
+    return Status::OK();
+  }
+  bool all_terminal = true;
+  bool any_failed = false;
+  for (const auto& child : scope->children) {
+    if (!IsTerminal(child->state)) {
+      all_terminal = false;
+      break;
+    }
+    if (child->state == TaskState::kFailed) any_failed = true;
+  }
+  if (!all_terminal) return Status::OK();
+
+  if (scope->is_root()) {
+    if (inst->state() == InstanceState::kRunning ||
+        inst->state() == InstanceState::kSuspended) {
+      inst->set_state(any_failed ? InstanceState::kFailed
+                                 : InstanceState::kDone);
+      inst->stats().finished = sim_->Now();
+      PersistHeader(inst, batch);
+      AppendHistory(inst->id(), any_failed ? "failed" : "completed");
+    }
+    return Status::OK();
+  }
+
+  if (any_failed) {
+    if (scope->kind() == TaskKind::kBlock && scope->def != nullptr &&
+        scope->def->atomic) {
+      return CompensateSphere(inst, scope, batch);
+    }
+    return HandleTaskFailure(inst, scope, "nested task failed", batch);
+  }
+
+  switch (scope->kind()) {
+    case TaskKind::kBlock: {
+      return CompleteTask(inst, scope, {}, Duration::Zero(), batch);
+    }
+    case TaskKind::kParallel: {
+      // Collect body results in index order.
+      Value::List collected;
+      for (const auto& child : scope->children) {
+        if (child->state == TaskState::kSkipped) {
+          collected.emplace_back();  // null placeholder
+        } else if (child->def->kind == TaskKind::kSubprocess) {
+          collected.emplace_back(child->own_whiteboard == nullptr
+                                     ? Value::Map{}
+                                     : *child->own_whiteboard);
+        } else {
+          collected.emplace_back(child->outputs);
+        }
+      }
+      if (!scope->def->collect_output.empty()) {
+        BIOPERA_ASSIGN_OR_RETURN(std::vector<std::string> to,
+                                 SplitRef(scope->def->collect_output));
+        if (to[0] != "wb" || to.size() < 2) {
+          return Status::InvalidArgument(scope->path +
+                                         ": COLLECT target must be wb.*");
+        }
+        TaskNode* owner = scope->parent->ScopeOwner();
+        BIOPERA_RETURN_IF_ERROR(SetIntoMap(owner->ScopeWhiteboard(), to, 1,
+                                           Value(std::move(collected))));
+        inst->lineage()[to[1]] = scope->path;
+        PersistWhiteboard(inst, owner, batch);
+      }
+      Value::Map outputs;
+      outputs["count"] = Value(static_cast<int64_t>(scope->children.size()));
+      return CompleteTask(inst, scope, std::move(outputs), Duration::Zero(),
+                          batch);
+    }
+    case TaskKind::kSubprocess: {
+      // The subprocess's output structure is its final whiteboard.
+      Value::Map outputs = *scope->own_whiteboard;
+      return CompleteTask(inst, scope, std::move(outputs), Duration::Zero(),
+                          batch);
+    }
+    case TaskKind::kActivity:
+      return Status::Internal("activity cannot be a scope");
+  }
+  return Status::OK();
+}
+
+Status Engine::HandleTaskFailure(ProcessInstance* inst, TaskNode* node,
+                                 const std::string& reason,
+                                 WriteBatch* batch) {
+  ++inst->stats().activities_failed;
+  ++node->attempts;
+  AppendHistory(inst->id(),
+                StrFormat("task %s failed (attempt %d): %s",
+                          node->path.c_str(), node->attempts,
+                          reason.c_str()));
+  const ocr::FailurePolicy& policy =
+      node->def != nullptr ? node->def->failure : ocr::FailurePolicy{};
+
+  const bool can_retry = node->kind() == TaskKind::kActivity &&
+                         node->attempts <= policy.max_retries;
+  if (can_retry) {
+    if (!policy.alternative_binding.empty()) {
+      node->binding_used = policy.alternative_binding;
+    }
+    node->state = TaskState::kRetryWait;
+    PersistTask(inst, node, batch);
+    std::string instance_id = inst->id();
+    std::string path = node->path;
+    sim_->Schedule(policy.retry_backoff, [this, instance_id, path] {
+      if (!up_) return;
+      ProcessInstance* inst2 = FindInstance(instance_id);
+      if (inst2 == nullptr) return;
+      TaskNode* node2 = inst2->FindByPath(path);
+      if (node2 == nullptr || node2->state != TaskState::kRetryWait) return;
+      node2->state = TaskState::kReady;
+      WriteBatch retry_batch;
+      PersistTask(inst2, node2, &retry_batch);
+      Status st = Commit(&retry_batch);
+      if (!st.ok()) {
+        BIOPERA_LOG(kError) << "retry commit failed: " << st.ToString();
+        return;
+      }
+      EnqueueReady(inst2, node2);
+      PumpDispatch();
+    });
+    return Status::OK();
+  }
+
+  if (policy.ignore_failure) {
+    // Spheres-of-atomicity boundary: the failure is absorbed and the task
+    // completes with an empty output structure.
+    return CompleteTask(inst, node, {}, Duration::Zero(), batch);
+  }
+
+  node->state = TaskState::kFailed;
+  node->finished = sim_->Now();
+  PersistTask(inst, node, batch);
+  PersistHeader(inst, batch);
+  TaskNode* parent = node->parent;
+  if (parent == nullptr) return Status::OK();
+  BIOPERA_RETURN_IF_ERROR(EvaluateScope(inst, parent, batch));
+  return MaybeCompleteScope(inst, parent, batch);
+}
+
+Result<ActivityInput> Engine::BuildInput(ProcessInstance* inst,
+                                         TaskNode* node) {
+  (void)inst;
+  ActivityInput input;
+  ScopeEvalContext ctx(node->parent, node);
+  for (const ocr::Mapping& m : node->def->inputs) {
+    BIOPERA_ASSIGN_OR_RETURN(std::vector<std::string> from, SplitRef(m.from));
+    BIOPERA_ASSIGN_OR_RETURN(std::vector<std::string> to, SplitRef(m.to));
+    Result<Value> v = ctx.Lookup(from);
+    if (!v.ok() && v.status().IsNotFound()) {
+      input.params[to[1]] = Value();  // optional input: null
+      continue;
+    }
+    BIOPERA_RETURN_IF_ERROR(v.status());
+    BIOPERA_RETURN_IF_ERROR(SetIntoMap(&input.params, to, 1, std::move(*v)));
+  }
+  return input;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatching
+// ---------------------------------------------------------------------------
+
+void Engine::EnqueueReady(ProcessInstance* inst, TaskNode* node) {
+  ready_queue_.push_back(
+      ReadyEntry{inst->id(), node->path, std::nullopt, ""});
+}
+
+void Engine::SchedulePumpRetry() {
+  if (pump_scheduled_) return;
+  pump_scheduled_ = true;
+  pump_event_ = sim_->Schedule(options_.dispatch_retry, [this] {
+    pump_scheduled_ = false;
+    pump_event_ = kInvalidEventId;
+    PumpDispatch();
+  });
+}
+
+void Engine::PumpDispatch() {
+  if (!up_) return;
+  // Higher-priority instances dispatch first; FIFO otherwise.
+  std::stable_sort(ready_queue_.begin(), ready_queue_.end(),
+                   [this](const ReadyEntry& a, const ReadyEntry& b) {
+                     const ProcessInstance* ia = FindInstance(a.instance_id);
+                     const ProcessInstance* ib = FindInstance(b.instance_id);
+                     int pa = ia != nullptr ? ia->priority() : 0;
+                     int pb = ib != nullptr ? ib->priority() : 0;
+                     return pa > pb;
+                   });
+  std::deque<ReadyEntry> keep;
+  bool starved = false;
+  while (!ready_queue_.empty()) {
+    ReadyEntry entry = std::move(ready_queue_.front());
+    ready_queue_.pop_front();
+    ProcessInstance* inst = FindInstance(entry.instance_id);
+    if (inst == nullptr) continue;  // instance gone
+    if (inst->state() == InstanceState::kSuspended) {
+      keep.push_back(std::move(entry));
+      continue;
+    }
+    if (inst->state() != InstanceState::kRunning) continue;  // aborted/failed
+    TaskNode* node = inst->FindByPath(entry.path);
+    if (node == nullptr || node->state != TaskState::kReady) continue;
+
+    // Execute the activity implementation (idempotent; may be a cached
+    // result from a previous declined placement).
+    if (!entry.cached.has_value()) {
+      std::string binding =
+          node->binding_used.empty() ? node->def->binding : node->binding_used;
+      Result<ActivityFn> fn = registry_->Find(binding);
+      Result<ActivityInput> input = BuildInput(inst, node);
+      Result<ActivityOutput> output =
+          !fn.ok() ? Result<ActivityOutput>(fn.status())
+          : !input.ok()
+              ? Result<ActivityOutput>(input.status())
+              : (storage_failing_
+                     ? Result<ActivityOutput>(Status::IOError(
+                           "storage full: cannot write activity results"))
+                     : (*fn)(*input));
+      if (!output.ok()) {
+        WriteBatch batch;
+        Status st = HandleTaskFailure(inst, node,
+                                      output.status().ToString(), &batch);
+        if (st.ok()) st = Commit(&batch);
+        if (!st.ok()) {
+          BIOPERA_LOG(kError) << "failure handling error: " << st.ToString();
+        }
+        continue;
+      }
+      entry.cached = std::move(*output);
+    }
+
+    sched::PlacementRequest request;
+    request.resource_class = node->def->resource_class;
+    request.estimated_work = entry.cached->cost;
+    std::string target = policy_->Place(request, awareness_);
+    if (!entry.avoid_node.empty() && target == entry.avoid_node) {
+      // The watchdog suspects this node; ask the policy for a second
+      // opinion with the suspect artificially loaded.
+      awareness_.JobDispatched(entry.avoid_node);
+      std::string alternative = policy_->Place(request, awareness_);
+      awareness_.JobfinishedOrFailed(entry.avoid_node, /*failed=*/false);
+      if (!alternative.empty()) target = alternative;
+    }
+    if (target.empty()) {
+      starved = true;
+      keep.push_back(std::move(entry));
+      continue;
+    }
+    cluster::JobId job_id = next_job_id_++;
+    Status st = cluster_->StartJob(job_id, target, entry.cached->cost);
+    if (!st.ok()) {
+      // Raced with a node failure; keep queued and try elsewhere later.
+      starved = true;
+      keep.push_back(std::move(entry));
+      continue;
+    }
+    jobs_[job_id] = PendingJob{entry.instance_id, entry.path,
+                               entry.cached->fields, entry.cached->cost,
+                               target};
+    ArmJobWatchdog(job_id, entry.cached->cost);
+    node->state = TaskState::kRunning;
+    node->started = sim_->Now();
+    awareness_.JobDispatched(target);
+    WriteBatch batch;
+    PersistTask(inst, node, &batch);
+    st = Commit(&batch);
+    if (!st.ok()) {
+      BIOPERA_LOG(kError) << "dispatch commit failed: " << st.ToString();
+    }
+    AppendHistory(entry.instance_id,
+                  StrFormat("dispatched %s to %s", entry.path.c_str(),
+                            target.c_str()));
+  }
+  ready_queue_ = std::move(keep);
+  if (starved) SchedulePumpRetry();
+}
+
+void Engine::ArmJobWatchdog(cluster::JobId job_id, Duration cost) {
+  if (options_.job_timeout_factor <= 0) return;
+  Duration timeout =
+      cost * options_.job_timeout_factor + options_.job_timeout_slack;
+  sim_->ScheduleDaemon(timeout, [this, job_id] {
+    if (!up_) return;
+    auto it = jobs_.find(job_id);
+    if (it == jobs_.end()) return;  // reported in time
+    PendingJob pending = it->second;
+    jobs_.erase(it);
+    // The PEC never reported (lost report, silent stall, partition):
+    // declare the job lost and re-schedule (paper event 10, automated).
+    cluster_->KillJob(job_id);  // NotFound if it silently completed
+    awareness_.JobfinishedOrFailed(pending.node, /*failed=*/true);
+    AppendHistory(pending.instance_id,
+                  StrFormat("job for %s on %s timed out; re-scheduling",
+                            pending.path.c_str(), pending.node.c_str()));
+    ProcessInstance* inst = FindInstance(pending.instance_id);
+    if (inst == nullptr) return;
+    TaskNode* node = inst->FindByPath(pending.path);
+    if (node == nullptr || node->state != TaskState::kRunning) return;
+    node->state = TaskState::kReady;
+    WriteBatch batch;
+    PersistTask(inst, node, &batch);
+    Status st = Commit(&batch);
+    if (!st.ok()) {
+      BIOPERA_LOG(kError) << "watchdog commit failed: " << st.ToString();
+      return;
+    }
+    ready_queue_.push_back(
+        ReadyEntry{pending.instance_id, pending.path,
+                   ActivityOutput{pending.outputs, pending.cost},
+                   pending.node});
+    PumpDispatch();
+  });
+}
+
+Result<Duration> Engine::EstimateRemainingWork(
+    const std::string& instance_id) const {
+  const ProcessInstance* inst = FindInstance(instance_id);
+  if (inst == nullptr) return Status::NotFound("no instance " + instance_id);
+  // Outstanding jobs contribute their known costs.
+  double seconds = 0;
+  for (const auto& [job_id, pending] : jobs_) {
+    if (pending.instance_id == instance_id) {
+      seconds += pending.cost.ToSeconds();
+    }
+  }
+  // Ready/waiting activities are estimated at the mean completed cost.
+  double mean = inst->stats().activities_completed > 0
+                    ? inst->stats().cpu_seconds /
+                          static_cast<double>(
+                              inst->stats().activities_completed)
+                    : 0;
+  const_cast<ProcessInstance*>(inst)->ForEachNode([&](TaskNode* node) {
+    if (node->kind() != TaskKind::kActivity) return;
+    if (node->state == TaskState::kReady ||
+        node->state == TaskState::kRetryWait ||
+        node->state == TaskState::kEventWait ||
+        node->state == TaskState::kInactive) {
+      seconds += mean;
+    }
+  });
+  return Duration::Seconds(seconds);
+}
+
+Result<std::vector<Engine::TaskRow>> Engine::ListTasks(
+    const std::string& instance_id) const {
+  const ProcessInstance* inst = FindInstance(instance_id);
+  if (inst == nullptr) return Status::NotFound("no instance " + instance_id);
+  std::map<std::string, std::string> nodes_by_path;
+  for (const auto& [job_id, pending] : jobs_) {
+    if (pending.instance_id == instance_id) {
+      nodes_by_path[pending.path] = pending.node;
+    }
+  }
+  std::vector<TaskRow> rows;
+  const_cast<ProcessInstance*>(inst)->ForEachNode([&](TaskNode* node) {
+    TaskRow row;
+    row.path = node->path;
+    row.state = node->state;
+    auto it = nodes_by_path.find(node->path);
+    if (it != nodes_by_path.end()) row.node = it->second;
+    row.started = node->started;
+    row.finished = node->finished;
+    row.cost = node->cost;
+    row.attempts = node->attempts;
+    rows.push_back(std::move(row));
+  });
+  return rows;
+}
+
+void Engine::CheckMigrations() {
+  if (!options_.migration_enabled || !up_) return;
+  std::vector<cluster::JobId> to_migrate;
+  for (const auto& [job_id, pending] : jobs_) {
+    const monitor::AwarenessModel::NodeView* view =
+        awareness_.Find(pending.node);
+    if (view == nullptr || !view->up) continue;
+    // Node saturated by external users: our nice job makes ~no progress.
+    if (view->reported_load < 0.999) continue;
+    // Only migrate if somewhere else has a free CPU right now.
+    ProcessInstance* inst = FindInstance(pending.instance_id);
+    if (inst == nullptr || inst->state() != InstanceState::kRunning) continue;
+    TaskNode* node = inst->FindByPath(pending.path);
+    if (node == nullptr) continue;
+    sched::PlacementRequest request;
+    request.resource_class = node->def->resource_class;
+    request.estimated_work = pending.cost;
+    std::string target = policy_->Place(request, awareness_);
+    if (!target.empty() && target != pending.node) {
+      to_migrate.push_back(job_id);
+    }
+  }
+  for (cluster::JobId job_id : to_migrate) {
+    PendingJob pending = jobs_[job_id];
+    cluster_->KillJob(job_id);
+    awareness_.JobfinishedOrFailed(pending.node, /*failed=*/false);
+    jobs_.erase(job_id);
+    ProcessInstance* inst = FindInstance(pending.instance_id);
+    TaskNode* node = inst->FindByPath(pending.path);
+    node->state = TaskState::kReady;
+    WriteBatch batch;
+    PersistTask(inst, node, &batch);
+    Status st = Commit(&batch);
+    if (!st.ok()) {
+      BIOPERA_LOG(kError) << "migration commit failed: " << st.ToString();
+    }
+    AppendHistory(pending.instance_id,
+                  StrFormat("migrating %s away from saturated %s",
+                            pending.path.c_str(), pending.node.c_str()));
+    // Re-queue with the computed result cached: the work itself restarts
+    // on the new node (kill-and-restart), but the deterministic outputs
+    // need not be recomputed.
+    ready_queue_.push_back(
+        ReadyEntry{pending.instance_id, pending.path,
+                   ActivityOutput{pending.outputs, pending.cost}});
+  }
+  if (!to_migrate.empty()) PumpDispatch();
+}
+
+// ---------------------------------------------------------------------------
+// Cluster events
+// ---------------------------------------------------------------------------
+
+void Engine::OnJobFinished(cluster::JobId id, const std::string& node_name) {
+  if (!up_) return;
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return;  // stale report from before a crash
+  PendingJob pending = std::move(it->second);
+  jobs_.erase(it);
+  awareness_.JobfinishedOrFailed(node_name, /*failed=*/false);
+  ProcessInstance* inst = FindInstance(pending.instance_id);
+  if (inst == nullptr) return;
+  TaskNode* node = inst->FindByPath(pending.path);
+  if (node == nullptr || node->state != TaskState::kRunning) return;
+  WriteBatch batch;
+  Status st = CompleteTask(inst, node, std::move(pending.outputs),
+                           pending.cost, &batch);
+  if (st.ok()) st = Commit(&batch);
+  if (!st.ok()) {
+    BIOPERA_LOG(kError) << "completion failed for " << pending.path << ": "
+                        << st.ToString();
+    inst->set_state(InstanceState::kFailed);
+  }
+  PumpDispatch();
+}
+
+void Engine::OnJobFailed(cluster::JobId id, const std::string& node_name,
+                         const std::string& reason) {
+  if (!up_) return;
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return;
+  PendingJob pending = std::move(it->second);
+  jobs_.erase(it);
+  awareness_.JobfinishedOrFailed(node_name, /*failed=*/true);
+  ProcessInstance* inst = FindInstance(pending.instance_id);
+  if (inst == nullptr) return;
+  TaskNode* node = inst->FindByPath(pending.path);
+  if (node == nullptr || node->state != TaskState::kRunning) return;
+  WriteBatch batch;
+  Status st = HandleTaskFailure(inst, node, reason, &batch);
+  if (st.ok()) st = Commit(&batch);
+  if (!st.ok()) {
+    BIOPERA_LOG(kError) << "failure handling failed for " << pending.path
+                        << ": " << st.ToString();
+  }
+  PumpDispatch();
+}
+
+void Engine::OnNodeDown(const std::string& node) {
+  if (!up_) return;
+  awareness_.NodeDown(node, sim_->Now());
+  monitors_.erase(node);
+  // Individual job failures arrive as separate OnJobFailed callbacks.
+}
+
+void Engine::OnNodeUp(const std::string& node) {
+  if (!up_) return;
+  awareness_.NodeUp(node, sim_->Now());
+  if (options_.adaptive_monitoring && !monitors_.contains(node)) {
+    auto probe = [this, node]() {
+      Result<cluster::NodeConfig> config = cluster_->GetNode(node);
+      if (!config.ok() || config->num_cpus == 0) return 0.0;
+      return cluster_->ExternalLoad(node) / config->num_cpus;
+    };
+    auto report = [this, node](double load) {
+      awareness_.UpdateLoad(node, load, sim_->Now());
+      CheckMigrations();
+      PumpDispatch();
+    };
+    auto mon = std::make_unique<monitor::AdaptiveMonitor>(
+        sim_, options_.monitor_options, probe, report);
+    mon->Start();
+    monitors_[node] = std::move(mon);
+  }
+  PumpDispatch();
+}
+
+void Engine::OnLoadReport(const std::string& node, double load) {
+  if (!up_) return;
+  if (options_.adaptive_monitoring) return;  // monitors poll instead
+  awareness_.UpdateLoad(node, load, sim_->Now());
+  CheckMigrations();
+  PumpDispatch();
+}
+
+void Engine::OnConfigChanged(const cluster::NodeConfig& config) {
+  if (!up_) return;
+  awareness_.UpdateConfig(config);
+  Value::Map cfg;
+  cfg["cpus"] = Value(static_cast<int64_t>(config.num_cpus));
+  cfg["speed"] = Value(config.speed);
+  cfg["os"] = Value(config.os);
+  cfg["classes"] = Value(config.resource_classes);
+  Status st = spaces_.PutConfig("node/" + config.name, Value(cfg).ToText());
+  if (!st.ok()) {
+    BIOPERA_LOG(kError) << "config update failed: " << st.ToString();
+  }
+  PumpDispatch();
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+void Engine::PersistTask(ProcessInstance* inst, const TaskNode* node,
+                         WriteBatch* batch) {
+  spaces_.BatchPutInstanceRecord(batch, inst->id(), TaskRecordKey(node->path),
+                                 EncodeTaskRecord(*node));
+}
+
+void Engine::PersistWhiteboard(ProcessInstance* inst,
+                               const TaskNode* scope_owner,
+                               WriteBatch* batch) {
+  std::string key = scope_owner->path.empty() ? "wb" : "wb/" + scope_owner->path;
+  spaces_.BatchPutInstanceRecord(batch, inst->id(), key,
+                                 EncodeWhiteboard(*scope_owner->own_whiteboard));
+}
+
+void Engine::PersistHeader(ProcessInstance* inst, WriteBatch* batch) {
+  spaces_.BatchPutInstanceRecord(batch, inst->id(), "header",
+                                 EncodeHeader(*inst));
+}
+
+Status Engine::Commit(WriteBatch* batch) {
+  if (batch->empty()) return Status::OK();
+  BIOPERA_RETURN_IF_ERROR(spaces_.Apply(*batch));
+  batch->Clear();
+  if (options_.checkpoint_every_commits > 0 &&
+      spaces_.store()->CommitCount() % options_.checkpoint_every_commits ==
+          0) {
+    BIOPERA_RETURN_IF_ERROR(spaces_.store()->Checkpoint());
+  }
+  return Status::OK();
+}
+
+void Engine::AppendHistory(const std::string& instance_id,
+                           const std::string& event) {
+  std::string line =
+      StrFormat("[%s] %s", sim_->Now().ToString().c_str(), event.c_str());
+  Status st = spaces_.AppendHistory(instance_id, line);
+  if (!st.ok()) {
+    BIOPERA_LOG(kWarning) << "history append failed: " << st.ToString();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+Status Engine::RecoverInstance(const std::string& instance_id) {
+  // Load all records of this instance into a key -> parsed-map index.
+  std::map<std::string, Value::Map> records;
+  for (auto& [key, text] : spaces_.ScanInstance(instance_id)) {
+    BIOPERA_ASSIGN_OR_RETURN(Value v, Value::FromText(text));
+    if (!v.is_map()) {
+      return Status::Corruption("bad record " + key + " in " + instance_id);
+    }
+    records[key] = std::move(v.AsMap());
+  }
+  auto header_it = records.find("header");
+  if (header_it == records.end()) {
+    return Status::Corruption("instance " + instance_id + " has no header");
+  }
+  const Value::Map& header = header_it->second;
+  BIOPERA_ASSIGN_OR_RETURN(const ProcessDef* def,
+                           ResolveTemplate(RecString(header, "template")));
+  auto inst = std::make_unique<ProcessInstance>(instance_id, def);
+  BIOPERA_ASSIGN_OR_RETURN(
+      InstanceState state, InstanceStateFromName(RecString(header, "state")));
+  inst->set_state(state);
+  inst->set_priority(static_cast<int>(RecInt(header, "priority", 0)));
+  inst->stats().cpu_seconds = RecDouble(header, "cpu_seconds", 0);
+  inst->stats().activities_completed =
+      static_cast<uint64_t>(RecInt(header, "completed", 0));
+  inst->stats().activities_failed =
+      static_cast<uint64_t>(RecInt(header, "failed", 0));
+  inst->stats().started =
+      TimePoint::FromMicros(RecInt(header, "started_us", 0));
+  inst->stats().finished =
+      TimePoint::FromMicros(RecInt(header, "finished_us", 0));
+  auto lin = header.find("lineage");
+  if (lin != header.end() && lin->second.is_map()) {
+    for (const auto& [var, writer] : lin->second.AsMap()) {
+      if (writer.is_string()) inst->lineage()[var] = writer.AsString();
+    }
+  }
+  auto events = header.find("events");
+  if (events != header.end() && events->second.is_list()) {
+    for (const auto& event : events->second.AsList()) {
+      if (event.is_string()) inst->raised_events().insert(event.AsString());
+    }
+  }
+  // Root whiteboard.
+  auto wb_it = records.find("wb");
+  if (wb_it != records.end()) {
+    *inst->root()->own_whiteboard = wb_it->second;
+  }
+
+  // Recursively rebuild the tree. Returns the restored node state.
+  std::function<Status(TaskNode*)> rebuild = [&](TaskNode* node) -> Status {
+    auto rec_it = records.find(TaskRecordKey(node->path));
+    if (rec_it == records.end()) return Status::OK();  // still inactive
+    const Value::Map& rec = rec_it->second;
+    BIOPERA_ASSIGN_OR_RETURN(TaskState state,
+                             TaskStateFromName(RecString(rec, "state")));
+    node->state = state;
+    node->attempts = static_cast<int>(RecInt(rec, "attempts", 0));
+    node->binding_used = RecString(rec, "binding");
+    node->cost = Duration::Micros(RecInt(rec, "cost_us", 0));
+    node->started = TimePoint::FromMicros(RecInt(rec, "started_us", 0));
+    node->finished = TimePoint::FromMicros(RecInt(rec, "finished_us", 0));
+    auto out_it = rec.find("outputs");
+    if (out_it != rec.end() && out_it->second.is_map()) {
+      node->outputs = out_it->second.AsMap();
+    }
+    if (node->state == TaskState::kInactive ||
+        node->state == TaskState::kSkipped) {
+      return Status::OK();
+    }
+    // Expand composites the way the original activation did.
+    switch (node->kind()) {
+      case TaskKind::kActivity:
+        break;
+      case TaskKind::kBlock: {
+        node->connectors = &node->def->connectors;
+        for (const TaskDef& sub : node->def->subtasks) {
+          auto child = std::make_unique<TaskNode>();
+          child->def = &sub;
+          child->parent = node;
+          child->path = node->path + "." + sub.name;
+          inst->IndexNode(child.get());
+        node->children.push_back(std::move(child));
+        }
+        break;
+      }
+      case TaskKind::kParallel: {
+        auto exp_it = rec.find("expansion");
+        if (exp_it == rec.end() || !exp_it->second.is_list()) {
+          return Status::Corruption(node->path + ": missing expansion");
+        }
+        node->expansion = exp_it->second;
+        const auto& items = node->expansion.AsList();
+        for (size_t i = 0; i < items.size(); ++i) {
+          auto child = std::make_unique<TaskNode>();
+          child->def = &node->def->body[0];
+          child->parent = node;
+          child->path = StrFormat("%s[%zu]", node->path.c_str(), i);
+          child->item = items[i];
+          child->index = static_cast<int64_t>(i);
+          inst->IndexNode(child.get());
+        node->children.push_back(std::move(child));
+        }
+        break;
+      }
+      case TaskKind::kSubprocess: {
+        BIOPERA_ASSIGN_OR_RETURN(const ProcessDef* sub,
+                                 ResolveTemplate(RecString(rec, "sub")));
+        node->sub_def = sub;
+        node->connectors = &sub->connectors;
+        node->own_whiteboard = std::make_unique<Value::Map>();
+        auto sub_wb = records.find("wb/" + node->path);
+        if (sub_wb != records.end()) {
+          *node->own_whiteboard = sub_wb->second;
+        }
+        for (const TaskDef& sub_task : sub->tasks) {
+          auto child = std::make_unique<TaskNode>();
+          child->def = &sub_task;
+          child->parent = node;
+          child->path = node->path + "/" + sub_task.name;
+          inst->IndexNode(child.get());
+        node->children.push_back(std::move(child));
+        }
+        break;
+      }
+    }
+    for (auto& child : node->children) {
+      BIOPERA_RETURN_IF_ERROR(rebuild(child.get()));
+    }
+    return Status::OK();
+  };
+  // Root children were created by the ProcessInstance constructor.
+  for (auto& child : inst->root()->children) {
+    BIOPERA_RETURN_IF_ERROR(rebuild(child.get()));
+  }
+
+  ProcessInstance* raw = inst.get();
+  instances_[instance_id] = std::move(inst);
+
+  // Re-queue interrupted work: activities that were queued, running (their
+  // job died with the server or node), or waiting out a retry backoff
+  // (the timer did not survive the crash).
+  WriteBatch batch;
+  raw->ForEachNode([&](TaskNode* node) {
+    if (node->kind() != TaskKind::kActivity) return;
+    if (node->state == TaskState::kRunning ||
+        node->state == TaskState::kRetryWait) {
+      node->state = TaskState::kReady;
+      PersistTask(raw, node, &batch);
+    }
+    if (node->state == TaskState::kReady) EnqueueReady(raw, node);
+  });
+  BIOPERA_RETURN_IF_ERROR(Commit(&batch));
+  if (raw->state() == InstanceState::kRunning) {
+    AppendHistory(instance_id, "recovered; interrupted work re-queued");
+  }
+  return Status::OK();
+}
+
+}  // namespace biopera::core

@@ -1,0 +1,314 @@
+#ifndef BIOPERA_CORE_ENGINE_H_
+#define BIOPERA_CORE_ENGINE_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/result.h"
+#include "core/activity.h"
+#include "core/instance.h"
+#include "monitor/adaptive_monitor.h"
+#include "monitor/awareness.h"
+#include "ocr/model.h"
+#include "sched/policy.h"
+#include "sim/simulator.h"
+#include "store/spaces.h"
+
+namespace biopera::core {
+
+/// Engine configuration.
+struct EngineOptions {
+  /// Scheduling policy name (see sched::MakePolicy).
+  std::string policy = "least_loaded";
+  /// Enable the §5.4 kill-and-restart load-balancing strategy: jobs whose
+  /// node became saturated by external users are aborted and re-queued.
+  bool migration_enabled = false;
+  /// How often to re-try dispatching when no placement was possible.
+  Duration dispatch_retry = Duration::Minutes(5);
+  /// Checkpoint the store after this many commits (snapshot + WAL trim).
+  uint64_t checkpoint_every_commits = 2000;
+  /// Use per-node adaptive monitors to maintain the awareness model. When
+  /// false, raw PEC load pushes are consumed directly (no sampling error,
+  /// but full network overhead; used by the monitoring ablation).
+  bool adaptive_monitoring = true;
+  /// Automatic lost-report detection: a job whose completion has not been
+  /// reported after `job_timeout_factor` x its estimated cost (plus
+  /// `job_timeout_slack`) is declared lost, killed, and re-scheduled —
+  /// the paper's event 10 ("TEUs failed to report") without the manual
+  /// restart. 0 disables the watchdog.
+  double job_timeout_factor = 0;
+  Duration job_timeout_slack = Duration::Hours(1);
+  monitor::AdaptiveMonitorOptions monitor_options;
+  /// Deterministic seed for engine-internal randomness (random policy).
+  uint64_t seed = 1;
+};
+
+/// A summary row for one instance (monitoring queries, examples, benches).
+struct InstanceSummary {
+  std::string id;
+  std::string template_name;
+  InstanceState state = InstanceState::kRunning;
+  InstanceStats stats;
+  size_t tasks_total = 0;
+  size_t tasks_done = 0;
+  size_t tasks_running = 0;
+  size_t tasks_ready = 0;
+  size_t tasks_failed = 0;
+};
+
+/// The BioOpera server: navigator + dispatcher + recovery manager over the
+/// persistent spaces, driving processes across the simulated cluster
+/// (paper §3.2, Figure 2).
+///
+/// Every state transition is committed to the record store *before* it
+/// takes effect in memory, so Crash() + Startup() at any point resumes the
+/// computation without losing completed activities — the paper's central
+/// dependability property.
+class Engine : public cluster::ClusterListener {
+ public:
+  Engine(Simulator* sim, cluster::ClusterSim* cluster, RecordStore* store,
+         ActivityRegistry* registry, const EngineOptions& options = {});
+  ~Engine() override;
+
+  // --- Server lifecycle -----------------------------------------------------
+  /// Boots the server: registers the cluster topology in the awareness
+  /// model and configuration space, then recovers every instance found in
+  /// the instance space (re-queueing activities that were running when the
+  /// server last stopped).
+  Status Startup();
+  /// Simulates a server crash: in-memory state is dropped and all cluster
+  /// jobs are killed ("when the BioOpera server fails, ongoing processes
+  /// are stopped"). Call Startup() to recover.
+  void Crash();
+  bool IsUp() const { return up_; }
+
+  // --- Template space ------------------------------------------------------
+  /// Validates and stores a process definition (as OCR text).
+  Status RegisterTemplate(const ocr::ProcessDef& def);
+  std::vector<std::string> ListTemplates() const;
+
+  // --- Instance control ------------------------------------------------------
+  /// Starts a process from a stored template. `args` overlays the
+  /// whiteboard defaults (the paper's user input parameters). Returns the
+  /// new instance id.
+  Result<std::string> StartProcess(const std::string& template_name,
+                                   const ocr::Value::Map& args = {},
+                                   int priority = 0);
+  /// Stops dispatching new activities; running ones finish (paper event 1).
+  Status Suspend(const std::string& instance_id);
+  Status Resume(const std::string& instance_id);
+  /// Kills running jobs and marks the instance aborted.
+  Status Abort(const std::string& instance_id);
+  /// Re-queues failed/stuck tasks of a failed or running instance (paper
+  /// event 10: restart re-schedules TEUs that never reported).
+  Status Restart(const std::string& instance_id);
+  /// OCR event handling (§3.1): delivers `event` to the instance. Tasks
+  /// gated with ON_EVENT on it become dispatchable (the paper's
+  /// user-triggered activities, e.g. visualization checks, §3.4).
+  /// Idempotent; the raised-event set is persisted with the instance.
+  Status RaiseEvent(const std::string& instance_id, const std::string& event);
+  /// Recompute support (paper conclusions: "the system [can] recompute
+  /// processes as data inputs or algorithms change"): discards the named
+  /// top-level task and everything control-flow downstream of it, then
+  /// re-runs navigation — upstream results are reused from their
+  /// checkpoints, only the invalidated tail re-executes (against the
+  /// *current* activity registry and templates, so upgraded algorithms
+  /// take effect).
+  Status Invalidate(const std::string& instance_id,
+                    const std::string& task_name);
+  /// Housekeeping on a long-lived server: removes a *terminal* instance's
+  /// records from the instance space and drops it from memory. Its
+  /// execution history remains queryable in the history space.
+  Status Archive(const std::string& instance_id);
+
+  // --- Queries ---------------------------------------------------------------
+  Result<InstanceSummary> Summary(const std::string& instance_id) const;
+  std::vector<InstanceSummary> ListInstances() const;
+  Result<InstanceState> GetInstanceState(const std::string& instance_id) const;
+  /// Whiteboard value of a (running or finished) instance.
+  Result<ocr::Value> GetWhiteboardValue(const std::string& instance_id,
+                                        const std::string& var) const;
+  /// Path of the task that last wrote `var` (automatic lineage tracking).
+  Result<std::string> GetLineage(const std::string& instance_id,
+                                 const std::string& var) const;
+  /// Execution history records of an instance, oldest first.
+  std::vector<std::string> GetHistory(const std::string& instance_id) const;
+
+  const monitor::AwarenessModel& awareness() const { return awareness_; }
+
+  /// Aggregate adaptive-monitoring statistics across all per-node
+  /// monitors since the last Startup (paper §3.4: the scheme "helps to
+  /// considerably reduce the sampling and network overheads").
+  struct MonitoringStats {
+    uint64_t samples_taken = 0;
+    uint64_t reports_sent = 0;
+    double DiscardRate() const {
+      return samples_taken == 0
+                 ? 0.0
+                 : 1.0 - static_cast<double>(reports_sent) /
+                             static_cast<double>(samples_taken);
+    }
+  };
+  MonitoringStats GetMonitoringStats() const;
+  ProcessInstance* FindInstance(const std::string& instance_id);
+  const ProcessInstance* FindInstance(const std::string& instance_id) const;
+
+  /// Estimated reference-CPU work remaining in an instance: queued/ready
+  /// activities at the mean completed-activity cost plus the outstanding
+  /// jobs' full costs. Part of the §3.4 awareness/monitoring view.
+  Result<Duration> EstimateRemainingWork(const std::string& instance_id) const;
+
+  /// Per-task status rows (path, state, node if running, timings) —
+  /// the monitoring drill-down behind the console's TASKS command.
+  struct TaskRow {
+    std::string path;
+    TaskState state;
+    std::string node;  // when running
+    TimePoint started;
+    TimePoint finished;
+    Duration cost;
+    int attempts;
+  };
+  Result<std::vector<TaskRow>> ListTasks(const std::string& instance_id) const;
+
+  /// Jobs currently dispatched: (instance, task path, node).
+  struct RunningJob {
+    cluster::JobId job;
+    std::string instance_id;
+    std::string path;
+    std::string node;
+    Duration cost;
+  };
+  std::vector<RunningJob> GetRunningJobs() const;
+  size_t QueueDepth() const { return ready_queue_.size(); }
+
+  // --- Failure injection ------------------------------------------------------
+  /// While set, every activity execution fails with IOError — the Fig. 5
+  /// "disk space shortage" scenario (event 5).
+  void SetStorageFailure(bool failing) { storage_failing_ = failing; }
+
+  // --- ClusterListener -------------------------------------------------------
+  void OnJobFinished(cluster::JobId id, const std::string& node) override;
+  void OnJobFailed(cluster::JobId id, const std::string& node,
+                   const std::string& reason) override;
+  void OnNodeDown(const std::string& node) override;
+  void OnNodeUp(const std::string& node) override;
+  void OnLoadReport(const std::string& node, double load) override;
+  void OnConfigChanged(const cluster::NodeConfig& config) override;
+
+ private:
+  friend class OutagePlanner;
+
+  struct ReadyEntry {
+    std::string instance_id;
+    std::string path;
+    /// Cached execution result when a previous placement attempt declined.
+    std::optional<ActivityOutput> cached;
+    /// Node to avoid if any alternative exists (set by the lost-report
+    /// watchdog: the node may be silently partitioned).
+    std::string avoid_node;
+  };
+  struct PendingJob {
+    std::string instance_id;
+    std::string path;
+    ocr::Value::Map outputs;
+    Duration cost;
+    std::string node;
+  };
+
+  // -- Navigation --
+  /// Builds children of a composite node when it activates.
+  Status ExpandComposite(ProcessInstance* inst, TaskNode* node,
+                         WriteBatch* batch);
+  /// Runs connector evaluation in `scope` until fixpoint, activating and
+  /// skipping children; checks scope completion.
+  Status EvaluateScope(ProcessInstance* inst, TaskNode* scope,
+                       WriteBatch* batch);
+  Status ActivateTask(ProcessInstance* inst, TaskNode* node,
+                      WriteBatch* batch);
+  Status SkipTask(ProcessInstance* inst, TaskNode* node, WriteBatch* batch);
+  /// Marks a task done, applies the mapping phase, bubbles completion
+  /// upward and re-evaluates the surrounding scope.
+  Status CompleteTask(ProcessInstance* inst, TaskNode* node,
+                      ocr::Value::Map outputs, Duration cost,
+                      WriteBatch* batch);
+  Status HandleTaskFailure(ProcessInstance* inst, TaskNode* node,
+                           const std::string& reason, WriteBatch* batch);
+  /// Checks whether all children of `scope` are terminal and finishes the
+  /// composite (collection, output mapping, instance completion).
+  Status MaybeCompleteScope(ProcessInstance* inst, TaskNode* scope,
+                            WriteBatch* batch);
+  /// Applies output mappings of `node` into its scope whiteboard.
+  Status ApplyOutputMappings(ProcessInstance* inst, TaskNode* node,
+                             WriteBatch* batch);
+  /// Re-runs navigation over all active scopes (after Restart resets).
+  Status ReevaluateAll(ProcessInstance* inst, WriteBatch* batch);
+  /// Sphere-of-atomicity failure handling: run compensation bindings of
+  /// completed activities in reverse completion order, discard the
+  /// sphere's state, and re-run it (bounded by its failure policy).
+  Status CompensateSphere(ProcessInstance* inst, TaskNode* scope,
+                          WriteBatch* batch);
+  /// Deletes a node's children (records, index entries and nodes); kills
+  /// outstanding jobs and queue entries under it.
+  void DiscardSubtree(ProcessInstance* inst, TaskNode* node,
+                      WriteBatch* batch);
+  /// Assembles the ActivityInput of a task from its input mappings.
+  Result<ActivityInput> BuildInput(ProcessInstance* inst, TaskNode* node);
+
+  // -- Dispatching --
+  void EnqueueReady(ProcessInstance* inst, TaskNode* node);
+  void PumpDispatch();
+  void SchedulePumpRetry();
+  void ArmJobWatchdog(cluster::JobId job_id, Duration cost);
+  /// Kill-and-restart migration check (see EngineOptions).
+  void CheckMigrations();
+
+  // -- Persistence --
+  void PersistTask(ProcessInstance* inst, const TaskNode* node,
+                   WriteBatch* batch);
+  void PersistWhiteboard(ProcessInstance* inst, const TaskNode* scope_owner,
+                         WriteBatch* batch);
+  void PersistHeader(ProcessInstance* inst, WriteBatch* batch);
+  Status Commit(WriteBatch* batch);
+  void AppendHistory(const std::string& instance_id, const std::string& event);
+  /// Rebuilds one instance from its records; re-queues interrupted work.
+  Status RecoverInstance(const std::string& instance_id);
+
+  Result<const ocr::ProcessDef*> ResolveTemplate(const std::string& name);
+
+  Simulator* sim_;
+  cluster::ClusterSim* cluster_;
+  Spaces spaces_;
+  ActivityRegistry* registry_;
+  EngineOptions options_;
+  Rng rng_;
+
+  bool up_ = false;
+  bool storage_failing_ = false;
+  monitor::AwarenessModel awareness_;
+  std::unique_ptr<sched::SchedulingPolicy> policy_;
+  std::map<std::string, std::unique_ptr<monitor::AdaptiveMonitor>> monitors_;
+
+  /// Parsed template cache; pointers into it stay valid for the engine's
+  /// life (recovered instances reference these definitions).
+  std::map<std::string, std::unique_ptr<ocr::ProcessDef>> template_cache_;
+  /// Superseded parses kept alive because instances may still point at them.
+  std::vector<std::unique_ptr<ocr::ProcessDef>> retired_defs_;
+
+  std::map<std::string, std::unique_ptr<ProcessInstance>> instances_;
+  std::deque<ReadyEntry> ready_queue_;
+  std::map<cluster::JobId, PendingJob> jobs_;
+  cluster::JobId next_job_id_ = 1;
+  uint64_t next_instance_seq_ = 1;
+  bool pump_scheduled_ = false;
+  EventId pump_event_ = kInvalidEventId;
+};
+
+}  // namespace biopera::core
+
+#endif  // BIOPERA_CORE_ENGINE_H_

@@ -1,0 +1,117 @@
+#include "core/library.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace biopera::core {
+
+Status ActivityLibrary::Add(ActivityPackage package, ActivityFn fn) {
+  if (StripWhitespace(package.binding).empty()) {
+    return Status::InvalidArgument("package needs a binding name");
+  }
+  if (packages_.contains(package.binding)) {
+    return Status::AlreadyExists("package " + package.binding);
+  }
+  BIOPERA_RETURN_IF_ERROR(registry_->Register(package.binding, std::move(fn)));
+  std::string binding = package.binding;
+  packages_.emplace(std::move(binding), std::move(package));
+  return Status::OK();
+}
+
+Result<const ActivityPackage*> ActivityLibrary::Describe(
+    const std::string& binding) const {
+  auto it = packages_.find(binding);
+  if (it == packages_.end()) {
+    return Status::NotFound("no package " + binding);
+  }
+  return &it->second;
+}
+
+std::vector<std::string> ActivityLibrary::List() const {
+  std::vector<std::string> out;
+  for (const auto& [binding, package] : packages_) out.push_back(binding);
+  return out;
+}
+
+Result<ocr::TaskBuilder> ActivityLibrary::MakeTask(
+    const std::string& task_name, const std::string& binding) const {
+  BIOPERA_ASSIGN_OR_RETURN(const ActivityPackage* package, Describe(binding));
+  ocr::TaskBuilder task = ocr::TaskBuilder::Activity(task_name, binding);
+  if (!package->default_resource_class.empty()) {
+    task.ResourceClass(package->default_resource_class);
+  }
+  task.Retry(package->recommended_failure.max_retries,
+             package->recommended_failure.retry_backoff);
+  if (!package->recommended_failure.alternative_binding.empty()) {
+    task.Alternative(package->recommended_failure.alternative_binding);
+  }
+  if (package->recommended_failure.ignore_failure) task.IgnoreFailure();
+  return task;
+}
+
+Status ActivityLibrary::CheckTask(const ocr::TaskDef& task,
+                                  const std::string& where) const {
+  switch (task.kind) {
+    case ocr::TaskKind::kActivity: {
+      auto package = Describe(task.binding);
+      if (!package.ok()) {
+        return Status::NotFound(where + ": activity binding '" +
+                                task.binding + "' is not in the library");
+      }
+      for (const std::string& param : (*package)->required_params) {
+        const std::string target = "in." + param;
+        bool wired = std::any_of(
+            task.inputs.begin(), task.inputs.end(),
+            [&](const ocr::Mapping& m) { return m.to == target; });
+        if (!wired) {
+          return Status::InvalidArgument(
+              where + ": required parameter '" + param + "' of " +
+              task.binding + " has no input mapping");
+        }
+      }
+      break;
+    }
+    case ocr::TaskKind::kBlock:
+      for (const ocr::TaskDef& sub : task.subtasks) {
+        BIOPERA_RETURN_IF_ERROR(CheckTask(sub, where + "." + sub.name));
+      }
+      break;
+    case ocr::TaskKind::kParallel:
+      for (const ocr::TaskDef& body : task.body) {
+        BIOPERA_RETURN_IF_ERROR(CheckTask(body, where + "[body]"));
+      }
+      break;
+    case ocr::TaskKind::kSubprocess:
+      // Checked when the referenced template itself is checked.
+      break;
+  }
+  return Status::OK();
+}
+
+Status ActivityLibrary::CheckProcess(const ocr::ProcessDef& def) const {
+  for (const ocr::TaskDef& task : def.tasks) {
+    BIOPERA_RETURN_IF_ERROR(CheckTask(task, def.name + "." + task.name));
+  }
+  return Status::OK();
+}
+
+std::string ActivityLibrary::Render() const {
+  std::string out;
+  for (const auto& [binding, package] : packages_) {
+    out += StrFormat("%s — %s\n", binding.c_str(),
+                     package.description.c_str());
+    if (!package.required_params.empty()) {
+      out += "    in:  " + StrJoin(package.required_params, ", ") + "\n";
+    }
+    if (!package.produced_fields.empty()) {
+      out += "    out: " + StrJoin(package.produced_fields, ", ") + "\n";
+    }
+    if (!package.default_resource_class.empty()) {
+      out += "    class: " + package.default_resource_class + "\n";
+    }
+  }
+  return out.empty() ? "(empty library)\n" : out;
+}
+
+}  // namespace biopera::core

@@ -1,0 +1,69 @@
+#ifndef BIOPERA_CORE_LIBRARY_H_
+#define BIOPERA_CORE_LIBRARY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/activity.h"
+#include "ocr/builder.h"
+#include "ocr/model.h"
+
+namespace biopera::core {
+
+/// Metadata for a pre-packaged activity (paper §3.2: the library
+/// management element lets "users with more computer knowledge prepare
+/// pre-packaged activities for those users with less computer knowledge"
+/// — program to invoke, inputs, outputs, where it runs, how to pass
+/// arguments).
+struct ActivityPackage {
+  std::string binding;
+  std::string description;
+  /// Parameters the implementation requires (process inputs must map
+  /// something into each "in.<param>").
+  std::vector<std::string> required_params;
+  /// Output fields the implementation produces.
+  std::vector<std::string> produced_fields;
+  /// Recommended placement restriction ("" = anywhere).
+  std::string default_resource_class;
+  /// Recommended failure policy for tasks using this activity.
+  ocr::FailurePolicy recommended_failure;
+};
+
+/// The activity library: implementations plus the metadata a process
+/// designer (or the planned GUI) needs to wire them correctly.
+class ActivityLibrary {
+ public:
+  explicit ActivityLibrary(ActivityRegistry* registry)
+      : registry_(registry) {}
+
+  /// Registers the implementation and its package metadata.
+  Status Add(ActivityPackage package, ActivityFn fn);
+
+  Result<const ActivityPackage*> Describe(const std::string& binding) const;
+  std::vector<std::string> List() const;
+  size_t size() const { return packages_.size(); }
+
+  /// Builds a task pre-wired with the package's recommended resource
+  /// class and failure policy; the caller adds the data mappings.
+  Result<ocr::TaskBuilder> MakeTask(const std::string& task_name,
+                                    const std::string& binding) const;
+
+  /// Library-aware process validation: every activity's binding must be
+  /// packaged here, and every required parameter must receive an input
+  /// mapping. Catches wiring mistakes the structural validator cannot see.
+  Status CheckProcess(const ocr::ProcessDef& def) const;
+
+  /// Human-readable catalog (for the console / docs).
+  std::string Render() const;
+
+ private:
+  Status CheckTask(const ocr::TaskDef& task, const std::string& where) const;
+
+  ActivityRegistry* registry_;
+  std::map<std::string, ActivityPackage> packages_;
+};
+
+}  // namespace biopera::core
+
+#endif  // BIOPERA_CORE_LIBRARY_H_

@@ -1,0 +1,156 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace biopera::core {
+
+OutagePlan OutagePlanner::Plan(
+    const std::vector<std::string>& nodes_to_remove) const {
+  OutagePlan plan;
+  plan.nodes = nodes_to_remove;
+  std::set<std::string> removed(nodes_to_remove.begin(),
+                                nodes_to_remove.end());
+
+  const monitor::AwarenessModel& awareness = engine_->awareness();
+
+  // Capacity before/after.
+  int before = 0, after = 0;
+  std::vector<const monitor::AwarenessModel::NodeView*> survivors;
+  for (const auto* view : awareness.UpNodes()) {
+    before += view->config.num_cpus;
+    if (!removed.contains(view->config.name)) {
+      after += view->config.num_cpus;
+      survivors.push_back(view);
+    }
+  }
+  plan.remaining_cpus = after;
+  plan.slowdown_factor =
+      after > 0 ? static_cast<double>(before) / after : 0.0;
+
+  // Jobs that would be interrupted, and where they could restart.
+  std::set<std::string> affected_instance_ids;
+  for (const Engine::RunningJob& job : engine_->GetRunningJobs()) {
+    if (!removed.contains(job.node)) continue;
+    OutagePlan::AffectedJob affected;
+    affected.instance_id = job.instance_id;
+    affected.path = job.path;
+    affected.node = job.node;
+    affected.lost_work = job.cost;  // upper bound: the whole activity re-runs
+    // Find any surviving node serving this task's class.
+    std::string cls;
+    const ProcessInstance* inst = engine_->FindInstance(job.instance_id);
+    if (inst != nullptr) {
+      const TaskNode* node =
+          const_cast<ProcessInstance*>(inst)->FindByPath(job.path);
+      if (node != nullptr && node->def != nullptr) {
+        cls = node->def->resource_class;
+      }
+    }
+    for (const auto* view : survivors) {
+      if (view->config.ServesClass(cls)) {
+        affected.replacement_node = view->config.name;
+        break;
+      }
+    }
+    affected_instance_ids.insert(job.instance_id);
+    plan.affected_jobs.push_back(std::move(affected));
+  }
+
+  // Per-instance impact: progress, and whether some resource class would be
+  // left with no capable node at all.
+  for (const InstanceSummary& summary : engine_->ListInstances()) {
+    if (summary.state != InstanceState::kRunning &&
+        summary.state != InstanceState::kSuspended) {
+      continue;
+    }
+    // Resource classes this instance still needs (non-terminal activities).
+    std::set<std::string> needed_classes;
+    const ProcessInstance* inst = engine_->FindInstance(summary.id);
+    if (inst == nullptr) continue;
+    const_cast<ProcessInstance*>(inst)->ForEachNode([&](TaskNode* node) {
+      if (node->def == nullptr ||
+          node->def->kind != ocr::TaskKind::kActivity) {
+        return;
+      }
+      if (!IsTerminal(node->state)) {
+        needed_classes.insert(node->def->resource_class);
+      }
+    });
+    // Tasks still inactive inside unexpanded composites are not visible in
+    // the tree; conservatively include classes from the template.
+    std::function<void(const ocr::TaskDef&)> collect =
+        [&](const ocr::TaskDef& def) {
+          if (def.kind == ocr::TaskKind::kActivity) {
+            needed_classes.insert(def.resource_class);
+          }
+          for (const auto& sub : def.subtasks) collect(sub);
+          for (const auto& body : def.body) collect(body);
+        };
+    if (summary.tasks_done == 0 || summary.tasks_total == 0 ||
+        summary.tasks_done < summary.tasks_total) {
+      for (const auto& task : inst->def().tasks) collect(task);
+    }
+
+    OutagePlan::AffectedInstance affected;
+    affected.instance_id = summary.id;
+    affected.priority = inst->priority();
+    affected.progress =
+        summary.tasks_total == 0
+            ? 0.0
+            : static_cast<double>(summary.tasks_done) / summary.tasks_total;
+    for (const std::string& cls : needed_classes) {
+      bool servable = false;
+      for (const auto* view : survivors) {
+        if (view->config.ServesClass(cls)) {
+          servable = true;
+          break;
+        }
+      }
+      if (!servable) {
+        affected.stalls = true;
+        affected.orphaned_classes.push_back(cls.empty() ? "(any)" : cls);
+      }
+    }
+    bool touched = affected.stalls ||
+                   affected_instance_ids.contains(summary.id) ||
+                   plan.slowdown_factor > 1.0;
+    if (touched) plan.affected_instances.push_back(std::move(affected));
+  }
+  return plan;
+}
+
+std::string OutagePlan::ToReport() const {
+  std::string out = "Outage plan for nodes: ";
+  out += StrJoin(nodes, ", ");
+  out += StrFormat("\n  remaining CPUs: %d (slowdown x%.2f)\n",
+                   remaining_cpus, slowdown_factor);
+  if (affected_jobs.empty()) {
+    out += "  no running jobs affected\n";
+  } else {
+    out += StrFormat("  %zu running job(s) interrupted:\n",
+                     affected_jobs.size());
+    for (const auto& job : affected_jobs) {
+      out += StrFormat("    %s %s on %s: up to %s of work re-runs %s\n",
+                       job.instance_id.c_str(), job.path.c_str(),
+                       job.node.c_str(), job.lost_work.ToString().c_str(),
+                       job.replacement_node.empty()
+                           ? "(NO replacement node!)"
+                           : ("on " + job.replacement_node).c_str());
+    }
+  }
+  for (const auto& inst : affected_instances) {
+    out += StrFormat("  instance %s (priority %d, %.0f%% complete): %s\n",
+                     inst.instance_id.c_str(), inst.priority,
+                     inst.progress * 100,
+                     inst.stalls ? ("STALLS: no node serves " +
+                                    StrJoin(inst.orphaned_classes, ", "))
+                                       .c_str()
+                                 : "slowed but able to proceed");
+  }
+  return out;
+}
+
+}  // namespace biopera::core

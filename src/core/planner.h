@@ -1,0 +1,67 @@
+#ifndef BIOPERA_CORE_PLANNER_H_
+#define BIOPERA_CORE_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace biopera::core {
+
+/// Result of a what-if outage query (paper §3.5): what happens if a set of
+/// nodes is taken off-line for maintenance.
+struct OutagePlan {
+  /// Nodes the administrator wants to take down.
+  std::vector<std::string> nodes;
+
+  struct AffectedJob {
+    std::string instance_id;
+    std::string path;
+    std::string node;
+    /// Reference-CPU work that would be lost (the job restarts elsewhere;
+    /// checkpointing is per completed activity).
+    Duration lost_work;
+    /// Where the current policy would re-place it, "" if nowhere.
+    std::string replacement_node;
+  };
+  std::vector<AffectedJob> affected_jobs;
+
+  struct AffectedInstance {
+    std::string instance_id;
+    int priority = 0;
+    /// Fraction of activities already completed (how far along it is).
+    double progress = 0;
+    /// True if some task class would have NO remaining capable node, so
+    /// the instance stalls until the outage ends.
+    bool stalls = false;
+    /// Resource classes that lose their last capable node.
+    std::vector<std::string> orphaned_classes;
+  };
+  std::vector<AffectedInstance> affected_instances;
+
+  /// CPUs remaining after the outage.
+  int remaining_cpus = 0;
+  /// Crude slowdown estimate: capacity before / capacity after (1.0 = none).
+  double slowdown_factor = 1.0;
+
+  /// Human-readable report for the administrator.
+  std::string ToReport() const;
+};
+
+/// Read-only what-if analysis over the engine's awareness model and
+/// dispatcher state. Thanks to the explicit process representation the
+/// server can answer "which processes will be affected if these nodes go
+/// off-line" without touching the execution.
+class OutagePlanner {
+ public:
+  explicit OutagePlanner(Engine* engine) : engine_(engine) {}
+
+  OutagePlan Plan(const std::vector<std::string>& nodes_to_remove) const;
+
+ private:
+  Engine* engine_;
+};
+
+}  // namespace biopera::core
+
+#endif  // BIOPERA_CORE_PLANNER_H_

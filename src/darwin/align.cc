@@ -1,0 +1,184 @@
+#include "darwin/align.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace biopera::darwin {
+
+double SmithWatermanScore(const Sequence& a, const Sequence& b,
+                          const ScoringMatrix& matrix,
+                          const GapPenalty& gaps) {
+  const size_t n = a.length();
+  const size_t m = b.length();
+  if (n == 0 || m == 0) return 0;
+
+  // h[j]: best score of a local alignment ending at (i, j).
+  // e[j]: best score ending at (i, j) with a gap in `a` (vertical run).
+  std::vector<double> h(m + 1, 0.0), e(m + 1, 0.0);
+  double best = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    double diag = 0;   // h[i-1][j-1]
+    double f = 0;      // gap in `b` (horizontal run), row-local
+    double h_left = 0; // h[i][j-1]
+    const auto& row = matrix.score[a[i - 1]];
+    for (size_t j = 1; j <= m; ++j) {
+      e[j] = std::max(h[j] - gaps.open, e[j] - gaps.extend);
+      f = std::max(h_left - gaps.open, f - gaps.extend);
+      double match = diag + row[b[j - 1]];
+      double cell = std::max({0.0, match, e[j], f});
+      diag = h[j];
+      h[j] = cell;
+      h_left = cell;
+      best = std::max(best, cell);
+    }
+  }
+  return best;
+}
+
+Result<AlignmentResult> SmithWatermanAlign(const Sequence& a,
+                                           const Sequence& b,
+                                           const ScoringMatrix& matrix,
+                                           const GapPenalty& gaps) {
+  const size_t n = a.length();
+  const size_t m = b.length();
+  if (n * m > (64ull << 20)) {
+    return Status::InvalidArgument(
+        "SmithWatermanAlign: sequences too long for traceback; use "
+        "SmithWatermanScore");
+  }
+  AlignmentResult result;
+  if (n == 0 || m == 0) return result;
+
+  const size_t w = m + 1;
+  std::vector<double> h((n + 1) * w, 0.0);
+  std::vector<double> e((n + 1) * w, 0.0);
+  std::vector<double> f((n + 1) * w, 0.0);
+  double best = 0;
+  size_t bi = 0, bj = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    const auto& row = matrix.score[a[i - 1]];
+    for (size_t j = 1; j <= m; ++j) {
+      e[i * w + j] = std::max(h[(i - 1) * w + j] - gaps.open,
+                              e[(i - 1) * w + j] - gaps.extend);
+      f[i * w + j] = std::max(h[i * w + j - 1] - gaps.open,
+                              f[i * w + j - 1] - gaps.extend);
+      double match = h[(i - 1) * w + j - 1] + row[b[j - 1]];
+      double cell = std::max({0.0, match, e[i * w + j], f[i * w + j]});
+      h[i * w + j] = cell;
+      if (cell > best) {
+        best = cell;
+        bi = i;
+        bj = j;
+      }
+    }
+  }
+  result.score = best;
+  if (best <= 0) return result;
+
+  // Traceback from the best cell until a zero cell.
+  std::string ra, rb;
+  size_t i = bi, j = bj;
+  result.a_end = bi;
+  result.b_end = bj;
+  while (i > 0 && j > 0 && h[i * w + j] > 0) {
+    double cell = h[i * w + j];
+    double match =
+        h[(i - 1) * w + j - 1] + matrix.score[a[i - 1]][b[j - 1]];
+    if (cell == match) {
+      ra.push_back(kAminoAcids[a[i - 1]]);
+      rb.push_back(kAminoAcids[b[j - 1]]);
+      --i;
+      --j;
+    } else if (cell == e[i * w + j]) {
+      // Gap in b's row dimension: consume from `a`.
+      while (i > 0) {
+        ra.push_back(kAminoAcids[a[i - 1]]);
+        rb.push_back('-');
+        double here = e[i * w + j];
+        --i;
+        if (here == h[i * w + j] - gaps.open) break;
+      }
+    } else {
+      // Gap consuming from `b`.
+      while (j > 0) {
+        ra.push_back('-');
+        rb.push_back(kAminoAcids[b[j - 1]]);
+        double here = f[i * w + j];
+        --j;
+        if (here == h[i * w + j] - gaps.open) break;
+      }
+    }
+  }
+  result.a_begin = i;
+  result.b_begin = j;
+  std::reverse(ra.begin(), ra.end());
+  std::reverse(rb.begin(), rb.end());
+  result.a_aligned = std::move(ra);
+  result.b_aligned = std::move(rb);
+  return result;
+}
+
+namespace {
+
+double EvalPam(const Sequence& a, const Sequence& b, const PamFamily& family,
+               const GapPenalty& gaps, int pam, RefinementResult* stats) {
+  ++stats->evaluations;
+  return SmithWatermanScore(a, b, family.Scoring(pam), gaps);
+}
+
+}  // namespace
+
+RefinementResult RefinePamDistance(const Sequence& a, const Sequence& b,
+                                   const PamFamily& family,
+                                   const GapPenalty& gaps,
+                                   const RefinementOptions& options) {
+  RefinementResult result;
+  // Coarse log-spaced scan.
+  int best_pam = options.min_pam;
+  double best_score = -1;
+  std::vector<int> grid;
+  for (int p = options.min_pam; p < options.max_pam; p = p * 2) {
+    grid.push_back(p);
+  }
+  grid.push_back(options.max_pam);
+  int best_idx = 0;
+  for (size_t k = 0; k < grid.size(); ++k) {
+    double s = EvalPam(a, b, family, gaps, grid[k], &result);
+    if (s > best_score) {
+      best_score = s;
+      best_pam = grid[k];
+      best_idx = static_cast<int>(k);
+    }
+  }
+  // Golden-section style narrowing between the neighbors of the best
+  // coarse point.
+  int lo = best_idx > 0 ? grid[best_idx - 1] : options.min_pam;
+  int hi = best_idx + 1 < static_cast<int>(grid.size())
+               ? grid[best_idx + 1]
+               : options.max_pam;
+  while (hi - lo > 8) {
+    int m1 = lo + (hi - lo) / 3;
+    int m2 = hi - (hi - lo) / 3;
+    double s1 = EvalPam(a, b, family, gaps, m1, &result);
+    double s2 = EvalPam(a, b, family, gaps, m2, &result);
+    if (s1 > best_score) {
+      best_score = s1;
+      best_pam = m1;
+    }
+    if (s2 > best_score) {
+      best_score = s2;
+      best_pam = m2;
+    }
+    if (s1 >= s2) {
+      hi = m2;
+    } else {
+      lo = m1;
+    }
+  }
+  result.best_pam = best_pam;
+  result.best_score = best_score;
+  return result;
+}
+
+}  // namespace biopera::darwin

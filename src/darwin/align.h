@@ -1,0 +1,68 @@
+#ifndef BIOPERA_DARWIN_ALIGN_H_
+#define BIOPERA_DARWIN_ALIGN_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/result.h"
+#include "darwin/pam.h"
+#include "darwin/sequence.h"
+
+namespace biopera::darwin {
+
+/// Affine gap penalties (costs are positive; a gap of length L costs
+/// open + extend * (L - 1)).
+struct GapPenalty {
+  double open = 18.0;
+  double extend = 1.5;
+};
+
+/// Result of a local alignment. Coordinates are half-open ranges into the
+/// two sequences; the aligned strings (with '-' for gaps) are only filled
+/// by the traceback variant.
+struct AlignmentResult {
+  double score = 0;
+  size_t a_begin = 0, a_end = 0;
+  size_t b_begin = 0, b_end = 0;
+  std::string a_aligned;
+  std::string b_aligned;
+};
+
+/// Smith-Waterman local alignment score with affine gaps
+/// (Gotoh's algorithm), O(len_a * len_b) time, O(len_b) space.
+double SmithWatermanScore(const Sequence& a, const Sequence& b,
+                          const ScoringMatrix& matrix,
+                          const GapPenalty& gaps = GapPenalty());
+
+/// Full Smith-Waterman with traceback. Allocates O(len_a * len_b) state, so
+/// fails with InvalidArgument if the product exceeds ~64M cells.
+Result<AlignmentResult> SmithWatermanAlign(
+    const Sequence& a, const Sequence& b, const ScoringMatrix& matrix,
+    const GapPenalty& gaps = GapPenalty());
+
+/// Result of estimating the evolutionary distance of a pair by maximizing
+/// the alignment score over the PAM family ("PAM-param refinement" in the
+/// paper's all-vs-all process).
+struct RefinementResult {
+  int best_pam = 0;
+  double best_score = 0;
+  int evaluations = 0;  // number of full alignments computed
+};
+
+struct RefinementOptions {
+  int min_pam = 10;
+  int max_pam = 720;
+};
+
+/// Finds the integer PAM distance in [min_pam, max_pam] whose scoring
+/// matrix maximizes the local alignment score of (a, b). Uses a log-spaced
+/// coarse scan followed by golden-section refinement; the score-vs-PAM
+/// landscape of a homologous pair is unimodal in practice.
+RefinementResult RefinePamDistance(const Sequence& a, const Sequence& b,
+                                   const PamFamily& family,
+                                   const GapPenalty& gaps = GapPenalty(),
+                                   const RefinementOptions& options = {});
+
+}  // namespace biopera::darwin
+
+#endif  // BIOPERA_DARWIN_ALIGN_H_

@@ -1,0 +1,67 @@
+#include "darwin/banded.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace biopera::darwin {
+
+double BandedSmithWatermanScore(const Sequence& a, const Sequence& b,
+                                const ScoringMatrix& matrix, size_t band,
+                                const GapPenalty& gaps) {
+  const size_t n = a.length();
+  const size_t m = b.length();
+  if (n == 0 || m == 0) return 0;
+  if (band >= std::max(n, m)) {
+    return SmithWatermanScore(a, b, matrix, gaps);  // band covers everything
+  }
+
+  std::vector<double> h_prev(m + 2, 0.0), h_cur(m + 2, 0.0);
+  std::vector<double> e_prev(m + 2, 0.0), e_cur(m + 2, 0.0);
+  double best = 0;
+  // Previous row's valid window; reads outside it are zero.
+  size_t prev_lo = 1, prev_hi = 0;  // empty before the first row
+  for (size_t i = 1; i <= n; ++i) {
+    const size_t center = (i * m) / n;
+    const size_t lo = center > band ? std::max<size_t>(1, center - band) : 1;
+    const size_t hi = std::min(m, center + band);
+    const auto& row = matrix.score[a[i - 1]];
+
+    auto prev_h = [&](size_t j) {
+      return (j >= prev_lo && j <= prev_hi) ? h_prev[j] : 0.0;
+    };
+    auto prev_e = [&](size_t j) {
+      return (j >= prev_lo && j <= prev_hi) ? e_prev[j] : 0.0;
+    };
+
+    double f = 0;       // horizontal gap state, row-local
+    double h_left = 0;  // h_cur[j-1]; zero at the band's left edge
+    for (size_t j = lo; j <= hi; ++j) {
+      double e = std::max(prev_h(j) - gaps.open, prev_e(j) - gaps.extend);
+      f = std::max(h_left - gaps.open, f - gaps.extend);
+      double match = prev_h(j - 1) + row[b[j - 1]];
+      double cell = std::max({0.0, match, e, f});
+      h_cur[j] = cell;
+      e_cur[j] = e;
+      h_left = cell;
+      best = std::max(best, cell);
+    }
+    std::swap(h_prev, h_cur);
+    std::swap(e_prev, e_cur);
+    prev_lo = lo;
+    prev_hi = hi;
+  }
+  return best;
+}
+
+size_t SuggestBand(size_t len_a, size_t len_b, int pam) {
+  // Indel drift grows with evolutionary distance; the length difference
+  // must fit inside the band for the ends to be reachable at all.
+  size_t len_gap =
+      len_a > len_b ? len_a - len_b : len_b - len_a;
+  double min_len = static_cast<double>(std::min(len_a, len_b));
+  double drift = 0.1 * min_len * std::min(1.0, pam / 250.0);
+  return len_gap + static_cast<size_t>(drift) + 16;
+}
+
+}  // namespace biopera::darwin

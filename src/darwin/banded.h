@@ -1,0 +1,26 @@
+#ifndef BIOPERA_DARWIN_BANDED_H_
+#define BIOPERA_DARWIN_BANDED_H_
+
+#include "darwin/align.h"
+
+namespace biopera::darwin {
+
+/// Banded Smith-Waterman: restricts the DP to a diagonal band of half
+/// width `band`, the classic optimization interpreted systems like Darwin
+/// use for the fast first pass ("a fast but inaccurate algorithm", §4).
+/// For pairs whose alignment stays near the main diagonal (close homologs
+/// of similar length) it returns the exact local score at a fraction of
+/// the cost; for arbitrary pairs it is a lower bound.
+double BandedSmithWatermanScore(const Sequence& a, const Sequence& b,
+                                const ScoringMatrix& matrix, size_t band,
+                                const GapPenalty& gaps = GapPenalty());
+
+/// Picks a band half-width for a fixed-PAM screening pass: wide enough to
+/// absorb the expected indel drift of two homologs at distance `pam`,
+/// narrow enough to keep the speedup (roughly 2*band/min_len of the full
+/// cost).
+size_t SuggestBand(size_t len_a, size_t len_b, int pam);
+
+}  // namespace biopera::darwin
+
+#endif  // BIOPERA_DARWIN_BANDED_H_

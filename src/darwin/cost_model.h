@@ -1,0 +1,79 @@
+#ifndef BIOPERA_DARWIN_COST_MODEL_H_
+#define BIOPERA_DARWIN_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+#include "darwin/sequence.h"
+
+namespace biopera::darwin {
+
+/// Cost model for Darwin invocations, used when experiments run in
+/// simulated time (the full all-vs-all is ~3*10^9 pairwise alignments; the
+/// paper needed 37-51 days of cluster time, so benches estimate per-TEU
+/// costs instead of aligning for real).
+///
+/// The constants are expressed for a 1.0-speed reference CPU, calibrated to
+/// the era of the paper's experiments (Fig. 4 measures ~2750 CPU-seconds
+/// for a 532-entry all-vs-all on one 360 MHz CPU, i.e. ~19 ms per pairwise
+/// alignment including the refinement share). Node speed factors scale
+/// these costs in the cluster simulator.
+struct CostModelOptions {
+  /// Seconds per DP cell of a Smith-Waterman pass.
+  double sw_cell_seconds = 1.1e-7;
+  /// Fraction of pairs that reach the match threshold and get refined.
+  double match_rate = 0.04;
+  /// Full SW evaluations performed by one PAM refinement.
+  double refine_evaluations = 9.0;
+  /// Per-invocation Darwin startup/teardown (interpreter boot, dataset
+  /// load, result merge handshake) in seconds. Calibrated so that the
+  /// 532-TEU point of Fig. 4 roughly doubles the serial CPU time (each TEU
+  /// is two Darwin invocations: fixed pass + refinement).
+  double darwin_init_seconds = 2.6;
+  /// Per-match result I/O in seconds.
+  double match_io_seconds = 2e-4;
+};
+
+class CostModel {
+ public:
+  explicit CostModel(const CostModelOptions& options = {})
+      : options_(options) {}
+
+  const CostModelOptions& options() const { return options_; }
+
+  /// CPU cost of one fixed-PAM pairwise alignment.
+  Duration PairCost(size_t len_a, size_t len_b) const;
+
+  /// CPU cost of refining one match (several SW evaluations).
+  Duration RefineCost(size_t len_a, size_t len_b) const;
+
+  /// CPU cost of a TEU that aligns each entry in [first, last) of a
+  /// dataset with `lengths` against all entries with larger index
+  /// (triangular all-vs-all with redundant comparisons ruled out),
+  /// including the Darwin init overhead and expected refinement share.
+  /// Uses a suffix-sum of lengths, O(1) per query after O(N) setup.
+  Duration TeuCost(const std::vector<uint32_t>& lengths, size_t first,
+                   size_t last) const;
+
+  /// Precomputes suffix sums for repeated TeuCost queries on one dataset.
+  void Prepare(const std::vector<uint32_t>& lengths);
+
+  /// Darwin startup overhead alone.
+  Duration InitCost() const {
+    return Duration::Seconds(options_.darwin_init_seconds);
+  }
+
+  /// Extracts the residue lengths of a dataset.
+  static std::vector<uint32_t> Lengths(const Dataset& dataset);
+
+ private:
+  CostModelOptions options_;
+  std::vector<double> suffix_len_;   // suffix_len_[i] = sum of lengths[i..)
+  std::vector<double> suffix_sq_;    // unused lengths kept for clarity
+  std::vector<uint32_t> lengths_;
+};
+
+}  // namespace biopera::darwin
+
+#endif  // BIOPERA_DARWIN_COST_MODEL_H_

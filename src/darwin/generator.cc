@@ -1,0 +1,158 @@
+#include "darwin/generator.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace biopera::darwin {
+
+namespace {
+
+Sequence RandomSequence(const std::string& name, size_t length, Rng* rng) {
+  const auto& f = BackgroundFrequencies();
+  std::vector<double> weights(f.begin(), f.end());
+  std::vector<uint8_t> residues(length);
+  for (auto& r : residues) {
+    r = static_cast<uint8_t>(rng->Discrete(weights));
+  }
+  return Sequence(name, std::move(residues));
+}
+
+size_t SampleLength(const GeneratorOptions& options, Rng* rng) {
+  double len = rng->Gamma(options.length_shape,
+                          options.mean_length / options.length_shape);
+  return std::max(options.min_length, static_cast<size_t>(len));
+}
+
+}  // namespace
+
+Sequence MutateSequence(const Sequence& root, int pam,
+                        const PamFamily& family, Rng* rng) {
+  const MutationMatrix& m = family.Mutation(pam);
+  std::vector<uint8_t> residues(root.length());
+  std::vector<double> row(kAlphabetSize);
+  for (size_t i = 0; i < root.length(); ++i) {
+    const auto& probs = m.p[root[i]];
+    row.assign(probs.begin(), probs.end());
+    residues[i] = static_cast<uint8_t>(rng->Discrete(row));
+  }
+  return Sequence(root.name() + "~", std::move(residues));
+}
+
+bool SyntheticDataset::SameFamily(size_t i, size_t j) const {
+  if (i == j) return false;
+  if (family_of[i] != family_of[j]) return false;
+  return NumRelatives(i) > 0;
+}
+
+size_t SyntheticDataset::NumRelatives(size_t i) const {
+  size_t count = 0;
+  for (size_t k = 0; k < family_of.size(); ++k) {
+    if (k != i && family_of[k] == family_of[i]) ++count;
+  }
+  return count;
+}
+
+SyntheticDataset GenerateDataset(const GeneratorOptions& options, Rng* rng,
+                                 const PamFamily& family) {
+  SyntheticDataset out;
+  uint32_t next_family = 0;
+  size_t produced = 0;
+  size_t seq_counter = 0;
+
+  auto add = [&](Sequence seq, uint32_t fam) {
+    out.dataset.Add(std::move(seq));
+    out.family_of.push_back(fam);
+    ++produced;
+  };
+
+  // Family members first, then singletons to fill up.
+  const size_t family_target = static_cast<size_t>(
+      options.family_fraction * static_cast<double>(options.num_sequences));
+  while (produced < family_target) {
+    uint32_t fam = next_family++;
+    size_t root_len = SampleLength(options, rng);
+    Sequence root =
+        RandomSequence(StrFormat("SYN%05zu", seq_counter++), root_len, rng);
+    // Geometric family size >= 2.
+    size_t members = 2;
+    while (rng->Bernoulli(1.0 - 1.0 / (options.mean_family_size - 1)) &&
+           members < 40) {
+      ++members;
+    }
+    add(root, fam);
+    for (size_t k = 1; k < members && produced < options.num_sequences; ++k) {
+      int pam = static_cast<int>(
+          rng->Uniform(options.min_member_pam, options.max_member_pam));
+      Sequence member = MutateSequence(out.dataset[out.dataset.size() - k],
+                                       pam, family, rng);
+      // Possibly keep only a fragment (shared-domain case).
+      if (rng->Bernoulli(options.fragment_probability) &&
+          member.length() > 2 * options.min_length) {
+        size_t frag_len = static_cast<size_t>(rng->Uniform(
+            static_cast<double>(options.min_length),
+            static_cast<double>(member.length())));
+        size_t start = static_cast<size_t>(
+            rng->Uniform(0, static_cast<double>(member.length() - frag_len)));
+        std::vector<uint8_t> frag(
+            member.residues().begin() + static_cast<long>(start),
+            member.residues().begin() + static_cast<long>(start + frag_len));
+        member = Sequence(member.name(), std::move(frag));
+      }
+      Sequence named(StrFormat("SYN%05zu", seq_counter++),
+                     std::vector<uint8_t>(member.residues()));
+      add(std::move(named), fam);
+      if (produced >= family_target) break;
+    }
+  }
+  while (produced < options.num_sequences) {
+    uint32_t fam = next_family++;
+    add(RandomSequence(StrFormat("SYN%05zu", seq_counter++),
+                       SampleLength(options, rng), rng),
+        fam);
+  }
+  out.num_families = next_family;
+  return out;
+}
+
+DatasetMeta GenerateDatasetMeta(const GeneratorOptions& options, Rng* rng) {
+  DatasetMeta out;
+  uint32_t next_family = 0;
+  const size_t family_target = static_cast<size_t>(
+      options.family_fraction * static_cast<double>(options.num_sequences));
+
+  auto add = [&](uint32_t length, uint32_t fam) {
+    out.lengths.push_back(length);
+    out.family_of.push_back(fam);
+  };
+
+  while (out.lengths.size() < family_target) {
+    uint32_t fam = next_family++;
+    uint32_t root_len = static_cast<uint32_t>(SampleLength(options, rng));
+    size_t members = 2;
+    while (rng->Bernoulli(1.0 - 1.0 / (options.mean_family_size - 1)) &&
+           members < 40) {
+      ++members;
+    }
+    add(root_len, fam);
+    for (size_t k = 1;
+         k < members && out.lengths.size() < options.num_sequences; ++k) {
+      uint32_t len = root_len;
+      if (rng->Bernoulli(options.fragment_probability) &&
+          len > 2 * options.min_length) {
+        len = static_cast<uint32_t>(rng->Uniform(
+            static_cast<double>(options.min_length),
+            static_cast<double>(len)));
+      }
+      add(len, fam);
+      if (out.lengths.size() >= family_target) break;
+    }
+  }
+  while (out.lengths.size() < options.num_sequences) {
+    add(static_cast<uint32_t>(SampleLength(options, rng)), next_family++);
+  }
+  return out;
+}
+
+}  // namespace biopera::darwin

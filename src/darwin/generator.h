@@ -1,0 +1,72 @@
+#ifndef BIOPERA_DARWIN_GENERATOR_H_
+#define BIOPERA_DARWIN_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "darwin/pam.h"
+#include "darwin/sequence.h"
+
+namespace biopera::darwin {
+
+/// Parameters of the synthetic Swiss-Prot stand-in.
+///
+/// Sequences are organized into evolutionary families: each family has a
+/// random root sequence and members derived from it by applying the PAM
+/// mutation process at a sampled distance. Members of the same family
+/// therefore align with high scores (true matches), while cross-family
+/// pairs align near the random background. Lengths follow a gamma
+/// distribution resembling Swiss-Prot's (mean ~360 residues).
+struct GeneratorOptions {
+  size_t num_sequences = 532;
+  double mean_length = 360;
+  double length_shape = 2.6;   // gamma shape; heavier tail for small shape
+  size_t min_length = 40;
+  double family_fraction = 0.6;      // fraction of entries in families
+  double mean_family_size = 6;       // geometric family sizes
+  double min_member_pam = 20;        // PAM distance of members from root
+  double max_member_pam = 250;
+  /// Members may be truncated fragments of the root (domain sharing).
+  double fragment_probability = 0.25;
+};
+
+/// A generated dataset plus its ground-truth family structure (used by the
+/// synthetic activity mode and by tests that need expected match sets).
+struct SyntheticDataset {
+  Dataset dataset;
+  /// family_of[i] == family id for entry i; singletons get unique ids.
+  std::vector<uint32_t> family_of;
+  /// Number of families (including singleton families).
+  uint32_t num_families = 0;
+
+  /// True if entries i and j belong to the same (non-singleton) family.
+  bool SameFamily(size_t i, size_t j) const;
+  /// Number of same-family partners of entry i.
+  size_t NumRelatives(size_t i) const;
+};
+
+/// Generates a reproducible synthetic dataset.
+SyntheticDataset GenerateDataset(const GeneratorOptions& options, Rng* rng,
+                                 const PamFamily& family = SharedPamFamily());
+
+/// Dataset *metadata* only: entry lengths and family structure, without
+/// materializing residues. Statistically matches GenerateDataset and is
+/// what the cluster-scale simulated experiments need (a Swiss-Prot-38-
+/// sized dataset has ~80,000 entries; the simulator never aligns them for
+/// real, it only needs their lengths and ground-truth relatives).
+struct DatasetMeta {
+  std::vector<uint32_t> lengths;
+  std::vector<uint32_t> family_of;
+};
+DatasetMeta GenerateDatasetMeta(const GeneratorOptions& options, Rng* rng);
+
+/// Mutates `root` by the PAM process at distance `pam` (helper exposed for
+/// tests: expected residue-difference fraction follows
+/// PamFamily::ExpectedDifference).
+Sequence MutateSequence(const Sequence& root, int pam,
+                        const PamFamily& family, Rng* rng);
+
+}  // namespace biopera::darwin
+
+#endif  // BIOPERA_DARWIN_GENERATOR_H_

@@ -1,0 +1,76 @@
+#include "darwin/match.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace biopera::darwin {
+
+std::string Match::ToLine() const {
+  return StrFormat("%u %u %.4f %.2f", entry_a, entry_b, score, pam_distance);
+}
+
+Result<Match> Match::FromLine(std::string_view line) {
+  auto fields = StrSplit(std::string(line), ' ');
+  if (fields.size() != 4) {
+    return Status::InvalidArgument("match line: expected 4 fields");
+  }
+  long long a, b;
+  double score, pam;
+  if (!ParseInt64(fields[0], &a) || !ParseInt64(fields[1], &b) ||
+      !ParseDouble(fields[2], &score) || !ParseDouble(fields[3], &pam)) {
+    return Status::InvalidArgument("match line: parse error");
+  }
+  Match m;
+  m.entry_a = static_cast<uint32_t>(a);
+  m.entry_b = static_cast<uint32_t>(b);
+  m.score = score;
+  m.pam_distance = pam;
+  return m;
+}
+
+void SortByEntry(std::vector<Match>* matches) {
+  std::sort(matches->begin(), matches->end(),
+            [](const Match& x, const Match& y) {
+              if (x.entry_a != y.entry_a) return x.entry_a < y.entry_a;
+              return x.entry_b < y.entry_b;
+            });
+}
+
+void SortByPamDistance(std::vector<Match>* matches) {
+  std::sort(matches->begin(), matches->end(),
+            [](const Match& x, const Match& y) {
+              if (x.pam_distance != y.pam_distance) {
+                return x.pam_distance < y.pam_distance;
+              }
+              if (x.entry_a != y.entry_a) return x.entry_a < y.entry_a;
+              return x.entry_b < y.entry_b;
+            });
+}
+
+std::string MatchesToText(const std::vector<Match>& matches) {
+  std::string out;
+  for (const Match& m : matches) {
+    out += m.ToLine();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<std::vector<Match>> MatchesFromText(std::string_view text) {
+  std::vector<Match> out;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) nl = text.size();
+    std::string_view line = text.substr(start, nl - start);
+    if (!StripWhitespace(line).empty()) {
+      BIOPERA_ASSIGN_OR_RETURN(Match m, Match::FromLine(line));
+      out.push_back(m);
+    }
+    start = nl + 1;
+  }
+  return out;
+}
+
+}  // namespace biopera::darwin

@@ -1,0 +1,40 @@
+#ifndef BIOPERA_DARWIN_MATCH_H_
+#define BIOPERA_DARWIN_MATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace biopera::darwin {
+
+/// A sequence pair whose similarity reached the user threshold, with the
+/// alignment characteristics the all-vs-all process records (paper §4).
+struct Match {
+  uint32_t entry_a = 0;      // dataset index of the first sequence
+  uint32_t entry_b = 0;      // dataset index of the second (entry_a < entry_b)
+  double score = 0;          // similarity score (10*log10-odds units)
+  double pam_distance = 0;   // estimated PAM distance (0 before refinement)
+
+  /// Compact single-line text form "a b score pam".
+  std::string ToLine() const;
+  static Result<Match> FromLine(std::string_view line);
+
+  friend bool operator==(const Match&, const Match&) = default;
+};
+
+/// Sorts by (entry_a, entry_b) — the "merge by entry #" order.
+void SortByEntry(std::vector<Match>* matches);
+
+/// Sorts by estimated PAM distance, ties by entries — the
+/// "merge by PAM distance" order.
+void SortByPamDistance(std::vector<Match>* matches);
+
+/// Serializes a match list one-per-line; parses it back.
+std::string MatchesToText(const std::vector<Match>& matches);
+Result<std::vector<Match>> MatchesFromText(std::string_view text);
+
+}  // namespace biopera::darwin
+
+#endif  // BIOPERA_DARWIN_MATCH_H_

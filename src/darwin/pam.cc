@@ -1,0 +1,127 @@
+#include "darwin/pam.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace biopera::darwin {
+
+namespace {
+
+// Kyte-Doolittle hydropathy, side-chain volume (A^3) and formal charge,
+// in kAminoAcids order (ARNDCQEGHILKMFPSTWYV).
+constexpr double kHydropathy[kAlphabetSize] = {
+    1.8, -4.5, -3.5, -3.5, 2.5, -3.5, -3.5, -0.4, -3.2, 4.5,
+    3.8, -3.9, 1.9,  2.8,  -1.6, -0.8, -0.7, -0.9, -1.3, 4.2};
+constexpr double kVolume[kAlphabetSize] = {
+    88,  173, 114, 111, 108, 143, 138, 60,  153, 166,
+    166, 168, 162, 189, 112, 89,  116, 227, 193, 140};
+constexpr double kCharge[kAlphabetSize] = {
+    0, 1, 0, -1, 0, 0, -1, 0, 0.5, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0};
+
+using Matrix = std::array<std::array<double, kAlphabetSize>, kAlphabetSize>;
+
+Matrix Multiply(const Matrix& a, const Matrix& b) {
+  Matrix out{};
+  for (int i = 0; i < kAlphabetSize; ++i) {
+    for (int k = 0; k < kAlphabetSize; ++k) {
+      double aik = a[i][k];
+      if (aik == 0) continue;
+      for (int j = 0; j < kAlphabetSize; ++j) {
+        out[i][j] += aik * b[k][j];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+PamFamily::PamFamily() {
+  const auto& f = BackgroundFrequencies();
+  // Physicochemical distance -> exchangeability.
+  Matrix rate{};
+  for (int i = 0; i < kAlphabetSize; ++i) {
+    for (int j = 0; j < kAlphabetSize; ++j) {
+      if (i == j) continue;
+      double dh = std::abs(kHydropathy[i] - kHydropathy[j]) / 9.0;
+      double dv = std::abs(kVolume[i] - kVolume[j]) / 167.0;
+      double dc = std::abs(kCharge[i] - kCharge[j]);
+      double dist = 1.2 * dh + 1.0 * dv + 0.6 * dc;
+      double exchangeability = std::exp(-2.5 * dist);
+      rate[i][j] = exchangeability * f[j];
+    }
+  }
+  // Scale so that one application mutates 1% of positions in expectation
+  // (the definition of 1 PAM).
+  double expected_change = 0;
+  for (int i = 0; i < kAlphabetSize; ++i) {
+    double row = 0;
+    for (int j = 0; j < kAlphabetSize; ++j) {
+      if (i != j) row += rate[i][j];
+    }
+    expected_change += f[i] * row;
+  }
+  double scale = 0.01 / expected_change;
+  for (int i = 0; i < kAlphabetSize; ++i) {
+    double row = 0;
+    for (int j = 0; j < kAlphabetSize; ++j) {
+      if (i != j) {
+        pam1_.p[i][j] = rate[i][j] * scale;
+        row += pam1_.p[i][j];
+      }
+    }
+    assert(row < 1.0);
+    pam1_.p[i][i] = 1.0 - row;
+  }
+}
+
+const MutationMatrix& PamFamily::Mutation(int n) const {
+  assert(n >= 1 && n <= kMaxPam);
+  auto it = mutation_cache_.find(n);
+  if (it != mutation_cache_.end()) return *it->second;
+  auto result = std::make_unique<MutationMatrix>();
+  if (n == 1) {
+    result->p = pam1_.p;
+  } else {
+    // Binary exponentiation over cached powers.
+    const MutationMatrix& half = Mutation(n / 2);
+    result->p = Multiply(half.p, half.p);
+    if (n % 2 == 1) result->p = Multiply(result->p, pam1_.p);
+  }
+  const MutationMatrix& ref = *result;
+  mutation_cache_[n] = std::move(result);
+  return ref;
+}
+
+const ScoringMatrix& PamFamily::Scoring(int n) const {
+  assert(n >= 1 && n <= kMaxPam);
+  auto it = scoring_cache_.find(n);
+  if (it != scoring_cache_.end()) return *it->second;
+  const MutationMatrix& m = Mutation(n);
+  const auto& f = BackgroundFrequencies();
+  auto result = std::make_unique<ScoringMatrix>();
+  result->pam = n;
+  for (int i = 0; i < kAlphabetSize; ++i) {
+    for (int j = 0; j < kAlphabetSize; ++j) {
+      result->score[i][j] = 10.0 * std::log10(m.p[i][j] / f[j]);
+    }
+  }
+  const ScoringMatrix& ref = *result;
+  scoring_cache_[n] = std::move(result);
+  return ref;
+}
+
+double PamFamily::ExpectedDifference(int n) const {
+  const MutationMatrix& m = Mutation(n);
+  const auto& f = BackgroundFrequencies();
+  double same = 0;
+  for (int i = 0; i < kAlphabetSize; ++i) same += f[i] * m.p[i][i];
+  return 1.0 - same;
+}
+
+const PamFamily& SharedPamFamily() {
+  static const PamFamily& family = *new PamFamily();
+  return family;
+}
+
+}  // namespace biopera::darwin

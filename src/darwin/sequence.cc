@@ -1,0 +1,75 @@
+#include "darwin/sequence.h"
+
+#include "common/strings.h"
+
+namespace biopera::darwin {
+
+const std::array<double, kAlphabetSize>& BackgroundFrequencies() {
+  // Dayhoff-style composition, normalized to sum to 1.
+  static const std::array<double, kAlphabetSize> kFreqs = [] {
+    std::array<double, kAlphabetSize> f = {
+        0.087, 0.041, 0.040, 0.047, 0.033, 0.038, 0.050, 0.089, 0.034, 0.037,
+        0.085, 0.081, 0.015, 0.040, 0.051, 0.070, 0.058, 0.010, 0.030, 0.065};
+    double sum = 0;
+    for (double v : f) sum += v;
+    for (double& v : f) v /= sum;
+    return f;
+  }();
+  return kFreqs;
+}
+
+int ResidueIndex(char c) {
+  switch (c) {
+    case 'A': return 0;
+    case 'R': return 1;
+    case 'N': return 2;
+    case 'D': return 3;
+    case 'C': return 4;
+    case 'Q': return 5;
+    case 'E': return 6;
+    case 'G': return 7;
+    case 'H': return 8;
+    case 'I': return 9;
+    case 'L': return 10;
+    case 'K': return 11;
+    case 'M': return 12;
+    case 'F': return 13;
+    case 'P': return 14;
+    case 'S': return 15;
+    case 'T': return 16;
+    case 'W': return 17;
+    case 'Y': return 18;
+    case 'V': return 19;
+    default: return -1;
+  }
+}
+
+Result<Sequence> Sequence::FromString(std::string name,
+                                      std::string_view text) {
+  std::vector<uint8_t> residues;
+  residues.reserve(text.size());
+  for (char c : text) {
+    int idx = ResidueIndex(c);
+    if (idx < 0) {
+      return Status::InvalidArgument(
+          StrFormat("sequence %s: invalid residue '%c'", name.c_str(), c));
+    }
+    residues.push_back(static_cast<uint8_t>(idx));
+  }
+  return Sequence(std::move(name), std::move(residues));
+}
+
+std::string Sequence::ToString() const {
+  std::string out;
+  out.reserve(residues_.size());
+  for (uint8_t r : residues_) out.push_back(kAminoAcids[r]);
+  return out;
+}
+
+uint64_t Dataset::TotalResidues() const {
+  uint64_t total = 0;
+  for (const auto& s : sequences_) total += s.length();
+  return total;
+}
+
+}  // namespace biopera::darwin

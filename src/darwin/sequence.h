@@ -1,0 +1,68 @@
+#ifndef BIOPERA_DARWIN_SEQUENCE_H_
+#define BIOPERA_DARWIN_SEQUENCE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace biopera::darwin {
+
+/// Number of amino-acid symbols.
+inline constexpr int kAlphabetSize = 20;
+
+/// One-letter amino-acid codes in canonical order.
+inline constexpr char kAminoAcids[kAlphabetSize + 1] = "ARNDCQEGHILKMFPSTWYV";
+
+/// Background (Dayhoff-style) amino-acid frequencies, same order as
+/// kAminoAcids; they sum to 1.
+const std::array<double, kAlphabetSize>& BackgroundFrequencies();
+
+/// Maps a one-letter code to its index, or -1 if not an amino acid.
+int ResidueIndex(char c);
+
+/// A protein sequence stored as residue indices (0..19).
+class Sequence {
+ public:
+  Sequence() = default;
+  Sequence(std::string name, std::vector<uint8_t> residues)
+      : name_(std::move(name)), residues_(std::move(residues)) {}
+
+  /// Parses a one-letter-code string; fails on unknown characters.
+  static Result<Sequence> FromString(std::string name, std::string_view text);
+
+  const std::string& name() const { return name_; }
+  size_t length() const { return residues_.size(); }
+  uint8_t operator[](size_t i) const { return residues_[i]; }
+  const std::vector<uint8_t>& residues() const { return residues_; }
+
+  /// Renders back to one-letter codes.
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<uint8_t> residues_;
+};
+
+/// An in-memory sequence database (the stand-in for a Swiss-Prot release).
+class Dataset {
+ public:
+  Dataset() = default;
+
+  void Add(Sequence seq) { sequences_.push_back(std::move(seq)); }
+  size_t size() const { return sequences_.size(); }
+  const Sequence& operator[](size_t i) const { return sequences_[i]; }
+  const std::vector<Sequence>& sequences() const { return sequences_; }
+
+  /// Total residues across all entries.
+  uint64_t TotalResidues() const;
+
+ private:
+  std::vector<Sequence> sequences_;
+};
+
+}  // namespace biopera::darwin
+
+#endif  // BIOPERA_DARWIN_SEQUENCE_H_

@@ -1,0 +1,63 @@
+#include "darwin/significance.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace biopera::darwin {
+
+namespace {
+
+Sequence RandomSequence(size_t len, Rng* rng) {
+  const auto& f = BackgroundFrequencies();
+  std::vector<double> weights(f.begin(), f.end());
+  std::vector<uint8_t> residues(len);
+  for (auto& r : residues) {
+    r = static_cast<uint8_t>(rng->Discrete(weights));
+  }
+  return Sequence("rand", std::move(residues));
+}
+
+constexpr double kEulerGamma = 0.57721566490153286;
+
+}  // namespace
+
+GumbelParams CalibrateGumbel(const ScoringMatrix& matrix, size_t len,
+                             int samples, Rng* rng, const GapPenalty& gaps) {
+  assert(samples > 2);
+  double sum = 0, sum_sq = 0;
+  for (int s = 0; s < samples; ++s) {
+    Sequence a = RandomSequence(len, rng);
+    Sequence b = RandomSequence(len, rng);
+    double score = SmithWatermanScore(a, b, matrix, gaps);
+    sum += score;
+    sum_sq += score * score;
+  }
+  double mean = sum / samples;
+  double var = sum_sq / samples - mean * mean;
+  GumbelParams params;
+  // Method of moments for the Gumbel distribution.
+  params.lambda = M_PI / std::sqrt(6.0 * std::max(var, 1e-9));
+  double mu = mean - kEulerGamma / params.lambda;
+  double mn = static_cast<double>(len) * static_cast<double>(len);
+  // mu = ln(K m n) / lambda  =>  K = exp(lambda mu) / (m n).
+  params.k = std::exp(params.lambda * mu) / mn;
+  params.calibration_m = static_cast<double>(len);
+  params.calibration_n = static_cast<double>(len);
+  return params;
+}
+
+double PairExpect(const GumbelParams& params, double score, double m,
+                  double n) {
+  return params.k * m * n * std::exp(-params.lambda * score);
+}
+
+double ThresholdForExpectedHits(const GumbelParams& params, double m,
+                                double n, double num_pairs,
+                                double expected_random_hits) {
+  assert(expected_random_hits > 0 && num_pairs > 0);
+  // Solve num_pairs * K m n e^{-lambda x} = expected_random_hits.
+  return std::log(params.k * m * n * num_pairs / expected_random_hits) /
+         params.lambda;
+}
+
+}  // namespace biopera::darwin

@@ -1,0 +1,47 @@
+#ifndef BIOPERA_DARWIN_SIGNIFICANCE_H_
+#define BIOPERA_DARWIN_SIGNIFICANCE_H_
+
+#include "common/rng.h"
+#include "darwin/align.h"
+
+namespace biopera::darwin {
+
+/// Karlin-Altschul-style score statistics: local alignment scores of
+/// unrelated sequences follow an extreme-value (Gumbel) distribution
+/// P(S > x) = 1 - exp(-K m n e^(-lambda x)). The all-vs-all process needs
+/// a *score threshold* for what counts as a match (paper §4: "similarity
+/// scores [that] reach a user-defined threshold"); this module lets the
+/// user state that threshold as an expected number of random hits instead
+/// of a raw score.
+struct GumbelParams {
+  double lambda = 0;
+  double k = 0;
+  /// Geometric mean sequence lengths used during calibration.
+  double calibration_m = 0;
+  double calibration_n = 0;
+};
+
+/// Estimates lambda and K empirically: aligns `samples` pairs of random
+/// background-distributed sequences of length `len` and fits the Gumbel
+/// parameters by the method of moments
+/// (mean = mu + gamma/lambda, var = pi^2 / (6 lambda^2),
+///  mu = ln(K m n) / lambda).
+GumbelParams CalibrateGumbel(const ScoringMatrix& matrix, size_t len,
+                             int samples, Rng* rng,
+                             const GapPenalty& gaps = GapPenalty());
+
+/// Expected number of random alignments scoring >= `score` in one pairwise
+/// comparison of lengths (m, n) — the E-value of a single comparison.
+double PairExpect(const GumbelParams& params, double score, double m,
+                  double n);
+
+/// The score threshold at which a whole all-vs-all over `num_pairs`
+/// comparisons of typical lengths (m, n) is expected to produce
+/// `expected_random_hits` spurious matches in total.
+double ThresholdForExpectedHits(const GumbelParams& params, double m,
+                                double n, double num_pairs,
+                                double expected_random_hits);
+
+}  // namespace biopera::darwin
+
+#endif  // BIOPERA_DARWIN_SIGNIFICANCE_H_

@@ -1,0 +1,97 @@
+#include "monitor/adaptive_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace biopera::monitor {
+
+AdaptiveMonitor::AdaptiveMonitor(Simulator* sim,
+                                 const AdaptiveMonitorOptions& options,
+                                 std::function<double()> probe,
+                                 std::function<void(double)> report)
+    : sim_(sim),
+      options_(options),
+      probe_(std::move(probe)),
+      report_(std::move(report)),
+      interval_(options.min_interval) {}
+
+AdaptiveMonitor::~AdaptiveMonitor() { Stop(); }
+
+void AdaptiveMonitor::Start() {
+  if (running_) return;
+  running_ = true;
+  Sample();
+}
+
+void AdaptiveMonitor::Stop() {
+  running_ = false;
+  if (next_event_ != kInvalidEventId) {
+    sim_->Cancel(next_event_);
+    next_event_ = kInvalidEventId;
+  }
+}
+
+void AdaptiveMonitor::Sample() {
+  if (!running_) return;
+  double load = probe_();
+  ++samples_taken_;
+
+  // First cutoff: adapt the sampling interval to the observed volatility.
+  if (has_sampled_) {
+    if (std::abs(load - last_sample_) < options_.change_cutoff) {
+      interval_ = std::min(options_.max_interval,
+                           interval_ * options_.growth);
+    } else {
+      interval_ = std::max(options_.min_interval,
+                           interval_ / options_.growth);
+    }
+  }
+  // Second cutoff: only notify the server of significant changes
+  // (the very first sample is always reported).
+  if (!has_sampled_ ||
+      std::abs(load - last_reported_) > options_.report_cutoff) {
+    ++reports_sent_;
+    last_reported_ = load;
+    reported_.Set(sim_->Now().SinceEpoch().ToSeconds(), load);
+    if (report_) report_(load);
+  }
+  last_sample_ = load;
+  has_sampled_ = true;
+
+  next_event_ = sim_->ScheduleDaemon(interval_, [this] {
+    next_event_ = kInvalidEventId;
+    Sample();
+  });
+}
+
+double AdaptiveMonitor::DiscardRate() const {
+  if (samples_taken_ == 0) return 0;
+  return 1.0 - static_cast<double>(reports_sent_) /
+                   static_cast<double>(samples_taken_);
+}
+
+double MonitoringError(const StepSeries& truth, const StepSeries& reported,
+                       double t0, double t1) {
+  if (t1 <= t0) return 0;
+  // Integrate |truth - reported| by splitting at every change point.
+  std::vector<double> cuts;
+  cuts.push_back(t0);
+  for (const auto& p : truth.points()) {
+    if (p.t > t0 && p.t < t1) cuts.push_back(p.t);
+  }
+  for (const auto& p : reported.points()) {
+    if (p.t > t0 && p.t < t1) cuts.push_back(p.t);
+  }
+  cuts.push_back(t1);
+  std::sort(cuts.begin(), cuts.end());
+  double integral = 0;
+  for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+    double width = cuts[i + 1] - cuts[i];
+    if (width <= 0) continue;
+    double mid = cuts[i] + width / 2;
+    integral += std::abs(truth.At(mid) - reported.At(mid)) * width;
+  }
+  return integral / (t1 - t0);
+}
+
+}  // namespace biopera::monitor

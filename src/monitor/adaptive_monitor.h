@@ -1,0 +1,82 @@
+#ifndef BIOPERA_MONITOR_ADAPTIVE_MONITOR_H_
+#define BIOPERA_MONITOR_ADAPTIVE_MONITOR_H_
+
+#include <functional>
+
+#include "common/stats.h"
+#include "common/time.h"
+#include "sim/simulator.h"
+
+namespace biopera::monitor {
+
+/// Parameters of the PEC's adaptive workload monitoring (paper §3.4).
+/// Two cutoffs: the *sampling* cutoff widens or narrows the local probe
+/// interval depending on how much the load moved since the last probe, and
+/// the *report* cutoff suppresses notifications to the BioOpera server
+/// unless the load moved enough since the last report.
+struct AdaptiveMonitorOptions {
+  Duration min_interval = Duration::Seconds(5);
+  Duration max_interval = Duration::Minutes(10);
+  /// Interval growth factor applied while the load is stable (and the
+  /// shrink divisor when it is not).
+  double growth = 1.6;
+  /// First cutoff: |delta since last sample| below this widens the
+  /// interval, above narrows it. Loads are fractions in [0, 1].
+  double change_cutoff = 0.05;
+  /// Second cutoff: |delta since last report| must exceed this for a
+  /// report to be sent to the server.
+  double report_cutoff = 0.05;
+};
+
+/// One per-node monitor running on the simulator. `probe` reads the true
+/// instantaneous load; `report` delivers a (filtered) load report to the
+/// server. The monitor keeps statistics to evaluate the paper's claim that
+/// discarding ~90% of samples keeps the server's view within ~1% of truth.
+class AdaptiveMonitor {
+ public:
+  AdaptiveMonitor(Simulator* sim, const AdaptiveMonitorOptions& options,
+                  std::function<double()> probe,
+                  std::function<void(double)> report);
+  AdaptiveMonitor(const AdaptiveMonitor&) = delete;
+  AdaptiveMonitor& operator=(const AdaptiveMonitor&) = delete;
+  ~AdaptiveMonitor();
+
+  /// Takes an immediate first sample and begins the adaptive cycle.
+  void Start();
+  void Stop();
+
+  uint64_t samples_taken() const { return samples_taken_; }
+  uint64_t reports_sent() const { return reports_sent_; }
+  /// Fraction of samples whose report was suppressed.
+  double DiscardRate() const;
+  /// The server-perceived load over time (step series in seconds).
+  const StepSeries& ReportedSeries() const { return reported_; }
+  Duration current_interval() const { return interval_; }
+
+ private:
+  void Sample();
+
+  Simulator* sim_;
+  AdaptiveMonitorOptions options_;
+  std::function<double()> probe_;
+  std::function<void(double)> report_;
+  Duration interval_;
+  double last_sample_ = 0;
+  double last_reported_ = 0;
+  bool has_sampled_ = false;
+  bool running_ = false;
+  EventId next_event_ = kInvalidEventId;
+  uint64_t samples_taken_ = 0;
+  uint64_t reports_sent_ = 0;
+  StepSeries reported_;
+};
+
+/// Time-averaged absolute error between the true load curve and the
+/// server-perceived (reported) curve over [t0, t1] (both in seconds).
+/// This is the paper's "average error per sample" metric.
+double MonitoringError(const StepSeries& truth, const StepSeries& reported,
+                       double t0, double t1);
+
+}  // namespace biopera::monitor
+
+#endif  // BIOPERA_MONITOR_ADAPTIVE_MONITOR_H_

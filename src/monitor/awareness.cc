@@ -1,0 +1,97 @@
+#include "monitor/awareness.h"
+
+#include <algorithm>
+
+namespace biopera::monitor {
+
+void AwarenessModel::RegisterNode(const cluster::NodeConfig& config,
+                                  TimePoint now) {
+  NodeView view;
+  view.config = config;
+  view.load_updated = now;
+  nodes_[config.name] = view;
+}
+
+void AwarenessModel::UnregisterNode(const std::string& name) {
+  nodes_.erase(name);
+}
+
+void AwarenessModel::NodeDown(const std::string& name, TimePoint now) {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) return;
+  if (it->second.up) {
+    it->second.up = false;
+    it->second.down_since = now;
+    it->second.running_jobs = 0;
+  }
+}
+
+void AwarenessModel::NodeUp(const std::string& name, TimePoint now) {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) return;
+  if (!it->second.up) {
+    it->second.up = true;
+    it->second.total_downtime += now - it->second.down_since;
+  }
+}
+
+void AwarenessModel::UpdateConfig(const cluster::NodeConfig& config) {
+  auto it = nodes_.find(config.name);
+  if (it == nodes_.end()) return;
+  it->second.config = config;
+}
+
+void AwarenessModel::UpdateLoad(const std::string& name, double load,
+                                TimePoint now) {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) return;
+  it->second.reported_load = load;
+  it->second.load_updated = now;
+}
+
+void AwarenessModel::JobDispatched(const std::string& name) {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) return;
+  ++it->second.running_jobs;
+  ++it->second.total_dispatched;
+}
+
+void AwarenessModel::JobfinishedOrFailed(const std::string& name,
+                                         bool failed) {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) return;
+  it->second.running_jobs = std::max(0, it->second.running_jobs - 1);
+  if (failed) ++it->second.total_failures;
+}
+
+const AwarenessModel::NodeView* AwarenessModel::Find(
+    const std::string& name) const {
+  auto it = nodes_.find(name);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+std::vector<const AwarenessModel::NodeView*> AwarenessModel::UpNodes() const {
+  std::vector<const NodeView*> out;
+  for (const auto& [name, view] : nodes_) {
+    if (view.up) out.push_back(&view);
+  }
+  return out;
+}
+
+std::vector<const AwarenessModel::NodeView*> AwarenessModel::Candidates(
+    std::string_view resource_class) const {
+  std::vector<const NodeView*> out;
+  for (const auto& [name, view] : nodes_) {
+    if (view.up && view.config.ServesClass(resource_class)) {
+      out.push_back(&view);
+    }
+  }
+  return out;
+}
+
+double AwarenessModel::EstimatedFreeCpus(const NodeView& view) const {
+  double external = view.reported_load * view.config.num_cpus;
+  return std::max(0.0, view.config.num_cpus - external - view.running_jobs);
+}
+
+}  // namespace biopera::monitor

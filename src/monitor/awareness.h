@@ -1,0 +1,60 @@
+#ifndef BIOPERA_MONITOR_AWARENESS_H_
+#define BIOPERA_MONITOR_AWARENESS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/time.h"
+
+namespace biopera::monitor {
+
+/// The server-side awareness model (paper §3.4): everything BioOpera knows
+/// about the computing environment — node capabilities, availability,
+/// last-reported load, dispatch/failure history. Schedulers read this to
+/// make placement decisions; the outage planner reads it for what-if
+/// queries.
+class AwarenessModel {
+ public:
+  struct NodeView {
+    cluster::NodeConfig config;
+    bool up = true;
+    /// Last load report (fraction of CPUs busy, 0..1) and when it arrived.
+    double reported_load = 0;
+    TimePoint load_updated;
+    /// Engine-side bookkeeping of jobs currently dispatched to this node.
+    int running_jobs = 0;
+    uint64_t total_dispatched = 0;
+    uint64_t total_failures = 0;
+    Duration total_downtime;
+    TimePoint down_since;
+  };
+
+  // --- Updates fed by cluster notifications --------------------------------
+  void RegisterNode(const cluster::NodeConfig& config, TimePoint now);
+  void UnregisterNode(const std::string& name);
+  void NodeDown(const std::string& name, TimePoint now);
+  void NodeUp(const std::string& name, TimePoint now);
+  void UpdateConfig(const cluster::NodeConfig& config);
+  void UpdateLoad(const std::string& name, double load, TimePoint now);
+  void JobDispatched(const std::string& name);
+  void JobfinishedOrFailed(const std::string& name, bool failed);
+
+  // --- Queries --------------------------------------------------------------
+  const NodeView* Find(const std::string& name) const;
+  std::vector<const NodeView*> UpNodes() const;
+  /// Nodes that are up and serve the given resource class.
+  std::vector<const NodeView*> Candidates(std::string_view resource_class) const;
+  /// Estimated free CPUs on a node: capacity - external load - our jobs
+  /// (clamped at 0). Uses the last reported load as the external estimate.
+  double EstimatedFreeCpus(const NodeView& view) const;
+  size_t NumNodes() const { return nodes_.size(); }
+
+ private:
+  std::map<std::string, NodeView> nodes_;
+};
+
+}  // namespace biopera::monitor
+
+#endif  // BIOPERA_MONITOR_AWARENESS_H_

@@ -1,0 +1,71 @@
+#include "monitor/load_curve.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace biopera::monitor {
+
+std::string_view LoadCurveKindName(LoadCurveKind kind) {
+  switch (kind) {
+    case LoadCurveKind::kStable:
+      return "stable";
+    case LoadCurveKind::kBursty:
+      return "bursty";
+    case LoadCurveKind::kPeriodic:
+      return "periodic";
+    case LoadCurveKind::kOnOff:
+      return "on-off";
+  }
+  return "?";
+}
+
+StepSeries GenerateLoadCurve(LoadCurveKind kind, Duration horizon, Rng* rng) {
+  StepSeries series;
+  const double T = horizon.ToSeconds();
+  double t = 0;
+  switch (kind) {
+    case LoadCurveKind::kStable: {
+      double level = rng->Uniform(0.1, 0.9);
+      series.Set(0, level);
+      while (t < T) {
+        t += rng->Exponential(3600 * 4);  // plateau ~4h
+        level = std::clamp(level + rng->Normal(0, 0.25), 0.0, 1.0);
+        series.Set(std::min(t, T), level);
+      }
+      break;
+    }
+    case LoadCurveKind::kBursty: {
+      double level = rng->Uniform(0.0, 1.0);
+      series.Set(0, level);
+      while (t < T) {
+        t += rng->Exponential(120);  // steps ~2 min apart
+        level = std::clamp(level + rng->Normal(0, 0.15), 0.0, 1.0);
+        series.Set(std::min(t, T), level);
+      }
+      break;
+    }
+    case LoadCurveKind::kPeriodic: {
+      const double period = 86400;  // diurnal
+      const double step = 600;      // 10-minute discretization
+      for (t = 0; t < T; t += step) {
+        double phase = 2 * M_PI * t / period;
+        double level = 0.5 + 0.45 * std::sin(phase);
+        series.Set(t, std::clamp(level + rng->Normal(0, 0.02), 0.0, 1.0));
+      }
+      break;
+    }
+    case LoadCurveKind::kOnOff: {
+      bool on = false;
+      series.Set(0, 0.0);
+      while (t < T) {
+        t += rng->Exponential(on ? 3600 * 6 : 3600 * 10);
+        on = !on;
+        series.Set(std::min(t, T), on ? 1.0 : 0.0);
+      }
+      break;
+    }
+  }
+  return series;
+}
+
+}  // namespace biopera::monitor

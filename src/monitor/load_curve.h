@@ -1,0 +1,33 @@
+#ifndef BIOPERA_MONITOR_LOAD_CURVE_H_
+#define BIOPERA_MONITOR_LOAD_CURVE_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/time.h"
+
+namespace biopera::monitor {
+
+/// Shapes of synthetic node-load curves used to evaluate the adaptive
+/// monitor (experiment MON1). Loads are CPU-busy fractions in [0, 1].
+enum class LoadCurveKind {
+  /// Long constant plateaus with occasional jumps — the "processors which
+  /// display a constant workload over a long period" case of §3.4.
+  kStable,
+  /// Frequent random steps (random-walk between levels).
+  kBursty,
+  /// Diurnal sine pattern discretized into steps.
+  kPeriodic,
+  /// Alternating saturated/idle episodes (the shared-cluster pattern).
+  kOnOff,
+};
+
+std::string_view LoadCurveKindName(LoadCurveKind kind);
+
+/// Generates a step series of load values over [0, horizon] seconds.
+StepSeries GenerateLoadCurve(LoadCurveKind kind, Duration horizon, Rng* rng);
+
+}  // namespace biopera::monitor
+
+#endif  // BIOPERA_MONITOR_LOAD_CURVE_H_

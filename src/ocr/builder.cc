@@ -1,0 +1,127 @@
+#include "ocr/builder.h"
+
+namespace biopera::ocr {
+
+TaskBuilder TaskBuilder::Activity(std::string name, std::string binding) {
+  TaskBuilder b;
+  b.def_.name = std::move(name);
+  b.def_.kind = TaskKind::kActivity;
+  b.def_.binding = std::move(binding);
+  return b;
+}
+
+TaskBuilder TaskBuilder::Block(std::string name) {
+  TaskBuilder b;
+  b.def_.name = std::move(name);
+  b.def_.kind = TaskKind::kBlock;
+  return b;
+}
+
+TaskBuilder TaskBuilder::Subprocess(std::string name,
+                                    std::string process_name) {
+  TaskBuilder b;
+  b.def_.name = std::move(name);
+  b.def_.kind = TaskKind::kSubprocess;
+  b.def_.subprocess_name = std::move(process_name);
+  return b;
+}
+
+TaskBuilder TaskBuilder::Parallel(std::string name, std::string list_input,
+                                  TaskBuilder body) {
+  TaskBuilder b;
+  b.def_.name = std::move(name);
+  b.def_.kind = TaskKind::kParallel;
+  b.def_.list_input = std::move(list_input);
+  b.def_.body.push_back(std::move(body).Build());
+  return b;
+}
+
+TaskBuilder& TaskBuilder::Input(std::string from, std::string to) {
+  def_.inputs.push_back({std::move(from), std::move(to)});
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::Output(std::string from, std::string to) {
+  def_.outputs.push_back({std::move(from), std::move(to)});
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::Retry(int max_retries, Duration backoff) {
+  def_.failure.max_retries = max_retries;
+  def_.failure.retry_backoff = backoff;
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::Alternative(std::string binding) {
+  def_.failure.alternative_binding = std::move(binding);
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::IgnoreFailure() {
+  def_.failure.ignore_failure = true;
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::Compensate(std::string binding) {
+  def_.compensation_binding = std::move(binding);
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::OnEvent(std::string event) {
+  def_.wait_event = std::move(event);
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::Atomic() {
+  def_.atomic = true;
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::ResourceClass(std::string cls) {
+  def_.resource_class = std::move(cls);
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::Collect(std::string ref) {
+  def_.collect_output = std::move(ref);
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::Sub(TaskBuilder task) {
+  def_.subtasks.push_back(std::move(task).Build());
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::Connect(std::string source, std::string target,
+                                  std::string condition) {
+  def_.connectors.push_back(
+      {std::move(source), std::move(target), std::move(condition)});
+  return *this;
+}
+
+ProcessBuilder::ProcessBuilder(std::string name) { def_.name = std::move(name); }
+
+ProcessBuilder& ProcessBuilder::Data(std::string name, Value initial) {
+  def_.whiteboard.push_back({std::move(name), std::move(initial)});
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::Task(TaskBuilder task) {
+  def_.tasks.push_back(std::move(task).Build());
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::Connect(std::string source,
+                                        std::string target,
+                                        std::string condition) {
+  def_.connectors.push_back(
+      {std::move(source), std::move(target), std::move(condition)});
+  return *this;
+}
+
+Result<ProcessDef> ProcessBuilder::Build() {
+  BIOPERA_RETURN_IF_ERROR(ValidateProcess(def_));
+  return std::move(def_);
+}
+
+}  // namespace biopera::ocr

@@ -1,0 +1,73 @@
+#ifndef BIOPERA_OCR_BUILDER_H_
+#define BIOPERA_OCR_BUILDER_H_
+
+#include <string>
+#include <utility>
+
+#include "ocr/model.h"
+
+namespace biopera::ocr {
+
+/// Fluent construction of TaskDefs. Example:
+///
+///   auto align = TaskBuilder::Activity("fixed_pam", "darwin.fixed_pam")
+///                    .Input("item", "in.partition")
+///                    .Output("out.matches", "wb.raw_matches")
+///                    .Retry(5, Duration::Minutes(2));
+class TaskBuilder {
+ public:
+  static TaskBuilder Activity(std::string name, std::string binding);
+  static TaskBuilder Block(std::string name);
+  static TaskBuilder Subprocess(std::string name, std::string process_name);
+  /// `list_input` is a data reference producing the input list; `body` is
+  /// instantiated once per element (see TaskDef::body).
+  static TaskBuilder Parallel(std::string name, std::string list_input,
+                              TaskBuilder body);
+
+  TaskBuilder& Input(std::string from, std::string to);
+  TaskBuilder& Output(std::string from, std::string to);
+  TaskBuilder& Retry(int max_retries, Duration backoff);
+  TaskBuilder& Alternative(std::string binding);
+  TaskBuilder& IgnoreFailure();
+  /// Undo action used when an enclosing ATOMIC block fails (activities).
+  TaskBuilder& Compensate(std::string binding);
+  /// Gates activation on Engine::RaiseEvent(instance, event).
+  TaskBuilder& OnEvent(std::string event);
+  /// Marks a block as a sphere of atomicity.
+  TaskBuilder& Atomic();
+  TaskBuilder& ResourceClass(std::string cls);
+  /// For parallel tasks: whiteboard reference collecting body results.
+  TaskBuilder& Collect(std::string ref);
+  /// For blocks: adds a nested task.
+  TaskBuilder& Sub(TaskBuilder task);
+  /// For blocks: adds a control connector between nested tasks.
+  TaskBuilder& Connect(std::string source, std::string target,
+                       std::string condition = "");
+
+  TaskDef Build() && { return std::move(def_); }
+  const TaskDef& def() const { return def_; }
+
+ private:
+  TaskDef def_;
+};
+
+/// Fluent construction of ProcessDefs; Build() validates the result.
+class ProcessBuilder {
+ public:
+  explicit ProcessBuilder(std::string name);
+
+  ProcessBuilder& Data(std::string name, Value initial = Value::Null());
+  ProcessBuilder& Task(TaskBuilder task);
+  ProcessBuilder& Connect(std::string source, std::string target,
+                          std::string condition = "");
+
+  /// Validates and returns the definition.
+  Result<ProcessDef> Build();
+
+ private:
+  ProcessDef def_;
+};
+
+}  // namespace biopera::ocr
+
+#endif  // BIOPERA_OCR_BUILDER_H_

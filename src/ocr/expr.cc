@@ -1,0 +1,422 @@
+#include "ocr/expr.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace biopera::ocr {
+
+Expr Expr::Literal(Value v) {
+  Expr e;
+  e.kind_ = Kind::kLiteral;
+  e.literal_ = std::move(v);
+  return e;
+}
+
+Expr Expr::Ref(std::vector<std::string> path) {
+  Expr e;
+  e.kind_ = Kind::kRef;
+  e.ref_ = std::move(path);
+  return e;
+}
+
+namespace {
+
+Result<Value> NumericBinary(const std::string& op, const Value& a,
+                            const Value& b) {
+  if (!a.is_number() || !b.is_number()) {
+    return Status::InvalidArgument(
+        StrFormat("operator %s requires numbers, got %s and %s", op.c_str(),
+                  std::string(a.TypeName()).c_str(),
+                  std::string(b.TypeName()).c_str()));
+  }
+  if (a.is_int() && b.is_int()) {
+    int64_t x = a.AsInt(), y = b.AsInt();
+    if (op == "+") return Value(x + y);
+    if (op == "-") return Value(x - y);
+    if (op == "*") return Value(x * y);
+    if (op == "/") {
+      if (y == 0) return Status::InvalidArgument("integer division by zero");
+      return Value(x / y);
+    }
+  }
+  double x = a.AsDouble(), y = b.AsDouble();
+  if (op == "+") return Value(x + y);
+  if (op == "-") return Value(x - y);
+  if (op == "*") return Value(x * y);
+  if (op == "/") return Value(x / y);
+  return Status::Internal("unknown arithmetic operator " + op);
+}
+
+Result<Value> CompareBinary(const std::string& op, const Value& a,
+                            const Value& b) {
+  if (op == "==") return Value(a == b);
+  if (op == "!=") return Value(!(a == b));
+  // Ordering: numbers or strings.
+  if (a.is_number() && b.is_number()) {
+    double x = a.AsDouble(), y = b.AsDouble();
+    if (op == "<") return Value(x < y);
+    if (op == "<=") return Value(x <= y);
+    if (op == ">") return Value(x > y);
+    if (op == ">=") return Value(x >= y);
+  }
+  if (a.is_string() && b.is_string()) {
+    int c = a.AsString().compare(b.AsString());
+    if (op == "<") return Value(c < 0);
+    if (op == "<=") return Value(c <= 0);
+    if (op == ">") return Value(c > 0);
+    if (op == ">=") return Value(c >= 0);
+  }
+  return Status::InvalidArgument(
+      StrFormat("operator %s cannot compare %s with %s", op.c_str(),
+                std::string(a.TypeName()).c_str(),
+                std::string(b.TypeName()).c_str()));
+}
+
+}  // namespace
+
+Result<Value> Expr::Eval(const EvalContext& ctx) const {
+  switch (kind_) {
+    case Kind::kLiteral:
+      return literal_;
+    case Kind::kRef: {
+      Result<Value> v = ctx.Lookup(ref_);
+      if (!v.ok()) {
+        if (v.status().IsNotFound()) return Value::Null();
+        return v.status();
+      }
+      return v;
+    }
+    case Kind::kDefined: {
+      Result<Value> v = ctx.Lookup(children_[0].ref_);
+      if (!v.ok()) {
+        if (v.status().IsNotFound()) return Value(false);
+        return v.status();
+      }
+      return Value(!v->is_null());
+    }
+    case Kind::kUnary: {
+      BIOPERA_ASSIGN_OR_RETURN(Value v, children_[0].Eval(ctx));
+      if (op_ == "!") return Value(!v.Truthy());
+      if (op_ == "-") {
+        if (v.is_int()) return Value(-v.AsInt());
+        if (v.is_double()) return Value(-v.AsDouble());
+        return Status::InvalidArgument("unary - requires a number");
+      }
+      return Status::Internal("unknown unary operator " + op_);
+    }
+    case Kind::kBinary: {
+      if (op_ == "&&") {
+        BIOPERA_ASSIGN_OR_RETURN(Value a, children_[0].Eval(ctx));
+        if (!a.Truthy()) return Value(false);
+        BIOPERA_ASSIGN_OR_RETURN(Value b, children_[1].Eval(ctx));
+        return Value(b.Truthy());
+      }
+      if (op_ == "||") {
+        BIOPERA_ASSIGN_OR_RETURN(Value a, children_[0].Eval(ctx));
+        if (a.Truthy()) return Value(true);
+        BIOPERA_ASSIGN_OR_RETURN(Value b, children_[1].Eval(ctx));
+        return Value(b.Truthy());
+      }
+      BIOPERA_ASSIGN_OR_RETURN(Value a, children_[0].Eval(ctx));
+      BIOPERA_ASSIGN_OR_RETURN(Value b, children_[1].Eval(ctx));
+      if (op_ == "==" || op_ == "!=" || op_ == "<" || op_ == "<=" ||
+          op_ == ">" || op_ == ">=") {
+        return CompareBinary(op_, a, b);
+      }
+      return NumericBinary(op_, a, b);
+    }
+  }
+  return Status::Internal("corrupt expression node");
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case Kind::kLiteral:
+      return literal_.ToText();
+    case Kind::kRef:
+      return StrJoin(ref_, ".");
+    case Kind::kDefined:
+      return "defined(" + children_[0].ToString() + ")";
+    case Kind::kUnary:
+      return op_ + children_[0].ToString();
+    case Kind::kBinary:
+      return "(" + children_[0].ToString() + " " + op_ + " " +
+             children_[1].ToString() + ")";
+  }
+  return "?";
+}
+
+void Expr::CollectRefs(std::vector<std::vector<std::string>>* out) const {
+  if (kind_ == Kind::kRef) out->push_back(ref_);
+  for (const Expr& c : children_) c.CollectRefs(out);
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+class ExprParser {
+ public:
+  explicit ExprParser(std::string_view text) : text_(text) {}
+
+  Result<Expr> Parse() {
+    BIOPERA_ASSIGN_OR_RETURN(Expr e, ParseOr());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("unexpected trailing input");
+    }
+    return e;
+  }
+
+ private:
+  Status Error(const std::string& what) {
+    return Status::InvalidArgument(
+        StrFormat("expr: %s at offset %zu in \"%.*s\"", what.c_str(), pos_,
+                  static_cast<int>(text_.size()), text_.data()));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ConsumeOp(std::string_view op) {
+    SkipSpace();
+    if (text_.substr(pos_, op.size()) != op) return false;
+    // Avoid treating "<=" prefix "<" etc.: the caller tries longer ops
+    // first; also avoid consuming "&&" when looking for "&".
+    pos_ += op.size();
+    return true;
+  }
+
+  bool PeekOp(std::string_view op) {
+    SkipSpace();
+    return text_.substr(pos_, op.size()) == op;
+  }
+
+  Result<Expr> MakeBinary(std::string op, Expr lhs, Expr rhs) {
+    Expr e;
+    e.kind_ = Expr::Kind::kBinary;
+    e.op_ = std::move(op);
+    e.children_.push_back(std::move(lhs));
+    e.children_.push_back(std::move(rhs));
+    return e;
+  }
+
+  Result<Expr> ParseOr() {
+    BIOPERA_ASSIGN_OR_RETURN(Expr lhs, ParseAnd());
+    while (PeekOp("||")) {
+      ConsumeOp("||");
+      BIOPERA_ASSIGN_OR_RETURN(Expr rhs, ParseAnd());
+      BIOPERA_ASSIGN_OR_RETURN(lhs, MakeBinary("||", std::move(lhs),
+                                               std::move(rhs)));
+    }
+    return lhs;
+  }
+
+  Result<Expr> ParseAnd() {
+    BIOPERA_ASSIGN_OR_RETURN(Expr lhs, ParseCompare());
+    while (PeekOp("&&")) {
+      ConsumeOp("&&");
+      BIOPERA_ASSIGN_OR_RETURN(Expr rhs, ParseCompare());
+      BIOPERA_ASSIGN_OR_RETURN(lhs, MakeBinary("&&", std::move(lhs),
+                                               std::move(rhs)));
+    }
+    return lhs;
+  }
+
+  Result<Expr> ParseCompare() {
+    BIOPERA_ASSIGN_OR_RETURN(Expr lhs, ParseAdditive());
+    for (std::string_view op : {"==", "!=", "<=", ">=", "<", ">"}) {
+      if (PeekOp(op)) {
+        ConsumeOp(op);
+        BIOPERA_ASSIGN_OR_RETURN(Expr rhs, ParseAdditive());
+        return MakeBinary(std::string(op), std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+
+  Result<Expr> ParseAdditive() {
+    BIOPERA_ASSIGN_OR_RETURN(Expr lhs, ParseMultiplicative());
+    while (true) {
+      if (PeekOp("+")) {
+        ConsumeOp("+");
+        BIOPERA_ASSIGN_OR_RETURN(Expr rhs, ParseMultiplicative());
+        BIOPERA_ASSIGN_OR_RETURN(lhs, MakeBinary("+", std::move(lhs),
+                                                 std::move(rhs)));
+      } else if (PeekOp("-")) {
+        ConsumeOp("-");
+        BIOPERA_ASSIGN_OR_RETURN(Expr rhs, ParseMultiplicative());
+        BIOPERA_ASSIGN_OR_RETURN(lhs, MakeBinary("-", std::move(lhs),
+                                                 std::move(rhs)));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<Expr> ParseMultiplicative() {
+    BIOPERA_ASSIGN_OR_RETURN(Expr lhs, ParseUnary());
+    while (true) {
+      if (PeekOp("*")) {
+        ConsumeOp("*");
+        BIOPERA_ASSIGN_OR_RETURN(Expr rhs, ParseUnary());
+        BIOPERA_ASSIGN_OR_RETURN(lhs, MakeBinary("*", std::move(lhs),
+                                                 std::move(rhs)));
+      } else if (PeekOp("/")) {
+        ConsumeOp("/");
+        BIOPERA_ASSIGN_OR_RETURN(Expr rhs, ParseUnary());
+        BIOPERA_ASSIGN_OR_RETURN(lhs, MakeBinary("/", std::move(lhs),
+                                                 std::move(rhs)));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<Expr> ParseUnary() {
+    if (PeekOp("!") && !PeekOp("!=")) {
+      ConsumeOp("!");
+      BIOPERA_ASSIGN_OR_RETURN(Expr inner, ParseUnary());
+      Expr e;
+      e.kind_ = Expr::Kind::kUnary;
+      e.op_ = "!";
+      e.children_.push_back(std::move(inner));
+      return e;
+    }
+    if (PeekOp("-")) {
+      ConsumeOp("-");
+      BIOPERA_ASSIGN_OR_RETURN(Expr inner, ParseUnary());
+      Expr e;
+      e.kind_ = Expr::Kind::kUnary;
+      e.op_ = "-";
+      e.children_.push_back(std::move(inner));
+      return e;
+    }
+    return ParsePrimary();
+  }
+
+  Result<std::string> ParseIdent() {
+    SkipSpace();
+    size_t start = pos_;
+    // Identifiers must start with a letter or underscore (numbers are
+    // handled as literals by ParsePrimary).
+    if (pos_ < text_.size() &&
+        (std::isalpha(static_cast<unsigned char>(text_[pos_])) ||
+         text_[pos_] == '_')) {
+      ++pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+    }
+    if (pos_ == start) return Error("expected identifier");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<Expr> ParseRef() {
+    std::vector<std::string> path;
+    BIOPERA_ASSIGN_OR_RETURN(std::string first, ParseIdent());
+    path.push_back(std::move(first));
+    while (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      BIOPERA_ASSIGN_OR_RETURN(std::string seg, ParseIdent());
+      path.push_back(std::move(seg));
+    }
+    return Expr::Ref(std::move(path));
+  }
+
+  Result<Expr> ParsePrimary() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of expression");
+    char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      BIOPERA_ASSIGN_OR_RETURN(Expr e, ParseOr());
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ')') {
+        return Error("expected )");
+      }
+      ++pos_;
+      return e;
+    }
+    if (c == '"') {
+      // Reuse the Value text parser for the string literal.
+      size_t start = pos_;
+      ++pos_;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        if (text_[pos_] == '\\') ++pos_;
+        ++pos_;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      ++pos_;
+      BIOPERA_ASSIGN_OR_RETURN(
+          Value v, Value::FromText(text_.substr(start, pos_ - start)));
+      return Expr::Literal(std::move(v));
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos_;
+      bool is_double = false;
+      while (pos_ < text_.size()) {
+        char d = text_[pos_];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          ++pos_;
+        } else if (d == '.') {
+          is_double = true;
+          ++pos_;
+        } else {
+          break;
+        }
+      }
+      std::string_view num = text_.substr(start, pos_ - start);
+      if (is_double) {
+        double d;
+        if (!ParseDouble(num, &d)) return Error("bad number");
+        return Expr::Literal(Value(d));
+      }
+      long long i;
+      if (!ParseInt64(num, &i)) return Error("bad number");
+      return Expr::Literal(Value(static_cast<int64_t>(i)));
+    }
+    // Keyword or reference.
+    size_t save = pos_;
+    BIOPERA_ASSIGN_OR_RETURN(std::string ident, ParseIdent());
+    if (ident == "true") return Expr::Literal(Value(true));
+    if (ident == "false") return Expr::Literal(Value(false));
+    if (ident == "null") return Expr::Literal(Value::Null());
+    if (ident == "defined") {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '(') {
+        return Error("defined requires (ref)");
+      }
+      ++pos_;
+      BIOPERA_ASSIGN_OR_RETURN(Expr ref, ParseRef());
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ')') {
+        return Error("expected ) after defined ref");
+      }
+      ++pos_;
+      Expr e;
+      e.kind_ = Expr::Kind::kDefined;
+      e.children_.push_back(std::move(ref));
+      return e;
+    }
+    // Plain reference: rewind and parse the dotted path in full.
+    pos_ = save;
+    return ParseRef();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Result<Expr> Expr::Parse(std::string_view text) {
+  return ExprParser(text).Parse();
+}
+
+}  // namespace biopera::ocr

@@ -1,0 +1,71 @@
+#ifndef BIOPERA_OCR_EXPR_H_
+#define BIOPERA_OCR_EXPR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ocr/value.h"
+
+namespace biopera::ocr {
+
+/// Resolves dotted data references during condition evaluation and data
+/// mapping. Typical roots: "wb" (process whiteboard), a task name (its
+/// output structure, e.g. "user_input.out.queue_file"), "in"/"out" (the
+/// current task's own structures), "item"/"index" inside a parallel task.
+class EvalContext {
+ public:
+  virtual ~EvalContext() = default;
+
+  /// Returns the value at `path`, or NotFound if the reference does not
+  /// resolve. Expression evaluation treats NotFound as a null value
+  /// (so conditions can probe optional data with defined(...)).
+  virtual Result<Value> Lookup(const std::vector<std::string>& path) const = 0;
+};
+
+/// Expression AST for OCR activation conditions, e.g.
+///   !defined(wb.queue_file) && wb.num_entries > 0
+///
+/// Operators (loosest to tightest): || , && , == != < <= > >= ,
+/// + - , * / , unary ! - , primary (literal, reference, defined(ref),
+/// parentheses). && and || short-circuit on truthiness (see Value::Truthy).
+class Expr {
+ public:
+  enum class Kind { kLiteral, kRef, kUnary, kBinary, kDefined };
+
+  /// Parses an expression; returns InvalidArgument with a position hint on
+  /// syntax errors.
+  static Result<Expr> Parse(std::string_view text);
+
+  /// Convenience factories (used by the process builder).
+  static Expr Literal(Value v);
+  static Expr Ref(std::vector<std::string> path);
+
+  Kind kind() const { return kind_; }
+  const std::vector<std::string>& ref_path() const { return ref_; }
+
+  /// Evaluates against `ctx`. Type errors (e.g. "a" < 3) yield
+  /// InvalidArgument.
+  Result<Value> Eval(const EvalContext& ctx) const;
+
+  /// Canonical text form; Parse(ToString()) is structurally identical.
+  std::string ToString() const;
+
+  /// All data references mentioned in the expression (for validation).
+  void CollectRefs(std::vector<std::vector<std::string>>* out) const;
+
+ private:
+  Expr() = default;
+
+  Kind kind_ = Kind::kLiteral;
+  Value literal_;
+  std::vector<std::string> ref_;
+  std::string op_;  // "!" or "-" for unary; binary operator text otherwise
+  std::vector<Expr> children_;
+
+  friend class ExprParser;
+};
+
+}  // namespace biopera::ocr
+
+#endif  // BIOPERA_OCR_EXPR_H_

@@ -1,0 +1,214 @@
+#include "ocr/model.h"
+
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+
+namespace biopera::ocr {
+
+std::string_view TaskKindName(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kActivity:
+      return "ACTIVITY";
+    case TaskKind::kBlock:
+      return "BLOCK";
+    case TaskKind::kSubprocess:
+      return "SUBPROCESS";
+    case TaskKind::kParallel:
+      return "PARALLEL";
+  }
+  return "?";
+}
+
+const TaskDef* ProcessDef::FindTask(std::string_view task_name) const {
+  for (const TaskDef& t : tasks) {
+    if (t.name == task_name) return &t;
+  }
+  return nullptr;
+}
+
+namespace {
+
+Status ValidateMappingRef(const std::string& ref, const std::string& where) {
+  if (StripWhitespace(ref).empty()) {
+    return Status::InvalidArgument(where + ": empty data reference");
+  }
+  // Must parse as a bare reference expression.
+  Result<Expr> e = Expr::Parse(ref);
+  if (!e.ok()) {
+    return Status::InvalidArgument(where + ": bad reference '" + ref +
+                                   "': " + e.status().message());
+  }
+  if (e->kind() != Expr::Kind::kRef) {
+    return Status::InvalidArgument(where + ": '" + ref +
+                                   "' is not a plain data reference");
+  }
+  return Status::OK();
+}
+
+/// Validates one scope (the process top level or a block): name
+/// uniqueness, connector endpoints, acyclicity, then recurses into
+/// composite tasks.
+Status ValidateScope(const std::vector<TaskDef>& tasks,
+                     const std::vector<ControlConnector>& connectors,
+                     const std::string& scope) {
+  std::set<std::string> names;
+  for (const TaskDef& t : tasks) {
+    if (StripWhitespace(t.name).empty()) {
+      return Status::InvalidArgument(scope + ": task with empty name");
+    }
+    if (!names.insert(t.name).second) {
+      return Status::InvalidArgument(scope + ": duplicate task name '" +
+                                     t.name + "'");
+    }
+  }
+  for (const ControlConnector& c : connectors) {
+    if (!names.contains(c.source)) {
+      return Status::InvalidArgument(scope + ": connector source '" +
+                                     c.source + "' is not a task here");
+    }
+    if (!names.contains(c.target)) {
+      return Status::InvalidArgument(scope + ": connector target '" +
+                                     c.target + "' is not a task here");
+    }
+    if (c.source == c.target) {
+      return Status::InvalidArgument(scope + ": self-loop on '" + c.source +
+                                     "'");
+    }
+    if (!c.condition.empty()) {
+      Result<Expr> e = Expr::Parse(c.condition);
+      if (!e.ok()) {
+        return Status::InvalidArgument(
+            scope + ": bad condition on " + c.source + "->" + c.target +
+            ": " + e.status().message());
+      }
+    }
+  }
+  // Cycle detection (Kahn).
+  std::map<std::string, int> indegree;
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const TaskDef& t : tasks) indegree[t.name] = 0;
+  for (const ControlConnector& c : connectors) {
+    adj[c.source].push_back(c.target);
+    ++indegree[c.target];
+  }
+  std::vector<std::string> queue;
+  for (auto& [name, deg] : indegree) {
+    if (deg == 0) queue.push_back(name);
+  }
+  size_t removed = 0;
+  while (!queue.empty()) {
+    std::string n = queue.back();
+    queue.pop_back();
+    ++removed;
+    for (const std::string& m : adj[n]) {
+      if (--indegree[m] == 0) queue.push_back(m);
+    }
+  }
+  if (removed != tasks.size()) {
+    return Status::InvalidArgument(scope + ": control-flow cycle detected");
+  }
+
+  // Per-task checks.
+  for (const TaskDef& t : tasks) {
+    const std::string where = scope + "." + t.name;
+    for (const Mapping& m : t.inputs) {
+      BIOPERA_RETURN_IF_ERROR(ValidateMappingRef(m.from, where));
+      BIOPERA_RETURN_IF_ERROR(ValidateMappingRef(m.to, where));
+      if (!StartsWith(m.to, "in.")) {
+        return Status::InvalidArgument(
+            where + ": input mapping target '" + m.to +
+            "' must be in the task's input structure (in.*)");
+      }
+    }
+    for (const Mapping& m : t.outputs) {
+      BIOPERA_RETURN_IF_ERROR(ValidateMappingRef(m.from, where));
+      BIOPERA_RETURN_IF_ERROR(ValidateMappingRef(m.to, where));
+      if (!StartsWith(m.from, "out.")) {
+        return Status::InvalidArgument(
+            where + ": output mapping source '" + m.from +
+            "' must be in the task's output structure (out.*)");
+      }
+    }
+    if (!t.compensation_binding.empty() && t.kind != TaskKind::kActivity) {
+      return Status::InvalidArgument(
+          where + ": only activities can declare a COMPENSATE binding");
+    }
+    if (t.atomic && t.kind != TaskKind::kBlock) {
+      return Status::InvalidArgument(where +
+                                     ": only blocks can be ATOMIC");
+    }
+    switch (t.kind) {
+      case TaskKind::kActivity:
+        if (StripWhitespace(t.binding).empty()) {
+          return Status::InvalidArgument(where +
+                                         ": activity without a binding");
+        }
+        if (!t.subtasks.empty() || !t.body.empty()) {
+          return Status::InvalidArgument(where +
+                                         ": activity cannot nest tasks");
+        }
+        break;
+      case TaskKind::kBlock:
+        if (t.subtasks.empty()) {
+          return Status::InvalidArgument(where + ": empty block");
+        }
+        BIOPERA_RETURN_IF_ERROR(
+            ValidateScope(t.subtasks, t.connectors, where));
+        break;
+      case TaskKind::kSubprocess:
+        if (StripWhitespace(t.subprocess_name).empty()) {
+          return Status::InvalidArgument(
+              where + ": subprocess without a process name");
+        }
+        break;
+      case TaskKind::kParallel: {
+        if (t.body.size() != 1) {
+          return Status::InvalidArgument(
+              where + ": parallel task needs exactly one body task");
+        }
+        BIOPERA_RETURN_IF_ERROR(ValidateMappingRef(t.list_input, where));
+        if (!t.collect_output.empty()) {
+          BIOPERA_RETURN_IF_ERROR(
+              ValidateMappingRef(t.collect_output, where));
+        }
+        const TaskDef& body = t.body[0];
+        if (body.kind != TaskKind::kActivity &&
+            body.kind != TaskKind::kSubprocess) {
+          return Status::InvalidArgument(
+              where + ": parallel body must be an activity or subprocess");
+        }
+        std::vector<TaskDef> one = {body};
+        BIOPERA_RETURN_IF_ERROR(ValidateScope(one, {}, where));
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateProcess(const ProcessDef& def) {
+  if (StripWhitespace(def.name).empty()) {
+    return Status::InvalidArgument("process with empty name");
+  }
+  std::set<std::string> wb;
+  for (const DataObjectDef& d : def.whiteboard) {
+    if (StripWhitespace(d.name).empty()) {
+      return Status::InvalidArgument(def.name +
+                                     ": whiteboard variable with empty name");
+    }
+    if (!wb.insert(d.name).second) {
+      return Status::InvalidArgument(
+          def.name + ": duplicate whiteboard variable '" + d.name + "'");
+    }
+  }
+  if (def.tasks.empty()) {
+    return Status::InvalidArgument(def.name + ": process has no tasks");
+  }
+  return ValidateScope(def.tasks, def.connectors, def.name);
+}
+
+}  // namespace biopera::ocr

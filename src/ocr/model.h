@@ -1,0 +1,129 @@
+#ifndef BIOPERA_OCR_MODEL_H_
+#define BIOPERA_OCR_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/time.h"
+#include "ocr/expr.h"
+#include "ocr/value.h"
+
+namespace biopera::ocr {
+
+/// A data-flow connector: copies the value at `from` into `to` (both
+/// dotted references). Input mappings run when a task starts (targets are
+/// "in.<param>"); output mappings run in the mapping phase after the task
+/// completes (sources are "out.<field>", targets are whiteboard slots or
+/// other tasks' input structures).
+struct Mapping {
+  std::string from;
+  std::string to;
+
+  friend bool operator==(const Mapping&, const Mapping&) = default;
+};
+
+/// Failure handler attached to a task (OCR's exception handling, §3.1):
+/// how many times to retry, with what backoff, whether an alternative
+/// external binding should be used for the retries (alternative execution),
+/// and whether the process should continue even if the task ultimately
+/// fails (spheres-of-atomicity boundary).
+struct FailurePolicy {
+  int max_retries = 3;
+  Duration retry_backoff = Duration::Seconds(30);
+  std::string alternative_binding;  // empty: retry the same binding
+  bool ignore_failure = false;
+
+  friend bool operator==(const FailurePolicy&, const FailurePolicy&) =
+      default;
+};
+
+enum class TaskKind { kActivity, kBlock, kSubprocess, kParallel };
+std::string_view TaskKindName(TaskKind kind);
+
+/// A control connector: an annotated arc (source, target, activation
+/// condition). The condition is evaluated when `source` completes; the
+/// empty condition means "true". Standard dead-path semantics: a target
+/// runs when every incoming connector has been evaluated and at least one
+/// is true; it is skipped (and propagates false) when all are false.
+struct ControlConnector {
+  std::string source;
+  std::string target;
+  std::string condition;  // textual expression; empty = unconditional
+};
+
+/// One task in a process: an activity (external program invocation), a
+/// block (named group of tasks with its own connectors), a subprocess
+/// reference (late-bound at start), or a parallel task (the paper's §3.3
+/// construct: one body instantiated per element of a runtime list).
+struct TaskDef {
+  std::string name;
+  TaskKind kind = TaskKind::kActivity;
+
+  // -- Activity fields --
+  /// External binding: the program the runtime invokes (paper: a Darwin
+  /// script). Resolved against the ActivityRegistry at dispatch time.
+  std::string binding;
+  /// Scheduling hint restricting which node classes may run this activity
+  /// (e.g. the paper dedicates the slower ik-sun nodes to refinement).
+  std::string resource_class;
+  /// Undo action for spheres of atomicity (§3.1): when an enclosing
+  /// ATOMIC block fails, completed activities are compensated by invoking
+  /// this binding with the activity's outputs as its input parameters.
+  std::string compensation_binding;
+  /// Event handling (§3.1): when set, the activated task waits until
+  /// Engine::RaiseEvent delivers this event to the instance before it is
+  /// dispatched (user-triggered activities, §3.4).
+  std::string wait_event;
+  FailurePolicy failure;
+
+  // -- Common data flow --
+  std::vector<Mapping> inputs;   // "...": -> "in.param"
+  std::vector<Mapping> outputs;  // "out.field" -> "wb.x"
+
+  // -- Block fields --
+  std::vector<TaskDef> subtasks;
+  std::vector<ControlConnector> connectors;
+  /// Sphere of atomicity (§3.1): if any task inside fails permanently,
+  /// completed activities with compensation bindings are undone in
+  /// reverse completion order and the whole block re-runs from scratch
+  /// (up to its failure policy's retries).
+  bool atomic = false;
+
+  // -- Subprocess fields --
+  std::string subprocess_name;  // late-bound process template name
+
+  // -- Parallel fields --
+  /// Reference yielding the input list; one body instance per element.
+  std::string list_input;
+  /// Reference (whiteboard slot) receiving the list of body results.
+  std::string collect_output;
+  /// Exactly one element: the body task (activity or subprocess).
+  std::vector<TaskDef> body;
+};
+
+/// A whiteboard variable and its initial value.
+struct DataObjectDef {
+  std::string name;
+  Value initial;
+};
+
+/// A process definition: the annotated directed graph of §2.
+struct ProcessDef {
+  std::string name;
+  std::vector<DataObjectDef> whiteboard;
+  std::vector<TaskDef> tasks;
+  std::vector<ControlConnector> connectors;
+
+  /// Finds a top-level task by name; nullptr if absent.
+  const TaskDef* FindTask(std::string_view task_name) const;
+};
+
+/// Structural validation: unique names, resolvable connector endpoints,
+/// acyclic control flow per scope, parseable conditions, well-formed
+/// mappings and parallel bodies. Returns the first problem found.
+Status ValidateProcess(const ProcessDef& def);
+
+}  // namespace biopera::ocr
+
+#endif  // BIOPERA_OCR_MODEL_H_

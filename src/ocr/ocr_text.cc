@@ -1,0 +1,526 @@
+#include "ocr/ocr_text.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace biopera::ocr {
+
+std::string DurationToOcr(Duration d) {
+  int64_t us = d.micros();
+  if (us % (86400LL * 1000000) == 0 && us != 0) {
+    return StrFormat("%lldd", static_cast<long long>(us / (86400LL * 1000000)));
+  }
+  if (us % (3600LL * 1000000) == 0 && us != 0) {
+    return StrFormat("%lldh", static_cast<long long>(us / (3600LL * 1000000)));
+  }
+  if (us % (60LL * 1000000) == 0 && us != 0) {
+    return StrFormat("%lldm", static_cast<long long>(us / (60LL * 1000000)));
+  }
+  if (us % 1000000 == 0) {
+    return StrFormat("%llds", static_cast<long long>(us / 1000000));
+  }
+  if (us % 1000 == 0) {
+    return StrFormat("%lldms", static_cast<long long>(us / 1000));
+  }
+  return StrFormat("%lldus", static_cast<long long>(us));
+}
+
+Result<Duration> DurationFromOcr(std::string_view text) {
+  text = StripWhitespace(text);
+  size_t split = 0;
+  while (split < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[split])) ||
+          text[split] == '.' || text[split] == '-')) {
+    ++split;
+  }
+  double num;
+  if (split == 0 || !ParseDouble(text.substr(0, split), &num)) {
+    return Status::InvalidArgument("bad duration: " + std::string(text));
+  }
+  std::string_view unit = text.substr(split);
+  if (unit == "us") return Duration::Micros(static_cast<int64_t>(num));
+  if (unit == "ms") return Duration::Millis(static_cast<int64_t>(num));
+  if (unit == "s") return Duration::Seconds(num);
+  if (unit == "m") return Duration::Minutes(num);
+  if (unit == "h") return Duration::Hours(num);
+  if (unit == "d") return Duration::Days(num);
+  return Status::InvalidArgument("bad duration unit: " + std::string(text));
+}
+
+// ---------------------------------------------------------------------------
+// Printer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void Indent(std::string* out, int depth) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+}
+
+void PrintQuoted(std::string* out, std::string_view s) {
+  *out += Value(std::string(s)).ToText();
+}
+
+void PrintTask(const TaskDef& t, int depth, std::string* out);
+
+void PrintCommon(const TaskDef& t, int depth, std::string* out) {
+  for (const Mapping& m : t.inputs) {
+    Indent(out, depth);
+    *out += "IN " + m.from + " -> " + m.to + ";\n";
+  }
+  for (const Mapping& m : t.outputs) {
+    Indent(out, depth);
+    *out += "OUT " + m.from + " -> " + m.to + ";\n";
+  }
+  FailurePolicy def_policy;
+  if (!(t.failure == def_policy)) {
+    Indent(out, depth);
+    *out += StrFormat("RETRY %d BACKOFF %s;\n", t.failure.max_retries,
+                      DurationToOcr(t.failure.retry_backoff).c_str());
+    if (!t.failure.alternative_binding.empty()) {
+      Indent(out, depth);
+      *out += "ALTERNATIVE ";
+      PrintQuoted(out, t.failure.alternative_binding);
+      *out += ";\n";
+    }
+    if (t.failure.ignore_failure) {
+      Indent(out, depth);
+      *out += "IGNORE_FAILURE;\n";
+    }
+  }
+  if (!t.resource_class.empty()) {
+    Indent(out, depth);
+    *out += "CLASS ";
+    PrintQuoted(out, t.resource_class);
+    *out += ";\n";
+  }
+  if (!t.compensation_binding.empty()) {
+    Indent(out, depth);
+    *out += "COMPENSATE ";
+    PrintQuoted(out, t.compensation_binding);
+    *out += ";\n";
+  }
+  if (!t.wait_event.empty()) {
+    Indent(out, depth);
+    *out += "ON_EVENT ";
+    PrintQuoted(out, t.wait_event);
+    *out += ";\n";
+  }
+}
+
+void PrintConnector(const ControlConnector& c, int depth, std::string* out) {
+  Indent(out, depth);
+  *out += "CONNECTOR " + c.source + " -> " + c.target;
+  if (!c.condition.empty()) {
+    *out += " IF " + c.condition;
+  }
+  *out += ";\n";
+}
+
+void PrintTask(const TaskDef& t, int depth, std::string* out) {
+  Indent(out, depth);
+  *out += std::string(TaskKindName(t.kind)) + " " + t.name + " {\n";
+  switch (t.kind) {
+    case TaskKind::kActivity:
+      Indent(out, depth + 1);
+      *out += "CALL ";
+      PrintQuoted(out, t.binding);
+      *out += ";\n";
+      break;
+    case TaskKind::kSubprocess:
+      Indent(out, depth + 1);
+      *out += "PROCESS ";
+      PrintQuoted(out, t.subprocess_name);
+      *out += ";\n";
+      break;
+    case TaskKind::kParallel:
+      Indent(out, depth + 1);
+      *out += "LIST " + t.list_input + ";\n";
+      if (!t.collect_output.empty()) {
+        Indent(out, depth + 1);
+        *out += "COLLECT " + t.collect_output + ";\n";
+      }
+      if (!t.body.empty()) PrintTask(t.body[0], depth + 1, out);
+      break;
+    case TaskKind::kBlock:
+      if (t.atomic) {
+        Indent(out, depth + 1);
+        *out += "ATOMIC;\n";
+      }
+      for (const TaskDef& sub : t.subtasks) PrintTask(sub, depth + 1, out);
+      for (const ControlConnector& c : t.connectors) {
+        PrintConnector(c, depth + 1, out);
+      }
+      break;
+  }
+  PrintCommon(t, depth + 1, out);
+  Indent(out, depth);
+  *out += "}\n";
+}
+
+}  // namespace
+
+std::string PrintOcr(const ProcessDef& def) {
+  std::string out = "PROCESS " + def.name + " {\n";
+  for (const DataObjectDef& d : def.whiteboard) {
+    Indent(&out, 1);
+    out += "DATA " + d.name;
+    if (!d.initial.is_null()) {
+      out += " = " + d.initial.ToText();
+    }
+    out += ";\n";
+  }
+  for (const TaskDef& t : def.tasks) PrintTask(t, 1, &out);
+  for (const ControlConnector& c : def.connectors) {
+    PrintConnector(c, 1, &out);
+  }
+  out += "}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class OcrParser {
+ public:
+  explicit OcrParser(std::string_view text) : text_(text) {}
+
+  Result<ProcessDef> Parse() {
+    BIOPERA_RETURN_IF_ERROR(ExpectKeyword("PROCESS"));
+    ProcessDef def;
+    BIOPERA_ASSIGN_OR_RETURN(def.name, ExpectIdent());
+    BIOPERA_RETURN_IF_ERROR(ExpectChar('{'));
+    while (!AtChar('}')) {
+      BIOPERA_ASSIGN_OR_RETURN(std::string kw, PeekIdent());
+      if (kw == "DATA") {
+        BIOPERA_RETURN_IF_ERROR(ParseData(&def));
+      } else if (kw == "CONNECTOR") {
+        BIOPERA_ASSIGN_OR_RETURN(ControlConnector c, ParseConnector());
+        def.connectors.push_back(std::move(c));
+      } else {
+        BIOPERA_ASSIGN_OR_RETURN(TaskDef t, ParseTask());
+        def.tasks.push_back(std::move(t));
+      }
+    }
+    BIOPERA_RETURN_IF_ERROR(ExpectChar('}'));
+    SkipSpace();
+    if (pos_ != text_.size()) return Error("trailing input after process");
+    BIOPERA_RETURN_IF_ERROR(ValidateProcess(def));
+    return def;
+  }
+
+ private:
+  Status Error(const std::string& what) {
+    // Compute line number for the error message.
+    int line = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    return Status::InvalidArgument(
+        StrFormat("ocr parse error (line %d): %s", line, what.c_str()));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool AtChar(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  Status ExpectChar(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Error(StrFormat("expected '%c'", c));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected identifier");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> PeekIdent() {
+    size_t save = pos_;
+    Result<std::string> id = ExpectIdent();
+    pos_ = save;
+    return id;
+  }
+
+  Status ExpectKeyword(std::string_view kw) {
+    BIOPERA_ASSIGN_OR_RETURN(std::string id, ExpectIdent());
+    if (id != kw) {
+      return Error(StrFormat("expected %.*s, got %s",
+                             static_cast<int>(kw.size()), kw.data(),
+                             id.c_str()));
+    }
+    return Status::OK();
+  }
+
+  Status ExpectArrow() {
+    SkipSpace();
+    if (text_.substr(pos_, 2) != "->") return Error("expected ->");
+    pos_ += 2;
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectQuoted() {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Error("expected quoted string");
+    }
+    size_t start = pos_;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return Error("unterminated string");
+    ++pos_;
+    Result<Value> v = Value::FromText(text_.substr(start, pos_ - start));
+    if (!v.ok()) return v.status();
+    return v->AsString();
+  }
+
+  /// Reads a dotted reference (ident(.ident)*).
+  Result<std::string> ExpectRef() {
+    BIOPERA_ASSIGN_OR_RETURN(std::string ref, ExpectIdent());
+    while (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      BIOPERA_ASSIGN_OR_RETURN(std::string seg, ExpectIdent());
+      ref += "." + seg;
+    }
+    return ref;
+  }
+
+  /// Captures raw text until the next top-level ';', respecting quotes.
+  Result<std::string> CaptureUntilSemicolon() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ';') break;
+      if (c == '"') {
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+          if (text_[pos_] == '\\') ++pos_;
+          ++pos_;
+        }
+        if (pos_ >= text_.size()) return Error("unterminated string");
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return Error("expected ';'");
+    std::string captured(
+        StripWhitespace(text_.substr(start, pos_ - start)));
+    ++pos_;  // consume ';'
+    return captured;
+  }
+
+  Status ParseData(ProcessDef* def) {
+    BIOPERA_RETURN_IF_ERROR(ExpectKeyword("DATA"));
+    DataObjectDef d;
+    BIOPERA_ASSIGN_OR_RETURN(d.name, ExpectIdent());
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '=') {
+      ++pos_;
+      BIOPERA_ASSIGN_OR_RETURN(std::string raw, CaptureUntilSemicolon());
+      BIOPERA_ASSIGN_OR_RETURN(d.initial, Value::FromText(raw));
+    } else {
+      BIOPERA_RETURN_IF_ERROR(ExpectChar(';'));
+    }
+    def->whiteboard.push_back(std::move(d));
+    return Status::OK();
+  }
+
+  Result<ControlConnector> ParseConnector() {
+    BIOPERA_RETURN_IF_ERROR(ExpectKeyword("CONNECTOR"));
+    ControlConnector c;
+    BIOPERA_ASSIGN_OR_RETURN(c.source, ExpectIdent());
+    BIOPERA_RETURN_IF_ERROR(ExpectArrow());
+    BIOPERA_ASSIGN_OR_RETURN(c.target, ExpectIdent());
+    SkipSpace();
+    // Optional IF <expr>.
+    size_t save = pos_;
+    Result<std::string> kw = ExpectIdent();
+    if (kw.ok() && *kw == "IF") {
+      BIOPERA_ASSIGN_OR_RETURN(c.condition, CaptureUntilSemicolon());
+    } else {
+      pos_ = save;
+      BIOPERA_RETURN_IF_ERROR(ExpectChar(';'));
+    }
+    return c;
+  }
+
+  /// Parses task-body statements shared by all task kinds. Returns false
+  /// when the statement keyword is not a common one.
+  Result<bool> ParseCommonStatement(const std::string& kw, TaskDef* t) {
+    if (kw == "IN") {
+      BIOPERA_RETURN_IF_ERROR(ExpectKeyword("IN"));
+      Mapping m;
+      BIOPERA_ASSIGN_OR_RETURN(m.from, ExpectRef());
+      BIOPERA_RETURN_IF_ERROR(ExpectArrow());
+      BIOPERA_ASSIGN_OR_RETURN(m.to, ExpectRef());
+      BIOPERA_RETURN_IF_ERROR(ExpectChar(';'));
+      t->inputs.push_back(std::move(m));
+      return true;
+    }
+    if (kw == "OUT") {
+      BIOPERA_RETURN_IF_ERROR(ExpectKeyword("OUT"));
+      Mapping m;
+      BIOPERA_ASSIGN_OR_RETURN(m.from, ExpectRef());
+      BIOPERA_RETURN_IF_ERROR(ExpectArrow());
+      BIOPERA_ASSIGN_OR_RETURN(m.to, ExpectRef());
+      BIOPERA_RETURN_IF_ERROR(ExpectChar(';'));
+      t->outputs.push_back(std::move(m));
+      return true;
+    }
+    if (kw == "RETRY") {
+      BIOPERA_RETURN_IF_ERROR(ExpectKeyword("RETRY"));
+      BIOPERA_ASSIGN_OR_RETURN(std::string n, ExpectIdent());
+      long long retries;
+      if (!ParseInt64(n, &retries)) return Error("bad RETRY count");
+      t->failure.max_retries = static_cast<int>(retries);
+      SkipSpace();
+      size_t save = pos_;
+      Result<std::string> next = ExpectIdent();
+      if (next.ok() && *next == "BACKOFF") {
+        BIOPERA_ASSIGN_OR_RETURN(std::string raw, CaptureUntilSemicolon());
+        BIOPERA_ASSIGN_OR_RETURN(t->failure.retry_backoff,
+                                 DurationFromOcr(raw));
+      } else {
+        pos_ = save;
+        BIOPERA_RETURN_IF_ERROR(ExpectChar(';'));
+      }
+      return true;
+    }
+    if (kw == "ALTERNATIVE") {
+      BIOPERA_RETURN_IF_ERROR(ExpectKeyword("ALTERNATIVE"));
+      BIOPERA_ASSIGN_OR_RETURN(t->failure.alternative_binding,
+                               ExpectQuoted());
+      BIOPERA_RETURN_IF_ERROR(ExpectChar(';'));
+      return true;
+    }
+    if (kw == "IGNORE_FAILURE") {
+      BIOPERA_RETURN_IF_ERROR(ExpectKeyword("IGNORE_FAILURE"));
+      t->failure.ignore_failure = true;
+      BIOPERA_RETURN_IF_ERROR(ExpectChar(';'));
+      return true;
+    }
+    if (kw == "CLASS") {
+      BIOPERA_RETURN_IF_ERROR(ExpectKeyword("CLASS"));
+      BIOPERA_ASSIGN_OR_RETURN(t->resource_class, ExpectQuoted());
+      BIOPERA_RETURN_IF_ERROR(ExpectChar(';'));
+      return true;
+    }
+    if (kw == "COMPENSATE") {
+      BIOPERA_RETURN_IF_ERROR(ExpectKeyword("COMPENSATE"));
+      BIOPERA_ASSIGN_OR_RETURN(t->compensation_binding, ExpectQuoted());
+      BIOPERA_RETURN_IF_ERROR(ExpectChar(';'));
+      return true;
+    }
+    if (kw == "ON_EVENT") {
+      BIOPERA_RETURN_IF_ERROR(ExpectKeyword("ON_EVENT"));
+      BIOPERA_ASSIGN_OR_RETURN(t->wait_event, ExpectQuoted());
+      BIOPERA_RETURN_IF_ERROR(ExpectChar(';'));
+      return true;
+    }
+    return false;
+  }
+
+  Result<TaskDef> ParseTask() {
+    BIOPERA_ASSIGN_OR_RETURN(std::string kind, ExpectIdent());
+    TaskDef t;
+    if (kind == "ACTIVITY") {
+      t.kind = TaskKind::kActivity;
+    } else if (kind == "BLOCK") {
+      t.kind = TaskKind::kBlock;
+    } else if (kind == "SUBPROCESS") {
+      t.kind = TaskKind::kSubprocess;
+    } else if (kind == "PARALLEL") {
+      t.kind = TaskKind::kParallel;
+    } else {
+      return Error("unknown task kind " + kind);
+    }
+    BIOPERA_ASSIGN_OR_RETURN(t.name, ExpectIdent());
+    BIOPERA_RETURN_IF_ERROR(ExpectChar('{'));
+    while (!AtChar('}')) {
+      BIOPERA_ASSIGN_OR_RETURN(std::string kw, PeekIdent());
+      BIOPERA_ASSIGN_OR_RETURN(bool handled, ParseCommonStatement(kw, &t));
+      if (handled) continue;
+      if (kw == "CALL" && t.kind == TaskKind::kActivity) {
+        BIOPERA_RETURN_IF_ERROR(ExpectKeyword("CALL"));
+        BIOPERA_ASSIGN_OR_RETURN(t.binding, ExpectQuoted());
+        BIOPERA_RETURN_IF_ERROR(ExpectChar(';'));
+      } else if (kw == "PROCESS" && t.kind == TaskKind::kSubprocess) {
+        BIOPERA_RETURN_IF_ERROR(ExpectKeyword("PROCESS"));
+        BIOPERA_ASSIGN_OR_RETURN(t.subprocess_name, ExpectQuoted());
+        BIOPERA_RETURN_IF_ERROR(ExpectChar(';'));
+      } else if (kw == "LIST" && t.kind == TaskKind::kParallel) {
+        BIOPERA_RETURN_IF_ERROR(ExpectKeyword("LIST"));
+        BIOPERA_ASSIGN_OR_RETURN(t.list_input, ExpectRef());
+        BIOPERA_RETURN_IF_ERROR(ExpectChar(';'));
+      } else if (kw == "COLLECT" && t.kind == TaskKind::kParallel) {
+        BIOPERA_RETURN_IF_ERROR(ExpectKeyword("COLLECT"));
+        BIOPERA_ASSIGN_OR_RETURN(t.collect_output, ExpectRef());
+        BIOPERA_RETURN_IF_ERROR(ExpectChar(';'));
+      } else if (kw == "ATOMIC" && t.kind == TaskKind::kBlock) {
+        BIOPERA_RETURN_IF_ERROR(ExpectKeyword("ATOMIC"));
+        t.atomic = true;
+        BIOPERA_RETURN_IF_ERROR(ExpectChar(';'));
+      } else if (kw == "CONNECTOR" && t.kind == TaskKind::kBlock) {
+        BIOPERA_ASSIGN_OR_RETURN(ControlConnector c, ParseConnector());
+        t.connectors.push_back(std::move(c));
+      } else if ((kw == "ACTIVITY" || kw == "BLOCK" || kw == "SUBPROCESS" ||
+                  kw == "PARALLEL") &&
+                 (t.kind == TaskKind::kBlock ||
+                  t.kind == TaskKind::kParallel)) {
+        BIOPERA_ASSIGN_OR_RETURN(TaskDef sub, ParseTask());
+        if (t.kind == TaskKind::kBlock) {
+          t.subtasks.push_back(std::move(sub));
+        } else {
+          t.body.push_back(std::move(sub));
+        }
+      } else {
+        return Error("unexpected statement '" + kw + "' in " + kind + " " +
+                     t.name);
+      }
+    }
+    BIOPERA_RETURN_IF_ERROR(ExpectChar('}'));
+    return t;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ProcessDef> ParseOcr(std::string_view text) {
+  return OcrParser(text).Parse();
+}
+
+}  // namespace biopera::ocr

@@ -1,0 +1,47 @@
+#ifndef BIOPERA_OCR_OCR_TEXT_H_
+#define BIOPERA_OCR_OCR_TEXT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "ocr/model.h"
+
+namespace biopera::ocr {
+
+/// Serializes a process definition to canonical OCR text (the "textual
+/// representation" of Figure 2 used as the persistent scripting form).
+/// ParseOcr(PrintOcr(def)) reproduces the definition.
+///
+/// Example:
+///
+///   PROCESS all_vs_all {
+///     DATA queue_file;
+///     DATA db_name = "sp38";
+///     ACTIVITY user_input {
+///       CALL "ui.prompt";
+///       OUT out.queue_file -> wb.queue_file;
+///       RETRY 3 BACKOFF 30s;
+///     }
+///     PARALLEL alignment {
+///       LIST wb.partition;
+///       COLLECT wb.results;
+///       SUBPROCESS body {
+///         PROCESS "align_partition";
+///       }
+///     }
+///     CONNECTOR user_input -> alignment IF defined(wb.queue_file);
+///   }
+std::string PrintOcr(const ProcessDef& def);
+
+/// Parses OCR text into a validated process definition. '#' starts a
+/// comment that runs to end of line.
+Result<ProcessDef> ParseOcr(std::string_view text);
+
+/// Formats a Duration as OCR duration syntax (e.g. "90s", "1500ms").
+std::string DurationToOcr(Duration d);
+/// Parses OCR duration syntax: <number><unit>, unit in us|ms|s|m|h|d.
+Result<Duration> DurationFromOcr(std::string_view text);
+
+}  // namespace biopera::ocr
+
+#endif  // BIOPERA_OCR_OCR_TEXT_H_

@@ -1,0 +1,255 @@
+#include "ocr/value.h"
+
+#include <cctype>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace biopera::ocr {
+
+bool Value::Truthy() const {
+  if (is_null()) return false;
+  if (is_bool()) return AsBool();
+  if (is_int()) return AsInt() != 0;
+  if (is_double()) return AsDouble() != 0.0;
+  if (is_string()) return !AsString().empty();
+  if (is_list()) return !AsList().empty();
+  if (is_map()) return !AsMap().empty();
+  return false;
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.is_number() && b.is_number()) {
+    if (a.is_int() && b.is_int()) return a.AsInt() == b.AsInt();
+    return a.AsDouble() == b.AsDouble();
+  }
+  return a.v_ == b.v_;
+}
+
+std::string_view Value::TypeName() const {
+  if (is_null()) return "null";
+  if (is_bool()) return "bool";
+  if (is_int()) return "int";
+  if (is_double()) return "double";
+  if (is_string()) return "string";
+  if (is_list()) return "list";
+  return "map";
+}
+
+namespace {
+
+void EscapeInto(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default: out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+void ToTextInto(const Value& v, std::string* out) {
+  if (v.is_null()) {
+    *out += "null";
+  } else if (v.is_bool()) {
+    *out += v.AsBool() ? "true" : "false";
+  } else if (v.is_int()) {
+    *out += StrFormat("%lld", static_cast<long long>(v.AsInt()));
+  } else if (v.is_double()) {
+    double d = v.AsDouble();
+    if (d == std::floor(d) && std::abs(d) < 1e15) {
+      *out += StrFormat("%.1f", d);
+    } else {
+      *out += StrFormat("%.17g", d);
+    }
+  } else if (v.is_string()) {
+    EscapeInto(v.AsString(), out);
+  } else if (v.is_list()) {
+    out->push_back('[');
+    bool first = true;
+    for (const auto& e : v.AsList()) {
+      if (!first) out->push_back(',');
+      first = false;
+      ToTextInto(e, out);
+    }
+    out->push_back(']');
+  } else {
+    out->push_back('{');
+    bool first = true;
+    for (const auto& [k, e] : v.AsMap()) {
+      if (!first) out->push_back(',');
+      first = false;
+      EscapeInto(k, out);
+      out->push_back(':');
+      ToTextInto(e, out);
+    }
+    out->push_back('}');
+  }
+}
+
+class TextParser {
+ public:
+  explicit TextParser(std::string_view text) : text_(text) {}
+
+  Result<Value> Parse() {
+    BIOPERA_ASSIGN_OR_RETURN(Value v, ParseValue());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("value text: trailing characters");
+    }
+    return v;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeWord(std::string_view w) {
+    SkipSpace();
+    if (text_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) {
+      return Status::InvalidArgument("value text: expected string");
+    }
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          default: out.push_back(esc);
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("value text: unterminated string");
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  Result<Value> ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("value text: unexpected end");
+    }
+    char c = text_[pos_];
+    if (c == '"') {
+      BIOPERA_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return Value(std::move(s));
+    }
+    if (c == '[') {
+      ++pos_;
+      Value::List list;
+      SkipSpace();
+      if (Consume(']')) return Value(std::move(list));
+      while (true) {
+        BIOPERA_ASSIGN_OR_RETURN(Value v, ParseValue());
+        list.push_back(std::move(v));
+        if (Consume(']')) break;
+        if (!Consume(',')) {
+          return Status::InvalidArgument("value text: expected , or ]");
+        }
+      }
+      return Value(std::move(list));
+    }
+    if (c == '{') {
+      ++pos_;
+      Value::Map map;
+      SkipSpace();
+      if (Consume('}')) return Value(std::move(map));
+      while (true) {
+        BIOPERA_ASSIGN_OR_RETURN(std::string key, ParseString());
+        if (!Consume(':')) {
+          return Status::InvalidArgument("value text: expected :");
+        }
+        BIOPERA_ASSIGN_OR_RETURN(Value v, ParseValue());
+        map[std::move(key)] = std::move(v);
+        if (Consume('}')) break;
+        if (!Consume(',')) {
+          return Status::InvalidArgument("value text: expected , or }");
+        }
+      }
+      return Value(std::move(map));
+    }
+    if (ConsumeWord("null")) return Value::Null();
+    if (ConsumeWord("true")) return Value(true);
+    if (ConsumeWord("false")) return Value(false);
+    // Number.
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      char d = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(d))) {
+        ++pos_;
+      } else if (d == '.' || d == 'e' || d == 'E' || d == '-' || d == '+') {
+        // '-'/'+' only valid right after an exponent marker; rely on the
+        // strtod validation below.
+        is_double = is_double || d == '.' || d == 'e' || d == 'E';
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    std::string_view num = text_.substr(start, pos_ - start);
+    if (is_double) {
+      double d;
+      if (!ParseDouble(num, &d)) {
+        return Status::InvalidArgument("value text: bad number");
+      }
+      return Value(d);
+    }
+    long long i;
+    if (!ParseInt64(num, &i)) {
+      return Status::InvalidArgument("value text: bad number");
+    }
+    return Value(static_cast<int64_t>(i));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Value::ToText() const {
+  std::string out;
+  ToTextInto(*this, &out);
+  return out;
+}
+
+Result<Value> Value::FromText(std::string_view text) {
+  return TextParser(text).Parse();
+}
+
+}  // namespace biopera::ocr

@@ -1,0 +1,81 @@
+#ifndef BIOPERA_OCR_VALUE_H_
+#define BIOPERA_OCR_VALUE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+
+namespace biopera::ocr {
+
+/// Dynamically typed value passed through a process: whiteboard variables,
+/// task parameters and return structures are Values. A null Value models an
+/// absent/optional parameter (the all-vs-all queue file, for instance).
+class Value {
+ public:
+  using List = std::vector<Value>;
+  using Map = std::map<std::string, Value>;
+
+  /// The distinguished null alternative.
+  struct NullType {
+    friend bool operator==(const NullType&, const NullType&) { return true; }
+  };
+
+  Value() : v_(NullType{}) {}
+  Value(bool b) : v_(b) {}
+  Value(int64_t i) : v_(i) {}
+  Value(int i) : v_(static_cast<int64_t>(i)) {}
+  Value(double d) : v_(d) {}
+  Value(const char* s) : v_(std::string(s)) {}
+  Value(std::string s) : v_(std::move(s)) {}
+  Value(List l) : v_(std::move(l)) {}
+  Value(Map m) : v_(std::move(m)) {}
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<NullType>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_list() const { return std::holds_alternative<List>(v_); }
+  bool is_map() const { return std::holds_alternative<Map>(v_); }
+
+  bool AsBool() const { return std::get<bool>(v_); }
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const {
+    return is_int() ? static_cast<double>(std::get<int64_t>(v_))
+                    : std::get<double>(v_);
+  }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+  const List& AsList() const { return std::get<List>(v_); }
+  List& AsList() { return std::get<List>(v_); }
+  const Map& AsMap() const { return std::get<Map>(v_); }
+  Map& AsMap() { return std::get<Map>(v_); }
+
+  /// "Truthiness" used by activation conditions: null/false/0/""/empty
+  /// containers are false.
+  bool Truthy() const;
+
+  /// Structural equality (int 1 == double 1.0).
+  friend bool operator==(const Value& a, const Value& b);
+
+  /// Compact canonical text form (JSON-like); round-trips via FromText.
+  std::string ToText() const;
+  static Result<Value> FromText(std::string_view text);
+
+  /// Short type name for error messages ("int", "list", ...).
+  std::string_view TypeName() const;
+
+ private:
+  std::variant<NullType, bool, int64_t, double, std::string, List, Map> v_;
+};
+
+}  // namespace biopera::ocr
+
+#endif  // BIOPERA_OCR_VALUE_H_

@@ -1,0 +1,122 @@
+#include "sched/policy.h"
+
+#include <algorithm>
+
+namespace biopera::sched {
+
+namespace {
+
+using monitor::AwarenessModel;
+
+class LeastLoadedPolicy : public SchedulingPolicy {
+ public:
+  std::string name() const override { return "least_loaded"; }
+
+  std::string Place(const PlacementRequest& request,
+                    const AwarenessModel& awareness) override {
+    const AwarenessModel::NodeView* best = nullptr;
+    double best_free = 0;
+    for (const auto* view : awareness.Candidates(request.resource_class)) {
+      double free = awareness.EstimatedFreeCpus(*view);
+      if (free >= 1.0 && (best == nullptr || free > best_free)) {
+        best = view;
+        best_free = free;
+      }
+    }
+    return best == nullptr ? "" : best->config.name;
+  }
+};
+
+class RoundRobinPolicy : public SchedulingPolicy {
+ public:
+  std::string name() const override { return "round_robin"; }
+
+  std::string Place(const PlacementRequest& request,
+                    const AwarenessModel& awareness) override {
+    auto candidates = awareness.Candidates(request.resource_class);
+    if (candidates.empty()) return "";
+    // Ignore external load: only avoid oversubscribing with our own jobs.
+    for (size_t k = 0; k < candidates.size(); ++k) {
+      const auto* view = candidates[(next_ + k) % candidates.size()];
+      if (view->running_jobs < view->config.num_cpus) {
+        next_ = (next_ + k + 1) % candidates.size();
+        return view->config.name;
+      }
+    }
+    return "";
+  }
+
+ private:
+  size_t next_ = 0;
+};
+
+class SpeedWeightedPolicy : public SchedulingPolicy {
+ public:
+  std::string name() const override { return "speed_weighted"; }
+
+  std::string Place(const PlacementRequest& request,
+                    const AwarenessModel& awareness) override {
+    const AwarenessModel::NodeView* best = nullptr;
+    double best_score = 0;
+    for (const auto* view : awareness.Candidates(request.resource_class)) {
+      double free = awareness.EstimatedFreeCpus(*view);
+      if (free < 1.0) continue;
+      double score = view->config.speed * free;
+      if (best == nullptr || score > best_score) {
+        best = view;
+        best_score = score;
+      }
+    }
+    return best == nullptr ? "" : best->config.name;
+  }
+};
+
+class RandomPolicy : public SchedulingPolicy {
+ public:
+  explicit RandomPolicy(Rng* rng) : rng_(rng) {}
+  std::string name() const override { return "random"; }
+
+  std::string Place(const PlacementRequest& request,
+                    const AwarenessModel& awareness) override {
+    std::vector<const AwarenessModel::NodeView*> eligible;
+    for (const auto* view : awareness.Candidates(request.resource_class)) {
+      if (awareness.EstimatedFreeCpus(*view) >= 1.0) eligible.push_back(view);
+    }
+    if (eligible.empty()) return "";
+    return eligible[rng_->NextUint64(eligible.size())]->config.name;
+  }
+
+ private:
+  Rng* rng_;
+};
+
+}  // namespace
+
+std::unique_ptr<SchedulingPolicy> MakeLeastLoadedPolicy() {
+  return std::make_unique<LeastLoadedPolicy>();
+}
+std::unique_ptr<SchedulingPolicy> MakeRoundRobinPolicy() {
+  return std::make_unique<RoundRobinPolicy>();
+}
+std::unique_ptr<SchedulingPolicy> MakeSpeedWeightedPolicy() {
+  return std::make_unique<SpeedWeightedPolicy>();
+}
+std::unique_ptr<SchedulingPolicy> MakeRandomPolicy(Rng* rng) {
+  return std::make_unique<RandomPolicy>(rng);
+}
+
+Result<std::unique_ptr<SchedulingPolicy>> MakePolicy(std::string_view name,
+                                                     Rng* rng) {
+  if (name == "least_loaded") return MakeLeastLoadedPolicy();
+  if (name == "round_robin") return MakeRoundRobinPolicy();
+  if (name == "speed_weighted") return MakeSpeedWeightedPolicy();
+  if (name == "random") {
+    if (rng == nullptr) {
+      return Status::InvalidArgument("random policy needs an rng");
+    }
+    return MakeRandomPolicy(rng);
+  }
+  return Status::InvalidArgument("unknown policy: " + std::string(name));
+}
+
+}  // namespace biopera::sched

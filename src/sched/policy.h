@@ -1,0 +1,56 @@
+#ifndef BIOPERA_SCHED_POLICY_H_
+#define BIOPERA_SCHED_POLICY_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "monitor/awareness.h"
+
+namespace biopera::sched {
+
+/// A placement request from the dispatcher: one activity wanting a node.
+struct PlacementRequest {
+  /// Required resource class ("" = any node).
+  std::string resource_class;
+  /// Estimated reference-CPU work (used by cost-aware policies).
+  Duration estimated_work;
+};
+
+/// Scheduling and load-balancing policy: given the server's awareness
+/// model, picks a node for an activity, or declines (empty string) so the
+/// dispatcher keeps the activity queued until the environment changes.
+/// Policies must not place on nodes believed to be down.
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+  virtual std::string name() const = 0;
+  virtual std::string Place(const PlacementRequest& request,
+                            const monitor::AwarenessModel& awareness) = 0;
+};
+
+/// Picks the candidate with the most estimated free CPUs; declines when
+/// nothing has a full free CPU. The default BioOpera policy.
+std::unique_ptr<SchedulingPolicy> MakeLeastLoadedPolicy();
+
+/// Cycles over candidates that have capacity for one more of our jobs,
+/// ignoring external load reports (baseline showing why awareness helps).
+std::unique_ptr<SchedulingPolicy> MakeRoundRobinPolicy();
+
+/// Maximizes speed x free CPUs — prefers fast nodes for heavy work.
+std::unique_ptr<SchedulingPolicy> MakeSpeedWeightedPolicy();
+
+/// Uniformly random among candidates with a free CPU. `rng` must outlive
+/// the policy.
+std::unique_ptr<SchedulingPolicy> MakeRandomPolicy(Rng* rng);
+
+/// Builds a policy by name: "least_loaded", "round_robin",
+/// "speed_weighted", "random".
+Result<std::unique_ptr<SchedulingPolicy>> MakePolicy(std::string_view name,
+                                                     Rng* rng);
+
+}  // namespace biopera::sched
+
+#endif  // BIOPERA_SCHED_POLICY_H_

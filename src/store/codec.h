@@ -1,0 +1,28 @@
+#ifndef BIOPERA_STORE_CODEC_H_
+#define BIOPERA_STORE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace biopera {
+
+/// Little-endian fixed-width and varint primitives used by the WAL, the
+/// snapshot format, and record serialization.
+
+void PutFixed32(std::string* dst, uint32_t v);
+void PutFixed64(std::string* dst, uint64_t v);
+void PutVarint64(std::string* dst, uint64_t v);
+/// Appends varint length followed by the bytes.
+void PutLengthPrefixed(std::string* dst, std::string_view s);
+
+/// Each Get* consumes from the front of `*input`; returns false on
+/// malformed or truncated input (leaving *input unspecified).
+bool GetFixed32(std::string_view* input, uint32_t* v);
+bool GetFixed64(std::string_view* input, uint64_t* v);
+bool GetVarint64(std::string_view* input, uint64_t* v);
+bool GetLengthPrefixed(std::string_view* input, std::string_view* s);
+
+}  // namespace biopera
+
+#endif  // BIOPERA_STORE_CODEC_H_

@@ -1,0 +1,244 @@
+#include "store/record_store.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/strings.h"
+#include "store/codec.h"
+#include "store/snapshot.h"
+
+namespace biopera {
+
+namespace {
+constexpr char kOpPut = 1;
+constexpr char kOpDelete = 2;
+}  // namespace
+
+void WriteBatch::Put(std::string_view table, std::string_view key,
+                     std::string_view value) {
+  payload_.push_back(kOpPut);
+  PutLengthPrefixed(&payload_, table);
+  PutLengthPrefixed(&payload_, key);
+  PutLengthPrefixed(&payload_, value);
+  ++num_ops_;
+}
+
+void WriteBatch::Delete(std::string_view table, std::string_view key) {
+  payload_.push_back(kOpDelete);
+  PutLengthPrefixed(&payload_, table);
+  PutLengthPrefixed(&payload_, key);
+  ++num_ops_;
+}
+
+void WriteBatch::Clear() {
+  payload_.clear();
+  num_ops_ = 0;
+}
+
+Result<WriteBatch> WriteBatch::FromPayload(std::string_view payload) {
+  WriteBatch batch;
+  batch.payload_.assign(payload);
+  // Validate and count.
+  BIOPERA_ASSIGN_OR_RETURN(std::vector<Op> ops, batch.Ops());
+  batch.num_ops_ = ops.size();
+  return batch;
+}
+
+Result<std::vector<WriteBatch::Op>> WriteBatch::Ops() const {
+  std::vector<Op> ops;
+  std::string_view v = payload_;
+  while (!v.empty()) {
+    char tag = v.front();
+    v.remove_prefix(1);
+    Op op;
+    op.is_put = (tag == kOpPut);
+    if (tag != kOpPut && tag != kOpDelete) {
+      return Status::Corruption("write batch: bad op tag");
+    }
+    std::string_view table, key, value;
+    if (!GetLengthPrefixed(&v, &table) || !GetLengthPrefixed(&v, &key)) {
+      return Status::Corruption("write batch: truncated op");
+    }
+    if (op.is_put && !GetLengthPrefixed(&v, &value)) {
+      return Status::Corruption("write batch: truncated value");
+    }
+    op.table.assign(table);
+    op.key.assign(key);
+    op.value.assign(value);
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+Result<std::unique_ptr<RecordStore>> RecordStore::Open(
+    const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("create dir " + dir + ": " + ec.message());
+  }
+  auto store = std::unique_ptr<RecordStore>(new RecordStore(dir));
+
+  // 1. Load the snapshot, if any.
+  Result<std::string> snap = ReadSnapshot(store->SnapshotPath());
+  if (snap.ok()) {
+    BIOPERA_RETURN_IF_ERROR(store->LoadImage(*snap));
+  } else if (!snap.status().IsNotFound()) {
+    return snap.status();
+  }
+
+  // 2. Replay the WAL over the snapshot image.
+  BIOPERA_ASSIGN_OR_RETURN(WalReadResult wal, ReadWal(store->WalPath()));
+  for (const std::string& rec : wal.records) {
+    BIOPERA_ASSIGN_OR_RETURN(WriteBatch batch, WriteBatch::FromPayload(rec));
+    BIOPERA_RETURN_IF_ERROR(store->ApplyToImage(batch));
+  }
+
+  // 3. Open the WAL for appending.
+  BIOPERA_ASSIGN_OR_RETURN(store->wal_, WalWriter::Open(store->WalPath()));
+  return store;
+}
+
+Status RecordStore::Apply(const WriteBatch& batch) {
+  if (fail_writes_) {
+    return Status::IOError("record store: injected write failure");
+  }
+  if (batch.empty()) return Status::OK();
+  BIOPERA_RETURN_IF_ERROR(wal_->Append(batch.payload()));
+  BIOPERA_RETURN_IF_ERROR(ApplyToImage(batch));
+  ++commits_;
+  return Status::OK();
+}
+
+Status RecordStore::Put(std::string_view table, std::string_view key,
+                        std::string_view value) {
+  WriteBatch batch;
+  batch.Put(table, key, value);
+  return Apply(batch);
+}
+
+Status RecordStore::Delete(std::string_view table, std::string_view key) {
+  WriteBatch batch;
+  batch.Delete(table, key);
+  return Apply(batch);
+}
+
+Status RecordStore::ApplyToImage(const WriteBatch& batch) {
+  BIOPERA_ASSIGN_OR_RETURN(std::vector<WriteBatch::Op> ops, batch.Ops());
+  for (auto& op : ops) {
+    if (op.is_put) {
+      tables_[op.table][op.key] = std::move(op.value);
+    } else {
+      auto it = tables_.find(op.table);
+      if (it != tables_.end()) it->second.erase(op.key);
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::string> RecordStore::Get(std::string_view table,
+                                     std::string_view key) const {
+  auto t = tables_.find(std::string(table));
+  if (t == tables_.end()) {
+    return Status::NotFound(StrFormat("no table '%.*s'",
+                                      static_cast<int>(table.size()),
+                                      table.data()));
+  }
+  auto r = t->second.find(std::string(key));
+  if (r == t->second.end()) {
+    return Status::NotFound(StrFormat("no key '%.*s'",
+                                      static_cast<int>(key.size()),
+                                      key.data()));
+  }
+  return r->second;
+}
+
+bool RecordStore::Contains(std::string_view table,
+                           std::string_view key) const {
+  auto t = tables_.find(std::string(table));
+  return t != tables_.end() && t->second.contains(std::string(key));
+}
+
+std::vector<std::pair<std::string, std::string>> RecordStore::Scan(
+    std::string_view table, std::string_view prefix) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  auto t = tables_.find(std::string(table));
+  if (t == tables_.end()) return out;
+  auto it = t->second.lower_bound(std::string(prefix));
+  for (; it != t->second.end(); ++it) {
+    if (!StartsWith(it->first, prefix)) break;
+    out.emplace_back(it->first, it->second);
+  }
+  return out;
+}
+
+size_t RecordStore::TableSize(std::string_view table) const {
+  auto t = tables_.find(std::string(table));
+  return t == tables_.end() ? 0 : t->second.size();
+}
+
+std::string RecordStore::SerializeImage() const {
+  std::string out;
+  PutVarint64(&out, tables_.size());
+  for (const auto& [name, records] : tables_) {
+    PutLengthPrefixed(&out, name);
+    PutVarint64(&out, records.size());
+    for (const auto& [key, value] : records) {
+      PutLengthPrefixed(&out, key);
+      PutLengthPrefixed(&out, value);
+    }
+  }
+  return out;
+}
+
+Status RecordStore::LoadImage(std::string_view payload) {
+  tables_.clear();
+  std::string_view v = payload;
+  uint64_t num_tables;
+  if (!GetVarint64(&v, &num_tables)) {
+    return Status::Corruption("image: bad table count");
+  }
+  for (uint64_t i = 0; i < num_tables; ++i) {
+    std::string_view name;
+    uint64_t n;
+    if (!GetLengthPrefixed(&v, &name) || !GetVarint64(&v, &n)) {
+      return Status::Corruption("image: bad table header");
+    }
+    auto& table = tables_[std::string(name)];
+    for (uint64_t k = 0; k < n; ++k) {
+      std::string_view key, value;
+      if (!GetLengthPrefixed(&v, &key) || !GetLengthPrefixed(&v, &value)) {
+        return Status::Corruption("image: bad record");
+      }
+      table.emplace(std::string(key), std::string(value));
+    }
+  }
+  if (!v.empty()) return Status::Corruption("image: trailing bytes");
+  return Status::OK();
+}
+
+Status RecordStore::Checkpoint() {
+  if (fail_writes_) {
+    return Status::IOError("record store: injected write failure");
+  }
+  BIOPERA_RETURN_IF_ERROR(WriteSnapshot(SnapshotPath(), SerializeImage()));
+  // Truncate the WAL: close, remove, reopen empty. Safe because the
+  // snapshot now covers everything the WAL contained.
+  wal_.reset();
+  std::remove(WalPath().c_str());
+  BIOPERA_ASSIGN_OR_RETURN(wal_, WalWriter::Open(WalPath()));
+  return Status::OK();
+}
+
+uint64_t RecordStore::WalBytes() const {
+  std::error_code ec;
+  uint64_t size = std::filesystem::file_size(WalPath(), ec);
+  return ec ? 0 : size;
+}
+
+std::string RecordStore::WalPath() const { return dir_ + "/wal.log"; }
+std::string RecordStore::SnapshotPath() const {
+  return dir_ + "/snapshot.dat";
+}
+
+}  // namespace biopera

@@ -1,0 +1,113 @@
+#ifndef BIOPERA_STORE_RECORD_STORE_H_
+#define BIOPERA_STORE_RECORD_STORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "store/wal.h"
+
+namespace biopera {
+
+/// A batch of mutations applied atomically: either every operation in the
+/// batch is visible after a crash, or none is.
+class WriteBatch {
+ public:
+  void Put(std::string_view table, std::string_view key,
+           std::string_view value);
+  void Delete(std::string_view table, std::string_view key);
+
+  size_t num_ops() const { return num_ops_; }
+  bool empty() const { return num_ops_ == 0; }
+  void Clear();
+
+  /// Wire form appended to the WAL.
+  const std::string& payload() const { return payload_; }
+
+  /// Parses a wire-form batch (as read back from the WAL).
+  static Result<WriteBatch> FromPayload(std::string_view payload);
+
+  struct Op {
+    bool is_put;
+    std::string table;
+    std::string key;
+    std::string value;
+  };
+  /// Decodes the operations (used for replay and inspection).
+  Result<std::vector<Op>> Ops() const;
+
+ private:
+  std::string payload_;
+  size_t num_ops_ = 0;
+};
+
+/// Durable, transactional record store: string keys/values organized into
+/// named tables, persisted via write-ahead logging with snapshot
+/// checkpoints. This is the substrate under BioOpera's template, instance,
+/// configuration, and history spaces: every navigator state transition is
+/// committed here before it takes effect, which is what makes month-long
+/// processes recoverable (paper §3.2).
+class RecordStore {
+ public:
+  /// Opens (or creates) a store rooted at directory `dir`: loads the most
+  /// recent snapshot, then replays the WAL. A torn WAL tail from a crash is
+  /// silently discarded.
+  static Result<std::unique_ptr<RecordStore>> Open(const std::string& dir);
+
+  RecordStore(const RecordStore&) = delete;
+  RecordStore& operator=(const RecordStore&) = delete;
+
+  /// Atomically applies `batch`: appends to the WAL, then updates the
+  /// in-memory image.
+  Status Apply(const WriteBatch& batch);
+
+  /// Convenience single-record writes.
+  Status Put(std::string_view table, std::string_view key,
+             std::string_view value);
+  Status Delete(std::string_view table, std::string_view key);
+
+  Result<std::string> Get(std::string_view table, std::string_view key) const;
+  bool Contains(std::string_view table, std::string_view key) const;
+
+  /// All (key, value) pairs in `table` whose key starts with `prefix`,
+  /// in key order.
+  std::vector<std::pair<std::string, std::string>> Scan(
+      std::string_view table, std::string_view prefix = "") const;
+
+  size_t TableSize(std::string_view table) const;
+
+  /// Writes a snapshot of the current image and truncates the WAL.
+  Status Checkpoint();
+
+  /// Size of the live WAL in bytes (0 right after a checkpoint).
+  uint64_t WalBytes() const;
+  uint64_t CommitCount() const { return commits_; }
+
+  /// Test/failure-injection hook: when set, Apply fails with IOError
+  /// without writing, emulating a full or failed disk under the server.
+  void SetFailWrites(bool fail) { fail_writes_ = fail; }
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  explicit RecordStore(std::string dir) : dir_(std::move(dir)) {}
+
+  Status ApplyToImage(const WriteBatch& batch);
+  std::string SerializeImage() const;
+  Status LoadImage(std::string_view payload);
+  std::string WalPath() const;
+  std::string SnapshotPath() const;
+
+  std::string dir_;
+  std::map<std::string, std::map<std::string, std::string>> tables_;
+  std::unique_ptr<WalWriter> wal_;
+  uint64_t commits_ = 0;
+  bool fail_writes_ = false;
+};
+
+}  // namespace biopera
+
+#endif  // BIOPERA_STORE_RECORD_STORE_H_

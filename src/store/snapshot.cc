@@ -1,0 +1,78 @@
+#include "store/snapshot.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/strings.h"
+#include "store/codec.h"
+
+namespace biopera {
+
+namespace {
+constexpr uint32_t kSnapshotMagic = 0x42694f70;  // "BiOp"
+constexpr uint32_t kSnapshotVersion = 1;
+}  // namespace
+
+Status WriteSnapshot(const std::string& path, std::string_view payload) {
+  std::string framed;
+  PutFixed32(&framed, kSnapshotMagic);
+  PutFixed32(&framed, kSnapshotVersion);
+  PutFixed32(&framed, Crc32c(payload));
+  PutFixed64(&framed, payload.size());
+  framed.append(payload);
+
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError(
+        StrFormat("open %s: %s", tmp.c_str(), std::strerror(errno)));
+  }
+  bool ok = std::fwrite(framed.data(), 1, framed.size(), f) == framed.size();
+  ok = (std::fflush(f) == 0) && ok;
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::IOError("snapshot write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError(
+        StrFormat("rename %s: %s", path.c_str(), std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadSnapshot(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (errno == ENOENT) return Status::NotFound("no snapshot: " + path);
+    return Status::IOError(
+        StrFormat("open %s: %s", path.c_str(), std::strerror(errno)));
+  }
+  std::string data;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  std::fclose(f);
+
+  std::string_view v = data;
+  uint32_t magic = 0, version = 0, crc = 0;
+  uint64_t len = 0;
+  if (!GetFixed32(&v, &magic) || magic != kSnapshotMagic) {
+    return Status::Corruption("snapshot bad magic: " + path);
+  }
+  if (!GetFixed32(&v, &version) || version != kSnapshotVersion) {
+    return Status::Corruption("snapshot bad version: " + path);
+  }
+  if (!GetFixed32(&v, &crc) || !GetFixed64(&v, &len) || v.size() != len) {
+    return Status::Corruption("snapshot truncated: " + path);
+  }
+  if (Crc32c(v) != crc) {
+    return Status::Corruption("snapshot checksum mismatch: " + path);
+  }
+  return std::string(v);
+}
+
+}  // namespace biopera

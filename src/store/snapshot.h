@@ -1,0 +1,23 @@
+#ifndef BIOPERA_STORE_SNAPSHOT_H_
+#define BIOPERA_STORE_SNAPSHOT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace biopera {
+
+/// Atomically replaces the snapshot file at `path` with `payload`:
+/// the payload is written (with magic, version, and CRC framing) to
+/// `path + ".tmp"` and then renamed over `path`, so a crash leaves either
+/// the old or the new snapshot, never a torn one.
+Status WriteSnapshot(const std::string& path, std::string_view payload);
+
+/// Reads and verifies a snapshot. NotFound if the file does not exist,
+/// Corruption if the framing or checksum is bad.
+Result<std::string> ReadSnapshot(const std::string& path);
+
+}  // namespace biopera
+
+#endif  // BIOPERA_STORE_SNAPSHOT_H_

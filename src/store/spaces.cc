@@ -1,0 +1,130 @@
+#include "store/spaces.h"
+
+#include "common/strings.h"
+
+namespace biopera {
+
+namespace {
+constexpr char kTemplateTable[] = "template";
+constexpr char kInstanceTable[] = "instance";
+constexpr char kConfigTable[] = "config";
+constexpr char kHistoryTable[] = "history";
+
+std::string InstanceKey(std::string_view instance_id, std::string_view key) {
+  std::string out(instance_id);
+  out.push_back('/');
+  out.append(key);
+  return out;
+}
+}  // namespace
+
+Status Spaces::PutTemplate(std::string_view name, std::string_view ocr_text) {
+  return store_->Put(kTemplateTable, name, ocr_text);
+}
+
+Result<std::string> Spaces::GetTemplate(std::string_view name) const {
+  return store_->Get(kTemplateTable, name);
+}
+
+std::vector<std::string> Spaces::ListTemplates() const {
+  std::vector<std::string> out;
+  for (auto& [k, v] : store_->Scan(kTemplateTable)) out.push_back(k);
+  return out;
+}
+
+Status Spaces::PutInstanceRecord(std::string_view instance_id,
+                                 std::string_view key,
+                                 std::string_view value) {
+  return store_->Put(kInstanceTable, InstanceKey(instance_id, key), value);
+}
+
+void Spaces::BatchPutInstanceRecord(WriteBatch* batch,
+                                    std::string_view instance_id,
+                                    std::string_view key,
+                                    std::string_view value) {
+  batch->Put(kInstanceTable, InstanceKey(instance_id, key), value);
+}
+
+void Spaces::BatchDeleteInstanceRecord(WriteBatch* batch,
+                                       std::string_view instance_id,
+                                       std::string_view key) {
+  batch->Delete(kInstanceTable, InstanceKey(instance_id, key));
+}
+
+Result<std::string> Spaces::GetInstanceRecord(std::string_view instance_id,
+                                              std::string_view key) const {
+  return store_->Get(kInstanceTable, InstanceKey(instance_id, key));
+}
+
+std::vector<std::pair<std::string, std::string>> Spaces::ScanInstance(
+    std::string_view instance_id) const {
+  std::string prefix(instance_id);
+  prefix.push_back('/');
+  auto rows = store_->Scan(kInstanceTable, prefix);
+  // Strip the "<id>/" prefix from keys for the caller.
+  for (auto& [k, v] : rows) k = k.substr(prefix.size());
+  return rows;
+}
+
+std::vector<std::string> Spaces::ListInstances() const {
+  std::vector<std::string> out;
+  for (auto& [k, v] : store_->Scan(kInstanceTable)) {
+    size_t slash = k.find('/');
+    std::string id = k.substr(0, slash);
+    if (out.empty() || out.back() != id) out.push_back(id);
+  }
+  return out;
+}
+
+Status Spaces::DeleteInstance(std::string_view instance_id) {
+  std::string prefix(instance_id);
+  prefix.push_back('/');
+  WriteBatch batch;
+  for (auto& [k, v] : store_->Scan(kInstanceTable, prefix)) {
+    batch.Delete(kInstanceTable, k);
+  }
+  return store_->Apply(batch);
+}
+
+Status Spaces::PutConfig(std::string_view key, std::string_view value) {
+  return store_->Put(kConfigTable, key, value);
+}
+
+Result<std::string> Spaces::GetConfig(std::string_view key) const {
+  return store_->Get(kConfigTable, key);
+}
+
+std::vector<std::pair<std::string, std::string>> Spaces::ScanConfig() const {
+  return store_->Scan(kConfigTable);
+}
+
+Status Spaces::AppendHistory(std::string_view instance_id,
+                             std::string_view event) {
+  if (!history_seq_loaded_) {
+    // Resume the sequence after the existing records (recovery path).
+    auto rows = store_->Scan(kHistoryTable);
+    next_history_seq_ = rows.size();
+    history_seq_loaded_ = true;
+  }
+  std::string key =
+      StrFormat("%016llu", static_cast<unsigned long long>(next_history_seq_));
+  ++next_history_seq_;
+  std::string value(instance_id);
+  value.push_back('\t');
+  value.append(event);
+  return store_->Put(kHistoryTable, key, value);
+}
+
+std::vector<std::string> Spaces::History(std::string_view instance_id) const {
+  std::vector<std::string> out;
+  for (auto& [k, v] : store_->Scan(kHistoryTable)) {
+    size_t tab = v.find('\t');
+    if (tab == std::string::npos) continue;
+    if (std::string_view(v).substr(0, tab) == instance_id) {
+      out.push_back(v.substr(tab + 1));
+    }
+  }
+  return out;
+}
+
+}  // namespace biopera

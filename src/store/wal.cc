@@ -1,0 +1,83 @@
+#include "store/wal.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/strings.h"
+#include "store/codec.h"
+
+namespace biopera {
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    return Status::IOError(
+        StrFormat("open wal %s: %s", path.c_str(), std::strerror(errno)));
+  }
+  return std::unique_ptr<WalWriter>(new WalWriter(f));
+}
+
+WalWriter::~WalWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status WalWriter::Append(std::string_view payload) {
+  std::string header;
+  PutFixed32(&header, Crc32c(payload));
+  PutFixed32(&header, static_cast<uint32_t>(payload.size()));
+  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
+      std::fwrite(payload.data(), 1, payload.size(), file_) !=
+          payload.size()) {
+    return Status::IOError("wal append: short write");
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("wal append: flush failed");
+  }
+  bytes_written_ += header.size() + payload.size();
+  ++records_written_;
+  return Status::OK();
+}
+
+Result<WalReadResult> ReadWal(const std::string& path) {
+  WalReadResult out;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (errno == ENOENT) return out;  // fresh store
+    return Status::IOError(
+        StrFormat("open wal %s: %s", path.c_str(), std::strerror(errno)));
+  }
+  while (true) {
+    unsigned char header[8];
+    size_t got = std::fread(header, 1, sizeof(header), f);
+    if (got == 0) break;  // clean EOF
+    if (got < sizeof(header)) {
+      out.truncated_tail = true;
+      break;
+    }
+    std::string_view hv(reinterpret_cast<const char*>(header),
+                        sizeof(header));
+    uint32_t crc = 0, len = 0;
+    GetFixed32(&hv, &crc);
+    GetFixed32(&hv, &len);
+    // Sanity cap: a single record over 256 MiB indicates corruption.
+    if (len > (256u << 20)) {
+      out.truncated_tail = true;
+      break;
+    }
+    std::string payload(len, '\0');
+    if (std::fread(payload.data(), 1, len, f) != len) {
+      out.truncated_tail = true;
+      break;
+    }
+    if (Crc32c(payload) != crc) {
+      out.truncated_tail = true;
+      break;
+    }
+    out.records.push_back(std::move(payload));
+  }
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace biopera

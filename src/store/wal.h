@@ -1,0 +1,55 @@
+#ifndef BIOPERA_STORE_WAL_H_
+#define BIOPERA_STORE_WAL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace biopera {
+
+/// Append-only write-ahead log.
+///
+/// On-disk format: a sequence of records
+///   [crc32c(payload) : 4 bytes][payload length : 4 bytes][payload]
+/// A torn or corrupt tail (from a crash mid-append) is detected by the
+/// reader and treated as the end of the log, never as an error: the
+/// recovery contract is "everything before the first bad record is valid".
+class WalWriter {
+ public:
+  /// Opens `path` for appending, creating it if missing.
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path);
+
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record and flushes it to the OS.
+  Status Append(std::string_view payload);
+
+  /// Bytes written since open (including headers).
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t records_written() const { return records_written_; }
+
+ private:
+  explicit WalWriter(std::FILE* f) : file_(f) {}
+  std::FILE* file_;
+  uint64_t bytes_written_ = 0;
+  uint64_t records_written_ = 0;
+};
+
+/// Reads all valid records from a WAL file. A missing file yields an empty
+/// record list (a fresh store). Stops silently at the first torn/corrupt
+/// record; `truncated_tail` reports whether that happened.
+struct WalReadResult {
+  std::vector<std::string> records;
+  bool truncated_tail = false;
+};
+Result<WalReadResult> ReadWal(const std::string& path);
+
+}  // namespace biopera
+
+#endif  // BIOPERA_STORE_WAL_H_

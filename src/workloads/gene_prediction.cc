@@ -1,0 +1,234 @@
+#include "workloads/gene_prediction.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "ocr/builder.h"
+
+namespace biopera::workloads {
+
+using core::ActivityInput;
+using core::ActivityOutput;
+using ocr::ProcessDef;
+using ocr::TaskBuilder;
+using ocr::Value;
+
+ProcessDef BuildGenePredictionProcess() {
+  Result<ProcessDef> def =
+      ocr::ProcessBuilder("gene_prediction")
+          .Data("genome_kb", Value(0))
+          .Data("contigs")
+          .Data("contig_results")
+          .Data("gene_count")
+          .Data("annotation")
+          .Task(TaskBuilder::Activity("fetch_genome", "genepred.fetch")
+                    .Input("wb.genome_kb", "in.genome_kb")
+                    .Output("out.contigs", "wb.contigs")
+                    .Retry(3, Duration::Minutes(1)))
+          .Task(TaskBuilder::Parallel(
+                    "predict", "wb.contigs",
+                    TaskBuilder::Subprocess("contig", "predict_contig")
+                        .Input("item", "in.contig"))
+                    .Collect("wb.contig_results"))
+          .Task(TaskBuilder::Activity("merge", "genepred.merge")
+                    .Input("wb.contig_results", "in.results")
+                    .Output("out.gene_count", "wb.gene_count")
+                    .Output("out.annotation", "wb.annotation")
+                    .Retry(3, Duration::Minutes(1)))
+          .Connect("fetch_genome", "predict")
+          .Connect("predict", "merge")
+          .Build();
+  assert(def.ok());
+  return std::move(*def);
+}
+
+ProcessDef BuildPredictContigProcess() {
+  // The three finders run concurrently (no connectors between them); the
+  // consensus joins on all three.
+  Result<ProcessDef> def =
+      ocr::ProcessBuilder("predict_contig")
+          .Data("contig")
+          .Data("hmm_hits")
+          .Data("orf_hits")
+          .Data("splice_hits")
+          .Data("accepted")
+          .Task(TaskBuilder::Activity("hmm_finder", "genepred.finder_hmm")
+                    .Input("wb.contig", "in.contig")
+                    .Output("out.hits", "wb.hmm_hits")
+                    .Retry(4, Duration::Minutes(2)))
+          .Task(TaskBuilder::Activity("orf_finder", "genepred.finder_orf")
+                    .Input("wb.contig", "in.contig")
+                    .Output("out.hits", "wb.orf_hits")
+                    .Retry(4, Duration::Minutes(2)))
+          .Task(TaskBuilder::Activity("splice_finder",
+                                      "genepred.finder_splice")
+                    .Input("wb.contig", "in.contig")
+                    .Output("out.hits", "wb.splice_hits")
+                    .Retry(4, Duration::Minutes(2)))
+          .Task(TaskBuilder::Activity("consensus", "genepred.combine")
+                    .Input("wb.contig", "in.contig")
+                    .Input("wb.hmm_hits", "in.hmm")
+                    .Input("wb.orf_hits", "in.orf")
+                    .Input("wb.splice_hits", "in.splice")
+                    .Output("out.accepted", "wb.accepted")
+                    .Retry(4, Duration::Minutes(2)))
+          .Connect("hmm_finder", "consensus")
+          .Connect("orf_finder", "consensus")
+          .Connect("splice_finder", "consensus")
+          .Build();
+  assert(def.ok());
+  return std::move(*def);
+}
+
+namespace {
+
+int64_t ContigKb(const Value& contig) {
+  if (!contig.is_map()) return 0;
+  auto it = contig.AsMap().find("kb");
+  return it != contig.AsMap().end() && it->second.is_int()
+             ? it->second.AsInt()
+             : 0;
+}
+
+int64_t ContigTrueGenes(const GenePredictionContext& ctx,
+                        const Value& contig) {
+  return static_cast<int64_t>(
+      std::floor(static_cast<double>(ContigKb(contig)) * ctx.genes_per_kb));
+}
+
+/// One finder: detects a deterministic `sensitivity` share of the true
+/// genes plus some false positives.
+Result<ActivityOutput> RunFinder(const GenePredictionContext& ctx,
+                                 const ActivityInput& input,
+                                 double sensitivity, double cost_per_kb) {
+  const Value& contig = input.Get("contig");
+  int64_t kb = ContigKb(contig);
+  if (kb <= 0) {
+    return Status::InvalidArgument("finder: contig descriptor missing");
+  }
+  int64_t true_genes = ContigTrueGenes(ctx, contig);
+  int64_t found = static_cast<int64_t>(
+      std::floor(static_cast<double>(true_genes) * sensitivity));
+  int64_t spurious = static_cast<int64_t>(
+      std::floor(static_cast<double>(kb) * ctx.false_positives_per_kb));
+  ActivityOutput out;
+  Value::Map hits;
+  hits["true_hits"] = Value(found);
+  hits["false_hits"] = Value(spurious);
+  out.fields["hits"] = Value(std::move(hits));
+  out.cost = Duration::Seconds(cost_per_kb * static_cast<double>(kb));
+  return out;
+}
+
+int64_t HitField(const Value& hits, const char* field) {
+  if (!hits.is_map()) return 0;
+  auto it = hits.AsMap().find(field);
+  return it != hits.AsMap().end() && it->second.is_int() ? it->second.AsInt()
+                                                         : 0;
+}
+
+}  // namespace
+
+Status RegisterGenePredictionActivities(
+    core::ActivityRegistry* registry,
+    std::shared_ptr<GenePredictionContext> context) {
+  BIOPERA_RETURN_IF_ERROR(registry->Register(
+      "genepred.fetch",
+      [ctx = context](const ActivityInput& input) -> Result<ActivityOutput> {
+        int64_t genome_kb = input.Get("genome_kb").is_int()
+                                ? input.Get("genome_kb").AsInt()
+                                : 0;
+        if (genome_kb <= 0) genome_kb = ctx->genome_kb;
+        Value::List contigs;
+        int64_t index = 0;
+        for (int64_t off = 0; off < genome_kb; off += ctx->contig_kb) {
+          Value::Map contig;
+          contig["index"] = Value(index++);
+          contig["kb"] = Value(std::min(ctx->contig_kb, genome_kb - off));
+          contigs.emplace_back(std::move(contig));
+        }
+        ActivityOutput out;
+        out.fields["contigs"] = Value(std::move(contigs));
+        out.cost = Duration::Seconds(
+            10 + 0.01 * static_cast<double>(genome_kb));
+        return out;
+      }));
+
+  auto finder = [&](const char* binding, double sensitivity,
+                    double cost_per_kb) {
+    return registry->Register(
+        binding, [ctx = context, sensitivity, cost_per_kb](
+                     const ActivityInput& input) -> Result<ActivityOutput> {
+          return RunFinder(*ctx, input, sensitivity, cost_per_kb);
+        });
+  };
+  BIOPERA_RETURN_IF_ERROR(finder("genepred.finder_hmm",
+                                 context->hmm_sensitivity,
+                                 context->hmm_cost_per_kb));
+  BIOPERA_RETURN_IF_ERROR(finder("genepred.finder_orf",
+                                 context->orf_sensitivity,
+                                 context->orf_cost_per_kb));
+  BIOPERA_RETURN_IF_ERROR(finder("genepred.finder_splice",
+                                 context->splice_sensitivity,
+                                 context->splice_cost_per_kb));
+
+  BIOPERA_RETURN_IF_ERROR(registry->Register(
+      "genepred.combine",
+      [ctx = context](const ActivityInput& input) -> Result<ActivityOutput> {
+        // Consensus model: a true gene is accepted when enough finders saw
+        // it. With deterministic sensitivities s_i, the expected number of
+        // genes seen by >= k finders follows from inclusion of the k
+        // highest-sensitivity finders (a simplification that keeps the
+        // pipeline deterministic and testable).
+        const Value& contig = input.Get("contig");
+        int64_t true_genes = ContigTrueGenes(*ctx, contig);
+        std::vector<double> sens = {ctx->hmm_sensitivity,
+                                    ctx->orf_sensitivity,
+                                    ctx->splice_sensitivity};
+        std::sort(sens.begin(), sens.end(), std::greater<>());
+        int k = std::clamp(ctx->votes_needed, 1, 3);
+        double joint = 1.0;
+        for (int i = 0; i < k; ++i) joint *= sens[static_cast<size_t>(i)];
+        int64_t accepted = static_cast<int64_t>(
+            std::floor(static_cast<double>(true_genes) * joint));
+        // False positives rarely agree across finders: suppressed by the
+        // vote. (Single-finder mode keeps them.)
+        int64_t false_kept =
+            k >= 2 ? 0 : HitField(input.Get("hmm"), "false_hits");
+        ActivityOutput out;
+        out.fields["accepted"] = Value(accepted + false_kept);
+        out.fields["candidates"] =
+            Value(HitField(input.Get("hmm"), "true_hits") +
+                  HitField(input.Get("orf"), "true_hits") +
+                  HitField(input.Get("splice"), "true_hits"));
+        out.cost = Duration::Seconds(20);
+        return out;
+      }));
+
+  BIOPERA_RETURN_IF_ERROR(registry->Register(
+      "genepred.merge",
+      [](const ActivityInput& input) -> Result<ActivityOutput> {
+        const Value& results = input.Get("results");
+        if (!results.is_list()) {
+          return Status::InvalidArgument("merge: results missing");
+        }
+        int64_t total = 0;
+        for (const Value& r : results.AsList()) {
+          if (!r.is_map()) continue;
+          auto it = r.AsMap().find("accepted");
+          if (it != r.AsMap().end() && it->second.is_int()) {
+            total += it->second.AsInt();
+          }
+        }
+        ActivityOutput out;
+        out.fields["gene_count"] = Value(total);
+        out.fields["annotation"] =
+            Value("annotation.gff (" + std::to_string(total) + " genes)");
+        out.cost = Duration::Seconds(30);
+        return out;
+      }));
+  return Status::OK();
+}
+
+}  // namespace biopera::workloads

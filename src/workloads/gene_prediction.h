@@ -1,0 +1,52 @@
+#ifndef BIOPERA_WORKLOADS_GENE_PREDICTION_H_
+#define BIOPERA_WORKLOADS_GENE_PREDICTION_H_
+
+#include <memory>
+
+#include "core/activity.h"
+#include "ocr/model.h"
+
+namespace biopera::workloads {
+
+/// The gene-prediction package sketched in the paper's future work (§6):
+/// "As each new genome is made available, the process will apply several
+/// existing and new gene finding algorithms to the raw DNA dataset."
+///
+/// Structure: fetch the genome and split it into contigs, fan the contigs
+/// out with a parallel task, and inside each contig run THREE independent
+/// gene finders (HMM, ORF scan, splice-site model) whose candidate sets a
+/// consensus step combines; a final merge step assembles the genome-wide
+/// annotation. The per-contig part is a subprocess so alternative finder
+/// sets can be swapped in by re-registering one template (late binding).
+struct GenePredictionContext {
+  /// Genome size in kilobases (fetch splits it into ~`contig_kb` contigs).
+  int64_t genome_kb = 4000;
+  int64_t contig_kb = 250;
+  /// True gene density per kb, and per-finder detection characteristics
+  /// (sensitivity; false positives per kb).
+  double genes_per_kb = 0.9;
+  double hmm_sensitivity = 0.85;
+  double orf_sensitivity = 0.70;
+  double splice_sensitivity = 0.60;
+  double false_positives_per_kb = 0.15;
+  /// A candidate is accepted when at least `votes_needed` finders agree.
+  int votes_needed = 2;
+  /// Reference-CPU seconds per kb for each finder.
+  double hmm_cost_per_kb = 2.0;
+  double orf_cost_per_kb = 0.4;
+  double splice_cost_per_kb = 1.1;
+};
+
+/// Top-level process "gene_prediction" (whiteboard inputs: genome_kb).
+ocr::ProcessDef BuildGenePredictionProcess();
+/// Per-contig subprocess "predict_contig" (three finders + consensus).
+ocr::ProcessDef BuildPredictContigProcess();
+
+/// Registers bindings "genepred.*".
+Status RegisterGenePredictionActivities(
+    core::ActivityRegistry* registry,
+    std::shared_ptr<GenePredictionContext> context);
+
+}  // namespace biopera::workloads
+
+#endif  // BIOPERA_WORKLOADS_GENE_PREDICTION_H_

@@ -1,0 +1,108 @@
+#include "workloads/partition.h"
+
+#include <algorithm>
+
+namespace biopera::workloads {
+
+std::vector<Teu> PartitionByCost(const std::vector<uint32_t>& lengths,
+                                 size_t num_teus) {
+  std::vector<Teu> out;
+  const size_t n = lengths.size();
+  if (n == 0 || num_teus == 0) return out;
+  num_teus = std::min(num_teus, n);
+
+  // Suffix length sums, then per-entry triangular cost.
+  std::vector<double> suffix(n + 1, 0.0);
+  for (size_t i = n; i > 0; --i) {
+    suffix[i - 1] = suffix[i] + lengths[i - 1];
+  }
+  std::vector<double> cost(n);
+  double total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    cost[i] = static_cast<double>(lengths[i]) * suffix[i + 1];
+    total += cost[i];
+  }
+
+  // Greedy sweep: each TEU takes entries until it reaches its share of the
+  // remaining cost, always leaving at least one entry per remaining TEU.
+  size_t start = 0;
+  double remaining = total;
+  for (size_t k = 0; k < num_teus; ++k) {
+    size_t teus_left = num_teus - k;
+    double share = remaining / static_cast<double>(teus_left);
+    size_t max_end = n - (teus_left - 1);
+    size_t end = start;
+    double acc = 0;
+    while (end < max_end && (end == start || acc + cost[end] <= share ||
+                             acc == 0)) {
+      acc += cost[end];
+      ++end;
+    }
+    out.push_back(
+        Teu{static_cast<uint32_t>(start), static_cast<uint32_t>(end)});
+    remaining -= acc;
+    start = end;
+  }
+  out.back().last = static_cast<uint32_t>(n);
+  return out;
+}
+
+std::vector<Teu> PartitionByCount(size_t queue_size, size_t num_teus) {
+  std::vector<Teu> out;
+  if (queue_size == 0 || num_teus == 0) return out;
+  num_teus = std::min(num_teus, queue_size);
+  size_t base = queue_size / num_teus;
+  size_t extra = queue_size % num_teus;
+  uint32_t start = 0;
+  for (size_t k = 0; k < num_teus; ++k) {
+    uint32_t size = static_cast<uint32_t>(base + (k < extra ? 1 : 0));
+    out.push_back(Teu{start, start + size});
+    start += size;
+  }
+  return out;
+}
+
+ocr::Value TeusToValue(const std::vector<Teu>& teus) {
+  ocr::Value::List list;
+  for (const Teu& teu : teus) {
+    ocr::Value::Map m;
+    m["first"] = ocr::Value(static_cast<int64_t>(teu.first));
+    m["last"] = ocr::Value(static_cast<int64_t>(teu.last));
+    list.emplace_back(std::move(m));
+  }
+  return ocr::Value(std::move(list));
+}
+
+Result<Teu> TeuFromValue(const ocr::Value& value) {
+  if (!value.is_map()) {
+    return Status::InvalidArgument("TEU value must be a map");
+  }
+  const auto& m = value.AsMap();
+  auto first = m.find("first");
+  auto last = m.find("last");
+  if (first == m.end() || last == m.end() || !first->second.is_int() ||
+      !last->second.is_int()) {
+    return Status::InvalidArgument("TEU value needs int first/last");
+  }
+  Teu teu;
+  teu.first = static_cast<uint32_t>(first->second.AsInt());
+  teu.last = static_cast<uint32_t>(last->second.AsInt());
+  if (teu.last < teu.first) {
+    return Status::InvalidArgument("TEU range reversed");
+  }
+  return teu;
+}
+
+Result<std::vector<Teu>> TeusFromValue(const ocr::Value& value) {
+  if (!value.is_list()) {
+    return Status::InvalidArgument("TEU list value must be a list");
+  }
+  std::vector<Teu> out;
+  for (const auto& v : value.AsList()) {
+    BIOPERA_ASSIGN_OR_RETURN(Teu teu, TeuFromValue(v));
+    out.push_back(teu);
+  }
+  return out;
+}
+
+}  // namespace biopera::workloads

@@ -1,0 +1,44 @@
+#ifndef BIOPERA_WORKLOADS_PARTITION_H_
+#define BIOPERA_WORKLOADS_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "ocr/value.h"
+
+namespace biopera::workloads {
+
+/// One task execution unit (TEU): a contiguous range [first, last) of
+/// positions in the queue file. TEU i aligns each of its entries against
+/// all entries with a larger queue position (triangular all-vs-all,
+/// redundant comparisons ruled out as in the paper's footnote).
+struct Teu {
+  uint32_t first = 0;
+  uint32_t last = 0;
+
+  uint32_t size() const { return last - first; }
+  friend bool operator==(const Teu&, const Teu&) = default;
+};
+
+/// Splits `queue_size` entries into `num_teus` contiguous TEUs balanced by
+/// *estimated cost* (each entry's cost is its length times the total
+/// length of all later entries). `lengths[i]` is the residue length of the
+/// i-th queue entry. Balancing by cost rather than by count matters
+/// because the triangular structure makes early entries far more expensive
+/// (paper §5.3's straggler discussion).
+std::vector<Teu> PartitionByCost(const std::vector<uint32_t>& lengths,
+                                 size_t num_teus);
+
+/// Naive equal-count split (ablation baseline: shows the straggler effect
+/// that cost balancing removes).
+std::vector<Teu> PartitionByCount(size_t queue_size, size_t num_teus);
+
+/// OCR value encoding: a TEU list <-> list of {"first", "last"} maps.
+ocr::Value TeusToValue(const std::vector<Teu>& teus);
+Result<std::vector<Teu>> TeusFromValue(const ocr::Value& value);
+Result<Teu> TeuFromValue(const ocr::Value& value);
+
+}  // namespace biopera::workloads
+
+#endif  // BIOPERA_WORKLOADS_PARTITION_H_

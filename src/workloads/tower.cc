@@ -1,0 +1,272 @@
+#include "workloads/tower.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "ocr/builder.h"
+
+namespace biopera::workloads {
+
+using core::ActivityInput;
+using core::ActivityOutput;
+using ocr::ProcessDef;
+using ocr::TaskBuilder;
+using ocr::Value;
+
+namespace {
+
+int64_t IntParam(const ActivityInput& input, const std::string& name,
+                 int64_t dflt) {
+  const Value& v = input.Get(name);
+  return v.is_int() ? v.AsInt() : dflt;
+}
+
+}  // namespace
+
+ProcessDef BuildTowerProcess() {
+  Result<ProcessDef> def =
+      ocr::ProcessBuilder("tower_of_information")
+          .Data("num_dna", Value(0))
+          .Data("dna_count")
+          .Data("protein_count")
+          .Data("shards")
+          .Data("comparative_results")
+          .Data("tree_count")
+          .Data("prediction_count")
+          .Task(TaskBuilder::Activity("acquire_dna", "tower.acquire")
+                    .Input("wb.num_dna", "in.count")
+                    .Output("out.dna_count", "wb.dna_count")
+                    .Retry(3, Duration::Minutes(1)))
+          .Task(TaskBuilder::Subprocess("genomics", "tower_genomics")
+                    .Input("wb.dna_count", "in.dna_count")
+                    .Output("out.protein_count", "wb.protein_count")
+                    .Output("out.shards", "wb.shards"))
+          .Task(TaskBuilder::Parallel(
+                    "comparative", "wb.shards",
+                    TaskBuilder::Subprocess("shard", "tower_comparative")
+                        .Input("item", "in.shard"))
+                    .Collect("wb.comparative_results"))
+          .Task(TaskBuilder::Subprocess("phylogeny", "tower_phylogeny")
+                    .Input("wb.protein_count", "in.protein_count")
+                    .Output("out.tree_count", "wb.tree_count"))
+          .Task(TaskBuilder::Subprocess("prediction", "tower_prediction")
+                    .Input("wb.protein_count", "in.protein_count")
+                    .Input("wb.tree_count", "in.tree_count")
+                    .Output("out.prediction_count", "wb.prediction_count"))
+          .Connect("acquire_dna", "genomics")
+          .Connect("genomics", "comparative")
+          .Connect("comparative", "phylogeny")
+          .Connect("phylogeny", "prediction")
+          .Build();
+  assert(def.ok());
+  return std::move(*def);
+}
+
+std::vector<ProcessDef> BuildTowerSubprocesses() {
+  std::vector<ProcessDef> out;
+
+  Result<ProcessDef> genomics =
+      ocr::ProcessBuilder("tower_genomics")
+          .Data("dna_count", Value(0))
+          .Data("gene_count")
+          .Data("protein_count")
+          .Data("shards")
+          .Task(TaskBuilder::Activity("gene_finding", "tower.gene_finding")
+                    .Input("wb.dna_count", "in.count")
+                    .Output("out.gene_count", "wb.gene_count")
+                    .Retry(3, Duration::Minutes(1)))
+          .Task(TaskBuilder::Activity("translation", "tower.translation")
+                    .Input("wb.gene_count", "in.count")
+                    .Output("out.protein_count", "wb.protein_count")
+                    .Output("out.shards", "wb.shards")
+                    .Retry(3, Duration::Minutes(1)))
+          .Connect("gene_finding", "translation")
+          .Build();
+  assert(genomics.ok());
+  out.push_back(std::move(*genomics));
+
+  Result<ProcessDef> comparative =
+      ocr::ProcessBuilder("tower_comparative")
+          .Data("shard")
+          .Data("alignment_count")
+          .Data("variance_count")
+          .Task(TaskBuilder::Activity("pairwise_alignment",
+                                      "tower.pairwise_alignment")
+                    .Input("wb.shard", "in.shard")
+                    .Output("out.alignment_count", "wb.alignment_count")
+                    .Retry(5, Duration::Minutes(2)))
+          .Task(TaskBuilder::Activity("variances", "tower.variances")
+                    .Input("wb.alignment_count", "in.count")
+                    .Output("out.variance_count", "wb.variance_count")
+                    .Retry(5, Duration::Minutes(2)))
+          .Connect("pairwise_alignment", "variances")
+          .Build();
+  assert(comparative.ok());
+  out.push_back(std::move(*comparative));
+
+  Result<ProcessDef> phylogeny =
+      ocr::ProcessBuilder("tower_phylogeny")
+          .Data("protein_count", Value(0))
+          .Data("msa_count")
+          .Data("tree_count")
+          .Data("ancestral_count")
+          .Task(TaskBuilder::Activity("msa", "tower.msa")
+                    .Input("wb.protein_count", "in.count")
+                    .Output("out.msa_count", "wb.msa_count")
+                    .Retry(3, Duration::Minutes(2)))
+          .Task(TaskBuilder::Activity("trees", "tower.trees")
+                    .Input("wb.msa_count", "in.count")
+                    .Output("out.tree_count", "wb.tree_count")
+                    .Retry(3, Duration::Minutes(2)))
+          .Task(TaskBuilder::Activity("ancestral", "tower.ancestral")
+                    .Input("wb.tree_count", "in.count")
+                    .Output("out.ancestral_count", "wb.ancestral_count")
+                    .Retry(3, Duration::Minutes(2)))
+          .Connect("msa", "trees")
+          .Connect("trees", "ancestral")
+          .Build();
+  assert(phylogeny.ok());
+  out.push_back(std::move(*phylogeny));
+
+  Result<ProcessDef> prediction =
+      ocr::ProcessBuilder("tower_prediction")
+          .Data("protein_count", Value(0))
+          .Data("tree_count", Value(0))
+          .Data("structure_count")
+          .Data("prediction_count")
+          .Task(TaskBuilder::Activity("secondary_structure",
+                                      "tower.structure")
+                    .Input("wb.protein_count", "in.count")
+                    .Input("wb.tree_count", "in.trees")
+                    .Output("out.structure_count", "wb.structure_count")
+                    .Retry(3, Duration::Minutes(2)))
+          .Task(TaskBuilder::Activity("function", "tower.function")
+                    .Input("wb.structure_count", "in.count")
+                    .Output("out.prediction_count", "wb.prediction_count")
+                    .Retry(3, Duration::Minutes(2)))
+          .Connect("secondary_structure", "function")
+          .Build();
+  assert(prediction.ok());
+  out.push_back(std::move(*prediction));
+
+  return out;
+}
+
+Status RegisterTowerActivities(core::ActivityRegistry* registry,
+                               std::shared_ptr<TowerContext> context) {
+  auto counting = [registry](const std::string& binding,
+                             std::function<Result<ActivityOutput>(
+                                 const ActivityInput&)> fn) {
+    return registry->Register(binding, std::move(fn));
+  };
+
+  BIOPERA_RETURN_IF_ERROR(counting(
+      "tower.acquire",
+      [ctx = context](const ActivityInput& input) -> Result<ActivityOutput> {
+        int64_t n = IntParam(input, "count", 0);
+        if (n <= 0) n = ctx->num_dna_sequences;
+        ActivityOutput out;
+        out.fields["dna_count"] = Value(n);
+        out.cost = Duration::Seconds(5 + 0.001 * static_cast<double>(n));
+        return out;
+      }));
+
+  BIOPERA_RETURN_IF_ERROR(counting(
+      "tower.gene_finding",
+      [ctx = context](const ActivityInput& input) -> Result<ActivityOutput> {
+        int64_t n = IntParam(input, "count", 0);
+        ActivityOutput out;
+        out.fields["gene_count"] = Value(static_cast<int64_t>(
+            std::llround(static_cast<double>(n) * ctx->gene_rate)));
+        out.cost = Duration::Seconds(ctx->gene_finding_cost *
+                                     static_cast<double>(n));
+        return out;
+      }));
+
+  BIOPERA_RETURN_IF_ERROR(counting(
+      "tower.translation",
+      [ctx = context](const ActivityInput& input) -> Result<ActivityOutput> {
+        int64_t n = IntParam(input, "count", 0);
+        ActivityOutput out;
+        out.fields["protein_count"] = Value(n);
+        // Shard the protein set for the parallel comparative stage.
+        int64_t shard_size = 250;
+        Value::List shards;
+        for (int64_t start = 0; start < n; start += shard_size) {
+          Value::Map shard;
+          shard["first"] = Value(start);
+          shard["last"] = Value(std::min(n, start + shard_size));
+          shards.emplace_back(std::move(shard));
+        }
+        out.fields["shards"] = Value(std::move(shards));
+        out.cost =
+            Duration::Seconds(ctx->translation_cost * static_cast<double>(n));
+        return out;
+      }));
+
+  BIOPERA_RETURN_IF_ERROR(counting(
+      "tower.pairwise_alignment",
+      [ctx = context](const ActivityInput& input) -> Result<ActivityOutput> {
+        const Value& shard = input.Get("shard");
+        if (!shard.is_map()) {
+          return Status::InvalidArgument("pairwise_alignment: shard missing");
+        }
+        int64_t first = 0, last = 0;
+        auto f = shard.AsMap().find("first");
+        auto l = shard.AsMap().find("last");
+        if (f != shard.AsMap().end() && f->second.is_int()) {
+          first = f->second.AsInt();
+        }
+        if (l != shard.AsMap().end() && l->second.is_int()) {
+          last = l->second.AsInt();
+        }
+        int64_t n = std::max<int64_t>(0, last - first);
+        ActivityOutput out;
+        out.fields["alignment_count"] = Value(n * (n - 1) / 2);
+        out.cost =
+            Duration::Seconds(ctx->alignment_cost * static_cast<double>(n));
+        return out;
+      }));
+
+  BIOPERA_RETURN_IF_ERROR(counting(
+      "tower.variances",
+      [ctx = context](const ActivityInput& input) -> Result<ActivityOutput> {
+        int64_t n = IntParam(input, "count", 0);
+        ActivityOutput out;
+        out.fields["variance_count"] = Value(n);
+        out.cost = Duration::Seconds(
+            ctx->variance_cost * std::sqrt(static_cast<double>(n) + 1));
+        return out;
+      }));
+
+  auto chain_step = [&](const std::string& binding, double unit_cost,
+                        const std::string& out_field, double ratio) {
+    return counting(
+        binding,
+        [unit_cost, out_field, ratio](
+            const ActivityInput& input) -> Result<ActivityOutput> {
+          int64_t n = IntParam(input, "count", 0);
+          ActivityOutput out;
+          out.fields[out_field] = Value(static_cast<int64_t>(
+              std::llround(static_cast<double>(n) * ratio)));
+          out.cost = Duration::Seconds(
+              1.0 + unit_cost * std::sqrt(static_cast<double>(n) + 1));
+          return out;
+        });
+  };
+  BIOPERA_RETURN_IF_ERROR(
+      chain_step("tower.msa", context->msa_cost, "msa_count", 0.2));
+  BIOPERA_RETURN_IF_ERROR(
+      chain_step("tower.trees", context->tree_cost, "tree_count", 1.0));
+  BIOPERA_RETURN_IF_ERROR(chain_step("tower.ancestral",
+                                     context->ancestral_cost,
+                                     "ancestral_count", 3.0));
+  BIOPERA_RETURN_IF_ERROR(chain_step("tower.structure",
+                                     context->structure_cost,
+                                     "structure_count", 1.0));
+  BIOPERA_RETURN_IF_ERROR(chain_step("tower.function", context->function_cost,
+                                     "prediction_count", 0.8));
+  return Status::OK();
+}
+
+}  // namespace biopera::workloads

@@ -1,0 +1,52 @@
+#ifndef BIOPERA_WORKLOADS_TOWER_H_
+#define BIOPERA_WORKLOADS_TOWER_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "core/activity.h"
+#include "ocr/model.h"
+
+namespace biopera::workloads {
+
+/// Parameters of the tower-of-information workload (paper Figure 1): the
+/// chain of derived datasets from raw DNA to protein function.
+struct TowerContext {
+  /// Number of raw DNA sequences entering the tower.
+  int64_t num_dna_sequences = 2000;
+  /// Fraction of DNA entries in which a gene is found.
+  double gene_rate = 0.7;
+  /// Simulated per-item costs (reference-CPU seconds) of each step.
+  double gene_finding_cost = 0.8;
+  double translation_cost = 0.05;
+  double alignment_cost = 2.5;
+  double variance_cost = 0.3;
+  double msa_cost = 6.0;
+  double tree_cost = 20.0;
+  double ancestral_cost = 4.0;
+  double structure_cost = 9.0;
+  double function_cost = 1.5;
+};
+
+/// The tower process: every step of Figure 1 as a *subprocess* (the paper:
+/// "the tower of information is built as a process where every step is a
+/// subprocess"), with the sequence-analysis middle stages fanned out by a
+/// parallel task over dataset shards.
+///
+/// Top-level structure:
+///   acquire_dna -> genomics (subprocess: gene finding -> translation)
+///               -> comparative (parallel over shards: subprocess with
+///                  pairwise alignment -> variances)
+///               -> phylogeny (subprocess: MSA -> trees -> ancestral seqs)
+///               -> prediction (subprocess: secondary structure -> function)
+ocr::ProcessDef BuildTowerProcess();
+/// Subprocess templates referenced by the tower; register all of them.
+std::vector<ocr::ProcessDef> BuildTowerSubprocesses();
+
+/// Registers the tower activity bindings ("tower.*").
+Status RegisterTowerActivities(core::ActivityRegistry* registry,
+                               std::shared_ptr<TowerContext> context);
+
+}  // namespace biopera::workloads
+
+#endif  // BIOPERA_WORKLOADS_TOWER_H_

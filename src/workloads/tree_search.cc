@@ -1,0 +1,160 @@
+#include "workloads/tree_search.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "ocr/builder.h"
+
+namespace biopera::workloads {
+
+using core::ActivityInput;
+using core::ActivityOutput;
+using ocr::ProcessDef;
+using ocr::TaskBuilder;
+using ocr::Value;
+
+double TreeSearchContext::CandidateLogLikelihood(int64_t round,
+                                                 int64_t candidate,
+                                                 double incoming_best) const {
+  // Deterministic pseudo-random landscape: most candidates are worse, a
+  // few improve; the attainable improvement shrinks geometrically with the
+  // round (local search approaching a local optimum).
+  Rng rng(seed ^ (static_cast<uint64_t>(round) << 32) ^
+          static_cast<uint64_t>(candidate));
+  double max_gain = 40.0 * std::pow(0.7, static_cast<double>(round));
+  double u = rng.NextDouble();
+  if (candidate == 0 || u > 0.75) {
+    // An improving move (candidate 0 always improves slightly: the
+    // landscape guarantees monotone progress until gains vanish).
+    return incoming_best + max_gain * rng.NextDouble();
+  }
+  return incoming_best - 30.0 * rng.NextDouble();
+}
+
+ProcessDef BuildTreeSearchProcess(int rounds) {
+  assert(rounds >= 1);
+  ocr::ProcessBuilder builder("tree_search");
+  builder.Data("num_taxa", Value(0));
+  builder.Data("best_ll", Value(-100000.0));
+  builder.Data("rounds_run", Value(0));
+  std::string prev;
+  for (int r = 0; r < rounds; ++r) {
+    std::string tag = std::to_string(r);
+    std::string candidates = "candidates_" + tag;
+    std::string scores = "scores_" + tag;
+    builder.Data(candidates);
+    builder.Data(scores);
+    builder.Task(TaskBuilder::Activity("propose_" + tag,
+                                       "treesearch.propose")
+                     .Input("wb.best_ll", "in.best_ll")
+                     .Input("wb.rounds_run", "in.round")
+                     .Output("out.candidates", "wb." + candidates)
+                     .Retry(3, Duration::Minutes(1)));
+    builder.Task(
+        TaskBuilder::Parallel("evaluate_" + tag, "wb." + candidates,
+                              TaskBuilder::Activity("eval",
+                                                    "treesearch.evaluate")
+                                  .Input("item", "in.candidate")
+                                  .Input("wb.num_taxa", "in.num_taxa"))
+            .Collect("wb." + scores));
+    builder.Task(TaskBuilder::Activity("select_" + tag, "treesearch.select")
+                     .Input("wb." + scores, "in.scores")
+                     .Input("wb.best_ll", "in.best_ll")
+                     .Input("wb.rounds_run", "in.rounds_run")
+                     .Output("out.best_ll", "wb.best_ll")
+                     .Output("out.rounds_run", "wb.rounds_run")
+                     .Retry(3, Duration::Minutes(1)));
+    if (!prev.empty()) builder.Connect(prev, "propose_" + tag);
+    builder.Connect("propose_" + tag, "evaluate_" + tag);
+    builder.Connect("evaluate_" + tag, "select_" + tag);
+    prev = "select_" + tag;
+  }
+  Result<ProcessDef> def = builder.Build();
+  assert(def.ok());
+  return std::move(*def);
+}
+
+Status RegisterTreeSearchActivities(
+    core::ActivityRegistry* registry,
+    std::shared_ptr<TreeSearchContext> context) {
+  BIOPERA_RETURN_IF_ERROR(registry->Register(
+      "treesearch.propose",
+      [ctx = context](const ActivityInput& input) -> Result<ActivityOutput> {
+        double best = input.Get("best_ll").is_number()
+                          ? input.Get("best_ll").AsDouble()
+                          : -100000.0;
+        int64_t round = input.Get("round").is_int()
+                            ? input.Get("round").AsInt()
+                            : 0;
+        // Candidates carry (round, index, base) so each evaluation is a
+        // pure deterministic function — safe to re-execute after failures.
+        ActivityOutput out;
+        Value::List candidates;
+        for (int64_t c = 0; c < ctx->candidates_per_round; ++c) {
+          Value::Map candidate;
+          candidate["index"] = Value(c);
+          candidate["round"] = Value(round);
+          candidate["base_ll"] = Value(best);
+          candidates.emplace_back(std::move(candidate));
+        }
+        out.fields["candidates"] = Value(std::move(candidates));
+        out.cost = Duration::Seconds(15);
+        return out;
+      }));
+
+  BIOPERA_RETURN_IF_ERROR(registry->Register(
+      "treesearch.evaluate",
+      [ctx = context](const ActivityInput& input) -> Result<ActivityOutput> {
+        const Value& candidate = input.Get("candidate");
+        if (!candidate.is_map()) {
+          return Status::InvalidArgument("evaluate: candidate missing");
+        }
+        int64_t index = candidate.AsMap().at("index").AsInt();
+        double base = candidate.AsMap().at("base_ll").AsDouble();
+        int64_t round = candidate.AsMap().contains("round")
+                            ? candidate.AsMap().at("round").AsInt()
+                            : 0;
+        double ll = ctx->CandidateLogLikelihood(round, index, base);
+        int64_t taxa = input.Get("num_taxa").is_int() &&
+                               input.Get("num_taxa").AsInt() > 0
+                           ? input.Get("num_taxa").AsInt()
+                           : ctx->num_taxa;
+        ActivityOutput out;
+        out.fields["ll"] = Value(ll);
+        out.cost = Duration::Seconds(ctx->eval_cost_per_taxon *
+                                     static_cast<double>(taxa));
+        return out;
+      }));
+
+  BIOPERA_RETURN_IF_ERROR(registry->Register(
+      "treesearch.select",
+      [](const ActivityInput& input) -> Result<ActivityOutput> {
+        const Value& scores = input.Get("scores");
+        if (!scores.is_list()) {
+          return Status::InvalidArgument("select: scores missing");
+        }
+        double best = input.Get("best_ll").is_number()
+                          ? input.Get("best_ll").AsDouble()
+                          : -1e9;
+        for (const Value& s : scores.AsList()) {
+          if (s.is_map() && s.AsMap().contains("ll") &&
+              s.AsMap().at("ll").is_number()) {
+            best = std::max(best, s.AsMap().at("ll").AsDouble());
+          }
+        }
+        int64_t rounds = input.Get("rounds_run").is_int()
+                             ? input.Get("rounds_run").AsInt()
+                             : 0;
+        ActivityOutput out;
+        out.fields["best_ll"] = Value(best);
+        out.fields["rounds_run"] = Value(rounds + 1);
+        out.cost = Duration::Seconds(10);
+        return out;
+      }));
+  return Status::OK();
+}
+
+}  // namespace biopera::workloads

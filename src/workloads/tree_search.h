@@ -1,0 +1,51 @@
+#ifndef BIOPERA_WORKLOADS_TREE_SEARCH_H_
+#define BIOPERA_WORKLOADS_TREE_SEARCH_H_
+
+#include <memory>
+
+#include "core/activity.h"
+#include "ocr/model.h"
+
+namespace biopera::workloads {
+
+/// Search-space parallelization for the phylogenetic tree problem with
+/// maximum-likelihood scoring (paper future work, §6).
+///
+/// The classic local search: from the current best tree, *propose* a set
+/// of neighbor topologies (NNI/SPR moves), *evaluate* their likelihoods in
+/// parallel across the cluster, *select* the best, repeat. Each round is
+/// propose -> PARALLEL evaluate -> select; the candidate list is produced
+/// at runtime by the propose activity — exactly the §3.3 point that "the
+/// degree of parallelism can be determined at runtime by producing a
+/// longer or shorter list (this list can be produced by another
+/// activity)". OCR processes are acyclic, so the rounds are unrolled.
+struct TreeSearchContext {
+  /// Taxa in the tree (drives evaluation cost).
+  int64_t num_taxa = 64;
+  /// Neighbor candidates proposed per round.
+  int64_t candidates_per_round = 16;
+  /// Reference-CPU seconds to evaluate one candidate likelihood
+  /// (per taxon; ML scoring is expensive, hence the parallelization).
+  double eval_cost_per_taxon = 4.0;
+  /// Deterministic search-landscape seed.
+  uint64_t seed = 0x7ee5;
+
+  /// The deterministic likelihood of candidate `c` in round `r` given the
+  /// incoming best log-likelihood. The landscape guarantees that at least
+  /// one candidate improves, with diminishing returns per round.
+  double CandidateLogLikelihood(int64_t round, int64_t candidate,
+                                double incoming_best) const;
+};
+
+/// Builds the unrolled process "tree_search" with `rounds` rounds.
+/// Whiteboard inputs: none required (num_taxa defaults from the context);
+/// outputs: best_ll (final log-likelihood), rounds_run.
+ocr::ProcessDef BuildTreeSearchProcess(int rounds);
+
+/// Registers bindings "treesearch.*".
+Status RegisterTreeSearchActivities(core::ActivityRegistry* registry,
+                                    std::shared_ptr<TreeSearchContext> context);
+
+}  // namespace biopera::workloads
+
+#endif  // BIOPERA_WORKLOADS_TREE_SEARCH_H_

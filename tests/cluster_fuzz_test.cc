@@ -1,0 +1,145 @@
+// Randomized invariant testing for the cluster simulator: arbitrary
+// interleavings of job starts/kills, crashes/repairs, load changes, CPU
+// reconfigurations and partitions must preserve the bookkeeping
+// invariants the engine relies on.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "sim/simulator.h"
+#include "tests/test_util.h"
+
+namespace biopera::cluster {
+namespace {
+
+class CountingListener : public ClusterListener {
+ public:
+  void OnJobFinished(JobId id, const std::string&) override {
+    EXPECT_TRUE(outstanding.erase(id)) << "finish for unknown job " << id;
+    ++finished;
+  }
+  void OnJobFailed(JobId id, const std::string&,
+                   const std::string&) override {
+    EXPECT_TRUE(outstanding.erase(id)) << "failure for unknown job " << id;
+    ++failed;
+  }
+  void OnNodeDown(const std::string&) override { ++downs; }
+  void OnNodeUp(const std::string&) override { ++ups; }
+  void OnLoadReport(const std::string&, double load) override {
+    EXPECT_GE(load, 0.0);
+    EXPECT_LE(load, 1.0);
+  }
+  void OnConfigChanged(const NodeConfig&) override {}
+
+  std::set<JobId> outstanding;  // started and not yet reported/killed
+  int finished = 0;
+  int failed = 0;
+  int downs = 0;
+  int ups = 0;
+};
+
+class ClusterFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClusterFuzz, InvariantsHoldUnderRandomOperations) {
+  biopera::Rng rng(7000 + static_cast<uint64_t>(GetParam()));
+  Simulator sim;
+  ClusterSim cluster(&sim);
+  CountingListener listener;
+  cluster.SetListener(&listener);
+  const int kNodes = 3;
+  for (int i = 0; i < kNodes; ++i) {
+    ASSERT_OK(cluster.AddNode({.name = "n" + std::to_string(i),
+                               .num_cpus = 1 + static_cast<int>(i % 2)}));
+  }
+
+  JobId next_job = 1;
+  int started = 0, killed = 0;
+  double total_started_work = 0;
+  std::set<JobId> partition_lost;  // jobs whose reports may never arrive
+
+  for (int step = 0; step < 300; ++step) {
+    sim.RunFor(Duration::Seconds(static_cast<double>(
+        rng.UniformInt(1, 120))));
+    std::string node = "n" + std::to_string(rng.UniformInt(0, kNodes - 1));
+    switch (rng.UniformInt(0, 6)) {
+      case 0:
+      case 1: {  // start a job
+        double work = static_cast<double>(rng.UniformInt(10, 600));
+        JobId id = next_job++;
+        Status st = cluster.StartJob(id, node, Duration::Seconds(work));
+        if (st.ok()) {
+          listener.outstanding.insert(id);
+          ++started;
+          total_started_work += work;
+        } else {
+          EXPECT_TRUE(st.IsUnavailable() || st.IsNotFound())
+              << st.ToString();
+        }
+        break;
+      }
+      case 2: {  // kill a random outstanding job (engine abort/migration)
+        if (!listener.outstanding.empty()) {
+          JobId id = *listener.outstanding.begin();
+          Status st = cluster.KillJob(id);
+          if (st.ok()) {
+            listener.outstanding.erase(id);
+            ++killed;
+          }
+          // NotFound: its completion report is queued at a partitioned
+          // node; it stays "outstanding" until delivery or crash.
+        }
+        break;
+      }
+      case 3:  // crash (failures reported for its jobs)
+        ASSERT_OK(cluster.CrashNode(node));
+        // Jobs that completed behind a partition died with their queued
+        // reports; the listener will never hear about them.
+        break;
+      case 4:
+        ASSERT_OK(cluster.RepairNode(node));
+        break;
+      case 5:
+        ASSERT_OK(cluster.SetExternalLoad(
+            node, rng.Uniform(0.0, 2.5)));  // clamped internally
+        break;
+      case 6:
+        if (rng.Bernoulli(0.3)) {
+          ASSERT_OK(cluster.SetNodeCpus(
+              node, 1 + static_cast<int>(rng.UniformInt(0, 3))));
+        } else {
+          ASSERT_OK(cluster.SetConnected(node, rng.Bernoulli(0.5)));
+        }
+        break;
+    }
+    // Continuous invariants.
+    EXPECT_LE(cluster.NumRunningJobs(), listener.outstanding.size());
+    EXPECT_GE(cluster.WastedWork().ToSeconds(), 0.0);
+    EXPECT_LE(cluster.WastedWork().ToSeconds(), total_started_work + 1e-6);
+    double avail = cluster.AvailabilitySeries().At(
+        sim.Now().SinceEpoch().ToDays());
+    EXPECT_DOUBLE_EQ(avail, cluster.AvailableCpus());
+  }
+
+  // Quiesce: heal everything and drain.
+  for (int i = 0; i < kNodes; ++i) {
+    cluster.RepairNode("n" + std::to_string(i));
+    cluster.SetExternalLoad("n" + std::to_string(i), 0);
+    cluster.SetConnected("n" + std::to_string(i), true);
+  }
+  sim.Run();
+  // Every started job was accounted for exactly once: finished, failed,
+  // killed, or lost with a crashed PEC's report queue (those left the
+  // outstanding set never; count them via the balance).
+  int lost_with_pec = started - listener.finished - listener.failed - killed;
+  EXPECT_GE(lost_with_pec, 0);
+  EXPECT_EQ(listener.outstanding.size(), static_cast<size_t>(lost_with_pec));
+  EXPECT_EQ(cluster.NumRunningJobs(), 0u);
+  EXPECT_GE(listener.downs, listener.ups - kNodes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterFuzz, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace biopera::cluster

@@ -1,0 +1,261 @@
+// Tests for Engine::Invalidate (recompute-on-change) and the admin
+// console.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "core/console.h"
+#include "core/engine.h"
+#include "ocr/builder.h"
+#include "sim/simulator.h"
+#include "store/record_store.h"
+#include "tests/test_util.h"
+
+namespace biopera::core {
+namespace {
+
+using ocr::ProcessBuilder;
+using ocr::TaskBuilder;
+using ocr::Value;
+
+struct World {
+  World() {
+    auto opened = RecordStore::Open(dir.path());
+    EXPECT_TRUE(opened.ok());
+    store = std::move(*opened);
+    cluster = std::make_unique<cluster::ClusterSim>(&sim);
+    for (int i = 0; i < 2; ++i) {
+      EXPECT_OK(cluster->AddNode({.name = "node" + std::to_string(i),
+                                  .num_cpus = 2,
+                                  .speed = 1.0}));
+    }
+    engine = std::make_unique<Engine>(&sim, cluster.get(), store.get(),
+                                      &registry, EngineOptions());
+    // "algorithm": versioned implementation — Override() models upgrading
+    // the analysis software between runs.
+    EXPECT_OK(registry.Register(
+        "algorithm", [this](const ActivityInput& in) -> Result<ActivityOutput> {
+          ActivityOutput out;
+          int64_t x = in.Get("x").is_int() ? in.Get("x").AsInt() : 0;
+          out.fields["y"] = Value(x + version);
+          out.cost = Duration::Seconds(10);
+          return out;
+        }));
+    EXPECT_OK(registry.Register(
+        "double_it", [](const ActivityInput& in) -> Result<ActivityOutput> {
+          ActivityOutput out;
+          out.fields["y"] = Value(in.Get("x").AsInt() * 2);
+          out.cost = Duration::Seconds(10);
+          return out;
+        }));
+    EXPECT_OK(engine->Startup());
+  }
+
+  testing::TempDir dir;
+  Simulator sim;
+  std::unique_ptr<RecordStore> store;
+  std::unique_ptr<cluster::ClusterSim> cluster;
+  ActivityRegistry registry;
+  std::unique_ptr<Engine> engine;
+  int64_t version = 1;
+};
+
+/// source -> analyze -> report (a chain whose middle step's algorithm
+/// changes); plus an independent side branch.
+ocr::ProcessDef Pipeline() {
+  auto def = ProcessBuilder("pipeline")
+                 .Data("raw", Value(100))
+                 .Data("analyzed")
+                 .Data("report")
+                 .Data("side")
+                 .Task(TaskBuilder::Activity("source", "algorithm")
+                           .Input("wb.raw", "in.x")
+                           .Output("out.y", "wb.raw"))
+                 .Task(TaskBuilder::Activity("analyze", "algorithm")
+                           .Input("wb.raw", "in.x")
+                           .Output("out.y", "wb.analyzed"))
+                 .Task(TaskBuilder::Activity("report", "double_it")
+                           .Input("wb.analyzed", "in.x")
+                           .Output("out.y", "wb.report"))
+                 .Task(TaskBuilder::Activity("independent", "algorithm")
+                           .Output("out.y", "wb.side"))
+                 .Connect("source", "analyze")
+                 .Connect("analyze", "report")
+                 .Build();
+  EXPECT_TRUE(def.ok());
+  return std::move(*def);
+}
+
+TEST(InvalidateTest, RecomputesDownstreamWithUpgradedAlgorithm) {
+  World w;
+  ASSERT_OK(w.engine->RegisterTemplate(Pipeline()));
+  ASSERT_OK_AND_ASSIGN(std::string id, w.engine->StartProcess("pipeline"));
+  w.sim.Run();
+  // v1: source 100+1=101 -> analyze 102 -> report 204.
+  ASSERT_OK_AND_ASSIGN(Value report, w.engine->GetWhiteboardValue(id, "report"));
+  EXPECT_EQ(report, Value(204));
+  ASSERT_OK_AND_ASSIGN(auto done, w.engine->GetInstanceState(id));
+  EXPECT_EQ(done, InstanceState::kDone);
+
+  // The analysis algorithm is upgraded; only analyze+report recompute.
+  w.version = 5;
+  ASSERT_OK(w.engine->Invalidate(id, "analyze"));
+  w.sim.Run();
+  ASSERT_OK_AND_ASSIGN(report, w.engine->GetWhiteboardValue(id, "report"));
+  // source kept its checkpointed 101 (still v1!); analyze = 101+5 = 106;
+  // report = 212.
+  EXPECT_EQ(report, Value(212));
+  ASSERT_OK_AND_ASSIGN(Value raw, w.engine->GetWhiteboardValue(id, "raw"));
+  EXPECT_EQ(raw, Value(101));  // upstream untouched
+  ASSERT_OK_AND_ASSIGN(done, w.engine->GetInstanceState(id));
+  EXPECT_EQ(done, InstanceState::kDone);
+}
+
+TEST(InvalidateTest, IndependentBranchesUntouched) {
+  World w;
+  ASSERT_OK(w.engine->RegisterTemplate(Pipeline()));
+  ASSERT_OK_AND_ASSIGN(std::string id, w.engine->StartProcess("pipeline"));
+  w.sim.Run();
+  ASSERT_OK_AND_ASSIGN(auto before, w.engine->Summary(id));
+  uint64_t completed_before = before.stats.activities_completed;
+  ASSERT_OK(w.engine->Invalidate(id, "report"));
+  w.sim.Run();
+  ASSERT_OK_AND_ASSIGN(auto after, w.engine->Summary(id));
+  // Only `report` re-ran.
+  EXPECT_EQ(after.stats.activities_completed, completed_before + 1);
+}
+
+TEST(InvalidateTest, ErrorsOnBadArguments) {
+  World w;
+  ASSERT_OK(w.engine->RegisterTemplate(Pipeline()));
+  ASSERT_OK_AND_ASSIGN(std::string id, w.engine->StartProcess("pipeline"));
+  w.sim.Run();
+  EXPECT_TRUE(w.engine->Invalidate("ghost", "analyze").IsNotFound());
+  EXPECT_TRUE(w.engine->Invalidate(id, "ghost_task").IsNotFound());
+}
+
+TEST(InvalidateTest, SurvivesCrashMidRecompute) {
+  World w;
+  ASSERT_OK(w.engine->RegisterTemplate(Pipeline()));
+  ASSERT_OK_AND_ASSIGN(std::string id, w.engine->StartProcess("pipeline"));
+  w.sim.Run();
+  w.version = 7;
+  ASSERT_OK(w.engine->Invalidate(id, "analyze"));
+  w.sim.RunFor(Duration::Seconds(3));  // analyze re-running
+  w.engine->Crash();
+  ASSERT_OK(w.engine->Startup());
+  w.sim.Run();
+  ASSERT_OK_AND_ASSIGN(Value report, w.engine->GetWhiteboardValue(id, "report"));
+  EXPECT_EQ(report, Value((101 + 7) * 2));
+}
+
+// --- AdminConsole ----------------------------------------------------------------
+
+TEST(ConsoleTest, ListsAndStatus) {
+  World w;
+  ASSERT_OK(w.engine->RegisterTemplate(Pipeline()));
+  ASSERT_OK_AND_ASSIGN(std::string id, w.engine->StartProcess("pipeline"));
+  w.sim.Run();
+  AdminConsole console(w.engine.get());
+
+  ASSERT_OK_AND_ASSIGN(std::string templates, console.Execute("TEMPLATES"));
+  EXPECT_NE(templates.find("pipeline"), std::string::npos);
+
+  ASSERT_OK_AND_ASSIGN(std::string instances, console.Execute("instances"));
+  EXPECT_NE(instances.find(id), std::string::npos);
+  EXPECT_NE(instances.find("Done"), std::string::npos);
+
+  ASSERT_OK_AND_ASSIGN(std::string status,
+                       console.Execute("STATUS " + id));
+  EXPECT_NE(status.find("state: Done"), std::string::npos);
+
+  ASSERT_OK_AND_ASSIGN(std::string wb, console.Execute("WB " + id + " report"));
+  EXPECT_EQ(wb, "204\n");
+
+  ASSERT_OK_AND_ASSIGN(std::string lineage,
+                       console.Execute("LINEAGE " + id + " report"));
+  EXPECT_NE(lineage.find("written by report"), std::string::npos);
+
+  ASSERT_OK_AND_ASSIGN(std::string history,
+                       console.Execute("HISTORY " + id + " 3"));
+  EXPECT_NE(history.find("completed"), std::string::npos);
+
+  ASSERT_OK_AND_ASSIGN(std::string nodes, console.Execute("NODES"));
+  EXPECT_NE(nodes.find("node0"), std::string::npos);
+}
+
+TEST(ConsoleTest, ControlCommands) {
+  World w;
+  ASSERT_OK(w.engine->RegisterTemplate(Pipeline()));
+  ASSERT_OK_AND_ASSIGN(std::string id, w.engine->StartProcess("pipeline"));
+  AdminConsole console(w.engine.get());
+  ASSERT_OK(console.Execute("SUSPEND " + id).status());
+  ASSERT_OK_AND_ASSIGN(auto state, w.engine->GetInstanceState(id));
+  EXPECT_EQ(state, InstanceState::kSuspended);
+  ASSERT_OK(console.Execute("RESUME " + id).status());
+  w.sim.Run();
+  ASSERT_OK_AND_ASSIGN(state, w.engine->GetInstanceState(id));
+  EXPECT_EQ(state, InstanceState::kDone);
+  // Invalidate through the console.
+  ASSERT_OK(console.Execute("INVALIDATE " + id + " report").status());
+  w.sim.Run();
+  ASSERT_OK_AND_ASSIGN(state, w.engine->GetInstanceState(id));
+  EXPECT_EQ(state, InstanceState::kDone);
+}
+
+TEST(ConsoleTest, JobsAndWhatIf) {
+  World w;
+  ASSERT_OK(w.engine->RegisterTemplate(Pipeline()));
+  ASSERT_OK_AND_ASSIGN(std::string id, w.engine->StartProcess("pipeline"));
+  w.sim.RunFor(Duration::Seconds(2));  // source + independent running
+  AdminConsole console(w.engine.get());
+  ASSERT_OK_AND_ASSIGN(std::string jobs, console.Execute("JOBS"));
+  EXPECT_NE(jobs.find(id), std::string::npos);
+  ASSERT_OK_AND_ASSIGN(std::string plan, console.Execute("WHATIF node0"));
+  EXPECT_NE(plan.find("Outage plan"), std::string::npos);
+  w.sim.Run();
+}
+
+TEST(ArchiveTest, RemovesTerminalInstancesOnly) {
+  World w;
+  ASSERT_OK(w.engine->RegisterTemplate(Pipeline()));
+  ASSERT_OK_AND_ASSIGN(std::string id, w.engine->StartProcess("pipeline"));
+  // Still running: refused.
+  EXPECT_EQ(w.engine->Archive(id).code(), StatusCode::kFailedPrecondition);
+  w.sim.Run();
+  ASSERT_OK(w.engine->Archive(id));
+  EXPECT_TRUE(w.engine->Summary(id).status().IsNotFound());
+  // History survives archiving.
+  auto history = w.engine->GetHistory(id);
+  EXPECT_FALSE(history.empty());
+  EXPECT_NE(history.back().find("archived"), std::string::npos);
+  // And the instance does not come back after a server restart.
+  w.engine->Crash();
+  ASSERT_OK(w.engine->Startup());
+  EXPECT_TRUE(w.engine->Summary(id).status().IsNotFound());
+  EXPECT_TRUE(w.engine->Archive("ghost").IsNotFound());
+}
+
+TEST(ArchiveTest, ConsoleCommand) {
+  World w;
+  ASSERT_OK(w.engine->RegisterTemplate(Pipeline()));
+  ASSERT_OK_AND_ASSIGN(std::string id, w.engine->StartProcess("pipeline"));
+  w.sim.Run();
+  AdminConsole console(w.engine.get());
+  ASSERT_OK(console.Execute("ARCHIVE " + id).status());
+  EXPECT_TRUE(console.Execute("STATUS " + id).status().IsNotFound());
+}
+
+TEST(ConsoleTest, ErrorsAndHelp) {
+  World w;
+  AdminConsole console(w.engine.get());
+  EXPECT_TRUE(console.Execute("").status().IsInvalidArgument());
+  EXPECT_TRUE(console.Execute("FROBNICATE").status().IsInvalidArgument());
+  EXPECT_TRUE(console.Execute("STATUS").status().IsInvalidArgument());
+  EXPECT_TRUE(console.Execute("STATUS ghost").status().IsNotFound());
+  EXPECT_TRUE(console.Execute("HISTORY ghost").status().IsNotFound());
+  ASSERT_OK_AND_ASSIGN(std::string help, console.Execute("help"));
+  EXPECT_NE(help.find("WHATIF"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace biopera::core

@@ -1,0 +1,145 @@
+// Tests for the banded alignment optimization and the Karlin-Altschul
+// style score significance model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "darwin/banded.h"
+#include "darwin/generator.h"
+#include "darwin/significance.h"
+#include "tests/test_util.h"
+
+namespace biopera::darwin {
+namespace {
+
+Sequence Random(size_t len, uint64_t seed) {
+  Rng rng(seed);
+  const auto& f = BackgroundFrequencies();
+  std::vector<double> weights(f.begin(), f.end());
+  std::vector<uint8_t> r(len);
+  for (auto& c : r) c = static_cast<uint8_t>(rng.Discrete(weights));
+  return Sequence("r", std::move(r));
+}
+
+TEST(BandedTest, FullBandEqualsExactScore) {
+  Rng rng(1);
+  const PamFamily& family = SharedPamFamily();
+  const ScoringMatrix& matrix = family.Scoring(120);
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Sequence a = Random(90, 100 + seed);
+    Sequence b = Random(110, 200 + seed);
+    double exact = SmithWatermanScore(a, b, matrix);
+    double banded = BandedSmithWatermanScore(a, b, matrix, 200);
+    EXPECT_NEAR(banded, exact, 1e-9);
+  }
+}
+
+TEST(BandedTest, NeverExceedsExactScore) {
+  const ScoringMatrix& matrix = SharedPamFamily().Scoring(250);
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Sequence a = Random(120, 300 + seed);
+    Sequence b = Random(120, 400 + seed);
+    double exact = SmithWatermanScore(a, b, matrix);
+    for (size_t band : {4u, 16u, 64u}) {
+      EXPECT_LE(BandedSmithWatermanScore(a, b, matrix, band),
+                exact + 1e-9)
+          << "band " << band;
+    }
+  }
+}
+
+TEST(BandedTest, ExactForCloseHomologsWithSuggestedBand) {
+  Rng rng(7);
+  const PamFamily& family = SharedPamFamily();
+  const ScoringMatrix& matrix = family.Scoring(100);
+  for (int pam : {30, 80, 150}) {
+    Sequence a = Random(300, 500 + static_cast<uint64_t>(pam));
+    Sequence b = MutateSequence(a, pam, family, &rng);
+    size_t band = SuggestBand(a.length(), b.length(), pam);
+    double exact = SmithWatermanScore(a, b, matrix);
+    double banded = BandedSmithWatermanScore(a, b, matrix, band);
+    // No indels in our mutation model, so the optimal path hugs the
+    // diagonal: the suggested band must recover (nearly) the full score.
+    EXPECT_GE(banded, exact * 0.999) << "pam " << pam;
+  }
+}
+
+TEST(BandedTest, BandCoversLengthDifference) {
+  // A short domain against a long sequence: the band must reach the
+  // diagonal offset where the domain sits.
+  EXPECT_GE(SuggestBand(100, 400, 100), 300u);
+  EXPECT_GE(SuggestBand(400, 100, 100), 300u);
+}
+
+TEST(BandedTest, EmptyInputs) {
+  const ScoringMatrix& matrix = SharedPamFamily().Scoring(250);
+  Sequence empty("e", {});
+  Sequence a = Random(10, 1);
+  EXPECT_EQ(BandedSmithWatermanScore(empty, a, matrix, 5), 0);
+  EXPECT_EQ(BandedSmithWatermanScore(a, empty, matrix, 5), 0);
+}
+
+// --- Significance -------------------------------------------------------------
+
+TEST(SignificanceTest, CalibrationProducesPositiveParams) {
+  Rng rng(11);
+  const ScoringMatrix& matrix = SharedPamFamily().Scoring(250);
+  GumbelParams params = CalibrateGumbel(matrix, 150, 60, &rng);
+  EXPECT_GT(params.lambda, 0);
+  EXPECT_GT(params.k, 0);
+}
+
+TEST(SignificanceTest, ExpectDecreasesWithScore) {
+  Rng rng(12);
+  const ScoringMatrix& matrix = SharedPamFamily().Scoring(250);
+  GumbelParams params = CalibrateGumbel(matrix, 120, 60, &rng);
+  double e50 = PairExpect(params, 50, 120, 120);
+  double e80 = PairExpect(params, 80, 120, 120);
+  double e120 = PairExpect(params, 120, 120, 120);
+  EXPECT_GT(e50, e80);
+  EXPECT_GT(e80, e120);
+}
+
+TEST(SignificanceTest, ThresholdInvertsExpect) {
+  Rng rng(13);
+  const ScoringMatrix& matrix = SharedPamFamily().Scoring(250);
+  GumbelParams params = CalibrateGumbel(matrix, 120, 60, &rng);
+  double threshold =
+      ThresholdForExpectedHits(params, 120, 120, 1e6, 10.0);
+  // Plugging the threshold back yields the requested total expectation.
+  double total = PairExpect(params, threshold, 120, 120) * 1e6;
+  EXPECT_NEAR(total, 10.0, 1e-6);
+  // More pairs require a higher threshold for the same false-hit budget.
+  EXPECT_GT(ThresholdForExpectedHits(params, 120, 120, 1e9, 10.0),
+            threshold);
+}
+
+TEST(SignificanceTest, ThresholdSeparatesRandomFromHomologs) {
+  Rng rng(14);
+  const PamFamily& family = SharedPamFamily();
+  const ScoringMatrix& matrix = family.Scoring(250);
+  GumbelParams params = CalibrateGumbel(matrix, 150, 80, &rng);
+  // Threshold tuned for ~1 random hit across 10^5 comparisons.
+  double threshold = ThresholdForExpectedHits(params, 150, 150, 1e5, 1.0);
+  // Random pairs rarely reach it...
+  int random_hits = 0;
+  for (uint64_t s = 0; s < 30; ++s) {
+    if (SmithWatermanScore(Random(150, 900 + s), Random(150, 950 + s),
+                           matrix) >= threshold) {
+      ++random_hits;
+    }
+  }
+  EXPECT_LE(random_hits, 1);
+  // ...while close homologs exceed it consistently.
+  int homolog_hits = 0;
+  for (uint64_t s = 0; s < 10; ++s) {
+    Sequence root = Random(150, 700 + s);
+    Sequence rel = MutateSequence(root, 60, family, &rng);
+    if (SmithWatermanScore(root, rel, matrix) >= threshold) ++homolog_hits;
+  }
+  EXPECT_GE(homolog_hits, 9);
+}
+
+}  // namespace
+}  // namespace biopera::darwin

@@ -1,0 +1,367 @@
+// Tests for the advanced OCR constructs (§3.1) and the backup-server
+// architecture (§6 future work): spheres of atomicity with compensation,
+// event handling, and standby failover.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "core/backup.h"
+#include "core/engine.h"
+#include "ocr/builder.h"
+#include "ocr/ocr_text.h"
+#include "sim/simulator.h"
+#include "store/record_store.h"
+#include "tests/test_util.h"
+
+namespace biopera::core {
+namespace {
+
+using ocr::ProcessBuilder;
+using ocr::ProcessDef;
+using ocr::TaskBuilder;
+using ocr::Value;
+
+struct World {
+  explicit World(const EngineOptions& options = {}) {
+    auto opened = RecordStore::Open(dir.path());
+    EXPECT_TRUE(opened.ok());
+    store = std::move(*opened);
+    cluster = std::make_unique<cluster::ClusterSim>(&sim);
+    for (int i = 0; i < 2; ++i) {
+      EXPECT_OK(cluster->AddNode({.name = "node" + std::to_string(i),
+                                  .num_cpus = 2,
+                                  .speed = 1.0}));
+    }
+    engine = std::make_unique<Engine>(&sim, cluster.get(), store.get(),
+                                      &registry, options);
+    // "reserve": succeeds, counts calls; compensated by "release".
+    EXPECT_OK(registry.Register(
+        "reserve", [this](const ActivityInput&) -> Result<ActivityOutput> {
+          ++reserved;
+          ActivityOutput out;
+          out.fields["ticket"] = Value(reserved);
+          out.cost = Duration::Seconds(5);
+          return out;
+        }));
+    EXPECT_OK(registry.Register(
+        "release", [this](const ActivityInput& in) -> Result<ActivityOutput> {
+          ++released;
+          last_released_ticket = in.Get("ticket").is_int()
+                                     ? in.Get("ticket").AsInt()
+                                     : -1;
+          return ActivityOutput{};
+        }));
+    // "commit": fails the first `commit_failures` times.
+    EXPECT_OK(registry.Register(
+        "commit", [this](const ActivityInput&) -> Result<ActivityOutput> {
+          if (commit_calls++ < commit_failures) {
+            return Status::Unavailable("commit refused");
+          }
+          ActivityOutput out;
+          out.fields["done"] = Value(true);
+          out.cost = Duration::Seconds(5);
+          return out;
+        }));
+    EXPECT_OK(registry.Register(
+        "echo", [](const ActivityInput&) -> Result<ActivityOutput> {
+          ActivityOutput out;
+          out.fields["y"] = Value(1);
+          out.cost = Duration::Seconds(5);
+          return out;
+        }));
+  }
+
+  testing::TempDir dir;
+  Simulator sim;
+  std::unique_ptr<RecordStore> store;
+  std::unique_ptr<cluster::ClusterSim> cluster;
+  ActivityRegistry registry;
+  std::unique_ptr<Engine> engine;
+  int reserved = 0;
+  int released = 0;
+  int commit_calls = 0;
+  int commit_failures = 0;
+  int64_t last_released_ticket = -1;
+};
+
+/// reserve -> commit inside an ATOMIC block; commit fails (0 task-level
+/// retries) which triggers compensation of reserve and a sphere re-run.
+ProcessDef SphereProcess(int sphere_retries) {
+  auto def =
+      ProcessBuilder("sphere")
+          .Data("done")
+          .Task(TaskBuilder::Block("txn")
+                    .Atomic()
+                    .Retry(sphere_retries, Duration::Seconds(1))
+                    .Sub(TaskBuilder::Activity("reserve", "reserve")
+                             .Compensate("release"))
+                    .Sub(TaskBuilder::Activity("commit", "commit")
+                             .Retry(0, Duration::Seconds(1)))
+                    .Connect("reserve", "commit"))
+          .Task(TaskBuilder::Activity("after", "echo")
+                    .Output("out.y", "wb.done"))
+          .Connect("txn", "after")
+          .Build();
+  EXPECT_TRUE(def.ok()) << def.status().ToString();
+  return std::move(*def);
+}
+
+TEST(SphereTest, CompensatesAndRetriesUntilSuccess) {
+  World w;
+  w.commit_failures = 2;  // first two sphere runs fail at `commit`
+  ASSERT_OK(w.engine->Startup());
+  ASSERT_OK(w.engine->RegisterTemplate(SphereProcess(/*sphere_retries=*/3)));
+  ASSERT_OK_AND_ASSIGN(std::string id, w.engine->StartProcess("sphere"));
+  w.sim.Run();
+  ASSERT_OK_AND_ASSIGN(auto state, w.engine->GetInstanceState(id));
+  EXPECT_EQ(state, InstanceState::kDone);
+  // Three runs of reserve, two compensations (the successful run is not
+  // undone), one successful commit on the third try.
+  EXPECT_EQ(w.reserved, 3);
+  EXPECT_EQ(w.released, 2);
+  EXPECT_EQ(w.commit_calls, 3);
+  // The compensation received the reserve's output as its input.
+  EXPECT_EQ(w.last_released_ticket, 2);
+  // History documents the compensation.
+  bool saw = false;
+  for (const auto& line : w.engine->GetHistory(id)) {
+    if (line.find("compensated txn.reserve") != std::string::npos) saw = true;
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(SphereTest, ExhaustedRetriesFailTheProcessAfterUndo) {
+  World w;
+  w.commit_failures = 100;  // never succeeds
+  ASSERT_OK(w.engine->Startup());
+  ASSERT_OK(w.engine->RegisterTemplate(SphereProcess(/*sphere_retries=*/2)));
+  ASSERT_OK_AND_ASSIGN(std::string id, w.engine->StartProcess("sphere"));
+  w.sim.Run();
+  ASSERT_OK_AND_ASSIGN(auto state, w.engine->GetInstanceState(id));
+  EXPECT_EQ(state, InstanceState::kFailed);
+  // Every completed reserve was undone: reservations balance releases.
+  EXPECT_EQ(w.reserved, w.released);
+  EXPECT_EQ(w.reserved, 3);  // initial + 2 sphere retries
+}
+
+TEST(SphereTest, NonAtomicBlockDoesNotCompensate) {
+  World w;
+  w.commit_failures = 100;
+  ASSERT_OK(w.engine->Startup());
+  auto def = ProcessBuilder("plain")
+                 .Task(TaskBuilder::Block("txn")
+                           .Sub(TaskBuilder::Activity("reserve", "reserve")
+                                    .Compensate("release"))
+                           .Sub(TaskBuilder::Activity("commit", "commit")
+                                    .Retry(0, Duration::Seconds(1)))
+                           .Connect("reserve", "commit"))
+                 .Build();
+  ASSERT_OK(def.status());
+  ASSERT_OK(w.engine->RegisterTemplate(*def));
+  ASSERT_OK_AND_ASSIGN(std::string id, w.engine->StartProcess("plain"));
+  w.sim.Run();
+  ASSERT_OK_AND_ASSIGN(auto state, w.engine->GetInstanceState(id));
+  EXPECT_EQ(state, InstanceState::kFailed);
+  EXPECT_EQ(w.released, 0);  // no sphere, no undo
+}
+
+TEST(SphereTest, SurvivesCrashBetweenSphereRuns) {
+  World w;
+  w.commit_failures = 1;
+  ASSERT_OK(w.engine->Startup());
+  ASSERT_OK(w.engine->RegisterTemplate(SphereProcess(3)));
+  ASSERT_OK_AND_ASSIGN(std::string id, w.engine->StartProcess("sphere"));
+  w.sim.RunFor(Duration::Seconds(7));  // somewhere inside the first run
+  w.engine->Crash();
+  ASSERT_OK(w.engine->Startup());
+  w.sim.Run();
+  ASSERT_OK_AND_ASSIGN(auto state, w.engine->GetInstanceState(id));
+  EXPECT_EQ(state, InstanceState::kDone);
+}
+
+TEST(SphereTest, OcrRoundTripPreservesAtomicAndCompensate) {
+  ProcessDef def = SphereProcess(3);
+  std::string text = ocr::PrintOcr(def);
+  EXPECT_NE(text.find("ATOMIC;"), std::string::npos);
+  EXPECT_NE(text.find("COMPENSATE \"release\";"), std::string::npos);
+  ASSERT_OK_AND_ASSIGN(ProcessDef parsed, ocr::ParseOcr(text));
+  EXPECT_TRUE(parsed.tasks[0].atomic);
+  EXPECT_EQ(parsed.tasks[0].subtasks[0].compensation_binding, "release");
+  EXPECT_EQ(ocr::PrintOcr(parsed), text);
+}
+
+TEST(SphereValidation, CompensateOnlyOnActivities) {
+  auto def = ProcessBuilder("bad")
+                 .Task(TaskBuilder::Block("b")
+                           .Compensate("x")
+                           .Sub(TaskBuilder::Activity("a", "echo")))
+                 .Build();
+  EXPECT_TRUE(def.status().IsInvalidArgument());
+}
+
+TEST(SphereValidation, AtomicOnlyOnBlocks) {
+  auto def = ProcessBuilder("bad")
+                 .Task(TaskBuilder::Activity("a", "echo").Atomic())
+                 .Build();
+  EXPECT_TRUE(def.status().IsInvalidArgument());
+}
+
+// --- Event handling ------------------------------------------------------------
+
+ProcessDef EventProcess() {
+  auto def = ProcessBuilder("evented")
+                 .Data("checked")
+                 .Task(TaskBuilder::Activity("compute", "echo"))
+                 .Task(TaskBuilder::Activity("visualize", "echo")
+                           .OnEvent("user_check")
+                           .Output("out.y", "wb.checked"))
+                 .Connect("compute", "visualize")
+                 .Build();
+  EXPECT_TRUE(def.ok());
+  return std::move(*def);
+}
+
+TEST(EventTest, TaskWaitsUntilEventRaised) {
+  World w;
+  ASSERT_OK(w.engine->Startup());
+  ASSERT_OK(w.engine->RegisterTemplate(EventProcess()));
+  ASSERT_OK_AND_ASSIGN(std::string id, w.engine->StartProcess("evented"));
+  w.sim.Run();
+  // `compute` is done; `visualize` waits on the user trigger.
+  ASSERT_OK_AND_ASSIGN(auto summary, w.engine->Summary(id));
+  EXPECT_EQ(summary.state, InstanceState::kRunning);
+  EXPECT_EQ(summary.stats.activities_completed, 1u);
+  ASSERT_OK(w.engine->RaiseEvent(id, "user_check"));
+  w.sim.Run();
+  ASSERT_OK_AND_ASSIGN(auto state, w.engine->GetInstanceState(id));
+  EXPECT_EQ(state, InstanceState::kDone);
+  ASSERT_OK_AND_ASSIGN(Value checked,
+                       w.engine->GetWhiteboardValue(id, "checked"));
+  EXPECT_EQ(checked, Value(1));
+}
+
+TEST(EventTest, EventBeforeActivationDoesNotBlock) {
+  World w;
+  ASSERT_OK(w.engine->Startup());
+  ASSERT_OK(w.engine->RegisterTemplate(EventProcess()));
+  ASSERT_OK_AND_ASSIGN(std::string id, w.engine->StartProcess("evented"));
+  // Raise the event while `compute` is still running.
+  ASSERT_OK(w.engine->RaiseEvent(id, "user_check"));
+  w.sim.Run();
+  ASSERT_OK_AND_ASSIGN(auto state, w.engine->GetInstanceState(id));
+  EXPECT_EQ(state, InstanceState::kDone);
+}
+
+TEST(EventTest, RaiseEventIsIdempotentAndChecked) {
+  World w;
+  ASSERT_OK(w.engine->Startup());
+  ASSERT_OK(w.engine->RegisterTemplate(EventProcess()));
+  ASSERT_OK_AND_ASSIGN(std::string id, w.engine->StartProcess("evented"));
+  ASSERT_OK(w.engine->RaiseEvent(id, "user_check"));
+  ASSERT_OK(w.engine->RaiseEvent(id, "user_check"));  // idempotent
+  EXPECT_TRUE(w.engine->RaiseEvent("ghost", "x").IsNotFound());
+}
+
+TEST(EventTest, WaitingTaskSurvivesServerCrash) {
+  World w;
+  ASSERT_OK(w.engine->Startup());
+  ASSERT_OK(w.engine->RegisterTemplate(EventProcess()));
+  ASSERT_OK_AND_ASSIGN(std::string id, w.engine->StartProcess("evented"));
+  w.sim.Run();  // compute done, visualize waiting
+  w.engine->Crash();
+  ASSERT_OK(w.engine->Startup());
+  w.sim.Run();
+  ASSERT_OK_AND_ASSIGN(auto summary, w.engine->Summary(id));
+  EXPECT_EQ(summary.state, InstanceState::kRunning);  // still waiting
+  ASSERT_OK(w.engine->RaiseEvent(id, "user_check"));
+  w.sim.Run();
+  ASSERT_OK_AND_ASSIGN(auto state, w.engine->GetInstanceState(id));
+  EXPECT_EQ(state, InstanceState::kDone);
+}
+
+TEST(EventTest, RaisedEventSurvivesCrash) {
+  World w;
+  ASSERT_OK(w.engine->Startup());
+  ASSERT_OK(w.engine->RegisterTemplate(EventProcess()));
+  ASSERT_OK_AND_ASSIGN(std::string id, w.engine->StartProcess("evented"));
+  ASSERT_OK(w.engine->RaiseEvent(id, "user_check"));
+  w.engine->Crash();
+  ASSERT_OK(w.engine->Startup());
+  w.sim.Run();
+  // The persisted event lets the gated task run without re-raising.
+  ASSERT_OK_AND_ASSIGN(auto state, w.engine->GetInstanceState(id));
+  EXPECT_EQ(state, InstanceState::kDone);
+}
+
+TEST(EventTest, OcrRoundTripPreservesOnEvent) {
+  std::string text = ocr::PrintOcr(EventProcess());
+  EXPECT_NE(text.find("ON_EVENT \"user_check\";"), std::string::npos);
+  ASSERT_OK_AND_ASSIGN(ProcessDef parsed, ocr::ParseOcr(text));
+  EXPECT_EQ(parsed.tasks[1].wait_event, "user_check");
+}
+
+// --- Backup server ----------------------------------------------------------------
+
+TEST(BackupTest, StandbyTakesOverAfterPrimaryCrash) {
+  World w;
+  ASSERT_OK(w.engine->Startup());
+  auto def = ProcessBuilder("long")
+                 .Data("done")
+                 .Task(TaskBuilder::Activity("t1", "echo"))
+                 .Task(TaskBuilder::Activity("t2", "echo"))
+                 .Task(TaskBuilder::Activity("t3", "echo")
+                           .Output("out.y", "wb.done"))
+                 .Connect("t1", "t2")
+                 .Connect("t2", "t3")
+                 .Build();
+  ASSERT_OK(def.status());
+  ASSERT_OK(w.engine->RegisterTemplate(*def));
+  ASSERT_OK_AND_ASSIGN(std::string id, w.engine->StartProcess("long"));
+
+  BackupServer backup(&w.sim, w.cluster.get(), w.store.get(), &w.registry);
+  backup.Watch(w.engine.get(), Duration::Seconds(30));
+  EXPECT_FALSE(backup.promoted());
+  EXPECT_EQ(backup.active(), w.engine.get());
+
+  w.sim.RunFor(Duration::Seconds(7));  // t2 running
+  w.engine->Crash();                   // nobody calls Startup manually
+  // The heartbeat is a daemon event: advance virtual time so it fires,
+  // then drain the work the promoted standby re-dispatches.
+  w.sim.RunFor(Duration::Minutes(2));
+  w.sim.Run();
+
+  EXPECT_TRUE(backup.promoted());
+  EXPECT_NE(backup.active(), w.engine.get());
+  // Takeover within one heartbeat of the crash.
+  EXPECT_LE((backup.promoted_at() - TimePoint::Zero()).ToSeconds(), 7 + 30);
+  // The standby finished the process over the same spaces.
+  ASSERT_OK_AND_ASSIGN(Value done,
+                       backup.active()->GetWhiteboardValue(id, "done"));
+  EXPECT_EQ(done, Value(1));
+  ASSERT_OK_AND_ASSIGN(auto state, backup.active()->GetInstanceState(id));
+  EXPECT_EQ(state, InstanceState::kDone);
+}
+
+TEST(BackupTest, NoTakeoverWhilePrimaryHealthy) {
+  World w;
+  ASSERT_OK(w.engine->Startup());
+  BackupServer backup(&w.sim, w.cluster.get(), w.store.get(), &w.registry);
+  backup.Watch(w.engine.get(), Duration::Seconds(10));
+  w.sim.RunFor(Duration::Hours(1));
+  EXPECT_FALSE(backup.promoted());
+  EXPECT_EQ(backup.active(), w.engine.get());
+  backup.StopWatching();
+}
+
+TEST(BackupTest, StopWatchingPreventsTakeover) {
+  World w;
+  ASSERT_OK(w.engine->Startup());
+  BackupServer backup(&w.sim, w.cluster.get(), w.store.get(), &w.registry);
+  backup.Watch(w.engine.get(), Duration::Seconds(10));
+  backup.StopWatching();
+  w.engine->Crash();
+  w.sim.RunFor(Duration::Hours(1));
+  EXPECT_FALSE(backup.promoted());
+}
+
+}  // namespace
+}  // namespace biopera::core

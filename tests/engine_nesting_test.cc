@@ -1,0 +1,311 @@
+// Deep-composition semantics: nested blocks, parallels of subprocesses
+// that contain parallels, conditions over task outputs, spheres around
+// parallels, and combinations with events.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "core/engine.h"
+#include "ocr/builder.h"
+#include "sim/simulator.h"
+#include "store/record_store.h"
+#include "tests/test_util.h"
+
+namespace biopera::core {
+namespace {
+
+using ocr::ProcessBuilder;
+using ocr::ProcessDef;
+using ocr::TaskBuilder;
+using ocr::Value;
+
+struct World {
+  World() {
+    auto opened = RecordStore::Open(dir.path());
+    EXPECT_TRUE(opened.ok());
+    store = std::move(*opened);
+    cluster = std::make_unique<cluster::ClusterSim>(&sim);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_OK(cluster->AddNode({.name = "node" + std::to_string(i),
+                                  .num_cpus = 2,
+                                  .speed = 1.0}));
+    }
+    engine = std::make_unique<Engine>(&sim, cluster.get(), store.get(),
+                                      &registry, EngineOptions());
+    EXPECT_OK(registry.Register(
+        "emit", [](const ActivityInput& in) -> Result<ActivityOutput> {
+          ActivityOutput out;
+          out.fields["value"] = in.Get("x").is_null() ? Value(1) : in.Get("x");
+          out.cost = Duration::Seconds(5);
+          return out;
+        }));
+    EXPECT_OK(registry.Register(
+        "add", [](const ActivityInput& in) -> Result<ActivityOutput> {
+          int64_t a = in.Get("a").is_int() ? in.Get("a").AsInt() : 0;
+          int64_t b = in.Get("b").is_int() ? in.Get("b").AsInt() : 0;
+          ActivityOutput out;
+          out.fields["sum"] = Value(a + b);
+          out.cost = Duration::Seconds(5);
+          return out;
+        }));
+    EXPECT_OK(registry.Register(
+        "spread", [](const ActivityInput& in) -> Result<ActivityOutput> {
+          // Turns an int n into the list [0, 1, ..., n-1].
+          int64_t n = in.Get("n").is_int() ? in.Get("n").AsInt() : 0;
+          Value::List items;
+          for (int64_t i = 0; i < n; ++i) items.emplace_back(i);
+          ActivityOutput out;
+          out.fields["items"] = Value(std::move(items));
+          out.cost = Duration::Seconds(2);
+          return out;
+        }));
+    EXPECT_OK(registry.Register(
+        "sum_list", [](const ActivityInput& in) -> Result<ActivityOutput> {
+          int64_t total = 0;
+          if (in.Get("items").is_list()) {
+            for (const Value& v : in.Get("items").AsList()) {
+              if (v.is_map() && v.AsMap().contains("value") &&
+                  v.AsMap().at("value").is_int()) {
+                total += v.AsMap().at("value").AsInt();
+              } else if (v.is_map() && v.AsMap().contains("total") &&
+                         v.AsMap().at("total").is_int()) {
+                total += v.AsMap().at("total").AsInt();
+              }
+            }
+          }
+          ActivityOutput out;
+          out.fields["total"] = Value(total);
+          out.cost = Duration::Seconds(2);
+          return out;
+        }));
+    EXPECT_OK(engine->Startup());
+  }
+
+  std::string Run(const ProcessDef& def, const Value::Map& args = {}) {
+    EXPECT_OK(engine->RegisterTemplate(def));
+    auto id = engine->StartProcess(def.name, args);
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    sim.Run();
+    return *id;
+  }
+
+  Value Wb(const std::string& id, const std::string& var) {
+    auto v = engine->GetWhiteboardValue(id, var);
+    return v.ok() ? *v : Value();
+  }
+
+  testing::TempDir dir;
+  Simulator sim;
+  std::unique_ptr<RecordStore> store;
+  std::unique_ptr<cluster::ClusterSim> cluster;
+  ActivityRegistry registry;
+  std::unique_ptr<Engine> engine;
+};
+
+TEST(NestingTest, BlocksWithinBlocks) {
+  World w;
+  auto def =
+      ProcessBuilder("matryoshka")
+          .Data("x", Value(10))
+          .Task(TaskBuilder::Block("outer")
+                    .Sub(TaskBuilder::Block("inner")
+                             .Sub(TaskBuilder::Activity("leaf1", "emit")
+                                      .Input("wb.x", "in.x")
+                                      .Output("out.value", "wb.x"))
+                             .Sub(TaskBuilder::Activity("leaf2", "add")
+                                      .Input("wb.x", "in.a")
+                                      .Input("wb.x", "in.b")
+                                      .Output("out.sum", "wb.x"))
+                             .Connect("leaf1", "leaf2"))
+                    .Sub(TaskBuilder::Activity("after", "add")
+                             .Input("wb.x", "in.a")
+                             .Output("out.sum", "wb.x"))
+                    .Connect("inner", "after"))
+          .Build();
+  ASSERT_OK(def.status());
+  std::string id = w.Run(*def);
+  // leaf1 passes 10; leaf2 doubles to 20; after adds 0 -> 20.
+  EXPECT_EQ(w.Wb(id, "x"), Value(20));
+  ASSERT_OK_AND_ASSIGN(auto state, w.engine->GetInstanceState(id));
+  EXPECT_EQ(state, InstanceState::kDone);
+}
+
+/// Subprocess template containing its own parallel fan-out; its input
+/// "width" determines the inner parallelism at runtime.
+void RegisterFanTemplate(Engine* engine) {
+  auto def =
+      ProcessBuilder("inner_fan")
+          .Data("width", Value(0))
+          .Data("items")
+          .Data("parts")
+          .Data("total")
+          .Task(TaskBuilder::Activity("spread", "spread")
+                    .Input("wb.width", "in.n")
+                    .Output("out.items", "wb.items"))
+          .Task(TaskBuilder::Parallel("fan", "wb.items",
+                                      TaskBuilder::Activity("body", "emit")
+                                          .Input("item", "in.x"))
+                    .Collect("wb.parts"))
+          .Task(TaskBuilder::Activity("reduce", "sum_list")
+                    .Input("wb.parts", "in.items")
+                    .Output("out.total", "wb.total"))
+          .Connect("spread", "fan")
+          .Connect("fan", "reduce")
+          .Build();
+  ASSERT_OK(def.status());
+  ASSERT_OK(engine->RegisterTemplate(*def));
+}
+
+TEST(NestingTest, ParallelOfSubprocessesEachWithInnerParallel) {
+  World w;
+  RegisterFanTemplate(w.engine.get());
+  auto def =
+      ProcessBuilder("fan_of_fans")
+          .Data("widths", Value(Value::List{Value(2), Value(3), Value(4)}))
+          .Data("results")
+          .Data("grand_total")
+          .Task(TaskBuilder::Parallel(
+                    "outer", "wb.widths",
+                    TaskBuilder::Subprocess("sub", "inner_fan")
+                        .Input("item", "in.width"))
+                    .Collect("wb.results"))
+          .Task(TaskBuilder::Activity("grand", "sum_list")
+                    .Input("wb.results", "in.items")
+                    .Output("out.total", "wb.grand_total"))
+          .Connect("outer", "grand")
+          .Build();
+  ASSERT_OK(def.status());
+  std::string id = w.Run(*def);
+  // inner_fan(w) computes sum(0..w-1): 1 + 3 + 6 = 10.
+  EXPECT_EQ(w.Wb(id, "grand_total"), Value(10));
+  // The runtime degree of parallelism was data-driven at two levels:
+  // 3 outer bodies and 2+3+4 inner bodies.
+  ASSERT_OK_AND_ASSIGN(auto summary, w.engine->Summary(id));
+  EXPECT_EQ(summary.stats.activities_completed,
+            1u /*grand*/ + 3u * 2 /*spread+reduce*/ + 2 + 3 + 4);
+}
+
+TEST(NestingTest, ConnectorConditionsOverTaskOutputs) {
+  World w;
+  auto def = ProcessBuilder("out_cond")
+                 .Data("big")
+                 .Data("small")
+                 .Task(TaskBuilder::Activity("measure", "emit")
+                           .Input("wb.seed", "in.x"))
+                 .Task(TaskBuilder::Activity("if_big", "emit")
+                           .Output("out.value", "wb.big"))
+                 .Task(TaskBuilder::Activity("if_small", "emit")
+                           .Output("out.value", "wb.small"))
+                 .Data("seed", Value(42))
+                 .Connect("measure", "if_big", "measure.out.value > 10")
+                 .Connect("measure", "if_small", "measure.out.value <= 10")
+                 .Build();
+  ASSERT_OK(def.status());
+  std::string id = w.Run(*def);
+  EXPECT_FALSE(w.Wb(id, "big").is_null());
+  EXPECT_TRUE(w.Wb(id, "small").is_null());
+}
+
+TEST(NestingTest, SphereAroundParallelCompensatesBodies) {
+  World w;
+  int undone = 0;
+  ASSERT_OK(w.registry.Register(
+      "undo_emit", [&undone](const ActivityInput&) -> Result<ActivityOutput> {
+        ++undone;
+        return ActivityOutput{};
+      }));
+  int fail_count = 0;
+  ASSERT_OK(w.registry.Register(
+      "fail_once", [&fail_count](const ActivityInput&) -> Result<ActivityOutput> {
+        if (fail_count++ == 0) return Status::Unavailable("first run fails");
+        ActivityOutput out;
+        out.fields["ok"] = Value(true);
+        return out;
+      }));
+  auto def =
+      ProcessBuilder("sphere_fan")
+          .Data("items", Value(Value::List{Value(1), Value(2)}))
+          .Data("parts")
+          .Task(TaskBuilder::Block("sphere")
+                    .Atomic()
+                    .Retry(2, Duration::Seconds(1))
+                    .Sub(TaskBuilder::Parallel(
+                             "fan", "wb.items",
+                             TaskBuilder::Activity("body", "emit")
+                                 .Input("item", "in.x")
+                                 .Compensate("undo_emit"))
+                             .Collect("wb.parts"))
+                    .Sub(TaskBuilder::Activity("finalize", "fail_once")
+                             .Retry(0, Duration::Seconds(1)))
+                    .Connect("fan", "finalize"))
+          .Build();
+  ASSERT_OK(def.status());
+  std::string id = w.Run(*def);
+  ASSERT_OK_AND_ASSIGN(auto state, w.engine->GetInstanceState(id));
+  EXPECT_EQ(state, InstanceState::kDone);
+  // First sphere run: 2 bodies completed, finalize failed -> both bodies
+  // compensated; second run succeeds.
+  EXPECT_EQ(undone, 2);
+  EXPECT_EQ(fail_count, 2);
+}
+
+TEST(NestingTest, EventGateInsideSubprocess) {
+  World w;
+  auto sub = ProcessBuilder("gated_sub")
+                 .Data("out_v")
+                 .Task(TaskBuilder::Activity("gated", "emit")
+                           .OnEvent("inner_go")
+                           .Output("out.value", "wb.out_v"))
+                 .Build();
+  ASSERT_OK(sub.status());
+  ASSERT_OK(w.engine->RegisterTemplate(*sub));
+  auto def = ProcessBuilder("outer")
+                 .Data("result")
+                 .Task(TaskBuilder::Subprocess("child", "gated_sub")
+                           .Output("out.out_v", "wb.result"))
+                 .Build();
+  ASSERT_OK(def.status());
+  ASSERT_OK(w.engine->RegisterTemplate(*def));
+  ASSERT_OK_AND_ASSIGN(std::string id, w.engine->StartProcess("outer"));
+  w.sim.Run();
+  ASSERT_OK_AND_ASSIGN(auto state, w.engine->GetInstanceState(id));
+  EXPECT_EQ(state, InstanceState::kRunning);  // gated deep inside
+  ASSERT_OK(w.engine->RaiseEvent(id, "inner_go"));
+  w.sim.Run();
+  ASSERT_OK_AND_ASSIGN(state, w.engine->GetInstanceState(id));
+  EXPECT_EQ(state, InstanceState::kDone);
+  EXPECT_EQ(w.Wb(id, "result"), Value(1));
+}
+
+TEST(NestingTest, DeepTreeSurvivesCrashSweep) {
+  for (int crash_at : {3, 9, 15, 25}) {
+    World w;
+    RegisterFanTemplate(w.engine.get());
+    auto def =
+        ProcessBuilder("fan_of_fans")
+            .Data("widths", Value(Value::List{Value(2), Value(3)}))
+            .Data("results")
+            .Data("grand_total")
+            .Task(TaskBuilder::Parallel(
+                      "outer", "wb.widths",
+                      TaskBuilder::Subprocess("sub", "inner_fan")
+                          .Input("item", "in.width"))
+                      .Collect("wb.results"))
+            .Task(TaskBuilder::Activity("grand", "sum_list")
+                      .Input("wb.results", "in.items")
+                      .Output("out.total", "wb.grand_total"))
+            .Connect("outer", "grand")
+            .Build();
+    ASSERT_OK(def.status());
+    ASSERT_OK(w.engine->RegisterTemplate(*def));
+    ASSERT_OK_AND_ASSIGN(std::string id,
+                         w.engine->StartProcess("fan_of_fans"));
+    w.sim.RunFor(Duration::Seconds(crash_at));
+    w.engine->Crash();
+    ASSERT_OK(w.engine->Startup());
+    w.sim.Run();
+    EXPECT_EQ(w.Wb(id, "grand_total"), Value(1 + 3)) << crash_at;
+  }
+}
+
+}  // namespace
+}  // namespace biopera::core

@@ -1,0 +1,202 @@
+// Tests for the §6 future-work packages built on top of the engine: gene
+// prediction and phylogenetic tree search.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "core/engine.h"
+#include "sim/simulator.h"
+#include "store/record_store.h"
+#include "tests/test_util.h"
+#include "workloads/gene_prediction.h"
+#include "workloads/tree_search.h"
+
+namespace biopera::workloads {
+namespace {
+
+using ocr::Value;
+
+struct World {
+  explicit World(int nodes = 4, int cpus = 2) {
+    auto opened = RecordStore::Open(dir.path());
+    EXPECT_TRUE(opened.ok());
+    store = std::move(*opened);
+    cluster = std::make_unique<cluster::ClusterSim>(&sim);
+    for (int i = 0; i < nodes; ++i) {
+      EXPECT_OK(cluster->AddNode({.name = "node" + std::to_string(i),
+                                  .num_cpus = cpus,
+                                  .speed = 1.0}));
+    }
+    engine = std::make_unique<core::Engine>(&sim, cluster.get(), store.get(),
+                                            &registry, core::EngineOptions());
+  }
+
+  biopera::testing::TempDir dir;
+  Simulator sim;
+  std::unique_ptr<RecordStore> store;
+  std::unique_ptr<cluster::ClusterSim> cluster;
+  core::ActivityRegistry registry;
+  std::unique_ptr<core::Engine> engine;
+};
+
+// --- Gene prediction -----------------------------------------------------------
+
+TEST(GenePredictionTest, PredictsExpectedGeneCount) {
+  World w;
+  auto ctx = std::make_shared<GenePredictionContext>();
+  ASSERT_OK(RegisterGenePredictionActivities(&w.registry, ctx));
+  ASSERT_OK(w.engine->Startup());
+  ASSERT_OK(w.engine->RegisterTemplate(BuildGenePredictionProcess()));
+  ASSERT_OK(w.engine->RegisterTemplate(BuildPredictContigProcess()));
+  Value::Map args;
+  args["genome_kb"] = Value(1000);
+  ASSERT_OK_AND_ASSIGN(std::string id,
+                       w.engine->StartProcess("gene_prediction", args));
+  w.sim.Run();
+  ASSERT_OK_AND_ASSIGN(auto state, w.engine->GetInstanceState(id));
+  ASSERT_EQ(state, core::InstanceState::kDone);
+
+  // 1000 kb / 250 kb = 4 contigs; each has floor(250 * 0.9) = 225 true
+  // genes; 2-vote consensus accepts floor(225 * 0.85 * 0.70) = 133 each.
+  ASSERT_OK_AND_ASSIGN(Value contigs,
+                       w.engine->GetWhiteboardValue(id, "contigs"));
+  EXPECT_EQ(contigs.AsList().size(), 4u);
+  ASSERT_OK_AND_ASSIGN(Value genes,
+                       w.engine->GetWhiteboardValue(id, "gene_count"));
+  EXPECT_EQ(genes, Value(4 * 133));
+  ASSERT_OK_AND_ASSIGN(Value annotation,
+                       w.engine->GetWhiteboardValue(id, "annotation"));
+  EXPECT_NE(annotation.AsString().find("532 genes"), std::string::npos);
+}
+
+TEST(GenePredictionTest, SingleVoteKeepsFalsePositives) {
+  World w;
+  auto ctx = std::make_shared<GenePredictionContext>();
+  ctx->votes_needed = 1;
+  ASSERT_OK(RegisterGenePredictionActivities(&w.registry, ctx));
+  ASSERT_OK(w.engine->Startup());
+  ASSERT_OK(w.engine->RegisterTemplate(BuildGenePredictionProcess()));
+  ASSERT_OK(w.engine->RegisterTemplate(BuildPredictContigProcess()));
+  Value::Map args;
+  args["genome_kb"] = Value(500);
+  ASSERT_OK_AND_ASSIGN(std::string id,
+                       w.engine->StartProcess("gene_prediction", args));
+  w.sim.Run();
+  ASSERT_OK_AND_ASSIGN(Value genes,
+                       w.engine->GetWhiteboardValue(id, "gene_count"));
+  // 2 contigs of 250 kb: single-finder acceptance floor(225*0.85)=191 plus
+  // floor(250*0.15)=37 false positives each.
+  EXPECT_EQ(genes, Value(2 * (191 + 37)));
+}
+
+TEST(GenePredictionTest, FindersRunConcurrently) {
+  World w(/*nodes=*/3, /*cpus=*/1);
+  auto ctx = std::make_shared<GenePredictionContext>();
+  ASSERT_OK(RegisterGenePredictionActivities(&w.registry, ctx));
+  ASSERT_OK(w.engine->Startup());
+  ASSERT_OK(w.engine->RegisterTemplate(BuildGenePredictionProcess()));
+  ASSERT_OK(w.engine->RegisterTemplate(BuildPredictContigProcess()));
+  Value::Map args;
+  args["genome_kb"] = Value(250);  // a single contig
+  ASSERT_OK_AND_ASSIGN(std::string id,
+                       w.engine->StartProcess("gene_prediction", args));
+  w.sim.Run();
+  ASSERT_OK_AND_ASSIGN(auto summary, w.engine->Summary(id));
+  ASSERT_EQ(summary.state, core::InstanceState::kDone);
+  // The three finders (500s + 100s + 275s of CPU for 250kb) overlapped on
+  // 3 CPUs: wall is dominated by the slowest finder, not their sum.
+  EXPECT_LT(summary.stats.WallTime().ToSeconds(),
+            0.8 * summary.stats.cpu_seconds);
+}
+
+TEST(GenePredictionTest, SurvivesNodeCrash) {
+  World w;
+  auto ctx = std::make_shared<GenePredictionContext>();
+  ASSERT_OK(RegisterGenePredictionActivities(&w.registry, ctx));
+  ASSERT_OK(w.engine->Startup());
+  ASSERT_OK(w.engine->RegisterTemplate(BuildGenePredictionProcess()));
+  ASSERT_OK(w.engine->RegisterTemplate(BuildPredictContigProcess()));
+  Value::Map args;
+  args["genome_kb"] = Value(1000);
+  ASSERT_OK_AND_ASSIGN(std::string id,
+                       w.engine->StartProcess("gene_prediction", args));
+  w.sim.RunFor(Duration::Minutes(2));
+  ASSERT_OK(w.cluster->CrashNode("node0"));
+  w.sim.RunFor(Duration::Minutes(10));
+  ASSERT_OK(w.cluster->RepairNode("node0"));
+  w.sim.Run();
+  ASSERT_OK_AND_ASSIGN(Value genes,
+                       w.engine->GetWhiteboardValue(id, "gene_count"));
+  EXPECT_EQ(genes, Value(4 * 133));  // identical to the failure-free run
+}
+
+// --- Tree search -----------------------------------------------------------------
+
+TEST(TreeSearchTest, LikelihoodImprovesMonotonically) {
+  World w;
+  auto ctx = std::make_shared<TreeSearchContext>();
+  ASSERT_OK(RegisterTreeSearchActivities(&w.registry, ctx));
+  ASSERT_OK(w.engine->Startup());
+  ASSERT_OK(w.engine->RegisterTemplate(BuildTreeSearchProcess(/*rounds=*/5)));
+  ASSERT_OK_AND_ASSIGN(std::string id, w.engine->StartProcess("tree_search"));
+  w.sim.Run();
+  ASSERT_OK_AND_ASSIGN(auto state, w.engine->GetInstanceState(id));
+  ASSERT_EQ(state, core::InstanceState::kDone);
+  ASSERT_OK_AND_ASSIGN(Value rounds,
+                       w.engine->GetWhiteboardValue(id, "rounds_run"));
+  EXPECT_EQ(rounds, Value(5));
+  ASSERT_OK_AND_ASSIGN(Value best,
+                       w.engine->GetWhiteboardValue(id, "best_ll"));
+  // Started at -100000; every round selects max(best, candidates), so the
+  // result can only have improved.
+  EXPECT_GT(best.AsDouble(), -100000.0);
+}
+
+TEST(TreeSearchTest, RoundsExpandToCandidateParallelism) {
+  World w;
+  auto ctx = std::make_shared<TreeSearchContext>();
+  ctx->candidates_per_round = 8;
+  ASSERT_OK(RegisterTreeSearchActivities(&w.registry, ctx));
+  ASSERT_OK(w.engine->Startup());
+  ASSERT_OK(w.engine->RegisterTemplate(BuildTreeSearchProcess(3)));
+  ASSERT_OK_AND_ASSIGN(std::string id, w.engine->StartProcess("tree_search"));
+  w.sim.Run();
+  ASSERT_OK_AND_ASSIGN(auto summary, w.engine->Summary(id));
+  // 3 rounds x (propose + 8 evaluations + select) = 30 activities.
+  EXPECT_EQ(summary.stats.activities_completed, 3u * (1 + 8 + 1));
+}
+
+TEST(TreeSearchTest, MoreNodesShrinkWallTime) {
+  auto run = [](int nodes) {
+    World w(nodes, 1);
+    auto ctx = std::make_shared<TreeSearchContext>();
+    EXPECT_OK(RegisterTreeSearchActivities(&w.registry, ctx));
+    EXPECT_OK(w.engine->Startup());
+    EXPECT_OK(w.engine->RegisterTemplate(BuildTreeSearchProcess(2)));
+    auto id = w.engine->StartProcess("tree_search");
+    w.sim.Run();
+    auto summary = w.engine->Summary(*id);
+    return summary->stats.WallTime().ToSeconds();
+  };
+  double wall_1 = run(1);
+  double wall_8 = run(8);
+  EXPECT_LT(wall_8, wall_1 / 3);  // the ML evaluations dominate and scale
+}
+
+TEST(TreeSearchTest, SurvivesServerCrashMidSearch) {
+  World w;
+  auto ctx = std::make_shared<TreeSearchContext>();
+  ASSERT_OK(RegisterTreeSearchActivities(&w.registry, ctx));
+  ASSERT_OK(w.engine->Startup());
+  ASSERT_OK(w.engine->RegisterTemplate(BuildTreeSearchProcess(4)));
+  ASSERT_OK_AND_ASSIGN(std::string id, w.engine->StartProcess("tree_search"));
+  w.sim.RunFor(Duration::Minutes(5));
+  w.engine->Crash();
+  ASSERT_OK(w.engine->Startup());
+  w.sim.Run();
+  ASSERT_OK_AND_ASSIGN(Value rounds,
+                       w.engine->GetWhiteboardValue(id, "rounds_run"));
+  EXPECT_EQ(rounds, Value(4));
+}
+
+}  // namespace
+}  // namespace biopera::workloads

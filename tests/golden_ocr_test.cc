@@ -1,0 +1,59 @@
+// Golden-file tests: the OCR texts checked into processes/ are the
+// canonical forms of the built-in workload templates. They double as
+// user-facing documentation of the process language, so drift between the
+// builders and the files is an error.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "ocr/ocr_text.h"
+#include "tests/test_util.h"
+#include "workloads/allvsall.h"
+#include "workloads/gene_prediction.h"
+#include "workloads/tower.h"
+
+namespace biopera::ocr {
+namespace {
+
+std::string ReadFile(const std::string& relative) {
+  std::ifstream f(std::string(BIOPERA_SOURCE_DIR) + "/" + relative);
+  EXPECT_TRUE(f.good()) << relative;
+  std::ostringstream out;
+  out << f.rdbuf();
+  return out.str();
+}
+
+void ExpectGolden(const ProcessDef& def, const std::string& relative) {
+  std::string golden = ReadFile(relative);
+  EXPECT_EQ(PrintOcr(def), golden) << relative;
+  // The file itself parses and round-trips.
+  auto parsed = ParseOcr(golden);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(PrintOcr(*parsed), golden);
+}
+
+TEST(GoldenOcr, AllVsAll) {
+  ExpectGolden(workloads::BuildAllVsAllProcess(),
+               "processes/all_vs_all.ocr");
+  ExpectGolden(workloads::BuildAlignPartitionProcess(),
+               "processes/align_partition.ocr");
+}
+
+TEST(GoldenOcr, Tower) {
+  ExpectGolden(workloads::BuildTowerProcess(),
+               "processes/tower_of_information.ocr");
+  for (const auto& sub : workloads::BuildTowerSubprocesses()) {
+    ExpectGolden(sub, "processes/" + sub.name + ".ocr");
+  }
+}
+
+TEST(GoldenOcr, GenePrediction) {
+  ExpectGolden(workloads::BuildGenePredictionProcess(),
+               "processes/gene_prediction.ocr");
+  ExpectGolden(workloads::BuildPredictContigProcess(),
+               "processes/predict_contig.ocr");
+}
+
+}  // namespace
+}  // namespace biopera::ocr

@@ -1,0 +1,133 @@
+// Tests for the pre-packaged activity library (§3.2).
+#include <gtest/gtest.h>
+
+#include "core/library.h"
+#include "ocr/builder.h"
+#include "tests/test_util.h"
+
+namespace biopera::core {
+namespace {
+
+using ocr::ProcessBuilder;
+using ocr::TaskBuilder;
+using ocr::Value;
+
+ActivityPackage AlignPackage() {
+  ActivityPackage package;
+  package.binding = "lib.align";
+  package.description = "pairwise alignment of a partition";
+  package.required_params = {"partition", "db"};
+  package.produced_fields = {"matches", "count"};
+  package.default_resource_class = "align";
+  package.recommended_failure.max_retries = 5;
+  package.recommended_failure.retry_backoff = Duration::Minutes(2);
+  return package;
+}
+
+ActivityFn Noop() {
+  return [](const ActivityInput&) -> Result<ActivityOutput> {
+    return ActivityOutput{};
+  };
+}
+
+TEST(LibraryTest, AddDescribeList) {
+  ActivityRegistry registry;
+  ActivityLibrary library(&registry);
+  ASSERT_OK(library.Add(AlignPackage(), Noop()));
+  EXPECT_TRUE(registry.Contains("lib.align"));  // implementation registered
+  ASSERT_OK_AND_ASSIGN(const ActivityPackage* package,
+                       library.Describe("lib.align"));
+  EXPECT_EQ(package->required_params.size(), 2u);
+  EXPECT_EQ(library.List(), (std::vector<std::string>{"lib.align"}));
+  EXPECT_TRUE(library.Describe("nope").status().IsNotFound());
+  // Duplicate packages rejected.
+  EXPECT_EQ(library.Add(AlignPackage(), Noop()).code(),
+            StatusCode::kAlreadyExists);
+  // Nameless packages rejected.
+  ActivityPackage bad;
+  EXPECT_TRUE(library.Add(bad, Noop()).IsInvalidArgument());
+}
+
+TEST(LibraryTest, MakeTaskAppliesRecommendations) {
+  ActivityRegistry registry;
+  ActivityLibrary library(&registry);
+  ASSERT_OK(library.Add(AlignPackage(), Noop()));
+  ASSERT_OK_AND_ASSIGN(TaskBuilder task, library.MakeTask("t", "lib.align"));
+  const ocr::TaskDef& def = task.def();
+  EXPECT_EQ(def.binding, "lib.align");
+  EXPECT_EQ(def.resource_class, "align");
+  EXPECT_EQ(def.failure.max_retries, 5);
+  EXPECT_EQ(def.failure.retry_backoff, Duration::Minutes(2));
+}
+
+TEST(LibraryTest, CheckProcessCatchesMissingWiring) {
+  ActivityRegistry registry;
+  ActivityLibrary library(&registry);
+  ASSERT_OK(library.Add(AlignPackage(), Noop()));
+
+  // Fully wired: passes.
+  auto good = ProcessBuilder("good")
+                  .Data("p")
+                  .Data("db")
+                  .Task(TaskBuilder::Activity("t", "lib.align")
+                            .Input("wb.p", "in.partition")
+                            .Input("wb.db", "in.db"))
+                  .Build();
+  ASSERT_OK(good.status());
+  EXPECT_OK(library.CheckProcess(*good));
+
+  // Missing the db parameter: flagged.
+  auto missing = ProcessBuilder("missing")
+                     .Data("p")
+                     .Task(TaskBuilder::Activity("t", "lib.align")
+                               .Input("wb.p", "in.partition"))
+                     .Build();
+  ASSERT_OK(missing.status());
+  Status st = library.CheckProcess(*missing);
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("db"), std::string::npos);
+
+  // Unknown binding: flagged.
+  auto unknown = ProcessBuilder("unknown")
+                     .Task(TaskBuilder::Activity("t", "not.packaged"))
+                     .Build();
+  ASSERT_OK(unknown.status());
+  EXPECT_TRUE(library.CheckProcess(*unknown).IsNotFound());
+}
+
+TEST(LibraryTest, CheckProcessRecursesIntoCompositesAndBodies) {
+  ActivityRegistry registry;
+  ActivityLibrary library(&registry);
+  ASSERT_OK(library.Add(AlignPackage(), Noop()));
+  auto def =
+      ProcessBuilder("nested")
+          .Data("p")
+          .Data("db")
+          .Data("list")
+          .Task(TaskBuilder::Block("b").Sub(
+              TaskBuilder::Activity("inner", "lib.align")
+                  .Input("wb.p", "in.partition")))  // missing in.db
+          .Task(TaskBuilder::Parallel("fan", "wb.list",
+                                      TaskBuilder::Activity("body",
+                                                            "lib.align")
+                                          .Input("item", "in.partition")
+                                          .Input("wb.db", "in.db")))
+          .Build();
+  ASSERT_OK(def.status());
+  Status st = library.CheckProcess(*def);
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("nested.b.inner"), std::string::npos);
+}
+
+TEST(LibraryTest, RenderCatalog) {
+  ActivityRegistry registry;
+  ActivityLibrary library(&registry);
+  EXPECT_NE(library.Render().find("empty"), std::string::npos);
+  ASSERT_OK(library.Add(AlignPackage(), Noop()));
+  std::string catalog = library.Render();
+  EXPECT_NE(catalog.find("lib.align"), std::string::npos);
+  EXPECT_NE(catalog.find("partition, db"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace biopera::core

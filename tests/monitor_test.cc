@@ -1,0 +1,207 @@
+// Unit tests for adaptive monitoring and the awareness model.
+#include <gtest/gtest.h>
+
+#include "monitor/adaptive_monitor.h"
+#include "monitor/awareness.h"
+#include "monitor/load_curve.h"
+#include "sim/simulator.h"
+#include "tests/test_util.h"
+
+namespace biopera::monitor {
+namespace {
+
+TEST(AdaptiveMonitorTest, IntervalGrowsWhenLoadStable) {
+  Simulator sim;
+  AdaptiveMonitorOptions options;
+  options.min_interval = Duration::Seconds(5);
+  options.max_interval = Duration::Minutes(10);
+  AdaptiveMonitor mon(&sim, options, [] { return 0.4; }, nullptr);
+  mon.Start();
+  sim.RunFor(Duration::Hours(2));
+  EXPECT_EQ(mon.current_interval(), options.max_interval);
+  // Constant load: one initial report, everything else discarded.
+  EXPECT_EQ(mon.reports_sent(), 1u);
+  EXPECT_GT(mon.samples_taken(), 10u);
+  EXPECT_GT(mon.DiscardRate(), 0.9);
+}
+
+TEST(AdaptiveMonitorTest, IntervalShrinksOnVolatileLoad) {
+  Simulator sim;
+  AdaptiveMonitorOptions options;
+  options.min_interval = Duration::Seconds(5);
+  options.max_interval = Duration::Minutes(10);
+  double load = 0;
+  AdaptiveMonitor mon(
+      &sim, options,
+      [&load] {
+        load = load > 0.5 ? 0.0 : 1.0;  // flips on every probe
+        return load;
+      },
+      nullptr);
+  mon.Start();
+  sim.RunFor(Duration::Hours(1));
+  EXPECT_EQ(mon.current_interval(), options.min_interval);
+  // Every flip is a significant change: almost every sample reports.
+  EXPECT_LT(mon.DiscardRate(), 0.1);
+}
+
+TEST(AdaptiveMonitorTest, ReportCutoffSuppressesSmallChanges) {
+  Simulator sim;
+  AdaptiveMonitorOptions options;
+  options.report_cutoff = 0.10;
+  options.change_cutoff = 0.0;  // interval always shrinks (fast sampling)
+  double load = 0.5;
+  int probes = 0;
+  AdaptiveMonitor mon(
+      &sim, options,
+      [&] {
+        ++probes;
+        load += 0.01;  // drifts slowly
+        return load;
+      },
+      nullptr);
+  mon.Start();
+  sim.RunFor(Duration::Minutes(10));
+  // Reports only every ~10 probes (10 x 0.01 > cutoff).
+  EXPECT_GT(mon.samples_taken(), 20u);
+  EXPECT_LT(mon.reports_sent(), mon.samples_taken() / 5);
+}
+
+TEST(AdaptiveMonitorTest, ReportCallbackReceivesLoad) {
+  Simulator sim;
+  std::vector<double> reported;
+  AdaptiveMonitor mon(
+      &sim, {}, [] { return 0.7; },
+      [&reported](double load) { reported.push_back(load); });
+  mon.Start();
+  sim.RunFor(Duration::Minutes(1));
+  ASSERT_EQ(reported.size(), 1u);  // first sample reports, then stable
+  EXPECT_DOUBLE_EQ(reported[0], 0.7);
+}
+
+TEST(AdaptiveMonitorTest, StopCancelsSampling) {
+  Simulator sim;
+  AdaptiveMonitor mon(&sim, {}, [] { return 0.1; }, nullptr);
+  mon.Start();
+  sim.RunFor(Duration::Minutes(1));
+  uint64_t samples = mon.samples_taken();
+  mon.Stop();
+  sim.RunFor(Duration::Hours(1));
+  EXPECT_EQ(mon.samples_taken(), samples);
+}
+
+TEST(MonitoringErrorTest, ZeroWhenIdentical) {
+  StepSeries truth;
+  truth.Set(0, 0.5);
+  truth.Set(100, 0.8);
+  EXPECT_DOUBLE_EQ(MonitoringError(truth, truth, 0, 200), 0);
+}
+
+TEST(MonitoringErrorTest, MeasuresAreaBetweenCurves) {
+  StepSeries truth;
+  truth.Set(0, 1.0);
+  StepSeries reported;
+  reported.Set(0, 0.5);
+  // |1.0 - 0.5| everywhere = 0.5.
+  EXPECT_DOUBLE_EQ(MonitoringError(truth, reported, 0, 100), 0.5);
+}
+
+TEST(MonitoringErrorTest, AccountsForLag) {
+  StepSeries truth;
+  truth.Set(0, 0.0);
+  truth.Set(50, 1.0);
+  StepSeries reported;
+  reported.Set(0, 0.0);
+  reported.Set(75, 1.0);  // saw the jump 25s late
+  EXPECT_NEAR(MonitoringError(truth, reported, 0, 100), 0.25, 1e-9);
+}
+
+TEST(LoadCurveTest, AllKindsStayInUnitRange) {
+  Rng rng(5);
+  for (LoadCurveKind kind :
+       {LoadCurveKind::kStable, LoadCurveKind::kBursty,
+        LoadCurveKind::kPeriodic, LoadCurveKind::kOnOff}) {
+    StepSeries curve = GenerateLoadCurve(kind, Duration::Days(2), &rng);
+    EXPECT_FALSE(curve.empty()) << LoadCurveKindName(kind);
+    for (const auto& p : curve.points()) {
+      EXPECT_GE(p.value, 0.0) << LoadCurveKindName(kind);
+      EXPECT_LE(p.value, 1.0) << LoadCurveKindName(kind);
+    }
+  }
+}
+
+// --- AwarenessModel -----------------------------------------------------------
+
+cluster::NodeConfig MakeNode(const std::string& name, int cpus,
+                             const std::string& classes = "") {
+  cluster::NodeConfig node;
+  node.name = name;
+  node.num_cpus = cpus;
+  node.resource_classes = classes;
+  return node;
+}
+
+TEST(AwarenessTest, TracksRegistrationAndAvailability) {
+  AwarenessModel model;
+  model.RegisterNode(MakeNode("a", 2), TimePoint::Zero());
+  model.RegisterNode(MakeNode("b", 4), TimePoint::Zero());
+  EXPECT_EQ(model.NumNodes(), 2u);
+  EXPECT_EQ(model.UpNodes().size(), 2u);
+  model.NodeDown("a", TimePoint::Zero() + Duration::Hours(1));
+  EXPECT_EQ(model.UpNodes().size(), 1u);
+  model.NodeUp("a", TimePoint::Zero() + Duration::Hours(3));
+  EXPECT_EQ(model.UpNodes().size(), 2u);
+  EXPECT_EQ(model.Find("a")->total_downtime, Duration::Hours(2));
+  model.UnregisterNode("b");
+  EXPECT_EQ(model.NumNodes(), 1u);
+}
+
+TEST(AwarenessTest, CandidatesFilterByClass) {
+  AwarenessModel model;
+  model.RegisterNode(MakeNode("any", 1), TimePoint::Zero());
+  model.RegisterNode(MakeNode("special", 1, "refine"), TimePoint::Zero());
+  EXPECT_EQ(model.Candidates("").size(), 2u);
+  // "refine" activities can run anywhere that serves the class; the
+  // unrestricted node serves any class.
+  EXPECT_EQ(model.Candidates("refine").size(), 2u);
+  EXPECT_EQ(model.Candidates("align").size(), 1u);
+  model.NodeDown("special", TimePoint::Zero());
+  EXPECT_EQ(model.Candidates("refine").size(), 1u);
+}
+
+TEST(AwarenessTest, EstimatedFreeCpus) {
+  AwarenessModel model;
+  model.RegisterNode(MakeNode("n", 4), TimePoint::Zero());
+  const auto* view = model.Find("n");
+  EXPECT_DOUBLE_EQ(model.EstimatedFreeCpus(*view), 4);
+  model.UpdateLoad("n", 0.5, TimePoint::Zero());  // 2 CPUs external
+  EXPECT_DOUBLE_EQ(model.EstimatedFreeCpus(*view), 2);
+  model.JobDispatched("n");
+  EXPECT_DOUBLE_EQ(model.EstimatedFreeCpus(*view), 1);
+  model.JobDispatched("n");
+  model.JobDispatched("n");
+  EXPECT_DOUBLE_EQ(model.EstimatedFreeCpus(*view), 0);  // clamped
+  model.JobfinishedOrFailed("n", /*failed=*/true);
+  EXPECT_EQ(view->total_failures, 1u);
+  EXPECT_EQ(view->running_jobs, 2);
+}
+
+TEST(AwarenessTest, NodeDownClearsRunningJobs) {
+  AwarenessModel model;
+  model.RegisterNode(MakeNode("n", 2), TimePoint::Zero());
+  model.JobDispatched("n");
+  model.JobDispatched("n");
+  model.NodeDown("n", TimePoint::Zero());
+  EXPECT_EQ(model.Find("n")->running_jobs, 0);
+}
+
+TEST(AwarenessTest, UnknownNodeUpdatesIgnored) {
+  AwarenessModel model;
+  model.UpdateLoad("ghost", 1.0, TimePoint::Zero());
+  model.JobDispatched("ghost");
+  model.NodeDown("ghost", TimePoint::Zero());
+  EXPECT_EQ(model.NumNodes(), 0u);
+}
+
+}  // namespace
+}  // namespace biopera::monitor

@@ -1,0 +1,338 @@
+// Unit tests for the OCR process model: builder, validation, textual
+// parser/printer round-trips.
+#include <gtest/gtest.h>
+
+#include "ocr/builder.h"
+#include "ocr/model.h"
+#include "ocr/ocr_text.h"
+#include "tests/test_util.h"
+#include "workloads/allvsall.h"
+#include "workloads/tower.h"
+
+namespace biopera::ocr {
+namespace {
+
+ProcessDef SimpleProcess() {
+  auto def = ProcessBuilder("simple")
+                 .Data("x", Value(1))
+                 .Task(TaskBuilder::Activity("a", "bind.a")
+                           .Input("wb.x", "in.x")
+                           .Output("out.y", "wb.x"))
+                 .Task(TaskBuilder::Activity("b", "bind.b"))
+                 .Connect("a", "b", "wb.x > 0")
+                 .Build();
+  EXPECT_TRUE(def.ok());
+  return std::move(*def);
+}
+
+// --- Validation ------------------------------------------------------------
+
+TEST(ValidateTest, AcceptsSimpleProcess) {
+  EXPECT_OK(ValidateProcess(SimpleProcess()));
+}
+
+TEST(ValidateTest, RejectsEmptyName) {
+  ProcessDef def = SimpleProcess();
+  def.name = "  ";
+  EXPECT_TRUE(ValidateProcess(def).IsInvalidArgument());
+}
+
+TEST(ValidateTest, RejectsNoTasks) {
+  ProcessDef def;
+  def.name = "p";
+  EXPECT_TRUE(ValidateProcess(def).IsInvalidArgument());
+}
+
+TEST(ValidateTest, RejectsDuplicateTaskNames) {
+  auto def = ProcessBuilder("p")
+                 .Task(TaskBuilder::Activity("t", "x"))
+                 .Task(TaskBuilder::Activity("t", "y"))
+                 .Build();
+  EXPECT_TRUE(def.status().IsInvalidArgument());
+}
+
+TEST(ValidateTest, RejectsDuplicateWhiteboardVars) {
+  auto def = ProcessBuilder("p")
+                 .Data("v")
+                 .Data("v")
+                 .Task(TaskBuilder::Activity("t", "x"))
+                 .Build();
+  EXPECT_TRUE(def.status().IsInvalidArgument());
+}
+
+TEST(ValidateTest, RejectsUnknownConnectorEndpoints) {
+  auto def = ProcessBuilder("p")
+                 .Task(TaskBuilder::Activity("a", "x"))
+                 .Connect("a", "ghost")
+                 .Build();
+  EXPECT_TRUE(def.status().IsInvalidArgument());
+  def = ProcessBuilder("p")
+            .Task(TaskBuilder::Activity("a", "x"))
+            .Connect("ghost", "a")
+            .Build();
+  EXPECT_TRUE(def.status().IsInvalidArgument());
+}
+
+TEST(ValidateTest, RejectsSelfLoop) {
+  auto def = ProcessBuilder("p")
+                 .Task(TaskBuilder::Activity("a", "x"))
+                 .Connect("a", "a")
+                 .Build();
+  EXPECT_TRUE(def.status().IsInvalidArgument());
+}
+
+TEST(ValidateTest, RejectsCycle) {
+  auto def = ProcessBuilder("p")
+                 .Task(TaskBuilder::Activity("a", "x"))
+                 .Task(TaskBuilder::Activity("b", "y"))
+                 .Task(TaskBuilder::Activity("c", "z"))
+                 .Connect("a", "b")
+                 .Connect("b", "c")
+                 .Connect("c", "a")
+                 .Build();
+  Status s = def.status();
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("cycle"), std::string::npos);
+}
+
+TEST(ValidateTest, RejectsBadCondition) {
+  auto def = ProcessBuilder("p")
+                 .Task(TaskBuilder::Activity("a", "x"))
+                 .Task(TaskBuilder::Activity("b", "y"))
+                 .Connect("a", "b", "1 +")
+                 .Build();
+  EXPECT_TRUE(def.status().IsInvalidArgument());
+}
+
+TEST(ValidateTest, RejectsActivityWithoutBinding) {
+  auto def =
+      ProcessBuilder("p").Task(TaskBuilder::Activity("a", " ")).Build();
+  EXPECT_TRUE(def.status().IsInvalidArgument());
+}
+
+TEST(ValidateTest, RejectsBadMappings) {
+  // Input mapping must target in.*.
+  auto def = ProcessBuilder("p")
+                 .Task(TaskBuilder::Activity("a", "x").Input("wb.v", "out.q"))
+                 .Build();
+  EXPECT_TRUE(def.status().IsInvalidArgument());
+  // Output mapping must come from out.*.
+  def = ProcessBuilder("p")
+            .Task(TaskBuilder::Activity("a", "x").Output("in.q", "wb.v"))
+            .Build();
+  EXPECT_TRUE(def.status().IsInvalidArgument());
+  // Mapping refs must be plain references.
+  def = ProcessBuilder("p")
+            .Task(TaskBuilder::Activity("a", "x").Input("1 + 2", "in.q"))
+            .Build();
+  EXPECT_TRUE(def.status().IsInvalidArgument());
+}
+
+TEST(ValidateTest, RejectsEmptyBlock) {
+  auto def = ProcessBuilder("p").Task(TaskBuilder::Block("b")).Build();
+  EXPECT_TRUE(def.status().IsInvalidArgument());
+}
+
+TEST(ValidateTest, ValidatesInsideBlocks) {
+  auto def = ProcessBuilder("p")
+                 .Task(TaskBuilder::Block("b")
+                           .Sub(TaskBuilder::Activity("x", "bx"))
+                           .Sub(TaskBuilder::Activity("y", "by"))
+                           .Connect("x", "y")
+                           .Connect("y", "x"))
+                 .Build();
+  EXPECT_TRUE(def.status().IsInvalidArgument());  // nested cycle
+}
+
+TEST(ValidateTest, RejectsSubprocessWithoutName) {
+  auto def =
+      ProcessBuilder("p").Task(TaskBuilder::Subprocess("s", "")).Build();
+  EXPECT_TRUE(def.status().IsInvalidArgument());
+}
+
+TEST(ValidateTest, RejectsParallelWithBlockBody) {
+  auto def = ProcessBuilder("p")
+                 .Task(TaskBuilder::Parallel(
+                     "par", "wb.list",
+                     TaskBuilder::Block("b").Sub(
+                         TaskBuilder::Activity("x", "bx"))))
+                 .Build();
+  EXPECT_TRUE(def.status().IsInvalidArgument());
+}
+
+TEST(ValidateTest, AcceptsParallelWithActivityBody) {
+  auto def = ProcessBuilder("p")
+                 .Data("list")
+                 .Task(TaskBuilder::Parallel(
+                           "par", "wb.list",
+                           TaskBuilder::Activity("worker", "w")
+                               .Input("item", "in.item"))
+                           .Collect("wb.out"))
+                 .Build();
+  EXPECT_OK(def.status());
+}
+
+// --- Duration syntax ---------------------------------------------------------
+
+TEST(DurationOcrTest, RoundTrips) {
+  for (Duration d : {Duration::Seconds(90), Duration::Minutes(2),
+                     Duration::Hours(3), Duration::Days(1),
+                     Duration::Millis(250), Duration::Micros(7)}) {
+    ASSERT_OK_AND_ASSIGN(Duration parsed, DurationFromOcr(DurationToOcr(d)));
+    EXPECT_EQ(parsed, d) << DurationToOcr(d);
+  }
+}
+
+TEST(DurationOcrTest, ParsesUnits) {
+  ASSERT_OK_AND_ASSIGN(Duration d, DurationFromOcr("90s"));
+  EXPECT_EQ(d, Duration::Seconds(90));
+  ASSERT_OK_AND_ASSIGN(d, DurationFromOcr("2m"));
+  EXPECT_EQ(d, Duration::Minutes(2));
+  ASSERT_OK_AND_ASSIGN(d, DurationFromOcr("1.5h"));
+  EXPECT_EQ(d, Duration::Minutes(90));
+  EXPECT_FALSE(DurationFromOcr("10 parsecs").ok());
+  EXPECT_FALSE(DurationFromOcr("s").ok());
+  EXPECT_FALSE(DurationFromOcr("10").ok());
+}
+
+// --- Parser / printer round-trips ------------------------------------------------
+
+void ExpectRoundTrip(const ProcessDef& def) {
+  std::string text1 = PrintOcr(def);
+  auto parsed = ParseOcr(text1);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << text1;
+  std::string text2 = PrintOcr(*parsed);
+  EXPECT_EQ(text1, text2);
+}
+
+TEST(OcrTextTest, SimpleProcessRoundTrips) { ExpectRoundTrip(SimpleProcess()); }
+
+TEST(OcrTextTest, AllVsAllRoundTrips) {
+  ExpectRoundTrip(workloads::BuildAllVsAllProcess());
+  ExpectRoundTrip(workloads::BuildAlignPartitionProcess());
+}
+
+TEST(OcrTextTest, TowerRoundTrips) {
+  ExpectRoundTrip(workloads::BuildTowerProcess());
+  for (const auto& sub : workloads::BuildTowerSubprocesses()) {
+    ExpectRoundTrip(sub);
+  }
+}
+
+TEST(OcrTextTest, ParsesHandwrittenSource) {
+  const char* source = R"(
+# A hand-written process with every construct.
+PROCESS demo {
+  DATA threshold = 80;
+  DATA inputs = [1,2,3];
+  DATA result;
+  ACTIVITY fetch {
+    CALL "net.fetch";
+    IN wb.threshold -> in.min_score;
+    OUT out.data -> wb.result;
+    RETRY 4 BACKOFF 90s;
+    ALTERNATIVE "net.fetch_mirror";
+    CLASS "io";
+  }
+  BLOCK analysis {
+    ACTIVITY stats { CALL "calc.stats"; }
+    ACTIVITY plot { CALL "calc.plot"; IGNORE_FAILURE; }
+    CONNECTOR stats -> plot IF wb.result != null;
+  }
+  PARALLEL fanout {
+    LIST wb.inputs;
+    COLLECT wb.result;
+    SUBPROCESS body {
+      PROCESS "sub_proc";
+      IN item -> in.element;
+    }
+  }
+  CONNECTOR fetch -> analysis;
+  CONNECTOR analysis -> fanout IF defined(wb.result) && wb.threshold > 50;
+}
+)";
+  ASSERT_OK_AND_ASSIGN(ProcessDef def, ParseOcr(source));
+  EXPECT_EQ(def.name, "demo");
+  ASSERT_EQ(def.tasks.size(), 3u);
+  EXPECT_EQ(def.tasks[0].kind, TaskKind::kActivity);
+  EXPECT_EQ(def.tasks[0].failure.max_retries, 4);
+  EXPECT_EQ(def.tasks[0].failure.retry_backoff, Duration::Seconds(90));
+  EXPECT_EQ(def.tasks[0].failure.alternative_binding, "net.fetch_mirror");
+  EXPECT_EQ(def.tasks[0].resource_class, "io");
+  EXPECT_EQ(def.tasks[1].kind, TaskKind::kBlock);
+  ASSERT_EQ(def.tasks[1].subtasks.size(), 2u);
+  EXPECT_TRUE(def.tasks[1].subtasks[1].failure.ignore_failure);
+  EXPECT_EQ(def.tasks[2].kind, TaskKind::kParallel);
+  ASSERT_EQ(def.tasks[2].body.size(), 1u);
+  EXPECT_EQ(def.tasks[2].body[0].subprocess_name, "sub_proc");
+  ASSERT_EQ(def.connectors.size(), 2u);
+  EXPECT_EQ(def.connectors[1].condition,
+            "defined(wb.result) && wb.threshold > 50");
+  ExpectRoundTrip(def);
+}
+
+TEST(OcrTextTest, ParseErrorsCarryLineNumbers) {
+  Status s = ParseOcr("PROCESS p {\n  DATA x\n  BROKEN\n}").status();
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("line"), std::string::npos);
+}
+
+TEST(OcrTextTest, RejectsUnknownStatement) {
+  EXPECT_FALSE(ParseOcr("PROCESS p { FROB x; }").ok());
+}
+
+TEST(OcrTextTest, RejectsTrailingInput) {
+  EXPECT_FALSE(
+      ParseOcr("PROCESS p { ACTIVITY a { CALL \"x\"; } } garbage").ok());
+}
+
+TEST(OcrTextTest, RejectsInvalidProcess) {
+  // Parses syntactically but fails validation (cycle).
+  const char* source = R"(PROCESS p {
+    ACTIVITY a { CALL "x"; }
+    ACTIVITY b { CALL "y"; }
+    CONNECTOR a -> b;
+    CONNECTOR b -> a;
+  })";
+  EXPECT_TRUE(ParseOcr(source).status().IsInvalidArgument());
+}
+
+TEST(OcrTextTest, CommentsAndWhitespaceIgnored) {
+  const char* source =
+      "PROCESS p { # comment\n ACTIVITY a { CALL \"x\"; # note\n } }";
+  ASSERT_OK_AND_ASSIGN(ProcessDef def, ParseOcr(source));
+  EXPECT_EQ(def.tasks.size(), 1u);
+}
+
+TEST(OcrTextTest, StringsWithSpecialCharsRoundTrip) {
+  auto def = ProcessBuilder("p")
+                 .Data("s", Value("tricky; {chars} \"here\""))
+                 .Task(TaskBuilder::Activity("a", "bind; with \"semicolons\""))
+                 .Build();
+  ASSERT_TRUE(def.ok());
+  ExpectRoundTrip(*def);
+}
+
+TEST(OcrTextTest, HashInsideStringsIsNotAComment) {
+  auto def = ocr::ProcessBuilder("hashy")
+                 .Data("s", Value("value with # hash"))
+                 .Task(TaskBuilder::Activity("a", "bind#hash"))
+                 .Connect("a", "a2")
+                 .Task(TaskBuilder::Activity("a2", "x"))
+                 .Build();
+  ASSERT_TRUE(def.ok()) << def.status().ToString();
+  ExpectRoundTrip(*def);
+  // And parsing keeps the hash intact.
+  ASSERT_OK_AND_ASSIGN(ProcessDef parsed, ParseOcr(PrintOcr(*def)));
+  EXPECT_EQ(parsed.whiteboard[0].initial, Value("value with # hash"));
+  EXPECT_EQ(parsed.tasks[0].binding, "bind#hash");
+}
+
+TEST(FindTaskTest, FindsTopLevelTasks) {
+  ProcessDef def = SimpleProcess();
+  EXPECT_NE(def.FindTask("a"), nullptr);
+  EXPECT_EQ(def.FindTask("nope"), nullptr);
+}
+
+}  // namespace
+}  // namespace biopera::ocr

@@ -1,0 +1,184 @@
+// System-level property tests: determinism of whole experiments, and a
+// generative OCR print/parse round-trip over randomly built processes.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "common/strings.h"
+#include "cluster/external_load.h"
+#include "core/engine.h"
+#include "darwin/generator.h"
+#include "ocr/builder.h"
+#include "ocr/ocr_text.h"
+#include "sim/simulator.h"
+#include "store/record_store.h"
+#include "tests/test_util.h"
+#include "workloads/allvsall.h"
+
+namespace biopera {
+namespace {
+
+using ocr::ProcessBuilder;
+using ocr::ProcessDef;
+using ocr::TaskBuilder;
+using ocr::Value;
+
+/// Runs a small all-vs-all under external load and random node failures,
+/// fully seeded; returns (cpu_seconds, wall_seconds, total_matches).
+struct RunResult {
+  double cpu;
+  double wall;
+  int64_t matches;
+
+  friend bool operator==(const RunResult&, const RunResult&) = default;
+};
+
+RunResult RunSeeded(uint64_t seed) {
+  testing::TempDir dir;
+  auto store = RecordStore::Open(dir.path()).value();
+  Simulator sim;
+  cluster::ClusterSim cluster(&sim);
+  for (int i = 0; i < 4; ++i) {
+    cluster.AddNode({.name = "node" + std::to_string(i), .num_cpus = 2});
+  }
+  Rng data_rng(seed);
+  darwin::GeneratorOptions gen;
+  gen.num_sequences = 150;
+  auto meta = darwin::GenerateDatasetMeta(gen, &data_rng);
+  auto ctx = workloads::MakeSyntheticContext(meta.lengths, meta.family_of);
+  core::ActivityRegistry registry;
+  workloads::RegisterAllVsAllActivities(&registry, ctx);
+  core::Engine engine(&sim, &cluster, store.get(), &registry);
+  engine.Startup();
+  engine.RegisterTemplate(workloads::BuildAllVsAllProcess());
+  engine.RegisterTemplate(workloads::BuildAlignPartitionProcess());
+
+  Rng env_rng(seed ^ 0x1234);
+  cluster::ExternalLoadOptions load;
+  load.mean_busy = Duration::Minutes(20);
+  load.mean_idle = Duration::Minutes(20);
+  cluster::ExternalLoadGenerator external(&cluster, load, &env_rng);
+  external.Start();
+
+  ocr::Value::Map args;
+  args["db_name"] = Value("determinism");
+  args["num_teus"] = Value(12);
+  auto id = engine.StartProcess("all_vs_all", args);
+  sim.Run();
+  auto summary = engine.Summary(*id);
+  auto matches = engine.GetWhiteboardValue(*id, "total_matches");
+  RunResult result;
+  result.cpu = summary->stats.cpu_seconds;
+  result.wall = summary->stats.WallTime().ToSeconds();
+  result.matches = matches.ok() && matches->is_int() ? matches->AsInt() : -1;
+  return result;
+}
+
+TEST(DeterminismTest, IdenticalSeedsProduceIdenticalExperiments) {
+  RunResult a = RunSeeded(11);
+  RunResult b = RunSeeded(11);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.matches, 0);
+}
+
+TEST(DeterminismTest, DifferentSeedsDiffer) {
+  RunResult a = RunSeeded(11);
+  RunResult b = RunSeeded(12);
+  // Same engine logic, different dataset/load: timings must differ.
+  EXPECT_NE(a.wall, b.wall);
+}
+
+// --- Generative OCR round-trip ------------------------------------------------
+
+/// Builds a random (but always valid) process definition.
+ProcessDef RandomProcess(Rng* rng, int index) {
+  ProcessBuilder builder(StrFormat("random_%d", index));
+  int num_data = static_cast<int>(rng->UniformInt(0, 4));
+  for (int d = 0; d < num_data; ++d) {
+    switch (rng->UniformInt(0, 3)) {
+      case 0:
+        builder.Data(StrFormat("v%d", d));
+        break;
+      case 1:
+        builder.Data(StrFormat("v%d", d), Value(rng->UniformInt(-5, 100)));
+        break;
+      case 2:
+        builder.Data(StrFormat("v%d", d), Value("str with \"quotes\""));
+        break;
+      default:
+        builder.Data(StrFormat("v%d", d),
+                     Value(Value::List{Value(1), Value("x")}));
+    }
+  }
+  int num_tasks = static_cast<int>(rng->UniformInt(1, 5));
+  std::vector<std::string> names;
+  for (int t = 0; t < num_tasks; ++t) {
+    std::string name = StrFormat("t%d", t);
+    names.push_back(name);
+    switch (rng->UniformInt(0, 3)) {
+      case 0: {
+        auto task = TaskBuilder::Activity(name, StrFormat("bind.%d", t));
+        if (rng->Bernoulli(0.5)) task.Input("wb.v0", "in.x");
+        if (rng->Bernoulli(0.5)) task.Output("out.y", "wb.v0");
+        if (rng->Bernoulli(0.3)) task.Retry(2, Duration::Seconds(45));
+        if (rng->Bernoulli(0.2)) task.Compensate("undo." + name);
+        if (rng->Bernoulli(0.2)) task.OnEvent("go");
+        if (rng->Bernoulli(0.2)) task.ResourceClass("classy");
+        builder.Task(std::move(task));
+        break;
+      }
+      case 1: {
+        auto block = TaskBuilder::Block(name);
+        if (rng->Bernoulli(0.4)) block.Atomic();
+        block.Sub(TaskBuilder::Activity(name + "_a", "sub.a"));
+        block.Sub(TaskBuilder::Activity(name + "_b", "sub.b"));
+        if (rng->Bernoulli(0.7)) {
+          block.Connect(name + "_a", name + "_b",
+                        rng->Bernoulli(0.5) ? "wb.v0 > 1" : "");
+        }
+        builder.Task(std::move(block));
+        break;
+      }
+      case 2:
+        builder.Task(TaskBuilder::Subprocess(name, "some_template")
+                         .Input("wb.v0", "in.seed"));
+        break;
+      default:
+        builder.Task(
+            TaskBuilder::Parallel(name, "wb.v0",
+                                  TaskBuilder::Activity("body", "w.body")
+                                      .Input("item", "in.item"))
+                .Collect("wb.v1"));
+    }
+  }
+  // Random forward edges (guaranteed acyclic).
+  for (size_t a = 0; a < names.size(); ++a) {
+    for (size_t b = a + 1; b < names.size(); ++b) {
+      if (rng->Bernoulli(0.3)) {
+        builder.Connect(names[a], names[b],
+                        rng->Bernoulli(0.3) ? "defined(wb.v0)" : "");
+      }
+    }
+  }
+  // Parallel bodies need wb.v1 to exist; data decls may not include it.
+  builder.Data("v1000", Value(0));  // harmless extra variable
+  auto def = std::move(builder).Build();
+  EXPECT_TRUE(def.ok()) << def.status().ToString();
+  return std::move(*def);
+}
+
+class OcrGenerativeRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(OcrGenerativeRoundTrip, PrintParsePrintIsFixpoint) {
+  Rng rng(9000 + static_cast<uint64_t>(GetParam()));
+  ProcessDef def = RandomProcess(&rng, GetParam());
+  std::string text1 = ocr::PrintOcr(def);
+  auto parsed = ocr::ParseOcr(text1);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << text1;
+  EXPECT_EQ(ocr::PrintOcr(*parsed), text1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OcrGenerativeRoundTrip,
+                         ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace biopera

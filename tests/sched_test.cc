@@ -1,0 +1,149 @@
+// Unit tests for the scheduling / load-balancing policies.
+#include <gtest/gtest.h>
+
+#include "sched/policy.h"
+#include "tests/test_util.h"
+
+namespace biopera::sched {
+namespace {
+
+using monitor::AwarenessModel;
+
+cluster::NodeConfig MakeNode(const std::string& name, int cpus, double speed,
+                             const std::string& classes = "") {
+  cluster::NodeConfig node;
+  node.name = name;
+  node.num_cpus = cpus;
+  node.speed = speed;
+  node.resource_classes = classes;
+  return node;
+}
+
+PlacementRequest AnyRequest(const std::string& cls = "") {
+  PlacementRequest request;
+  request.resource_class = cls;
+  request.estimated_work = Duration::Hours(1);
+  return request;
+}
+
+TEST(PolicyFactoryTest, KnownNamesResolve) {
+  Rng rng(1);
+  for (const char* name :
+       {"least_loaded", "round_robin", "speed_weighted", "random"}) {
+    ASSERT_OK_AND_ASSIGN(auto policy, MakePolicy(name, &rng));
+    EXPECT_EQ(policy->name(), name);
+  }
+  EXPECT_TRUE(MakePolicy("nope", &rng).status().IsInvalidArgument());
+  EXPECT_TRUE(MakePolicy("random", nullptr).status().IsInvalidArgument());
+}
+
+TEST(LeastLoadedTest, PicksNodeWithMostFreeCpus) {
+  AwarenessModel model;
+  model.RegisterNode(MakeNode("small", 2, 1.0), TimePoint::Zero());
+  model.RegisterNode(MakeNode("big", 8, 1.0), TimePoint::Zero());
+  auto policy = MakeLeastLoadedPolicy();
+  EXPECT_EQ(policy->Place(AnyRequest(), model), "big");
+  // Fill big with our jobs until small wins.
+  for (int i = 0; i < 7; ++i) model.JobDispatched("big");
+  EXPECT_EQ(policy->Place(AnyRequest(), model), "small");
+}
+
+TEST(LeastLoadedTest, AccountsForExternalLoad) {
+  AwarenessModel model;
+  model.RegisterNode(MakeNode("a", 4, 1.0), TimePoint::Zero());
+  model.RegisterNode(MakeNode("b", 4, 1.0), TimePoint::Zero());
+  model.UpdateLoad("a", 0.75, TimePoint::Zero());  // 1 free
+  auto policy = MakeLeastLoadedPolicy();
+  EXPECT_EQ(policy->Place(AnyRequest(), model), "b");
+}
+
+TEST(LeastLoadedTest, DeclinesWhenNothingFree) {
+  AwarenessModel model;
+  model.RegisterNode(MakeNode("a", 1, 1.0), TimePoint::Zero());
+  model.UpdateLoad("a", 1.0, TimePoint::Zero());
+  auto policy = MakeLeastLoadedPolicy();
+  EXPECT_EQ(policy->Place(AnyRequest(), model), "");
+}
+
+TEST(LeastLoadedTest, RespectsResourceClass) {
+  AwarenessModel model;
+  model.RegisterNode(MakeNode("general", 8, 1.0, "align"),
+                     TimePoint::Zero());
+  model.RegisterNode(MakeNode("refiner", 1, 1.0, "refine"),
+                     TimePoint::Zero());
+  auto policy = MakeLeastLoadedPolicy();
+  EXPECT_EQ(policy->Place(AnyRequest("refine"), model), "refiner");
+  EXPECT_EQ(policy->Place(AnyRequest("align"), model), "general");
+}
+
+TEST(LeastLoadedTest, SkipsDownNodes) {
+  AwarenessModel model;
+  model.RegisterNode(MakeNode("a", 4, 1.0), TimePoint::Zero());
+  model.NodeDown("a", TimePoint::Zero());
+  auto policy = MakeLeastLoadedPolicy();
+  EXPECT_EQ(policy->Place(AnyRequest(), model), "");
+}
+
+TEST(RoundRobinTest, CyclesThroughCandidates) {
+  AwarenessModel model;
+  model.RegisterNode(MakeNode("a", 2, 1.0), TimePoint::Zero());
+  model.RegisterNode(MakeNode("b", 2, 1.0), TimePoint::Zero());
+  model.RegisterNode(MakeNode("c", 2, 1.0), TimePoint::Zero());
+  auto policy = MakeRoundRobinPolicy();
+  std::string first = policy->Place(AnyRequest(), model);
+  std::string second = policy->Place(AnyRequest(), model);
+  std::string third = policy->Place(AnyRequest(), model);
+  EXPECT_NE(first, second);
+  EXPECT_NE(second, third);
+  EXPECT_NE(first, third);
+}
+
+TEST(RoundRobinTest, IgnoresExternalLoadButNotOwnJobs) {
+  AwarenessModel model;
+  model.RegisterNode(MakeNode("a", 1, 1.0), TimePoint::Zero());
+  model.UpdateLoad("a", 1.0, TimePoint::Zero());  // externally saturated
+  auto policy = MakeRoundRobinPolicy();
+  EXPECT_EQ(policy->Place(AnyRequest(), model), "a");  // ignores the load
+  model.JobDispatched("a");
+  EXPECT_EQ(policy->Place(AnyRequest(), model), "");  // own job counts
+}
+
+TEST(SpeedWeightedTest, PrefersFastFreeNodes) {
+  AwarenessModel model;
+  model.RegisterNode(MakeNode("slow_big", 4, 0.5), TimePoint::Zero());
+  model.RegisterNode(MakeNode("fast_small", 2, 2.0), TimePoint::Zero());
+  auto policy = MakeSpeedWeightedPolicy();
+  EXPECT_EQ(policy->Place(AnyRequest(), model), "fast_small");
+  model.JobDispatched("fast_small");
+  model.JobDispatched("fast_small");
+  EXPECT_EQ(policy->Place(AnyRequest(), model), "slow_big");
+}
+
+TEST(RandomTest, OnlyPlacesOnFreeNodes) {
+  AwarenessModel model;
+  model.RegisterNode(MakeNode("free", 2, 1.0), TimePoint::Zero());
+  model.RegisterNode(MakeNode("busy", 1, 1.0), TimePoint::Zero());
+  model.UpdateLoad("busy", 1.0, TimePoint::Zero());
+  Rng rng(2);
+  auto policy = MakeRandomPolicy(&rng);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(policy->Place(AnyRequest(), model), "free");
+  }
+}
+
+TEST(RandomTest, SpreadsAcrossCandidates) {
+  AwarenessModel model;
+  model.RegisterNode(MakeNode("a", 8, 1.0), TimePoint::Zero());
+  model.RegisterNode(MakeNode("b", 8, 1.0), TimePoint::Zero());
+  Rng rng(3);
+  auto policy = MakeRandomPolicy(&rng);
+  int a_count = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (policy->Place(AnyRequest(), model) == "a") ++a_count;
+  }
+  EXPECT_GT(a_count, 20);
+  EXPECT_LT(a_count, 80);
+}
+
+}  // namespace
+}  // namespace biopera::sched

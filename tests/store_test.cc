@@ -1,0 +1,478 @@
+// Unit and property tests for the persistence substrate: codec, WAL,
+// snapshot, record store, spaces — including crash-consistency sweeps.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "store/codec.h"
+#include "store/record_store.h"
+#include "store/snapshot.h"
+#include "store/spaces.h"
+#include "store/wal.h"
+#include "tests/test_util.h"
+
+namespace biopera {
+namespace {
+
+// --- Codec -----------------------------------------------------------------
+
+TEST(CodecTest, Fixed32RoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0xdeadbeef);
+  std::string_view v = buf;
+  uint32_t out;
+  ASSERT_TRUE(GetFixed32(&v, &out));
+  EXPECT_EQ(out, 0xdeadbeefu);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(CodecTest, Fixed64RoundTrip) {
+  std::string buf;
+  PutFixed64(&buf, 0x0123456789abcdefULL);
+  std::string_view v = buf;
+  uint64_t out;
+  ASSERT_TRUE(GetFixed64(&v, &out));
+  EXPECT_EQ(out, 0x0123456789abcdefULL);
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintRoundTrip, RoundTrips) {
+  std::string buf;
+  PutVarint64(&buf, GetParam());
+  std::string_view v = buf;
+  uint64_t out;
+  ASSERT_TRUE(GetVarint64(&v, &out));
+  EXPECT_EQ(out, GetParam());
+  EXPECT_TRUE(v.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, VarintRoundTrip,
+                         ::testing::Values(0ull, 1ull, 127ull, 128ull,
+                                           16383ull, 16384ull, 1ull << 32,
+                                           UINT64_MAX));
+
+TEST(CodecTest, TruncatedVarintFails) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  buf.resize(buf.size() - 1);
+  std::string_view v = buf;
+  uint64_t out;
+  EXPECT_FALSE(GetVarint64(&v, &out));
+}
+
+TEST(CodecTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(1000, 'z'));
+  std::string_view v = buf;
+  std::string_view a, b, c;
+  ASSERT_TRUE(GetLengthPrefixed(&v, &a));
+  ASSERT_TRUE(GetLengthPrefixed(&v, &b));
+  ASSERT_TRUE(GetLengthPrefixed(&v, &c));
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c.size(), 1000u);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(CodecTest, LengthPrefixedShortBufferFails) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  buf.resize(buf.size() - 2);
+  std::string_view v = buf;
+  std::string_view s;
+  EXPECT_FALSE(GetLengthPrefixed(&v, &s));
+}
+
+// --- WAL -------------------------------------------------------------------
+
+TEST(WalTest, WriteThenReadBack) {
+  testing::TempDir dir;
+  std::string path = dir.path() + "/wal";
+  {
+    ASSERT_OK_AND_ASSIGN(auto writer, WalWriter::Open(path));
+    ASSERT_OK(writer->Append("one"));
+    ASSERT_OK(writer->Append(""));
+    ASSERT_OK(writer->Append(std::string(10000, 'q')));
+    EXPECT_EQ(writer->records_written(), 3u);
+  }
+  ASSERT_OK_AND_ASSIGN(WalReadResult result, ReadWal(path));
+  ASSERT_EQ(result.records.size(), 3u);
+  EXPECT_EQ(result.records[0], "one");
+  EXPECT_EQ(result.records[1], "");
+  EXPECT_EQ(result.records[2].size(), 10000u);
+  EXPECT_FALSE(result.truncated_tail);
+}
+
+TEST(WalTest, MissingFileIsEmptyLog) {
+  testing::TempDir dir;
+  ASSERT_OK_AND_ASSIGN(WalReadResult result, ReadWal(dir.path() + "/nope"));
+  EXPECT_TRUE(result.records.empty());
+  EXPECT_FALSE(result.truncated_tail);
+}
+
+TEST(WalTest, AppendAcrossReopens) {
+  testing::TempDir dir;
+  std::string path = dir.path() + "/wal";
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_OK_AND_ASSIGN(auto writer, WalWriter::Open(path));
+    ASSERT_OK(writer->Append("rec" + std::to_string(i)));
+  }
+  ASSERT_OK_AND_ASSIGN(WalReadResult result, ReadWal(path));
+  EXPECT_EQ(result.records.size(), 3u);
+}
+
+/// Property: truncating the WAL at ANY byte offset yields a valid prefix
+/// of the records, never an error and never a corrupt record.
+TEST(WalTest, TornTailAtEveryOffsetIsAPrefix) {
+  testing::TempDir dir;
+  std::string path = dir.path() + "/wal";
+  std::vector<std::string> records;
+  {
+    ASSERT_OK_AND_ASSIGN(auto writer, WalWriter::Open(path));
+    for (int i = 0; i < 8; ++i) {
+      records.push_back("record-" + std::to_string(i) +
+                        std::string(static_cast<size_t>(i * 13), 'p'));
+      ASSERT_OK(writer->Append(records.back()));
+    }
+  }
+  std::string full;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) full.append(buf, n);
+    std::fclose(f);
+  }
+  for (size_t cut = 0; cut <= full.size(); cut += 3) {
+    std::string truncated_path = dir.path() + "/wal_cut";
+    std::FILE* f = std::fopen(truncated_path.c_str(), "wb");
+    std::fwrite(full.data(), 1, cut, f);
+    std::fclose(f);
+    ASSERT_OK_AND_ASSIGN(WalReadResult result, ReadWal(truncated_path));
+    ASSERT_LE(result.records.size(), records.size());
+    for (size_t i = 0; i < result.records.size(); ++i) {
+      EXPECT_EQ(result.records[i], records[i]) << "cut=" << cut;
+    }
+    // A cut exactly on a record boundary is indistinguishable from a
+    // clean shutdown; mid-record cuts must be flagged.
+    if (result.truncated_tail) {
+      EXPECT_LT(result.records.size(), records.size());
+    }
+  }
+}
+
+TEST(WalTest, CorruptedPayloadStopsRead) {
+  testing::TempDir dir;
+  std::string path = dir.path() + "/wal";
+  {
+    ASSERT_OK_AND_ASSIGN(auto writer, WalWriter::Open(path));
+    ASSERT_OK(writer->Append("first"));
+    ASSERT_OK(writer->Append("second"));
+  }
+  // Flip a byte inside the second record's payload.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    std::fseek(f, -2, SEEK_END);
+    char c = 'X';
+    std::fwrite(&c, 1, 1, f);
+    std::fclose(f);
+  }
+  ASSERT_OK_AND_ASSIGN(WalReadResult result, ReadWal(path));
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0], "first");
+  EXPECT_TRUE(result.truncated_tail);
+}
+
+// --- Snapshot -----------------------------------------------------------------
+
+TEST(SnapshotTest, RoundTrip) {
+  testing::TempDir dir;
+  std::string path = dir.path() + "/snap";
+  ASSERT_OK(WriteSnapshot(path, "payload bytes"));
+  ASSERT_OK_AND_ASSIGN(std::string payload, ReadSnapshot(path));
+  EXPECT_EQ(payload, "payload bytes");
+}
+
+TEST(SnapshotTest, MissingIsNotFound) {
+  testing::TempDir dir;
+  Result<std::string> r = ReadSnapshot(dir.path() + "/none");
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(SnapshotTest, OverwriteReplacesAtomically) {
+  testing::TempDir dir;
+  std::string path = dir.path() + "/snap";
+  ASSERT_OK(WriteSnapshot(path, "v1"));
+  ASSERT_OK(WriteSnapshot(path, "v2"));
+  ASSERT_OK_AND_ASSIGN(std::string payload, ReadSnapshot(path));
+  EXPECT_EQ(payload, "v2");
+  // No leftover temp file.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(SnapshotTest, CorruptionDetected) {
+  testing::TempDir dir;
+  std::string path = dir.path() + "/snap";
+  ASSERT_OK(WriteSnapshot(path, "important data"));
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    std::fseek(f, -3, SEEK_END);
+    char c = '!';
+    std::fwrite(&c, 1, 1, f);
+    std::fclose(f);
+  }
+  Result<std::string> r = ReadSnapshot(path);
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST(SnapshotTest, BadMagicDetected) {
+  testing::TempDir dir;
+  std::string path = dir.path() + "/snap";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fwrite("garbage!", 1, 8, f);
+  std::fclose(f);
+  EXPECT_TRUE(ReadSnapshot(path).status().IsCorruption());
+}
+
+// --- WriteBatch ------------------------------------------------------------------
+
+TEST(WriteBatchTest, OpsRoundTrip) {
+  WriteBatch batch;
+  batch.Put("t1", "k1", "v1");
+  batch.Delete("t2", "k2");
+  batch.Put("t1", "k3", "");
+  EXPECT_EQ(batch.num_ops(), 3u);
+  ASSERT_OK_AND_ASSIGN(WriteBatch parsed,
+                       WriteBatch::FromPayload(batch.payload()));
+  ASSERT_OK_AND_ASSIGN(auto ops, parsed.Ops());
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_TRUE(ops[0].is_put);
+  EXPECT_EQ(ops[0].table, "t1");
+  EXPECT_EQ(ops[0].key, "k1");
+  EXPECT_EQ(ops[0].value, "v1");
+  EXPECT_FALSE(ops[1].is_put);
+  EXPECT_EQ(ops[1].key, "k2");
+}
+
+TEST(WriteBatchTest, CorruptPayloadRejected) {
+  EXPECT_FALSE(WriteBatch::FromPayload("\x07garbage").ok());
+}
+
+// --- RecordStore ------------------------------------------------------------------
+
+TEST(RecordStoreTest, PutGetDelete) {
+  testing::TempDir dir;
+  ASSERT_OK_AND_ASSIGN(auto store, RecordStore::Open(dir.path()));
+  ASSERT_OK(store->Put("table", "key", "value"));
+  ASSERT_OK_AND_ASSIGN(std::string v, store->Get("table", "key"));
+  EXPECT_EQ(v, "value");
+  EXPECT_TRUE(store->Contains("table", "key"));
+  ASSERT_OK(store->Delete("table", "key"));
+  EXPECT_FALSE(store->Contains("table", "key"));
+  EXPECT_TRUE(store->Get("table", "key").status().IsNotFound());
+}
+
+TEST(RecordStoreTest, GetFromMissingTable) {
+  testing::TempDir dir;
+  ASSERT_OK_AND_ASSIGN(auto store, RecordStore::Open(dir.path()));
+  EXPECT_TRUE(store->Get("none", "k").status().IsNotFound());
+  EXPECT_EQ(store->TableSize("none"), 0u);
+}
+
+TEST(RecordStoreTest, ScanWithPrefix) {
+  testing::TempDir dir;
+  ASSERT_OK_AND_ASSIGN(auto store, RecordStore::Open(dir.path()));
+  ASSERT_OK(store->Put("t", "a/1", "1"));
+  ASSERT_OK(store->Put("t", "a/2", "2"));
+  ASSERT_OK(store->Put("t", "b/1", "3"));
+  auto rows = store->Scan("t", "a/");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].first, "a/1");
+  EXPECT_EQ(rows[1].first, "a/2");
+  EXPECT_EQ(store->Scan("t").size(), 3u);
+}
+
+TEST(RecordStoreTest, SurvivesReopen) {
+  testing::TempDir dir;
+  {
+    ASSERT_OK_AND_ASSIGN(auto store, RecordStore::Open(dir.path()));
+    ASSERT_OK(store->Put("t", "k1", "v1"));
+    ASSERT_OK(store->Put("t", "k2", "v2"));
+    ASSERT_OK(store->Delete("t", "k1"));
+  }
+  ASSERT_OK_AND_ASSIGN(auto store, RecordStore::Open(dir.path()));
+  EXPECT_FALSE(store->Contains("t", "k1"));
+  ASSERT_OK_AND_ASSIGN(std::string v, store->Get("t", "k2"));
+  EXPECT_EQ(v, "v2");
+}
+
+TEST(RecordStoreTest, CheckpointTruncatesWalAndPreservesData) {
+  testing::TempDir dir;
+  {
+    ASSERT_OK_AND_ASSIGN(auto store, RecordStore::Open(dir.path()));
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_OK(store->Put("t", "k" + std::to_string(i), "v"));
+    }
+    uint64_t wal_before = store->WalBytes();
+    EXPECT_GT(wal_before, 0u);
+    ASSERT_OK(store->Checkpoint());
+    EXPECT_EQ(store->WalBytes(), 0u);
+    // Writes after the checkpoint land in the fresh WAL.
+    ASSERT_OK(store->Put("t", "post", "checkpoint"));
+    EXPECT_GT(store->WalBytes(), 0u);
+  }
+  ASSERT_OK_AND_ASSIGN(auto store, RecordStore::Open(dir.path()));
+  EXPECT_EQ(store->TableSize("t"), 101u);
+  ASSERT_OK_AND_ASSIGN(std::string v, store->Get("t", "post"));
+  EXPECT_EQ(v, "checkpoint");
+}
+
+TEST(RecordStoreTest, BatchIsAtomicAcrossCrash) {
+  testing::TempDir dir;
+  {
+    ASSERT_OK_AND_ASSIGN(auto store, RecordStore::Open(dir.path()));
+    WriteBatch batch;
+    batch.Put("t", "a", "1");
+    batch.Put("t", "b", "2");
+    batch.Delete("t", "a");
+    ASSERT_OK(store->Apply(batch));
+  }  // "crash" = drop the store without checkpointing
+  ASSERT_OK_AND_ASSIGN(auto store, RecordStore::Open(dir.path()));
+  EXPECT_FALSE(store->Contains("t", "a"));
+  EXPECT_TRUE(store->Contains("t", "b"));
+}
+
+/// Property: truncate the WAL at every offset; reopening must always
+/// succeed and yield a state equal to applying a prefix of the commits.
+TEST(RecordStoreTest, CrashConsistentAtEveryWalTruncation) {
+  testing::TempDir dir;
+  const int kCommits = 12;
+  {
+    ASSERT_OK_AND_ASSIGN(auto store, RecordStore::Open(dir.path()));
+    for (int i = 0; i < kCommits; ++i) {
+      WriteBatch batch;
+      batch.Put("t", "counter", std::to_string(i));
+      batch.Put("t", "k" + std::to_string(i), "v");
+      ASSERT_OK(store->Apply(batch));
+    }
+  }
+  std::string wal_path = dir.path() + "/wal.log";
+  std::string full;
+  {
+    std::FILE* f = std::fopen(wal_path.c_str(), "rb");
+    char buf[65536];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) full.append(buf, n);
+    std::fclose(f);
+  }
+  for (size_t cut = 0; cut <= full.size(); cut += 7) {
+    testing::TempDir crash_dir;
+    std::FILE* f =
+        std::fopen((crash_dir.path() + "/wal.log").c_str(), "wb");
+    std::fwrite(full.data(), 1, cut, f);
+    std::fclose(f);
+    ASSERT_OK_AND_ASSIGN(auto store, RecordStore::Open(crash_dir.path()));
+    // The state must be a consistent prefix: if commit i is visible via
+    // "counter", then every k0..ki exists.
+    Result<std::string> counter = store->Get("t", "counter");
+    if (counter.ok()) {
+      int i = std::stoi(*counter);
+      for (int k = 0; k <= i; ++k) {
+        EXPECT_TRUE(store->Contains("t", "k" + std::to_string(k)))
+            << "cut=" << cut << " i=" << i << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(RecordStoreTest, InjectedWriteFailure) {
+  testing::TempDir dir;
+  ASSERT_OK_AND_ASSIGN(auto store, RecordStore::Open(dir.path()));
+  store->SetFailWrites(true);
+  EXPECT_TRUE(store->Put("t", "k", "v").IsIOError());
+  EXPECT_TRUE(store->Checkpoint().IsIOError());
+  store->SetFailWrites(false);
+  ASSERT_OK(store->Put("t", "k", "v"));
+}
+
+TEST(RecordStoreTest, EmptyBatchIsNoop) {
+  testing::TempDir dir;
+  ASSERT_OK_AND_ASSIGN(auto store, RecordStore::Open(dir.path()));
+  WriteBatch batch;
+  ASSERT_OK(store->Apply(batch));
+  EXPECT_EQ(store->CommitCount(), 0u);
+}
+
+// --- Spaces ------------------------------------------------------------------------
+
+TEST(SpacesTest, TemplateSpace) {
+  testing::TempDir dir;
+  ASSERT_OK_AND_ASSIGN(auto store, RecordStore::Open(dir.path()));
+  Spaces spaces(store.get());
+  ASSERT_OK(spaces.PutTemplate("proc_a", "PROCESS a {}"));
+  ASSERT_OK(spaces.PutTemplate("proc_b", "PROCESS b {}"));
+  ASSERT_OK_AND_ASSIGN(std::string text, spaces.GetTemplate("proc_a"));
+  EXPECT_EQ(text, "PROCESS a {}");
+  EXPECT_EQ(spaces.ListTemplates(),
+            (std::vector<std::string>{"proc_a", "proc_b"}));
+}
+
+TEST(SpacesTest, InstanceSpaceScansAndDeletes) {
+  testing::TempDir dir;
+  ASSERT_OK_AND_ASSIGN(auto store, RecordStore::Open(dir.path()));
+  Spaces spaces(store.get());
+  ASSERT_OK(spaces.PutInstanceRecord("inst-1", "header", "h1"));
+  ASSERT_OK(spaces.PutInstanceRecord("inst-1", "task/a", "t"));
+  ASSERT_OK(spaces.PutInstanceRecord("inst-2", "header", "h2"));
+  auto rows = spaces.ScanInstance("inst-1");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].first, "header");  // prefix stripped
+  EXPECT_EQ(rows[1].first, "task/a");
+  EXPECT_EQ(spaces.ListInstances(),
+            (std::vector<std::string>{"inst-1", "inst-2"}));
+  ASSERT_OK(spaces.DeleteInstance("inst-1"));
+  EXPECT_TRUE(spaces.ScanInstance("inst-1").empty());
+  EXPECT_EQ(spaces.ListInstances(), (std::vector<std::string>{"inst-2"}));
+}
+
+TEST(SpacesTest, HistoryIsOrderedAndPerInstance) {
+  testing::TempDir dir;
+  ASSERT_OK_AND_ASSIGN(auto store, RecordStore::Open(dir.path()));
+  Spaces spaces(store.get());
+  ASSERT_OK(spaces.AppendHistory("a", "first"));
+  ASSERT_OK(spaces.AppendHistory("b", "other"));
+  ASSERT_OK(spaces.AppendHistory("a", "second"));
+  EXPECT_EQ(spaces.History("a"),
+            (std::vector<std::string>{"first", "second"}));
+  EXPECT_EQ(spaces.History("b"), (std::vector<std::string>{"other"}));
+}
+
+TEST(SpacesTest, HistorySequenceSurvivesReopen) {
+  testing::TempDir dir;
+  {
+    ASSERT_OK_AND_ASSIGN(auto store, RecordStore::Open(dir.path()));
+    Spaces spaces(store.get());
+    ASSERT_OK(spaces.AppendHistory("a", "one"));
+  }
+  ASSERT_OK_AND_ASSIGN(auto store, RecordStore::Open(dir.path()));
+  Spaces spaces(store.get());
+  ASSERT_OK(spaces.AppendHistory("a", "two"));
+  EXPECT_EQ(spaces.History("a"), (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(SpacesTest, ConfigSpace) {
+  testing::TempDir dir;
+  ASSERT_OK_AND_ASSIGN(auto store, RecordStore::Open(dir.path()));
+  Spaces spaces(store.get());
+  ASSERT_OK(spaces.PutConfig("node/n1", "{cpus:2}"));
+  ASSERT_OK_AND_ASSIGN(std::string v, spaces.GetConfig("node/n1"));
+  EXPECT_EQ(v, "{cpus:2}");
+  EXPECT_EQ(spaces.ScanConfig().size(), 1u);
+}
+
+}  // namespace
+}  // namespace biopera

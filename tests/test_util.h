@@ -1,0 +1,71 @@
+#ifndef BIOPERA_TESTS_TEST_UTIL_H_
+#define BIOPERA_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace biopera::testing {
+
+/// Creates a unique temporary directory, removed on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    auto base = std::filesystem::temp_directory_path() / "biopera_test";
+    std::filesystem::create_directories(base);
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+      auto candidate = base / ("d" + std::to_string(counter_++) + "_" +
+                               std::to_string(::getpid()));
+      std::error_code ec;
+      if (std::filesystem::create_directory(candidate, ec)) {
+        path_ = candidate.string();
+        return;
+      }
+    }
+    ADD_FAILURE() << "could not create temp dir";
+  }
+  ~TempDir() {
+    if (!path_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(path_, ec);
+    }
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  std::string path_;
+};
+
+}  // namespace biopera::testing
+
+/// gtest helpers for Status / Result. The status is COPIED: `expr` often
+/// is `...().status()`, a reference into a temporary whose lifetime would
+/// not survive a reference binding.
+#define ASSERT_OK(expr)                                            \
+  do {                                                             \
+    const ::biopera::Status _st = (expr);                          \
+    ASSERT_TRUE(_st.ok()) << "status: " << _st.ToString();         \
+  } while (0)
+
+#define EXPECT_OK(expr)                                            \
+  do {                                                             \
+    const ::biopera::Status _st = (expr);                          \
+    EXPECT_TRUE(_st.ok()) << "status: " << _st.ToString();         \
+  } while (0)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, rexpr)                           \
+  auto BIOPERA_CONCAT_(_r_, __LINE__) = (rexpr);                   \
+  ASSERT_TRUE(BIOPERA_CONCAT_(_r_, __LINE__).ok())                 \
+      << BIOPERA_CONCAT_(_r_, __LINE__).status().ToString();       \
+  lhs = std::move(BIOPERA_CONCAT_(_r_, __LINE__)).value()
+
+#endif  // BIOPERA_TESTS_TEST_UTIL_H_

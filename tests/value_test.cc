@@ -1,0 +1,129 @@
+// Unit and property tests for ocr::Value, the dynamic data type of the
+// whiteboard and activity parameters.
+#include <gtest/gtest.h>
+
+#include "ocr/value.h"
+#include "tests/test_util.h"
+
+namespace biopera::ocr {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.Truthy());
+  EXPECT_EQ(v.TypeName(), "null");
+}
+
+TEST(ValueTest, TypePredicates) {
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(3).is_int());
+  EXPECT_TRUE(Value(int64_t{1} << 40).is_int());
+  EXPECT_TRUE(Value(2.5).is_double());
+  EXPECT_TRUE(Value(3).is_number());
+  EXPECT_TRUE(Value(2.5).is_number());
+  EXPECT_TRUE(Value("s").is_string());
+  EXPECT_TRUE(Value(Value::List{}).is_list());
+  EXPECT_TRUE(Value(Value::Map{}).is_map());
+}
+
+TEST(ValueTest, Truthiness) {
+  EXPECT_FALSE(Value(false).Truthy());
+  EXPECT_TRUE(Value(true).Truthy());
+  EXPECT_FALSE(Value(0).Truthy());
+  EXPECT_TRUE(Value(-1).Truthy());
+  EXPECT_FALSE(Value(0.0).Truthy());
+  EXPECT_TRUE(Value(0.1).Truthy());
+  EXPECT_FALSE(Value("").Truthy());
+  EXPECT_TRUE(Value("x").Truthy());
+  EXPECT_FALSE(Value(Value::List{}).Truthy());
+  EXPECT_TRUE(Value(Value::List{Value(1)}).Truthy());
+  EXPECT_FALSE(Value(Value::Map{}).Truthy());
+}
+
+TEST(ValueTest, CrossTypeNumericEquality) {
+  EXPECT_EQ(Value(1), Value(1.0));
+  EXPECT_EQ(Value(1.5), Value(1.5));
+  EXPECT_FALSE(Value(1) == Value(2));
+  EXPECT_FALSE(Value(1) == Value("1"));
+  EXPECT_FALSE(Value(0) == Value());  // 0 != null
+}
+
+TEST(ValueTest, AsDoublePromotesInt) {
+  EXPECT_DOUBLE_EQ(Value(7).AsDouble(), 7.0);
+}
+
+TEST(ValueTest, ContainerAccess) {
+  Value::Map m;
+  m["key"] = Value(Value::List{Value(1), Value("two")});
+  Value v(m);
+  ASSERT_TRUE(v.is_map());
+  const Value& list = v.AsMap().at("key");
+  ASSERT_TRUE(list.is_list());
+  EXPECT_EQ(list.AsList()[0], Value(1));
+  EXPECT_EQ(list.AsList()[1], Value("two"));
+}
+
+// Text round-trip property over a corpus of representative values.
+class ValueTextRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ValueTextRoundTrip, ParsePrintParse) {
+  ASSERT_OK_AND_ASSIGN(Value v1, Value::FromText(GetParam()));
+  std::string printed = v1.ToText();
+  ASSERT_OK_AND_ASSIGN(Value v2, Value::FromText(printed));
+  EXPECT_EQ(v1, v2) << "text: " << GetParam() << " printed: " << printed;
+  EXPECT_EQ(printed, v2.ToText());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ValueTextRoundTrip,
+    ::testing::Values("null", "true", "false", "0", "-17", "123456789012345",
+                      "1.5", "-0.25", "1e-3", "\"\"", "\"hello world\"",
+                      "\"quote\\\"inside\"", "\"tab\\there\"", "[]",
+                      "[1,2,3]", "[null,true,\"x\"]", "[[1],[2,[3]]]", "{}",
+                      "{\"a\":1}", "{\"a\":{\"b\":[1,2]},\"c\":\"d\"}",
+                      "{\"count\":80000}"));
+
+TEST(ValueTextTest, RejectsGarbage) {
+  EXPECT_FALSE(Value::FromText("").ok());
+  EXPECT_FALSE(Value::FromText("nope").ok());
+  EXPECT_FALSE(Value::FromText("[1,").ok());
+  EXPECT_FALSE(Value::FromText("{\"a\"}").ok());
+  EXPECT_FALSE(Value::FromText("\"unterminated").ok());
+  EXPECT_FALSE(Value::FromText("1 trailing").ok());
+  EXPECT_FALSE(Value::FromText("{1:2}").ok());  // keys must be strings
+}
+
+TEST(ValueTextTest, ParsesWhitespace) {
+  ASSERT_OK_AND_ASSIGN(Value v, Value::FromText("  [ 1 , 2 ]  "));
+  EXPECT_EQ(v.AsList().size(), 2u);
+}
+
+TEST(ValueTextTest, EscapesRoundTrip) {
+  Value v(std::string("line1\nline2\t\"quoted\"\\backslash"));
+  ASSERT_OK_AND_ASSIGN(Value parsed, Value::FromText(v.ToText()));
+  EXPECT_EQ(parsed, v);
+}
+
+TEST(ValueTextTest, IntVsDoubleDistinct) {
+  ASSERT_OK_AND_ASSIGN(Value i, Value::FromText("5"));
+  ASSERT_OK_AND_ASSIGN(Value d, Value::FromText("5.0"));
+  EXPECT_TRUE(i.is_int());
+  EXPECT_TRUE(d.is_double());
+  EXPECT_EQ(i, d);  // structurally equal numbers
+}
+
+TEST(ValueTextTest, LargeDoubleRoundTripsExactly) {
+  Value v(0.1234567890123456789);
+  ASSERT_OK_AND_ASSIGN(Value parsed, Value::FromText(v.ToText()));
+  EXPECT_DOUBLE_EQ(parsed.AsDouble(), v.AsDouble());
+}
+
+TEST(ValueTextTest, NestedMapOrderIsCanonical) {
+  ASSERT_OK_AND_ASSIGN(Value a, Value::FromText("{\"b\":1,\"a\":2}"));
+  ASSERT_OK_AND_ASSIGN(Value b, Value::FromText("{\"a\":2,\"b\":1}"));
+  EXPECT_EQ(a.ToText(), b.ToText());  // maps are sorted
+}
+
+}  // namespace
+}  // namespace biopera::ocr
