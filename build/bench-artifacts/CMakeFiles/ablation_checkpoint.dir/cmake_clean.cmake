@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_checkpoint"
+  "../bench/ablation_checkpoint.pdb"
+  "CMakeFiles/ablation_checkpoint.dir/ablation_checkpoint.cc.o"
+  "CMakeFiles/ablation_checkpoint.dir/ablation_checkpoint.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_granularity"
+  "../bench/fig4_granularity.pdb"
+  "CMakeFiles/fig4_granularity.dir/fig4_granularity.cc.o"
+  "CMakeFiles/fig4_granularity.dir/fig4_granularity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_shared_lifecycle"
+  "../bench/fig5_shared_lifecycle.pdb"
+  "CMakeFiles/fig5_shared_lifecycle.dir/fig5_shared_lifecycle.cc.o"
+  "CMakeFiles/fig5_shared_lifecycle.dir/fig5_shared_lifecycle.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_shared_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

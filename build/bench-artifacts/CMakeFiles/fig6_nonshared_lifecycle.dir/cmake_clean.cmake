@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_nonshared_lifecycle"
+  "../bench/fig6_nonshared_lifecycle.pdb"
+  "CMakeFiles/fig6_nonshared_lifecycle.dir/fig6_nonshared_lifecycle.cc.o"
+  "CMakeFiles/fig6_nonshared_lifecycle.dir/fig6_nonshared_lifecycle.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_nonshared_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_alignment"
+  "../bench/micro_alignment.pdb"
+  "CMakeFiles/micro_alignment.dir/micro_alignment.cc.o"
+  "CMakeFiles/micro_alignment.dir/micro_alignment.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

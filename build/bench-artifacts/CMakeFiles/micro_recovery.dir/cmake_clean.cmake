@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_recovery"
+  "../bench/micro_recovery.pdb"
+  "CMakeFiles/micro_recovery.dir/micro_recovery.cc.o"
+  "CMakeFiles/micro_recovery.dir/micro_recovery.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

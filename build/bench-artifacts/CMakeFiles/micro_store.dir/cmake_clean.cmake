@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_store"
+  "../bench/micro_store.pdb"
+  "CMakeFiles/micro_store.dir/micro_store.cc.o"
+  "CMakeFiles/micro_store.dir/micro_store.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

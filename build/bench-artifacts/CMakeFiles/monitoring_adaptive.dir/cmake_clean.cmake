@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/monitoring_adaptive"
+  "../bench/monitoring_adaptive.pdb"
+  "CMakeFiles/monitoring_adaptive.dir/monitoring_adaptive.cc.o"
+  "CMakeFiles/monitoring_adaptive.dir/monitoring_adaptive.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitoring_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

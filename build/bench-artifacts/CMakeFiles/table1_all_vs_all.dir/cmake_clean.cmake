@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_all_vs_all"
+  "../bench/table1_all_vs_all.pdb"
+  "CMakeFiles/table1_all_vs_all.dir/table1_all_vs_all.cc.o"
+  "CMakeFiles/table1_all_vs_all.dir/table1_all_vs_all.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_all_vs_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table1_all_vs_all.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/update_scenario"
+  "../bench/update_scenario.pdb"
+  "CMakeFiles/update_scenario.dir/update_scenario.cc.o"
+  "CMakeFiles/update_scenario.dir/update_scenario.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/all_vs_all.dir/all_vs_all.cpp.o"
+  "CMakeFiles/all_vs_all.dir/all_vs_all.cpp.o.d"
+  "all_vs_all"
+  "all_vs_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/all_vs_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outage_planning.dir/outage_planning.cpp.o"
+  "CMakeFiles/outage_planning.dir/outage_planning.cpp.o.d"
+  "outage_planning"
+  "outage_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outage_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tower_of_information.dir/tower_of_information.cpp.o"
+  "CMakeFiles/tower_of_information.dir/tower_of_information.cpp.o.d"
+  "tower_of_information"
+  "tower_of_information.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tower_of_information.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;9;biopera_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_all_vs_all "/root/repo/build/examples/all_vs_all")
+set_tests_properties(example_all_vs_all PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;10;biopera_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_outage_planning "/root/repo/build/examples/outage_planning")
+set_tests_properties(example_outage_planning PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;11;biopera_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_tower_of_information "/root/repo/build/examples/tower_of_information")
+set_tests_properties(example_tower_of_information PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;12;biopera_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_interactive_steering "/root/repo/build/examples/interactive_steering")
+set_tests_properties(example_interactive_steering PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;13;biopera_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_admin_console "/root/repo/build/examples/admin_console")
+set_tests_properties(example_admin_console PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;14;biopera_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biopera_cluster.dir/cluster.cc.o"
+  "CMakeFiles/biopera_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/biopera_cluster.dir/external_load.cc.o"
+  "CMakeFiles/biopera_cluster.dir/external_load.cc.o.d"
+  "CMakeFiles/biopera_cluster.dir/failure.cc.o"
+  "CMakeFiles/biopera_cluster.dir/failure.cc.o.d"
+  "libbiopera_cluster.a"
+  "libbiopera_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biopera_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

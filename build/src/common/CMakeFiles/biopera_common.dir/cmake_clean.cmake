@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biopera_common.dir/crc32.cc.o"
+  "CMakeFiles/biopera_common.dir/crc32.cc.o.d"
+  "CMakeFiles/biopera_common.dir/logging.cc.o"
+  "CMakeFiles/biopera_common.dir/logging.cc.o.d"
+  "CMakeFiles/biopera_common.dir/rng.cc.o"
+  "CMakeFiles/biopera_common.dir/rng.cc.o.d"
+  "CMakeFiles/biopera_common.dir/stats.cc.o"
+  "CMakeFiles/biopera_common.dir/stats.cc.o.d"
+  "CMakeFiles/biopera_common.dir/status.cc.o"
+  "CMakeFiles/biopera_common.dir/status.cc.o.d"
+  "CMakeFiles/biopera_common.dir/strings.cc.o"
+  "CMakeFiles/biopera_common.dir/strings.cc.o.d"
+  "CMakeFiles/biopera_common.dir/table.cc.o"
+  "CMakeFiles/biopera_common.dir/table.cc.o.d"
+  "CMakeFiles/biopera_common.dir/time.cc.o"
+  "CMakeFiles/biopera_common.dir/time.cc.o.d"
+  "libbiopera_common.a"
+  "libbiopera_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biopera_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

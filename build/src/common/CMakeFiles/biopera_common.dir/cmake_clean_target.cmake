@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbiopera_common.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/activity.cc" "src/core/CMakeFiles/biopera_core.dir/activity.cc.o" "gcc" "src/core/CMakeFiles/biopera_core.dir/activity.cc.o.d"
+  "/root/repo/src/core/backup.cc" "src/core/CMakeFiles/biopera_core.dir/backup.cc.o" "gcc" "src/core/CMakeFiles/biopera_core.dir/backup.cc.o.d"
+  "/root/repo/src/core/console.cc" "src/core/CMakeFiles/biopera_core.dir/console.cc.o" "gcc" "src/core/CMakeFiles/biopera_core.dir/console.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/biopera_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/biopera_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/instance.cc" "src/core/CMakeFiles/biopera_core.dir/instance.cc.o" "gcc" "src/core/CMakeFiles/biopera_core.dir/instance.cc.o.d"
+  "/root/repo/src/core/library.cc" "src/core/CMakeFiles/biopera_core.dir/library.cc.o" "gcc" "src/core/CMakeFiles/biopera_core.dir/library.cc.o.d"
+  "/root/repo/src/core/planner.cc" "src/core/CMakeFiles/biopera_core.dir/planner.cc.o" "gcc" "src/core/CMakeFiles/biopera_core.dir/planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/biopera_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/biopera_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/biopera_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocr/CMakeFiles/biopera_ocr.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/biopera_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/biopera_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/biopera_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

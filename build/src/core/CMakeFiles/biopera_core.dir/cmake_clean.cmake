@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biopera_core.dir/activity.cc.o"
+  "CMakeFiles/biopera_core.dir/activity.cc.o.d"
+  "CMakeFiles/biopera_core.dir/backup.cc.o"
+  "CMakeFiles/biopera_core.dir/backup.cc.o.d"
+  "CMakeFiles/biopera_core.dir/console.cc.o"
+  "CMakeFiles/biopera_core.dir/console.cc.o.d"
+  "CMakeFiles/biopera_core.dir/engine.cc.o"
+  "CMakeFiles/biopera_core.dir/engine.cc.o.d"
+  "CMakeFiles/biopera_core.dir/instance.cc.o"
+  "CMakeFiles/biopera_core.dir/instance.cc.o.d"
+  "CMakeFiles/biopera_core.dir/library.cc.o"
+  "CMakeFiles/biopera_core.dir/library.cc.o.d"
+  "CMakeFiles/biopera_core.dir/planner.cc.o"
+  "CMakeFiles/biopera_core.dir/planner.cc.o.d"
+  "libbiopera_core.a"
+  "libbiopera_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biopera_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/darwin/align.cc" "src/darwin/CMakeFiles/biopera_darwin.dir/align.cc.o" "gcc" "src/darwin/CMakeFiles/biopera_darwin.dir/align.cc.o.d"
+  "/root/repo/src/darwin/banded.cc" "src/darwin/CMakeFiles/biopera_darwin.dir/banded.cc.o" "gcc" "src/darwin/CMakeFiles/biopera_darwin.dir/banded.cc.o.d"
+  "/root/repo/src/darwin/cost_model.cc" "src/darwin/CMakeFiles/biopera_darwin.dir/cost_model.cc.o" "gcc" "src/darwin/CMakeFiles/biopera_darwin.dir/cost_model.cc.o.d"
+  "/root/repo/src/darwin/generator.cc" "src/darwin/CMakeFiles/biopera_darwin.dir/generator.cc.o" "gcc" "src/darwin/CMakeFiles/biopera_darwin.dir/generator.cc.o.d"
+  "/root/repo/src/darwin/match.cc" "src/darwin/CMakeFiles/biopera_darwin.dir/match.cc.o" "gcc" "src/darwin/CMakeFiles/biopera_darwin.dir/match.cc.o.d"
+  "/root/repo/src/darwin/pam.cc" "src/darwin/CMakeFiles/biopera_darwin.dir/pam.cc.o" "gcc" "src/darwin/CMakeFiles/biopera_darwin.dir/pam.cc.o.d"
+  "/root/repo/src/darwin/sequence.cc" "src/darwin/CMakeFiles/biopera_darwin.dir/sequence.cc.o" "gcc" "src/darwin/CMakeFiles/biopera_darwin.dir/sequence.cc.o.d"
+  "/root/repo/src/darwin/significance.cc" "src/darwin/CMakeFiles/biopera_darwin.dir/significance.cc.o" "gcc" "src/darwin/CMakeFiles/biopera_darwin.dir/significance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/biopera_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

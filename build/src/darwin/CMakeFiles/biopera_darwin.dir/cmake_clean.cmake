@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biopera_darwin.dir/align.cc.o"
+  "CMakeFiles/biopera_darwin.dir/align.cc.o.d"
+  "CMakeFiles/biopera_darwin.dir/banded.cc.o"
+  "CMakeFiles/biopera_darwin.dir/banded.cc.o.d"
+  "CMakeFiles/biopera_darwin.dir/cost_model.cc.o"
+  "CMakeFiles/biopera_darwin.dir/cost_model.cc.o.d"
+  "CMakeFiles/biopera_darwin.dir/generator.cc.o"
+  "CMakeFiles/biopera_darwin.dir/generator.cc.o.d"
+  "CMakeFiles/biopera_darwin.dir/match.cc.o"
+  "CMakeFiles/biopera_darwin.dir/match.cc.o.d"
+  "CMakeFiles/biopera_darwin.dir/pam.cc.o"
+  "CMakeFiles/biopera_darwin.dir/pam.cc.o.d"
+  "CMakeFiles/biopera_darwin.dir/sequence.cc.o"
+  "CMakeFiles/biopera_darwin.dir/sequence.cc.o.d"
+  "CMakeFiles/biopera_darwin.dir/significance.cc.o"
+  "CMakeFiles/biopera_darwin.dir/significance.cc.o.d"
+  "libbiopera_darwin.a"
+  "libbiopera_darwin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biopera_darwin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biopera_monitor.dir/adaptive_monitor.cc.o"
+  "CMakeFiles/biopera_monitor.dir/adaptive_monitor.cc.o.d"
+  "CMakeFiles/biopera_monitor.dir/awareness.cc.o"
+  "CMakeFiles/biopera_monitor.dir/awareness.cc.o.d"
+  "CMakeFiles/biopera_monitor.dir/load_curve.cc.o"
+  "CMakeFiles/biopera_monitor.dir/load_curve.cc.o.d"
+  "libbiopera_monitor.a"
+  "libbiopera_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biopera_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

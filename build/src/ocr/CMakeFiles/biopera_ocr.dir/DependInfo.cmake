@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ocr/builder.cc" "src/ocr/CMakeFiles/biopera_ocr.dir/builder.cc.o" "gcc" "src/ocr/CMakeFiles/biopera_ocr.dir/builder.cc.o.d"
+  "/root/repo/src/ocr/expr.cc" "src/ocr/CMakeFiles/biopera_ocr.dir/expr.cc.o" "gcc" "src/ocr/CMakeFiles/biopera_ocr.dir/expr.cc.o.d"
+  "/root/repo/src/ocr/model.cc" "src/ocr/CMakeFiles/biopera_ocr.dir/model.cc.o" "gcc" "src/ocr/CMakeFiles/biopera_ocr.dir/model.cc.o.d"
+  "/root/repo/src/ocr/ocr_text.cc" "src/ocr/CMakeFiles/biopera_ocr.dir/ocr_text.cc.o" "gcc" "src/ocr/CMakeFiles/biopera_ocr.dir/ocr_text.cc.o.d"
+  "/root/repo/src/ocr/value.cc" "src/ocr/CMakeFiles/biopera_ocr.dir/value.cc.o" "gcc" "src/ocr/CMakeFiles/biopera_ocr.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/biopera_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

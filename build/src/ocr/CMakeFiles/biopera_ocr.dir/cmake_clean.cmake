@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biopera_ocr.dir/builder.cc.o"
+  "CMakeFiles/biopera_ocr.dir/builder.cc.o.d"
+  "CMakeFiles/biopera_ocr.dir/expr.cc.o"
+  "CMakeFiles/biopera_ocr.dir/expr.cc.o.d"
+  "CMakeFiles/biopera_ocr.dir/model.cc.o"
+  "CMakeFiles/biopera_ocr.dir/model.cc.o.d"
+  "CMakeFiles/biopera_ocr.dir/ocr_text.cc.o"
+  "CMakeFiles/biopera_ocr.dir/ocr_text.cc.o.d"
+  "CMakeFiles/biopera_ocr.dir/value.cc.o"
+  "CMakeFiles/biopera_ocr.dir/value.cc.o.d"
+  "libbiopera_ocr.a"
+  "libbiopera_ocr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biopera_ocr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

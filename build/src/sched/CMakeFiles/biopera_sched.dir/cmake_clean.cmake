@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biopera_sched.dir/policy.cc.o"
+  "CMakeFiles/biopera_sched.dir/policy.cc.o.d"
+  "libbiopera_sched.a"
+  "libbiopera_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biopera_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biopera_sim.dir/simulator.cc.o"
+  "CMakeFiles/biopera_sim.dir/simulator.cc.o.d"
+  "libbiopera_sim.a"
+  "libbiopera_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biopera_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biopera_store.dir/codec.cc.o"
+  "CMakeFiles/biopera_store.dir/codec.cc.o.d"
+  "CMakeFiles/biopera_store.dir/record_store.cc.o"
+  "CMakeFiles/biopera_store.dir/record_store.cc.o.d"
+  "CMakeFiles/biopera_store.dir/snapshot.cc.o"
+  "CMakeFiles/biopera_store.dir/snapshot.cc.o.d"
+  "CMakeFiles/biopera_store.dir/spaces.cc.o"
+  "CMakeFiles/biopera_store.dir/spaces.cc.o.d"
+  "CMakeFiles/biopera_store.dir/wal.cc.o"
+  "CMakeFiles/biopera_store.dir/wal.cc.o.d"
+  "libbiopera_store.a"
+  "libbiopera_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biopera_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biopera_workloads.dir/allvsall.cc.o"
+  "CMakeFiles/biopera_workloads.dir/allvsall.cc.o.d"
+  "CMakeFiles/biopera_workloads.dir/gene_prediction.cc.o"
+  "CMakeFiles/biopera_workloads.dir/gene_prediction.cc.o.d"
+  "CMakeFiles/biopera_workloads.dir/partition.cc.o"
+  "CMakeFiles/biopera_workloads.dir/partition.cc.o.d"
+  "CMakeFiles/biopera_workloads.dir/tower.cc.o"
+  "CMakeFiles/biopera_workloads.dir/tower.cc.o.d"
+  "CMakeFiles/biopera_workloads.dir/tree_search.cc.o"
+  "CMakeFiles/biopera_workloads.dir/tree_search.cc.o.d"
+  "libbiopera_workloads.a"
+  "libbiopera_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biopera_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allvsall_integration_test.dir/allvsall_integration_test.cc.o"
+  "CMakeFiles/allvsall_integration_test.dir/allvsall_integration_test.cc.o.d"
+  "allvsall_integration_test"
+  "allvsall_integration_test.pdb"
+  "allvsall_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allvsall_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

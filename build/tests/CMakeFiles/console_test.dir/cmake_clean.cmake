@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/console_test.dir/console_test.cc.o"
+  "CMakeFiles/console_test.dir/console_test.cc.o.d"
+  "console_test"
+  "console_test.pdb"
+  "console_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/console_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

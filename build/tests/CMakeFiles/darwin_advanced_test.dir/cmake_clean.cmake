@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darwin_advanced_test.dir/darwin_advanced_test.cc.o"
+  "CMakeFiles/darwin_advanced_test.dir/darwin_advanced_test.cc.o.d"
+  "darwin_advanced_test"
+  "darwin_advanced_test.pdb"
+  "darwin_advanced_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darwin_advanced_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

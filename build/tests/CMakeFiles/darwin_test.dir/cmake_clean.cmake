@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darwin_test.dir/darwin_test.cc.o"
+  "CMakeFiles/darwin_test.dir/darwin_test.cc.o.d"
+  "darwin_test"
+  "darwin_test.pdb"
+  "darwin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darwin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_navigation_test.dir/engine_navigation_test.cc.o"
+  "CMakeFiles/engine_navigation_test.dir/engine_navigation_test.cc.o.d"
+  "engine_navigation_test"
+  "engine_navigation_test.pdb"
+  "engine_navigation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_navigation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_workloads_test.dir/future_workloads_test.cc.o"
+  "CMakeFiles/future_workloads_test.dir/future_workloads_test.cc.o.d"
+  "future_workloads_test"
+  "future_workloads_test.pdb"
+  "future_workloads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_workloads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

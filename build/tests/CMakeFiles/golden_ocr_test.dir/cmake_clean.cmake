@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_ocr_test.dir/golden_ocr_test.cc.o"
+  "CMakeFiles/golden_ocr_test.dir/golden_ocr_test.cc.o.d"
+  "golden_ocr_test"
+  "golden_ocr_test.pdb"
+  "golden_ocr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_ocr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

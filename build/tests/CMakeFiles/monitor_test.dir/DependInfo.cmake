@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/monitor_test.cc" "tests/CMakeFiles/monitor_test.dir/monitor_test.cc.o" "gcc" "tests/CMakeFiles/monitor_test.dir/monitor_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/biopera_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/biopera_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/darwin/CMakeFiles/biopera_darwin.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/biopera_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocr/CMakeFiles/biopera_ocr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/biopera_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/biopera_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/biopera_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/biopera_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/biopera_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

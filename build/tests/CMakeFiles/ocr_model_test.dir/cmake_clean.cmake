@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocr_model_test.dir/ocr_model_test.cc.o"
+  "CMakeFiles/ocr_model_test.dir/ocr_model_test.cc.o.d"
+  "ocr_model_test"
+  "ocr_model_test.pdb"
+  "ocr_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocr_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/engine_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/allvsall_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/store_test[1]_include.cmake")
+include("/root/repo/build/tests/value_test[1]_include.cmake")
+include("/root/repo/build/tests/expr_test[1]_include.cmake")
+include("/root/repo/build/tests/ocr_model_test[1]_include.cmake")
+include("/root/repo/build/tests/darwin_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/monitor_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_navigation_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_advanced_test[1]_include.cmake")
+include("/root/repo/build/tests/future_workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/console_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/darwin_advanced_test[1]_include.cmake")
+include("/root/repo/build/tests/library_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_options_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_nesting_test[1]_include.cmake")
+include("/root/repo/build/tests/golden_ocr_test[1]_include.cmake")
+include("/root/repo/build/tests/chaos_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_fuzz_test[1]_include.cmake")
