@@ -68,8 +68,12 @@ BenchWorld::BenchWorld(const core::EngineOptions& options)
   }
   store = std::move(*opened);
   cluster = std::make_unique<cluster::ClusterSim>(&sim);
+  core::EngineOptions engine_options = options;
+  if (engine_options.observability == nullptr) {
+    engine_options.observability = &obs;
+  }
   engine = std::make_unique<core::Engine>(&sim, cluster.get(), store.get(),
-                                          &registry, options);
+                                          &registry, engine_options);
 }
 
 BenchWorld::~BenchWorld() {

@@ -9,6 +9,7 @@
 #include "cluster/cluster.h"
 #include "common/rng.h"
 #include "core/engine.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "store/record_store.h"
 
@@ -37,7 +38,9 @@ void AddLinneusCluster(cluster::ClusterSim* cluster);
 void AddIkLinuxCluster(cluster::ClusterSim* cluster, int cpus = 1);
 
 /// One self-cleaning world: simulator + cluster + store + registry +
-/// engine, with the store in a fresh temp directory.
+/// engine, with the store in a fresh temp directory. Unless the caller
+/// supplies its own context in `options`, the world's `obs` instruments
+/// the whole stack, so every bench can dump a metrics snapshot.
 struct BenchWorld {
   explicit BenchWorld(const core::EngineOptions& options = {});
   ~BenchWorld();
@@ -46,6 +49,7 @@ struct BenchWorld {
 
   Simulator sim;
   std::string store_dir;
+  obs::Observability obs;
   std::unique_ptr<RecordStore> store;
   std::unique_ptr<cluster::ClusterSim> cluster;
   core::ActivityRegistry registry;

@@ -74,6 +74,7 @@ ScenarioResult Collect(BenchWorld* world, const std::string& id,
   result.monitor_reports = mon.reports_sent;
   result.max_cpus = static_cast<int>(result.availability.MaxOver(0, 1e9));
   result.manual_interventions = manual_interventions;
+  result.metrics_text = world->obs.metrics.Snapshot().ToText();
   return result;
 }
 

@@ -28,6 +28,8 @@ struct ScenarioResult {
   /// (suspend/resume/restart), mirroring §5.4's accounting of how much
   /// human attention the run needed.
   int manual_interventions = 0;
+  /// End-of-run metrics-registry snapshot (text form).
+  std::string metrics_text;
 };
 
 /// First run (§5.4): the full synthetic-SP38 all-vs-all on the *shared*

@@ -52,6 +52,8 @@ int Main() {
         static_cast<unsigned long long>(r->summary.stats.activities_failed),
         r->manual_interventions);
   }
+  std::printf("\n== metrics snapshot (shared run) ==\n%s",
+              shared.metrics_text.c_str());
   std::printf(
       "\nshape checks vs the paper:\n"
       "  WALL in weeks, not months (manual efforts took 3-4 months for "

@@ -16,6 +16,7 @@
 #include "core/console.h"
 #include "core/engine.h"
 #include "darwin/generator.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "store/record_store.h"
 #include "workloads/allvsall.h"
@@ -48,7 +49,10 @@ int main(int argc, char** argv) {
   auto tower_ctx = std::make_shared<workloads::TowerContext>();
   workloads::RegisterTowerActivities(&registry, tower_ctx);
 
-  core::Engine engine(&sim, &cluster, store->get(), &registry);
+  obs::Observability obs;
+  core::EngineOptions options;
+  options.observability = &obs;
+  core::Engine engine(&sim, &cluster, store->get(), &registry, options);
   engine.Startup();
   engine.RegisterTemplate(workloads::BuildAllVsAllProcess());
   engine.RegisterTemplate(workloads::BuildAlignPartitionProcess());
@@ -109,6 +113,9 @@ int main(int argc, char** argv) {
     run("INSTANCES");
     run("RESUME " + *tower);
     run("HISTORY " + *tower + " 6");
+    run("METRICS");
+    run("TRACE " + *avsa + " 5");
+    run("TIMELINE sun0");
   }
 
   sim.Run();

@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "common/stats.h"
 #include "common/time.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace biopera::cluster {
@@ -72,6 +73,12 @@ class ClusterSim {
 
   void SetListener(ClusterListener* listener) { listener_ = listener; }
   ClusterListener* listener() const { return listener_; }
+
+  /// Attaches an observability context: node up/down transitions and
+  /// Annotate() marks are mirrored into its trace sink (stamped with this
+  /// cluster's virtual clock). nullptr detaches.
+  void SetObservability(obs::Observability* obs);
+  obs::Observability* observability() const { return obs_; }
 
   // --- Topology -----------------------------------------------------------
   Status AddNode(const NodeConfig& config);
@@ -170,6 +177,7 @@ class ClusterSim {
 
   Simulator* sim_;
   ClusterListener* listener_ = nullptr;
+  obs::Observability* obs_ = nullptr;
   std::map<std::string, Node> nodes_;
   std::map<JobId, std::string> job_locations_;
   StepSeries availability_;

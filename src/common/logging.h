@@ -1,17 +1,35 @@
 #ifndef BIOPERA_COMMON_LOGGING_H_
 #define BIOPERA_COMMON_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
+
+#include "common/time.h"
 
 namespace biopera {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 /// Sets the minimum level that is emitted to stderr. Default: kWarning
-/// (benches and tests stay quiet unless something is wrong).
+/// (benches and tests stay quiet unless something is wrong), overridable
+/// at process start with the BIOPERA_LOG_LEVEL environment variable
+/// ("debug" | "info" | "warning" | "error", case-insensitive).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Registers the clock used to prefix log lines with a timestamp —
+/// typically the experiment's Simulator, so lines carry *virtual* time.
+/// nullptr (the default) omits the timestamp. The clock must outlive its
+/// registration; clear it before destroying the simulator.
+void SetLogClock(const Clock* clock);
+
+/// Test hook: when set, every log line (regardless of the stderr level)
+/// is also delivered here, so tests can assert on warnings instead of
+/// scraping stderr. `message` is the formatted line without the trailing
+/// newline. Pass nullptr to clear.
+using LogCaptureHook = std::function<void(LogLevel, const std::string&)>;
+void SetLogCaptureHook(LogCaptureHook hook);
 
 namespace internal_logging {
 

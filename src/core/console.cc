@@ -6,6 +6,7 @@
 #include "common/strings.h"
 #include "common/table.h"
 #include "core/planner.h"
+#include "obs/timeline.h"
 
 namespace biopera::core {
 
@@ -37,6 +38,7 @@ constexpr char kHelp[] = R"(commands:
   STATUS <id> | HISTORY <id> [n] | WB <id> <var> | LINEAGE <id> <var>
   WHATIF <node> [node...]
   TASKS <id> | ETA <id>
+  METRICS | TRACE <id|*> [n] | TIMELINE <node|*>
   SUSPEND <id> | RESUME <id> | ABORT <id> | RESTART <id>
   RAISE <id> <event> | INVALIDATE <id> <task> | ARCHIVE <id>
 )";
@@ -180,6 +182,41 @@ Result<std::string> AdminConsole::Execute(const std::string& line) {
     }
     return table.num_rows() == 0 ? std::string("(no running jobs)\n")
                                  : table.ToString();
+  }
+
+  if (command == "METRICS") {
+    obs::Observability* obs = engine_->observability();
+    if (obs == nullptr) return std::string("(observability not enabled)\n");
+    return obs->metrics.Snapshot().ToText();
+  }
+
+  if (command == "TRACE") {
+    BIOPERA_RETURN_IF_ERROR(need(1));
+    obs::Observability* obs = engine_->observability();
+    if (obs == nullptr) return std::string("(observability not enabled)\n");
+    long long n = 20;
+    if (args.size() > 2 && (!ParseInt64(args[2], &n) || n <= 0)) {
+      return Status::InvalidArgument("TRACE: bad count " + args[2]);
+    }
+    std::string filter = args[1] == "*" ? "" : args[1];
+    std::vector<obs::TraceRecord> records =
+        obs->trace.Tail(static_cast<size_t>(n), filter);
+    std::string out;
+    for (const obs::TraceRecord& rec : records) {
+      out += rec.ToJson() + "\n";
+    }
+    return out.empty() ? std::string("(no matching trace events)\n") : out;
+  }
+
+  if (command == "TIMELINE") {
+    BIOPERA_RETURN_IF_ERROR(need(1));
+    obs::Observability* obs = engine_->observability();
+    if (obs == nullptr) return std::string("(observability not enabled)\n");
+    std::string node = args[1] == "*" ? "" : args[1];
+    std::vector<obs::TimelineInterval> intervals =
+        obs::BuildTimeline(obs->trace, node);
+    if (intervals.empty()) return std::string("(no timeline intervals)\n");
+    return obs::TimelineCsv(intervals);
   }
 
   if (command == "WHATIF") {

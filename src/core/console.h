@@ -24,6 +24,9 @@ namespace biopera::core {
 ///   LINEAGE <id> <var>            which task wrote the variable
 ///   NODES                         awareness-model view of the cluster
 ///   JOBS                          running jobs (instance, task, node)
+///   METRICS                       metrics-registry snapshot (if enabled)
+///   TRACE <id|*> [n]              last n trace events (default 20)
+///   TIMELINE <node|*>             per-task execution intervals as CSV
 ///   WHATIF <node> [node...]       outage plan for taking nodes off-line
 ///   SUSPEND|RESUME|ABORT|RESTART <id>
 ///   RAISE <id> <event>            deliver an OCR event

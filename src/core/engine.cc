@@ -196,6 +196,38 @@ Engine::Engine(Simulator* sim, cluster::ClusterSim* cluster,
       options_(options),
       rng_(options.seed) {
   cluster_->SetListener(this);
+  if (obs::Observability* obs = options_.observability; obs != nullptr) {
+    obs->SetClock(sim_);
+    // One EngineOptions field instruments the whole stack.
+    cluster_->SetObservability(obs);
+    store->SetObservability(obs);
+    dispatched_metric_ = obs->metrics.GetCounter("engine_tasks_dispatched_total");
+    completed_metric_ = obs->metrics.GetCounter("engine_tasks_completed_total");
+    failed_metric_ = obs->metrics.GetCounter("engine_tasks_failed_total");
+    timed_out_metric_ = obs->metrics.GetCounter("engine_jobs_timed_out_total");
+    migrations_metric_ = obs->metrics.GetCounter("engine_migrations_total");
+    recovered_metric_ = obs->metrics.GetCounter("engine_recovered_tasks_total");
+    queue_depth_gauge_ = obs->metrics.GetGauge("engine_ready_queue_depth");
+    running_jobs_gauge_ = obs->metrics.GetGauge("engine_running_jobs");
+    // Task costs span seconds to days: 1s x4 buckets.
+    obs::HistogramOptions cost_buckets;
+    cost_buckets.first_bound = 1.0;
+    task_cost_metric_ =
+        obs->metrics.GetHistogram("engine_task_cost_seconds", {}, cost_buckets);
+  }
+}
+
+void Engine::EmitInstanceState(const ProcessInstance* inst) {
+  if (options_.observability == nullptr) return;
+  options_.observability->trace.Emit(
+      obs::EventType::kInstanceStateChanged, inst->id(), "", "",
+      {{"state", std::string(InstanceStateName(inst->state()))}});
+}
+
+void Engine::SyncObsGauges() {
+  if (queue_depth_gauge_ == nullptr) return;
+  queue_depth_gauge_->Set(static_cast<double>(ready_queue_.size()));
+  running_jobs_gauge_->Set(static_cast<double>(jobs_.size()));
 }
 
 Engine::~Engine() {
@@ -251,11 +283,22 @@ Status Engine::Startup() {
       return st;
     }
   }
+  if (options_.observability != nullptr) {
+    options_.observability->trace.Emit(
+        obs::EventType::kServerStarted, "", "", "",
+        {{"instances", StrFormat("%zu", instances_.size())}});
+  }
   PumpDispatch();
+  SyncObsGauges();
   return Status::OK();
 }
 
 void Engine::Crash() {
+  if (options_.observability != nullptr) {
+    options_.observability->trace.Emit(
+        obs::EventType::kServerCrashed, "", "", "",
+        {{"jobs_killed", StrFormat("%zu", jobs_.size())}});
+  }
   up_ = false;
   // Ongoing jobs are stopped when the server dies (paper §5.4, event 4).
   cluster_->KillAllJobs();
@@ -270,6 +313,7 @@ void Engine::Crash() {
     pump_event_ = kInvalidEventId;
   }
   pump_scheduled_ = false;
+  SyncObsGauges();
 }
 
 // ---------------------------------------------------------------------------
@@ -338,6 +382,7 @@ Result<std::string> Engine::StartProcess(const std::string& template_name,
   BIOPERA_RETURN_IF_ERROR(MaybeCompleteScope(raw, raw->root(), &batch));
   BIOPERA_RETURN_IF_ERROR(Commit(&batch));
   AppendHistory(id, "started template=" + template_name);
+  EmitInstanceState(raw);
   PumpDispatch();
   return id;
 }
@@ -353,6 +398,7 @@ Status Engine::Suspend(const std::string& instance_id) {
   PersistHeader(inst, &batch);
   BIOPERA_RETURN_IF_ERROR(Commit(&batch));
   AppendHistory(instance_id, "suspended");
+  EmitInstanceState(inst);
   return Status::OK();
 }
 
@@ -367,6 +413,7 @@ Status Engine::Resume(const std::string& instance_id) {
   PersistHeader(inst, &batch);
   BIOPERA_RETURN_IF_ERROR(Commit(&batch));
   AppendHistory(instance_id, "resumed");
+  EmitInstanceState(inst);
   PumpDispatch();
   return Status::OK();
 }
@@ -381,7 +428,7 @@ Status Engine::Abort(const std::string& instance_id) {
   }
   for (cluster::JobId job_id : to_kill) {
     cluster_->KillJob(job_id);
-    awareness_.JobfinishedOrFailed(jobs_[job_id].node, /*failed=*/false);
+    awareness_.JobFinishedOrFailed(jobs_[job_id].node, /*failed=*/false);
     jobs_.erase(job_id);
   }
   inst->set_state(InstanceState::kAborted);
@@ -389,6 +436,8 @@ Status Engine::Abort(const std::string& instance_id) {
   PersistHeader(inst, &batch);
   BIOPERA_RETURN_IF_ERROR(Commit(&batch));
   AppendHistory(instance_id, "aborted");
+  EmitInstanceState(inst);
+  SyncObsGauges();
   return Status::OK();
 }
 
@@ -408,7 +457,7 @@ Status Engine::Restart(const std::string& instance_id) {
   for (cluster::JobId job_id : stale) {
     const PendingJob& pending = jobs_[job_id];
     cluster_->KillJob(job_id);  // NotFound if it already finished silently
-    awareness_.JobfinishedOrFailed(pending.node, /*failed=*/false);
+    awareness_.JobFinishedOrFailed(pending.node, /*failed=*/false);
     jobs_.erase(job_id);
   }
   inst->ForEachNode([&](TaskNode* node) {
@@ -442,6 +491,7 @@ Status Engine::Restart(const std::string& instance_id) {
   BIOPERA_RETURN_IF_ERROR(ReevaluateAll(inst, &batch));
   BIOPERA_RETURN_IF_ERROR(Commit(&batch));
   AppendHistory(instance_id, "restarted");
+  EmitInstanceState(inst);
   PumpDispatch();
   return Status::OK();
 }
@@ -481,7 +531,7 @@ void Engine::DiscardSubtree(ProcessInstance* inst, TaskNode* node,
   for (cluster::JobId job_id : stale) {
     const PendingJob& pending = jobs_[job_id];
     cluster_->KillJob(job_id);
-    awareness_.JobfinishedOrFailed(pending.node, /*failed=*/false);
+    awareness_.JobFinishedOrFailed(pending.node, /*failed=*/false);
     jobs_.erase(job_id);
   }
   std::function<void(TaskNode*)> discard = [&](TaskNode* n) {
@@ -549,6 +599,7 @@ Status Engine::Invalidate(const std::string& instance_id,
   // Upstream results are intact; re-evaluation re-activates the tail.
   BIOPERA_RETURN_IF_ERROR(ReevaluateAll(inst, &batch));
   BIOPERA_RETURN_IF_ERROR(Commit(&batch));
+  EmitInstanceState(inst);
   PumpDispatch();
   return Status::OK();
 }
@@ -1020,6 +1071,7 @@ Status Engine::MaybeCompleteScope(ProcessInstance* inst, TaskNode* scope,
       inst->stats().finished = sim_->Now();
       PersistHeader(inst, batch);
       AppendHistory(inst->id(), any_failed ? "failed" : "completed");
+      EmitInstanceState(inst);
     }
     return Status::OK();
   }
@@ -1094,6 +1146,16 @@ Status Engine::HandleTaskFailure(ProcessInstance* inst, TaskNode* node,
 
   const bool can_retry = node->kind() == TaskKind::kActivity &&
                          node->attempts <= policy.max_retries;
+  if (failed_metric_ != nullptr) {
+    failed_metric_->Increment();
+    options_.observability->trace.Emit(
+        obs::EventType::kTaskFailed, inst->id(), node->path, "",
+        {{"reason", reason},
+         {"attempt", StrFormat("%d", node->attempts)},
+         {"action", can_retry               ? "retry"
+                    : policy.ignore_failure ? "ignored"
+                                            : "failed"}});
+  }
   if (can_retry) {
     if (!policy.alternative_binding.empty()) {
       node->binding_used = policy.alternative_binding;
@@ -1239,7 +1301,7 @@ void Engine::PumpDispatch() {
       // opinion with the suspect artificially loaded.
       awareness_.JobDispatched(entry.avoid_node);
       std::string alternative = policy_->Place(request, awareness_);
-      awareness_.JobfinishedOrFailed(entry.avoid_node, /*failed=*/false);
+      awareness_.JobFinishedOrFailed(entry.avoid_node, /*failed=*/false);
       if (!alternative.empty()) target = alternative;
     }
     if (target.empty()) {
@@ -1271,8 +1333,20 @@ void Engine::PumpDispatch() {
     AppendHistory(entry.instance_id,
                   StrFormat("dispatched %s to %s", entry.path.c_str(),
                             target.c_str()));
+    if (dispatched_metric_ != nullptr) {
+      dispatched_metric_->Increment();
+      options_.observability->trace.Emit(
+          obs::EventType::kTaskDispatched, entry.instance_id, entry.path,
+          target,
+          {{"job", StrFormat("%llu",
+                             static_cast<unsigned long long>(job_id))},
+           {"cost_us",
+            StrFormat("%lld", static_cast<long long>(
+                                  entry.cached->cost.micros()))}});
+    }
   }
   ready_queue_ = std::move(keep);
+  SyncObsGauges();
   if (starved) SchedulePumpRetry();
 }
 
@@ -1289,10 +1363,18 @@ void Engine::ArmJobWatchdog(cluster::JobId job_id, Duration cost) {
     // The PEC never reported (lost report, silent stall, partition):
     // declare the job lost and re-schedule (paper event 10, automated).
     cluster_->KillJob(job_id);  // NotFound if it silently completed
-    awareness_.JobfinishedOrFailed(pending.node, /*failed=*/true);
+    awareness_.JobFinishedOrFailed(pending.node, /*failed=*/true);
     AppendHistory(pending.instance_id,
                   StrFormat("job for %s on %s timed out; re-scheduling",
                             pending.path.c_str(), pending.node.c_str()));
+    if (timed_out_metric_ != nullptr) {
+      timed_out_metric_->Increment();
+      options_.observability->trace.Emit(
+          obs::EventType::kJobTimedOut, pending.instance_id, pending.path,
+          pending.node,
+          {{"job", StrFormat("%llu",
+                             static_cast<unsigned long long>(job_id))}});
+    }
     ProcessInstance* inst = FindInstance(pending.instance_id);
     if (inst == nullptr) return;
     TaskNode* node = inst->FindByPath(pending.path);
@@ -1393,7 +1475,7 @@ void Engine::CheckMigrations() {
   for (cluster::JobId job_id : to_migrate) {
     PendingJob pending = jobs_[job_id];
     cluster_->KillJob(job_id);
-    awareness_.JobfinishedOrFailed(pending.node, /*failed=*/false);
+    awareness_.JobFinishedOrFailed(pending.node, /*failed=*/false);
     jobs_.erase(job_id);
     ProcessInstance* inst = FindInstance(pending.instance_id);
     TaskNode* node = inst->FindByPath(pending.path);
@@ -1407,6 +1489,14 @@ void Engine::CheckMigrations() {
     AppendHistory(pending.instance_id,
                   StrFormat("migrating %s away from saturated %s",
                             pending.path.c_str(), pending.node.c_str()));
+    if (migrations_metric_ != nullptr) {
+      migrations_metric_->Increment();
+      options_.observability->trace.Emit(
+          obs::EventType::kMigrationKilled, pending.instance_id,
+          pending.path, pending.node,
+          {{"job", StrFormat("%llu",
+                             static_cast<unsigned long long>(job_id))}});
+    }
     // Re-queue with the computed result cached: the work itself restarts
     // on the new node (kill-and-restart), but the deterministic outputs
     // need not be recomputed.
@@ -1427,11 +1517,20 @@ void Engine::OnJobFinished(cluster::JobId id, const std::string& node_name) {
   if (it == jobs_.end()) return;  // stale report from before a crash
   PendingJob pending = std::move(it->second);
   jobs_.erase(it);
-  awareness_.JobfinishedOrFailed(node_name, /*failed=*/false);
+  awareness_.JobFinishedOrFailed(node_name, /*failed=*/false);
   ProcessInstance* inst = FindInstance(pending.instance_id);
   if (inst == nullptr) return;
   TaskNode* node = inst->FindByPath(pending.path);
   if (node == nullptr || node->state != TaskState::kRunning) return;
+  if (completed_metric_ != nullptr) {
+    completed_metric_->Increment();
+    task_cost_metric_->Observe(pending.cost.ToSeconds());
+    options_.observability->trace.Emit(
+        obs::EventType::kTaskCompleted, pending.instance_id, pending.path,
+        node_name,
+        {{"cost_us", StrFormat("%lld", static_cast<long long>(
+                                           pending.cost.micros()))}});
+  }
   WriteBatch batch;
   Status st = CompleteTask(inst, node, std::move(pending.outputs),
                            pending.cost, &batch);
@@ -1440,6 +1539,7 @@ void Engine::OnJobFinished(cluster::JobId id, const std::string& node_name) {
     BIOPERA_LOG(kError) << "completion failed for " << pending.path << ": "
                         << st.ToString();
     inst->set_state(InstanceState::kFailed);
+    EmitInstanceState(inst);
   }
   PumpDispatch();
 }
@@ -1451,7 +1551,7 @@ void Engine::OnJobFailed(cluster::JobId id, const std::string& node_name,
   if (it == jobs_.end()) return;
   PendingJob pending = std::move(it->second);
   jobs_.erase(it);
-  awareness_.JobfinishedOrFailed(node_name, /*failed=*/true);
+  awareness_.JobFinishedOrFailed(node_name, /*failed=*/true);
   ProcessInstance* inst = FindInstance(pending.instance_id);
   if (inst == nullptr) return;
   TaskNode* node = inst->FindByPath(pending.path);
@@ -1489,6 +1589,9 @@ void Engine::OnNodeUp(const std::string& node) {
     };
     auto mon = std::make_unique<monitor::AdaptiveMonitor>(
         sim_, options_.monitor_options, probe, report);
+    if (options_.observability != nullptr) {
+      mon->SetMetrics(&options_.observability->metrics, node);
+    }
     mon->Start();
     monitors_[node] = std::move(mon);
   }
@@ -1710,6 +1813,7 @@ Status Engine::RecoverInstance(const std::string& instance_id) {
   // job died with the server or node), or waiting out a retry backoff
   // (the timer did not survive the crash).
   WriteBatch batch;
+  size_t requeued = 0;
   raw->ForEachNode([&](TaskNode* node) {
     if (node->kind() != TaskKind::kActivity) return;
     if (node->state == TaskState::kRunning ||
@@ -1717,11 +1821,21 @@ Status Engine::RecoverInstance(const std::string& instance_id) {
       node->state = TaskState::kReady;
       PersistTask(raw, node, &batch);
     }
-    if (node->state == TaskState::kReady) EnqueueReady(raw, node);
+    if (node->state == TaskState::kReady) {
+      EnqueueReady(raw, node);
+      ++requeued;
+    }
   });
   BIOPERA_RETURN_IF_ERROR(Commit(&batch));
   if (raw->state() == InstanceState::kRunning) {
     AppendHistory(instance_id, "recovered; interrupted work re-queued");
+  }
+  if (recovered_metric_ != nullptr) {
+    recovered_metric_->Increment(requeued);
+    options_.observability->trace.Emit(
+        obs::EventType::kRecoveryReplayed, instance_id, "", "",
+        {{"requeued", StrFormat("%zu", requeued)},
+         {"state", std::string(InstanceStateName(raw->state()))}});
   }
   return Status::OK();
 }

@@ -14,6 +14,7 @@
 #include "core/instance.h"
 #include "monitor/adaptive_monitor.h"
 #include "monitor/awareness.h"
+#include "obs/trace.h"
 #include "ocr/model.h"
 #include "sched/policy.h"
 #include "sim/simulator.h"
@@ -46,6 +47,12 @@ struct EngineOptions {
   monitor::AdaptiveMonitorOptions monitor_options;
   /// Deterministic seed for engine-internal randomness (random policy).
   uint64_t seed = 1;
+  /// Optional observability context. When set, the engine emits trace
+  /// events and metrics for its hot paths (dispatch, completion, failure,
+  /// watchdog, migration, recovery) and propagates the context to the
+  /// cluster, the record store, and the per-node adaptive monitors, so one
+  /// field instruments the whole stack. Must outlive the engine.
+  obs::Observability* observability = nullptr;
 };
 
 /// A summary row for one instance (monitoring queries, examples, benches).
@@ -140,6 +147,9 @@ class Engine : public cluster::ClusterListener {
   std::vector<std::string> GetHistory(const std::string& instance_id) const;
 
   const monitor::AwarenessModel& awareness() const { return awareness_; }
+
+  /// The observability context from EngineOptions (nullptr if not set).
+  obs::Observability* observability() const { return options_.observability; }
 
   /// Aggregate adaptive-monitoring statistics across all per-node
   /// monitors since the last Startup (paper §3.4: the scheme "helps to
@@ -281,6 +291,12 @@ class Engine : public cluster::ClusterListener {
 
   Result<const ocr::ProcessDef*> ResolveTemplate(const std::string& name);
 
+  // -- Observability --
+  /// Emits kInstanceStateChanged for the instance's current state.
+  void EmitInstanceState(const ProcessInstance* inst);
+  /// Refreshes the queue-depth / running-jobs gauges.
+  void SyncObsGauges();
+
   Simulator* sim_;
   cluster::ClusterSim* cluster_;
   Spaces spaces_;
@@ -307,6 +323,17 @@ class Engine : public cluster::ClusterListener {
   uint64_t next_instance_seq_ = 1;
   bool pump_scheduled_ = false;
   EventId pump_event_ = kInvalidEventId;
+
+  // Resolved metric handles (null without an Observability context).
+  obs::Counter* dispatched_metric_ = nullptr;
+  obs::Counter* completed_metric_ = nullptr;
+  obs::Counter* failed_metric_ = nullptr;
+  obs::Counter* timed_out_metric_ = nullptr;
+  obs::Counter* migrations_metric_ = nullptr;
+  obs::Counter* recovered_metric_ = nullptr;
+  obs::Gauge* queue_depth_gauge_ = nullptr;
+  obs::Gauge* running_jobs_gauge_ = nullptr;
+  obs::Histogram* task_cost_metric_ = nullptr;
 };
 
 }  // namespace biopera::core

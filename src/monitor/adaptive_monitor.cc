@@ -31,10 +31,23 @@ void AdaptiveMonitor::Stop() {
   }
 }
 
+void AdaptiveMonitor::SetMetrics(obs::Registry* registry,
+                                 const std::string& node) {
+  if (registry == nullptr) {
+    samples_metric_ = reports_metric_ = nullptr;
+    return;
+  }
+  samples_metric_ =
+      registry->GetCounter("monitor_samples_total", {{"node", node}});
+  reports_metric_ =
+      registry->GetCounter("monitor_reports_total", {{"node", node}});
+}
+
 void AdaptiveMonitor::Sample() {
   if (!running_) return;
   double load = probe_();
   ++samples_taken_;
+  if (samples_metric_ != nullptr) samples_metric_->Increment();
 
   // First cutoff: adapt the sampling interval to the observed volatility.
   if (has_sampled_) {
@@ -51,6 +64,7 @@ void AdaptiveMonitor::Sample() {
   if (!has_sampled_ ||
       std::abs(load - last_reported_) > options_.report_cutoff) {
     ++reports_sent_;
+    if (reports_metric_ != nullptr) reports_metric_->Increment();
     last_reported_ = load;
     reported_.Set(sim_->Now().SinceEpoch().ToSeconds(), load);
     if (report_) report_(load);

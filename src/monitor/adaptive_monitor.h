@@ -2,9 +2,11 @@
 #define BIOPERA_MONITOR_ADAPTIVE_MONITOR_H_
 
 #include <functional>
+#include <string>
 
 #include "common/stats.h"
 #include "common/time.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace biopera::monitor {
@@ -45,6 +47,11 @@ class AdaptiveMonitor {
   void Start();
   void Stop();
 
+  /// Mirrors the sampling statistics into `registry` as the labeled
+  /// counters monitor_samples_total{node=...} / monitor_reports_total
+  /// {node=...}. nullptr detaches.
+  void SetMetrics(obs::Registry* registry, const std::string& node);
+
   uint64_t samples_taken() const { return samples_taken_; }
   uint64_t reports_sent() const { return reports_sent_; }
   /// Fraction of samples whose report was suppressed.
@@ -69,6 +76,8 @@ class AdaptiveMonitor {
   uint64_t samples_taken_ = 0;
   uint64_t reports_sent_ = 0;
   StepSeries reported_;
+  obs::Counter* samples_metric_ = nullptr;
+  obs::Counter* reports_metric_ = nullptr;
 };
 
 /// Time-averaged absolute error between the true load curve and the

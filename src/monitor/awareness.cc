@@ -56,7 +56,7 @@ void AwarenessModel::JobDispatched(const std::string& name) {
   ++it->second.total_dispatched;
 }
 
-void AwarenessModel::JobfinishedOrFailed(const std::string& name,
+void AwarenessModel::JobFinishedOrFailed(const std::string& name,
                                          bool failed) {
   auto it = nodes_.find(name);
   if (it == nodes_.end()) return;

@@ -39,7 +39,7 @@ class AwarenessModel {
   void UpdateConfig(const cluster::NodeConfig& config);
   void UpdateLoad(const std::string& name, double load, TimePoint now);
   void JobDispatched(const std::string& name);
-  void JobfinishedOrFailed(const std::string& name, bool failed);
+  void JobFinishedOrFailed(const std::string& name, bool failed);
 
   // --- Queries --------------------------------------------------------------
   const NodeView* Find(const std::string& name) const;

@@ -1,0 +1,212 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace biopera::obs {
+
+namespace {
+
+/// Shortest round-trip-safe rendering; integers print without exponent so
+/// counters read naturally in exports.
+std::string FormatNumber(double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    return StrFormat("%lld", static_cast<long long>(v));
+  }
+  return StrFormat("%.17g", v);
+}
+
+}  // namespace
+
+std::string MetricKey(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string key = name + "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) key += ",";
+    first = false;
+    key += k + "=" + v;
+  }
+  key += "}";
+  return key;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(const HistogramOptions& options) {
+  bounds_.reserve(options.num_buckets);
+  double bound = options.first_bound;
+  for (size_t i = 0; i < options.num_buckets; ++i) {
+    bounds_.push_back(bound);
+    bound *= options.growth;
+  }
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(double v) {
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++buckets_[static_cast<size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += v;
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  double target = (p / 100.0) * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    double lo = i == 0 ? 0 : bounds_[i - 1];
+    double hi = i < bounds_.size() ? bounds_[i] : bounds_.back();
+    double before = static_cast<double>(seen);
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target) {
+      double frac = buckets_[i] == 0
+                        ? 0
+                        : (target - before) / static_cast<double>(buckets_[i]);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+  }
+  return bounds_.empty() ? 0 : bounds_.back();
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------------
+
+const MetricsSnapshot::Entry* MetricsSnapshot::Find(
+    const std::string& key) const {
+  for (const Entry& e : entries) {
+    if (e.key == key) return &e;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  for (const Entry& e : entries) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + e.key + "\":";
+    switch (e.kind) {
+      case Kind::kCounter:
+      case Kind::kGauge:
+        out += FormatNumber(e.value);
+        break;
+      case Kind::kHistogram: {
+        out += "{\"count\":" + FormatNumber(static_cast<double>(e.count)) +
+               ",\"sum\":" + FormatNumber(e.sum) + ",\"buckets\":[";
+        for (size_t i = 0; i < e.buckets.size(); ++i) {
+          if (i > 0) out += ",";
+          out += StrFormat("%llu",
+                           static_cast<unsigned long long>(e.buckets[i]));
+        }
+        out += "],\"bounds\":[";
+        for (size_t i = 0; i < e.bounds.size(); ++i) {
+          if (i > 0) out += ",";
+          out += FormatNumber(e.bounds[i]);
+        }
+        out += "]}";
+        break;
+      }
+    }
+  }
+  out += "}";
+  return out;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  if (entries.empty()) return "(no metrics)\n";
+  std::string out;
+  for (const Entry& e : entries) {
+    switch (e.kind) {
+      case Kind::kCounter:
+      case Kind::kGauge:
+        out += StrFormat("%-48s %s\n", e.key.c_str(),
+                         FormatNumber(e.value).c_str());
+        break;
+      case Kind::kHistogram:
+        out += StrFormat("%-48s count=%llu sum=%s\n", e.key.c_str(),
+                         static_cast<unsigned long long>(e.count),
+                         FormatNumber(e.sum).c_str());
+        break;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Counter* Registry::GetCounter(const std::string& name, const Labels& labels) {
+  auto& slot = counters_[MetricKey(name, labels)];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name, const Labels& labels) {
+  auto& slot = gauges_[MetricKey(name, labels)];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const Labels& labels,
+                                  const HistogramOptions& options) {
+  auto& slot = histograms_[MetricKey(name, labels)];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(options);
+  return slot.get();
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  MetricsSnapshot snap;
+  // One pass per kind; a final sort merges the three key ranges.
+  for (const auto& [key, counter] : counters_) {
+    MetricsSnapshot::Entry e;
+    e.key = key;
+    e.kind = MetricsSnapshot::Kind::kCounter;
+    e.value = static_cast<double>(counter->value());
+    snap.entries.push_back(std::move(e));
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    MetricsSnapshot::Entry e;
+    e.key = key;
+    e.kind = MetricsSnapshot::Kind::kGauge;
+    e.value = gauge->value();
+    snap.entries.push_back(std::move(e));
+  }
+  for (const auto& [key, hist] : histograms_) {
+    MetricsSnapshot::Entry e;
+    e.key = key;
+    e.kind = MetricsSnapshot::Kind::kHistogram;
+    e.count = hist->count();
+    e.sum = hist->sum();
+    e.bounds = hist->bounds();
+    e.buckets = hist->buckets();
+    snap.entries.push_back(std::move(e));
+  }
+  std::sort(snap.entries.begin(), snap.entries.end(),
+            [](const MetricsSnapshot::Entry& a,
+               const MetricsSnapshot::Entry& b) { return a.key < b.key; });
+  return snap;
+}
+
+void Registry::Clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+Registry& Registry::Global() {
+  static Registry* global = new Registry();
+  return *global;
+}
+
+}  // namespace biopera::obs

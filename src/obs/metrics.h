@@ -1,0 +1,136 @@
+#ifndef BIOPERA_OBS_METRICS_H_
+#define BIOPERA_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace biopera::obs {
+
+/// Label set attached to one member of a metric family. A std::map keeps
+/// the serialized key (and thus every export) deterministic.
+using Labels = std::map<std::string, std::string>;
+
+/// Monotonically increasing event count. Handles returned by the Registry
+/// stay valid for the Registry's lifetime, so hot paths resolve a counter
+/// once and then pay a single add per event.
+class Counter {
+ public:
+  void Increment(uint64_t by = 1) { value_ += by; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Point-in-time scalar (queue depths, in-flight jobs).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Bucket layout of a Histogram: `num_buckets` finite buckets whose upper
+/// bounds grow geometrically from `first_bound` by `growth`, plus an
+/// implicit overflow bucket. Fixed at construction so merged snapshots
+/// always line up.
+struct HistogramOptions {
+  double first_bound = 1e-3;
+  double growth = 4.0;
+  size_t num_buckets = 16;
+};
+
+/// Log-scale-bucketed value distribution (task costs, checkpoint sizes).
+class Histogram {
+ public:
+  explicit Histogram(const HistogramOptions& options = {});
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  /// Upper bounds of the finite buckets.
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts; one longer than bounds() (the overflow bucket).
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+
+  /// Percentile estimate (p in [0, 100]) assuming a uniform distribution
+  /// within each bucket; 0 when empty.
+  double Percentile(double p) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+};
+
+/// Point-in-time copy of every metric in a Registry, ordered by key so
+/// that exports are byte-stable for deterministic (virtual-time) runs.
+struct MetricsSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string key;  // "name" or "name{label=value,...}"
+    Kind kind;
+    double value = 0;  // counter / gauge reading
+    // Histogram-only fields.
+    uint64_t count = 0;
+    double sum = 0;
+    std::vector<double> bounds;
+    std::vector<uint64_t> buckets;
+  };
+  std::vector<Entry> entries;
+
+  const Entry* Find(const std::string& key) const;
+
+  /// Deterministic JSON object keyed by metric name.
+  std::string ToJson() const;
+  /// Aligned human-readable listing (the console's METRICS command).
+  std::string ToText() const;
+};
+
+/// Process- or experiment-wide metric registry. Families are addressed by
+/// name + labels; lookups allocate on first use and afterwards return the
+/// same handle, so instrumented code caches the pointer.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const Labels& labels = {});
+  Histogram* GetHistogram(const std::string& name, const Labels& labels = {},
+                          const HistogramOptions& options = {});
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Drops every metric (tests; experiment resets).
+  void Clear();
+
+  size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Shared default registry for code without an explicit Observability
+  /// context.
+  static Registry& Global();
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// "name{a=1,b=2}" — the canonical family-member key.
+std::string MetricKey(const std::string& name, const Labels& labels);
+
+}  // namespace biopera::obs
+
+#endif  // BIOPERA_OBS_METRICS_H_

@@ -1,0 +1,45 @@
+#ifndef BIOPERA_OBS_TIMELINE_H_
+#define BIOPERA_OBS_TIMELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/time.h"
+#include "obs/trace.h"
+
+namespace biopera::obs {
+
+/// One bar of a per-node Gantt chart: a task occupying a node from
+/// dispatch until its terminal report (the paper's Figure 3 task view).
+struct TimelineInterval {
+  std::string node;
+  std::string instance;
+  std::string task;
+  TimePoint start;
+  TimePoint end;
+  /// "completed", "failed", "timed_out", "migrated", "node_down",
+  /// "killed" (server crash), or "open" (still running when the trace
+  /// was exported).
+  std::string outcome;
+};
+
+/// Reconstructs execution intervals from the buffered trace alone, by
+/// pairing each task_dispatched event with the next terminal event of the
+/// same instance/task on the same node. `node` filters to one node
+/// ("" keeps all). Intervals are ordered by start time, then node.
+std::vector<TimelineInterval> BuildTimeline(const TraceSink& trace,
+                                            const std::string& node = "");
+
+/// CSV rendering: header + one row per interval.
+std::string TimelineCsv(const std::vector<TimelineInterval>& intervals);
+
+/// Tasks concurrently running on `node` over time (seconds) — the shape
+/// of the paper's Figure 5/6 utilization curves, derived from the trace.
+/// Empty `node` aggregates the whole cluster.
+StepSeries BusyCurve(const std::vector<TimelineInterval>& intervals,
+                     const std::string& node = "");
+
+}  // namespace biopera::obs
+
+#endif  // BIOPERA_OBS_TIMELINE_H_

@@ -1,0 +1,153 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace biopera::obs {
+
+namespace {
+
+constexpr struct {
+  EventType type;
+  std::string_view name;
+} kEventNames[] = {
+    {EventType::kTaskDispatched, "task_dispatched"},
+    {EventType::kTaskCompleted, "task_completed"},
+    {EventType::kTaskFailed, "task_failed"},
+    {EventType::kJobTimedOut, "job_timed_out"},
+    {EventType::kMigrationKilled, "migration_killed"},
+    {EventType::kNodeDown, "node_down"},
+    {EventType::kNodeUp, "node_up"},
+    {EventType::kCheckpointTaken, "checkpoint_taken"},
+    {EventType::kRecoveryReplayed, "recovery_replayed"},
+    {EventType::kInstanceStateChanged, "instance_state_changed"},
+    {EventType::kServerCrashed, "server_crashed"},
+    {EventType::kServerStarted, "server_started"},
+    {EventType::kAnnotation, "annotation"},
+};
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view EventTypeName(EventType type) {
+  for (const auto& entry : kEventNames) {
+    if (entry.type == type) return entry.name;
+  }
+  return "unknown";
+}
+
+Result<EventType> EventTypeFromName(std::string_view name) {
+  for (const auto& entry : kEventNames) {
+    if (entry.name == name) return entry.type;
+  }
+  return Status::InvalidArgument("unknown event type " + std::string(name));
+}
+
+std::string TraceRecord::ToJson() const {
+  std::string out = StrFormat(
+      "{\"seq\":%llu,\"t_us\":%lld,\"type\":\"%s\"",
+      static_cast<unsigned long long>(seq),
+      static_cast<long long>(time.micros()),
+      std::string(EventTypeName(type)).c_str());
+  if (!instance.empty()) {
+    out += ",\"instance\":\"" + JsonEscape(instance) + "\"";
+  }
+  if (!task.empty()) out += ",\"task\":\"" + JsonEscape(task) + "\"";
+  if (!node.empty()) out += ",\"node\":\"" + JsonEscape(node) + "\"";
+  for (const auto& [key, value] : attrs) {
+    out += ",\"" + JsonEscape(key) + "\":\"" + JsonEscape(value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+TraceSink::TraceSink(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {
+  ring_.reserve(std::min<size_t>(capacity_, 1024));
+}
+
+void TraceSink::Emit(EventType type, std::string instance, std::string task,
+                     std::string node,
+                     std::vector<std::pair<std::string, std::string>> attrs) {
+  TraceRecord rec;
+  rec.seq = next_seq_++;
+  rec.time = clock_ != nullptr ? clock_->Now() : TimePoint::Zero();
+  rec.type = type;
+  rec.instance = std::move(instance);
+  rec.task = std::move(task);
+  rec.node = std::move(node);
+  rec.attrs = std::move(attrs);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(rec));
+  } else {
+    ring_[static_cast<size_t>(rec.seq % capacity_)] = std::move(rec);
+  }
+}
+
+size_t TraceSink::size() const { return ring_.size(); }
+
+uint64_t TraceSink::dropped() const {
+  return next_seq_ - static_cast<uint64_t>(ring_.size());
+}
+
+void TraceSink::ForEach(
+    const std::function<void(const TraceRecord&)>& fn) const {
+  if (ring_.empty()) return;
+  // Oldest event sits at next_seq_ % capacity_ once the ring has wrapped.
+  size_t start = ring_.size() < capacity_
+                     ? 0
+                     : static_cast<size_t>(next_seq_ % capacity_);
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    fn(ring_[(start + i) % ring_.size()]);
+  }
+}
+
+std::vector<TraceRecord> TraceSink::Tail(size_t n,
+                                         const std::string& instance) const {
+  std::vector<TraceRecord> matched;
+  ForEach([&](const TraceRecord& rec) {
+    if (instance.empty() || rec.instance == instance) matched.push_back(rec);
+  });
+  if (matched.size() > n) {
+    matched.erase(matched.begin(),
+                  matched.begin() + static_cast<long>(matched.size() - n));
+  }
+  return matched;
+}
+
+std::string TraceSink::ExportJsonl() const {
+  std::string out;
+  ForEach([&](const TraceRecord& rec) {
+    out += rec.ToJson();
+    out += "\n";
+  });
+  return out;
+}
+
+void TraceSink::Clear() {
+  ring_.clear();
+  next_seq_ = 0;
+}
+
+}  // namespace biopera::obs

@@ -107,7 +107,31 @@ Status RecordStore::Apply(const WriteBatch& batch) {
   BIOPERA_RETURN_IF_ERROR(wal_->Append(batch.payload()));
   BIOPERA_RETURN_IF_ERROR(ApplyToImage(batch));
   ++commits_;
+  if (obs_ != nullptr) {
+    commits_metric_->Increment();
+    ops_metric_->Increment(batch.num_ops());
+    wal_bytes_metric_->Increment(batch.payload().size());
+  }
   return Status::OK();
+}
+
+void RecordStore::SetObservability(obs::Observability* obs) {
+  obs_ = obs;
+  if (obs_ == nullptr) {
+    commits_metric_ = ops_metric_ = wal_bytes_metric_ = checkpoints_metric_ =
+        nullptr;
+    checkpoint_bytes_metric_ = nullptr;
+    return;
+  }
+  commits_metric_ = obs_->metrics.GetCounter("store_commits_total");
+  ops_metric_ = obs_->metrics.GetCounter("store_ops_total");
+  wal_bytes_metric_ = obs_->metrics.GetCounter("store_wal_bytes_total");
+  checkpoints_metric_ = obs_->metrics.GetCounter("store_checkpoints_total");
+  // Snapshot sizes span bytes to hundreds of MB: 1 KiB x4 buckets.
+  obs::HistogramOptions bytes_buckets;
+  bytes_buckets.first_bound = 1024;
+  checkpoint_bytes_metric_ = obs_->metrics.GetHistogram(
+      "store_checkpoint_bytes", {}, bytes_buckets);
 }
 
 Status RecordStore::Put(std::string_view table, std::string_view key,
@@ -221,12 +245,25 @@ Status RecordStore::Checkpoint() {
   if (fail_writes_) {
     return Status::IOError("record store: injected write failure");
   }
-  BIOPERA_RETURN_IF_ERROR(WriteSnapshot(SnapshotPath(), SerializeImage()));
+  uint64_t wal_trimmed = WalBytes();
+  std::string image = SerializeImage();
+  BIOPERA_RETURN_IF_ERROR(WriteSnapshot(SnapshotPath(), image));
   // Truncate the WAL: close, remove, reopen empty. Safe because the
   // snapshot now covers everything the WAL contained.
   wal_.reset();
   std::remove(WalPath().c_str());
   BIOPERA_ASSIGN_OR_RETURN(wal_, WalWriter::Open(WalPath()));
+  if (obs_ != nullptr) {
+    checkpoints_metric_->Increment();
+    checkpoint_bytes_metric_->Observe(static_cast<double>(image.size()));
+    obs_->trace.Emit(
+        obs::EventType::kCheckpointTaken, "", "", "",
+        {{"bytes", StrFormat("%zu", image.size())},
+         {"wal_trimmed",
+          StrFormat("%llu", static_cast<unsigned long long>(wal_trimmed))},
+         {"commits",
+          StrFormat("%llu", static_cast<unsigned long long>(commits_))}});
+  }
   return Status::OK();
 }
 

@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/trace.h"
 #include "store/wal.h"
 
 namespace biopera {
@@ -90,6 +91,11 @@ class RecordStore {
   /// without writing, emulating a full or failed disk under the server.
   void SetFailWrites(bool fail) { fail_writes_ = fail; }
 
+  /// Attaches an observability context: commits, ops and WAL bytes feed
+  /// counters, checkpoints feed a size histogram and a trace event.
+  /// nullptr detaches.
+  void SetObservability(obs::Observability* obs);
+
   const std::string& dir() const { return dir_; }
 
  private:
@@ -106,6 +112,14 @@ class RecordStore {
   std::unique_ptr<WalWriter> wal_;
   uint64_t commits_ = 0;
   bool fail_writes_ = false;
+
+  // Resolved metric handles (null without an Observability context).
+  obs::Observability* obs_ = nullptr;
+  obs::Counter* commits_metric_ = nullptr;
+  obs::Counter* ops_metric_ = nullptr;
+  obs::Counter* wal_bytes_metric_ = nullptr;
+  obs::Counter* checkpoints_metric_ = nullptr;
+  obs::Histogram* checkpoint_bytes_metric_ = nullptr;
 };
 
 }  // namespace biopera

@@ -348,6 +348,28 @@ TEST(SampleStatsTest, EmptyIsSafe) {
   EXPECT_TRUE(stats.empty());
 }
 
+TEST(SampleStatsTest, PercentileEdgeCases) {
+  SampleStats empty;
+  EXPECT_DOUBLE_EQ(empty.Percentile(0), 0);
+  EXPECT_DOUBLE_EQ(empty.Percentile(100), 0);
+
+  SampleStats one;
+  one.Add(42.0);
+  // A single sample is every percentile.
+  EXPECT_DOUBLE_EQ(one.Percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(one.Percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(one.Percentile(100), 42.0);
+
+  SampleStats two;
+  two.Add(10.0);
+  two.Add(20.0);
+  EXPECT_DOUBLE_EQ(two.Percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(two.Percentile(100), 20.0);
+  // Linear interpolation between the order statistics.
+  EXPECT_DOUBLE_EQ(two.Percentile(50), 15.0);
+  EXPECT_DOUBLE_EQ(two.Percentile(25), 12.5);
+}
+
 // --- StepSeries ----------------------------------------------------------------------
 
 TEST(StepSeriesTest, AtAndIntegral) {
@@ -362,6 +384,33 @@ TEST(StepSeriesTest, AtAndIntegral) {
   EXPECT_DOUBLE_EQ(s.Integral(0, 20), 10 * 1 + 10 * 3);
   EXPECT_DOUBLE_EQ(s.TimeAverage(0, 20), 2.0);
   EXPECT_DOUBLE_EQ(s.MaxOver(0, 30), 3.0);
+}
+
+TEST(StepSeriesTest, EmptyAndDegenerateWindows) {
+  StepSeries empty;
+  EXPECT_DOUBLE_EQ(empty.Integral(0, 10), 0);
+  EXPECT_DOUBLE_EQ(empty.TimeAverage(0, 10), 0);
+  EXPECT_DOUBLE_EQ(empty.At(5), 0);
+
+  StepSeries s;
+  s.Set(0, 2.0);
+  // Zero-width and inverted windows integrate (and average) to zero.
+  EXPECT_DOUBLE_EQ(s.Integral(5, 5), 0);
+  EXPECT_DOUBLE_EQ(s.Integral(8, 3), 0);
+  EXPECT_DOUBLE_EQ(s.TimeAverage(5, 5), 0);
+  EXPECT_DOUBLE_EQ(s.TimeAverage(8, 3), 0);
+}
+
+TEST(StepSeriesTest, SinglePointHoldsForever) {
+  StepSeries s;
+  s.Set(10, 4.0);
+  EXPECT_DOUBLE_EQ(s.At(9.999), 0);
+  EXPECT_DOUBLE_EQ(s.At(1e9), 4.0);
+  // The window straddling the single point integrates only its tail.
+  EXPECT_DOUBLE_EQ(s.Integral(0, 20), 10 * 4.0);
+  EXPECT_DOUBLE_EQ(s.TimeAverage(0, 20), 2.0);
+  EXPECT_DOUBLE_EQ(s.Integral(15, 25), 10 * 4.0);
+  EXPECT_DOUBLE_EQ(s.TimeAverage(15, 25), 4.0);
 }
 
 TEST(StepSeriesTest, DuplicateTimeOverwrites) {

@@ -5,6 +5,7 @@
 #include "cluster/cluster.h"
 #include "core/console.h"
 #include "core/engine.h"
+#include "obs/trace.h"
 #include "ocr/builder.h"
 #include "sim/simulator.h"
 #include "store/record_store.h"
@@ -18,7 +19,7 @@ using ocr::TaskBuilder;
 using ocr::Value;
 
 struct World {
-  World() {
+  explicit World(obs::Observability* obs = nullptr) {
     auto opened = RecordStore::Open(dir.path());
     EXPECT_TRUE(opened.ok());
     store = std::move(*opened);
@@ -28,8 +29,10 @@ struct World {
                                   .num_cpus = 2,
                                   .speed = 1.0}));
     }
+    EngineOptions options;
+    options.observability = obs;
     engine = std::make_unique<Engine>(&sim, cluster.get(), store.get(),
-                                      &registry, EngineOptions());
+                                      &registry, options);
     // "algorithm": versioned implementation — Override() models upgrading
     // the analysis software between runs.
     EXPECT_OK(registry.Register(
@@ -243,6 +246,47 @@ TEST(ArchiveTest, ConsoleCommand) {
   AdminConsole console(w.engine.get());
   ASSERT_OK(console.Execute("ARCHIVE " + id).status());
   EXPECT_TRUE(console.Execute("STATUS " + id).status().IsNotFound());
+}
+
+TEST(ConsoleTest, MetricsTraceAndTimeline) {
+  obs::Observability obs;
+  World w(&obs);
+  ASSERT_OK(w.engine->RegisterTemplate(Pipeline()));
+  ASSERT_OK_AND_ASSIGN(std::string id, w.engine->StartProcess("pipeline"));
+  w.sim.Run();
+  AdminConsole console(w.engine.get());
+
+  ASSERT_OK_AND_ASSIGN(std::string metrics, console.Execute("METRICS"));
+  EXPECT_NE(metrics.find("engine_tasks_dispatched_total"), std::string::npos);
+  EXPECT_NE(metrics.find("engine_tasks_completed_total"), std::string::npos);
+
+  // The instance's most recent events as JSONL, newest tail first-in.
+  ASSERT_OK_AND_ASSIGN(std::string trace,
+                       console.Execute("TRACE " + id + " 5"));
+  EXPECT_NE(trace.find("\"type\":"), std::string::npos);
+  EXPECT_NE(trace.find(id), std::string::npos);
+
+  // `*` lifts the instance filter: server lifecycle events show up too.
+  ASSERT_OK_AND_ASSIGN(std::string all, console.Execute("TRACE * 100"));
+  EXPECT_NE(all.find("\"type\":\"server_started\""), std::string::npos);
+  EXPECT_TRUE(console.Execute("TRACE * zero").status().IsInvalidArgument());
+
+  ASSERT_OK_AND_ASSIGN(std::string timeline, console.Execute("TIMELINE *"));
+  EXPECT_NE(timeline.find("node,instance,task,start_us,end_us,outcome"),
+            std::string::npos);
+  EXPECT_NE(timeline.find(id), std::string::npos);
+  // Filtering by an unknown node yields no intervals, not an error.
+  ASSERT_OK_AND_ASSIGN(std::string empty, console.Execute("TIMELINE ghost"));
+  EXPECT_EQ(empty, "(no timeline intervals)\n");
+}
+
+TEST(ConsoleTest, ObservabilityCommandsDegradeWithoutContext) {
+  World w;  // no Observability attached
+  AdminConsole console(w.engine.get());
+  for (const char* cmd : {"METRICS", "TRACE *", "TIMELINE *"}) {
+    ASSERT_OK_AND_ASSIGN(std::string out, console.Execute(cmd));
+    EXPECT_EQ(out, "(observability not enabled)\n") << cmd;
+  }
 }
 
 TEST(ConsoleTest, ErrorsAndHelp) {

@@ -181,7 +181,7 @@ TEST(AwarenessTest, EstimatedFreeCpus) {
   model.JobDispatched("n");
   model.JobDispatched("n");
   EXPECT_DOUBLE_EQ(model.EstimatedFreeCpus(*view), 0);  // clamped
-  model.JobfinishedOrFailed("n", /*failed=*/true);
+  model.JobFinishedOrFailed("n", /*failed=*/true);
   EXPECT_EQ(view->total_failures, 1u);
   EXPECT_EQ(view->running_jobs, 2);
 }

@@ -1,0 +1,288 @@
+// Unit tests for the observability layer: metrics registry, trace sink,
+// timeline reconstruction, and the logging capture hook.
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+#include "tests/test_util.h"
+
+namespace biopera::obs {
+namespace {
+
+// --- Metrics ---------------------------------------------------------------
+
+TEST(MetricKeyTest, CanonicalForm) {
+  EXPECT_EQ(MetricKey("reqs", {}), "reqs");
+  EXPECT_EQ(MetricKey("reqs", {{"node", "n0"}}), "reqs{node=n0}");
+  // std::map orders labels, so the key is independent of insertion order.
+  EXPECT_EQ(MetricKey("reqs", {{"b", "2"}, {"a", "1"}}), "reqs{a=1,b=2}");
+}
+
+TEST(RegistryTest, HandlesAreStableAndCheap) {
+  Registry registry;
+  Counter* c = registry.GetCounter("dispatches");
+  c->Increment();
+  c->Increment(4);
+  EXPECT_EQ(c->value(), 5u);
+  // Same name -> same handle; different labels -> different family member.
+  EXPECT_EQ(registry.GetCounter("dispatches"), c);
+  EXPECT_NE(registry.GetCounter("dispatches", {{"node", "n1"}}), c);
+  EXPECT_EQ(registry.size(), 2u);
+
+  Gauge* g = registry.GetGauge("depth");
+  g->Set(3);
+  g->Add(-1);
+  EXPECT_DOUBLE_EQ(g->value(), 2.0);
+
+  registry.Clear();
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(HistogramTest, BucketsAndPercentiles) {
+  HistogramOptions options;
+  options.first_bound = 1.0;
+  options.growth = 2.0;
+  options.num_buckets = 4;  // bounds 1, 2, 4, 8 (+overflow)
+  Histogram h(options);
+  EXPECT_EQ(h.bounds().size(), 4u);
+  EXPECT_EQ(h.buckets().size(), 5u);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);  // empty
+
+  h.Observe(0.5);   // bucket 0 (<= 1)
+  h.Observe(1.5);   // bucket 1 (<= 2)
+  h.Observe(3.0);   // bucket 2 (<= 4)
+  h.Observe(100.0); // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 105.0);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[2], 1u);
+  EXPECT_EQ(h.buckets()[3], 0u);
+  EXPECT_EQ(h.buckets()[4], 1u);
+  // The median falls in the second bucket (1, 2].
+  double p50 = h.Percentile(50);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 2.0);
+  EXPECT_GE(h.Percentile(100), 8.0);  // overflow reported at/above last bound
+}
+
+TEST(RegistryTest, SnapshotIsSortedAndDeterministic) {
+  Registry registry;
+  registry.GetCounter("z_total")->Increment(7);
+  registry.GetGauge("a_depth")->Set(2.5);
+  registry.GetHistogram("m_cost")->Observe(0.25);
+
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.entries.size(), 3u);
+  EXPECT_EQ(snap.entries[0].key, "a_depth");
+  EXPECT_EQ(snap.entries[1].key, "m_cost");
+  EXPECT_EQ(snap.entries[2].key, "z_total");
+
+  const MetricsSnapshot::Entry* z = snap.Find("z_total");
+  ASSERT_NE(z, nullptr);
+  EXPECT_EQ(z->kind, MetricsSnapshot::Kind::kCounter);
+  EXPECT_DOUBLE_EQ(z->value, 7.0);
+  EXPECT_EQ(snap.Find("ghost"), nullptr);
+
+  // Byte-identical across repeated snapshots of unchanged state.
+  EXPECT_EQ(snap.ToJson(), registry.Snapshot().ToJson());
+  std::string text = snap.ToText();
+  EXPECT_NE(text.find("z_total"), std::string::npos);
+  EXPECT_NE(text.find("7"), std::string::npos);
+  // Integral values serialize without an exponent or decimal point.
+  EXPECT_NE(snap.ToJson().find("\"z_total\":7"), std::string::npos);
+}
+
+// --- Trace sink ------------------------------------------------------------
+
+TEST(TraceSinkTest, EventTypeNamesRoundTrip) {
+  for (EventType type :
+       {EventType::kTaskDispatched, EventType::kTaskCompleted,
+        EventType::kTaskFailed, EventType::kJobTimedOut,
+        EventType::kMigrationKilled, EventType::kNodeDown, EventType::kNodeUp,
+        EventType::kCheckpointTaken, EventType::kRecoveryReplayed,
+        EventType::kInstanceStateChanged, EventType::kServerCrashed,
+        EventType::kServerStarted, EventType::kAnnotation}) {
+    ASSERT_OK_AND_ASSIGN(EventType back,
+                         EventTypeFromName(EventTypeName(type)));
+    EXPECT_EQ(back, type);
+  }
+  EXPECT_TRUE(EventTypeFromName("no_such_event").status().IsInvalidArgument());
+}
+
+TEST(TraceSinkTest, StampsVirtualTime) {
+  Simulator sim;
+  TraceSink sink(16);
+  sink.SetClock(&sim);
+  sim.RunFor(Duration::Seconds(42));
+  sink.Emit(EventType::kAnnotation, "inst-1", "", "", {{"label", "mark"}});
+  ASSERT_EQ(sink.size(), 1u);
+  std::vector<TraceRecord> tail = sink.Tail(1);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].time, TimePoint::FromMicros(42000000));
+  EXPECT_EQ(tail[0].type, EventType::kAnnotation);
+  EXPECT_EQ(tail[0].instance, "inst-1");
+  std::string json = tail[0].ToJson();
+  EXPECT_NE(json.find("\"t_us\":42000000"), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"annotation\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"mark\""), std::string::npos);
+}
+
+TEST(TraceSinkTest, RingOverwritesOldest) {
+  TraceSink sink(4);
+  for (int i = 0; i < 10; ++i) {
+    sink.Emit(EventType::kAnnotation, "inst", "",
+              "", {{"i", std::to_string(i)}});
+  }
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.total_emitted(), 10u);
+  EXPECT_EQ(sink.dropped(), 6u);
+  // Oldest-first iteration over the surviving window [6, 10).
+  uint64_t expect_seq = 6;
+  sink.ForEach([&](const TraceRecord& rec) {
+    EXPECT_EQ(rec.seq, expect_seq);
+    ++expect_seq;
+  });
+  EXPECT_EQ(expect_seq, 10u);
+
+  sink.Clear();
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(TraceSinkTest, TailFiltersByInstance) {
+  TraceSink sink(64);
+  for (int i = 0; i < 6; ++i) {
+    sink.Emit(EventType::kAnnotation, i % 2 == 0 ? "even" : "odd");
+  }
+  std::vector<TraceRecord> all = sink.Tail(3);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all.front().seq, 3u);
+  EXPECT_EQ(all.back().seq, 5u);
+  std::vector<TraceRecord> odd = sink.Tail(10, "odd");
+  ASSERT_EQ(odd.size(), 3u);
+  for (const TraceRecord& rec : odd) EXPECT_EQ(rec.instance, "odd");
+}
+
+TEST(TraceSinkTest, ExportJsonlOneObjectPerLine) {
+  TraceSink sink(8);
+  sink.Emit(EventType::kNodeDown, "", "", "n0");
+  sink.Emit(EventType::kNodeUp, "", "", "n0");
+  std::string jsonl = sink.ExportJsonl();
+  size_t lines = 0;
+  for (char c : jsonl) lines += c == '\n';
+  EXPECT_EQ(lines, 2u);
+  EXPECT_NE(jsonl.find("\"type\":\"node_down\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"node\":\"n0\""), std::string::npos);
+}
+
+// --- Timeline --------------------------------------------------------------
+
+TEST(TimelineTest, PairsDispatchWithTerminalEvents) {
+  Simulator sim;
+  TraceSink sink(64);
+  sink.SetClock(&sim);
+  sink.Emit(EventType::kTaskDispatched, "i1", "a", "n0");
+  sink.Emit(EventType::kTaskDispatched, "i1", "b", "n1");
+  sink.Emit(EventType::kTaskDispatched, "i1", "c", "n1");
+  sim.RunFor(Duration::Seconds(10));
+  sink.Emit(EventType::kTaskCompleted, "i1", "a", "n0");
+  sink.Emit(EventType::kTaskFailed, "i1", "b", "");
+  // c never reports: left "open" at the last event time.
+
+  std::vector<TimelineInterval> intervals = BuildTimeline(sink);
+  ASSERT_EQ(intervals.size(), 3u);
+  const TimelineInterval* a = nullptr;
+  const TimelineInterval* b = nullptr;
+  const TimelineInterval* c = nullptr;
+  for (const TimelineInterval& iv : intervals) {
+    if (iv.task == "a") a = &iv;
+    if (iv.task == "b") b = &iv;
+    if (iv.task == "c") c = &iv;
+  }
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(a->outcome, "completed");
+  EXPECT_EQ(a->node, "n0");
+  EXPECT_EQ(a->end - a->start, Duration::Seconds(10));
+  EXPECT_EQ(b->outcome, "failed");
+  EXPECT_EQ(c->outcome, "open");
+
+  // Node filter.
+  EXPECT_EQ(BuildTimeline(sink, "n0").size(), 1u);
+  EXPECT_EQ(BuildTimeline(sink, "n1").size(), 2u);
+}
+
+TEST(TimelineTest, NodeDownClosesItsTasks) {
+  Simulator sim;
+  TraceSink sink(64);
+  sink.SetClock(&sim);
+  sink.Emit(EventType::kTaskDispatched, "i1", "a", "n0");
+  sink.Emit(EventType::kTaskDispatched, "i1", "b", "n1");
+  sim.RunFor(Duration::Seconds(5));
+  sink.Emit(EventType::kNodeDown, "", "", "n0");
+
+  std::vector<TimelineInterval> intervals = BuildTimeline(sink);
+  ASSERT_EQ(intervals.size(), 2u);
+  for (const TimelineInterval& iv : intervals) {
+    EXPECT_EQ(iv.outcome, iv.node == "n0" ? "node_down" : "open");
+  }
+}
+
+TEST(TimelineTest, CsvAndBusyCurve) {
+  Simulator sim;
+  TraceSink sink(64);
+  sink.SetClock(&sim);
+  sink.Emit(EventType::kTaskDispatched, "i1", "a", "n0");
+  sim.RunFor(Duration::Seconds(4));
+  sink.Emit(EventType::kTaskDispatched, "i1", "b", "n0");
+  sim.RunFor(Duration::Seconds(4));
+  sink.Emit(EventType::kTaskCompleted, "i1", "a", "n0");
+  sim.RunFor(Duration::Seconds(4));
+  sink.Emit(EventType::kTaskCompleted, "i1", "b", "n0");
+
+  std::vector<TimelineInterval> intervals = BuildTimeline(sink);
+  std::string csv = TimelineCsv(intervals);
+  EXPECT_NE(csv.find("node,instance,task,start_us,end_us,outcome"),
+            std::string::npos);
+  EXPECT_NE(csv.find("n0,i1,a,0,8000000,completed"), std::string::npos);
+
+  StepSeries busy = BusyCurve(intervals, "n0");
+  EXPECT_DOUBLE_EQ(busy.At(2), 1.0);   // only a
+  EXPECT_DOUBLE_EQ(busy.At(6), 2.0);   // a and b overlap
+  EXPECT_DOUBLE_EQ(busy.At(10), 1.0);  // only b
+  EXPECT_DOUBLE_EQ(busy.At(13), 0.0);  // drained
+}
+
+// --- Logging hook ----------------------------------------------------------
+
+TEST(LoggingTest, CaptureHookSeesAllLevelsWithVirtualTimestamp) {
+  Simulator sim;
+  sim.RunFor(Duration::Seconds(3));
+  SetLogClock(&sim);
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  SetLogCaptureHook([&](LogLevel level, const std::string& line) {
+    captured.emplace_back(level, line);
+  });
+  // kDebug is below the default stderr level but must still be captured.
+  BIOPERA_LOG(kDebug) << "quiet debug line";
+  BIOPERA_LOG(kError) << "loud error line";
+  SetLogCaptureHook(nullptr);
+  SetLogClock(nullptr);
+  BIOPERA_LOG(kDebug) << "not captured";
+
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].first, LogLevel::kDebug);
+  EXPECT_NE(captured[0].second.find("quiet debug line"), std::string::npos);
+  EXPECT_NE(captured[0].second.find("D "), std::string::npos);
+  // Virtual timestamp from the registered simulator clock.
+  EXPECT_NE(captured[0].second.find("3.000s"), std::string::npos);
+  EXPECT_EQ(captured[1].first, LogLevel::kError);
+  EXPECT_NE(captured[1].second.find("E "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace biopera::obs
