@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <string_view>
 
 #include "common/strings.h"
 
@@ -81,6 +82,46 @@ BenchWorld::~BenchWorld() {
   store.reset();
   std::error_code ec;
   std::filesystem::remove_all(store_dir, ec);
+}
+
+std::string JsonPathFromArgs(int argc, char** argv,
+                             const std::string& default_path) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--json") return default_path;
+    if (arg.rfind("--json=", 0) == 0) return std::string(arg.substr(7));
+  }
+  return "";
+}
+
+void BenchJson::Add(const std::string& name,
+                    std::vector<std::pair<std::string, double>> fields) {
+  rows_.emplace_back(name, std::move(fields));
+}
+
+bool BenchJson::Write(const std::string& path) const {
+  std::string out = "{\n  \"bench\": \"" + bench_name_ + "\",\n  \"results\": [";
+  bool first_row = true;
+  for (const auto& [name, fields] : rows_) {
+    out += first_row ? "\n" : ",\n";
+    first_row = false;
+    out += "    {\"name\": \"" + name + "\"";
+    for (const auto& [key, value] : fields) {
+      out += StrFormat(", \"%s\": %.6g", key.c_str(), value);
+    }
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr ||
+      std::fwrite(out.data(), 1, out.size(), f) != out.size()) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    if (f != nullptr) std::fclose(f);
+    return false;
+  }
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
 }
 
 std::string FormatDhm(double seconds) {

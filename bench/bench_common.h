@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "cluster/cluster.h"
 #include "common/rng.h"
@@ -58,6 +60,34 @@ struct BenchWorld {
 
 /// Formats seconds like the paper's Table 1 ("290d 7h 16m").
 std::string FormatDhm(double seconds);
+
+/// Parses `--json[=path]` out of the command line of a scenario bench.
+/// Returns the output path (bare `--json` resolves to `default_path`), or
+/// "" when JSON output was not requested.
+std::string JsonPathFromArgs(int argc, char** argv,
+                             const std::string& default_path);
+
+/// Minimal machine-readable results writer for the scenario benches
+/// (fig4, table1, ...), which do not link google-benchmark. Each row is
+/// a named result with flat numeric fields (ops/s, bytes, wall seconds).
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void Add(const std::string& name,
+           std::vector<std::pair<std::string, double>> fields);
+
+  /// Writes `{"bench": ..., "results": [...]}` to `path`; returns false
+  /// (after logging to stderr) if the file cannot be written.
+  bool Write(const std::string& path) const;
+
+ private:
+  std::string bench_name_;
+  std::vector<std::pair<std::string,
+                        std::vector<std::pair<std::string, double>>>>
+      rows_;
+};
 
 }  // namespace biopera::bench
 

@@ -1,0 +1,54 @@
+#ifndef BIOPERA_BENCH_BENCH_MAIN_H_
+#define BIOPERA_BENCH_BENCH_MAIN_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace biopera::bench {
+
+/// Shared main() for the google-benchmark microbenches: all the standard
+/// benchmark flags, plus `--json[=path]` which mirrors the run as a
+/// machine-readable JSON file (ops/s, bytes, wall time per benchmark).
+/// With a bare `--json` the file goes to `default_json_path`.
+inline int RunBenchmarkMain(int argc, char** argv,
+                            const std::string& default_json_path) {
+  std::string json_path;
+  std::vector<char*> args(argv, argv + argc);
+  for (auto it = args.begin(); it != args.end();) {
+    std::string_view arg = *it;
+    if (arg == "--json") {
+      json_path = default_json_path;
+      it = args.erase(it);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = std::string(arg.substr(7));
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Rewritten into the library's own flags so the console output stays
+  // and the JSON lands in the file.
+  std::string out_flag = "--benchmark_out=" + json_path;
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!json_path.empty()) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace biopera::bench
+
+#endif  // BIOPERA_BENCH_BENCH_MAIN_H_

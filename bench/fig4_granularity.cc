@@ -57,7 +57,8 @@ RunResult RunOnce(const darwin::SyntheticDataset& data, int num_teus) {
                    summary->stats.WallTime().ToSeconds()};
 }
 
-int Main() {
+int Main(int argc, char** argv) {
+  std::string json_path = JsonPathFromArgs(argc, argv, "BENCH_fig4.json");
   std::printf("== Figure 4: granularity level vs CPU and WALL time ==\n");
   std::printf(
       "532-entry synthetic Swiss-Prot sample, ik-sun cluster (5 CPUs, "
@@ -105,10 +106,23 @@ int Main() {
   std::printf("          S2 = [5, 100] (flat valley; optimum %d)\n",
               best_teus);
   std::printf("          S3 = [100, 532] (overhead dominates)\n");
+
+  if (!json_path.empty()) {
+    BenchJson json("fig4_granularity");
+    for (size_t i = 0; i < teu_counts.size(); ++i) {
+      json.Add(StrFormat("teus/%d", teu_counts[i]),
+               {{"cpu_seconds", results[i].cpu_seconds},
+                {"wall_seconds", results[i].wall_seconds},
+                {"speedup", wall1 / results[i].wall_seconds}});
+    }
+    json.Add("optimum", {{"teus", static_cast<double>(best_teus)},
+                         {"wall_seconds", best_wall}});
+    if (!json.Write(json_path)) return 1;
+  }
   return 0;
 }
 
 }  // namespace
 }  // namespace biopera::bench
 
-int main() { return biopera::bench::Main(); }
+int main(int argc, char** argv) { return biopera::bench::Main(argc, argv); }

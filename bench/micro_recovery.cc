@@ -6,6 +6,7 @@
 
 #include <filesystem>
 
+#include "bench/bench_main.h"
 #include "cluster/cluster.h"
 #include "core/engine.h"
 #include "darwin/generator.h"
@@ -109,4 +110,6 @@ BENCHMARK(BM_ColdStoreOpen)->Arg(128)->Arg(512)
 }  // namespace
 }  // namespace biopera
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return biopera::bench::RunBenchmarkMain(argc, argv, "BENCH_recovery.json");
+}

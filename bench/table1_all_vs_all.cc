@@ -9,6 +9,7 @@
 // non-shared cluster, and CPU(A) is in the hours range.
 #include <cstdio>
 
+#include "bench/bench_common.h"
 #include "bench/scenario.h"
 #include "common/strings.h"
 #include "common/table.h"
@@ -16,7 +17,8 @@
 namespace biopera::bench {
 namespace {
 
-int Main() {
+int Main(int argc, char** argv) {
+  std::string json_path = JsonPathFromArgs(argc, argv, "BENCH_table1.json");
   std::printf("== Table 1: all-vs-all on synthetic SP38 ==\n");
   std::printf("(running both lifecycle scenarios in simulated time...)\n\n");
 
@@ -66,10 +68,27 @@ int Main() {
               2 * shared.summary.stats.WallTime().ToSeconds()
           ? "yes"
           : "NO");
+  if (!json_path.empty()) {
+    BenchJson json("table1_all_vs_all");
+    for (const auto* r : {&shared, &dedicated}) {
+      json.Add(r == &shared ? "shared" : "non_shared",
+               {{"max_cpus", static_cast<double>(r->max_cpus)},
+                {"cpu_seconds", r->summary.stats.cpu_seconds},
+                {"wall_seconds", r->summary.stats.WallTime().ToSeconds()},
+                {"cpu_per_activity_seconds",
+                 r->summary.stats.CpuPerActivity().ToSeconds()},
+                {"activities_completed",
+                 static_cast<double>(r->summary.stats.activities_completed)},
+                {"activities_failed",
+                 static_cast<double>(r->summary.stats.activities_failed)},
+                {"completed", r->completed ? 1.0 : 0.0}});
+    }
+    if (!json.Write(json_path)) return 1;
+  }
   return shared.completed && dedicated.completed ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace biopera::bench
 
-int main() { return biopera::bench::Main(); }
+int main(int argc, char** argv) { return biopera::bench::Main(argc, argv); }

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "ocr/ocr_text.h"
+#include "store/codec.h"
 
 namespace biopera::core {
 
@@ -110,7 +111,9 @@ class ScopeEvalContext : public ocr::EvalContext {
 };
 
 // ---------------------------------------------------------------------------
-// Persistence record codecs (Value::Map <-> text via Value::ToText)
+// Persistence record codecs: Value::Map <-> marker-framed binary records
+// (store/codec.h). Decoding falls back to the legacy Value::FromText form,
+// so stores written before the binary codec still open.
 // ---------------------------------------------------------------------------
 
 std::string TaskRecordKey(const std::string& path) { return "task/" + path; }
@@ -128,11 +131,11 @@ std::string EncodeTaskRecord(const TaskNode& node) {
   rec["finished_us"] = Value(node.finished.micros());
   if (!node.expansion.is_null()) rec["expansion"] = node.expansion;
   if (node.sub_def != nullptr) rec["sub"] = Value(node.sub_def->name);
-  return Value(std::move(rec)).ToText();
+  return EncodeValueRecord(Value(std::move(rec)));
 }
 
 std::string EncodeWhiteboard(const Value::Map& wb) {
-  return Value(wb).ToText();
+  return EncodeValueRecord(Value(wb));
 }
 
 std::string EncodeHeader(const ProcessInstance& inst) {
@@ -158,7 +161,7 @@ std::string EncodeHeader(const ProcessInstance& inst) {
     }
     rec["events"] = Value(std::move(events));
   }
-  return Value(std::move(rec)).ToText();
+  return EncodeValueRecord(Value(std::move(rec)));
 }
 
 int64_t RecInt(const Value::Map& rec, const std::string& key, int64_t dflt) {
@@ -180,6 +183,21 @@ std::string RecString(const Value::Map& rec, const std::string& key) {
                                                    : std::string();
 }
 
+/// Creates, indexes, and attaches one child node under `parent`. Shared
+/// by ExpandComposite and RecoverInstance so expansion and recovery stay
+/// in lockstep.
+TaskNode* AddChildNode(ProcessInstance* inst, TaskNode* parent,
+                       const TaskDef* def, std::string path) {
+  auto child = std::make_unique<TaskNode>();
+  child->def = def;
+  child->parent = parent;
+  child->path = std::move(path);
+  TaskNode* raw = child.get();
+  inst->IndexNode(raw);
+  parent->children.push_back(std::move(child));
+  return raw;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -196,6 +214,10 @@ Engine::Engine(Simulator* sim, cluster::ClusterSim* cluster,
       options_(options),
       rng_(options.seed) {
   cluster_->SetListener(this);
+  RecordStore::CheckpointPolicy checkpoint_policy;
+  checkpoint_policy.wal_bytes = options_.checkpoint_wal_bytes;
+  checkpoint_policy.every_commits = options_.checkpoint_every_commits;
+  store->SetCheckpointPolicy(checkpoint_policy);
   if (obs::Observability* obs = options_.observability; obs != nullptr) {
     obs->SetClock(sim_);
     // One EngineOptions field instruments the whole stack.
@@ -242,6 +264,9 @@ Status Engine::Startup() {
   BIOPERA_RETURN_IF_ERROR(policy.status());
   policy_ = std::move(*policy);
   up_ = true;
+  // Startup writes many config records and recovery markers; group them
+  // into one WAL record.
+  RecordStore::CommitScope commit_group(GroupTarget());
 
   // Discover the cluster topology (the PECs re-register with the server).
   for (const cluster::NodeConfig& node : cluster_->Nodes()) {
@@ -322,6 +347,7 @@ void Engine::Crash() {
 
 Status Engine::RegisterTemplate(const ProcessDef& def) {
   BIOPERA_RETURN_IF_ERROR(ocr::ValidateProcess(def));
+  RecordStore::CommitScope commit_group(GroupTarget());
   BIOPERA_RETURN_IF_ERROR(spaces_.PutTemplate(def.name, ocr::PrintOcr(def)));
   // Retire (but keep alive) any cached parse: existing instances hold
   // pointers into it; new activations late-bind to the fresh text.
@@ -356,6 +382,7 @@ Result<std::string> Engine::StartProcess(const std::string& template_name,
                                          const Value::Map& args,
                                          int priority) {
   if (!up_) return Status::Unavailable("server is down");
+  RecordStore::CommitScope commit_group(GroupTarget());
   BIOPERA_ASSIGN_OR_RETURN(const ProcessDef* def,
                            ResolveTemplate(template_name));
   std::string id = StrFormat("%s-%06llu", template_name.c_str(),
@@ -394,6 +421,7 @@ Status Engine::Suspend(const std::string& instance_id) {
     return Status::FailedPrecondition("instance not running");
   }
   inst->set_state(InstanceState::kSuspended);
+  RecordStore::CommitScope commit_group(GroupTarget());
   WriteBatch batch;
   PersistHeader(inst, &batch);
   BIOPERA_RETURN_IF_ERROR(Commit(&batch));
@@ -409,6 +437,7 @@ Status Engine::Resume(const std::string& instance_id) {
     return Status::FailedPrecondition("instance not suspended");
   }
   inst->set_state(InstanceState::kRunning);
+  RecordStore::CommitScope commit_group(GroupTarget());
   WriteBatch batch;
   PersistHeader(inst, &batch);
   BIOPERA_RETURN_IF_ERROR(Commit(&batch));
@@ -432,6 +461,7 @@ Status Engine::Abort(const std::string& instance_id) {
     jobs_.erase(job_id);
   }
   inst->set_state(InstanceState::kAborted);
+  RecordStore::CommitScope commit_group(GroupTarget());
   WriteBatch batch;
   PersistHeader(inst, &batch);
   BIOPERA_RETURN_IF_ERROR(Commit(&batch));
@@ -445,6 +475,7 @@ Status Engine::Restart(const std::string& instance_id) {
   ProcessInstance* inst = FindInstance(instance_id);
   if (inst == nullptr) return Status::NotFound("no instance " + instance_id);
   inst->set_state(InstanceState::kRunning);
+  RecordStore::CommitScope commit_group(GroupTarget());
   WriteBatch batch;
   // Re-queue permanently failed and stuck work; completed activities keep
   // their checkpointed results. Outstanding jobs of this instance are
@@ -574,6 +605,7 @@ Status Engine::Invalidate(const std::string& instance_id,
       }
     }
   }
+  RecordStore::CommitScope commit_group(GroupTarget());
   WriteBatch batch;
   for (const std::string& name : affected) {
     TaskNode* node = inst->root()->FindChild(name);
@@ -612,6 +644,7 @@ Status Engine::Archive(const std::string& instance_id) {
     return Status::FailedPrecondition(
         "instance still active; abort or let it finish first");
   }
+  RecordStore::CommitScope commit_group(GroupTarget());
   BIOPERA_RETURN_IF_ERROR(spaces_.DeleteInstance(instance_id));
   AppendHistory(instance_id, "archived");
   instances_.erase(instance_id);
@@ -625,6 +658,7 @@ Status Engine::RaiseEvent(const std::string& instance_id,
   if (inst == nullptr) return Status::NotFound("no instance " + instance_id);
   if (inst->raised_events().contains(event)) return Status::OK();
   inst->raised_events().insert(event);
+  RecordStore::CommitScope commit_group(GroupTarget());
   AppendHistory(instance_id, "event raised: " + event);
   WriteBatch batch;
   PersistHeader(inst, &batch);
@@ -822,12 +856,7 @@ Status Engine::ExpandComposite(ProcessInstance* inst, TaskNode* node,
     case TaskKind::kBlock: {
       node->connectors = &def->connectors;
       for (const TaskDef& sub : def->subtasks) {
-        auto child = std::make_unique<TaskNode>();
-        child->def = &sub;
-        child->parent = node;
-        child->path = node->path + "." + sub.name;
-        inst->IndexNode(child.get());
-        node->children.push_back(std::move(child));
+        AddChildNode(inst, node, &sub, node->path + "." + sub.name);
       }
       break;
     }
@@ -844,14 +873,11 @@ Status Engine::ExpandComposite(ProcessInstance* inst, TaskNode* node,
       node->expansion = list;
       const auto& items = list.AsList();
       for (size_t i = 0; i < items.size(); ++i) {
-        auto child = std::make_unique<TaskNode>();
-        child->def = &def->body[0];
-        child->parent = node;
-        child->path = StrFormat("%s[%zu]", node->path.c_str(), i);
+        TaskNode* child = AddChildNode(
+            inst, node, &def->body[0],
+            StrFormat("%s[%zu]", node->path.c_str(), i));
         child->item = items[i];
         child->index = static_cast<int64_t>(i);
-        inst->IndexNode(child.get());
-        node->children.push_back(std::move(child));
       }
       break;
     }
@@ -880,12 +906,7 @@ Status Engine::ExpandComposite(ProcessInstance* inst, TaskNode* node,
             SetIntoMap(node->own_whiteboard.get(), to, 1, *v));
       }
       for (const TaskDef& sub_task : sub->tasks) {
-        auto child = std::make_unique<TaskNode>();
-        child->def = &sub_task;
-        child->parent = node;
-        child->path = node->path + "/" + sub_task.name;
-        inst->IndexNode(child.get());
-        node->children.push_back(std::move(child));
+        AddChildNode(inst, node, &sub_task, node->path + "/" + sub_task.name);
       }
       PersistWhiteboard(inst, node, batch);
       break;
@@ -1171,6 +1192,7 @@ Status Engine::HandleTaskFailure(ProcessInstance* inst, TaskNode* node,
       TaskNode* node2 = inst2->FindByPath(path);
       if (node2 == nullptr || node2->state != TaskState::kRetryWait) return;
       node2->state = TaskState::kReady;
+      RecordStore::CommitScope commit_group(GroupTarget());
       WriteBatch retry_batch;
       PersistTask(inst2, node2, &retry_batch);
       Status st = Commit(&retry_batch);
@@ -1240,6 +1262,10 @@ void Engine::SchedulePumpRetry() {
 
 void Engine::PumpDispatch() {
   if (!up_) return;
+  // One commit group per pump: state transitions for all entries handled
+  // in this pass coalesce into (at most) a few WAL records, bounded by
+  // the pre-dispatch flush barriers below.
+  RecordStore::CommitScope commit_group(GroupTarget());
   // Higher-priority instances dispatch first; FIFO otherwise.
   std::stable_sort(ready_queue_.begin(), ready_queue_.end(),
                    [this](const ReadyEntry& a, const ReadyEntry& b) {
@@ -1308,6 +1334,18 @@ void Engine::PumpDispatch() {
       starved = true;
       keep.push_back(std::move(entry));
       continue;
+    }
+    // Flush barrier: dispatching the job makes state externally visible,
+    // so everything committed so far must be durable first.
+    if (RecordStore* group_store = GroupTarget(); group_store != nullptr) {
+      Status flush_status = group_store->Flush();
+      if (!flush_status.ok()) {
+        BIOPERA_LOG(kError) << "pre-dispatch flush failed: "
+                            << flush_status.ToString();
+        starved = true;
+        keep.push_back(std::move(entry));
+        continue;
+      }
     }
     cluster::JobId job_id = next_job_id_++;
     Status st = cluster_->StartJob(job_id, target, entry.cached->cost);
@@ -1380,6 +1418,7 @@ void Engine::ArmJobWatchdog(cluster::JobId job_id, Duration cost) {
     TaskNode* node = inst->FindByPath(pending.path);
     if (node == nullptr || node->state != TaskState::kRunning) return;
     node->state = TaskState::kReady;
+    RecordStore::CommitScope commit_group(GroupTarget());
     WriteBatch batch;
     PersistTask(inst, node, &batch);
     Status st = Commit(&batch);
@@ -1452,6 +1491,7 @@ Result<std::vector<Engine::TaskRow>> Engine::ListTasks(
 
 void Engine::CheckMigrations() {
   if (!options_.migration_enabled || !up_) return;
+  RecordStore::CommitScope commit_group(GroupTarget());
   std::vector<cluster::JobId> to_migrate;
   for (const auto& [job_id, pending] : jobs_) {
     const monitor::AwarenessModel::NodeView* view =
@@ -1531,6 +1571,7 @@ void Engine::OnJobFinished(cluster::JobId id, const std::string& node_name) {
         {{"cost_us", StrFormat("%lld", static_cast<long long>(
                                            pending.cost.micros()))}});
   }
+  RecordStore::CommitScope commit_group(GroupTarget());
   WriteBatch batch;
   Status st = CompleteTask(inst, node, std::move(pending.outputs),
                            pending.cost, &batch);
@@ -1556,6 +1597,7 @@ void Engine::OnJobFailed(cluster::JobId id, const std::string& node_name,
   if (inst == nullptr) return;
   TaskNode* node = inst->FindByPath(pending.path);
   if (node == nullptr || node->state != TaskState::kRunning) return;
+  RecordStore::CommitScope commit_group(GroupTarget());
   WriteBatch batch;
   Status st = HandleTaskFailure(inst, node, reason, &batch);
   if (st.ok()) st = Commit(&batch);
@@ -1609,6 +1651,7 @@ void Engine::OnLoadReport(const std::string& node, double load) {
 void Engine::OnConfigChanged(const cluster::NodeConfig& config) {
   if (!up_) return;
   awareness_.UpdateConfig(config);
+  RecordStore::CommitScope commit_group(GroupTarget());
   Value::Map cfg;
   cfg["cpus"] = Value(static_cast<int64_t>(config.num_cpus));
   cfg["speed"] = Value(config.speed);
@@ -1646,14 +1689,15 @@ void Engine::PersistHeader(ProcessInstance* inst, WriteBatch* batch) {
 
 Status Engine::Commit(WriteBatch* batch) {
   if (batch->empty()) return Status::OK();
+  // Checkpoint cadence is the store's job now (CheckpointPolicy, forwarded
+  // in the constructor), so a commit is just an apply.
   BIOPERA_RETURN_IF_ERROR(spaces_.Apply(*batch));
   batch->Clear();
-  if (options_.checkpoint_every_commits > 0 &&
-      spaces_.store()->CommitCount() % options_.checkpoint_every_commits ==
-          0) {
-    BIOPERA_RETURN_IF_ERROR(spaces_.store()->Checkpoint());
-  }
   return Status::OK();
+}
+
+RecordStore* Engine::GroupTarget() {
+  return options_.group_commit ? spaces_.store() : nullptr;
 }
 
 void Engine::AppendHistory(const std::string& instance_id,
@@ -1674,7 +1718,7 @@ Status Engine::RecoverInstance(const std::string& instance_id) {
   // Load all records of this instance into a key -> parsed-map index.
   std::map<std::string, Value::Map> records;
   for (auto& [key, text] : spaces_.ScanInstance(instance_id)) {
-    BIOPERA_ASSIGN_OR_RETURN(Value v, Value::FromText(text));
+    BIOPERA_ASSIGN_OR_RETURN(Value v, DecodeValueRecord(text));
     if (!v.is_map()) {
       return Status::Corruption("bad record " + key + " in " + instance_id);
     }
@@ -1747,12 +1791,7 @@ Status Engine::RecoverInstance(const std::string& instance_id) {
       case TaskKind::kBlock: {
         node->connectors = &node->def->connectors;
         for (const TaskDef& sub : node->def->subtasks) {
-          auto child = std::make_unique<TaskNode>();
-          child->def = &sub;
-          child->parent = node;
-          child->path = node->path + "." + sub.name;
-          inst->IndexNode(child.get());
-        node->children.push_back(std::move(child));
+          AddChildNode(inst.get(), node, &sub, node->path + "." + sub.name);
         }
         break;
       }
@@ -1764,14 +1803,11 @@ Status Engine::RecoverInstance(const std::string& instance_id) {
         node->expansion = exp_it->second;
         const auto& items = node->expansion.AsList();
         for (size_t i = 0; i < items.size(); ++i) {
-          auto child = std::make_unique<TaskNode>();
-          child->def = &node->def->body[0];
-          child->parent = node;
-          child->path = StrFormat("%s[%zu]", node->path.c_str(), i);
+          TaskNode* child = AddChildNode(
+              inst.get(), node, &node->def->body[0],
+              StrFormat("%s[%zu]", node->path.c_str(), i));
           child->item = items[i];
           child->index = static_cast<int64_t>(i);
-          inst->IndexNode(child.get());
-        node->children.push_back(std::move(child));
         }
         break;
       }
@@ -1786,12 +1822,8 @@ Status Engine::RecoverInstance(const std::string& instance_id) {
           *node->own_whiteboard = sub_wb->second;
         }
         for (const TaskDef& sub_task : sub->tasks) {
-          auto child = std::make_unique<TaskNode>();
-          child->def = &sub_task;
-          child->parent = node;
-          child->path = node->path + "/" + sub_task.name;
-          inst->IndexNode(child.get());
-        node->children.push_back(std::move(child));
+          AddChildNode(inst.get(), node, &sub_task,
+                       node->path + "/" + sub_task.name);
         }
         break;
       }

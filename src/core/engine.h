@@ -31,8 +31,19 @@ struct EngineOptions {
   bool migration_enabled = false;
   /// How often to re-try dispatching when no placement was possible.
   Duration dispatch_retry = Duration::Minutes(5);
+  /// Coalesce every store commit inside one engine action (an entry
+  /// point, cluster callback, or timer lambda) into a single WAL
+  /// append+flush, with a flush barrier before any externally visible
+  /// action (job dispatch, console reply, checkpoint). Recovered state is
+  /// byte-identical with or without coalescing; see docs/STORE.md.
+  bool group_commit = true;
   /// Checkpoint the store after this many commits (snapshot + WAL trim).
+  /// Enforced by the store itself (RecordStore::CheckpointPolicy), so
+  /// non-engine commits cannot skew the cadence. 0 disables.
   uint64_t checkpoint_every_commits = 2000;
+  /// Additionally checkpoint once the live WAL exceeds this many bytes.
+  /// 0 disables the size trigger.
+  uint64_t checkpoint_wal_bytes = 4ull << 20;
   /// Use per-node adaptive monitors to maintain the awareness model. When
   /// false, raw PEC load pushes are consumed directly (no sampling error,
   /// but full network overhead; used by the monitoring ablation).
@@ -285,6 +296,9 @@ class Engine : public cluster::ClusterListener {
                          WriteBatch* batch);
   void PersistHeader(ProcessInstance* inst, WriteBatch* batch);
   Status Commit(WriteBatch* batch);
+  /// Store to group commits on: the record store when group commit is
+  /// enabled, nullptr (a no-op CommitScope) otherwise.
+  RecordStore* GroupTarget();
   void AppendHistory(const std::string& instance_id, const std::string& event);
   /// Rebuilds one instance from its records; re-queues interrupted work.
   Status RecoverInstance(const std::string& instance_id);

@@ -1,5 +1,7 @@
 #include "store/codec.h"
 
+#include <cstring>
+
 namespace biopera {
 
 void PutFixed32(std::string* dst, uint32_t v) {
@@ -69,6 +71,155 @@ bool GetLengthPrefixed(std::string_view* input, std::string_view* s) {
   *s = input->substr(0, len);
   input->remove_prefix(len);
   return true;
+}
+
+namespace {
+
+enum ValueTag : char {
+  kTagNull = 0,
+  kTagFalse = 1,
+  kTagTrue = 2,
+  kTagInt = 3,
+  kTagDouble = 4,
+  kTagString = 5,
+  kTagList = 6,
+  kTagMap = 7,
+};
+
+uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+bool DecodeValueImpl(std::string_view* input, ocr::Value* out, int depth) {
+  if (depth > kMaxValueDepth) return false;
+  if (input->empty()) return false;
+  char tag = input->front();
+  input->remove_prefix(1);
+  switch (tag) {
+    case kTagNull:
+      *out = ocr::Value();
+      return true;
+    case kTagFalse:
+      *out = ocr::Value(false);
+      return true;
+    case kTagTrue:
+      *out = ocr::Value(true);
+      return true;
+    case kTagInt: {
+      uint64_t raw;
+      if (!GetVarint64(input, &raw)) return false;
+      *out = ocr::Value(ZigZagDecode(raw));
+      return true;
+    }
+    case kTagDouble: {
+      uint64_t bits;
+      if (!GetFixed64(input, &bits)) return false;
+      double d;
+      static_assert(sizeof(d) == sizeof(bits));
+      std::memcpy(&d, &bits, sizeof(d));
+      *out = ocr::Value(d);
+      return true;
+    }
+    case kTagString: {
+      std::string_view s;
+      if (!GetLengthPrefixed(input, &s)) return false;
+      *out = ocr::Value(std::string(s));
+      return true;
+    }
+    case kTagList: {
+      uint64_t count;
+      if (!GetVarint64(input, &count)) return false;
+      // No reserve(count): a hostile count must not allocate up front;
+      // decoding simply fails when the input runs out.
+      ocr::Value::List list;
+      for (uint64_t i = 0; i < count; ++i) {
+        ocr::Value elem;
+        if (!DecodeValueImpl(input, &elem, depth + 1)) return false;
+        list.push_back(std::move(elem));
+      }
+      *out = ocr::Value(std::move(list));
+      return true;
+    }
+    case kTagMap: {
+      uint64_t count;
+      if (!GetVarint64(input, &count)) return false;
+      ocr::Value::Map map;
+      for (uint64_t i = 0; i < count; ++i) {
+        std::string_view key;
+        if (!GetLengthPrefixed(input, &key)) return false;
+        ocr::Value elem;
+        if (!DecodeValueImpl(input, &elem, depth + 1)) return false;
+        map[std::string(key)] = std::move(elem);
+      }
+      *out = ocr::Value(std::move(map));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void EncodeValue(const ocr::Value& v, std::string* dst) {
+  if (v.is_null()) {
+    dst->push_back(kTagNull);
+  } else if (v.is_bool()) {
+    dst->push_back(v.AsBool() ? kTagTrue : kTagFalse);
+  } else if (v.is_int()) {
+    dst->push_back(kTagInt);
+    PutVarint64(dst, ZigZagEncode(v.AsInt()));
+  } else if (v.is_double()) {
+    dst->push_back(kTagDouble);
+    double d = v.AsDouble();
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    PutFixed64(dst, bits);
+  } else if (v.is_string()) {
+    dst->push_back(kTagString);
+    PutLengthPrefixed(dst, v.AsString());
+  } else if (v.is_list()) {
+    dst->push_back(kTagList);
+    PutVarint64(dst, v.AsList().size());
+    for (const ocr::Value& elem : v.AsList()) EncodeValue(elem, dst);
+  } else {
+    dst->push_back(kTagMap);
+    PutVarint64(dst, v.AsMap().size());
+    for (const auto& [key, elem] : v.AsMap()) {
+      PutLengthPrefixed(dst, key);
+      EncodeValue(elem, dst);
+    }
+  }
+}
+
+bool DecodeValue(std::string_view* input, ocr::Value* out) {
+  return DecodeValueImpl(input, out, 0);
+}
+
+std::string EncodeValueRecord(const ocr::Value& v) {
+  std::string out;
+  out.push_back(kBinaryValueMarker);
+  EncodeValue(v, &out);
+  return out;
+}
+
+Result<ocr::Value> DecodeValueRecord(std::string_view record) {
+  if (!record.empty() && record.front() == kBinaryValueMarker) {
+    record.remove_prefix(1);
+    ocr::Value v;
+    if (!DecodeValue(&record, &v) || !record.empty()) {
+      return Status::Corruption("malformed binary value record");
+    }
+    return v;
+  }
+  // Legacy stores hold text records; the text grammar never begins with
+  // a 0x01 byte, so the marker is unambiguous.
+  return ocr::Value::FromText(record);
 }
 
 }  // namespace biopera

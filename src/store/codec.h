@@ -5,6 +5,9 @@
 #include <string>
 #include <string_view>
 
+#include "common/result.h"
+#include "ocr/value.h"
+
 namespace biopera {
 
 /// Little-endian fixed-width and varint primitives used by the WAL, the
@@ -22,6 +25,39 @@ bool GetFixed32(std::string_view* input, uint32_t* v);
 bool GetFixed64(std::string_view* input, uint64_t* v);
 bool GetVarint64(std::string_view* input, uint64_t* v);
 bool GetLengthPrefixed(std::string_view* input, std::string_view* s);
+
+// ---------------------------------------------------------------------------
+// Binary ocr::Value codec
+// ---------------------------------------------------------------------------
+//
+// Tag-prefixed, length-delimited wire form (see docs/STORE.md):
+//   0 null | 1 false | 2 true | 3 int (zigzag varint)
+//   4 double (IEEE-754 bits, fixed64) | 5 string (lenprefix)
+//   6 list (varint count, then elements) | 7 map (varint count, then
+//     lenprefix key + element pairs)
+// Unlike the text form, doubles round-trip bit-exactly.
+
+/// Appends the binary encoding of `v` to `*dst`.
+void EncodeValue(const ocr::Value& v, std::string* dst);
+
+/// Decodes one value from the front of `*input`. Returns false on
+/// malformed, truncated, or too deeply nested input — never crashes on
+/// hostile bytes (nesting is capped at kMaxValueDepth).
+bool DecodeValue(std::string_view* input, ocr::Value* out);
+
+inline constexpr int kMaxValueDepth = 64;
+
+/// Engine persistence records are marker-framed so binary and legacy text
+/// records coexist in one store: a record starting with kBinaryValueMarker
+/// holds a binary value; anything else is parsed as Value::FromText (whose
+/// grammar can never start with a 0x01 byte).
+inline constexpr char kBinaryValueMarker = '\x01';
+
+/// Marker byte + binary encoding.
+std::string EncodeValueRecord(const ocr::Value& v);
+
+/// Inverse of EncodeValueRecord with the versioned text fallback.
+Result<ocr::Value> DecodeValueRecord(std::string_view record);
 
 }  // namespace biopera
 

@@ -1,8 +1,10 @@
 #include "store/record_store.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 
+#include "common/logging.h"
 #include "common/strings.h"
 #include "store/codec.h"
 #include "store/snapshot.h"
@@ -12,10 +14,17 @@ namespace biopera {
 namespace {
 constexpr char kOpPut = 1;
 constexpr char kOpDelete = 2;
+// Per-record WAL framing overhead: crc32 + length (store/wal.cc).
+constexpr uint64_t kWalRecordHeaderBytes = 8;
+constexpr char kLegacySnapshotFile[] = "snapshot.dat";
 }  // namespace
 
 void WriteBatch::Put(std::string_view table, std::string_view key,
                      std::string_view value) {
+  // Reserve the op's exact upper bound up front (5 bytes covers any
+  // varint length prefix) so a single-record batch costs one allocation.
+  payload_.reserve(payload_.size() + 1 + 15 + table.size() + key.size() +
+                   value.size());
   payload_.push_back(kOpPut);
   PutLengthPrefixed(&payload_, table);
   PutLengthPrefixed(&payload_, key);
@@ -24,6 +33,7 @@ void WriteBatch::Put(std::string_view table, std::string_view key,
 }
 
 void WriteBatch::Delete(std::string_view table, std::string_view key) {
+  payload_.reserve(payload_.size() + 1 + 10 + table.size() + key.size());
   payload_.push_back(kOpDelete);
   PutLengthPrefixed(&payload_, table);
   PutLengthPrefixed(&payload_, key);
@@ -36,11 +46,27 @@ void WriteBatch::Clear() {
 }
 
 Result<WriteBatch> WriteBatch::FromPayload(std::string_view payload) {
+  // Validate and count without materializing the operations.
+  std::string_view v = payload;
+  size_t ops = 0;
+  while (!v.empty()) {
+    char tag = v.front();
+    v.remove_prefix(1);
+    if (tag != kOpPut && tag != kOpDelete) {
+      return Status::Corruption("write batch: bad op tag");
+    }
+    std::string_view table, key, value;
+    if (!GetLengthPrefixed(&v, &table) || !GetLengthPrefixed(&v, &key)) {
+      return Status::Corruption("write batch: truncated op");
+    }
+    if (tag == kOpPut && !GetLengthPrefixed(&v, &value)) {
+      return Status::Corruption("write batch: truncated value");
+    }
+    ++ops;
+  }
   WriteBatch batch;
   batch.payload_.assign(payload);
-  // Validate and count.
-  BIOPERA_ASSIGN_OR_RETURN(std::vector<Op> ops, batch.Ops());
-  batch.num_ops_ = ops.size();
+  batch.num_ops_ = ops;
   return batch;
 }
 
@@ -70,6 +96,20 @@ Result<std::vector<WriteBatch::Op>> WriteBatch::Ops() const {
   return ops;
 }
 
+RecordStore::CommitScope::CommitScope(RecordStore* store) : store_(store) {
+  if (store_ != nullptr) ++store_->scope_depth_;
+}
+
+RecordStore::CommitScope::~CommitScope() {
+  if (store_ == nullptr) return;
+  if (--store_->scope_depth_ > 0) return;
+  Status st = store_->Flush();
+  if (st.ok()) st = store_->MaybeAutoCheckpoint();
+  if (!st.ok()) {
+    BIOPERA_LOG(kError) << "commit group flush failed: " << st.ToString();
+  }
+}
+
 Result<std::unique_ptr<RecordStore>> RecordStore::Open(
     const std::string& dir) {
   std::error_code ec;
@@ -79,24 +119,46 @@ Result<std::unique_ptr<RecordStore>> RecordStore::Open(
   }
   auto store = std::unique_ptr<RecordStore>(new RecordStore(dir));
 
-  // 1. Load the snapshot, if any.
-  Result<std::string> snap = ReadSnapshot(store->SnapshotPath());
-  if (snap.ok()) {
-    BIOPERA_RETURN_IF_ERROR(store->LoadImage(*snap));
-  } else if (!snap.status().IsNotFound()) {
-    return snap.status();
+  // 1. Load the snapshot chain: manifest segments if present, otherwise
+  // a legacy single-snapshot directory (which joins the manifest as its
+  // base segment at the next checkpoint).
+  Result<std::string> manifest = ReadSnapshot(store->ManifestPath());
+  if (manifest.ok()) {
+    BIOPERA_RETURN_IF_ERROR(store->LoadManifest(*manifest));
+  } else if (!manifest.status().IsNotFound()) {
+    return manifest.status();
+  } else {
+    Result<std::string> snap = ReadSnapshot(store->SnapshotPath());
+    if (snap.ok()) {
+      BIOPERA_RETURN_IF_ERROR(store->LoadImageSegment(*snap));
+      store->manifest_.push_back(kLegacySnapshotFile);
+    } else if (!snap.status().IsNotFound()) {
+      return snap.status();
+    }
   }
 
-  // 2. Replay the WAL over the snapshot image.
-  BIOPERA_ASSIGN_OR_RETURN(WalReadResult wal, ReadWal(store->WalPath()));
-  for (const std::string& rec : wal.records) {
-    BIOPERA_ASSIGN_OR_RETURN(WriteBatch batch, WriteBatch::FromPayload(rec));
-    BIOPERA_RETURN_IF_ERROR(store->ApplyToImage(batch));
-  }
+  // 2. Replay the WAL over the snapshot image: one pass, applied in
+  // place (replayed tables count as dirty — their records are not yet in
+  // any segment).
+  BIOPERA_RETURN_IF_ERROR(
+      ReadWalInto(store->WalPath(), [&store](std::string_view payload) {
+        return store->ApplyPayloadToImage(payload);
+      }));
 
   // 3. Open the WAL for appending.
+  uint64_t wal_size = std::filesystem::file_size(store->WalPath(), ec);
+  store->live_wal_bytes_ = ec ? 0 : wal_size;
   BIOPERA_ASSIGN_OR_RETURN(store->wal_, WalWriter::Open(store->WalPath()));
   return store;
+}
+
+RecordStore::~RecordStore() {
+  if (pending_.empty() || wal_ == nullptr) return;
+  Status st = Flush();
+  if (!st.ok()) {
+    BIOPERA_LOG(kError) << "final commit group flush failed: "
+                        << st.ToString();
+  }
 }
 
 Status RecordStore::Apply(const WriteBatch& batch) {
@@ -104,29 +166,67 @@ Status RecordStore::Apply(const WriteBatch& batch) {
     return Status::IOError("record store: injected write failure");
   }
   if (batch.empty()) return Status::OK();
-  BIOPERA_RETURN_IF_ERROR(wal_->Append(batch.payload()));
-  BIOPERA_RETURN_IF_ERROR(ApplyToImage(batch));
+  if (scope_depth_ > 0) {
+    // Group commit: the image is updated now (read-your-writes) while the
+    // payload rides in the pending group, written as one WAL record at
+    // the next flush barrier.
+    BIOPERA_RETURN_IF_ERROR(ApplyPayloadToImage(batch.payload()));
+    pending_ += batch.payload();
+    ++pending_commits_;
+  } else {
+    BIOPERA_RETURN_IF_ERROR(wal_->Append(batch.payload()));
+    live_wal_bytes_ += batch.payload().size() + kWalRecordHeaderBytes;
+    if (flushes_metric_ != nullptr) flushes_metric_->Increment();
+    BIOPERA_RETURN_IF_ERROR(ApplyPayloadToImage(batch.payload()));
+  }
   ++commits_;
   if (obs_ != nullptr) {
     commits_metric_->Increment();
     ops_metric_->Increment(batch.num_ops());
     wal_bytes_metric_->Increment(batch.payload().size());
   }
+  if (scope_depth_ == 0) return MaybeAutoCheckpoint();
   return Status::OK();
+}
+
+Status RecordStore::Flush() {
+  if (pending_.empty()) return Status::OK();
+  BIOPERA_RETURN_IF_ERROR(wal_->Append(pending_));
+  live_wal_bytes_ += pending_.size() + kWalRecordHeaderBytes;
+  if (obs_ != nullptr) {
+    flushes_metric_->Increment();
+    coalesced_metric_->Increment(pending_commits_);
+  }
+  pending_.clear();  // keeps capacity: the buffer is reused
+  pending_commits_ = 0;
+  return Status::OK();
+}
+
+Status RecordStore::MaybeAutoCheckpoint() {
+  if (scope_depth_ > 0) return Status::OK();
+  bool due = (policy_.every_commits > 0 &&
+              commits_ - last_checkpoint_commits_ >= policy_.every_commits) ||
+             (policy_.wal_bytes > 0 && WalBytes() >= policy_.wal_bytes);
+  return due ? Checkpoint() : Status::OK();
 }
 
 void RecordStore::SetObservability(obs::Observability* obs) {
   obs_ = obs;
   if (obs_ == nullptr) {
-    commits_metric_ = ops_metric_ = wal_bytes_metric_ = checkpoints_metric_ =
-        nullptr;
+    commits_metric_ = ops_metric_ = wal_bytes_metric_ = flushes_metric_ =
+        coalesced_metric_ = checkpoints_metric_ = compactions_metric_ =
+            nullptr;
     checkpoint_bytes_metric_ = nullptr;
     return;
   }
   commits_metric_ = obs_->metrics.GetCounter("store_commits_total");
   ops_metric_ = obs_->metrics.GetCounter("store_ops_total");
   wal_bytes_metric_ = obs_->metrics.GetCounter("store_wal_bytes_total");
+  flushes_metric_ = obs_->metrics.GetCounter("store_wal_flushes_total");
+  coalesced_metric_ = obs_->metrics.GetCounter("store_group_commits_total");
   checkpoints_metric_ = obs_->metrics.GetCounter("store_checkpoints_total");
+  compactions_metric_ =
+      obs_->metrics.GetCounter("store_checkpoint_compactions_total");
   // Snapshot sizes span bytes to hundreds of MB: 1 KiB x4 buckets.
   obs::HistogramOptions bytes_buckets;
   bytes_buckets.first_bound = 1024;
@@ -147,28 +247,79 @@ Status RecordStore::Delete(std::string_view table, std::string_view key) {
   return Apply(batch);
 }
 
-Status RecordStore::ApplyToImage(const WriteBatch& batch) {
-  BIOPERA_ASSIGN_OR_RETURN(std::vector<WriteBatch::Op> ops, batch.Ops());
-  for (auto& op : ops) {
-    if (op.is_put) {
-      tables_[op.table][op.key] = std::move(op.value);
-    } else {
-      auto it = tables_.find(op.table);
-      if (it != tables_.end()) it->second.erase(op.key);
+Status RecordStore::ApplyPayloadToImage(std::string_view payload) {
+  std::string_view v = payload;
+  // Seed from the cross-call cache: consecutive commits (and consecutive
+  // WAL records during replay) overwhelmingly touch the same table, so
+  // this skips the tables_ lookup and the dirty-set check entirely.
+  Table* table = cached_table_;
+  std::string_view table_name = cached_table_name_;
+  while (!v.empty()) {
+    char tag = v.front();
+    v.remove_prefix(1);
+    const bool is_put = (tag == kOpPut);
+    if (!is_put && tag != kOpDelete) {
+      return Status::Corruption("write batch: bad op tag");
     }
+    std::string_view t, key, value;
+    if (!GetLengthPrefixed(&v, &t) || !GetLengthPrefixed(&v, &key)) {
+      return Status::Corruption("write batch: truncated op");
+    }
+    if (is_put && !GetLengthPrefixed(&v, &value)) {
+      return Status::Corruption("write batch: truncated value");
+    }
+    // Engine batches touch one table many times in a row; cache the
+    // resolved table across ops. `table` stays null for deletes in a
+    // table that does not exist (until a put creates it).
+    if (t != table_name || (table == nullptr && is_put)) {
+      table_name = t;
+      auto it = tables_.find(t);
+      if (it == tables_.end() && is_put) {
+        it = tables_.try_emplace(std::string(t)).first;
+        // Fresh tables get a generous bucket array up front: WAL replay
+        // and first population insert thousands of records, and the
+        // incremental rehashes (each recomputing every key's hash)
+        // otherwise dominate. ~128 KiB per table, and stores hold a
+        // handful of tables.
+        it->second.reserve(16384);
+      }
+      table = it == tables_.end() ? nullptr : &it->second;
+      if (table != nullptr && !dirty_tables_.contains(t)) {
+        dirty_tables_.insert(std::string(t));
+      }
+    }
+    if (table == nullptr) continue;  // delete in a nonexistent table
+    if (is_put) {
+      auto it = table->find(key);
+      if (it != table->end()) {
+        it->second.assign(value);
+      } else {
+        table->emplace(std::string(key), std::string(value));
+      }
+    } else {
+      auto it = table->find(key);
+      if (it != table->end()) table->erase(it);
+    }
+  }
+  if (table != nullptr) {
+    // Remember the resolved table for the next call. Invariant: a cached
+    // table is already in dirty_tables_ (Checkpoint resets the cache when
+    // it clears the dirty set).
+    cached_table_ = table;
+    cached_table_name_.assign(table_name);
   }
   return Status::OK();
 }
 
 Result<std::string> RecordStore::Get(std::string_view table,
                                      std::string_view key) const {
-  auto t = tables_.find(std::string(table));
+  auto t = tables_.find(table);
   if (t == tables_.end()) {
     return Status::NotFound(StrFormat("no table '%.*s'",
                                       static_cast<int>(table.size()),
                                       table.data()));
   }
-  auto r = t->second.find(std::string(key));
+  auto r = t->second.find(key);
   if (r == t->second.end()) {
     return Status::NotFound(StrFormat("no key '%.*s'",
                                       static_cast<int>(key.size()),
@@ -179,44 +330,61 @@ Result<std::string> RecordStore::Get(std::string_view table,
 
 bool RecordStore::Contains(std::string_view table,
                            std::string_view key) const {
-  auto t = tables_.find(std::string(table));
-  return t != tables_.end() && t->second.contains(std::string(key));
+  auto t = tables_.find(table);
+  return t != tables_.end() && t->second.contains(key);
 }
 
 std::vector<std::pair<std::string, std::string>> RecordStore::Scan(
     std::string_view table, std::string_view prefix) const {
   std::vector<std::pair<std::string, std::string>> out;
-  auto t = tables_.find(std::string(table));
+  auto t = tables_.find(table);
   if (t == tables_.end()) return out;
-  auto it = t->second.lower_bound(std::string(prefix));
-  for (; it != t->second.end(); ++it) {
-    if (!StartsWith(it->first, prefix)) break;
-    out.emplace_back(it->first, it->second);
+  for (const auto& [key, value] : t->second) {
+    if (StartsWith(key, prefix)) out.emplace_back(key, value);
   }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   return out;
 }
 
 size_t RecordStore::TableSize(std::string_view table) const {
-  auto t = tables_.find(std::string(table));
+  auto t = tables_.find(table);
   return t == tables_.end() ? 0 : t->second.size();
 }
 
-std::string RecordStore::SerializeImage() const {
+std::string RecordStore::SerializeTables(bool dirty_only,
+                                         size_t* table_count) const {
   std::string out;
-  PutVarint64(&out, tables_.size());
+  size_t count = 0;
   for (const auto& [name, records] : tables_) {
+    if (dirty_only && !dirty_tables_.contains(name)) continue;
+    ++count;
+  }
+  // A dirty table that became empty is still serialized: on load it
+  // replaces the stale table wholesale, so deleted records cannot
+  // resurrect from an older segment.
+  PutVarint64(&out, count);
+  for (const auto& [name, records] : tables_) {
+    if (dirty_only && !dirty_tables_.contains(name)) continue;
     PutLengthPrefixed(&out, name);
     PutVarint64(&out, records.size());
-    for (const auto& [key, value] : records) {
-      PutLengthPrefixed(&out, key);
-      PutLengthPrefixed(&out, value);
+    // Hash-map iteration order is arbitrary; sort so that logically equal
+    // stores always serialize to identical bytes.
+    std::vector<const std::pair<const std::string, std::string>*> sorted;
+    sorted.reserve(records.size());
+    for (const auto& record : records) sorted.push_back(&record);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto* a, const auto* b) { return a->first < b->first; });
+    for (const auto* record : sorted) {
+      PutLengthPrefixed(&out, record->first);
+      PutLengthPrefixed(&out, record->second);
     }
   }
+  if (table_count != nullptr) *table_count = count;
   return out;
 }
 
-Status RecordStore::LoadImage(std::string_view payload) {
-  tables_.clear();
+Status RecordStore::LoadImageSegment(std::string_view payload) {
   std::string_view v = payload;
   uint64_t num_tables;
   if (!GetVarint64(&v, &num_tables)) {
@@ -228,37 +396,111 @@ Status RecordStore::LoadImage(std::string_view payload) {
     if (!GetLengthPrefixed(&v, &name) || !GetVarint64(&v, &n)) {
       return Status::Corruption("image: bad table header");
     }
-    auto& table = tables_[std::string(name)];
+    // Each segment entry replaces the table wholesale.
+    auto it = tables_.find(name);
+    if (it == tables_.end()) {
+      it = tables_.try_emplace(std::string(name)).first;
+    } else {
+      it->second.clear();
+    }
+    Table& table = it->second;
+    // CRC-checked self-written file, but clamp the pre-size anyway.
+    table.reserve(static_cast<size_t>(std::min<uint64_t>(n, 1u << 20)));
     for (uint64_t k = 0; k < n; ++k) {
       std::string_view key, value;
       if (!GetLengthPrefixed(&v, &key) || !GetLengthPrefixed(&v, &value)) {
         return Status::Corruption("image: bad record");
       }
-      table.emplace(std::string(key), std::string(value));
+      table.insert_or_assign(std::string(key), std::string(value));
     }
   }
   if (!v.empty()) return Status::Corruption("image: trailing bytes");
   return Status::OK();
 }
 
+Status RecordStore::LoadManifest(std::string_view payload) {
+  std::string_view v = payload;
+  uint64_t count;
+  if (!GetVarint64(&v, &count)) {
+    return Status::Corruption("manifest: bad segment count");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string_view name;
+    if (!GetLengthPrefixed(&v, &name) || name.empty()) {
+      return Status::Corruption("manifest: bad segment name");
+    }
+    BIOPERA_ASSIGN_OR_RETURN(std::string segment,
+                             ReadSnapshot(dir_ + "/" + std::string(name)));
+    BIOPERA_RETURN_IF_ERROR(LoadImageSegment(segment));
+    manifest_.emplace_back(name);
+    unsigned long long seq = 0;
+    if (std::sscanf(std::string(name).c_str(), "seg_%llu.dat", &seq) == 1) {
+      next_segment_seq_ =
+          std::max(next_segment_seq_, static_cast<uint64_t>(seq) + 1);
+    }
+  }
+  if (!v.empty()) return Status::Corruption("manifest: trailing bytes");
+  return Status::OK();
+}
+
+Status RecordStore::WriteManifest() {
+  std::string payload;
+  PutVarint64(&payload, manifest_.size());
+  for (const std::string& name : manifest_) {
+    PutLengthPrefixed(&payload, name);
+  }
+  return WriteSnapshot(ManifestPath(), payload);
+}
+
 Status RecordStore::Checkpoint() {
   if (fail_writes_) {
     return Status::IOError("record store: injected write failure");
   }
-  uint64_t wal_trimmed = WalBytes();
-  std::string image = SerializeImage();
-  BIOPERA_RETURN_IF_ERROR(WriteSnapshot(SnapshotPath(), image));
+  BIOPERA_RETURN_IF_ERROR(Flush());
+  if (dirty_tables_.empty() && live_wal_bytes_ == 0) {
+    return Status::OK();  // nothing changed since the last checkpoint
+  }
+  uint64_t wal_trimmed = live_wal_bytes_;
+  const bool compact = manifest_.size() >= policy_.compact_after_segments;
+  size_t table_count = 0;
+  std::string image = SerializeTables(/*dirty_only=*/!compact, &table_count);
+  std::string name = StrFormat(
+      "seg_%06llu.dat", static_cast<unsigned long long>(next_segment_seq_));
+  BIOPERA_RETURN_IF_ERROR(WriteSnapshot(dir_ + "/" + name, image));
+  ++next_segment_seq_;
+  std::vector<std::string> obsolete;
+  if (compact) {
+    obsolete = std::move(manifest_);
+    manifest_.clear();
+  }
+  manifest_.push_back(name);
+  BIOPERA_RETURN_IF_ERROR(WriteManifest());
+  if (compact) {
+    // The manifest no longer references them; prune best-effort.
+    for (const std::string& old : obsolete) {
+      std::remove((dir_ + "/" + old).c_str());
+    }
+  }
   // Truncate the WAL: close, remove, reopen empty. Safe because the
-  // snapshot now covers everything the WAL contained.
+  // snapshot chain now covers everything the WAL contained.
   wal_.reset();
   std::remove(WalPath().c_str());
   BIOPERA_ASSIGN_OR_RETURN(wal_, WalWriter::Open(WalPath()));
+  live_wal_bytes_ = 0;
+  dirty_tables_.clear();
+  // The cache's invariant (cached table is dirty) no longer holds.
+  cached_table_ = nullptr;
+  cached_table_name_.clear();
+  last_checkpoint_commits_ = commits_;
   if (obs_ != nullptr) {
     checkpoints_metric_->Increment();
+    if (compact) compactions_metric_->Increment();
     checkpoint_bytes_metric_->Observe(static_cast<double>(image.size()));
     obs_->trace.Emit(
         obs::EventType::kCheckpointTaken, "", "", "",
         {{"bytes", StrFormat("%zu", image.size())},
+         {"kind", compact ? "full" : "delta"},
+         {"tables", StrFormat("%zu", table_count)},
          {"wal_trimmed",
           StrFormat("%llu", static_cast<unsigned long long>(wal_trimmed))},
          {"commits",
@@ -268,14 +510,13 @@ Status RecordStore::Checkpoint() {
 }
 
 uint64_t RecordStore::WalBytes() const {
-  std::error_code ec;
-  uint64_t size = std::filesystem::file_size(WalPath(), ec);
-  return ec ? 0 : size;
+  return live_wal_bytes_ + pending_.size();
 }
 
 std::string RecordStore::WalPath() const { return dir_ + "/wal.log"; }
 std::string RecordStore::SnapshotPath() const {
-  return dir_ + "/snapshot.dat";
+  return dir_ + "/" + kLegacySnapshotFile;
 }
+std::string RecordStore::ManifestPath() const { return dir_ + "/MANIFEST"; }
 
 }  // namespace biopera

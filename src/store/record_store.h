@@ -3,7 +3,9 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -25,7 +27,9 @@ class WriteBatch {
   bool empty() const { return num_ops_ == 0; }
   void Clear();
 
-  /// Wire form appended to the WAL.
+  /// Wire form appended to the WAL. Concatenating payloads yields another
+  /// valid payload — which is what lets a commit group of many batches
+  /// travel as a single WAL record.
   const std::string& payload() const { return payload_; }
 
   /// Parses a wire-form batch (as read back from the WAL).
@@ -51,18 +55,62 @@ class WriteBatch {
 /// configuration, and history spaces: every navigator state transition is
 /// committed here before it takes effect, which is what makes month-long
 /// processes recoverable (paper §3.2).
+///
+/// Commit pipeline (docs/STORE.md):
+///  - Outside a CommitScope, every Apply() is one WAL append + flush.
+///  - Inside a CommitScope, Apply() updates the image immediately
+///    (read-your-writes) but coalesces the payloads; the whole group is
+///    written as one WAL record at the next flush barrier — Flush(),
+///    Checkpoint(), or the outermost scope's end. A group is one record,
+///    so it remains crash-atomic.
+///  - Checkpoints are incremental: only tables dirtied since the last
+///    checkpoint are serialized into a delta segment listed in a
+///    manifest; a periodic compaction rewrites everything into one
+///    segment. Legacy single-snapshot directories still open.
 class RecordStore {
  public:
-  /// Opens (or creates) a store rooted at directory `dir`: loads the most
-  /// recent snapshot, then replays the WAL. A torn WAL tail from a crash is
-  /// silently discarded.
+  /// Checkpoint cadence, enforced by the store itself after each commit
+  /// or commit group (so non-engine commits cannot skew it).
+  struct CheckpointPolicy {
+    /// Checkpoint once the live WAL (flushed + pending) exceeds this many
+    /// bytes. 0 disables the size trigger.
+    uint64_t wal_bytes = 4ull << 20;
+    /// Legacy cadence: checkpoint after this many commits since the last
+    /// checkpoint. 0 disables.
+    uint64_t every_commits = 0;
+    /// Rewrite all tables into one full segment once the manifest holds
+    /// this many segments.
+    size_t compact_after_segments = 8;
+  };
+
+  /// RAII commit group. Scopes nest; the WAL flush happens when the
+  /// outermost scope ends (flush failures are logged — the image already
+  /// holds the group, and the next barrier retries the append). A null
+  /// store makes the scope a no-op, so call sites can make grouping
+  /// conditional.
+  class CommitScope {
+   public:
+    explicit CommitScope(RecordStore* store);
+    ~CommitScope();
+    CommitScope(const CommitScope&) = delete;
+    CommitScope& operator=(const CommitScope&) = delete;
+
+   private:
+    RecordStore* store_;
+  };
+
+  /// Opens (or creates) a store rooted at directory `dir`: loads the
+  /// snapshot chain (manifest segments, or the legacy single snapshot),
+  /// then replays the WAL. A torn WAL tail from a crash is silently
+  /// discarded.
   static Result<std::unique_ptr<RecordStore>> Open(const std::string& dir);
 
+  ~RecordStore();
   RecordStore(const RecordStore&) = delete;
   RecordStore& operator=(const RecordStore&) = delete;
 
-  /// Atomically applies `batch`: appends to the WAL, then updates the
-  /// in-memory image.
+  /// Atomically applies `batch`: appends to the WAL (or the pending
+  /// commit group), then updates the in-memory image.
   Status Apply(const WriteBatch& batch);
 
   /// Convenience single-record writes.
@@ -80,10 +128,23 @@ class RecordStore {
 
   size_t TableSize(std::string_view table) const;
 
-  /// Writes a snapshot of the current image and truncates the WAL.
+  /// Flush barrier: forces the pending commit group (if any) to the WAL
+  /// as one record. Must be (and is) called before any externally visible
+  /// action — job dispatch, console reply, checkpoint.
+  Status Flush();
+
+  /// Writes the tables dirtied since the last checkpoint into a delta
+  /// segment (or compacts everything into a full segment), updates the
+  /// manifest, and truncates the WAL. A no-op when nothing changed.
   Status Checkpoint();
 
-  /// Size of the live WAL in bytes (0 right after a checkpoint).
+  void SetCheckpointPolicy(const CheckpointPolicy& policy) {
+    policy_ = policy;
+  }
+  const CheckpointPolicy& checkpoint_policy() const { return policy_; }
+
+  /// Size of the live WAL in bytes, including the not-yet-flushed commit
+  /// group (0 right after a checkpoint).
   uint64_t WalBytes() const;
   uint64_t CommitCount() const { return commits_; }
 
@@ -91,34 +152,79 @@ class RecordStore {
   /// without writing, emulating a full or failed disk under the server.
   void SetFailWrites(bool fail) { fail_writes_ = fail; }
 
-  /// Attaches an observability context: commits, ops and WAL bytes feed
-  /// counters, checkpoints feed a size histogram and a trace event.
-  /// nullptr detaches.
+  /// Attaches an observability context: commits, ops, WAL bytes and
+  /// flushes feed counters, checkpoints feed a size histogram and a trace
+  /// event. nullptr detaches.
   void SetObservability(obs::Observability* obs);
 
   const std::string& dir() const { return dir_; }
 
  private:
+  /// Transparent hashing so lookups take a string_view without building a
+  /// temporary std::string.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  /// The in-memory image of one table is a hash map: the commit path pays
+  /// O(1) per record instead of a pointer-chasing tree walk. Ordered views
+  /// (Scan, checkpoint serialization) sort on demand — they are off the
+  /// hot path, and sorting keeps their output deterministic.
+  using Table = std::unordered_map<std::string, std::string, StringHash,
+                                   std::equal_to<>>;
+
   explicit RecordStore(std::string dir) : dir_(std::move(dir)) {}
 
-  Status ApplyToImage(const WriteBatch& batch);
-  std::string SerializeImage() const;
-  Status LoadImage(std::string_view payload);
+  /// Single-pass decode-and-apply of a batch payload (no Op
+  /// materialization); marks touched tables dirty.
+  Status ApplyPayloadToImage(std::string_view payload);
+  Status MaybeAutoCheckpoint();
+  /// Serializes either the dirty tables or all of them (compaction).
+  std::string SerializeTables(bool dirty_only, size_t* table_count) const;
+  /// Merges one snapshot segment: each table in the payload replaces the
+  /// in-memory table of the same name wholesale.
+  Status LoadImageSegment(std::string_view payload);
+  Status LoadManifest(std::string_view payload);
+  Status WriteManifest();
   std::string WalPath() const;
   std::string SnapshotPath() const;
+  std::string ManifestPath() const;
 
   std::string dir_;
-  std::map<std::string, std::map<std::string, std::string>> tables_;
+  std::map<std::string, Table, std::less<>> tables_;  // node-stable
+  // Cross-call cache of the last table ApplyPayloadToImage resolved.
+  // Non-null only while that table is in dirty_tables_. Pointer stability
+  // comes from tables_ being node-based.
+  Table* cached_table_ = nullptr;
+  std::string cached_table_name_;
   std::unique_ptr<WalWriter> wal_;
   uint64_t commits_ = 0;
   bool fail_writes_ = false;
+
+  // Incremental-checkpoint state.
+  CheckpointPolicy policy_;
+  std::set<std::string, std::less<>> dirty_tables_;
+  std::vector<std::string> manifest_;  // segment files, in apply order
+  uint64_t next_segment_seq_ = 1;
+  uint64_t last_checkpoint_commits_ = 0;
+
+  // Group-commit state.
+  int scope_depth_ = 0;
+  std::string pending_;  // concatenated payloads of the open group
+  uint64_t pending_commits_ = 0;
+  uint64_t live_wal_bytes_ = 0;  // flushed bytes in the current WAL file
 
   // Resolved metric handles (null without an Observability context).
   obs::Observability* obs_ = nullptr;
   obs::Counter* commits_metric_ = nullptr;
   obs::Counter* ops_metric_ = nullptr;
   obs::Counter* wal_bytes_metric_ = nullptr;
+  obs::Counter* flushes_metric_ = nullptr;
+  obs::Counter* coalesced_metric_ = nullptr;
   obs::Counter* checkpoints_metric_ = nullptr;
+  obs::Counter* compactions_metric_ = nullptr;
   obs::Histogram* checkpoint_bytes_metric_ = nullptr;
 };
 

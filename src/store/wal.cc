@@ -39,44 +39,62 @@ Status WalWriter::Append(std::string_view payload) {
   return Status::OK();
 }
 
-Result<WalReadResult> ReadWal(const std::string& path) {
-  WalReadResult out;
+Status ReadWalInto(const std::string& path,
+                   const std::function<Status(std::string_view)>& fn,
+                   bool* truncated_tail) {
+  if (truncated_tail != nullptr) *truncated_tail = false;
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
-    if (errno == ENOENT) return out;  // fresh store
+    if (errno == ENOENT) return Status::OK();  // fresh store
     return Status::IOError(
         StrFormat("open wal %s: %s", path.c_str(), std::strerror(errno)));
   }
-  while (true) {
-    unsigned char header[8];
-    size_t got = std::fread(header, 1, sizeof(header), f);
-    if (got == 0) break;  // clean EOF
-    if (got < sizeof(header)) {
-      out.truncated_tail = true;
-      break;
-    }
-    std::string_view hv(reinterpret_cast<const char*>(header),
-                        sizeof(header));
-    uint32_t crc = 0, len = 0;
-    GetFixed32(&hv, &crc);
-    GetFixed32(&hv, &len);
-    // Sanity cap: a single record over 256 MiB indicates corruption.
-    if (len > (256u << 20)) {
-      out.truncated_tail = true;
-      break;
-    }
-    std::string payload(len, '\0');
-    if (std::fread(payload.data(), 1, len, f) != len) {
-      out.truncated_tail = true;
-      break;
-    }
-    if (Crc32c(payload) != crc) {
-      out.truncated_tail = true;
-      break;
-    }
-    out.records.push_back(std::move(payload));
+  // Slurp the whole log into one buffer and frame it in memory: the WAL is
+  // bounded by the checkpoint policy, and replay then costs zero syscalls
+  // and zero allocations per record.
+  std::string buffer;
+  char chunk[1 << 16];
+  size_t got;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    buffer.append(chunk, got);
   }
+  bool read_error = std::ferror(f) != 0;
   std::fclose(f);
+  if (read_error) {
+    return Status::IOError(StrFormat("read wal %s", path.c_str()));
+  }
+  std::string_view v = buffer;
+  while (!v.empty()) {
+    uint32_t crc = 0, len = 0;
+    std::string_view record;
+    // A short header, short payload, oversized length (a single record
+    // over 256 MiB indicates corruption) or CRC mismatch all mean a torn
+    // tail: everything before it is valid, the rest is discarded.
+    if (!GetFixed32(&v, &crc) || !GetFixed32(&v, &len) ||
+        len > (256u << 20) || v.size() < len) {
+      if (truncated_tail != nullptr) *truncated_tail = true;
+      break;
+    }
+    record = v.substr(0, len);
+    v.remove_prefix(len);
+    if (Crc32c(record) != crc) {
+      if (truncated_tail != nullptr) *truncated_tail = true;
+      break;
+    }
+    BIOPERA_RETURN_IF_ERROR(fn(record));
+  }
+  return Status::OK();
+}
+
+Result<WalReadResult> ReadWal(const std::string& path) {
+  WalReadResult out;
+  BIOPERA_RETURN_IF_ERROR(ReadWalInto(
+      path,
+      [&out](std::string_view record) {
+        out.records.emplace_back(record);
+        return Status::OK();
+      },
+      &out.truncated_tail));
   return out;
 }
 

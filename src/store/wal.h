@@ -2,6 +2,7 @@
 #define BIOPERA_STORE_WAL_H_
 
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -49,6 +50,15 @@ struct WalReadResult {
   bool truncated_tail = false;
 };
 Result<WalReadResult> ReadWal(const std::string& path);
+
+/// Streaming variant of ReadWal for the recovery hot path: the file is
+/// read into one reusable buffer and each valid record is handed to `fn`
+/// as a view into it — no per-record allocation. `fn` returning an error
+/// aborts the read with that error. `truncated_tail` (optional) reports
+/// whether a torn/corrupt tail was discarded.
+Status ReadWalInto(const std::string& path,
+                   const std::function<Status(std::string_view)>& fn,
+                   bool* truncated_tail = nullptr);
 
 }  // namespace biopera
 

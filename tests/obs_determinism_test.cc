@@ -27,6 +27,7 @@ using ocr::Value;
 struct RunExports {
   std::string trace_jsonl;
   std::string metrics_json;
+  std::string store_state;  // serialized instance + history tables
   uint64_t dispatched = 0;
   uint64_t completed = 0;
   uint64_t failed = 0;
@@ -43,7 +44,7 @@ uint64_t CounterValue(const obs::MetricsSnapshot& snap,
 /// with a node crash mid-run (task failures), a server crash plus recovery
 /// (WAL replay re-queues work) and frequent checkpoints. Every disturbance
 /// is scheduled at a fixed virtual time, so the run is fully deterministic.
-RunExports RunScriptedChaos(uint64_t seed) {
+RunExports RunScriptedChaos(uint64_t seed, bool group_commit = true) {
   Rng data_rng(seed);
   darwin::GeneratorOptions gen;
   gen.num_sequences = 400;
@@ -66,6 +67,7 @@ RunExports RunScriptedChaos(uint64_t seed) {
   EngineOptions options;
   options.dispatch_retry = Duration::Minutes(1);
   options.checkpoint_every_commits = 25;
+  options.group_commit = group_commit;
   options.observability = &obs;
   Engine engine(&sim, &cluster, store.get(), &registry, options);
   EXPECT_TRUE(engine.Startup().ok());
@@ -122,6 +124,16 @@ RunExports RunScriptedChaos(uint64_t seed) {
             InstanceState::kDone);
 
   RunExports out;
+  for (const char* table : {"instance", "history"}) {
+    for (const auto& [k, v] : store->Scan(table)) {
+      out.store_state += table;
+      out.store_state += '/';
+      out.store_state += k;
+      out.store_state += '=';
+      out.store_state += v;
+      out.store_state += '\n';
+    }
+  }
   out.trace_jsonl = obs.trace.ExportJsonl();
   obs::MetricsSnapshot snap = obs.metrics.Snapshot();
   out.metrics_json = snap.ToJson();
@@ -153,6 +165,63 @@ TEST(ObsDeterminismTest, EngineCountersReflectTheChaoticLifecycle) {
   // Every completion stems from a dispatch (retries mean dispatched can
   // exceed completions, never the reverse).
   EXPECT_GE(run.dispatched, run.completed);
+}
+
+/// Strips checkpoint_taken events: checkpoint cadence is the one thing
+/// group commit legitimately shifts (the every-N-commits trigger fires at
+/// a flush barrier instead of mid-group), so those lines may differ while
+/// the execution itself must not. The per-event sequence numbers go too —
+/// dropping lines shifts them without changing the event stream.
+std::string WithoutCheckpointEvents(const std::string& jsonl) {
+  std::string out;
+  size_t pos = 0;
+  while (pos < jsonl.size()) {
+    size_t end = jsonl.find('\n', pos);
+    if (end == std::string::npos) end = jsonl.size();
+    std::string_view line(jsonl.data() + pos, end - pos);
+    pos = end + 1;
+    if (line.empty() ||
+        line.find("\"type\":\"checkpoint_taken\"") != std::string_view::npos) {
+      continue;
+    }
+    size_t seq = line.find("\"seq\":");
+    size_t comma = seq == std::string_view::npos ? seq : line.find(',', seq);
+    if (comma != std::string_view::npos) {
+      out.append(line.substr(0, seq));
+      out.append(line.substr(comma + 1));
+    } else {
+      out.append(line);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+TEST(ObsDeterminismTest, GroupCommitDoesNotChangeExecution) {
+  RunExports grouped = RunScriptedChaos(7, /*group_commit=*/true);
+  RunExports ungrouped = RunScriptedChaos(7, /*group_commit=*/false);
+  // Group commit is a durability batching strategy: the persisted state
+  // and the engine-visible execution must be byte-identical with it on or
+  // off, through node crashes, a server crash, and WAL-replay recovery.
+  EXPECT_EQ(grouped.store_state, ungrouped.store_state);
+  EXPECT_FALSE(grouped.store_state.empty());
+  EXPECT_EQ(WithoutCheckpointEvents(grouped.trace_jsonl),
+            WithoutCheckpointEvents(ungrouped.trace_jsonl));
+  EXPECT_EQ(grouped.dispatched, ungrouped.dispatched);
+  EXPECT_EQ(grouped.completed, ungrouped.completed);
+  EXPECT_EQ(grouped.failed, ungrouped.failed);
+  EXPECT_EQ(grouped.recovered, ungrouped.recovered);
+}
+
+TEST(ObsDeterminismTest, StoreMetricsAreExported) {
+  RunExports run = RunScriptedChaos(7);
+  for (const char* metric :
+       {"store_commits_total", "store_wal_flushes_total",
+        "store_group_commits_total", "store_checkpoints_total",
+        "store_checkpoint_compactions_total", "store_checkpoint_bytes"}) {
+    EXPECT_NE(run.metrics_json.find(metric), std::string::npos)
+        << "missing metric " << metric;
+  }
 }
 
 TEST(ObsDeterminismTest, TraceContainsTheScriptedEvents) {

@@ -4,7 +4,9 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 
+#include "common/strings.h"
 #include "store/codec.h"
 #include "store/record_store.h"
 #include "store/snapshot.h"
@@ -462,6 +464,381 @@ TEST(SpacesTest, HistorySequenceSurvivesReopen) {
   Spaces spaces(store.get());
   ASSERT_OK(spaces.AppendHistory("a", "two"));
   EXPECT_EQ(spaces.History("a"), (std::vector<std::string>{"one", "two"}));
+}
+
+// --- Binary Value codec ----------------------------------------------------
+
+ocr::Value SampleValue() {
+  ocr::Value::Map m;
+  m["null"] = ocr::Value();
+  m["yes"] = ocr::Value(true);
+  m["no"] = ocr::Value(false);
+  m["small"] = ocr::Value(int64_t{-7});
+  m["big"] = ocr::Value(int64_t{1} << 62);
+  m["min"] = ocr::Value(std::numeric_limits<int64_t>::min());
+  m["tenth"] = ocr::Value(0.1);  // not representable in decimal text
+  m["huge"] = ocr::Value(-1.5e300);
+  m["text"] = ocr::Value(std::string("embedded \x01 and \0 bytes", 22));
+  ocr::Value::List l;
+  l.push_back(ocr::Value(m));
+  l.push_back(ocr::Value("tail"));
+  return ocr::Value(std::move(l));
+}
+
+TEST(BinaryValueCodecTest, RoundTripsEveryType) {
+  ocr::Value original = SampleValue();
+  std::string buf;
+  EncodeValue(original, &buf);
+  std::string_view v = buf;
+  ocr::Value decoded;
+  ASSERT_TRUE(DecodeValue(&v, &decoded));
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(decoded, original);
+}
+
+TEST(BinaryValueCodecTest, DoublesRoundTripBitExactly) {
+  // The text form loses precision on these; the binary form must not.
+  for (double d : {0.1, 1.0 / 3.0, 5e-324, 1.7976931348623157e308}) {
+    std::string buf;
+    EncodeValue(ocr::Value(d), &buf);
+    std::string_view v = buf;
+    ocr::Value decoded;
+    ASSERT_TRUE(DecodeValue(&v, &decoded));
+    EXPECT_EQ(decoded.AsDouble(), d);
+  }
+}
+
+TEST(BinaryValueCodecTest, EveryTruncationFailsCleanly) {
+  // The encoding is self-delimiting, so every strict prefix must be
+  // rejected — and must never crash or hang.
+  std::string buf;
+  EncodeValue(SampleValue(), &buf);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    std::string_view v = std::string_view(buf).substr(0, cut);
+    ocr::Value decoded;
+    EXPECT_FALSE(DecodeValue(&v, &decoded)) << "prefix length " << cut;
+  }
+}
+
+TEST(BinaryValueCodecTest, HostileBytesFailCleanly) {
+  // Bad tag.
+  std::string bad_tag = "\x7f";
+  std::string_view v = bad_tag;
+  ocr::Value out;
+  EXPECT_FALSE(DecodeValue(&v, &out));
+  // A list claiming 2^60 elements must fail when the input runs out, not
+  // allocate up front.
+  std::string huge_list;
+  huge_list.push_back(6);  // list tag
+  PutVarint64(&huge_list, uint64_t{1} << 60);
+  v = huge_list;
+  EXPECT_FALSE(DecodeValue(&v, &out));
+  // Same for a map, and for a string whose length exceeds the buffer.
+  std::string huge_map;
+  huge_map.push_back(7);  // map tag
+  PutVarint64(&huge_map, uint64_t{1} << 60);
+  v = huge_map;
+  EXPECT_FALSE(DecodeValue(&v, &out));
+  std::string long_string;
+  long_string.push_back(5);  // string tag
+  PutVarint64(&long_string, 1000000);
+  long_string += "short";
+  v = long_string;
+  EXPECT_FALSE(DecodeValue(&v, &out));
+}
+
+TEST(BinaryValueCodecTest, NestingDeeperThanCapIsRejected) {
+  // 100 nested single-element lists around a null: decode must stop at
+  // kMaxValueDepth instead of recursing to a stack overflow.
+  std::string buf;
+  for (int i = 0; i < 100; ++i) {
+    buf.push_back(6);  // list tag
+    PutVarint64(&buf, 1);
+  }
+  buf.push_back(0);  // innermost null
+  std::string_view v = buf;
+  ocr::Value out;
+  EXPECT_FALSE(DecodeValue(&v, &out));
+  // At the cap itself, decoding succeeds.
+  std::string ok;
+  for (int i = 0; i < kMaxValueDepth; ++i) {
+    ok.push_back(6);
+    PutVarint64(&ok, 1);
+  }
+  ok.push_back(0);
+  v = ok;
+  EXPECT_TRUE(DecodeValue(&v, &out));
+}
+
+TEST(BinaryValueCodecTest, RecordMarkerFramesBinaryAndTextCoexist) {
+  ocr::Value original = SampleValue();
+  std::string record = EncodeValueRecord(original);
+  ASSERT_FALSE(record.empty());
+  EXPECT_EQ(record.front(), kBinaryValueMarker);
+  ASSERT_OK_AND_ASSIGN(ocr::Value decoded, DecodeValueRecord(record));
+  EXPECT_EQ(decoded, original);
+
+  // A legacy text record (what pre-binary stores hold) still decodes.
+  ocr::Value simple = ocr::Value(int64_t{42});
+  ASSERT_OK_AND_ASSIGN(ocr::Value from_text,
+                       DecodeValueRecord(simple.ToText()));
+  EXPECT_EQ(from_text, simple);
+
+  // A marker followed by garbage is corruption, not a crash.
+  EXPECT_FALSE(DecodeValueRecord("\x01\x7fgarbage").ok());
+  // Trailing bytes after a valid value are corruption too.
+  std::string padded = record + "x";
+  EXPECT_FALSE(DecodeValueRecord(padded).ok());
+}
+
+// --- WriteBatch hostile payloads -------------------------------------------
+
+TEST(WriteBatchTest, FromPayloadTruncationSweep) {
+  WriteBatch batch;
+  batch.Put("instance", "task/1", "running");
+  batch.Delete("instance", "task/0");
+  batch.Put("history", "a/000001", "note");
+  const std::string payload = batch.payload();
+  size_t valid_prefixes = 0;
+  for (size_t cut = 0; cut <= payload.size(); ++cut) {
+    Result<WriteBatch> r =
+        WriteBatch::FromPayload(std::string_view(payload).substr(0, cut));
+    if (r.ok()) ++valid_prefixes;
+  }
+  // Only the op boundaries parse: empty, after op 1, after op 2, and the
+  // full payload. Every other cut must fail cleanly.
+  EXPECT_EQ(valid_prefixes, 4u);
+}
+
+TEST(WriteBatchTest, FromPayloadHostileBytes) {
+  // Bad op tag.
+  EXPECT_FALSE(WriteBatch::FromPayload("\x09").ok());
+  // Truncated varint (continuation bit set, no next byte).
+  std::string trunc;
+  trunc.push_back(1);     // put tag
+  trunc.push_back('\x85');  // varint with continuation, then EOF
+  EXPECT_FALSE(WriteBatch::FromPayload(trunc).ok());
+  // Length prefix larger than the remaining buffer.
+  std::string overrun;
+  overrun.push_back(1);
+  PutVarint64(&overrun, 1000000);
+  overrun += "tbl";
+  EXPECT_FALSE(WriteBatch::FromPayload(overrun).ok());
+  // All-0xff fuzz-ish input.
+  EXPECT_FALSE(WriteBatch::FromPayload(std::string(64, '\xff')).ok());
+}
+
+// --- Group commit ----------------------------------------------------------
+
+size_t WalRecordCount(const std::string& dir) {
+  auto read = ReadWal(dir + "/wal.log");
+  return read.ok() ? read->records.size() : 0;
+}
+
+std::string SlurpFile(const std::string& path) {
+  std::string out;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return out;
+  char buf[65536];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+void DumpFile(const std::string& path, std::string_view data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+}
+
+TEST(RecordStoreTest, GroupCommitCoalescesIntoOneWalRecord) {
+  testing::TempDir dir;
+  ASSERT_OK_AND_ASSIGN(auto store, RecordStore::Open(dir.path()));
+  {
+    RecordStore::CommitScope group(store.get());
+    ASSERT_OK(store->Put("instance", "a", "1"));
+    ASSERT_OK(store->Put("instance", "b", "2"));
+    ASSERT_OK(store->Delete("instance", "a"));
+    // Read-your-writes inside the open group.
+    EXPECT_FALSE(store->Contains("instance", "a"));
+    ASSERT_OK_AND_ASSIGN(std::string v, store->Get("instance", "b"));
+    EXPECT_EQ(v, "2");
+    // Nothing on disk yet, but WalBytes counts the pending group.
+    EXPECT_EQ(WalRecordCount(dir.path()), 0u);
+    EXPECT_GT(store->WalBytes(), 0u);
+  }
+  // The whole group became exactly one WAL record.
+  EXPECT_EQ(WalRecordCount(dir.path()), 1u);
+}
+
+TEST(RecordStoreTest, NestedScopesFlushOnceAtOutermostEnd) {
+  testing::TempDir dir;
+  ASSERT_OK_AND_ASSIGN(auto store, RecordStore::Open(dir.path()));
+  {
+    RecordStore::CommitScope outer(store.get());
+    ASSERT_OK(store->Put("t", "k1", "v1"));
+    {
+      RecordStore::CommitScope inner(store.get());
+      ASSERT_OK(store->Put("t", "k2", "v2"));
+    }
+    // The inner scope must not flush while the outer one is open.
+    EXPECT_EQ(WalRecordCount(dir.path()), 0u);
+  }
+  EXPECT_EQ(WalRecordCount(dir.path()), 1u);
+}
+
+TEST(RecordStoreTest, NullStoreScopeIsANoop) {
+  RecordStore::CommitScope scope(nullptr);  // must not crash
+}
+
+TEST(RecordStoreTest, ExplicitFlushActsAsBarrierInsideScope) {
+  testing::TempDir dir;
+  ASSERT_OK_AND_ASSIGN(auto store, RecordStore::Open(dir.path()));
+  RecordStore::CommitScope group(store.get());
+  ASSERT_OK(store->Put("t", "k", "v"));
+  ASSERT_OK(store->Flush());
+  // The barrier made the pending group durable even though the scope is
+  // still open (this is what runs before a job dispatch).
+  EXPECT_EQ(WalRecordCount(dir.path()), 1u);
+  ASSERT_OK(store->Put("t", "k2", "v2"));
+}
+
+TEST(RecordStoreTest, GroupIsAtomicAtEveryWalTruncation) {
+  testing::TempDir dir;
+  {
+    ASSERT_OK_AND_ASSIGN(auto store, RecordStore::Open(dir.path()));
+    RecordStore::CommitScope group(store.get());
+    ASSERT_OK(store->Put("t", "a", "1"));
+    ASSERT_OK(store->Put("t", "b", "2"));
+    ASSERT_OK(store->Put("t", "c", "3"));
+  }
+  std::string wal = SlurpFile(dir.path() + "/wal.log");
+  ASSERT_FALSE(wal.empty());
+  // However the tail is torn, the group is all-or-nothing: recovery sees
+  // either every commit in the group or none of them.
+  for (size_t cut = 0; cut <= wal.size(); ++cut) {
+    testing::TempDir copy;
+    DumpFile(copy.path() + "/wal.log", std::string_view(wal).substr(0, cut));
+    ASSERT_OK_AND_ASSIGN(auto reopened, RecordStore::Open(copy.path()));
+    size_t present = reopened->TableSize("t");
+    EXPECT_TRUE(present == 0 || present == 3) << "cut=" << cut;
+  }
+}
+
+// --- Incremental checkpoints -----------------------------------------------
+
+TEST(RecordStoreTest, IncrementalCheckpointWritesDeltaSegments) {
+  testing::TempDir dir;
+  ASSERT_OK_AND_ASSIGN(auto store, RecordStore::Open(dir.path()));
+  ASSERT_OK(store->Put("alpha", "a", "1"));
+  ASSERT_OK(store->Checkpoint());
+  ASSERT_OK(store->Put("beta", "b", "2"));
+  ASSERT_OK(store->Checkpoint());
+  EXPECT_TRUE(
+      std::filesystem::exists(std::string(dir.path()) + "/MANIFEST"));
+  EXPECT_TRUE(std::filesystem::exists(std::string(dir.path()) +
+                                      "/seg_000001.dat"));
+  std::string seg2 = SlurpFile(dir.path() + "/seg_000002.dat");
+  ASSERT_FALSE(seg2.empty());
+  // The second segment is a delta: it carries the table dirtied after the
+  // first checkpoint, not the quiescent one.
+  EXPECT_NE(seg2.find("beta"), std::string::npos);
+  EXPECT_EQ(seg2.find("alpha"), std::string::npos);
+
+  ASSERT_OK_AND_ASSIGN(auto reopened, RecordStore::Open(dir.path()));
+  EXPECT_TRUE(reopened->Contains("alpha", "a"));
+  EXPECT_TRUE(reopened->Contains("beta", "b"));
+}
+
+TEST(RecordStoreTest, CheckpointIsNoopWhenNothingChanged) {
+  testing::TempDir dir;
+  ASSERT_OK_AND_ASSIGN(auto store, RecordStore::Open(dir.path()));
+  ASSERT_OK(store->Put("t", "k", "v"));
+  ASSERT_OK(store->Checkpoint());
+  ASSERT_OK(store->Checkpoint());  // nothing dirty: no new segment
+  EXPECT_FALSE(std::filesystem::exists(std::string(dir.path()) +
+                                       "/seg_000002.dat"));
+}
+
+TEST(RecordStoreTest, CompactionFoldsSegmentsAndPrunesFiles) {
+  testing::TempDir dir;
+  ASSERT_OK_AND_ASSIGN(auto store, RecordStore::Open(dir.path()));
+  RecordStore::CheckpointPolicy policy;
+  policy.wal_bytes = 0;
+  policy.compact_after_segments = 2;
+  store->SetCheckpointPolicy(policy);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_OK(store->Put("t", StrFormat("k%d", i), "v"));
+    ASSERT_OK(store->Checkpoint());
+  }
+  // The third checkpoint found two segments, so it compacted: one full
+  // segment remains and the older files are gone.
+  EXPECT_FALSE(std::filesystem::exists(std::string(dir.path()) +
+                                       "/seg_000001.dat"));
+  EXPECT_FALSE(std::filesystem::exists(std::string(dir.path()) +
+                                       "/seg_000002.dat"));
+  EXPECT_TRUE(std::filesystem::exists(std::string(dir.path()) +
+                                      "/seg_000003.dat"));
+  ASSERT_OK_AND_ASSIGN(auto reopened, RecordStore::Open(dir.path()));
+  EXPECT_EQ(reopened->TableSize("t"), 3u);
+}
+
+TEST(RecordStoreTest, EmptiedTableDoesNotResurrectFromOlderSegment) {
+  testing::TempDir dir;
+  {
+    ASSERT_OK_AND_ASSIGN(auto store, RecordStore::Open(dir.path()));
+    ASSERT_OK(store->Put("t", "k", "v"));
+    ASSERT_OK(store->Checkpoint());  // segment 1 holds t/k
+    ASSERT_OK(store->Delete("t", "k"));
+    ASSERT_OK(store->Checkpoint());  // delta must record t as emptied
+  }
+  ASSERT_OK_AND_ASSIGN(auto reopened, RecordStore::Open(dir.path()));
+  EXPECT_FALSE(reopened->Contains("t", "k"));
+}
+
+TEST(RecordStoreTest, LegacySingleSnapshotStoreOpens) {
+  // A pre-manifest store directory: snapshot.dat plus a WAL, no MANIFEST.
+  testing::TempDir dir;
+  std::string image;
+  PutVarint64(&image, 1);  // one table
+  PutLengthPrefixed(&image, "t");
+  PutVarint64(&image, 1);  // one record
+  PutLengthPrefixed(&image, "old_key");
+  PutLengthPrefixed(&image, "old_value");
+  ASSERT_OK(
+      WriteSnapshot(std::string(dir.path()) + "/snapshot.dat", image));
+  ASSERT_OK_AND_ASSIGN(auto store, RecordStore::Open(dir.path()));
+  ASSERT_OK_AND_ASSIGN(std::string v, store->Get("t", "old_key"));
+  EXPECT_EQ(v, "old_value");
+  // The first checkpoint migrates it into the manifest chain; the store
+  // reopens fine afterwards and keeps both old and new data.
+  ASSERT_OK(store->Put("t", "new_key", "new_value"));
+  ASSERT_OK(store->Checkpoint());
+  EXPECT_TRUE(
+      std::filesystem::exists(std::string(dir.path()) + "/MANIFEST"));
+  store.reset();
+  ASSERT_OK_AND_ASSIGN(auto reopened, RecordStore::Open(dir.path()));
+  EXPECT_TRUE(reopened->Contains("t", "old_key"));
+  EXPECT_TRUE(reopened->Contains("t", "new_key"));
+}
+
+TEST(RecordStoreTest, WalBytesPolicyTriggersCheckpoint) {
+  testing::TempDir dir;
+  ASSERT_OK_AND_ASSIGN(auto store, RecordStore::Open(dir.path()));
+  RecordStore::CheckpointPolicy policy;
+  policy.wal_bytes = 64;  // tiny: a couple of commits trip it
+  store->SetCheckpointPolicy(policy);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_OK(store->Put("t", StrFormat("key/%d", i),
+                         "a value long enough to cross the threshold"));
+  }
+  // The store checkpointed on its own (no engine involvement) and
+  // truncated the WAL back under the limit.
+  EXPECT_TRUE(
+      std::filesystem::exists(std::string(dir.path()) + "/MANIFEST"));
+  EXPECT_LT(store->WalBytes(), 64u);
 }
 
 TEST(SpacesTest, ConfigSpace) {
