@@ -60,8 +60,9 @@ std::string MakeTempDir() {
 }  // namespace
 
 BenchWorld::BenchWorld(const core::EngineOptions& options)
-    : store_dir(MakeTempDir()) {
-  auto opened = RecordStore::Open(store_dir);
+    : store_dir(MakeTempDir()),
+      fault_fs(std::make_unique<FaultFs>(Fs::Default())) {
+  auto opened = RecordStore::Open(store_dir, fault_fs.get());
   if (!opened.ok()) {
     std::fprintf(stderr, "store open failed: %s\n",
                  opened.status().ToString().c_str());

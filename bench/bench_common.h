@@ -13,6 +13,7 @@
 #include "core/engine.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
+#include "store/fs.h"
 #include "store/record_store.h"
 
 namespace biopera::bench {
@@ -52,6 +53,10 @@ struct BenchWorld {
   Simulator sim;
   std::string store_dir;
   obs::Observability obs;
+  /// The store runs behind a fault filesystem so scenarios can script
+  /// storage outages (e.g. a disk-full window) the way they script node
+  /// crashes. Declared before `store` so it outlives it.
+  std::unique_ptr<FaultFs> fault_fs;
   std::unique_ptr<RecordStore> store;
   std::unique_ptr<cluster::ClusterSim> cluster;
   core::ActivityRegistry registry;

@@ -133,15 +133,16 @@ ScenarioResult RunSharedClusterScenario(uint64_t seed) {
   sim->ScheduleAt(TimePoint::FromMicros(0) + Duration::Days(13) +
                       Duration::Hours(4),
                   [&] { engine->Startup(); });
-  // 5: the process runs out of disk space; nobody notices for a while,
-  //    activities fail and exhaust their retries.
-  inject.ScheduleAction(TimePoint::FromMicros(0) + Duration::Days(16),
-                        "5: disk space shortage",
-                        [&] { engine->SetStorageFailure(true); });
-  // 6: an operator fixes the storage and restarts the process.
+  // 5/6: the process runs out of disk space; nobody notices for 1.5 days,
+  //    then an operator fixes the storage and restarts the process. The
+  //    shortage is injected at the filesystem (ENOSPC on every write), so
+  //    the engine rides it out in degraded mode and resumes on its own;
+  //    the operator restart covers activities that failed under event 5.
+  inject.ScheduleDiskFullWindow(TimePoint::FromMicros(0) + Duration::Days(16),
+                                Duration::Days(1.5), world.fault_fs.get(),
+                                "5: disk space shortage");
   inject.ScheduleAction(TimePoint::FromMicros(0) + Duration::Days(17.5),
                         "6: storage fixed, process restarted", [&, id] {
-                          engine->SetStorageFailure(false);
                           engine->Restart(id);
                           ++manual;
                         });

@@ -1,6 +1,7 @@
 #include "cluster/failure.h"
 
 #include "common/logging.h"
+#include "store/fs.h"
 
 namespace biopera::cluster {
 
@@ -62,6 +63,19 @@ void FailureInjector::ScheduleAction(TimePoint at, const std::string& label,
   cluster_->sim()->ScheduleAt(at, [this, label, action = std::move(action)] {
     cluster_->Annotate(label);
     action();
+  });
+}
+
+void FailureInjector::ScheduleDiskFullWindow(TimePoint at, Duration duration,
+                                             FaultFs* fault_fs,
+                                             const std::string& label) {
+  Simulator* sim = cluster_->sim();
+  sim->ScheduleAt(at, [this, fault_fs, label] {
+    cluster_->Annotate(label);
+    fault_fs->SetDiskFull(true);
+  });
+  sim->ScheduleAt(at + duration, [this, fault_fs] {
+    fault_fs->SetDiskFull(false);
   });
 }
 

@@ -8,6 +8,10 @@
 #include "cluster/cluster.h"
 #include "common/rng.h"
 
+namespace biopera {
+class FaultFs;
+}
+
 namespace biopera::cluster {
 
 /// Schedules environment events against a ClusterSim: scripted (exact
@@ -35,6 +39,12 @@ class FailureInjector {
   /// Arbitrary scripted action with a trace annotation.
   void ScheduleAction(TimePoint at, const std::string& label,
                       std::function<void()> action);
+  /// Storage outage: the fault filesystem reports ENOSPC for every
+  /// space-consuming operation during [at, at + duration). Models the
+  /// paper's month-long run losing its database disk without losing the
+  /// computation — the engine rides it out in degraded mode.
+  void ScheduleDiskFullWindow(TimePoint at, Duration duration,
+                              FaultFs* fault_fs, const std::string& label);
 
   // --- Random failures ------------------------------------------------------
   /// Starts a Poisson process of node crashes: mean time between failures

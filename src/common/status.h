@@ -96,6 +96,9 @@ class Status {
     return code_ == StatusCode::kInvalidArgument;
   }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }

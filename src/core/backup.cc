@@ -41,7 +41,10 @@ void BackupServer::Beat() {
   if (!promoted_ && primary_ != nullptr && !primary_->IsUp()) {
     // Take over: construct a fresh engine over the shared spaces (its
     // constructor re-registers as the cluster listener, so PEC reports
-    // flow to the standby) and run the standard recovery.
+    // flow to the standby) and run the standard recovery. Startup bumps
+    // the writer epoch in the configuration space, which fences the old
+    // primary: if it was merely partitioned rather than dead, its next
+    // commit is rejected with a stale-epoch error and it steps down.
     BIOPERA_LOG(kInfo) << "backup server taking over";
     standby_ = std::make_unique<Engine>(sim_, cluster_, store_, registry_,
                                         options_);
@@ -52,6 +55,8 @@ void BackupServer::Beat() {
       // The primary's listener registration was clobbered by the failed
       // standby's constructor/destructor; it is down anyway.
     } else {
+      BIOPERA_LOG(kInfo) << "backup promoted with writer epoch "
+                         << standby_->writer_epoch();
       promoted_ = true;
       promoted_at_ = sim_->Now();
       watching_ = false;  // one takeover per standby

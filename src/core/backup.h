@@ -17,6 +17,12 @@ namespace biopera::core {
 /// is — the design's whole point) and runs the standard recovery path.
 /// Processes continue from their last committed transition; the takeover
 /// latency is bounded by the heartbeat interval plus recovery time.
+///
+/// Promotion also *fences* the replaced primary: Engine::Startup acquires
+/// a fresh writer epoch (persisted in the configuration space) and the
+/// store rejects commits stamped with any older epoch. A primary that was
+/// only presumed dead therefore cannot corrupt the spaces after takeover —
+/// its first commit fails with a stale-epoch error and it steps down.
 class BackupServer {
  public:
   /// The standby shares the primary's simulator, cluster, store and

@@ -38,7 +38,7 @@ constexpr char kHelp[] = R"(commands:
   STATUS <id> | HISTORY <id> [n] | WB <id> <var> | LINEAGE <id> <var>
   WHATIF <node> [node...]
   TASKS <id> | ETA <id>
-  METRICS | TRACE <id|*> [n] | TIMELINE <node|*>
+  METRICS | TRACE <id|*> [n] | TIMELINE <node|*> | SCRUB
   SUSPEND <id> | RESUME <id> | ABORT <id> | RESTART <id>
   RAISE <id> <event> | INVALIDATE <id> <task> | ARCHIVE <id>
 )";
@@ -206,6 +206,10 @@ Result<std::string> AdminConsole::Execute(const std::string& line) {
       out += rec.ToJson() + "\n";
     }
     return out.empty() ? std::string("(no matching trace events)\n") : out;
+  }
+
+  if (command == "SCRUB") {
+    return engine_->ScrubStore();
   }
 
   if (command == "TIMELINE") {

@@ -229,6 +229,11 @@ Engine::Engine(Simulator* sim, cluster::ClusterSim* cluster,
     timed_out_metric_ = obs->metrics.GetCounter("engine_jobs_timed_out_total");
     migrations_metric_ = obs->metrics.GetCounter("engine_migrations_total");
     recovered_metric_ = obs->metrics.GetCounter("engine_recovered_tasks_total");
+    degraded_total_metric_ =
+        obs->metrics.GetCounter("engine_store_degraded_total");
+    degraded_retries_metric_ =
+        obs->metrics.GetCounter("engine_store_degraded_retries_total");
+    degraded_gauge_ = obs->metrics.GetGauge("engine_store_degraded");
     queue_depth_gauge_ = obs->metrics.GetGauge("engine_ready_queue_depth");
     running_jobs_gauge_ = obs->metrics.GetGauge("engine_running_jobs");
     // Task costs span seconds to days: 1s x4 buckets.
@@ -255,6 +260,7 @@ void Engine::SyncObsGauges() {
 Engine::~Engine() {
   // Another engine (a promoted backup) may have registered after us.
   if (cluster_->listener() == this) cluster_->SetListener(nullptr);
+  spaces_.store()->ClearFlushFailureHandler(this);
 }
 
 Status Engine::Startup() {
@@ -264,6 +270,16 @@ Status Engine::Startup() {
   BIOPERA_RETURN_IF_ERROR(policy.status());
   policy_ = std::move(*policy);
   up_ = true;
+  degraded_ = false;
+  if (degraded_event_ != kInvalidEventId) {
+    sim_->Cancel(degraded_event_);
+    degraded_event_ = kInvalidEventId;
+  }
+  // Claim write ownership of the store: any engine still holding an older
+  // epoch (a partitioned primary after a backup takeover) is fenced off.
+  spaces_.set_epoch(spaces_.store()->AcquireWriterEpoch());
+  spaces_.store()->SetFlushFailureHandler(
+      this, [this](const Status& cause) { OnStoreFlushFailure(cause); });
   // Startup writes many config records and recovery markers; group them
   // into one WAL record.
   RecordStore::CommitScope commit_group(GroupTarget());
@@ -338,7 +354,129 @@ void Engine::Crash() {
     pump_event_ = kInvalidEventId;
   }
   pump_scheduled_ = false;
+  degraded_ = false;
+  if (degraded_gauge_ != nullptr) degraded_gauge_->Set(0);
+  if (degraded_event_ != kInvalidEventId) {
+    sim_->Cancel(degraded_event_);
+    degraded_event_ = kInvalidEventId;
+  }
+  spaces_.store()->ClearFlushFailureHandler(this);
   SyncObsGauges();
+}
+
+// ---------------------------------------------------------------------------
+// Degraded mode & fencing
+// ---------------------------------------------------------------------------
+
+void Engine::OnStoreFlushFailure(const Status& cause) {
+  if (MaybeHandleFenced(cause)) return;
+  if (cause.IsIOError()) EnterDegraded(cause);
+}
+
+void Engine::EnterDegraded(const Status& cause) {
+  if (!up_ || degraded_) return;
+  degraded_ = true;
+  degraded_backoff_ = options_.degraded_retry_initial;
+  BIOPERA_LOG(kWarning) << "store degraded, dispatch suspended: "
+                        << cause.ToString();
+  if (degraded_gauge_ != nullptr) {
+    degraded_gauge_->Set(1);
+    degraded_total_metric_->Increment();
+  }
+  if (options_.observability != nullptr) {
+    options_.observability->trace.Emit(obs::EventType::kStoreDegraded, "", "",
+                                       "", {{"reason", cause.ToString()}});
+  }
+  ScheduleDegradedRetry();
+}
+
+void Engine::ScheduleDegradedRetry() {
+  degraded_event_ = sim_->ScheduleDaemon(degraded_backoff_,
+                                         [this] { RetryDegradedCommit(); });
+}
+
+void Engine::RetryDegradedCommit() {
+  degraded_event_ = kInvalidEventId;
+  if (!up_ || !degraded_) return;
+  if (degraded_retries_metric_ != nullptr) {
+    degraded_retries_metric_->Increment();
+  }
+  RecordStore* store = spaces_.store();
+  // First land the retained commit group, then prove the disk accepts
+  // fresh writes with a probe record (a direct WAL append).
+  Status st = store->Flush();
+  if (st.ok()) {
+    st = spaces_.PutConfig("store/last_recovery_probe",
+                           StrFormat("%.0f", sim_->Now().SinceEpoch().ToSeconds()));
+  }
+  if (MaybeHandleFenced(st)) return;
+  if (!st.ok()) {
+    degraded_backoff_ =
+        std::min(degraded_backoff_ * 2, options_.degraded_retry_max);
+    ScheduleDegradedRetry();
+    return;
+  }
+  degraded_ = false;
+  if (degraded_gauge_ != nullptr) degraded_gauge_->Set(0);
+  if (options_.observability != nullptr) {
+    options_.observability->trace.Emit(obs::EventType::kStoreRecovered, "",
+                                       "", "", {});
+  }
+  BIOPERA_LOG(kInfo) << "store writes succeed again; resuming dispatch";
+  PumpDispatch();
+}
+
+bool Engine::MaybeHandleFenced(const Status& st) {
+  if (!RecordStore::IsFenced(st)) return false;
+  if (!up_ || fenced_pending_) return true;
+  // Step down outside the failing call stack: callers may still hold
+  // pointers into the state TearDownFenced clears.
+  fenced_pending_ = true;
+  sim_->ScheduleDaemon(Duration::Seconds(0), [this] {
+    fenced_pending_ = false;
+    TearDownFenced();
+  });
+  return true;
+}
+
+void Engine::TearDownFenced() {
+  if (!up_) return;
+  BIOPERA_LOG(kWarning) << "writer epoch " << spaces_.epoch()
+                        << " fenced: another server took over; stepping down";
+  if (options_.observability != nullptr) {
+    options_.observability->trace.Emit(
+        obs::EventType::kServerFenced, "", "", "",
+        {{"stale_epoch", StrFormat("%llu", static_cast<unsigned long long>(
+                                               spaces_.epoch()))}});
+  }
+  up_ = false;
+  degraded_ = false;
+  if (degraded_event_ != kInvalidEventId) {
+    sim_->Cancel(degraded_event_);
+    degraded_event_ = kInvalidEventId;
+  }
+  // Unlike Crash(), do NOT kill cluster jobs: the engine that fenced us
+  // owns them now (it registered as the cluster listener when it booted).
+  monitors_.clear();
+  instances_.clear();
+  ready_queue_.clear();
+  jobs_.clear();
+  awareness_ = monitor::AwarenessModel();
+  policy_.reset();
+  if (pump_event_ != kInvalidEventId) {
+    sim_->Cancel(pump_event_);
+    pump_event_ = kInvalidEventId;
+  }
+  pump_scheduled_ = false;
+  spaces_.store()->ClearFlushFailureHandler(this);
+  SyncObsGauges();
+}
+
+Result<std::string> Engine::ScrubStore() {
+  if (!up_) return Status::Unavailable("server is down");
+  BIOPERA_ASSIGN_OR_RETURN(RecordStore::ScrubReport report,
+                           spaces_.store()->Scrub());
+  return report.ToText();
 }
 
 // ---------------------------------------------------------------------------
@@ -348,7 +486,11 @@ void Engine::Crash() {
 Status Engine::RegisterTemplate(const ProcessDef& def) {
   BIOPERA_RETURN_IF_ERROR(ocr::ValidateProcess(def));
   RecordStore::CommitScope commit_group(GroupTarget());
-  BIOPERA_RETURN_IF_ERROR(spaces_.PutTemplate(def.name, ocr::PrintOcr(def)));
+  if (Status st = spaces_.PutTemplate(def.name, ocr::PrintOcr(def));
+      !st.ok()) {
+    MaybeHandleFenced(st);
+    return st;
+  }
   // Retire (but keep alive) any cached parse: existing instances hold
   // pointers into it; new activations late-bind to the fresh text.
   auto it = template_cache_.find(def.name);
@@ -1261,7 +1403,7 @@ void Engine::SchedulePumpRetry() {
 }
 
 void Engine::PumpDispatch() {
-  if (!up_) return;
+  if (!up_ || degraded_) return;  // degraded: no dispatch until writes heal
   // One commit group per pump: state transitions for all entries handled
   // in this pass coalesce into (at most) a few WAL records, bounded by
   // the pre-dispatch flush barriers below.
@@ -1342,8 +1484,20 @@ void Engine::PumpDispatch() {
       if (!flush_status.ok()) {
         BIOPERA_LOG(kError) << "pre-dispatch flush failed: "
                             << flush_status.ToString();
-        starved = true;
         keep.push_back(std::move(entry));
+        if (MaybeHandleFenced(flush_status)) return;  // stepping down
+        if (flush_status.IsIOError()) {
+          // Stop dispatching entirely: the store is degraded. The entries
+          // (and their cached results) stay queued; the degraded retry
+          // pumps again once writes succeed.
+          EnterDegraded(flush_status);
+          while (!ready_queue_.empty()) {
+            keep.push_back(std::move(ready_queue_.front()));
+            ready_queue_.pop_front();
+          }
+          break;
+        }
+        starved = true;
         continue;
       }
     }
@@ -1579,6 +1733,14 @@ void Engine::OnJobFinished(cluster::JobId id, const std::string& node_name) {
   if (!st.ok()) {
     BIOPERA_LOG(kError) << "completion failed for " << pending.path << ": "
                         << st.ToString();
+    if (RecordStore::IsFenced(st)) return;  // step-down already scheduled
+    if (st.IsIOError()) {
+      // A disk error does not fail the instance: the completed transition
+      // is already in the image (group mode) and the degraded-mode retry
+      // makes it durable once the disk heals.
+      EnterDegraded(st);
+      return;
+    }
     inst->set_state(InstanceState::kFailed);
     EmitInstanceState(inst);
   }
@@ -1691,7 +1853,11 @@ Status Engine::Commit(WriteBatch* batch) {
   if (batch->empty()) return Status::OK();
   // Checkpoint cadence is the store's job now (CheckpointPolicy, forwarded
   // in the constructor), so a commit is just an apply.
-  BIOPERA_RETURN_IF_ERROR(spaces_.Apply(*batch));
+  Status st = spaces_.Apply(*batch);
+  if (!st.ok()) {
+    if (!MaybeHandleFenced(st) && st.IsIOError()) EnterDegraded(st);
+    return st;
+  }
   batch->Clear();
   return Status::OK();
 }
@@ -1705,7 +1871,7 @@ void Engine::AppendHistory(const std::string& instance_id,
   std::string line =
       StrFormat("[%s] %s", sim_->Now().ToString().c_str(), event.c_str());
   Status st = spaces_.AppendHistory(instance_id, line);
-  if (!st.ok()) {
+  if (!st.ok() && !MaybeHandleFenced(st)) {
     BIOPERA_LOG(kWarning) << "history append failed: " << st.ToString();
   }
 }

@@ -55,6 +55,11 @@ struct EngineOptions {
   /// restart. 0 disables the watchdog.
   double job_timeout_factor = 0;
   Duration job_timeout_slack = Duration::Hours(1);
+  /// Degraded-mode retry backoff (store IOError survival): the first
+  /// retry of the failed commit fires after `degraded_retry_initial`,
+  /// doubling up to `degraded_retry_max` until the disk accepts writes.
+  Duration degraded_retry_initial = Duration::Seconds(1);
+  Duration degraded_retry_max = Duration::Minutes(5);
   monitor::AdaptiveMonitorOptions monitor_options;
   /// Deterministic seed for engine-internal randomness (random policy).
   uint64_t seed = 1;
@@ -104,6 +109,22 @@ class Engine : public cluster::ClusterListener {
   /// are stopped"). Call Startup() to recover.
   void Crash();
   bool IsUp() const { return up_; }
+
+  /// Degraded mode (paper Fig. 5, event 5): when a store flush fails with
+  /// an I/O error the engine stops dispatching, keeps its in-memory state,
+  /// and retries the commit with exponential backoff; dispatch resumes as
+  /// soon as a write goes through. Completed transitions are never lost —
+  /// they stay in the image and the retained commit group.
+  bool IsDegraded() const { return degraded_; }
+
+  /// The writer epoch this engine acquired at Startup (0 before). Another
+  /// engine starting on the same store acquires a newer epoch and this
+  /// one's commits are fenced off (split-brain protection).
+  uint64_t writer_epoch() const { return spaces_.epoch(); }
+
+  /// Runs the store self-check (console SCRUB): CRC-verifies segments and
+  /// WAL, quarantines corrupt segments, rebuilds from the live image.
+  Result<std::string> ScrubStore();
 
   // --- Template space ------------------------------------------------------
   /// Validates and stores a process definition (as OCR text).
@@ -209,8 +230,10 @@ class Engine : public cluster::ClusterListener {
   size_t QueueDepth() const { return ready_queue_.size(); }
 
   // --- Failure injection ------------------------------------------------------
-  /// While set, every activity execution fails with IOError — the Fig. 5
-  /// "disk space shortage" scenario (event 5).
+  /// While set, every activity execution fails with IOError. Legacy shim:
+  /// prefer FaultFs::SetDiskFull on the store's filesystem, which drives
+  /// the real commit path into degraded mode instead of failing
+  /// activities (the Fig. 5 "disk space shortage" is now modelled there).
   void SetStorageFailure(bool failing) { storage_failing_ = failing; }
 
   // --- ClusterListener -------------------------------------------------------
@@ -305,6 +328,23 @@ class Engine : public cluster::ClusterListener {
 
   Result<const ocr::ProcessDef*> ResolveTemplate(const std::string& name);
 
+  // -- Degraded mode & fencing --
+  /// Store flush failed at a commit barrier: decide between fencing
+  /// (another engine took over the store) and degraded mode (disk error).
+  void OnStoreFlushFailure(const Status& cause);
+  void EnterDegraded(const Status& cause);
+  void ScheduleDegradedRetry();
+  /// Backoff retry: flush the retained group and probe with a fresh
+  /// config write; on success leave degraded mode and resume dispatch.
+  void RetryDegradedCommit();
+  /// If `st` is the store's fencing rejection, schedules the engine's
+  /// step-down (at the current virtual time, outside the failing call
+  /// stack) and returns true.
+  bool MaybeHandleFenced(const Status& st);
+  /// Fenced step-down: drop in-memory state and stop, but do NOT kill
+  /// cluster jobs — they now belong to the engine that took over.
+  void TearDownFenced();
+
   // -- Observability --
   /// Emits kInstanceStateChanged for the instance's current state.
   void EmitInstanceState(const ProcessInstance* inst);
@@ -320,6 +360,10 @@ class Engine : public cluster::ClusterListener {
 
   bool up_ = false;
   bool storage_failing_ = false;
+  bool degraded_ = false;
+  bool fenced_pending_ = false;
+  Duration degraded_backoff_;
+  EventId degraded_event_ = kInvalidEventId;
   monitor::AwarenessModel awareness_;
   std::unique_ptr<sched::SchedulingPolicy> policy_;
   std::map<std::string, std::unique_ptr<monitor::AdaptiveMonitor>> monitors_;
@@ -345,6 +389,9 @@ class Engine : public cluster::ClusterListener {
   obs::Counter* timed_out_metric_ = nullptr;
   obs::Counter* migrations_metric_ = nullptr;
   obs::Counter* recovered_metric_ = nullptr;
+  obs::Counter* degraded_total_metric_ = nullptr;
+  obs::Counter* degraded_retries_metric_ = nullptr;
+  obs::Gauge* degraded_gauge_ = nullptr;
   obs::Gauge* queue_depth_gauge_ = nullptr;
   obs::Gauge* running_jobs_gauge_ = nullptr;
   obs::Histogram* task_cost_metric_ = nullptr;

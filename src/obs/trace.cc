@@ -24,6 +24,10 @@ constexpr struct {
     {EventType::kInstanceStateChanged, "instance_state_changed"},
     {EventType::kServerCrashed, "server_crashed"},
     {EventType::kServerStarted, "server_started"},
+    {EventType::kStoreDegraded, "store_degraded"},
+    {EventType::kStoreRecovered, "store_recovered"},
+    {EventType::kStoreScrubbed, "store_scrubbed"},
+    {EventType::kServerFenced, "server_fenced"},
     {EventType::kAnnotation, "annotation"},
 };
 

@@ -28,6 +28,10 @@ enum class EventType {
   kInstanceStateChanged,
   kServerCrashed,
   kServerStarted,
+  kStoreDegraded,
+  kStoreRecovered,
+  kStoreScrubbed,
+  kServerFenced,
   kAnnotation,
 };
 

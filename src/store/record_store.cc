@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <filesystem>
+#include <cstdlib>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -17,6 +17,8 @@ constexpr char kOpDelete = 2;
 // Per-record WAL framing overhead: crc32 + length (store/wal.cc).
 constexpr uint64_t kWalRecordHeaderBytes = 8;
 constexpr char kLegacySnapshotFile[] = "snapshot.dat";
+// Config-table key holding the current writer epoch (fencing token).
+constexpr char kWriterEpochKey[] = "server/writer_epoch";
 }  // namespace
 
 void WriteBatch::Put(std::string_view table, std::string_view key,
@@ -107,28 +109,28 @@ RecordStore::CommitScope::~CommitScope() {
   if (st.ok()) st = store_->MaybeAutoCheckpoint();
   if (!st.ok()) {
     BIOPERA_LOG(kError) << "commit group flush failed: " << st.ToString();
+    // The image still holds the group and pending_ retains its payload;
+    // give the engine a chance to stop dispatching and retry later.
+    if (store_->flush_failure_handler_) store_->flush_failure_handler_(st);
   }
 }
 
-Result<std::unique_ptr<RecordStore>> RecordStore::Open(
-    const std::string& dir) {
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec) {
-    return Status::IOError("create dir " + dir + ": " + ec.message());
-  }
-  auto store = std::unique_ptr<RecordStore>(new RecordStore(dir));
+Result<std::unique_ptr<RecordStore>> RecordStore::Open(const std::string& dir,
+                                                       Fs* fs) {
+  if (fs == nullptr) fs = Fs::Default();
+  BIOPERA_RETURN_IF_ERROR(fs->CreateDirs(dir));
+  auto store = std::unique_ptr<RecordStore>(new RecordStore(dir, fs));
 
   // 1. Load the snapshot chain: manifest segments if present, otherwise
   // a legacy single-snapshot directory (which joins the manifest as its
   // base segment at the next checkpoint).
-  Result<std::string> manifest = ReadSnapshot(store->ManifestPath());
+  Result<std::string> manifest = ReadSnapshot(store->ManifestPath(), fs);
   if (manifest.ok()) {
     BIOPERA_RETURN_IF_ERROR(store->LoadManifest(*manifest));
   } else if (!manifest.status().IsNotFound()) {
     return manifest.status();
   } else {
-    Result<std::string> snap = ReadSnapshot(store->SnapshotPath());
+    Result<std::string> snap = ReadSnapshot(store->SnapshotPath(), fs);
     if (snap.ok()) {
       BIOPERA_RETURN_IF_ERROR(store->LoadImageSegment(*snap));
       store->manifest_.push_back(kLegacySnapshotFile);
@@ -141,14 +143,23 @@ Result<std::unique_ptr<RecordStore>> RecordStore::Open(
   // place (replayed tables count as dirty — their records are not yet in
   // any segment).
   BIOPERA_RETURN_IF_ERROR(
-      ReadWalInto(store->WalPath(), [&store](std::string_view payload) {
-        return store->ApplyPayloadToImage(payload);
-      }));
+      ReadWalInto(
+          store->WalPath(),
+          [&store](std::string_view payload) {
+            return store->ApplyPayloadToImage(payload);
+          },
+          nullptr, fs));
 
-  // 3. Open the WAL for appending.
-  uint64_t wal_size = std::filesystem::file_size(store->WalPath(), ec);
-  store->live_wal_bytes_ = ec ? 0 : wal_size;
-  BIOPERA_ASSIGN_OR_RETURN(store->wal_, WalWriter::Open(store->WalPath()));
+  // 3. Restore the writer epoch persisted by the last fenced writer.
+  Result<std::string> epoch = store->Get("config", kWriterEpochKey);
+  if (epoch.ok()) {
+    store->fence_epoch_ = std::strtoull(epoch->c_str(), nullptr, 10);
+  }
+
+  // 4. Open the WAL for appending.
+  store->live_wal_bytes_ = fs->FileSize(store->WalPath()).value_or(0);
+  BIOPERA_ASSIGN_OR_RETURN(store->wal_,
+                           WalWriter::Open(store->WalPath(), fs));
   return store;
 }
 
@@ -161,7 +172,13 @@ RecordStore::~RecordStore() {
   }
 }
 
-Status RecordStore::Apply(const WriteBatch& batch) {
+Status RecordStore::Apply(const WriteBatch& batch, uint64_t epoch) {
+  if (epoch != 0 && epoch != fence_epoch_) {
+    return Status::FailedPrecondition(
+        StrFormat("store fenced: writer epoch %llu is stale (current %llu)",
+                  static_cast<unsigned long long>(epoch),
+                  static_cast<unsigned long long>(fence_epoch_)));
+  }
   if (fail_writes_) {
     return Status::IOError("record store: injected write failure");
   }
@@ -174,6 +191,7 @@ Status RecordStore::Apply(const WriteBatch& batch) {
     pending_ += batch.payload();
     ++pending_commits_;
   } else {
+    BIOPERA_RETURN_IF_ERROR(EnsureWal());
     BIOPERA_RETURN_IF_ERROR(wal_->Append(batch.payload()));
     live_wal_bytes_ += batch.payload().size() + kWalRecordHeaderBytes;
     if (flushes_metric_ != nullptr) flushes_metric_->Increment();
@@ -191,6 +209,7 @@ Status RecordStore::Apply(const WriteBatch& batch) {
 
 Status RecordStore::Flush() {
   if (pending_.empty()) return Status::OK();
+  BIOPERA_RETURN_IF_ERROR(EnsureWal());
   BIOPERA_RETURN_IF_ERROR(wal_->Append(pending_));
   live_wal_bytes_ += pending_.size() + kWalRecordHeaderBytes;
   if (obs_ != nullptr) {
@@ -215,7 +234,8 @@ void RecordStore::SetObservability(obs::Observability* obs) {
   if (obs_ == nullptr) {
     commits_metric_ = ops_metric_ = wal_bytes_metric_ = flushes_metric_ =
         coalesced_metric_ = checkpoints_metric_ = compactions_metric_ =
-            nullptr;
+            remove_failures_metric_ = scrub_runs_metric_ =
+                scrub_quarantined_metric_ = nullptr;
     checkpoint_bytes_metric_ = nullptr;
     return;
   }
@@ -227,6 +247,11 @@ void RecordStore::SetObservability(obs::Observability* obs) {
   checkpoints_metric_ = obs_->metrics.GetCounter("store_checkpoints_total");
   compactions_metric_ =
       obs_->metrics.GetCounter("store_checkpoint_compactions_total");
+  remove_failures_metric_ =
+      obs_->metrics.GetCounter("store_remove_failures_total");
+  scrub_runs_metric_ = obs_->metrics.GetCounter("store_scrub_runs_total");
+  scrub_quarantined_metric_ =
+      obs_->metrics.GetCounter("store_scrub_quarantined_total");
   // Snapshot sizes span bytes to hundreds of MB: 1 KiB x4 buckets.
   obs::HistogramOptions bytes_buckets;
   bytes_buckets.first_bound = 1024;
@@ -235,16 +260,49 @@ void RecordStore::SetObservability(obs::Observability* obs) {
 }
 
 Status RecordStore::Put(std::string_view table, std::string_view key,
-                        std::string_view value) {
+                        std::string_view value, uint64_t epoch) {
   WriteBatch batch;
   batch.Put(table, key, value);
-  return Apply(batch);
+  return Apply(batch, epoch);
 }
 
-Status RecordStore::Delete(std::string_view table, std::string_view key) {
+Status RecordStore::Delete(std::string_view table, std::string_view key,
+                           uint64_t epoch) {
   WriteBatch batch;
   batch.Delete(table, key);
-  return Apply(batch);
+  return Apply(batch, epoch);
+}
+
+uint64_t RecordStore::AcquireWriterEpoch() {
+  ++fence_epoch_;
+  Status st = Put("config", kWriterEpochKey,
+                  StrFormat("%llu", static_cast<unsigned long long>(
+                                        fence_epoch_)),
+                  fence_epoch_);
+  if (!st.ok()) {
+    // The fence is effective in memory regardless; durability catches up
+    // with the next successful commit.
+    BIOPERA_LOG(kWarning) << "writer epoch " << fence_epoch_
+                          << " not yet durable: " << st.ToString();
+  }
+  return fence_epoch_;
+}
+
+bool RecordStore::IsFenced(const Status& st) {
+  return st.IsFailedPrecondition() &&
+         st.message().find("store fenced") != std::string::npos;
+}
+
+void RecordStore::SetFlushFailureHandler(void* owner,
+                                         FlushFailureHandler handler) {
+  flush_failure_owner_ = owner;
+  flush_failure_handler_ = std::move(handler);
+}
+
+void RecordStore::ClearFlushFailureHandler(void* owner) {
+  if (flush_failure_owner_ != owner) return;  // a newer writer took over
+  flush_failure_owner_ = nullptr;
+  flush_failure_handler_ = nullptr;
 }
 
 Status RecordStore::ApplyPayloadToImage(std::string_view payload) {
@@ -429,8 +487,8 @@ Status RecordStore::LoadManifest(std::string_view payload) {
     if (!GetLengthPrefixed(&v, &name) || name.empty()) {
       return Status::Corruption("manifest: bad segment name");
     }
-    BIOPERA_ASSIGN_OR_RETURN(std::string segment,
-                             ReadSnapshot(dir_ + "/" + std::string(name)));
+    BIOPERA_ASSIGN_OR_RETURN(
+        std::string segment, ReadSnapshot(dir_ + "/" + std::string(name), fs_));
     BIOPERA_RETURN_IF_ERROR(LoadImageSegment(segment));
     manifest_.emplace_back(name);
     unsigned long long seq = 0;
@@ -449,24 +507,35 @@ Status RecordStore::WriteManifest() {
   for (const std::string& name : manifest_) {
     PutLengthPrefixed(&payload, name);
   }
-  return WriteSnapshot(ManifestPath(), payload);
+  return WriteSnapshot(ManifestPath(), payload, fs_);
 }
 
-Status RecordStore::Checkpoint() {
+Status RecordStore::EnsureWal() {
+  if (wal_ != nullptr) return Status::OK();
+  // A failed checkpoint can close the WAL and then fail to reopen it;
+  // recover here instead of crashing on the next append.
+  BIOPERA_ASSIGN_OR_RETURN(wal_, WalWriter::Open(WalPath(), fs_));
+  return Status::OK();
+}
+
+Status RecordStore::Checkpoint() { return CheckpointImpl(false); }
+
+Status RecordStore::CheckpointImpl(bool force_full) {
   if (fail_writes_) {
     return Status::IOError("record store: injected write failure");
   }
   BIOPERA_RETURN_IF_ERROR(Flush());
-  if (dirty_tables_.empty() && live_wal_bytes_ == 0) {
+  if (!force_full && dirty_tables_.empty() && live_wal_bytes_ == 0) {
     return Status::OK();  // nothing changed since the last checkpoint
   }
   uint64_t wal_trimmed = live_wal_bytes_;
-  const bool compact = manifest_.size() >= policy_.compact_after_segments;
+  const bool compact =
+      force_full || manifest_.size() >= policy_.compact_after_segments;
   size_t table_count = 0;
   std::string image = SerializeTables(/*dirty_only=*/!compact, &table_count);
   std::string name = StrFormat(
       "seg_%06llu.dat", static_cast<unsigned long long>(next_segment_seq_));
-  BIOPERA_RETURN_IF_ERROR(WriteSnapshot(dir_ + "/" + name, image));
+  BIOPERA_RETURN_IF_ERROR(WriteSnapshot(dir_ + "/" + name, image, fs_));
   ++next_segment_seq_;
   std::vector<std::string> obsolete;
   if (compact) {
@@ -476,17 +545,34 @@ Status RecordStore::Checkpoint() {
   manifest_.push_back(name);
   BIOPERA_RETURN_IF_ERROR(WriteManifest());
   if (compact) {
-    // The manifest no longer references them; prune best-effort.
+    // The manifest no longer references them; prune best-effort, but
+    // count and log what stays behind (an orphan segment wastes disk yet
+    // can never corrupt recovery — it is simply not in the manifest).
     for (const std::string& old : obsolete) {
-      std::remove((dir_ + "/" + old).c_str());
+      Status rm = fs_->Remove(dir_ + "/" + old);
+      if (!rm.ok()) {
+        if (remove_failures_metric_ != nullptr) {
+          remove_failures_metric_->Increment();
+        }
+        BIOPERA_LOG(kWarning)
+            << "compaction: pruning " << old << " failed: " << rm.ToString();
+      }
     }
   }
   // Truncate the WAL: close, remove, reopen empty. Safe because the
-  // snapshot chain now covers everything the WAL contained.
+  // snapshot chain now covers everything the WAL contained. A failed
+  // remove is surfaced: the stale WAL would replay over the new segments
+  // (harmless — replay is idempotent) but it grows without bound.
   wal_.reset();
-  std::remove(WalPath().c_str());
-  BIOPERA_ASSIGN_OR_RETURN(wal_, WalWriter::Open(WalPath()));
+  Status rm = fs_->Remove(WalPath());
+  if (!rm.ok()) {
+    if (remove_failures_metric_ != nullptr) {
+      remove_failures_metric_->Increment();
+    }
+    return rm;
+  }
   live_wal_bytes_ = 0;
+  BIOPERA_ASSIGN_OR_RETURN(wal_, WalWriter::Open(WalPath(), fs_));
   dirty_tables_.clear();
   // The cache's invariant (cached table is dirty) no longer holds.
   cached_table_ = nullptr;
@@ -507,6 +593,75 @@ Status RecordStore::Checkpoint() {
           StrFormat("%llu", static_cast<unsigned long long>(commits_))}});
   }
   return Status::OK();
+}
+
+std::string RecordStore::ScrubReport::ToText() const {
+  std::string out = StrFormat(
+      "scrub: %zu segment(s) checked, %zu quarantined; wal records=%llu%s\n",
+      segments_checked, quarantined.size(),
+      static_cast<unsigned long long>(wal_records),
+      wal_torn_tail ? " (torn tail discarded)" : "");
+  for (const std::string& name : quarantined) {
+    out += "  quarantined: " + name + " -> " + name + ".quarantined\n";
+  }
+  out += rebuilt ? "  store rebuilt from live image (full compaction)\n"
+                 : "  no damage found\n";
+  return out;
+}
+
+Result<RecordStore::ScrubReport> RecordStore::Scrub() {
+  ScrubReport report;
+  BIOPERA_RETURN_IF_ERROR(Flush());
+  bool torn = false;
+  uint64_t records = 0;
+  BIOPERA_RETURN_IF_ERROR(ReadWalInto(
+      WalPath(),
+      [&records](std::string_view) {
+        ++records;
+        return Status::OK();
+      },
+      &torn, fs_));
+  report.wal_records = records;
+  report.wal_torn_tail = torn;
+  bool damaged = torn;
+  std::vector<std::string> keep;
+  for (const std::string& name : manifest_) {
+    ++report.segments_checked;
+    Result<std::string> seg = ReadSnapshot(dir_ + "/" + name, fs_);
+    if (seg.ok()) {
+      keep.push_back(name);
+      continue;
+    }
+    damaged = true;
+    Status mv = fs_->Rename(dir_ + "/" + name,
+                            dir_ + "/" + name + ".quarantined");
+    if (!mv.ok()) {
+      BIOPERA_LOG(kWarning) << "scrub: quarantine of " << name
+                            << " failed: " << mv.ToString();
+    }
+    BIOPERA_LOG(kWarning) << "scrub: segment " << name << " corrupt ("
+                          << seg.status().ToString() << "), quarantined";
+    report.quarantined.push_back(name);
+  }
+  if (damaged) {
+    // The in-memory image is the authoritative survivor (the corrupt
+    // segment's records were applied when the store opened): rewrite the
+    // whole store from it so quarantining loses nothing on a live store.
+    manifest_ = std::move(keep);
+    BIOPERA_RETURN_IF_ERROR(CheckpointImpl(/*force_full=*/true));
+    report.rebuilt = true;
+  }
+  if (obs_ != nullptr) {
+    scrub_runs_metric_->Increment();
+    scrub_quarantined_metric_->Increment(report.quarantined.size());
+    obs_->trace.Emit(
+        obs::EventType::kStoreScrubbed, "", "", "",
+        {{"segments", StrFormat("%zu", report.segments_checked)},
+         {"quarantined", StrFormat("%zu", report.quarantined.size())},
+         {"torn_tail", torn ? "1" : "0"},
+         {"rebuilt", report.rebuilt ? "1" : "0"}});
+  }
+  return report;
 }
 
 uint64_t RecordStore::WalBytes() const {

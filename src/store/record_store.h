@@ -1,6 +1,7 @@
 #ifndef BIOPERA_STORE_RECORD_STORE_H_
 #define BIOPERA_STORE_RECORD_STORE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -11,6 +12,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "obs/trace.h"
+#include "store/fs.h"
 #include "store/wal.h"
 
 namespace biopera {
@@ -67,6 +69,10 @@ class WriteBatch {
 ///    checkpoint are serialized into a delta segment listed in a
 ///    manifest; a periodic compaction rewrites everything into one
 ///    segment. Legacy single-snapshot directories still open.
+///
+/// All disk I/O flows through an `Fs` (store/fs.h): production uses the
+/// real disk, tests interpose a FaultFs to inject torn writes, ENOSPC,
+/// and failed renames at named fault points.
 class RecordStore {
  public:
   /// Checkpoint cadence, enforced by the store itself after each commit
@@ -84,10 +90,10 @@ class RecordStore {
   };
 
   /// RAII commit group. Scopes nest; the WAL flush happens when the
-  /// outermost scope ends (flush failures are logged — the image already
-  /// holds the group, and the next barrier retries the append). A null
-  /// store makes the scope a no-op, so call sites can make grouping
-  /// conditional.
+  /// outermost scope ends (flush failures are logged and reported to the
+  /// flush-failure handler — the image already holds the group, and the
+  /// next barrier retries the append). A null store makes the scope a
+  /// no-op, so call sites can make grouping conditional.
   class CommitScope {
    public:
     explicit CommitScope(RecordStore* store);
@@ -99,24 +105,43 @@ class RecordStore {
     RecordStore* store_;
   };
 
+  /// What a Scrub() pass found (and did).
+  struct ScrubReport {
+    size_t segments_checked = 0;
+    /// Corrupt delta segments renamed aside to `<name>.quarantined`.
+    std::vector<std::string> quarantined;
+    uint64_t wal_records = 0;
+    bool wal_torn_tail = false;
+    /// True when damage was found and the durable state was rewritten
+    /// from the in-memory image (full compaction).
+    bool rebuilt = false;
+    std::string ToText() const;
+  };
+
   /// Opens (or creates) a store rooted at directory `dir`: loads the
   /// snapshot chain (manifest segments, or the legacy single snapshot),
   /// then replays the WAL. A torn WAL tail from a crash is silently
-  /// discarded.
-  static Result<std::unique_ptr<RecordStore>> Open(const std::string& dir);
+  /// discarded. `fs` defaults to the real disk and must outlive the
+  /// store.
+  static Result<std::unique_ptr<RecordStore>> Open(const std::string& dir,
+                                                   Fs* fs = nullptr);
 
   ~RecordStore();
   RecordStore(const RecordStore&) = delete;
   RecordStore& operator=(const RecordStore&) = delete;
 
   /// Atomically applies `batch`: appends to the WAL (or the pending
-  /// commit group), then updates the in-memory image.
-  Status Apply(const WriteBatch& batch);
+  /// commit group), then updates the in-memory image. `epoch` carries the
+  /// writer's fencing token: 0 means unfenced (direct store users), a
+  /// nonzero epoch must match the store's current writer epoch or the
+  /// commit is rejected with FailedPrecondition (see AcquireWriterEpoch).
+  Status Apply(const WriteBatch& batch, uint64_t epoch = 0);
 
   /// Convenience single-record writes.
   Status Put(std::string_view table, std::string_view key,
-             std::string_view value);
-  Status Delete(std::string_view table, std::string_view key);
+             std::string_view value, uint64_t epoch = 0);
+  Status Delete(std::string_view table, std::string_view key,
+                uint64_t epoch = 0);
 
   Result<std::string> Get(std::string_view table, std::string_view key) const;
   bool Contains(std::string_view table, std::string_view key) const;
@@ -138,6 +163,24 @@ class RecordStore {
   /// manifest, and truncates the WAL. A no-op when nothing changed.
   Status Checkpoint();
 
+  /// Store self-check: verifies every manifest segment and the WAL
+  /// against their checksums. Corrupt segments are quarantined (renamed
+  /// to `<name>.quarantined`), the valid WAL prefix is salvaged, and —
+  /// because the in-memory image still holds the full state — the store
+  /// is rebuilt on disk with a forced full compaction, so a live store
+  /// loses nothing. Flushes the pending group first.
+  Result<ScrubReport> Scrub();
+
+  /// Claims write ownership: bumps the persistent writer epoch and
+  /// returns the new value. Commits presenting any older nonzero epoch
+  /// are rejected from now on — this is what fences a partitioned-but-
+  /// alive primary after a backup server takes over.
+  uint64_t AcquireWriterEpoch();
+  uint64_t fence_epoch() const { return fence_epoch_; }
+
+  /// True iff `st` is the store's stale-writer-epoch rejection.
+  static bool IsFenced(const Status& st);
+
   void SetCheckpointPolicy(const CheckpointPolicy& policy) {
     policy_ = policy;
   }
@@ -150,7 +193,18 @@ class RecordStore {
 
   /// Test/failure-injection hook: when set, Apply fails with IOError
   /// without writing, emulating a full or failed disk under the server.
+  /// Prefer FaultFs::SetDiskFull, which exercises the real I/O path; this
+  /// remains as a thin shim for direct store tests.
   void SetFailWrites(bool fail) { fail_writes_ = fail; }
+
+  /// Called when a commit-group flush (or the auto-checkpoint after it)
+  /// fails at a scope boundary, where no caller sees the Status. The
+  /// engine hooks this to enter degraded mode. `owner` disambiguates
+  /// engines sharing one store (backup takeover): the latest setter wins,
+  /// and Clear is a no-op for a stale owner.
+  using FlushFailureHandler = std::function<void(const Status&)>;
+  void SetFlushFailureHandler(void* owner, FlushFailureHandler handler);
+  void ClearFlushFailureHandler(void* owner);
 
   /// Attaches an observability context: commits, ops, WAL bytes and
   /// flushes feed counters, checkpoints feed a size histogram and a trace
@@ -158,6 +212,7 @@ class RecordStore {
   void SetObservability(obs::Observability* obs);
 
   const std::string& dir() const { return dir_; }
+  Fs* fs() const { return fs_; }
 
  private:
   /// Transparent hashing so lookups take a string_view without building a
@@ -175,12 +230,17 @@ class RecordStore {
   using Table = std::unordered_map<std::string, std::string, StringHash,
                                    std::equal_to<>>;
 
-  explicit RecordStore(std::string dir) : dir_(std::move(dir)) {}
+  RecordStore(std::string dir, Fs* fs) : dir_(std::move(dir)), fs_(fs) {}
 
   /// Single-pass decode-and-apply of a batch payload (no Op
   /// materialization); marks touched tables dirty.
   Status ApplyPayloadToImage(std::string_view payload);
   Status MaybeAutoCheckpoint();
+  /// Checkpoint body; `force_full` skips the nothing-changed early-out
+  /// and compacts everything (used by Scrub to re-materialize state).
+  Status CheckpointImpl(bool force_full);
+  /// Reopens the WAL writer if a failed checkpoint left it closed.
+  Status EnsureWal();
   /// Serializes either the dirty tables or all of them (compaction).
   std::string SerializeTables(bool dirty_only, size_t* table_count) const;
   /// Merges one snapshot segment: each table in the payload replaces the
@@ -193,6 +253,7 @@ class RecordStore {
   std::string ManifestPath() const;
 
   std::string dir_;
+  Fs* fs_;
   std::map<std::string, Table, std::less<>> tables_;  // node-stable
   // Cross-call cache of the last table ApplyPayloadToImage resolved.
   // Non-null only while that table is in dirty_tables_. Pointer stability
@@ -202,6 +263,7 @@ class RecordStore {
   std::unique_ptr<WalWriter> wal_;
   uint64_t commits_ = 0;
   bool fail_writes_ = false;
+  uint64_t fence_epoch_ = 0;
 
   // Incremental-checkpoint state.
   CheckpointPolicy policy_;
@@ -216,6 +278,9 @@ class RecordStore {
   uint64_t pending_commits_ = 0;
   uint64_t live_wal_bytes_ = 0;  // flushed bytes in the current WAL file
 
+  void* flush_failure_owner_ = nullptr;
+  FlushFailureHandler flush_failure_handler_;
+
   // Resolved metric handles (null without an Observability context).
   obs::Observability* obs_ = nullptr;
   obs::Counter* commits_metric_ = nullptr;
@@ -225,6 +290,9 @@ class RecordStore {
   obs::Counter* coalesced_metric_ = nullptr;
   obs::Counter* checkpoints_metric_ = nullptr;
   obs::Counter* compactions_metric_ = nullptr;
+  obs::Counter* remove_failures_metric_ = nullptr;
+  obs::Counter* scrub_runs_metric_ = nullptr;
+  obs::Counter* scrub_quarantined_metric_ = nullptr;
   obs::Histogram* checkpoint_bytes_metric_ = nullptr;
 };
 

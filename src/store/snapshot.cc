@@ -1,11 +1,8 @@
 #include "store/snapshot.h"
 
-#include <cerrno>
-#include <cstdio>
-#include <cstring>
+#include <memory>
 
 #include "common/crc32.h"
-#include "common/strings.h"
 #include "store/codec.h"
 
 namespace biopera {
@@ -15,7 +12,9 @@ constexpr uint32_t kSnapshotMagic = 0x42694f70;  // "BiOp"
 constexpr uint32_t kSnapshotVersion = 1;
 }  // namespace
 
-Status WriteSnapshot(const std::string& path, std::string_view payload) {
+Status WriteSnapshot(const std::string& path, std::string_view payload,
+                     Fs* fs) {
+  if (fs == nullptr) fs = Fs::Default();
   std::string framed;
   PutFixed32(&framed, kSnapshotMagic);
   PutFixed32(&framed, kSnapshotVersion);
@@ -24,40 +23,31 @@ Status WriteSnapshot(const std::string& path, std::string_view payload) {
   framed.append(payload);
 
   std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::IOError(
-        StrFormat("open %s: %s", tmp.c_str(), std::strerror(errno)));
+  Status st = [&]() -> Status {
+    BIOPERA_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> f,
+                             fs->OpenForWrite(tmp));
+    BIOPERA_RETURN_IF_ERROR(f->Append(framed));
+    BIOPERA_RETURN_IF_ERROR(f->Sync());
+    return f->Close();
+  }();
+  if (!st.ok()) {
+    (void)fs->Remove(tmp);  // best effort; an orphan .tmp is harmless
+    return st;
   }
-  bool ok = std::fwrite(framed.data(), 1, framed.size(), f) == framed.size();
-  ok = (std::fflush(f) == 0) && ok;
-  ok = (std::fclose(f) == 0) && ok;
-  if (!ok) {
-    std::remove(tmp.c_str());
-    return Status::IOError("snapshot write failed: " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::IOError(
-        StrFormat("rename %s: %s", path.c_str(), std::strerror(errno)));
-  }
-  return Status::OK();
+  BIOPERA_RETURN_IF_ERROR(fs->Rename(tmp, path));
+  return fs->SyncDir(ParentDir(path));
 }
 
-Result<std::string> ReadSnapshot(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    if (errno == ENOENT) return Status::NotFound("no snapshot: " + path);
-    return Status::IOError(
-        StrFormat("open %s: %s", path.c_str(), std::strerror(errno)));
+Result<std::string> ReadSnapshot(const std::string& path, Fs* fs) {
+  if (fs == nullptr) fs = Fs::Default();
+  Result<std::string> read = fs->ReadFileToString(path);
+  if (!read.ok()) {
+    if (read.status().IsNotFound()) {
+      return Status::NotFound("no snapshot: " + path);
+    }
+    return read.status();
   }
-  std::string data;
-  char buf[1 << 16];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
-  std::fclose(f);
-
-  std::string_view v = data;
+  std::string_view v = *read;
   uint32_t magic = 0, version = 0, crc = 0;
   uint64_t len = 0;
   if (!GetFixed32(&v, &magic) || magic != kSnapshotMagic) {

@@ -19,7 +19,7 @@ std::string InstanceKey(std::string_view instance_id, std::string_view key) {
 }  // namespace
 
 Status Spaces::PutTemplate(std::string_view name, std::string_view ocr_text) {
-  return store_->Put(kTemplateTable, name, ocr_text);
+  return store_->Put(kTemplateTable, name, ocr_text, epoch_);
 }
 
 Result<std::string> Spaces::GetTemplate(std::string_view name) const {
@@ -35,7 +35,8 @@ std::vector<std::string> Spaces::ListTemplates() const {
 Status Spaces::PutInstanceRecord(std::string_view instance_id,
                                  std::string_view key,
                                  std::string_view value) {
-  return store_->Put(kInstanceTable, InstanceKey(instance_id, key), value);
+  return store_->Put(kInstanceTable, InstanceKey(instance_id, key), value,
+                     epoch_);
 }
 
 void Spaces::BatchPutInstanceRecord(WriteBatch* batch,
@@ -83,11 +84,11 @@ Status Spaces::DeleteInstance(std::string_view instance_id) {
   for (auto& [k, v] : store_->Scan(kInstanceTable, prefix)) {
     batch.Delete(kInstanceTable, k);
   }
-  return store_->Apply(batch);
+  return store_->Apply(batch, epoch_);
 }
 
 Status Spaces::PutConfig(std::string_view key, std::string_view value) {
-  return store_->Put(kConfigTable, key, value);
+  return store_->Put(kConfigTable, key, value, epoch_);
 }
 
 Result<std::string> Spaces::GetConfig(std::string_view key) const {
@@ -112,7 +113,7 @@ Status Spaces::AppendHistory(std::string_view instance_id,
   std::string value(instance_id);
   value.push_back('\t');
   value.append(event);
-  return store_->Put(kHistoryTable, key, value);
+  return store_->Put(kHistoryTable, key, value, epoch_);
 }
 
 std::vector<std::string> Spaces::History(std::string_view instance_id) const {

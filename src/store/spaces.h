@@ -57,11 +57,20 @@ class Spaces {
   Status AppendHistory(std::string_view instance_id, std::string_view event);
   std::vector<std::string> History(std::string_view instance_id) const;
 
-  Status Apply(const WriteBatch& batch) { return store_->Apply(batch); }
+  Status Apply(const WriteBatch& batch) {
+    return store_->Apply(batch, epoch_);
+  }
   RecordStore* store() { return store_; }
+
+  /// Writer epoch stamped onto every commit issued through this view.
+  /// 0 (the default) means unfenced; the engine sets the epoch it acquired
+  /// at startup so a stale engine's commits are rejected after takeover.
+  void set_epoch(uint64_t epoch) { epoch_ = epoch; }
+  uint64_t epoch() const { return epoch_; }
 
  private:
   RecordStore* store_;
+  uint64_t epoch_ = 0;
   uint64_t next_history_seq_ = 0;
   bool history_seq_loaded_ = false;
 };

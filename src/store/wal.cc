@@ -1,69 +1,50 @@
 #include "store/wal.h"
 
-#include <cerrno>
-#include <cstring>
-
 #include "common/crc32.h"
-#include "common/strings.h"
 #include "store/codec.h"
 
 namespace biopera {
 
-Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "ab");
-  if (f == nullptr) {
-    return Status::IOError(
-        StrFormat("open wal %s: %s", path.c_str(), std::strerror(errno)));
-  }
-  return std::unique_ptr<WalWriter>(new WalWriter(f));
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
+                                                   Fs* fs) {
+  if (fs == nullptr) fs = Fs::Default();
+  BIOPERA_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                           fs->OpenForAppend(path));
+  return std::unique_ptr<WalWriter>(new WalWriter(std::move(file)));
 }
 
 WalWriter::~WalWriter() {
-  if (file_ != nullptr) std::fclose(file_);
+  if (file_ != nullptr) (void)file_->Close();
 }
 
 Status WalWriter::Append(std::string_view payload) {
   std::string header;
   PutFixed32(&header, Crc32c(payload));
   PutFixed32(&header, static_cast<uint32_t>(payload.size()));
-  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
-      std::fwrite(payload.data(), 1, payload.size(), file_) !=
-          payload.size()) {
-    return Status::IOError("wal append: short write");
-  }
-  if (std::fflush(file_) != 0) {
-    return Status::IOError("wal append: flush failed");
-  }
+  BIOPERA_RETURN_IF_ERROR(file_->Append(header));
+  BIOPERA_RETURN_IF_ERROR(file_->Append(payload));
+  BIOPERA_RETURN_IF_ERROR(file_->Flush());
   bytes_written_ += header.size() + payload.size();
   ++records_written_;
   return Status::OK();
 }
 
+Status WalWriter::Sync() { return file_->Sync(); }
+
 Status ReadWalInto(const std::string& path,
                    const std::function<Status(std::string_view)>& fn,
-                   bool* truncated_tail) {
+                   bool* truncated_tail, Fs* fs) {
+  if (fs == nullptr) fs = Fs::Default();
   if (truncated_tail != nullptr) *truncated_tail = false;
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    if (errno == ENOENT) return Status::OK();  // fresh store
-    return Status::IOError(
-        StrFormat("open wal %s: %s", path.c_str(), std::strerror(errno)));
-  }
   // Slurp the whole log into one buffer and frame it in memory: the WAL is
   // bounded by the checkpoint policy, and replay then costs zero syscalls
   // and zero allocations per record.
-  std::string buffer;
-  char chunk[1 << 16];
-  size_t got;
-  while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
-    buffer.append(chunk, got);
+  Result<std::string> read = fs->ReadFileToString(path);
+  if (!read.ok()) {
+    if (read.status().IsNotFound()) return Status::OK();  // fresh store
+    return read.status();
   }
-  bool read_error = std::ferror(f) != 0;
-  std::fclose(f);
-  if (read_error) {
-    return Status::IOError(StrFormat("read wal %s", path.c_str()));
-  }
-  std::string_view v = buffer;
+  std::string_view v = *read;
   while (!v.empty()) {
     uint32_t crc = 0, len = 0;
     std::string_view record;
@@ -86,7 +67,7 @@ Status ReadWalInto(const std::string& path,
   return Status::OK();
 }
 
-Result<WalReadResult> ReadWal(const std::string& path) {
+Result<WalReadResult> ReadWal(const std::string& path, Fs* fs) {
   WalReadResult out;
   BIOPERA_RETURN_IF_ERROR(ReadWalInto(
       path,
@@ -94,7 +75,7 @@ Result<WalReadResult> ReadWal(const std::string& path) {
         out.records.emplace_back(record);
         return Status::OK();
       },
-      &out.truncated_tail));
+      &out.truncated_tail, fs));
   return out;
 }
 

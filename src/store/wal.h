@@ -1,14 +1,15 @@
 #ifndef BIOPERA_STORE_WAL_H_
 #define BIOPERA_STORE_WAL_H_
 
-#include <cstdio>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "store/fs.h"
 
 namespace biopera {
 
@@ -21,8 +22,10 @@ namespace biopera {
 /// recovery contract is "everything before the first bad record is valid".
 class WalWriter {
  public:
-  /// Opens `path` for appending, creating it if missing.
-  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path);
+  /// Opens `path` for appending, creating it if missing. `fs` defaults to
+  /// the real disk.
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                 Fs* fs = nullptr);
 
   ~WalWriter();
   WalWriter(const WalWriter&) = delete;
@@ -31,13 +34,16 @@ class WalWriter {
   /// Appends one record and flushes it to the OS.
   Status Append(std::string_view payload);
 
+  /// Forces everything appended so far onto stable storage.
+  Status Sync();
+
   /// Bytes written since open (including headers).
   uint64_t bytes_written() const { return bytes_written_; }
   uint64_t records_written() const { return records_written_; }
 
  private:
-  explicit WalWriter(std::FILE* f) : file_(f) {}
-  std::FILE* file_;
+  explicit WalWriter(std::unique_ptr<WritableFile> f) : file_(std::move(f)) {}
+  std::unique_ptr<WritableFile> file_;
   uint64_t bytes_written_ = 0;
   uint64_t records_written_ = 0;
 };
@@ -49,7 +55,7 @@ struct WalReadResult {
   std::vector<std::string> records;
   bool truncated_tail = false;
 };
-Result<WalReadResult> ReadWal(const std::string& path);
+Result<WalReadResult> ReadWal(const std::string& path, Fs* fs = nullptr);
 
 /// Streaming variant of ReadWal for the recovery hot path: the file is
 /// read into one reusable buffer and each valid record is handed to `fn`
@@ -58,7 +64,7 @@ Result<WalReadResult> ReadWal(const std::string& path);
 /// whether a torn/corrupt tail was discarded.
 Status ReadWalInto(const std::string& path,
                    const std::function<Status(std::string_view)>& fn,
-                   bool* truncated_tail = nullptr);
+                   bool* truncated_tail = nullptr, Fs* fs = nullptr);
 
 }  // namespace biopera
 

@@ -280,6 +280,21 @@ TEST(ConsoleTest, MetricsTraceAndTimeline) {
   EXPECT_EQ(empty, "(no timeline intervals)\n");
 }
 
+TEST(ConsoleTest, ScrubReportsStoreHealth) {
+  World w;
+  ASSERT_OK(w.engine->RegisterTemplate(Pipeline()));
+  ASSERT_OK_AND_ASSIGN(std::string id, w.engine->StartProcess("pipeline"));
+  (void)id;
+  w.sim.Run();
+  AdminConsole console(w.engine.get());
+  ASSERT_OK_AND_ASSIGN(std::string report, console.Execute("SCRUB"));
+  EXPECT_NE(report.find("scrub:"), std::string::npos);
+  EXPECT_NE(report.find("no damage found"), std::string::npos);
+  // Help advertises the command.
+  ASSERT_OK_AND_ASSIGN(std::string help, console.Execute("HELP"));
+  EXPECT_NE(help.find("SCRUB"), std::string::npos);
+}
+
 TEST(ConsoleTest, ObservabilityCommandsDegradeWithoutContext) {
   World w;  // no Observability attached
   AdminConsole console(w.engine.get());

@@ -1,0 +1,101 @@
+// FailureInjector random mode: determinism under a fixed seed,
+// cancellation, and the Poisson shape of the crash process.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/failure.h"
+#include "common/rng.h"
+#include "sim/simulator.h"
+#include "tests/test_util.h"
+
+namespace biopera::cluster {
+namespace {
+
+std::vector<std::pair<int64_t, std::string>> RandomCrashEvents(
+    uint64_t seed, Duration horizon, int nodes,
+    Duration mtbf = Duration::Hours(2),
+    Duration mean_downtime = Duration::Minutes(10)) {
+  Simulator sim;
+  ClusterSim cluster(&sim);
+  for (int i = 0; i < nodes; ++i) {
+    EXPECT_OK(cluster.AddNode(
+        {.name = "node" + std::to_string(i), .num_cpus = 1}));
+  }
+  Rng rng(seed);
+  FailureInjector inject(&cluster);
+  inject.StartRandomNodeFailures(mtbf, mean_downtime, &rng);
+  sim.RunFor(horizon);
+  inject.StopRandomFailures();
+  std::vector<std::pair<int64_t, std::string>> events;
+  for (const TraceEvent& ev : cluster.Events()) {
+    events.emplace_back(ev.time.micros(), ev.label);
+  }
+  return events;
+}
+
+TEST(FailureInjectorTest, SameSeedSameHistory) {
+  auto a = RandomCrashEvents(1234, Duration::Days(30), 4);
+  auto b = RandomCrashEvents(1234, Duration::Days(30), 4);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  // A different seed produces a different history (overwhelmingly).
+  auto c = RandomCrashEvents(4321, Duration::Days(30), 4);
+  EXPECT_NE(a, c);
+}
+
+TEST(FailureInjectorTest, StopCancelsThePendingCrash) {
+  Simulator sim;
+  ClusterSim cluster(&sim);
+  ASSERT_OK(cluster.AddNode({.name = "node0", .num_cpus = 1}));
+  Rng rng(7);
+  FailureInjector inject(&cluster);
+  inject.StartRandomNodeFailures(Duration::Hours(1), Duration::Minutes(5),
+                                 &rng);
+  sim.RunFor(Duration::Days(2));
+  size_t seen = cluster.Events().size();
+  ASSERT_GT(seen, 0u);
+  inject.StopRandomFailures();
+  sim.RunFor(Duration::Days(30));
+  EXPECT_EQ(cluster.Events().size(), seen);  // nothing fires after Stop
+  // Stop twice is harmless.
+  inject.StopRandomFailures();
+}
+
+TEST(FailureInjectorTest, InterArrivalsLookExponential) {
+  // One node, negligible downtime: the crash times form (approximately) a
+  // Poisson process with rate 1/mtbf. Check the first two moments of the
+  // inter-arrival distribution: mean ~ mtbf, coefficient of variation ~ 1
+  // (an exponential's signature; a periodic schedule would give CV ~ 0).
+  const double mtbf_seconds = 3600.0;
+  auto events = RandomCrashEvents(99, Duration::Hours(4000), 1,
+                                  Duration::Seconds(mtbf_seconds),
+                                  Duration::Seconds(1));
+  std::vector<double> gaps;
+  int64_t prev = -1;
+  for (const auto& [t_us, label] : events) {
+    if (label.rfind("random crash", 0) != 0) continue;
+    if (prev >= 0) gaps.push_back(static_cast<double>(t_us - prev) / 1e6);
+    prev = t_us;
+  }
+  ASSERT_GT(gaps.size(), 500u);
+
+  double sum = 0;
+  for (double g : gaps) sum += g;
+  const double mean = sum / static_cast<double>(gaps.size());
+  double var = 0;
+  for (double g : gaps) var += (g - mean) * (g - mean);
+  var /= static_cast<double>(gaps.size());
+  const double cv = std::sqrt(var) / mean;
+
+  EXPECT_NEAR(mean, mtbf_seconds, 0.15 * mtbf_seconds);
+  EXPECT_GT(cv, 0.8);
+  EXPECT_LT(cv, 1.2);
+}
+
+}  // namespace
+}  // namespace biopera::cluster

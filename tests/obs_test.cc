@@ -105,7 +105,9 @@ TEST(TraceSinkTest, EventTypeNamesRoundTrip) {
         EventType::kMigrationKilled, EventType::kNodeDown, EventType::kNodeUp,
         EventType::kCheckpointTaken, EventType::kRecoveryReplayed,
         EventType::kInstanceStateChanged, EventType::kServerCrashed,
-        EventType::kServerStarted, EventType::kAnnotation}) {
+        EventType::kServerStarted, EventType::kStoreDegraded,
+        EventType::kStoreRecovered, EventType::kStoreScrubbed,
+        EventType::kServerFenced, EventType::kAnnotation}) {
     ASSERT_OK_AND_ASSIGN(EventType back,
                          EventTypeFromName(EventTypeName(type)));
     EXPECT_EQ(back, type);

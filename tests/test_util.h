@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -44,6 +47,55 @@ class TempDir {
   static inline int counter_ = 0;
   std::string path_;
 };
+
+// --- File-corruption helpers for fault-injection tests ---------------------
+
+/// Regular files directly inside `dir`, sorted by name.
+inline std::vector<std::string> ListDirFiles(const std::string& dir) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+inline long long FileSizeOf(const std::string& path) {
+  std::error_code ec;
+  auto size = std::filesystem::file_size(path, ec);
+  return ec ? -1 : static_cast<long long>(size);
+}
+
+/// XORs one bit into the byte at `offset` (silent no-op past EOF).
+inline void FlipBitAt(const std::string& path, long long offset, int bit = 0) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) return;
+  if (std::fseek(f, static_cast<long>(offset), SEEK_SET) == 0) {
+    int c = std::fgetc(f);
+    if (c != EOF) {
+      std::fseek(f, static_cast<long>(offset), SEEK_SET);
+      std::fputc(c ^ (1 << bit), f);
+    }
+  }
+  std::fclose(f);
+}
+
+/// Truncates the file to `len` bytes (models a torn tail).
+inline void TruncateAt(const std::string& path, long long len) {
+  std::error_code ec;
+  std::filesystem::resize_file(path, static_cast<uintmax_t>(len), ec);
+}
+
+/// Recursive copy, used to snapshot a store directory before corrupting it.
+inline void CopyDir(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  std::filesystem::create_directories(to, ec);
+  std::filesystem::copy(from, to,
+                        std::filesystem::copy_options::recursive |
+                            std::filesystem::copy_options::overwrite_existing,
+                        ec);
+}
 
 }  // namespace biopera::testing
 
