@@ -9,6 +9,8 @@
 // disk-space shortage — yet the run completes with only a handful of
 // manual interventions.
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench/scenario.h"
 #include "common/strings.h"
@@ -16,10 +18,33 @@
 namespace biopera::bench {
 namespace {
 
-int Main() {
+/// Writes `content` to `path`; returns false (after logging) on error.
+bool WriteFileOrWarn(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  std::string timeline_path;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--timeline=", 11) == 0) {
+      timeline_path = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    }
+  }
   std::printf("== Figure 5: lifecycle of the all-vs-all (first run, shared "
               "cluster) ==\n\n");
   ScenarioResult r = RunSharedClusterScenario(/*seed=*/38);
+  if (!timeline_path.empty()) WriteFileOrWarn(timeline_path, r.timeline_csv);
+  if (!trace_path.empty()) WriteFileOrWarn(trace_path, r.trace_jsonl);
   std::printf("%s\n", RenderLifecycle(r, /*height=*/12).c_str());
 
   double avail_avg = r.availability.TimeAverage(0, r.wall_days);
@@ -52,4 +77,4 @@ int Main() {
 }  // namespace
 }  // namespace biopera::bench
 
-int main() { return biopera::bench::Main(); }
+int main(int argc, char** argv) { return biopera::bench::Main(argc, argv); }

@@ -7,6 +7,7 @@
 #include "common/strings.h"
 #include "common/table.h"
 #include "darwin/generator.h"
+#include "obs/timeline.h"
 #include "workloads/allvsall.h"
 
 namespace biopera::bench {
@@ -75,6 +76,9 @@ ScenarioResult Collect(BenchWorld* world, const std::string& id,
   result.max_cpus = static_cast<int>(result.availability.MaxOver(0, 1e9));
   result.manual_interventions = manual_interventions;
   result.metrics_text = world->obs.metrics.Snapshot().ToText();
+  result.trace_jsonl = world->obs.trace.ExportJsonl();
+  result.timeline_csv =
+      obs::TimelineCsv(obs::BuildTimeline(world->obs.trace, ""));
   return result;
 }
 

@@ -30,6 +30,11 @@ struct ScenarioResult {
   int manual_interventions = 0;
   /// End-of-run metrics-registry snapshot (text form).
   std::string metrics_text;
+  /// Full trace export (JSONL) and the all-nodes timeline CSV. Both are
+  /// byte-deterministic for a given seed, so they double as the A/B
+  /// fixture proving scheduling order survives dispatcher refactors.
+  std::string trace_jsonl;
+  std::string timeline_csv;
 };
 
 /// First run (§5.4): the full synthetic-SP38 all-vs-all on the *shared*

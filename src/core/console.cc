@@ -38,7 +38,7 @@ constexpr char kHelp[] = R"(commands:
   STATUS <id> | HISTORY <id> [n] | WB <id> <var> | LINEAGE <id> <var>
   WHATIF <node> [node...]
   TASKS <id> | ETA <id>
-  METRICS | TRACE <id|*> [n] | TIMELINE <node|*> | SCRUB
+  METRICS | STATS | TRACE <id|*> [n] | TIMELINE <node|*> | SCRUB
   SUSPEND <id> | RESUME <id> | ABORT <id> | RESTART <id>
   RAISE <id> <event> | INVALIDATE <id> <task> | ARCHIVE <id>
 )";
@@ -188,6 +188,23 @@ Result<std::string> AdminConsole::Execute(const std::string& line) {
     obs::Observability* obs = engine_->observability();
     if (obs == nullptr) return std::string("(observability not enabled)\n");
     return obs->metrics.Snapshot().ToText();
+  }
+
+  if (command == "STATS") {
+    Engine::DispatchStats s = engine_->GetDispatchStats();
+    return StrFormat(
+        "dispatcher:\n"
+        "  ready queue:       %zu\n"
+        "  parked (starved):  %zu\n"
+        "  parked (suspended): %zu\n"
+        "  running jobs:      %zu\n"
+        "  pump runs:         %llu\n"
+        "  entries scanned:   %llu\n"
+        "  tasks dispatched:  %llu\n",
+        s.ready, s.parked_starved, s.parked_suspended, s.running_jobs,
+        static_cast<unsigned long long>(s.pump_runs),
+        static_cast<unsigned long long>(s.entries_scanned),
+        static_cast<unsigned long long>(s.dispatched));
   }
 
   if (command == "TRACE") {

@@ -224,6 +224,9 @@ Engine::Engine(Simulator* sim, cluster::ClusterSim* cluster,
     cluster_->SetObservability(obs);
     store->SetObservability(obs);
     dispatched_metric_ = obs->metrics.GetCounter("engine_tasks_dispatched_total");
+    pump_runs_metric_ = obs->metrics.GetCounter("engine_pump_runs_total");
+    pump_scanned_metric_ =
+        obs->metrics.GetCounter("engine_pump_entries_scanned_total");
     completed_metric_ = obs->metrics.GetCounter("engine_tasks_completed_total");
     failed_metric_ = obs->metrics.GetCounter("engine_tasks_failed_total");
     timed_out_metric_ = obs->metrics.GetCounter("engine_jobs_timed_out_total");
@@ -235,6 +238,10 @@ Engine::Engine(Simulator* sim, cluster::ClusterSim* cluster,
         obs->metrics.GetCounter("engine_store_degraded_retries_total");
     degraded_gauge_ = obs->metrics.GetGauge("engine_store_degraded");
     queue_depth_gauge_ = obs->metrics.GetGauge("engine_ready_queue_depth");
+    parked_starved_gauge_ =
+        obs->metrics.GetGauge("engine_parked_starved_depth");
+    parked_suspended_gauge_ =
+        obs->metrics.GetGauge("engine_parked_suspended_depth");
     running_jobs_gauge_ = obs->metrics.GetGauge("engine_running_jobs");
     // Task costs span seconds to days: 1s x4 buckets.
     obs::HistogramOptions cost_buckets;
@@ -253,7 +260,10 @@ void Engine::EmitInstanceState(const ProcessInstance* inst) {
 
 void Engine::SyncObsGauges() {
   if (queue_depth_gauge_ == nullptr) return;
-  queue_depth_gauge_->Set(static_cast<double>(ready_queue_.size()));
+  queue_depth_gauge_->Set(
+      static_cast<double>(ready_.size() + pump_overflow_.size()));
+  parked_starved_gauge_->Set(static_cast<double>(NumParkedStarved()));
+  parked_suspended_gauge_->Set(static_cast<double>(NumParkedSuspended()));
   running_jobs_gauge_->Set(static_cast<double>(jobs_.size()));
 }
 
@@ -345,8 +355,19 @@ void Engine::Crash() {
   cluster_->KillAllJobs();
   monitors_.clear();
   instances_.clear();
-  ready_queue_.clear();
+  ++instance_generation_;
+  ready_.clear();
+  parked_by_class_.clear();
+  parked_by_instance_.clear();
+  woken_classes_.clear();
+  pump_overflow_.clear();
+  pump_frozen_.clear();
+  for (const auto& [job_id, pending] : jobs_) {
+    if (pending.watchdog != kInvalidEventId) sim_->Cancel(pending.watchdog);
+  }
   jobs_.clear();
+  jobs_by_instance_.clear();
+  jobs_by_node_.clear();
   awareness_ = monitor::AwarenessModel();
   policy_.reset();
   if (pump_event_ != kInvalidEventId) {
@@ -423,6 +444,8 @@ void Engine::RetryDegradedCommit() {
                                        "", "", {});
   }
   BIOPERA_LOG(kInfo) << "store writes succeed again; resuming dispatch";
+  // Entries parked while degraded never saw a capacity event; re-probe all.
+  WakeAllClasses();
   PumpDispatch();
 }
 
@@ -459,8 +482,19 @@ void Engine::TearDownFenced() {
   // owns them now (it registered as the cluster listener when it booted).
   monitors_.clear();
   instances_.clear();
-  ready_queue_.clear();
+  ++instance_generation_;
+  ready_.clear();
+  parked_by_class_.clear();
+  parked_by_instance_.clear();
+  woken_classes_.clear();
+  pump_overflow_.clear();
+  pump_frozen_.clear();
+  for (const auto& [job_id, pending] : jobs_) {
+    if (pending.watchdog != kInvalidEventId) sim_->Cancel(pending.watchdog);
+  }
   jobs_.clear();
+  jobs_by_instance_.clear();
+  jobs_by_node_.clear();
   awareness_ = monitor::AwarenessModel();
   policy_.reset();
   if (pump_event_ != kInvalidEventId) {
@@ -585,6 +619,7 @@ Status Engine::Resume(const std::string& instance_id) {
   BIOPERA_RETURN_IF_ERROR(Commit(&batch));
   AppendHistory(instance_id, "resumed");
   EmitInstanceState(inst);
+  WakeInstance(instance_id);
   PumpDispatch();
   return Status::OK();
 }
@@ -594,14 +629,15 @@ Status Engine::Abort(const std::string& instance_id) {
   if (inst == nullptr) return Status::NotFound("no instance " + instance_id);
   // Kill this instance's running jobs.
   std::vector<cluster::JobId> to_kill;
-  for (const auto& [job_id, pending] : jobs_) {
-    if (pending.instance_id == instance_id) to_kill.push_back(job_id);
+  if (auto it = jobs_by_instance_.find(instance_id);
+      it != jobs_by_instance_.end()) {
+    to_kill.assign(it->second.begin(), it->second.end());
   }
   for (cluster::JobId job_id : to_kill) {
     cluster_->KillJob(job_id);
-    awareness_.JobFinishedOrFailed(jobs_[job_id].node, /*failed=*/false);
-    jobs_.erase(job_id);
+    TakeJob(job_id, /*failed=*/false);
   }
+  DropParkedForInstance(instance_id);
   inst->set_state(InstanceState::kAborted);
   RecordStore::CommitScope commit_group(GroupTarget());
   WriteBatch batch;
@@ -624,15 +660,16 @@ Status Engine::Restart(const std::string& instance_id) {
   // killed and re-scheduled (the paper's event 10: a restart immediately
   // re-schedules TEUs that never reported).
   std::vector<cluster::JobId> stale;
-  for (const auto& [job_id, pending] : jobs_) {
-    if (pending.instance_id == instance_id) stale.push_back(job_id);
+  if (auto it = jobs_by_instance_.find(instance_id);
+      it != jobs_by_instance_.end()) {
+    stale.assign(it->second.begin(), it->second.end());
   }
   for (cluster::JobId job_id : stale) {
-    const PendingJob& pending = jobs_[job_id];
     cluster_->KillJob(job_id);  // NotFound if it already finished silently
-    awareness_.JobFinishedOrFailed(pending.node, /*failed=*/false);
-    jobs_.erase(job_id);
+    TakeJob(job_id, /*failed=*/false);
   }
+  // Entries parked while the instance was suspended are dispatchable again.
+  WakeInstance(instance_id);
   inst->ForEachNode([&](TaskNode* node) {
     switch (node->state) {
       case TaskState::kFailed:
@@ -640,18 +677,18 @@ Status Engine::Restart(const std::string& instance_id) {
       case TaskState::kRunning:
         node->attempts = 0;
         if (node->kind() == TaskKind::kActivity) {
-          node->state = TaskState::kReady;
+          inst->SetTaskState(node, TaskState::kReady);
           EnqueueReady(inst, node);
         } else {
           // Composite: children re-queue themselves; mark running again.
-          node->state = TaskState::kRunning;
+          inst->SetTaskState(node, TaskState::kRunning);
         }
         PersistTask(inst, node, &batch);
         break;
       case TaskState::kSkipped:
         // Dead paths may have been skipped because their source failed;
         // reset and let re-evaluation decide again.
-        node->state = TaskState::kInactive;
+        inst->SetTaskState(node, TaskState::kInactive);
         PersistTask(inst, node, &batch);
         break;
       default:
@@ -689,23 +726,24 @@ Status Engine::ReevaluateAll(ProcessInstance* inst, WriteBatch* batch) {
 
 void Engine::DiscardSubtree(ProcessInstance* inst, TaskNode* node,
                             WriteBatch* batch) {
-  // Kill any outstanding jobs under this subtree first.
+  // Kill any outstanding jobs under this subtree first. Only this
+  // instance's jobs are examined (per-instance index), in JobId order.
   std::vector<cluster::JobId> stale;
-  for (const auto& [job_id, pending] : jobs_) {
-    if (pending.instance_id != inst->id()) continue;
-    TaskNode* owner = inst->FindByPath(pending.path);
-    for (TaskNode* walk = owner; walk != nullptr; walk = walk->parent) {
-      if (walk == node) {
-        stale.push_back(job_id);
-        break;
+  if (auto it = jobs_by_instance_.find(inst->id());
+      it != jobs_by_instance_.end()) {
+    for (cluster::JobId job_id : it->second) {
+      TaskNode* owner = inst->FindByPath(jobs_.at(job_id).path);
+      for (TaskNode* walk = owner; walk != nullptr; walk = walk->parent) {
+        if (walk == node) {
+          stale.push_back(job_id);
+          break;
+        }
       }
     }
   }
   for (cluster::JobId job_id : stale) {
-    const PendingJob& pending = jobs_[job_id];
     cluster_->KillJob(job_id);
-    awareness_.JobFinishedOrFailed(pending.node, /*failed=*/false);
-    jobs_.erase(job_id);
+    TakeJob(job_id, /*failed=*/false);
   }
   std::function<void(TaskNode*)> discard = [&](TaskNode* n) {
     for (auto& child : n->children) {
@@ -716,7 +754,7 @@ void Engine::DiscardSubtree(ProcessInstance* inst, TaskNode* node,
         spaces_.BatchDeleteInstanceRecord(batch, inst->id(),
                                           "wb/" + child->path);
       }
-      inst->UnindexNode(child->path);
+      inst->UnindexNode(child.get());
     }
     n->children.clear();
   };
@@ -753,7 +791,7 @@ Status Engine::Invalidate(const std::string& instance_id,
     TaskNode* node = inst->root()->FindChild(name);
     if (node == nullptr || node->state == TaskState::kInactive) continue;
     DiscardSubtree(inst, node, &batch);
-    node->state = TaskState::kInactive;
+    inst->SetTaskState(node, TaskState::kInactive);
     node->attempts = 0;
     node->outputs.clear();
     node->expansion = Value();
@@ -790,6 +828,8 @@ Status Engine::Archive(const std::string& instance_id) {
   BIOPERA_RETURN_IF_ERROR(spaces_.DeleteInstance(instance_id));
   AppendHistory(instance_id, "archived");
   instances_.erase(instance_id);
+  ++instance_generation_;
+  DropParkedForInstance(instance_id);
   return Status::OK();
 }
 
@@ -813,7 +853,7 @@ Status Engine::RaiseEvent(const std::string& instance_id,
     }
   });
   for (TaskNode* node : waiting) {
-    node->state = TaskState::kInactive;
+    inst->SetTaskState(node, TaskState::kInactive);
     BIOPERA_RETURN_IF_ERROR(ActivateTask(inst, node, &batch));
   }
   BIOPERA_RETURN_IF_ERROR(Commit(&batch));
@@ -913,16 +953,11 @@ Result<InstanceSummary> Engine::Summary(const std::string& instance_id) const {
   s.stats = inst->stats();
   // For in-flight instances report wall time so far.
   if (s.stats.finished < s.stats.started) s.stats.finished = sim_->Now();
-  const_cast<ProcessInstance*>(inst)->ForEachNode([&](TaskNode* node) {
-    ++s.tasks_total;
-    switch (node->state) {
-      case TaskState::kDone: ++s.tasks_done; break;
-      case TaskState::kRunning: ++s.tasks_running; break;
-      case TaskState::kReady: ++s.tasks_ready; break;
-      case TaskState::kFailed: ++s.tasks_failed; break;
-      default: break;
-    }
-  });
+  s.tasks_total = inst->NumNodes();
+  s.tasks_done = inst->CountInState(TaskState::kDone);
+  s.tasks_running = inst->CountInState(TaskState::kRunning);
+  s.tasks_ready = inst->CountInState(TaskState::kReady);
+  s.tasks_failed = inst->CountInState(TaskState::kFailed);
   return s;
 }
 
@@ -1064,7 +1099,7 @@ Status Engine::ActivateTask(ProcessInstance* inst, TaskNode* node,
   // ON_EVENT gate: the task is eligible but waits for its trigger.
   if (node->def != nullptr && !node->def->wait_event.empty() &&
       !inst->raised_events().contains(node->def->wait_event)) {
-    node->state = TaskState::kEventWait;
+    inst->SetTaskState(node, TaskState::kEventWait);
     PersistTask(inst, node, batch);
     AppendHistory(inst->id(), StrFormat("task %s waiting for event '%s'",
                                         node->path.c_str(),
@@ -1073,12 +1108,12 @@ Status Engine::ActivateTask(ProcessInstance* inst, TaskNode* node,
   }
   node->started = sim_->Now();
   if (node->kind() == TaskKind::kActivity) {
-    node->state = TaskState::kReady;
+    inst->SetTaskState(node, TaskState::kReady);
     PersistTask(inst, node, batch);
     EnqueueReady(inst, node);
     return Status::OK();
   }
-  node->state = TaskState::kRunning;
+  inst->SetTaskState(node, TaskState::kRunning);
   BIOPERA_RETURN_IF_ERROR(ExpandComposite(inst, node, batch));
   PersistTask(inst, node, batch);
   BIOPERA_RETURN_IF_ERROR(EvaluateScope(inst, node, batch));
@@ -1089,7 +1124,7 @@ Status Engine::ActivateTask(ProcessInstance* inst, TaskNode* node,
 
 Status Engine::SkipTask(ProcessInstance* inst, TaskNode* node,
                         WriteBatch* batch) {
-  node->state = TaskState::kSkipped;
+  inst->SetTaskState(node, TaskState::kSkipped);
   node->finished = sim_->Now();
   PersistTask(inst, node, batch);
   return Status::OK();
@@ -1192,7 +1227,7 @@ Status Engine::CompleteTask(ProcessInstance* inst, TaskNode* node,
                             WriteBatch* batch) {
   node->outputs = std::move(outputs);
   node->cost = cost;
-  node->state = TaskState::kDone;
+  inst->SetTaskState(node, TaskState::kDone);
   node->finished = sim_->Now();
   if (node->kind() == TaskKind::kActivity) {
     inst->stats().cpu_seconds += cost.ToSeconds();
@@ -1323,7 +1358,7 @@ Status Engine::HandleTaskFailure(ProcessInstance* inst, TaskNode* node,
     if (!policy.alternative_binding.empty()) {
       node->binding_used = policy.alternative_binding;
     }
-    node->state = TaskState::kRetryWait;
+    inst->SetTaskState(node, TaskState::kRetryWait);
     PersistTask(inst, node, batch);
     std::string instance_id = inst->id();
     std::string path = node->path;
@@ -1333,7 +1368,7 @@ Status Engine::HandleTaskFailure(ProcessInstance* inst, TaskNode* node,
       if (inst2 == nullptr) return;
       TaskNode* node2 = inst2->FindByPath(path);
       if (node2 == nullptr || node2->state != TaskState::kRetryWait) return;
-      node2->state = TaskState::kReady;
+      inst2->SetTaskState(node2, TaskState::kReady);
       RecordStore::CommitScope commit_group(GroupTarget());
       WriteBatch retry_batch;
       PersistTask(inst2, node2, &retry_batch);
@@ -1354,7 +1389,7 @@ Status Engine::HandleTaskFailure(ProcessInstance* inst, TaskNode* node,
     return CompleteTask(inst, node, {}, Duration::Zero(), batch);
   }
 
-  node->state = TaskState::kFailed;
+  inst->SetTaskState(node, TaskState::kFailed);
   node->finished = sim_->Now();
   PersistTask(inst, node, batch);
   PersistHeader(inst, batch);
@@ -1388,8 +1423,132 @@ Result<ActivityInput> Engine::BuildInput(ProcessInstance* inst,
 // ---------------------------------------------------------------------------
 
 void Engine::EnqueueReady(ProcessInstance* inst, TaskNode* node) {
-  ready_queue_.push_back(
-      ReadyEntry{inst->id(), node->path, std::nullopt, ""});
+  ReadyEntry entry;
+  entry.instance_id = inst->id();
+  entry.path = node->path;
+  entry.priority = inst->priority();
+  entry.inst_hint = inst;
+  entry.engine_gen = instance_generation_;
+  entry.node_hint = node;
+  entry.structure_gen = inst->structure_generation();
+  if (node->def != nullptr) entry.resource_class = node->def->resource_class;
+  PushEntry(std::move(entry));
+}
+
+void Engine::PushEntry(ReadyEntry entry) {
+  entry.seq = next_ready_seq_++;
+  if (pumping_) {
+    // The running pump scans mid-pump enqueues at its tail, in enqueue
+    // order (the old deque's append-while-scanning behavior).
+    pump_overflow_.push_back(std::move(entry));
+    return;
+  }
+  ReadyKey key = entry.key();
+  ready_.emplace(key, std::move(entry));
+}
+
+void Engine::MarkClassWoken(const std::string& resource_class) {
+  woken_classes_.insert(resource_class);
+  // Capacity changed mid-pump: entries of this class later in the scan
+  // must get a fresh placement attempt instead of the frozen short-cut.
+  if (pumping_) pump_frozen_.erase(resource_class);
+}
+
+void Engine::WakeClassesForNode(const std::string& node_name) {
+  if (parked_by_class_.empty()) return;
+  const monitor::AwarenessModel::NodeView* view = awareness_.Find(node_name);
+  for (const auto& [cls, queue] : parked_by_class_) {
+    if (queue.empty()) continue;
+    // Unknown node: wake everything rather than risk a lost wakeup.
+    if (view == nullptr || view->config.ServesClass(cls)) MarkClassWoken(cls);
+  }
+}
+
+void Engine::WakeAllClasses() {
+  for (const auto& [cls, queue] : parked_by_class_) {
+    if (!queue.empty()) MarkClassWoken(cls);
+  }
+}
+
+void Engine::WakeInstance(const std::string& instance_id) {
+  auto it = parked_by_instance_.find(instance_id);
+  if (it == parked_by_instance_.end()) return;
+  for (auto& [key, entry] : it->second) {
+    ready_.emplace(key, std::move(entry));
+  }
+  parked_by_instance_.erase(it);
+}
+
+void Engine::DropParkedForInstance(const std::string& instance_id) {
+  parked_by_instance_.erase(instance_id);
+  // Entries in ready_/parked_by_class_ are dropped lazily: the next scan
+  // sees the instance gone (or not running) and discards them.
+}
+
+size_t Engine::NumParkedStarved() const {
+  size_t n = 0;
+  for (const auto& [cls, queue] : parked_by_class_) n += queue.size();
+  return n;
+}
+
+size_t Engine::NumParkedSuspended() const {
+  size_t n = 0;
+  for (const auto& [id, queue] : parked_by_instance_) n += queue.size();
+  return n;
+}
+
+size_t Engine::QueueDepth() const {
+  return ready_.size() + pump_overflow_.size() + NumParkedStarved() +
+         NumParkedSuspended();
+}
+
+Engine::DispatchStats Engine::GetDispatchStats() const {
+  DispatchStats stats;
+  stats.ready = ready_.size() + pump_overflow_.size();
+  stats.parked_starved = NumParkedStarved();
+  stats.parked_suspended = NumParkedSuspended();
+  stats.running_jobs = jobs_.size();
+  if (pump_runs_metric_ != nullptr) {
+    stats.pump_runs = pump_runs_metric_->value();
+    stats.entries_scanned = pump_scanned_metric_->value();
+    stats.dispatched = dispatched_metric_->value();
+  }
+  return stats;
+}
+
+void Engine::IndexJob(cluster::JobId job_id, const PendingJob& pending) {
+  jobs_by_instance_[pending.instance_id].insert(job_id);
+  jobs_by_node_[pending.node].insert(job_id);
+}
+
+Engine::PendingJob Engine::TakeJob(
+    std::map<cluster::JobId, PendingJob>::iterator it, bool failed) {
+  cluster::JobId job_id = it->first;
+  PendingJob pending = std::move(it->second);
+  jobs_.erase(it);
+  auto inst_it = jobs_by_instance_.find(pending.instance_id);
+  if (inst_it != jobs_by_instance_.end()) {
+    inst_it->second.erase(job_id);
+    if (inst_it->second.empty()) jobs_by_instance_.erase(inst_it);
+  }
+  auto node_it = jobs_by_node_.find(pending.node);
+  if (node_it != jobs_by_node_.end()) {
+    node_it->second.erase(job_id);
+    if (node_it->second.empty()) jobs_by_node_.erase(node_it);
+  }
+  if (pending.watchdog != kInvalidEventId) {
+    // No-op if the watchdog already fired (Cancel tolerates spent ids).
+    sim_->Cancel(pending.watchdog);
+    pending.watchdog = kInvalidEventId;
+  }
+  awareness_.JobFinishedOrFailed(pending.node, failed);
+  // A CPU freed on this node: classes parked for capacity can try again.
+  WakeClassesForNode(pending.node);
+  return pending;
+}
+
+Engine::PendingJob Engine::TakeJob(cluster::JobId job_id, bool failed) {
+  return TakeJob(jobs_.find(job_id), failed);
 }
 
 void Engine::SchedulePumpRetry() {
@@ -1398,6 +1557,9 @@ void Engine::SchedulePumpRetry() {
   pump_event_ = sim_->Schedule(options_.dispatch_retry, [this] {
     pump_scheduled_ = false;
     pump_event_ = kInvalidEventId;
+    // Periodic full re-probe: capacity estimates may have drifted without
+    // a wake event (the old pump re-tried every queued entry here too).
+    WakeAllClasses();
     PumpDispatch();
   });
 }
@@ -1408,29 +1570,50 @@ void Engine::PumpDispatch() {
   // in this pass coalesce into (at most) a few WAL records, bounded by
   // the pre-dispatch flush barriers below.
   RecordStore::CommitScope commit_group(GroupTarget());
-  // Higher-priority instances dispatch first; FIFO otherwise.
-  std::stable_sort(ready_queue_.begin(), ready_queue_.end(),
-                   [this](const ReadyEntry& a, const ReadyEntry& b) {
-                     const ProcessInstance* ia = FindInstance(a.instance_id);
-                     const ProcessInstance* ib = FindInstance(b.instance_id);
-                     int pa = ia != nullptr ? ia->priority() : 0;
-                     int pb = ib != nullptr ? ib->priority() : 0;
-                     return pa > pb;
-                   });
-  std::deque<ReadyEntry> keep;
+  if (pump_runs_metric_ != nullptr) pump_runs_metric_->Increment();
+  pumping_ = true;
+  pump_frozen_.clear();
   bool starved = false;
-  while (!ready_queue_.empty()) {
-    ReadyEntry entry = std::move(ready_queue_.front());
-    ready_queue_.pop_front();
-    ProcessInstance* inst = FindInstance(entry.instance_id);
-    if (inst == nullptr) continue;  // instance gone
-    if (inst->state() == InstanceState::kSuspended) {
-      keep.push_back(std::move(entry));
-      continue;
+
+  enum class Verdict { kContinue, kStopDegraded, kStopFenced };
+
+  // Processes one entry exactly as the sort-every-pump loop did: resolve
+  // the instance and node (cached handles, validated by generation
+  // counters), run the activity implementation on first scan, place, and
+  // dispatch. Entries that cannot dispatch park — under their resource
+  // class when placement declined, under their instance when it is
+  // suspended — instead of returning to the scan set, so the next pump's
+  // work is proportional to what can actually dispatch.
+  auto scan_entry = [&](ReadyEntry entry) -> Verdict {
+    if (pump_scanned_metric_ != nullptr) pump_scanned_metric_->Increment();
+    ProcessInstance* inst =
+        entry.engine_gen == instance_generation_ ? entry.inst_hint : nullptr;
+    if (inst == nullptr) {
+      inst = FindInstance(entry.instance_id);
+      if (inst == nullptr) return Verdict::kContinue;  // instance gone
+      entry.inst_hint = inst;
+      entry.engine_gen = instance_generation_;
+      entry.node_hint = nullptr;
+      entry.structure_gen = 0;
     }
-    if (inst->state() != InstanceState::kRunning) continue;  // aborted/failed
-    TaskNode* node = inst->FindByPath(entry.path);
-    if (node == nullptr || node->state != TaskState::kReady) continue;
+    if (inst->state() == InstanceState::kSuspended) {
+      ReadyKey key = entry.key();
+      parked_by_instance_[entry.instance_id].emplace(key, std::move(entry));
+      return Verdict::kContinue;
+    }
+    if (inst->state() != InstanceState::kRunning) {
+      return Verdict::kContinue;  // aborted/failed
+    }
+    TaskNode* node = entry.structure_gen == inst->structure_generation()
+                         ? entry.node_hint
+                         : nullptr;
+    if (node == nullptr) {
+      node = inst->FindByPath(entry.path);
+      if (node == nullptr) return Verdict::kContinue;  // subtree discarded
+      entry.node_hint = node;
+      entry.structure_gen = inst->structure_generation();
+    }
+    if (node->state != TaskState::kReady) return Verdict::kContinue;
 
     // Execute the activity implementation (idempotent; may be a cached
     // result from a previous declined placement).
@@ -1455,13 +1638,25 @@ void Engine::PumpDispatch() {
         if (!st.ok()) {
           BIOPERA_LOG(kError) << "failure handling error: " << st.ToString();
         }
-        continue;
+        return Verdict::kContinue;
       }
       entry.cached = std::move(*output);
     }
 
+    const std::string cls = node->def->resource_class;
+    if (pump_frozen_.contains(cls)) {
+      // The head of this class already declined placement this pump and no
+      // capacity has freed since, so the outcome is known; skipping the
+      // attempt is safe because every policy leaves its internal state
+      // untouched on a decline.
+      entry.resource_class = cls;
+      starved = true;
+      ReadyKey key = entry.key();
+      parked_by_class_[cls].emplace(key, std::move(entry));
+      return Verdict::kContinue;
+    }
     sched::PlacementRequest request;
-    request.resource_class = node->def->resource_class;
+    request.resource_class = cls;
     request.estimated_work = entry.cached->cost;
     std::string target = policy_->Place(request, awareness_);
     if (!entry.avoid_node.empty() && target == entry.avoid_node) {
@@ -1473,9 +1668,15 @@ void Engine::PumpDispatch() {
       if (!alternative.empty()) target = alternative;
     }
     if (target.empty()) {
+      // No capacity anywhere in this class: park the entry and freeze the
+      // class for the rest of the pump. A capacity event (job finished,
+      // node up, load report, config change) wakes it again.
+      entry.resource_class = cls;
       starved = true;
-      keep.push_back(std::move(entry));
-      continue;
+      pump_frozen_.insert(cls);
+      ReadyKey key = entry.key();
+      parked_by_class_[cls].emplace(key, std::move(entry));
+      return Verdict::kContinue;
     }
     // Flush barrier: dispatching the job makes state externally visible,
     // so everything committed so far must be durable first.
@@ -1484,36 +1685,37 @@ void Engine::PumpDispatch() {
       if (!flush_status.ok()) {
         BIOPERA_LOG(kError) << "pre-dispatch flush failed: "
                             << flush_status.ToString();
-        keep.push_back(std::move(entry));
-        if (MaybeHandleFenced(flush_status)) return;  // stepping down
+        ReadyKey key = entry.key();
+        ready_.emplace(key, std::move(entry));
+        if (MaybeHandleFenced(flush_status)) return Verdict::kStopFenced;
         if (flush_status.IsIOError()) {
           // Stop dispatching entirely: the store is degraded. The entries
           // (and their cached results) stay queued; the degraded retry
           // pumps again once writes succeed.
           EnterDegraded(flush_status);
-          while (!ready_queue_.empty()) {
-            keep.push_back(std::move(ready_queue_.front()));
-            ready_queue_.pop_front();
-          }
-          break;
+          return Verdict::kStopDegraded;
         }
         starved = true;
-        continue;
+        return Verdict::kContinue;
       }
     }
     cluster::JobId job_id = next_job_id_++;
     Status st = cluster_->StartJob(job_id, target, entry.cached->cost);
     if (!st.ok()) {
-      // Raced with a node failure; keep queued and try elsewhere later.
+      // Raced with a node failure; keep queued (not parked: placement
+      // succeeded, so the class is not capacity-starved) and try
+      // elsewhere at the next pump.
       starved = true;
-      keep.push_back(std::move(entry));
-      continue;
+      ReadyKey key = entry.key();
+      ready_.emplace(key, std::move(entry));
+      return Verdict::kContinue;
     }
-    jobs_[job_id] = PendingJob{entry.instance_id, entry.path,
-                               entry.cached->fields, entry.cached->cost,
-                               target};
-    ArmJobWatchdog(job_id, entry.cached->cost);
-    node->state = TaskState::kRunning;
+    PendingJob pending{entry.instance_id, entry.path, entry.cached->fields,
+                       entry.cached->cost, target};
+    pending.watchdog = ArmJobWatchdog(job_id, entry.cached->cost);
+    IndexJob(job_id, pending);
+    jobs_[job_id] = std::move(pending);
+    inst->SetTaskState(node, TaskState::kRunning);
     node->started = sim_->Now();
     awareness_.JobDispatched(target);
     WriteBatch batch;
@@ -1536,26 +1738,90 @@ void Engine::PumpDispatch() {
             StrFormat("%lld", static_cast<long long>(
                                   entry.cached->cost.micros()))}});
     }
+    return Verdict::kContinue;
+  };
+
+  // Round 1: cursor-based merge of the ready map with the parked queues
+  // of woken classes, in (priority, seq) order — the exact scan order of
+  // the old sort-every-pump deque, minus the entries known not to
+  // dispatch. The cursor only moves forward, so entries parked or
+  // re-queued by the scan itself are not revisited within this pump.
+  Verdict verdict = Verdict::kContinue;
+  using EntryMap = std::map<ReadyKey, ReadyEntry>;
+  ReadyKey cursor{0, 0};
+  bool have_cursor = false;
+  while (verdict == Verdict::kContinue) {
+    EntryMap* source = nullptr;
+    EntryMap::iterator best;
+    auto consider = [&](EntryMap& m) {
+      auto it = have_cursor ? m.upper_bound(cursor) : m.begin();
+      if (it == m.end()) return;
+      if (source == nullptr || it->first < best->first) {
+        source = &m;
+        best = it;
+      }
+    };
+    consider(ready_);
+    for (auto wit = woken_classes_.begin(); wit != woken_classes_.end();) {
+      auto pit = parked_by_class_.find(*wit);
+      if (pit == parked_by_class_.end() || pit->second.empty()) {
+        // Nothing parked here any more: the wake is consumed.
+        if (pit != parked_by_class_.end()) parked_by_class_.erase(pit);
+        wit = woken_classes_.erase(wit);
+        continue;
+      }
+      if (!pump_frozen_.contains(*wit)) consider(pit->second);
+      ++wit;
+    }
+    if (source == nullptr) break;
+    cursor = best->first;
+    have_cursor = true;
+    ReadyEntry entry = std::move(best->second);
+    source->erase(best);
+    verdict = scan_entry(std::move(entry));
   }
-  ready_queue_ = std::move(keep);
+  // Round 2: entries enqueued while the pump ran (navigation inside
+  // completion and failure handling), in enqueue order — exactly where
+  // the old deque's mid-pump appends were scanned.
+  while (verdict == Verdict::kContinue && !pump_overflow_.empty()) {
+    ReadyEntry entry = std::move(pump_overflow_.front());
+    pump_overflow_.pop_front();
+    verdict = scan_entry(std::move(entry));
+  }
+  pumping_ = false;
+  // A mid-scan stop (fenced/degraded) leaves overflow entries; return
+  // them to the ready map for the recovery pump.
+  while (!pump_overflow_.empty()) {
+    ReadyEntry entry = std::move(pump_overflow_.front());
+    pump_overflow_.pop_front();
+    ReadyKey key = entry.key();
+    ready_.emplace(key, std::move(entry));
+  }
+  // Classes that declined this pump sleep until the next capacity event.
+  for (const std::string& cls : pump_frozen_) woken_classes_.erase(cls);
+  pump_frozen_.clear();
+  if (verdict == Verdict::kStopFenced) return;  // stepping down
   SyncObsGauges();
-  if (starved) SchedulePumpRetry();
+  // Retry while anything is capacity-starved (parked suspended-instance
+  // entries alone do not warrant a timer: only RESUME frees them).
+  if (starved || NumParkedStarved() > 0) SchedulePumpRetry();
 }
 
-void Engine::ArmJobWatchdog(cluster::JobId job_id, Duration cost) {
-  if (options_.job_timeout_factor <= 0) return;
+EventId Engine::ArmJobWatchdog(cluster::JobId job_id, Duration cost) {
+  if (options_.job_timeout_factor <= 0) return kInvalidEventId;
   Duration timeout =
       cost * options_.job_timeout_factor + options_.job_timeout_slack;
-  sim_->ScheduleDaemon(timeout, [this, job_id] {
+  return sim_->ScheduleDaemon(timeout, [this, job_id] {
     if (!up_) return;
     auto it = jobs_.find(job_id);
     if (it == jobs_.end()) return;  // reported in time
-    PendingJob pending = it->second;
-    jobs_.erase(it);
+    // This event is the watchdog: clear the handle before TakeJob so it
+    // does not try to cancel the event that is currently running.
+    it->second.watchdog = kInvalidEventId;
+    PendingJob pending = TakeJob(it, /*failed=*/true);
     // The PEC never reported (lost report, silent stall, partition):
     // declare the job lost and re-schedule (paper event 10, automated).
     cluster_->KillJob(job_id);  // NotFound if it silently completed
-    awareness_.JobFinishedOrFailed(pending.node, /*failed=*/true);
     AppendHistory(pending.instance_id,
                   StrFormat("job for %s on %s timed out; re-scheduling",
                             pending.path.c_str(), pending.node.c_str()));
@@ -1571,7 +1837,7 @@ void Engine::ArmJobWatchdog(cluster::JobId job_id, Duration cost) {
     if (inst == nullptr) return;
     TaskNode* node = inst->FindByPath(pending.path);
     if (node == nullptr || node->state != TaskState::kRunning) return;
-    node->state = TaskState::kReady;
+    inst->SetTaskState(node, TaskState::kReady);
     RecordStore::CommitScope commit_group(GroupTarget());
     WriteBatch batch;
     PersistTask(inst, node, &batch);
@@ -1580,10 +1846,18 @@ void Engine::ArmJobWatchdog(cluster::JobId job_id, Duration cost) {
       BIOPERA_LOG(kError) << "watchdog commit failed: " << st.ToString();
       return;
     }
-    ready_queue_.push_back(
-        ReadyEntry{pending.instance_id, pending.path,
-                   ActivityOutput{pending.outputs, pending.cost},
-                   pending.node});
+    ReadyEntry entry;
+    entry.instance_id = pending.instance_id;
+    entry.path = pending.path;
+    entry.cached = ActivityOutput{pending.outputs, pending.cost};
+    entry.avoid_node = pending.node;
+    entry.priority = inst->priority();
+    entry.inst_hint = inst;
+    entry.engine_gen = instance_generation_;
+    entry.node_hint = node;
+    entry.structure_gen = inst->structure_generation();
+    if (node->def != nullptr) entry.resource_class = node->def->resource_class;
+    PushEntry(std::move(entry));
     PumpDispatch();
   });
 }
@@ -1594,9 +1868,10 @@ Result<Duration> Engine::EstimateRemainingWork(
   if (inst == nullptr) return Status::NotFound("no instance " + instance_id);
   // Outstanding jobs contribute their known costs.
   double seconds = 0;
-  for (const auto& [job_id, pending] : jobs_) {
-    if (pending.instance_id == instance_id) {
-      seconds += pending.cost.ToSeconds();
+  if (auto it = jobs_by_instance_.find(instance_id);
+      it != jobs_by_instance_.end()) {
+    for (cluster::JobId job_id : it->second) {
+      seconds += jobs_.at(job_id).cost.ToSeconds();
     }
   }
   // Ready/waiting activities are estimated at the mean completed cost.
@@ -1605,15 +1880,13 @@ Result<Duration> Engine::EstimateRemainingWork(
                           static_cast<double>(
                               inst->stats().activities_completed)
                     : 0;
-  const_cast<ProcessInstance*>(inst)->ForEachNode([&](TaskNode* node) {
-    if (node->kind() != TaskKind::kActivity) return;
-    if (node->state == TaskState::kReady ||
-        node->state == TaskState::kRetryWait ||
-        node->state == TaskState::kEventWait ||
-        node->state == TaskState::kInactive) {
-      seconds += mean;
-    }
-  });
+  size_t outstanding = inst->ActivitiesInState(TaskState::kReady) +
+                       inst->ActivitiesInState(TaskState::kRetryWait) +
+                       inst->ActivitiesInState(TaskState::kEventWait) +
+                       inst->ActivitiesInState(TaskState::kInactive);
+  // Repeated addition (not mean * outstanding) keeps the result
+  // bit-identical to the old per-node accumulation.
+  for (size_t i = 0; i < outstanding; ++i) seconds += mean;
   return Duration::Seconds(seconds);
 }
 
@@ -1622,13 +1895,15 @@ Result<std::vector<Engine::TaskRow>> Engine::ListTasks(
   const ProcessInstance* inst = FindInstance(instance_id);
   if (inst == nullptr) return Status::NotFound("no instance " + instance_id);
   std::map<std::string, std::string> nodes_by_path;
-  for (const auto& [job_id, pending] : jobs_) {
-    if (pending.instance_id == instance_id) {
+  if (auto it = jobs_by_instance_.find(instance_id);
+      it != jobs_by_instance_.end()) {
+    for (cluster::JobId job_id : it->second) {
+      const PendingJob& pending = jobs_.at(job_id);
       nodes_by_path[pending.path] = pending.node;
     }
   }
   std::vector<TaskRow> rows;
-  const_cast<ProcessInstance*>(inst)->ForEachNode([&](TaskNode* node) {
+  inst->ForEachNode([&](const TaskNode* node) {
     TaskRow row;
     row.path = node->path;
     row.state = node->state;
@@ -1646,13 +1921,22 @@ Result<std::vector<Engine::TaskRow>> Engine::ListTasks(
 void Engine::CheckMigrations() {
   if (!options_.migration_enabled || !up_) return;
   RecordStore::CommitScope commit_group(GroupTarget());
-  std::vector<cluster::JobId> to_migrate;
-  for (const auto& [job_id, pending] : jobs_) {
-    const monitor::AwarenessModel::NodeView* view =
-        awareness_.Find(pending.node);
+  // Saturation is a per-node property: use the node index so only jobs on
+  // saturated nodes are examined, then probe placements in JobId order
+  // (stateful policies — round-robin, random — see the same call sequence
+  // as the old full-table scan).
+  std::vector<cluster::JobId> candidates;
+  for (const auto& [node_name, job_ids] : jobs_by_node_) {
+    const monitor::AwarenessModel::NodeView* view = awareness_.Find(node_name);
     if (view == nullptr || !view->up) continue;
-    // Node saturated by external users: our nice job makes ~no progress.
+    // Node saturated by external users: our nice jobs make ~no progress.
     if (view->reported_load < 0.999) continue;
+    candidates.insert(candidates.end(), job_ids.begin(), job_ids.end());
+  }
+  std::sort(candidates.begin(), candidates.end());
+  std::vector<cluster::JobId> to_migrate;
+  for (cluster::JobId job_id : candidates) {
+    const PendingJob& pending = jobs_.at(job_id);
     // Only migrate if somewhere else has a free CPU right now.
     ProcessInstance* inst = FindInstance(pending.instance_id);
     if (inst == nullptr || inst->state() != InstanceState::kRunning) continue;
@@ -1667,13 +1951,11 @@ void Engine::CheckMigrations() {
     }
   }
   for (cluster::JobId job_id : to_migrate) {
-    PendingJob pending = jobs_[job_id];
     cluster_->KillJob(job_id);
-    awareness_.JobFinishedOrFailed(pending.node, /*failed=*/false);
-    jobs_.erase(job_id);
+    PendingJob pending = TakeJob(job_id, /*failed=*/false);
     ProcessInstance* inst = FindInstance(pending.instance_id);
     TaskNode* node = inst->FindByPath(pending.path);
-    node->state = TaskState::kReady;
+    inst->SetTaskState(node, TaskState::kReady);
     WriteBatch batch;
     PersistTask(inst, node, &batch);
     Status st = Commit(&batch);
@@ -1694,9 +1976,17 @@ void Engine::CheckMigrations() {
     // Re-queue with the computed result cached: the work itself restarts
     // on the new node (kill-and-restart), but the deterministic outputs
     // need not be recomputed.
-    ready_queue_.push_back(
-        ReadyEntry{pending.instance_id, pending.path,
-                   ActivityOutput{pending.outputs, pending.cost}});
+    ReadyEntry entry;
+    entry.instance_id = pending.instance_id;
+    entry.path = pending.path;
+    entry.cached = ActivityOutput{pending.outputs, pending.cost};
+    entry.priority = inst->priority();
+    entry.inst_hint = inst;
+    entry.engine_gen = instance_generation_;
+    entry.node_hint = node;
+    entry.structure_gen = inst->structure_generation();
+    if (node->def != nullptr) entry.resource_class = node->def->resource_class;
+    PushEntry(std::move(entry));
   }
   if (!to_migrate.empty()) PumpDispatch();
 }
@@ -1709,9 +1999,7 @@ void Engine::OnJobFinished(cluster::JobId id, const std::string& node_name) {
   if (!up_) return;
   auto it = jobs_.find(id);
   if (it == jobs_.end()) return;  // stale report from before a crash
-  PendingJob pending = std::move(it->second);
-  jobs_.erase(it);
-  awareness_.JobFinishedOrFailed(node_name, /*failed=*/false);
+  PendingJob pending = TakeJob(it, /*failed=*/false);
   ProcessInstance* inst = FindInstance(pending.instance_id);
   if (inst == nullptr) return;
   TaskNode* node = inst->FindByPath(pending.path);
@@ -1752,9 +2040,7 @@ void Engine::OnJobFailed(cluster::JobId id, const std::string& node_name,
   if (!up_) return;
   auto it = jobs_.find(id);
   if (it == jobs_.end()) return;
-  PendingJob pending = std::move(it->second);
-  jobs_.erase(it);
-  awareness_.JobFinishedOrFailed(node_name, /*failed=*/true);
+  PendingJob pending = TakeJob(it, /*failed=*/true);
   ProcessInstance* inst = FindInstance(pending.instance_id);
   if (inst == nullptr) return;
   TaskNode* node = inst->FindByPath(pending.path);
@@ -1780,6 +2066,7 @@ void Engine::OnNodeDown(const std::string& node) {
 void Engine::OnNodeUp(const std::string& node) {
   if (!up_) return;
   awareness_.NodeUp(node, sim_->Now());
+  WakeClassesForNode(node);
   if (options_.adaptive_monitoring && !monitors_.contains(node)) {
     auto probe = [this, node]() {
       Result<cluster::NodeConfig> config = cluster_->GetNode(node);
@@ -1788,6 +2075,7 @@ void Engine::OnNodeUp(const std::string& node) {
     };
     auto report = [this, node](double load) {
       awareness_.UpdateLoad(node, load, sim_->Now());
+      WakeClassesForNode(node);
       CheckMigrations();
       PumpDispatch();
     };
@@ -1806,6 +2094,7 @@ void Engine::OnLoadReport(const std::string& node, double load) {
   if (!up_) return;
   if (options_.adaptive_monitoring) return;  // monitors poll instead
   awareness_.UpdateLoad(node, load, sim_->Now());
+  WakeClassesForNode(node);
   CheckMigrations();
   PumpDispatch();
 }
@@ -1813,6 +2102,8 @@ void Engine::OnLoadReport(const std::string& node, double load) {
 void Engine::OnConfigChanged(const cluster::NodeConfig& config) {
   if (!up_) return;
   awareness_.UpdateConfig(config);
+  // Served classes or CPU counts may have changed in any direction.
+  WakeAllClasses();
   RecordStore::CommitScope commit_group(GroupTarget());
   Value::Map cfg;
   cfg["cpus"] = Value(static_cast<int64_t>(config.num_cpus));
@@ -1936,7 +2227,7 @@ Status Engine::RecoverInstance(const std::string& instance_id) {
     const Value::Map& rec = rec_it->second;
     BIOPERA_ASSIGN_OR_RETURN(TaskState state,
                              TaskStateFromName(RecString(rec, "state")));
-    node->state = state;
+    inst->SetTaskState(node, state);
     node->attempts = static_cast<int>(RecInt(rec, "attempts", 0));
     node->binding_used = RecString(rec, "binding");
     node->cost = Duration::Micros(RecInt(rec, "cost_us", 0));
@@ -2016,7 +2307,7 @@ Status Engine::RecoverInstance(const std::string& instance_id) {
     if (node->kind() != TaskKind::kActivity) return;
     if (node->state == TaskState::kRunning ||
         node->state == TaskState::kRetryWait) {
-      node->state = TaskState::kReady;
+      raw->SetTaskState(node, TaskState::kReady);
       PersistTask(raw, node, &batch);
     }
     if (node->state == TaskState::kReady) {

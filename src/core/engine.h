@@ -5,7 +5,9 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -227,7 +229,21 @@ class Engine : public cluster::ClusterListener {
     Duration cost;
   };
   std::vector<RunningJob> GetRunningJobs() const;
-  size_t QueueDepth() const { return ready_queue_.size(); }
+  /// Entries awaiting dispatch: the ready queue plus every parked entry
+  /// (starved classes and suspended instances).
+  size_t QueueDepth() const;
+
+  /// Dispatcher internals for monitoring (console STATS).
+  struct DispatchStats {
+    size_t ready = 0;             // dispatchable at the next pump
+    size_t parked_starved = 0;    // waiting for capacity in their class
+    size_t parked_suspended = 0;  // waiting for their instance to resume
+    size_t running_jobs = 0;
+    uint64_t pump_runs = 0;        // engine_pump_runs_total
+    uint64_t entries_scanned = 0;  // engine_pump_entries_scanned_total
+    uint64_t dispatched = 0;       // engine_tasks_dispatched_total
+  };
+  DispatchStats GetDispatchStats() const;
 
   // --- Failure injection ------------------------------------------------------
   /// While set, every activity execution fails with IOError. Legacy shim:
@@ -248,6 +264,12 @@ class Engine : public cluster::ClusterListener {
  private:
   friend class OutagePlanner;
 
+  /// Dispatch order: priority descending, then enqueue sequence (FIFO).
+  /// Used as the key of the ready map and the parked queues, so a parked
+  /// entry re-enters the scan exactly where the old sort-every-pump deque
+  /// would have placed it.
+  using ReadyKey = std::pair<int, uint64_t>;  // (-priority, seq)
+
   struct ReadyEntry {
     std::string instance_id;
     std::string path;
@@ -256,6 +278,22 @@ class Engine : public cluster::ClusterListener {
     /// Node to avoid if any alternative exists (set by the lost-report
     /// watchdog: the node may be silently partitioned).
     std::string avoid_node;
+    /// Instance priority and enqueue sequence, frozen at enqueue time
+    /// (instance priority is immutable after creation).
+    int priority = 0;
+    uint64_t seq = 0;
+    /// Resolved handles, validated by the generation counters below; on
+    /// mismatch the pump falls back to FindInstance/FindByPath once and
+    /// re-caches.
+    ProcessInstance* inst_hint = nullptr;
+    TaskNode* node_hint = nullptr;
+    uint64_t engine_gen = 0;     // vs Engine::instance_generation_
+    uint64_t structure_gen = 0;  // vs ProcessInstance::structure_generation()
+    /// The activity's resource class, cached so parking/waking never needs
+    /// to resolve the node.
+    std::string resource_class;
+
+    ReadyKey key() const { return {-priority, seq}; }
   };
   struct PendingJob {
     std::string instance_id;
@@ -263,6 +301,9 @@ class Engine : public cluster::ClusterListener {
     ocr::Value::Map outputs;
     Duration cost;
     std::string node;
+    /// Lost-report watchdog event, cancelled when the job reports in time
+    /// (kInvalidEventId when the watchdog is disabled).
+    EventId watchdog = kInvalidEventId;
   };
 
   // -- Navigation --
@@ -306,11 +347,41 @@ class Engine : public cluster::ClusterListener {
 
   // -- Dispatching --
   void EnqueueReady(ProcessInstance* inst, TaskNode* node);
+  /// Routes an entry into the ready map — or, during a pump, into the
+  /// pump-local overflow queue (scanned at the tail of the running pump,
+  /// in enqueue order, mirroring the old deque's mid-pump appends).
+  void PushEntry(ReadyEntry entry);
   void PumpDispatch();
   void SchedulePumpRetry();
-  void ArmJobWatchdog(cluster::JobId job_id, Duration cost);
+  /// Arms the lost-report watchdog; returns its event id (kInvalidEventId
+  /// when disabled) for cancellation on timely completion.
+  EventId ArmJobWatchdog(cluster::JobId job_id, Duration cost);
   /// Kill-and-restart migration check (see EngineOptions).
   void CheckMigrations();
+
+  // -- Parked-entry wakeups --
+  /// Marks a parked resource class dispatch-eligible again; the next pump
+  /// scans its head. Mid-pump, also un-freezes the class so entries later
+  /// in the scan get a fresh placement attempt (capacity just changed).
+  void MarkClassWoken(const std::string& resource_class);
+  /// Capacity appeared on `node_name`: wake every parked class it serves.
+  void WakeClassesForNode(const std::string& node_name);
+  void WakeAllClasses();
+  /// Re-queues entries parked while `instance_id` was suspended (RESUME /
+  /// RESTART).
+  void WakeInstance(const std::string& instance_id);
+  void DropParkedForInstance(const std::string& instance_id);
+  size_t NumParkedStarved() const;
+  size_t NumParkedSuspended() const;
+
+  // -- Job table --
+  void IndexJob(cluster::JobId job_id, const PendingJob& pending);
+  /// Removes a job from the table and the per-node / per-instance
+  /// indices, cancels its watchdog, releases its awareness slot and wakes
+  /// the classes its node serves. Every jobs_ removal goes through here.
+  PendingJob TakeJob(std::map<cluster::JobId, PendingJob>::iterator it,
+                     bool failed);
+  PendingJob TakeJob(cluster::JobId job_id, bool failed);
 
   // -- Persistence --
   void PersistTask(ProcessInstance* inst, const TaskNode* node,
@@ -375,8 +446,37 @@ class Engine : public cluster::ClusterListener {
   std::vector<std::unique_ptr<ocr::ProcessDef>> retired_defs_;
 
   std::map<std::string, std::unique_ptr<ProcessInstance>> instances_;
-  std::deque<ReadyEntry> ready_queue_;
+  /// Bumped whenever instances_ loses an element (Archive, Crash, fenced
+  /// step-down); validates ReadyEntry::inst_hint.
+  uint64_t instance_generation_ = 0;
+
+  /// Entries the next pump scans, in dispatch order. Fresh enqueues land
+  /// here; entries that decline placement or hit a suspended instance
+  /// move to the parked maps below and are skipped by later pumps until a
+  /// wake event readmits them — per-pump work tracks what can actually
+  /// dispatch, not total queue depth.
+  std::map<ReadyKey, ReadyEntry> ready_;
+  /// Starved entries, per resource class, in dispatch order.
+  std::map<std::string, std::map<ReadyKey, ReadyEntry>, std::less<>>
+      parked_by_class_;
+  /// Classes re-admitted to the pump scan by a capacity event.
+  std::set<std::string, std::less<>> woken_classes_;
+  /// Entries of suspended instances, re-queued on RESUME/RESTART.
+  std::map<std::string, std::map<ReadyKey, ReadyEntry>> parked_by_instance_;
+  uint64_t next_ready_seq_ = 1;
+  /// Pump re-entrancy: enqueues from navigation running inside a pump go
+  /// to the overflow queue; classes declining this pump freeze until the
+  /// pump ends (or capacity frees mid-pump).
+  bool pumping_ = false;
+  std::deque<ReadyEntry> pump_overflow_;
+  std::set<std::string, std::less<>> pump_frozen_;
+
   std::map<cluster::JobId, PendingJob> jobs_;
+  /// Secondary indices over jobs_ (deterministic JobId order inside each
+  /// bucket) so Abort/Restart/DiscardSubtree/EstimateRemainingWork/
+  /// ListTasks and the migration scan touch only their own jobs.
+  std::map<std::string, std::set<cluster::JobId>> jobs_by_instance_;
+  std::map<std::string, std::set<cluster::JobId>> jobs_by_node_;
   cluster::JobId next_job_id_ = 1;
   uint64_t next_instance_seq_ = 1;
   bool pump_scheduled_ = false;
@@ -384,6 +484,8 @@ class Engine : public cluster::ClusterListener {
 
   // Resolved metric handles (null without an Observability context).
   obs::Counter* dispatched_metric_ = nullptr;
+  obs::Counter* pump_runs_metric_ = nullptr;
+  obs::Counter* pump_scanned_metric_ = nullptr;
   obs::Counter* completed_metric_ = nullptr;
   obs::Counter* failed_metric_ = nullptr;
   obs::Counter* timed_out_metric_ = nullptr;
@@ -393,6 +495,8 @@ class Engine : public cluster::ClusterListener {
   obs::Counter* degraded_retries_metric_ = nullptr;
   obs::Gauge* degraded_gauge_ = nullptr;
   obs::Gauge* queue_depth_gauge_ = nullptr;
+  obs::Gauge* parked_starved_gauge_ = nullptr;
+  obs::Gauge* parked_suspended_gauge_ = nullptr;
   obs::Gauge* running_jobs_gauge_ = nullptr;
   obs::Histogram* task_cost_metric_ = nullptr;
 };

@@ -115,18 +115,58 @@ void ProcessInstance::ForEachNode(const std::function<void(TaskNode*)>& fn) {
   walk(&root_);
 }
 
+void ProcessInstance::ForEachNode(
+    const std::function<void(const TaskNode*)>& fn) const {
+  std::function<void(const TaskNode*)> walk = [&](const TaskNode* node) {
+    for (const auto& child : node->children) {
+      fn(child.get());
+      walk(child.get());
+    }
+  };
+  walk(&root_);
+}
+
 TaskNode* ProcessInstance::FindByPath(std::string_view path) {
+  auto it = path_index_.find(path);
+  return it == path_index_.end() ? nullptr : it->second;
+}
+
+const TaskNode* ProcessInstance::FindByPath(std::string_view path) const {
   auto it = path_index_.find(path);
   return it == path_index_.end() ? nullptr : it->second;
 }
 
 void ProcessInstance::IndexNode(TaskNode* node) {
   path_index_[node->path] = node;
+  ++state_counts_[static_cast<size_t>(node->state)];
+  if (node->kind() == ocr::TaskKind::kActivity) {
+    ++activity_counts_[static_cast<size_t>(node->state)];
+  }
 }
 
-void ProcessInstance::UnindexNode(std::string_view path) {
-  auto it = path_index_.find(path);
-  if (it != path_index_.end()) path_index_.erase(it);
+void ProcessInstance::UnindexNode(TaskNode* node) {
+  auto it = path_index_.find(node->path);
+  if (it == path_index_.end() || it->second != node) return;
+  path_index_.erase(it);
+  --state_counts_[static_cast<size_t>(node->state)];
+  if (node->kind() == ocr::TaskKind::kActivity) {
+    --activity_counts_[static_cast<size_t>(node->state)];
+  }
+  ++structure_generation_;
+}
+
+void ProcessInstance::SetTaskState(TaskNode* node, TaskState s) {
+  if (node->state == s) return;
+  // The pseudo-root is never indexed; its state is not counted.
+  if (!node->is_root()) {
+    --state_counts_[static_cast<size_t>(node->state)];
+    ++state_counts_[static_cast<size_t>(s)];
+    if (node->kind() == ocr::TaskKind::kActivity) {
+      --activity_counts_[static_cast<size_t>(node->state)];
+      ++activity_counts_[static_cast<size_t>(s)];
+    }
+  }
+  node->state = s;
 }
 
 }  // namespace biopera::core

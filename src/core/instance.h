@@ -1,6 +1,7 @@
 #ifndef BIOPERA_CORE_INSTANCE_H_
 #define BIOPERA_CORE_INSTANCE_H_
 
+#include <array>
 #include <functional>
 #include <map>
 #include <set>
@@ -26,6 +27,9 @@ enum class TaskState {
   kSkipped,    // dead path: all incoming connectors false
   kFailed,     // failed permanently (retries exhausted)
 };
+/// Number of TaskState values (size of per-state count arrays).
+inline constexpr size_t kNumTaskStates = 8;
+
 std::string_view TaskStateName(TaskState s);
 Result<TaskState> TaskStateFromName(std::string_view name);
 /// True for states a task can no longer leave during normal navigation.
@@ -156,16 +160,39 @@ class ProcessInstance {
 
   /// Depth-first walk over all task nodes (excluding the pseudo-root).
   void ForEachNode(const std::function<void(TaskNode*)>& fn);
+  void ForEachNode(const std::function<void(const TaskNode*)>& fn) const;
 
   /// Finds a node by its persistent path; nullptr if absent. O(log n) via
   /// the path index.
   TaskNode* FindByPath(std::string_view path);
+  const TaskNode* FindByPath(std::string_view path) const;
 
   /// Must be called for every TaskNode created after construction
   /// (composite expansion, recovery) to keep the path index current.
   void IndexNode(TaskNode* node);
-  /// Removes a destroyed node's path (sphere-of-atomicity re-runs).
-  void UnindexNode(std::string_view path);
+  /// Removes a destroyed node from the path index and the state counters
+  /// (sphere-of-atomicity re-runs, invalidation). Bumps the structure
+  /// generation, invalidating cached TaskNode pointers held elsewhere.
+  void UnindexNode(TaskNode* node);
+
+  /// All task-state writes after IndexNode must go through here so the
+  /// per-state counters stay exact.
+  void SetTaskState(TaskNode* node, TaskState s);
+
+  /// O(1) task-state aggregates over all indexed nodes / activity nodes
+  /// only. Kept incrementally by IndexNode/UnindexNode/SetTaskState so
+  /// Summary and the progress estimators never walk the tree.
+  size_t NumNodes() const { return path_index_.size(); }
+  size_t CountInState(TaskState s) const {
+    return state_counts_[static_cast<size_t>(s)];
+  }
+  size_t ActivitiesInState(TaskState s) const {
+    return activity_counts_[static_cast<size_t>(s)];
+  }
+
+  /// Bumped whenever an indexed node is destroyed; consumers caching raw
+  /// TaskNode pointers re-resolve via FindByPath when this moves.
+  uint64_t structure_generation() const { return structure_generation_; }
 
  private:
   std::string id_;
@@ -177,6 +204,9 @@ class ProcessInstance {
   std::map<std::string, std::string> lineage_;
   std::set<std::string> raised_events_;
   std::map<std::string, TaskNode*, std::less<>> path_index_;
+  std::array<size_t, kNumTaskStates> state_counts_{};
+  std::array<size_t, kNumTaskStates> activity_counts_{};
+  uint64_t structure_generation_ = 0;
 };
 
 }  // namespace biopera::core

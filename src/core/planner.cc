@@ -43,8 +43,7 @@ OutagePlan OutagePlanner::Plan(
     std::string cls;
     const ProcessInstance* inst = engine_->FindInstance(job.instance_id);
     if (inst != nullptr) {
-      const TaskNode* node =
-          const_cast<ProcessInstance*>(inst)->FindByPath(job.path);
+      const TaskNode* node = inst->FindByPath(job.path);
       if (node != nullptr && node->def != nullptr) {
         cls = node->def->resource_class;
       }
@@ -70,7 +69,7 @@ OutagePlan OutagePlanner::Plan(
     std::set<std::string> needed_classes;
     const ProcessInstance* inst = engine_->FindInstance(summary.id);
     if (inst == nullptr) continue;
-    const_cast<ProcessInstance*>(inst)->ForEachNode([&](TaskNode* node) {
+    inst->ForEachNode([&](const TaskNode* node) {
       if (node->def == nullptr ||
           node->def->kind != ocr::TaskKind::kActivity) {
         return;

@@ -10,10 +10,12 @@ void AwarenessModel::RegisterNode(const cluster::NodeConfig& config,
   view.config = config;
   view.load_updated = now;
   nodes_[config.name] = view;
+  InvalidateCandidates();
 }
 
 void AwarenessModel::UnregisterNode(const std::string& name) {
   nodes_.erase(name);
+  InvalidateCandidates();
 }
 
 void AwarenessModel::NodeDown(const std::string& name, TimePoint now) {
@@ -23,6 +25,7 @@ void AwarenessModel::NodeDown(const std::string& name, TimePoint now) {
     it->second.up = false;
     it->second.down_since = now;
     it->second.running_jobs = 0;
+    InvalidateCandidates();
   }
 }
 
@@ -32,6 +35,7 @@ void AwarenessModel::NodeUp(const std::string& name, TimePoint now) {
   if (!it->second.up) {
     it->second.up = true;
     it->second.total_downtime += now - it->second.down_since;
+    InvalidateCandidates();
   }
 }
 
@@ -39,6 +43,8 @@ void AwarenessModel::UpdateConfig(const cluster::NodeConfig& config) {
   auto it = nodes_.find(config.name);
   if (it == nodes_.end()) return;
   it->second.config = config;
+  // Served classes may have changed with the config.
+  InvalidateCandidates();
 }
 
 void AwarenessModel::UpdateLoad(const std::string& name, double load,
@@ -78,15 +84,19 @@ std::vector<const AwarenessModel::NodeView*> AwarenessModel::UpNodes() const {
   return out;
 }
 
-std::vector<const AwarenessModel::NodeView*> AwarenessModel::Candidates(
+const std::vector<const AwarenessModel::NodeView*>& AwarenessModel::Candidates(
     std::string_view resource_class) const {
+  auto it = candidates_cache_.find(resource_class);
+  if (it != candidates_cache_.end()) return it->second;
   std::vector<const NodeView*> out;
   for (const auto& [name, view] : nodes_) {
     if (view.up && view.config.ServesClass(resource_class)) {
       out.push_back(&view);
     }
   }
-  return out;
+  return candidates_cache_
+      .emplace(std::string(resource_class), std::move(out))
+      .first->second;
 }
 
 double AwarenessModel::EstimatedFreeCpus(const NodeView& view) const {

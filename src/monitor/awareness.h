@@ -17,6 +17,33 @@ namespace biopera::monitor {
 /// queries.
 class AwarenessModel {
  public:
+  AwarenessModel() = default;
+  // Copies and moves transfer the node table but not the candidate cache:
+  // cached entries point into the *source* model's node map and would
+  // dangle in the destination.
+  AwarenessModel(const AwarenessModel& other) : nodes_(other.nodes_) {}
+  AwarenessModel(AwarenessModel&& other) noexcept
+      : nodes_(std::move(other.nodes_)) {
+    other.nodes_.clear();
+    other.candidates_cache_.clear();
+  }
+  AwarenessModel& operator=(const AwarenessModel& other) {
+    if (this != &other) {
+      nodes_ = other.nodes_;
+      candidates_cache_.clear();
+    }
+    return *this;
+  }
+  AwarenessModel& operator=(AwarenessModel&& other) noexcept {
+    if (this != &other) {
+      nodes_ = std::move(other.nodes_);
+      other.nodes_.clear();
+      other.candidates_cache_.clear();
+      candidates_cache_.clear();
+    }
+    return *this;
+  }
+
   struct NodeView {
     cluster::NodeConfig config;
     bool up = true;
@@ -44,15 +71,26 @@ class AwarenessModel {
   // --- Queries --------------------------------------------------------------
   const NodeView* Find(const std::string& name) const;
   std::vector<const NodeView*> UpNodes() const;
-  /// Nodes that are up and serve the given resource class.
-  std::vector<const NodeView*> Candidates(std::string_view resource_class) const;
+  /// Nodes that are up and serve the given resource class. The returned
+  /// list is cached per class (allocation-free on the dispatch hot path)
+  /// and invalidated whenever membership changes — registration, node
+  /// up/down, or a config update. Load and job-count updates mutate the
+  /// NodeViews in place, so they do not invalidate the cache. The
+  /// reference stays valid until the next membership change.
+  const std::vector<const NodeView*>& Candidates(
+      std::string_view resource_class) const;
   /// Estimated free CPUs on a node: capacity - external load - our jobs
   /// (clamped at 0). Uses the last reported load as the external estimate.
   double EstimatedFreeCpus(const NodeView& view) const;
   size_t NumNodes() const { return nodes_.size(); }
 
  private:
+  void InvalidateCandidates() { candidates_cache_.clear(); }
+
   std::map<std::string, NodeView> nodes_;
+  /// resource class -> up nodes serving it (lazily built, see Candidates).
+  mutable std::map<std::string, std::vector<const NodeView*>, std::less<>>
+      candidates_cache_;
 };
 
 }  // namespace biopera::monitor

@@ -33,7 +33,7 @@ class RoundRobinPolicy : public SchedulingPolicy {
 
   std::string Place(const PlacementRequest& request,
                     const AwarenessModel& awareness) override {
-    auto candidates = awareness.Candidates(request.resource_class);
+    const auto& candidates = awareness.Candidates(request.resource_class);
     if (candidates.empty()) return "";
     // Ignore external load: only avoid oversubscribing with our own jobs.
     for (size_t k = 0; k < candidates.size(); ++k) {

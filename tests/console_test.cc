@@ -280,6 +280,25 @@ TEST(ConsoleTest, MetricsTraceAndTimeline) {
   EXPECT_EQ(empty, "(no timeline intervals)\n");
 }
 
+TEST(ConsoleTest, StatsShowsDispatcherDepths) {
+  obs::Observability obs;
+  World w(&obs);
+  ASSERT_OK(w.engine->RegisterTemplate(Pipeline()));
+  ASSERT_OK(w.engine->StartProcess("pipeline").status());
+  w.sim.Run();
+  AdminConsole console(w.engine.get());
+
+  ASSERT_OK_AND_ASSIGN(std::string stats, console.Execute("STATS"));
+  EXPECT_NE(stats.find("ready queue:"), std::string::npos);
+  EXPECT_NE(stats.find("parked (starved):"), std::string::npos);
+  EXPECT_NE(stats.find("parked (suspended):"), std::string::npos);
+  EXPECT_NE(stats.find("pump runs:"), std::string::npos);
+  EXPECT_NE(stats.find("entries scanned:"), std::string::npos);
+  // The finished pipeline left nothing queued, parked, or running.
+  EXPECT_NE(stats.find("ready queue:       0"), std::string::npos);
+  EXPECT_NE(stats.find("running jobs:      0"), std::string::npos);
+}
+
 TEST(ConsoleTest, ScrubReportsStoreHealth) {
   World w;
   ASSERT_OK(w.engine->RegisterTemplate(Pipeline()));

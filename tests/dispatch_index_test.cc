@@ -1,0 +1,251 @@
+// Regression tests for the indexed dispatcher: per-pump work must stay
+// proportional to what actually dispatches (not to queue depth), parked
+// entries must wake on exactly the right events, and finished jobs must
+// cancel their watchdog instead of leaving it in the simulator heap.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "common/strings.h"
+#include "core/engine.h"
+#include "obs/metrics.h"
+#include "ocr/builder.h"
+#include "sim/simulator.h"
+#include "store/record_store.h"
+#include "tests/test_util.h"
+
+namespace biopera {
+namespace {
+
+using core::ActivityInput;
+using core::ActivityOutput;
+using core::ActivityRegistry;
+using core::Engine;
+using core::EngineOptions;
+using core::InstanceState;
+using ocr::ProcessBuilder;
+using ocr::TaskBuilder;
+using ocr::Value;
+
+/// A process fanning out `wb.items` independent copies of one activity.
+ocr::ProcessDef FanOutProcess(const std::string& binding) {
+  auto def = ProcessBuilder("fanout")
+                 .Data("items")
+                 .Task(TaskBuilder::Parallel(
+                     "fan", "wb.items",
+                     TaskBuilder::Activity("work", binding)))
+                 .Build();
+  EXPECT_TRUE(def.ok()) << def.status().ToString();
+  return std::move(*def);
+}
+
+Value::Map FanOutArgs(int n) {
+  Value::List items;
+  for (int i = 0; i < n; ++i) items.emplace_back(static_cast<int64_t>(i));
+  Value::Map args;
+  args["items"] = Value(std::move(items));
+  return args;
+}
+
+struct World {
+  explicit World(const std::string& dir, const EngineOptions& base = {}) {
+    auto opened = RecordStore::Open(dir);
+    EXPECT_TRUE(opened.ok());
+    store = std::move(*opened);
+    cluster = std::make_unique<cluster::ClusterSim>(&sim);
+    EngineOptions options = base;
+    options.observability = &obs;
+    // Raw load reports drive pumps directly; long retry so the backstop
+    // timer does not mask missing wakeups.
+    options.adaptive_monitoring = false;
+    options.dispatch_retry = Duration::Hours(12);
+    engine = std::make_unique<Engine>(&sim, cluster.get(), store.get(),
+                                      &registry, options);
+  }
+
+  uint64_t Counter(const std::string& name) {
+    return obs.metrics.GetCounter(name)->value();
+  }
+
+  Simulator sim;
+  obs::Observability obs;
+  std::unique_ptr<RecordStore> store;
+  std::unique_ptr<cluster::ClusterSim> cluster;
+  ActivityRegistry registry;
+  std::unique_ptr<Engine> engine;
+};
+
+void RegisterCost(ActivityRegistry* registry, const std::string& binding,
+                  Duration cost) {
+  ASSERT_OK(registry->Register(
+      binding, [cost](const ActivityInput&) -> Result<ActivityOutput> {
+        ActivityOutput out;
+        out.cost = cost;
+        return out;
+      }));
+}
+
+/// Under a saturated cluster a pump triggered by an (unchanged) load
+/// report must probe O(1) parked entries, not rescan the whole queue.
+TEST(DispatchIndexTest, PumpScansEntriesProportionalToDispatchesNotDepth) {
+  constexpr int kDepth = 500;
+  testing::TempDir dir;
+  World world(dir.path());
+  RegisterCost(&world.registry, "test.spin", Duration::Days(365));
+  ASSERT_OK(world.cluster->AddNode({.name = "n0", .num_cpus = 2}));
+  ASSERT_OK(world.cluster->AddNode({.name = "n1", .num_cpus = 2}));
+  ASSERT_OK(world.engine->Startup());
+  ASSERT_OK(world.engine->RegisterTemplate(FanOutProcess("test.spin")));
+  ASSERT_OK_AND_ASSIGN(
+      std::string id,
+      world.engine->StartProcess("fanout", FanOutArgs(kDepth + 4)));
+  (void)id;
+  ASSERT_EQ(world.engine->QueueDepth(), kDepth);
+
+  const uint64_t pumps_before = world.Counter("engine_pump_runs_total");
+  const uint64_t scanned_before =
+      world.Counter("engine_pump_entries_scanned_total");
+  const uint64_t dispatched_before =
+      world.Counter("engine_tasks_dispatched_total");
+  constexpr int kReports = 100;
+  for (int i = 0; i < kReports; ++i) {
+    world.engine->OnLoadReport("n0", 0.0);
+  }
+  const uint64_t pumps = world.Counter("engine_pump_runs_total") - pumps_before;
+  const uint64_t scanned =
+      world.Counter("engine_pump_entries_scanned_total") - scanned_before;
+  EXPECT_EQ(world.Counter("engine_tasks_dispatched_total"), dispatched_before);
+  EXPECT_GE(pumps, static_cast<uint64_t>(kReports));
+  // Nothing could dispatch, so each pump probes at most one parked entry
+  // per woken class (the old dispatcher rescanned all kDepth every time).
+  EXPECT_LE(scanned, pumps * 2);
+  EXPECT_EQ(world.engine->GetDispatchStats().parked_starved,
+            static_cast<size_t>(kDepth));
+}
+
+/// Job completions must wake the parked class: the whole fan-out drains
+/// with total scans proportional to dispatches, not depth x dispatches.
+TEST(DispatchIndexTest, ParkedEntriesWakeOnCapacityAndDrainEfficiently) {
+  constexpr int kActivities = 300;
+  testing::TempDir dir;
+  World world(dir.path());
+  RegisterCost(&world.registry, "test.finite", Duration::Minutes(10));
+  ASSERT_OK(world.cluster->AddNode({.name = "n0", .num_cpus = 2}));
+  ASSERT_OK(world.cluster->AddNode({.name = "n1", .num_cpus = 2}));
+  ASSERT_OK(world.engine->Startup());
+  ASSERT_OK(world.engine->RegisterTemplate(FanOutProcess("test.finite")));
+  ASSERT_OK_AND_ASSIGN(
+      std::string id,
+      world.engine->StartProcess("fanout", FanOutArgs(kActivities)));
+  world.sim.Run();
+  EXPECT_EQ(world.engine->GetInstanceState(id).value_or(InstanceState::kFailed),
+            InstanceState::kDone);
+  const uint64_t dispatched = world.Counter("engine_tasks_dispatched_total");
+  const uint64_t scanned =
+      world.Counter("engine_pump_entries_scanned_total");
+  EXPECT_EQ(dispatched, static_cast<uint64_t>(kActivities));
+  // The old dispatcher rescanned the whole residual queue on every pump:
+  // ~kActivities^2 / 2 entries for this run. The indexed queue stays
+  // within a small constant per dispatch.
+  EXPECT_LE(scanned, dispatched * 8);
+  Engine::DispatchStats stats = world.engine->GetDispatchStats();
+  EXPECT_EQ(stats.ready, 0u);
+  EXPECT_EQ(stats.parked_starved, 0u);
+  EXPECT_EQ(stats.parked_suspended, 0u);
+  EXPECT_EQ(stats.running_jobs, 0u);
+}
+
+/// Entries scanned while their instance is suspended park per instance
+/// and re-queue on RESUME; the run must still finish.
+TEST(DispatchIndexTest, SuspendedEntriesParkPerInstanceAndResume) {
+  testing::TempDir dir;
+  World world(dir.path());
+  RegisterCost(&world.registry, "test.finite", Duration::Minutes(10));
+  ASSERT_OK(world.cluster->AddNode({.name = "n0", .num_cpus = 1}));
+  ASSERT_OK(world.engine->Startup());
+  ASSERT_OK(world.engine->RegisterTemplate(FanOutProcess("test.finite")));
+  ASSERT_OK_AND_ASSIGN(std::string id,
+                       world.engine->StartProcess("fanout", FanOutArgs(5)));
+  // One job is running, the rest are parked behind the busy CPU.
+  EXPECT_EQ(world.engine->GetDispatchStats().running_jobs, 1u);
+  EXPECT_GT(world.engine->GetDispatchStats().parked_starved, 0u);
+
+  ASSERT_OK(world.engine->Suspend(id));
+  // Let the running job finish: its completion wakes the class, the pump
+  // scans the parked entries and re-parks them on the suspended instance.
+  world.sim.RunFor(Duration::Hours(1));
+  Engine::DispatchStats stats = world.engine->GetDispatchStats();
+  EXPECT_EQ(stats.running_jobs, 0u);
+  EXPECT_EQ(stats.parked_starved, 0u);
+  EXPECT_GT(stats.parked_suspended, 0u);
+
+  ASSERT_OK(world.engine->Resume(id));
+  world.sim.Run();
+  EXPECT_EQ(world.engine->GetInstanceState(id).value_or(InstanceState::kFailed),
+            InstanceState::kDone);
+  EXPECT_EQ(world.engine->GetDispatchStats().parked_suspended, 0u);
+}
+
+/// A job that reports in time must cancel its watchdog daemon. Before the
+/// fix every completed job left its timeout in the simulator heap
+/// (~an hour each), so a long sequential run accumulated hundreds of
+/// stale entries; now the pending-event count stays flat.
+TEST(DispatchIndexTest, TimelyJobsCancelTheirWatchdogs) {
+  constexpr int kActivities = 200;
+  testing::TempDir dir;
+  EngineOptions options;
+  options.job_timeout_factor = 3.0;  // watchdog at 3x cost + 1h slack
+  World world(dir.path(), options);
+  RegisterCost(&world.registry, "test.finite", Duration::Minutes(1));
+  ASSERT_OK(world.cluster->AddNode({.name = "n0", .num_cpus = 1}));
+  ASSERT_OK(world.engine->Startup());
+  ASSERT_OK(world.engine->RegisterTemplate(FanOutProcess("test.finite")));
+  ASSERT_OK_AND_ASSIGN(
+      std::string id,
+      world.engine->StartProcess("fanout", FanOutArgs(kActivities)));
+  size_t max_pending = 0;
+  for (int i = 0; i < 10 * kActivities; ++i) {
+    world.sim.RunFor(Duration::Minutes(1));
+    max_pending = std::max(max_pending, world.sim.NumPending());
+    auto state = world.engine->GetInstanceState(id);
+    if (state.ok() && *state == InstanceState::kDone) break;
+  }
+  EXPECT_EQ(world.engine->GetInstanceState(id).value_or(InstanceState::kFailed),
+            InstanceState::kDone);
+  // One running job keeps at most its own watchdog plus a handful of
+  // timers/daemons pending; stale watchdogs would push this to ~60+.
+  EXPECT_LE(max_pending, 20u);
+  EXPECT_EQ(world.Counter("engine_jobs_timed_out_total"), 0u);
+}
+
+/// The watchdog itself still fires for jobs that never report.
+TEST(DispatchIndexTest, WatchdogStillFiresForLostJobs) {
+  testing::TempDir dir;
+  EngineOptions options;
+  options.job_timeout_factor = 3.0;
+  World world(dir.path(), options);
+  RegisterCost(&world.registry, "test.finite", Duration::Minutes(10));
+  ASSERT_OK(world.cluster->AddNode({.name = "n0", .num_cpus = 1}));
+  ASSERT_OK(world.cluster->AddNode({.name = "n1", .num_cpus = 1}));
+  ASSERT_OK(world.engine->Startup());
+  ASSERT_OK(world.engine->RegisterTemplate(FanOutProcess("test.finite")));
+  ASSERT_OK_AND_ASSIGN(std::string id,
+                       world.engine->StartProcess("fanout", FanOutArgs(2)));
+  // Partition a node silently: its job never reports, only the watchdog
+  // can reclaim it.
+  ASSERT_OK(world.cluster->SetConnected("n0", false));
+  // Drive past the 3 x 10min + 1h slack timeout: the watchdog is a daemon
+  // event, so it only fires while virtual time is advanced explicitly.
+  world.sim.RunFor(Duration::Hours(3));
+  ASSERT_OK(world.cluster->SetConnected("n0", true));
+  world.sim.Run();
+  EXPECT_GE(world.Counter("engine_jobs_timed_out_total"), 1u);
+  EXPECT_EQ(world.engine->GetInstanceState(id).value_or(InstanceState::kFailed),
+            InstanceState::kDone);
+}
+
+}  // namespace
+}  // namespace biopera
