@@ -7,6 +7,7 @@
 #include "common/strings.h"
 #include "common/table.h"
 #include "darwin/generator.h"
+#include "obs/report.h"
 #include "obs/timeline.h"
 #include "workloads/allvsall.h"
 
@@ -77,8 +78,25 @@ ScenarioResult Collect(BenchWorld* world, const std::string& id,
   result.manual_interventions = manual_interventions;
   result.metrics_text = world->obs.metrics.Snapshot().ToText();
   result.trace_jsonl = world->obs.trace.ExportJsonl();
-  result.timeline_csv =
-      obs::TimelineCsv(obs::BuildTimeline(world->obs.trace, ""));
+  result.timeline_csv = obs::TimelineCsv(
+      obs::BuildTimeline(world->obs.trace, ""), world->obs.trace.dropped());
+  result.spans_jsonl = world->obs.spans.ExportJsonl();
+  result.chrome_json = world->obs.spans.ExportChromeTrace();
+  obs::ReportInput report_input;
+  report_input.instance = id;
+  if (summary.ok()) {
+    report_input.state =
+        std::string(core::InstanceStateName(summary->state));
+    report_input.activities_done = summary->tasks_done;
+    report_input.activities_total = summary->tasks_total;
+  }
+  auto remaining = world->engine->EstimateRemainingWork(id);
+  if (remaining.ok()) {
+    report_input.remaining_work_seconds = remaining->ToSeconds();
+  }
+  report_input.now = world->sim.Now();
+  result.report_text = obs::BuildRunReport(report_input, world->obs);
+  result.critical_path = obs::AnalyzeCriticalPath(world->obs.spans, id);
   return result;
 }
 

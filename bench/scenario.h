@@ -7,6 +7,7 @@
 #include "bench/bench_common.h"
 #include "common/stats.h"
 #include "core/engine.h"
+#include "obs/critical_path.h"
 
 namespace biopera::bench {
 
@@ -35,6 +36,15 @@ struct ScenarioResult {
   /// fixture proving scheduling order survives dispatcher refactors.
   std::string trace_jsonl;
   std::string timeline_csv;
+  /// Span exports (same determinism guarantee): the raw span log, the
+  /// Chrome-trace JSON (load in chrome://tracing or Perfetto), and the
+  /// console-style run report with the critical-path breakdown.
+  std::string spans_jsonl;
+  std::string chrome_json;
+  std::string report_text;
+  /// Critical-path analysis of the scenario's instance: where the
+  /// makespan went (compute / queue / recovery / migration / store_stall).
+  obs::CriticalPathReport critical_path;
 };
 
 /// First run (§5.4): the full synthetic-SP38 all-vs-all on the *shared*

@@ -275,6 +275,9 @@ Status ClusterSim::CrashNode(const std::string& name) {
   if (obs_ != nullptr) {
     obs_->trace.Emit(obs::EventType::kNodeDown, "", "", name,
                      {{"jobs_lost", StrFormat("%zu", lost.size())}});
+    obs_->spans.Begin(obs::SpanKind::kNodeOutage, "node down", /*parent=*/0,
+                      /*link=*/0, /*instance=*/"", /*task=*/"", name,
+                      {{"jobs_lost", StrFormat("%zu", lost.size())}});
   }
   // The server detects the dead PEC (heartbeat timeout) and classifies the
   // node's active jobs as failed (paper §5.4 events 3 and 7).
@@ -296,6 +299,9 @@ Status ClusterSim::RepairNode(const std::string& name) {
   UpdateTrace();
   if (obs_ != nullptr) {
     obs_->trace.Emit(obs::EventType::kNodeUp, "", "", name);
+    obs_->spans.End(
+        obs_->spans.FindOpen(obs::SpanKind::kNodeOutage, "", name),
+        "repaired");
   }
   if (listener_ != nullptr) listener_->OnNodeUp(name);
   return Status::OK();

@@ -6,6 +6,8 @@
 #include "common/strings.h"
 #include "common/table.h"
 #include "core/planner.h"
+#include "obs/critical_path.h"
+#include "obs/report.h"
 #include "obs/timeline.h"
 
 namespace biopera::core {
@@ -38,7 +40,8 @@ constexpr char kHelp[] = R"(commands:
   STATUS <id> | HISTORY <id> [n] | WB <id> <var> | LINEAGE <id> <var>
   WHATIF <node> [node...]
   TASKS <id> | ETA <id>
-  METRICS | STATS | TRACE <id|*> [n] | TIMELINE <node|*> | SCRUB
+  METRICS [prefix] | STATS | TRACE <id|*> [n] | TIMELINE <node|*> | SCRUB
+  REPORT <id> | CRITPATH <id> | SPANS <id|*> [n]
   SUSPEND <id> | RESUME <id> | ABORT <id> | RESTART <id>
   RAISE <id> <event> | INVALIDATE <id> <task> | ARCHIVE <id>
 )";
@@ -187,7 +190,7 @@ Result<std::string> AdminConsole::Execute(const std::string& line) {
   if (command == "METRICS") {
     obs::Observability* obs = engine_->observability();
     if (obs == nullptr) return std::string("(observability not enabled)\n");
-    return obs->metrics.Snapshot().ToText();
+    return obs->metrics.Snapshot().ToText(args.size() > 1 ? args[1] : "");
   }
 
   if (command == "STATS") {
@@ -237,7 +240,46 @@ Result<std::string> AdminConsole::Execute(const std::string& line) {
     std::vector<obs::TimelineInterval> intervals =
         obs::BuildTimeline(obs->trace, node);
     if (intervals.empty()) return std::string("(no timeline intervals)\n");
-    return obs::TimelineCsv(intervals);
+    return obs::TimelineCsv(intervals, obs->trace.dropped());
+  }
+
+  if (command == "REPORT") {
+    BIOPERA_RETURN_IF_ERROR(need(1));
+    obs::Observability* obs = engine_->observability();
+    if (obs == nullptr) return std::string("(observability not enabled)\n");
+    BIOPERA_ASSIGN_OR_RETURN(InstanceSummary s, engine_->Summary(args[1]));
+    obs::ReportInput input;
+    input.instance = args[1];
+    input.state = std::string(InstanceStateName(s.state));
+    input.activities_done = s.tasks_done;
+    input.activities_total = s.tasks_total;
+    Result<Duration> remaining = engine_->EstimateRemainingWork(args[1]);
+    if (remaining.ok()) input.remaining_work_seconds = remaining->ToSeconds();
+    input.now = obs->spans.Now();
+    return obs::BuildRunReport(input, *obs);
+  }
+
+  if (command == "CRITPATH") {
+    BIOPERA_RETURN_IF_ERROR(need(1));
+    obs::Observability* obs = engine_->observability();
+    if (obs == nullptr) return std::string("(observability not enabled)\n");
+    return obs::AnalyzeCriticalPath(obs->spans, args[1]).ToText();
+  }
+
+  if (command == "SPANS") {
+    BIOPERA_RETURN_IF_ERROR(need(1));
+    obs::Observability* obs = engine_->observability();
+    if (obs == nullptr) return std::string("(observability not enabled)\n");
+    long long n = 20;
+    if (args.size() > 2 && (!ParseInt64(args[2], &n) || n <= 0)) {
+      return Status::InvalidArgument("SPANS: bad count " + args[2]);
+    }
+    std::string filter = args[1] == "*" ? "" : args[1];
+    std::string out;
+    for (obs::Span& span : obs->spans.Tail(static_cast<size_t>(n), filter)) {
+      out += span.ToJson() + "\n";
+    }
+    return out.empty() ? std::string("(no matching spans)\n") : out;
   }
 
   if (command == "WHATIF") {

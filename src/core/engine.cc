@@ -223,6 +223,7 @@ Engine::Engine(Simulator* sim, cluster::ClusterSim* cluster,
     // One EngineOptions field instruments the whole stack.
     cluster_->SetObservability(obs);
     store->SetObservability(obs);
+    spans_ = &obs->spans;
     dispatched_metric_ = obs->metrics.GetCounter("engine_tasks_dispatched_total");
     pump_runs_metric_ = obs->metrics.GetCounter("engine_pump_runs_total");
     pump_scanned_metric_ =
@@ -334,6 +335,16 @@ Status Engine::Startup() {
       return st;
     }
   }
+  if (spans_ != nullptr) {
+    // Close the server-down window opened at Crash(). A successor engine
+    // sharing the Observability context (backup takeover, crash-point
+    // harness) re-attaches the window its predecessor left open.
+    if (server_down_span_ == 0) {
+      server_down_span_ = spans_->FindOpen(obs::SpanKind::kServerDown, "");
+    }
+    spans_->End(server_down_span_, "recovered");
+    server_down_span_ = 0;
+  }
   if (options_.observability != nullptr) {
     options_.observability->trace.Emit(
         obs::EventType::kServerStarted, "", "", "",
@@ -349,6 +360,34 @@ void Engine::Crash() {
     options_.observability->trace.Emit(
         obs::EventType::kServerCrashed, "", "", "",
         {{"jobs_killed", StrFormat("%zu", jobs_.size())}});
+  }
+  if (spans_ != nullptr) {
+    // Every queued attempt and running job dies with the server; instance
+    // spans stay open — the server-down window explains the causal gap
+    // until recovery re-queues the work.
+    for (const auto& [key, entry] : ready_) {
+      EndAttemptSpan(entry.attempt_span, "killed");
+    }
+    for (const auto& [cls, entries] : parked_by_class_) {
+      for (const auto& [key, entry] : entries) {
+        EndAttemptSpan(entry.attempt_span, "killed");
+      }
+    }
+    for (const auto& [id, entries] : parked_by_instance_) {
+      for (const auto& [key, entry] : entries) {
+        EndAttemptSpan(entry.attempt_span, "killed");
+      }
+    }
+    for (const ReadyEntry& entry : pump_overflow_) {
+      EndAttemptSpan(entry.attempt_span, "killed");
+    }
+    for (const auto& [job_id, pending] : jobs_) {
+      spans_->End(pending.job_span, "killed");
+      EndAttemptSpan(pending.attempt_span, "killed");
+    }
+    spans_->End(degraded_span_, "server_crashed");
+    degraded_span_ = 0;
+    server_down_span_ = spans_->Begin(obs::SpanKind::kServerDown, "server down");
   }
   up_ = false;
   // Ongoing jobs are stopped when the server dies (paper §5.4, event 4).
@@ -408,6 +447,11 @@ void Engine::EnterDegraded(const Status& cause) {
     options_.observability->trace.Emit(obs::EventType::kStoreDegraded, "", "",
                                        "", {{"reason", cause.ToString()}});
   }
+  if (spans_ != nullptr && degraded_span_ == 0) {
+    degraded_span_ = spans_->Begin(obs::SpanKind::kStoreDegraded, "store degraded",
+                                   0, 0, "", "", "",
+                                   {{"reason", cause.ToString()}});
+  }
   ScheduleDegradedRetry();
 }
 
@@ -442,6 +486,10 @@ void Engine::RetryDegradedCommit() {
   if (options_.observability != nullptr) {
     options_.observability->trace.Emit(obs::EventType::kStoreRecovered, "",
                                        "", "", {});
+  }
+  if (spans_ != nullptr) {
+    spans_->End(degraded_span_, "recovered");
+    degraded_span_ = 0;
   }
   BIOPERA_LOG(kInfo) << "store writes succeed again; resuming dispatch";
   // Entries parked while degraded never saw a capacity event; re-probe all.
@@ -577,6 +625,13 @@ Result<std::string> Engine::StartProcess(const std::string& template_name,
   }
   ProcessInstance* raw = inst.get();
   instances_[id] = std::move(inst);
+  if (spans_ != nullptr) {
+    raw->set_span_id(spans_->Begin(
+        obs::SpanKind::kInstance, id, /*parent=*/0, /*link=*/0,
+        /*instance=*/id, /*task=*/"", /*node=*/"",
+        {{"template", template_name},
+         {"priority", StrFormat("%d", priority)}}));
+  }
 
   WriteBatch batch;
   PersistHeader(raw, &batch);
@@ -635,10 +690,14 @@ Status Engine::Abort(const std::string& instance_id) {
   }
   for (cluster::JobId job_id : to_kill) {
     cluster_->KillJob(job_id);
-    TakeJob(job_id, /*failed=*/false);
+    TakeJob(job_id, /*failed=*/false, "killed");
   }
   DropParkedForInstance(instance_id);
   inst->set_state(InstanceState::kAborted);
+  if (spans_ != nullptr) {
+    spans_->End(inst->span_id(), "aborted");
+    inst->set_span_id(0);
+  }
   RecordStore::CommitScope commit_group(GroupTarget());
   WriteBatch batch;
   PersistHeader(inst, &batch);
@@ -666,7 +725,7 @@ Status Engine::Restart(const std::string& instance_id) {
   }
   for (cluster::JobId job_id : stale) {
     cluster_->KillJob(job_id);  // NotFound if it already finished silently
-    TakeJob(job_id, /*failed=*/false);
+    TakeJob(job_id, /*failed=*/false, "killed");
   }
   // Entries parked while the instance was suspended are dispatchable again.
   WakeInstance(instance_id);
@@ -743,7 +802,7 @@ void Engine::DiscardSubtree(ProcessInstance* inst, TaskNode* node,
   }
   for (cluster::JobId job_id : stale) {
     cluster_->KillJob(job_id);
-    TakeJob(job_id, /*failed=*/false);
+    TakeJob(job_id, /*failed=*/false, "killed");
   }
   std::function<void(TaskNode*)> discard = [&](TaskNode* n) {
     for (auto& child : n->children) {
@@ -1270,6 +1329,12 @@ Status Engine::MaybeCompleteScope(ProcessInstance* inst, TaskNode* scope,
       PersistHeader(inst, batch);
       AppendHistory(inst->id(), any_failed ? "failed" : "completed");
       EmitInstanceState(inst);
+      // The instance span closes only on success; a kFailed instance may
+      // still be RESTARTed, and its makespan should cover that recovery.
+      if (spans_ != nullptr && !any_failed) {
+        spans_->End(inst->span_id(), "completed");
+        inst->set_span_id(0);
+      }
     }
     return Status::OK();
   }
@@ -1432,6 +1497,7 @@ void Engine::EnqueueReady(ProcessInstance* inst, TaskNode* node) {
   entry.node_hint = node;
   entry.structure_gen = inst->structure_generation();
   if (node->def != nullptr) entry.resource_class = node->def->resource_class;
+  BeginAttemptSpan(&entry, inst, node);
   PushEntry(std::move(entry));
 }
 
@@ -1480,9 +1546,16 @@ void Engine::WakeInstance(const std::string& instance_id) {
 }
 
 void Engine::DropParkedForInstance(const std::string& instance_id) {
-  parked_by_instance_.erase(instance_id);
+  if (auto it = parked_by_instance_.find(instance_id);
+      it != parked_by_instance_.end()) {
+    for (auto& [key, entry] : it->second) {
+      EndAttemptSpan(entry.attempt_span, "stale");
+    }
+    parked_by_instance_.erase(it);
+  }
   // Entries in ready_/parked_by_class_ are dropped lazily: the next scan
-  // sees the instance gone (or not running) and discards them.
+  // sees the instance gone (or not running) and discards them — ending
+  // their attempt spans as it goes.
 }
 
 size_t Engine::NumParkedStarved() const {
@@ -1522,10 +1595,15 @@ void Engine::IndexJob(cluster::JobId job_id, const PendingJob& pending) {
 }
 
 Engine::PendingJob Engine::TakeJob(
-    std::map<cluster::JobId, PendingJob>::iterator it, bool failed) {
+    std::map<cluster::JobId, PendingJob>::iterator it, bool failed,
+    std::string_view outcome) {
   cluster::JobId job_id = it->first;
   PendingJob pending = std::move(it->second);
   jobs_.erase(it);
+  if (spans_ != nullptr) {
+    spans_->End(pending.job_span, std::string(outcome));
+    spans_->End(pending.attempt_span, std::string(outcome));
+  }
   auto inst_it = jobs_by_instance_.find(pending.instance_id);
   if (inst_it != jobs_by_instance_.end()) {
     inst_it->second.erase(job_id);
@@ -1547,8 +1625,42 @@ Engine::PendingJob Engine::TakeJob(
   return pending;
 }
 
-Engine::PendingJob Engine::TakeJob(cluster::JobId job_id, bool failed) {
-  return TakeJob(jobs_.find(job_id), failed);
+Engine::PendingJob Engine::TakeJob(cluster::JobId job_id, bool failed,
+                                   std::string_view outcome) {
+  return TakeJob(jobs_.find(job_id), failed, outcome);
+}
+
+uint64_t Engine::InstanceSpanId(ProcessInstance* inst) {
+  if (spans_ == nullptr) return 0;
+  if (inst->span_id() == 0) {
+    // After a crash the rebuilt instance lost its span id: re-attach to
+    // the span left open before the crash so one instance keeps one
+    // makespan span, or open a fresh one if it fell off the sink.
+    uint64_t id = spans_->FindOpen(obs::SpanKind::kInstance, inst->id());
+    if (id == 0) {
+      id = spans_->Begin(obs::SpanKind::kInstance, inst->id(), /*parent=*/0,
+                         /*link=*/0, inst->id());
+    }
+    inst->set_span_id(id);
+  }
+  return inst->span_id();
+}
+
+void Engine::BeginAttemptSpan(ReadyEntry* entry, ProcessInstance* inst,
+                              TaskNode* node) {
+  if (spans_ == nullptr) return;
+  entry->attempt_span = spans_->Begin(
+      obs::SpanKind::kAttempt, node->path, InstanceSpanId(inst),
+      /*link=*/node->last_attempt_span, inst->id(), node->path, "",
+      {{"class",
+        node->def != nullptr ? node->def->resource_class : std::string()},
+       {"attempt", StrFormat("%d", node->attempts + 1)}});
+  node->last_attempt_span = entry->attempt_span;
+}
+
+void Engine::EndAttemptSpan(uint64_t attempt_span, std::string_view outcome) {
+  if (spans_ == nullptr || attempt_span == 0) return;
+  spans_->End(attempt_span, std::string(outcome));
 }
 
 void Engine::SchedulePumpRetry() {
@@ -1590,7 +1702,10 @@ void Engine::PumpDispatch() {
         entry.engine_gen == instance_generation_ ? entry.inst_hint : nullptr;
     if (inst == nullptr) {
       inst = FindInstance(entry.instance_id);
-      if (inst == nullptr) return Verdict::kContinue;  // instance gone
+      if (inst == nullptr) {
+        EndAttemptSpan(entry.attempt_span, "stale");
+        return Verdict::kContinue;  // instance gone
+      }
       entry.inst_hint = inst;
       entry.engine_gen = instance_generation_;
       entry.node_hint = nullptr;
@@ -1602,6 +1717,7 @@ void Engine::PumpDispatch() {
       return Verdict::kContinue;
     }
     if (inst->state() != InstanceState::kRunning) {
+      EndAttemptSpan(entry.attempt_span, "stale");
       return Verdict::kContinue;  // aborted/failed
     }
     TaskNode* node = entry.structure_gen == inst->structure_generation()
@@ -1609,11 +1725,17 @@ void Engine::PumpDispatch() {
                          : nullptr;
     if (node == nullptr) {
       node = inst->FindByPath(entry.path);
-      if (node == nullptr) return Verdict::kContinue;  // subtree discarded
+      if (node == nullptr) {
+        EndAttemptSpan(entry.attempt_span, "stale");
+        return Verdict::kContinue;  // subtree discarded
+      }
       entry.node_hint = node;
       entry.structure_gen = inst->structure_generation();
     }
-    if (node->state != TaskState::kReady) return Verdict::kContinue;
+    if (node->state != TaskState::kReady) {
+      EndAttemptSpan(entry.attempt_span, "stale");
+      return Verdict::kContinue;
+    }
 
     // Execute the activity implementation (idempotent; may be a cached
     // result from a previous declined placement).
@@ -1631,6 +1753,7 @@ void Engine::PumpDispatch() {
                            "storage full: cannot write activity results"))
                      : (*fn)(*input));
       if (!output.ok()) {
+        EndAttemptSpan(entry.attempt_span, "failed");
         WriteBatch batch;
         Status st = HandleTaskFailure(inst, node,
                                       output.status().ToString(), &batch);
@@ -1712,6 +1835,16 @@ void Engine::PumpDispatch() {
     }
     PendingJob pending{entry.instance_id, entry.path, entry.cached->fields,
                        entry.cached->cost, target};
+    pending.attempt_span = entry.attempt_span;
+    if (spans_ != nullptr) {
+      pending.job_span = spans_->Begin(
+          obs::SpanKind::kJob, entry.path, entry.attempt_span, /*link=*/0,
+          entry.instance_id, entry.path, target,
+          {{"job", StrFormat("%llu",
+                             static_cast<unsigned long long>(job_id))},
+           {"cost_us", StrFormat("%lld", static_cast<long long>(
+                                             entry.cached->cost.micros()))}});
+    }
     pending.watchdog = ArmJobWatchdog(job_id, entry.cached->cost);
     IndexJob(job_id, pending);
     jobs_[job_id] = std::move(pending);
@@ -1818,7 +1951,7 @@ EventId Engine::ArmJobWatchdog(cluster::JobId job_id, Duration cost) {
     // This event is the watchdog: clear the handle before TakeJob so it
     // does not try to cancel the event that is currently running.
     it->second.watchdog = kInvalidEventId;
-    PendingJob pending = TakeJob(it, /*failed=*/true);
+    PendingJob pending = TakeJob(it, /*failed=*/true, "timed_out");
     // The PEC never reported (lost report, silent stall, partition):
     // declare the job lost and re-schedule (paper event 10, automated).
     cluster_->KillJob(job_id);  // NotFound if it silently completed
@@ -1857,6 +1990,7 @@ EventId Engine::ArmJobWatchdog(cluster::JobId job_id, Duration cost) {
     entry.node_hint = node;
     entry.structure_gen = inst->structure_generation();
     if (node->def != nullptr) entry.resource_class = node->def->resource_class;
+    BeginAttemptSpan(&entry, inst, node);
     PushEntry(std::move(entry));
     PumpDispatch();
   });
@@ -1952,7 +2086,7 @@ void Engine::CheckMigrations() {
   }
   for (cluster::JobId job_id : to_migrate) {
     cluster_->KillJob(job_id);
-    PendingJob pending = TakeJob(job_id, /*failed=*/false);
+    PendingJob pending = TakeJob(job_id, /*failed=*/false, "migrated");
     ProcessInstance* inst = FindInstance(pending.instance_id);
     TaskNode* node = inst->FindByPath(pending.path);
     inst->SetTaskState(node, TaskState::kReady);
@@ -1986,6 +2120,7 @@ void Engine::CheckMigrations() {
     entry.node_hint = node;
     entry.structure_gen = inst->structure_generation();
     if (node->def != nullptr) entry.resource_class = node->def->resource_class;
+    BeginAttemptSpan(&entry, inst, node);
     PushEntry(std::move(entry));
   }
   if (!to_migrate.empty()) PumpDispatch();
@@ -1999,7 +2134,7 @@ void Engine::OnJobFinished(cluster::JobId id, const std::string& node_name) {
   if (!up_) return;
   auto it = jobs_.find(id);
   if (it == jobs_.end()) return;  // stale report from before a crash
-  PendingJob pending = TakeJob(it, /*failed=*/false);
+  PendingJob pending = TakeJob(it, /*failed=*/false, "completed");
   ProcessInstance* inst = FindInstance(pending.instance_id);
   if (inst == nullptr) return;
   TaskNode* node = inst->FindByPath(pending.path);
@@ -2040,7 +2175,7 @@ void Engine::OnJobFailed(cluster::JobId id, const std::string& node_name,
   if (!up_) return;
   auto it = jobs_.find(id);
   if (it == jobs_.end()) return;
-  PendingJob pending = TakeJob(it, /*failed=*/true);
+  PendingJob pending = TakeJob(it, /*failed=*/true, "failed");
   ProcessInstance* inst = FindInstance(pending.instance_id);
   if (inst == nullptr) return;
   TaskNode* node = inst->FindByPath(pending.path);
@@ -2298,6 +2433,17 @@ Status Engine::RecoverInstance(const std::string& instance_id) {
   ProcessInstance* raw = inst.get();
   instances_[instance_id] = std::move(inst);
 
+  // Replay span: parented to the (re-attached) instance span so the causal
+  // chain instance -> recovery -> re-queued attempts survives the crash.
+  // Terminal instances need no live span.
+  uint64_t recovery_span = 0;
+  if (spans_ != nullptr && raw->state() != InstanceState::kDone &&
+      raw->state() != InstanceState::kAborted) {
+    recovery_span =
+        spans_->Begin(obs::SpanKind::kRecovery, "recover", InstanceSpanId(raw),
+                      /*link=*/0, instance_id);
+  }
+
   // Re-queue interrupted work: activities that were queued, running (their
   // job died with the server or node), or waiting out a retry backoff
   // (the timer did not survive the crash).
@@ -2318,6 +2464,12 @@ Status Engine::RecoverInstance(const std::string& instance_id) {
   BIOPERA_RETURN_IF_ERROR(Commit(&batch));
   if (raw->state() == InstanceState::kRunning) {
     AppendHistory(instance_id, "recovered; interrupted work re-queued");
+  }
+  if (recovery_span != 0) {
+    spans_->Annotate(recovery_span, "requeued", StrFormat("%zu", requeued));
+    spans_->Annotate(recovery_span, "state",
+                     std::string(InstanceStateName(raw->state())));
+    spans_->End(recovery_span, "replayed");
   }
   if (recovered_metric_ != nullptr) {
     recovered_metric_->Increment(requeued);

@@ -292,6 +292,9 @@ class Engine : public cluster::ClusterListener {
     /// The activity's resource class, cached so parking/waking never needs
     /// to resolve the node.
     std::string resource_class;
+    /// Span covering this attempt from enqueue to its terminal outcome
+    /// (0 when spans are not enabled).
+    uint64_t attempt_span = 0;
 
     ReadyKey key() const { return {-priority, seq}; }
   };
@@ -304,6 +307,10 @@ class Engine : public cluster::ClusterListener {
     /// Lost-report watchdog event, cancelled when the job reports in time
     /// (kInvalidEventId when the watchdog is disabled).
     EventId watchdog = kInvalidEventId;
+    /// Spans (0 when not enabled): the enclosing attempt, and the
+    /// execution slice opened at dispatch.
+    uint64_t attempt_span = 0;
+    uint64_t job_span = 0;
   };
 
   // -- Navigation --
@@ -377,11 +384,14 @@ class Engine : public cluster::ClusterListener {
   // -- Job table --
   void IndexJob(cluster::JobId job_id, const PendingJob& pending);
   /// Removes a job from the table and the per-node / per-instance
-  /// indices, cancels its watchdog, releases its awareness slot and wakes
-  /// the classes its node serves. Every jobs_ removal goes through here.
+  /// indices, cancels its watchdog, releases its awareness slot, wakes
+  /// the classes its node serves and closes the job span with `outcome`
+  /// ("completed", "failed", "timed_out", "migrated", "killed"). Every
+  /// jobs_ removal goes through here.
   PendingJob TakeJob(std::map<cluster::JobId, PendingJob>::iterator it,
-                     bool failed);
-  PendingJob TakeJob(cluster::JobId job_id, bool failed);
+                     bool failed, std::string_view outcome);
+  PendingJob TakeJob(cluster::JobId job_id, bool failed,
+                     std::string_view outcome);
 
   // -- Persistence --
   void PersistTask(ProcessInstance* inst, const TaskNode* node,
@@ -421,6 +431,17 @@ class Engine : public cluster::ClusterListener {
   void EmitInstanceState(const ProcessInstance* inst);
   /// Refreshes the queue-depth / running-jobs gauges.
   void SyncObsGauges();
+
+  // -- Span instrumentation (all no-ops when spans_ == nullptr) --
+  /// The instance's span id, opening (first start) or re-attaching
+  /// (recovery after a crash dropped the in-memory handle) as needed.
+  uint64_t InstanceSpanId(ProcessInstance* inst);
+  /// Opens the attempt span for a freshly queued entry; a retry links to
+  /// the attempt it replaces through the task's last_attempt_span.
+  void BeginAttemptSpan(ReadyEntry* entry, ProcessInstance* inst,
+                        TaskNode* node);
+  /// Closes an attempt span with its terminal outcome.
+  void EndAttemptSpan(uint64_t attempt_span, std::string_view outcome);
 
   Simulator* sim_;
   cluster::ClusterSim* cluster_;
@@ -481,6 +502,15 @@ class Engine : public cluster::ClusterListener {
   uint64_t next_instance_seq_ = 1;
   bool pump_scheduled_ = false;
   EventId pump_event_ = kInvalidEventId;
+
+  // Span sink (null without an Observability context) and the open
+  // overlay spans it tracks for the engine: the server-down window
+  // between Crash() and the next Startup(), and the store-degraded
+  // window. The critical-path analyzer uses these windows to classify
+  // waiting time as recovery / store stall.
+  obs::SpanSink* spans_ = nullptr;
+  uint64_t server_down_span_ = 0;
+  uint64_t degraded_span_ = 0;
 
   // Resolved metric handles (null without an Observability context).
   obs::Counter* dispatched_metric_ = nullptr;

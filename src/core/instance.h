@@ -69,6 +69,13 @@ struct TaskNode {
   TimePoint started;
   TimePoint finished;
 
+  /// Observability: span id of this task's latest attempt (0 when spans
+  /// are not enabled). Runtime-only — never persisted; after a server
+  /// crash rebuilt nodes start at 0 and the server-down overlay span
+  /// explains the causal gap. A retry reads it to link the new attempt
+  /// span to the one it replaces.
+  uint64_t last_attempt_span = 0;
+
   /// Parallel-body locals (index >= 0 marks a body instance).
   ocr::Value item;
   int64_t index = -1;
@@ -194,6 +201,13 @@ class ProcessInstance {
   /// TaskNode pointers re-resolve via FindByPath when this moves.
   uint64_t structure_generation() const { return structure_generation_; }
 
+  /// Observability: id of this instance's span in the experiment's span
+  /// sink (0 when spans are not enabled). Runtime-only, never persisted;
+  /// recovery re-attaches it via SpanSink::FindOpen so one instance keeps
+  /// one span across server crashes and restarts.
+  uint64_t span_id() const { return span_id_; }
+  void set_span_id(uint64_t id) { span_id_ = id; }
+
  private:
   std::string id_;
   const ocr::ProcessDef* def_;
@@ -207,6 +221,7 @@ class ProcessInstance {
   std::array<size_t, kNumTaskStates> state_counts_{};
   std::array<size_t, kNumTaskStates> activity_counts_{};
   uint64_t structure_generation_ = 0;
+  uint64_t span_id_ = 0;
 };
 
 }  // namespace biopera::core

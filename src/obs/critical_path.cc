@@ -1,0 +1,250 @@
+#include "obs/critical_path.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace biopera::obs {
+
+namespace {
+
+constexpr const char* kCategories[] = {"compute", "queue", "recovery",
+                                       "migration", "store_stall"};
+
+/// An overlay window that reclassifies waiting time spent inside it.
+struct Overlay {
+  TimePoint start;
+  TimePoint end;
+  const char* category;
+};
+
+/// A task attempt flattened for the backward walk. `end` is the effective
+/// end: open attempts extend to the analysis horizon.
+struct AttemptView {
+  TimePoint start;
+  TimePoint end;
+  uint64_t id = 0;
+  TimePoint job_start;
+  bool has_job = false;
+  uint64_t job_id = 0;
+  std::string task;
+  std::string node;
+  const char* wait_category = "queue";
+};
+
+class Classifier {
+ public:
+  Classifier(std::vector<Overlay> overlays) : overlays_(std::move(overlays)) {
+    for (const Overlay& o : overlays_) {
+      boundaries_.push_back(o.start);
+      boundaries_.push_back(o.end);
+    }
+    std::sort(boundaries_.begin(), boundaries_.end());
+    boundaries_.erase(std::unique(boundaries_.begin(), boundaries_.end()),
+                      boundaries_.end());
+  }
+
+  /// Splits [from, to) at overlay boundaries and appends one segment per
+  /// homogeneous piece; pieces outside every overlay keep `base`.
+  void Append(TimePoint from, TimePoint to, const char* base,
+              CriticalPathReport* report) const {
+    TimePoint t = from;
+    while (t < to) {
+      auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), t);
+      TimePoint piece_end = it == boundaries_.end() || *it > to ? to : *it;
+      CriticalPathSegment seg;
+      seg.start = t;
+      seg.end = piece_end;
+      seg.category = At(t, base);
+      report->segments.push_back(std::move(seg));
+      t = piece_end;
+    }
+  }
+
+ private:
+  /// Overlays are listed in priority order (recovery before store stall).
+  const char* At(TimePoint t, const char* base) const {
+    for (const Overlay& o : overlays_) {
+      if (o.start <= t && t < o.end) return o.category;
+    }
+    return base;
+  }
+
+  std::vector<Overlay> overlays_;
+  std::vector<TimePoint> boundaries_;
+};
+
+}  // namespace
+
+Duration CriticalPathReport::attributed() const {
+  Duration total = Duration::Zero();
+  for (const CriticalPathSegment& seg : segments) total += seg.duration();
+  return total;
+}
+
+std::string CriticalPathReport::ToText(size_t top_k) const {
+  if (!found) return "(no instance span for " + instance + ")\n";
+  Duration span = makespan();
+  std::string out = StrFormat("critical path of %s: makespan %s\n",
+                              instance.c_str(), span.ToString().c_str());
+  for (const char* category : kCategories) {
+    auto it = totals.find(category);
+    Duration d = it == totals.end() ? Duration::Zero() : it->second;
+    double pct = span.IsZero() ? 0.0 : 100.0 * (d / span);
+    out += StrFormat("  %-12s %12s  %5.1f%%\n", category,
+                     d.ToString().c_str(), pct);
+  }
+  std::vector<const CriticalPathSegment*> ranked;
+  ranked.reserve(segments.size());
+  for (const CriticalPathSegment& seg : segments) ranked.push_back(&seg);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const CriticalPathSegment* a, const CriticalPathSegment* b) {
+              if (a->duration() != b->duration()) {
+                return a->duration() > b->duration();
+              }
+              return a->start < b->start;
+            });
+  if (ranked.size() > top_k) ranked.resize(top_k);
+  if (!ranked.empty()) out += "top segments:\n";
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    const CriticalPathSegment& seg = *ranked[i];
+    std::string what = seg.task.empty() ? std::string("-") : seg.task;
+    if (!seg.node.empty()) what += "@" + seg.node;
+    out += StrFormat("  %2d. %12s  %-11s %s  [%s .. %s]\n",
+                     static_cast<int>(i) + 1, seg.duration().ToString().c_str(),
+                     seg.category.c_str(), what.c_str(),
+                     seg.start.ToString().c_str(), seg.end.ToString().c_str());
+  }
+  return out;
+}
+
+CriticalPathReport AnalyzeCriticalPath(const SpanSink& spans,
+                                       const std::string& instance) {
+  CriticalPathReport report;
+  report.instance = instance;
+
+  // Latest instance span for this id; open spans (and their children)
+  // extend to the horizon — the latest timestamp the sink has seen — so
+  // a mid-run analysis still partitions [start, horizon] completely.
+  const Span* inst = nullptr;
+  TimePoint horizon = TimePoint::Zero();
+  spans.ForEach([&](const Span& span) {
+    horizon = std::max(horizon, span.open ? span.start : span.end);
+    if (span.kind == SpanKind::kInstance &&
+        (span.instance == instance || span.name == instance)) {
+      inst = &span;
+    }
+  });
+  if (inst == nullptr) return report;
+  report.found = true;
+  report.start = inst->start;
+  report.end = inst->open ? std::max(horizon, inst->start) : inst->end;
+
+  std::vector<AttemptView> attempts;
+  std::vector<Overlay> recovery_windows;
+  std::vector<Overlay> stall_windows;
+  spans.ForEach([&](const Span& span) {
+    TimePoint effective_end = span.open ? horizon : span.end;
+    switch (span.kind) {
+      case SpanKind::kAttempt: {
+        if (span.parent != inst->id) break;
+        AttemptView view;
+        view.start = span.start;
+        view.end = effective_end;
+        view.id = span.id;
+        view.task = span.task;
+        const Span* prior = spans.Find(span.link);
+        if (prior != nullptr && prior->outcome == "migrated") {
+          view.wait_category = "migration";
+        }
+        attempts.push_back(std::move(view));
+        break;
+      }
+      case SpanKind::kJob: {
+        // Jobs arrive after their attempt (ids are ordered), so the
+        // attempt is already in the list.
+        for (size_t i = attempts.size(); i > 0; --i) {
+          AttemptView& view = attempts[i - 1];
+          if (view.id == span.parent) {
+            view.has_job = true;
+            view.job_start = span.start;
+            view.job_id = span.id;
+            view.node = span.node;
+            break;
+          }
+        }
+        break;
+      }
+      case SpanKind::kServerDown:
+        recovery_windows.push_back({span.start, effective_end, "recovery"});
+        break;
+      case SpanKind::kStoreDegraded:
+        stall_windows.push_back({span.start, effective_end, "store_stall"});
+        break;
+      default:
+        break;
+    }
+  });
+
+  // Priority: a server-down window explains waiting even if the store
+  // was also degraded at the time.
+  std::vector<Overlay> overlays = std::move(recovery_windows);
+  overlays.insert(overlays.end(), stall_windows.begin(), stall_windows.end());
+  Classifier classifier(std::move(overlays));
+
+  // Backward walk: at every cursor the blocking attempt is the one with
+  // the latest effective end not after the cursor. Sorting by end (then
+  // start, then id) descending lets a single monotone pointer find it.
+  std::sort(attempts.begin(), attempts.end(),
+            [](const AttemptView& a, const AttemptView& b) {
+              if (a.end != b.end) return a.end > b.end;
+              if (a.start != b.start) return a.start > b.start;
+              return a.id > b.id;
+            });
+  TimePoint cursor = report.end;
+  size_t i = 0;
+  while (cursor > report.start) {
+    while (i < attempts.size() &&
+           (attempts[i].end > cursor || attempts[i].start >= cursor ||
+            attempts[i].end <= report.start)) {
+      ++i;
+    }
+    if (i == attempts.size()) {
+      classifier.Append(report.start, cursor, "queue", &report);
+      break;
+    }
+    const AttemptView& blocking = attempts[i++];
+    if (blocking.end < cursor) {
+      classifier.Append(blocking.end, cursor, "queue", &report);
+    }
+    TimePoint hi = std::min(blocking.end, cursor);
+    TimePoint lo = std::max(blocking.start, report.start);
+    TimePoint job_start =
+        blocking.has_job ? std::clamp(blocking.job_start, lo, hi) : hi;
+    if (job_start < hi) {
+      CriticalPathSegment seg;
+      seg.start = job_start;
+      seg.end = hi;
+      seg.category = "compute";
+      seg.span_id = blocking.job_id;
+      seg.task = blocking.task;
+      seg.node = blocking.node;
+      report.segments.push_back(std::move(seg));
+    }
+    classifier.Append(lo, job_start, blocking.wait_category, &report);
+    cursor = lo;
+  }
+
+  // The walk built segments back-to-front; restore timeline order and
+  // total per category.
+  std::sort(report.segments.begin(), report.segments.end(),
+            [](const CriticalPathSegment& a, const CriticalPathSegment& b) {
+              return a.start < b.start;
+            });
+  for (const CriticalPathSegment& seg : report.segments) {
+    report.totals[seg.category] += seg.duration();
+  }
+  return report;
+}
+
+}  // namespace biopera::obs

@@ -1,0 +1,61 @@
+#ifndef BIOPERA_OBS_CRITICAL_PATH_H_
+#define BIOPERA_OBS_CRITICAL_PATH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "obs/span.h"
+
+namespace biopera::obs {
+
+/// One slice of an instance's makespan on the critical path, tagged with
+/// where that time went.
+struct CriticalPathSegment {
+  TimePoint start;
+  TimePoint end;
+  /// "compute", "queue", "recovery", "migration" or "store_stall".
+  std::string category;
+  uint64_t span_id = 0;  // contributing attempt/job span (0 for a gap)
+  std::string task;
+  std::string node;
+
+  Duration duration() const { return end - start; }
+};
+
+/// The critical path of one completed (or still-running) process
+/// instance: a gap-free partition of [start, end] into categorized
+/// segments. Because the segments tile the makespan exactly, the
+/// category totals always sum to `makespan()` — attribution can never
+/// silently lose time.
+struct CriticalPathReport {
+  bool found = false;
+  std::string instance;
+  TimePoint start;
+  TimePoint end;
+  std::vector<CriticalPathSegment> segments;  // ordered by start
+  std::map<std::string, Duration> totals;     // per category
+
+  Duration makespan() const { return end - start; }
+  /// Sum over all segments; equals makespan() by construction.
+  Duration attributed() const;
+  /// Human-readable summary: totals plus the `top_k` longest segments.
+  std::string ToText(size_t top_k = 5) const;
+};
+
+/// Walks the span DAG of `instance` backwards from its end: at every
+/// point the blocking span is the latest-finishing task attempt, whose
+/// execution slice (the child job span) counts as compute and whose
+/// pre-dispatch wait is classified by cause — a retry linked to a
+/// migration-killed attempt waits on "migration"; time under a
+/// server-down window is "recovery"; time under a store-degraded window
+/// is "store_stall"; everything else is "queue". Gaps between blocking
+/// attempts are classified by the same overlay windows.
+CriticalPathReport AnalyzeCriticalPath(const SpanSink& spans,
+                                       const std::string& instance);
+
+}  // namespace biopera::obs
+
+#endif  // BIOPERA_OBS_CRITICAL_PATH_H_

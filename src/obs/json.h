@@ -1,0 +1,16 @@
+#ifndef BIOPERA_OBS_JSON_H_
+#define BIOPERA_OBS_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace biopera::obs {
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters). Shared by the trace and span
+/// exporters so every JSON artifact escapes identically.
+std::string JsonEscape(std::string_view s);
+
+}  // namespace biopera::obs
+
+#endif  // BIOPERA_OBS_JSON_H_

@@ -61,14 +61,18 @@ double Histogram::Percentile(double p) const {
   uint64_t seen = 0;
   for (size_t i = 0; i < buckets_.size(); ++i) {
     if (buckets_[i] == 0) continue;
-    double lo = i == 0 ? 0 : bounds_[i - 1];
-    double hi = i < bounds_.size() ? bounds_[i] : bounds_.back();
     double before = static_cast<double>(seen);
     seen += buckets_[i];
     if (static_cast<double>(seen) >= target) {
-      double frac = buckets_[i] == 0
-                        ? 0
-                        : (target - before) / static_cast<double>(buckets_[i]);
+      if (i >= bounds_.size()) {
+        // Overflow bucket: it has no upper bound, so interpolation is
+        // undefined. Report the largest finite bound — every sample in
+        // this bucket is at least that large (0 for a bucketless layout).
+        return bounds_.empty() ? 0 : bounds_.back();
+      }
+      double lo = i == 0 ? 0 : bounds_[i - 1];
+      double hi = bounds_[i];
+      double frac = (target - before) / static_cast<double>(buckets_[i]);
       return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
     }
   }
@@ -121,10 +125,13 @@ std::string MetricsSnapshot::ToJson() const {
   return out;
 }
 
-std::string MetricsSnapshot::ToText() const {
-  if (entries.empty()) return "(no metrics)\n";
+std::string MetricsSnapshot::ToText(std::string_view prefix) const {
   std::string out;
   for (const Entry& e : entries) {
+    if (!prefix.empty() &&
+        std::string_view(e.key).substr(0, prefix.size()) != prefix) {
+      continue;
+    }
     switch (e.kind) {
       case Kind::kCounter:
       case Kind::kGauge:
@@ -137,6 +144,11 @@ std::string MetricsSnapshot::ToText() const {
                          FormatNumber(e.sum).c_str());
         break;
     }
+  }
+  if (out.empty()) {
+    return prefix.empty()
+               ? "(no metrics)\n"
+               : "(no metrics matching " + std::string(prefix) + ")\n";
   }
   return out;
 }

@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace biopera::obs {
@@ -91,8 +92,9 @@ struct MetricsSnapshot {
 
   /// Deterministic JSON object keyed by metric name.
   std::string ToJson() const;
-  /// Aligned human-readable listing (the console's METRICS command).
-  std::string ToText() const;
+  /// Aligned human-readable listing (the console's METRICS command),
+  /// optionally restricted to keys starting with `prefix`.
+  std::string ToText(std::string_view prefix = {}) const;
 };
 
 /// Process- or experiment-wide metric registry. Families are addressed by

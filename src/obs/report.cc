@@ -1,0 +1,113 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+#include "obs/critical_path.h"
+#include "obs/timeline.h"
+
+namespace biopera::obs {
+
+namespace {
+
+struct NodeUsage {
+  Duration busy;
+  uint64_t completed = 0;
+  uint64_t lost = 0;  // failed / timed out / migrated / killed / node_down
+  uint64_t open = 0;
+};
+
+}  // namespace
+
+std::string BuildRunReport(const ReportInput& input, const Observability& obs,
+                           size_t top_k) {
+  std::string out =
+      StrFormat("== run report: %s ==\n", input.instance.c_str());
+  out += StrFormat("state:      %s\n", input.state.c_str());
+  if (input.activities_total > 0) {
+    out += StrFormat(
+        "progress:   %llu/%llu activities (%.1f%%)\n",
+        static_cast<unsigned long long>(input.activities_done),
+        static_cast<unsigned long long>(input.activities_total),
+        100.0 * static_cast<double>(input.activities_done) /
+            static_cast<double>(input.activities_total));
+  }
+
+  CriticalPathReport path = AnalyzeCriticalPath(obs.spans, input.instance);
+  TimePoint run_start = path.found ? path.start : TimePoint::Zero();
+  Duration elapsed = input.now - run_start;
+  out += StrFormat("elapsed:    %s (virtual)\n", elapsed.ToString().c_str());
+
+  // Historical effective compute rate: reference-CPU seconds delivered to
+  // this instance per elapsed second (i.e. mean busy CPUs). The ETA is
+  // the planner's remaining-work estimate divided by that rate.
+  double compute_seconds = 0;
+  obs.spans.ForEach([&](const Span& span) {
+    if (span.kind == SpanKind::kJob && !span.open &&
+        span.instance == input.instance) {
+      compute_seconds += span.duration().ToSeconds();
+    }
+  });
+  if (input.state == "Done" || input.state == "done") {
+    out += "eta:        - (run complete)\n";
+  } else {
+    double rate = elapsed.ToSeconds() > 0
+                      ? compute_seconds / elapsed.ToSeconds()
+                      : 0;
+    if (rate > 0 && input.remaining_work_seconds > 0) {
+      Duration eta = Duration::Seconds(input.remaining_work_seconds / rate);
+      out += StrFormat("eta:        ~%s (%.0fs work left / %.2f effective "
+                       "CPUs)\n",
+                       eta.ToString().c_str(), input.remaining_work_seconds,
+                       rate);
+    } else {
+      out += "eta:        n/a (no compute history yet)\n";
+    }
+  }
+  out += "\n";
+  out += path.ToText(top_k);
+
+  // Per-node utilization (Table 1 view), reconstructed from the trace:
+  // busy time on each node, its share of elapsed time (nodes with
+  // several CPUs can exceed 100%), and how executions ended there.
+  std::map<std::string, NodeUsage> nodes;
+  for (const TimelineInterval& iv : BuildTimeline(obs.trace)) {
+    if (iv.node.empty()) continue;
+    NodeUsage& usage = nodes[iv.node];
+    usage.busy += iv.end - iv.start;
+    if (iv.outcome == "completed") {
+      ++usage.completed;
+    } else if (iv.outcome == "open") {
+      ++usage.open;
+    } else {
+      ++usage.lost;
+    }
+  }
+  if (!nodes.empty()) {
+    out += "\nper-node utilization:\n";
+    out += StrFormat("  %-12s %14s %7s %10s %6s %5s\n", "node", "busy",
+                     "util%", "completed", "lost", "open");
+    for (const auto& [node, usage] : nodes) {
+      double pct = elapsed.ToSeconds() > 0
+                       ? 100.0 * (usage.busy / elapsed)
+                       : 0;
+      out += StrFormat("  %-12s %14s %6.1f%% %10llu %6llu %5llu\n",
+                       node.c_str(), usage.busy.ToString().c_str(), pct,
+                       static_cast<unsigned long long>(usage.completed),
+                       static_cast<unsigned long long>(usage.lost),
+                       static_cast<unsigned long long>(usage.open));
+    }
+  }
+
+  if (obs.trace.dropped() > 0 || obs.spans.dropped() > 0) {
+    out += StrFormat(
+        "\nwarning: history truncated (%llu trace events, %llu spans "
+        "dropped); early intervals may be missing\n",
+        static_cast<unsigned long long>(obs.trace.dropped()),
+        static_cast<unsigned long long>(obs.spans.dropped()));
+  }
+  return out;
+}
+
+}  // namespace biopera::obs

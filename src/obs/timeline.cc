@@ -97,8 +97,14 @@ std::vector<TimelineInterval> BuildTimeline(const TraceSink& trace,
   return intervals;
 }
 
-std::string TimelineCsv(const std::vector<TimelineInterval>& intervals) {
+std::string TimelineCsv(const std::vector<TimelineInterval>& intervals,
+                        uint64_t dropped_events) {
   std::string out = "node,instance,task,start_us,end_us,outcome\n";
+  if (dropped_events > 0) {
+    out += StrFormat("# truncated: %llu trace events dropped before this "
+                     "window\n",
+                     static_cast<unsigned long long>(dropped_events));
+  }
   for (const TimelineInterval& iv : intervals) {
     out += StrFormat("%s,%s,%s,%lld,%lld,%s\n", iv.node.c_str(),
                      iv.instance.c_str(), iv.task.c_str(),

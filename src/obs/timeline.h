@@ -31,8 +31,11 @@ struct TimelineInterval {
 std::vector<TimelineInterval> BuildTimeline(const TraceSink& trace,
                                             const std::string& node = "");
 
-/// CSV rendering: header + one row per interval.
-std::string TimelineCsv(const std::vector<TimelineInterval>& intervals);
+/// CSV rendering: header + one row per interval. A nonzero
+/// `dropped_events` (the source sink's `dropped()`) adds a truncation
+/// comment after the header, marking that early intervals may be missing.
+std::string TimelineCsv(const std::vector<TimelineInterval>& intervals,
+                        uint64_t dropped_events = 0);
 
 /// Tasks concurrently running on `node` over time (seconds) — the shape
 /// of the paper's Figure 5/6 utilization curves, derived from the trace.

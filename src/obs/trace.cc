@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.h"
+#include "obs/json.h"
 
 namespace biopera::obs {
 
@@ -31,6 +32,8 @@ constexpr struct {
     {EventType::kAnnotation, "annotation"},
 };
 
+}  // namespace
+
 std::string JsonEscape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
@@ -51,8 +54,6 @@ std::string JsonEscape(std::string_view s) {
   }
   return out;
 }
-
-}  // namespace
 
 std::string_view EventTypeName(EventType type) {
   for (const auto& entry : kEventNames) {
@@ -106,6 +107,7 @@ void TraceSink::Emit(EventType type, std::string instance, std::string task,
     ring_.push_back(std::move(rec));
   } else {
     ring_[static_cast<size_t>(rec.seq % capacity_)] = std::move(rec);
+    if (drop_counter_ != nullptr) drop_counter_->Increment();
   }
 }
 
@@ -142,6 +144,12 @@ std::vector<TraceRecord> TraceSink::Tail(size_t n,
 
 std::string TraceSink::ExportJsonl() const {
   std::string out;
+  if (dropped() > 0) {
+    out += StrFormat(
+        "{\"truncated\":true,\"events_dropped\":%llu,\"first_seq\":%llu}\n",
+        static_cast<unsigned long long>(dropped()),
+        static_cast<unsigned long long>(next_seq_ - ring_.size()));
+  }
   ForEach([&](const TraceRecord& rec) {
     out += rec.ToJson();
     out += "\n";

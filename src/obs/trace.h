@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "common/time.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace biopera::obs {
 
@@ -68,6 +69,10 @@ class TraceSink {
   void SetClock(const Clock* clock) { clock_ = clock; }
   bool has_clock() const { return clock_ != nullptr; }
 
+  /// Mirrors `dropped()` into a registry counter
+  /// (`trace_events_dropped_total`), incremented as overwrites happen.
+  void SetDropCounter(Counter* counter) { drop_counter_ = counter; }
+
   void Emit(EventType type, std::string instance = "", std::string task = "",
             std::string node = "",
             std::vector<std::pair<std::string, std::string>> attrs = {});
@@ -86,7 +91,10 @@ class TraceSink {
   std::vector<TraceRecord> Tail(size_t n,
                                 const std::string& instance = "") const;
 
-  /// One JSON object per line, oldest event first.
+  /// One JSON object per line, oldest event first. When the ring has
+  /// wrapped, the first line is a truncation marker recording how many
+  /// events were overwritten — a wrapped ring never exports silently as
+  /// if it were complete.
   std::string ExportJsonl() const;
 
   void Clear();
@@ -96,19 +104,27 @@ class TraceSink {
   size_t capacity_;
   std::vector<TraceRecord> ring_;
   uint64_t next_seq_ = 0;
+  Counter* drop_counter_ = nullptr;
 };
 
 /// The observability context one experiment shares across its engine,
-/// cluster model, store and monitors: a metric registry plus a trace
-/// sink, stamped from the same (virtual) clock.
+/// cluster model, store and monitors: a metric registry, a trace sink
+/// and a span sink, all stamped from the same (virtual) clock.
 struct Observability {
   Registry metrics;
   TraceSink trace;
+  SpanSink spans;
 
-  explicit Observability(size_t trace_capacity = 65536)
-      : trace(trace_capacity) {}
+  explicit Observability(size_t trace_capacity = 65536,
+                         size_t span_capacity = 1 << 20)
+      : trace(trace_capacity), spans(span_capacity) {
+    trace.SetDropCounter(metrics.GetCounter("trace_events_dropped_total"));
+  }
 
-  void SetClock(const Clock* clock) { trace.SetClock(clock); }
+  void SetClock(const Clock* clock) {
+    trace.SetClock(clock);
+    spans.SetClock(clock);
+  }
 };
 
 }  // namespace biopera::obs

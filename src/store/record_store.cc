@@ -215,6 +215,12 @@ Status RecordStore::Flush() {
   if (obs_ != nullptr) {
     flushes_metric_->Increment();
     coalesced_metric_->Increment(pending_commits_);
+    obs_->spans.EmitInstant(
+        obs::SpanKind::kCommitBatch, "commit group", /*parent=*/0, "", "", "",
+        {{"commits", StrFormat("%llu", static_cast<unsigned long long>(
+                                           pending_commits_))},
+         {"bytes", StrFormat("%zu", pending_.size())}},
+        "flushed");
   }
   pending_.clear();  // keeps capacity: the buffer is reused
   pending_commits_ = 0;
@@ -582,6 +588,15 @@ Status RecordStore::CheckpointImpl(bool force_full) {
     checkpoints_metric_->Increment();
     if (compact) compactions_metric_->Increment();
     checkpoint_bytes_metric_->Observe(static_cast<double>(image.size()));
+    obs_->spans.EmitInstant(
+        obs::SpanKind::kCheckpoint, compact ? "checkpoint full"
+                                            : "checkpoint delta",
+        /*parent=*/0, "", "", "",
+        {{"bytes", StrFormat("%zu", image.size())},
+         {"tables", StrFormat("%zu", table_count)},
+         {"wal_trimmed",
+          StrFormat("%llu", static_cast<unsigned long long>(wal_trimmed))}},
+        "taken");
     obs_->trace.Emit(
         obs::EventType::kCheckpointTaken, "", "", "",
         {{"bytes", StrFormat("%zu", image.size())},

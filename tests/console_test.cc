@@ -280,6 +280,65 @@ TEST(ConsoleTest, MetricsTraceAndTimeline) {
   EXPECT_EQ(empty, "(no timeline intervals)\n");
 }
 
+TEST(ConsoleTest, MetricsPrefixFilter) {
+  obs::Observability obs;
+  World w(&obs);
+  ASSERT_OK(w.engine->RegisterTemplate(Pipeline()));
+  ASSERT_OK(w.engine->StartProcess("pipeline").status());
+  w.sim.Run();
+  AdminConsole console(w.engine.get());
+
+  // Only the engine_ family survives the filter.
+  ASSERT_OK_AND_ASSIGN(std::string engine_only,
+                       console.Execute("METRICS engine_"));
+  EXPECT_NE(engine_only.find("engine_tasks_dispatched_total"),
+            std::string::npos);
+  EXPECT_EQ(engine_only.find("trace_events_dropped_total"), std::string::npos);
+
+  ASSERT_OK_AND_ASSIGN(std::string none, console.Execute("METRICS zzz"));
+  EXPECT_EQ(none, "(no metrics matching zzz)\n");
+}
+
+TEST(ConsoleTest, ReportCritpathAndSpans) {
+  obs::Observability obs;
+  World w(&obs);
+  obs.SetClock(&w.sim);
+  ASSERT_OK(w.engine->RegisterTemplate(Pipeline()));
+  ASSERT_OK_AND_ASSIGN(std::string id, w.engine->StartProcess("pipeline"));
+  w.sim.Run();
+  AdminConsole console(w.engine.get());
+
+  ASSERT_OK_AND_ASSIGN(std::string report, console.Execute("REPORT " + id));
+  EXPECT_NE(report.find("== run report: " + id), std::string::npos);
+  EXPECT_NE(report.find("progress:"), std::string::npos);
+  EXPECT_NE(report.find("eta:        - (run complete)"), std::string::npos);
+  EXPECT_NE(report.find("critical path of " + id), std::string::npos);
+  EXPECT_TRUE(console.Execute("REPORT ghost").status().IsNotFound());
+
+  ASSERT_OK_AND_ASSIGN(std::string crit, console.Execute("CRITPATH " + id));
+  EXPECT_NE(crit.find("critical path of " + id), std::string::npos);
+  EXPECT_NE(crit.find("compute"), std::string::npos);
+  // Spans outlive archived instances, so an unknown id degrades rather
+  // than erroring.
+  ASSERT_OK_AND_ASSIGN(std::string missing, console.Execute("CRITPATH nope"));
+  EXPECT_NE(missing.find("(no instance span for nope)"), std::string::npos);
+
+  ASSERT_OK_AND_ASSIGN(std::string spans, console.Execute("SPANS " + id));
+  EXPECT_NE(spans.find("\"kind\":\"instance\""), std::string::npos);
+  EXPECT_NE(spans.find("\"kind\":\"job\""), std::string::npos);
+  ASSERT_OK_AND_ASSIGN(std::string all, console.Execute("SPANS * 100"));
+  EXPECT_NE(all.find("\"kind\":\"commit_batch\""), std::string::npos);
+  EXPECT_TRUE(console.Execute("SPANS * zero").status().IsInvalidArgument());
+  ASSERT_OK_AND_ASSIGN(std::string none, console.Execute("SPANS no-such-id"));
+  EXPECT_EQ(none, "(no matching spans)\n");
+
+  // Help advertises the new commands.
+  ASSERT_OK_AND_ASSIGN(std::string help, console.Execute("HELP"));
+  EXPECT_NE(help.find("REPORT"), std::string::npos);
+  EXPECT_NE(help.find("CRITPATH"), std::string::npos);
+  EXPECT_NE(help.find("SPANS"), std::string::npos);
+}
+
 TEST(ConsoleTest, StatsShowsDispatcherDepths) {
   obs::Observability obs;
   World w(&obs);
@@ -317,7 +376,13 @@ TEST(ConsoleTest, ScrubReportsStoreHealth) {
 TEST(ConsoleTest, ObservabilityCommandsDegradeWithoutContext) {
   World w;  // no Observability attached
   AdminConsole console(w.engine.get());
-  for (const char* cmd : {"METRICS", "TRACE *", "TIMELINE *"}) {
+  ASSERT_OK(w.engine->RegisterTemplate(Pipeline()));
+  ASSERT_OK_AND_ASSIGN(std::string id, w.engine->StartProcess("pipeline"));
+  w.sim.Run();
+  for (std::string cmd : {std::string("METRICS"), std::string("TRACE *"),
+                          std::string("TIMELINE *"), std::string("SPANS *"),
+                          std::string("REPORT ") + id,
+                          std::string("CRITPATH ") + id}) {
     ASSERT_OK_AND_ASSIGN(std::string out, console.Execute(cmd));
     EXPECT_EQ(out, "(observability not enabled)\n") << cmd;
   }

@@ -10,6 +10,8 @@
 #include "cluster/cluster.h"
 #include "core/engine.h"
 #include "darwin/generator.h"
+#include "obs/critical_path.h"
+#include "obs/report.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
 #include "ocr/builder.h"
@@ -30,6 +32,14 @@ struct RunExports {
   std::string trace_jsonl;
   std::string metrics_json;
   std::string store_state;  // serialized instance + history tables
+  std::string spans_jsonl;
+  std::string chrome_json;
+  std::string report_text;
+  /// Critical-path invariants of the chaotic instance.
+  bool critpath_found = false;
+  int64_t critpath_makespan_us = 0;
+  int64_t critpath_attributed_us = 0;
+  Duration critpath_recovery = Duration::Zero();
   uint64_t dispatched = 0;
   uint64_t completed = 0;
   uint64_t failed = 0;
@@ -137,6 +147,27 @@ RunExports RunScriptedChaos(uint64_t seed, bool group_commit = true) {
     }
   }
   out.trace_jsonl = obs.trace.ExportJsonl();
+  out.spans_jsonl = obs.spans.ExportJsonl();
+  out.chrome_json = obs.spans.ExportChromeTrace();
+  obs::ReportInput report_input;
+  report_input.instance = *id;
+  auto summary = engine.Summary(*id);
+  if (summary.ok()) {
+    report_input.state = std::string(core::InstanceStateName(summary->state));
+    report_input.activities_done = summary->tasks_done;
+    report_input.activities_total = summary->tasks_total;
+  }
+  report_input.now = sim.Now();
+  out.report_text = obs::BuildRunReport(report_input, obs);
+  obs::CriticalPathReport critpath =
+      obs::AnalyzeCriticalPath(obs.spans, *id);
+  out.critpath_found = critpath.found;
+  out.critpath_makespan_us = critpath.makespan().micros();
+  out.critpath_attributed_us = critpath.attributed().micros();
+  auto recovery_total = critpath.totals.find("recovery");
+  if (recovery_total != critpath.totals.end()) {
+    out.critpath_recovery = recovery_total->second;
+  }
   obs::MetricsSnapshot snap = obs.metrics.Snapshot();
   out.metrics_json = snap.ToJson();
   out.dispatched = CounterValue(snap, "engine_tasks_dispatched_total");
@@ -153,6 +184,34 @@ TEST(ObsDeterminismTest, SameSeedExportsAreByteIdentical) {
   EXPECT_EQ(first.metrics_json, second.metrics_json);
   EXPECT_FALSE(first.trace_jsonl.empty());
   EXPECT_FALSE(first.metrics_json.empty());
+  // The span layer (raw log, Chrome trace, run report) is held to the
+  // same bar, through node crashes, task failures, a server crash, and
+  // WAL-replay recovery.
+  EXPECT_EQ(first.spans_jsonl, second.spans_jsonl);
+  EXPECT_EQ(first.chrome_json, second.chrome_json);
+  EXPECT_EQ(first.report_text, second.report_text);
+  EXPECT_FALSE(first.spans_jsonl.empty());
+  EXPECT_FALSE(first.chrome_json.empty());
+  EXPECT_FALSE(first.report_text.empty());
+}
+
+TEST(ObsDeterminismTest, ChaosCriticalPathAttributionIsExact) {
+  RunExports run = RunScriptedChaos(7);
+  ASSERT_TRUE(run.critpath_found);
+  EXPECT_GT(run.critpath_makespan_us, 0);
+  // The segments tile the makespan: attribution never silently loses
+  // time, even across retries, node outages, and server recovery.
+  EXPECT_EQ(run.critpath_attributed_us, run.critpath_makespan_us);
+  // The span exports carry the disturbances the script injected.
+  EXPECT_NE(run.spans_jsonl.find("\"kind\":\"server_down\""),
+            std::string::npos);
+  EXPECT_NE(run.spans_jsonl.find("\"kind\":\"node_outage\""),
+            std::string::npos);
+  EXPECT_NE(run.spans_jsonl.find("\"kind\":\"recovery\""), std::string::npos);
+  EXPECT_NE(run.spans_jsonl.find("\"outcome\":\"failed\""),
+            std::string::npos);
+  EXPECT_NE(run.chrome_json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(run.report_text.find("critical path of"), std::string::npos);
 }
 
 TEST(ObsDeterminismTest, EngineCountersReflectTheChaoticLifecycle) {
@@ -248,6 +307,8 @@ TEST(ObsDeterminismTest, TraceContainsTheScriptedEvents) {
 struct FanoutExports {
   std::string trace_jsonl;
   std::string timeline_csv;
+  std::string spans_jsonl;
+  std::string chrome_json;
 };
 
 FanoutExports RunHighFanout(uint64_t seed) {
@@ -310,6 +371,8 @@ FanoutExports RunHighFanout(uint64_t seed) {
   FanoutExports out;
   out.trace_jsonl = obs.trace.ExportJsonl();
   out.timeline_csv = obs::TimelineCsv(obs::BuildTimeline(obs.trace, ""));
+  out.spans_jsonl = obs.spans.ExportJsonl();
+  out.chrome_json = obs.spans.ExportChromeTrace();
   return out;
 }
 
@@ -318,8 +381,11 @@ TEST(ObsDeterminismTest, HighFanoutSameSeedTimelinesAreByteIdentical) {
   FanoutExports second = RunHighFanout(41);
   EXPECT_EQ(first.trace_jsonl, second.trace_jsonl);
   EXPECT_EQ(first.timeline_csv, second.timeline_csv);
+  EXPECT_EQ(first.spans_jsonl, second.spans_jsonl);
+  EXPECT_EQ(first.chrome_json, second.chrome_json);
   EXPECT_FALSE(first.trace_jsonl.empty());
   EXPECT_FALSE(first.timeline_csv.empty());
+  EXPECT_FALSE(first.spans_jsonl.empty());
   // The crash and repair both made it into the trace, so the parked
   // queues really were woken by capacity events mid-run.
   EXPECT_NE(first.trace_jsonl.find("\"type\":\"node_down\""),

@@ -69,6 +69,59 @@ TEST(HistogramTest, BucketsAndPercentiles) {
   EXPECT_GE(h.Percentile(100), 8.0);  // overflow reported at/above last bound
 }
 
+TEST(HistogramTest, PercentileEdgeCases) {
+  HistogramOptions options;
+  options.first_bound = 1.0;
+  options.growth = 2.0;
+  options.num_buckets = 1;  // one finite bucket (<= 1) plus overflow
+  Histogram single(options);
+  EXPECT_DOUBLE_EQ(single.Percentile(99), 0.0);  // empty
+
+  // Single finite bucket: interpolation stays inside (0, first_bound].
+  single.Observe(0.4);
+  single.Observe(0.9);
+  EXPECT_GT(single.Percentile(50), 0.0);
+  EXPECT_LE(single.Percentile(50), 1.0);
+
+  // Overflow-only: every sample is beyond the last bound, where
+  // interpolation is undefined — the documented result is the last
+  // finite bound for any requested percentile.
+  Histogram overflow(options);
+  overflow.Observe(100.0);
+  overflow.Observe(250.0);
+  EXPECT_DOUBLE_EQ(overflow.Percentile(1), 1.0);
+  EXPECT_DOUBLE_EQ(overflow.Percentile(50), 1.0);
+  EXPECT_DOUBLE_EQ(overflow.Percentile(100), 1.0);
+
+  // Degenerate histogram with no finite buckets at all: percentiles have
+  // no bound to report, so they collapse to 0 rather than reading past
+  // the (empty) bounds array.
+  HistogramOptions none;
+  none.num_buckets = 0;
+  Histogram unbounded(none);
+  unbounded.Observe(5.0);
+  EXPECT_EQ(unbounded.count(), 1u);
+  EXPECT_DOUBLE_EQ(unbounded.Percentile(50), 0.0);
+}
+
+TEST(RegistryTest, ToTextPrefixFilter) {
+  Registry registry;
+  registry.GetCounter("engine_dispatch_total")->Increment(3);
+  registry.GetCounter("store_commit_total")->Increment(5);
+  MetricsSnapshot snap = registry.Snapshot();
+
+  std::string all = snap.ToText();
+  EXPECT_NE(all.find("engine_dispatch_total"), std::string::npos);
+  EXPECT_NE(all.find("store_commit_total"), std::string::npos);
+
+  std::string store_only = snap.ToText("store_");
+  EXPECT_NE(store_only.find("store_commit_total"), std::string::npos);
+  EXPECT_EQ(store_only.find("engine_dispatch_total"), std::string::npos);
+
+  EXPECT_EQ(snap.ToText("zzz"), "(no metrics matching zzz)\n");
+  EXPECT_EQ(Registry().Snapshot().ToText(), "(no metrics)\n");
+}
+
 TEST(RegistryTest, SnapshotIsSortedAndDeterministic) {
   Registry registry;
   registry.GetCounter("z_total")->Increment(7);
@@ -180,6 +233,32 @@ TEST(TraceSinkTest, ExportJsonlOneObjectPerLine) {
   EXPECT_NE(jsonl.find("\"node\":\"n0\""), std::string::npos);
 }
 
+TEST(TraceSinkTest, ExportJsonlMarksTruncation) {
+  TraceSink sink(4);
+  sink.Emit(EventType::kAnnotation, "inst");
+  EXPECT_EQ(sink.ExportJsonl().find("truncated"), std::string::npos);
+
+  for (int i = 0; i < 9; ++i) sink.Emit(EventType::kAnnotation, "inst");
+  ASSERT_EQ(sink.dropped(), 6u);
+  std::string jsonl = sink.ExportJsonl();
+  // The first line records the wrap so consumers know the window is
+  // incomplete and where the surviving sequence numbers start.
+  EXPECT_EQ(
+      jsonl.find("{\"truncated\":true,\"events_dropped\":6,\"first_seq\":6}"),
+      0u);
+}
+
+TEST(ObservabilityTest, RingWrapFeedsDroppedCounter) {
+  Observability obs(/*trace_capacity=*/4);
+  for (int i = 0; i < 10; ++i) obs.trace.Emit(EventType::kAnnotation, "inst");
+  EXPECT_EQ(obs.trace.dropped(), 6u);
+  // The ctor wires the ring's overwrites into the metrics registry, so
+  // exports and scrapes agree on how much history was lost.
+  EXPECT_EQ(obs.metrics.GetCounter("trace_events_dropped_total")->value(), 6u);
+  EXPECT_NE(obs.metrics.Snapshot().ToText("trace_events_dropped").find("6"),
+            std::string::npos);
+}
+
 // --- Timeline --------------------------------------------------------------
 
 TEST(TimelineTest, PairsDispatchWithTerminalEvents) {
@@ -257,6 +336,24 @@ TEST(TimelineTest, CsvAndBusyCurve) {
   EXPECT_DOUBLE_EQ(busy.At(6), 2.0);   // a and b overlap
   EXPECT_DOUBLE_EQ(busy.At(10), 1.0);  // only b
   EXPECT_DOUBLE_EQ(busy.At(13), 0.0);  // drained
+}
+
+TEST(TimelineTest, CsvMarksTruncation) {
+  TraceSink sink(64);
+  sink.Emit(EventType::kTaskDispatched, "i1", "a", "n0");
+  sink.Emit(EventType::kTaskCompleted, "i1", "a", "n0");
+  std::vector<TimelineInterval> intervals = BuildTimeline(sink);
+
+  std::string intact = TimelineCsv(intervals, /*dropped_events=*/0);
+  EXPECT_EQ(intact.find("truncated"), std::string::npos);
+
+  std::string truncated = TimelineCsv(intervals, /*dropped_events=*/6);
+  EXPECT_NE(truncated.find(
+                "# truncated: 6 trace events dropped before this window"),
+            std::string::npos);
+  // The marker is a CSV comment right after the header, so naive readers
+  // still parse the data rows.
+  EXPECT_LT(truncated.find("node,instance,task"), truncated.find("# truncated"));
 }
 
 // --- Logging hook ----------------------------------------------------------

@@ -1,0 +1,400 @@
+// Unit tests for the span layer: SpanSink mechanics, the JSONL /
+// Chrome-trace exporters, and the critical-path analyzer on hand-built
+// span DAGs with exactly known answers.
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/critical_path.h"
+#include "sim/simulator.h"
+
+namespace biopera::obs {
+namespace {
+
+/// Checks that `json` has balanced braces/brackets outside of string
+/// literals — a structural sanity check that the exporters emit
+/// well-formed JSON without pulling in a parser.
+bool BalancedJson(const std::string& json) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    if (depth < 0) return false;
+  }
+  return depth == 0 && !in_string;
+}
+
+size_t CountOccurrences(const std::string& haystack, const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+/// Builds span DAGs at exact virtual times: At(s) advances the clock to
+/// absolute second `s`, so tests read as chronological event scripts.
+class SpanDagTest : public ::testing::Test {
+ protected:
+  SpanDagTest() { sink_.SetClock(&sim_); }
+
+  void At(int64_t seconds) {
+    sim_.RunUntil(TimePoint::FromMicros(seconds * 1000000));
+  }
+
+  Simulator sim_;
+  SpanSink sink_;
+};
+
+TEST(SpanSinkTest, IdsAreDenseAndFindIsExact) {
+  SpanSink sink;
+  EXPECT_EQ(sink.Now(), TimePoint::Zero());  // no clock registered
+  uint64_t a = sink.Begin(SpanKind::kInstance, "i1", 0, 0, "i1");
+  uint64_t b = sink.Begin(SpanKind::kAttempt, "t", a, 0, "i1", "t");
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 2u);
+  ASSERT_NE(sink.Find(a), nullptr);
+  ASSERT_NE(sink.Find(b), nullptr);
+  EXPECT_EQ(sink.Find(b)->parent, a);
+  EXPECT_EQ(sink.Find(b)->task, "t");
+  EXPECT_TRUE(sink.Find(a)->open);
+  EXPECT_EQ(sink.Find(0), nullptr);
+  EXPECT_EQ(sink.Find(99), nullptr);
+
+  sink.End(b, "completed", {{"extra", "1"}});
+  EXPECT_FALSE(sink.Find(b)->open);
+  EXPECT_EQ(sink.Find(b)->outcome, "completed");
+  ASSERT_EQ(sink.Find(b)->attrs.size(), 1u);
+  EXPECT_EQ(sink.Find(b)->attrs[0].first, "extra");
+  // Ending a closed span is a no-op.
+  sink.End(b, "failed");
+  EXPECT_EQ(sink.Find(b)->outcome, "completed");
+}
+
+TEST(SpanSinkTest, CapacityDropsCountAndReturnZero) {
+  SpanSink sink(/*capacity=*/2);
+  EXPECT_NE(sink.Begin(SpanKind::kInstance, "a"), 0u);
+  EXPECT_NE(sink.Begin(SpanKind::kInstance, "b"), 0u);
+  uint64_t dropped_id = sink.Begin(SpanKind::kInstance, "c");
+  EXPECT_EQ(dropped_id, 0u);
+  EXPECT_EQ(sink.size(), 2u);
+  EXPECT_EQ(sink.dropped(), 1u);
+  EXPECT_EQ(sink.total_started(), 3u);
+  EXPECT_TRUE(sink.truncated());
+  // Instrumentation never branches on a full sink: id-0 ops are no-ops.
+  sink.End(0, "completed");
+  sink.Annotate(0, "k", "v");
+}
+
+TEST(SpanSinkTest, FindOpenMatchesMostRecentOpenSpan) {
+  SpanSink sink;
+  uint64_t first = sink.Begin(SpanKind::kNodeOutage, "down", 0, 0, "", "", "n1");
+  uint64_t second = sink.Begin(SpanKind::kNodeOutage, "down", 0, 0, "", "", "n2");
+  EXPECT_EQ(sink.FindOpen(SpanKind::kNodeOutage, "", "n1"), first);
+  EXPECT_EQ(sink.FindOpen(SpanKind::kNodeOutage, "", "n2"), second);
+  // "" matches any node; the most recent open span wins.
+  EXPECT_EQ(sink.FindOpen(SpanKind::kNodeOutage, ""), second);
+  EXPECT_EQ(sink.FindOpen(SpanKind::kInstance, ""), 0u);
+  sink.End(second, "repaired");
+  EXPECT_EQ(sink.FindOpen(SpanKind::kNodeOutage, ""), first);
+  sink.End(first, "repaired");
+  EXPECT_EQ(sink.FindOpen(SpanKind::kNodeOutage, ""), 0u);
+}
+
+TEST(SpanSinkTest, EmitInstantIsZeroDuration) {
+  Simulator sim;
+  SpanSink sink;
+  sink.SetClock(&sim);
+  sim.RunFor(Duration::Seconds(7));
+  uint64_t id = sink.EmitInstant(SpanKind::kCommitBatch, "commit group", 0, "",
+                                 "", "", {{"commits", "3"}});
+  ASSERT_NE(sink.Find(id), nullptr);
+  const Span& span = *sink.Find(id);
+  EXPECT_FALSE(span.open);
+  EXPECT_EQ(span.start, TimePoint::FromMicros(7000000));
+  EXPECT_EQ(span.duration(), Duration::Zero());
+  EXPECT_EQ(span.outcome, "done");
+}
+
+TEST(SpanSinkTest, TailFiltersByInstance) {
+  SpanSink sink;
+  sink.Begin(SpanKind::kInstance, "a", 0, 0, "a");
+  sink.Begin(SpanKind::kInstance, "b", 0, 0, "b");
+  sink.Begin(SpanKind::kAttempt, "t", 0, 0, "b", "t");
+  std::vector<Span> all = sink.Tail(10);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].id, 1u);  // oldest of the tail first
+  std::vector<Span> only_b = sink.Tail(10, "b");
+  ASSERT_EQ(only_b.size(), 2u);
+  EXPECT_EQ(only_b[0].instance, "b");
+  std::vector<Span> last_one = sink.Tail(1, "b");
+  ASSERT_EQ(last_one.size(), 1u);
+  EXPECT_EQ(last_one[0].kind, SpanKind::kAttempt);
+}
+
+TEST(SpanSinkTest, ToJsonDistinguishesOpenAndClosed) {
+  Simulator sim;
+  SpanSink sink;
+  sink.SetClock(&sim);
+  uint64_t open_id = sink.Begin(SpanKind::kInstance, "i1", 0, 0, "i1");
+  sim.RunFor(Duration::Seconds(3));
+  uint64_t closed_id = sink.Begin(SpanKind::kAttempt, "t", open_id, 0, "i1", "t");
+  sim.RunFor(Duration::Seconds(2));
+  sink.End(closed_id, "completed");
+
+  std::string open_json = sink.Find(open_id)->ToJson();
+  EXPECT_NE(open_json.find("\"open\":true"), std::string::npos);
+  EXPECT_EQ(open_json.find("\"end_us\""), std::string::npos);
+  EXPECT_NE(open_json.find("\"kind\":\"instance\""), std::string::npos);
+
+  std::string closed_json = sink.Find(closed_id)->ToJson();
+  EXPECT_EQ(closed_json.find("\"open\""), std::string::npos);
+  EXPECT_NE(closed_json.find("\"start_us\":3000000"), std::string::npos);
+  EXPECT_NE(closed_json.find("\"end_us\":5000000"), std::string::npos);
+  EXPECT_NE(closed_json.find("\"dur_us\":2000000"), std::string::npos);
+  EXPECT_NE(closed_json.find("\"parent\":1"), std::string::npos);
+  EXPECT_NE(closed_json.find("\"outcome\":\"completed\""), std::string::npos);
+  EXPECT_TRUE(BalancedJson(open_json));
+  EXPECT_TRUE(BalancedJson(closed_json));
+}
+
+TEST(SpanSinkTest, ExportJsonlMarksTruncation) {
+  SpanSink sink(/*capacity=*/1);
+  sink.Begin(SpanKind::kInstance, "a");
+  std::string intact = sink.ExportJsonl();
+  EXPECT_EQ(intact.find("truncated"), std::string::npos);
+  EXPECT_EQ(CountOccurrences(intact, "\n"), 1u);
+
+  sink.Begin(SpanKind::kInstance, "b");  // dropped
+  std::string truncated = sink.ExportJsonl();
+  EXPECT_EQ(truncated.find("{\"truncated\":true,\"spans_dropped\":1}"), 0u);
+  EXPECT_EQ(CountOccurrences(truncated, "\n"), 2u);
+}
+
+TEST(SpanSinkTest, ChromeTraceIsStructurallyValidAndDeterministic) {
+  Simulator sim;
+  SpanSink sink;
+  sink.SetClock(&sim);
+  uint64_t inst = sink.Begin(SpanKind::kInstance, "i1", 0, 0, "i1");
+  uint64_t attempt = sink.Begin(SpanKind::kAttempt, "t", inst, 0, "i1", "t");
+  sim.RunFor(Duration::Seconds(1));
+  uint64_t job =
+      sink.Begin(SpanKind::kJob, "t", attempt, 0, "i1", "t", "node-1");
+  sim.RunFor(Duration::Seconds(4));
+  sink.End(job, "completed");
+  sink.End(attempt, "completed");
+  sink.EmitInstant(SpanKind::kCheckpoint, "checkpoint full");
+  // `inst` stays open: exported with dur 0 and an "open" marker.
+
+  std::string json = sink.ExportChromeTrace();
+  EXPECT_EQ(json.find("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["), 0u);
+  EXPECT_TRUE(BalancedJson(json));
+  // One complete event per span, with thread-name metadata ahead of them.
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"X\""), sink.size());
+  EXPECT_GT(CountOccurrences(json, "\"ph\":\"M\""), 0u);
+  EXPECT_LT(json.find("\"ph\":\"M\""), json.find("\"ph\":\"X\""));
+  EXPECT_NE(json.find("\"name\":\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("node node-1"), std::string::npos);
+  EXPECT_NE(json.find("instance i1"), std::string::npos);
+  EXPECT_NE(json.find("\"open\":\"true\""), std::string::npos);
+  EXPECT_EQ(json.find(":-"), std::string::npos);  // no negative ts/dur
+  EXPECT_EQ(json.find("otherData"), std::string::npos);
+
+  // Byte-identical on re-export: the determinism fixtures depend on it.
+  EXPECT_EQ(json, sink.ExportChromeTrace());
+
+  // ts/dur stay monotonically consistent with the span store.
+  sink.ForEach([](const Span& span) {
+    EXPECT_GE(span.start, TimePoint::Zero());
+    EXPECT_GE(span.end, span.start);
+  });
+}
+
+TEST(SpanSinkTest, ChromeTraceRecordsTruncation) {
+  SpanSink sink(/*capacity=*/1);
+  sink.Begin(SpanKind::kInstance, "a");
+  sink.Begin(SpanKind::kInstance, "b");  // dropped
+  std::string json = sink.ExportChromeTrace();
+  EXPECT_NE(json.find("\"otherData\":{\"truncated\":\"true\",\"spans_dropped\":"
+                      "\"1\"}"),
+            std::string::npos);
+  EXPECT_TRUE(BalancedJson(json));
+}
+
+// ---------------------------------------------------------------------------
+// Critical-path analysis on hand-built DAGs.
+
+TEST_F(SpanDagTest, PicksLatestFinishingAttemptNotLatestStarted) {
+  // Two parallel attempts A [0,40] and B [0,35]; B's job even starts
+  // later, but A finishes later so only A is on the critical path.
+  uint64_t inst = sink_.Begin(SpanKind::kInstance, "i1", 0, 0, "i1");
+  uint64_t a = sink_.Begin(SpanKind::kAttempt, "a", inst, 0, "i1", "a");
+  uint64_t b = sink_.Begin(SpanKind::kAttempt, "b", inst, 0, "i1", "b");
+  At(5);
+  uint64_t job_a = sink_.Begin(SpanKind::kJob, "a", a, 0, "i1", "a", "n1");
+  At(6);
+  uint64_t job_b = sink_.Begin(SpanKind::kJob, "b", b, 0, "i1", "b", "n2");
+  At(35);
+  sink_.End(job_b, "completed");
+  sink_.End(b, "completed");
+  At(40);
+  sink_.End(job_a, "completed");
+  sink_.End(a, "completed");
+  uint64_t c = sink_.Begin(SpanKind::kAttempt, "c", inst, 0, "i1", "c");
+  At(50);
+  uint64_t job_c = sink_.Begin(SpanKind::kJob, "c", c, 0, "i1", "c", "n1");
+  At(100);
+  sink_.End(job_c, "completed");
+  sink_.End(c, "completed");
+  sink_.End(inst, "completed");
+
+  CriticalPathReport report = AnalyzeCriticalPath(sink_, "i1");
+  ASSERT_TRUE(report.found);
+  EXPECT_EQ(report.makespan(), Duration::Seconds(100));
+  EXPECT_EQ(report.attributed(), report.makespan());
+
+  ASSERT_EQ(report.segments.size(), 4u);
+  EXPECT_EQ(report.segments[0].category, "queue");
+  EXPECT_EQ(report.segments[0].start, TimePoint::Zero());
+  EXPECT_EQ(report.segments[0].end, TimePoint::FromMicros(5000000));
+  EXPECT_EQ(report.segments[1].category, "compute");
+  EXPECT_EQ(report.segments[1].task, "a");
+  EXPECT_EQ(report.segments[1].end, TimePoint::FromMicros(40000000));
+  EXPECT_EQ(report.segments[2].category, "queue");
+  EXPECT_EQ(report.segments[2].end, TimePoint::FromMicros(50000000));
+  EXPECT_EQ(report.segments[3].category, "compute");
+  EXPECT_EQ(report.segments[3].task, "c");
+  EXPECT_EQ(report.segments[3].end, TimePoint::FromMicros(100000000));
+  // Task "b" is nowhere on the path.
+  for (const CriticalPathSegment& segment : report.segments) {
+    EXPECT_NE(segment.task, "b");
+  }
+  EXPECT_EQ(report.totals.at("compute"), Duration::Seconds(85));
+  EXPECT_EQ(report.totals.at("queue"), Duration::Seconds(15));
+
+  std::string text = report.ToText();
+  EXPECT_NE(text.find("critical path of i1"), std::string::npos);
+  EXPECT_NE(text.find("compute"), std::string::npos);
+}
+
+TEST_F(SpanDagTest, OverlayWindowsClassifyWaitTime) {
+  // Wait time under a server-down window is recovery; under a
+  // store-degraded window, store_stall; server-down wins where the two
+  // overlap.
+  uint64_t inst = sink_.Begin(SpanKind::kInstance, "i1", 0, 0, "i1");
+  uint64_t a = sink_.Begin(SpanKind::kAttempt, "a", inst, 0, "i1", "a");
+  uint64_t job_a = sink_.Begin(SpanKind::kJob, "a", a, 0, "i1", "a", "n1");
+  At(10);
+  sink_.End(job_a, "completed");
+  sink_.End(a, "completed");
+  uint64_t b = sink_.Begin(SpanKind::kAttempt, "b", inst, 0, "i1", "b");
+  At(20);
+  uint64_t down = sink_.Begin(SpanKind::kServerDown, "server down");
+  At(30);
+  uint64_t degraded = sink_.Begin(SpanKind::kStoreDegraded, "store degraded");
+  At(40);
+  sink_.End(down, "recovered");
+  At(60);
+  sink_.End(degraded, "healthy");
+  At(70);
+  uint64_t job_b = sink_.Begin(SpanKind::kJob, "b", b, 0, "i1", "b", "n2");
+  At(100);
+  sink_.End(job_b, "completed");
+  sink_.End(b, "completed");
+  sink_.End(inst, "completed");
+
+  CriticalPathReport report = AnalyzeCriticalPath(sink_, "i1");
+  ASSERT_TRUE(report.found);
+  EXPECT_EQ(report.attributed(), report.makespan());
+  EXPECT_EQ(report.totals.at("compute"), Duration::Seconds(40));
+  EXPECT_EQ(report.totals.at("queue"), Duration::Seconds(20));
+  EXPECT_EQ(report.totals.at("recovery"), Duration::Seconds(20));
+  EXPECT_EQ(report.totals.at("store_stall"), Duration::Seconds(20));
+
+  // The classifier cuts at every overlay boundary, so the server-down
+  // window [20,40] shows up as two adjacent recovery segments split at
+  // the degraded-window start (t=30).
+  ASSERT_EQ(report.segments.size(), 7u);
+  EXPECT_EQ(report.segments[1].category, "queue");        // [10,20]
+  EXPECT_EQ(report.segments[2].category, "recovery");     // [20,30]
+  EXPECT_EQ(report.segments[3].category, "recovery");     // [30,40]
+  EXPECT_EQ(report.segments[3].end, TimePoint::FromMicros(40000000));
+  EXPECT_EQ(report.segments[4].category, "store_stall");  // [40,60]
+  EXPECT_EQ(report.segments[5].category, "queue");        // [60,70]
+}
+
+TEST_F(SpanDagTest, RetryAfterMigrationWaitsOnMigration) {
+  uint64_t inst = sink_.Begin(SpanKind::kInstance, "i1", 0, 0, "i1");
+  uint64_t m1 = sink_.Begin(SpanKind::kAttempt, "m", inst, 0, "i1", "m");
+  At(5);
+  uint64_t job_m1 = sink_.Begin(SpanKind::kJob, "m", m1, 0, "i1", "m", "n1");
+  At(20);
+  sink_.End(job_m1, "migrated");
+  sink_.End(m1, "migrated");
+  uint64_t m2 = sink_.Begin(SpanKind::kAttempt, "m", inst, m1, "i1", "m");
+  At(30);
+  uint64_t job_m2 = sink_.Begin(SpanKind::kJob, "m", m2, 0, "i1", "m", "n2");
+  At(50);
+  sink_.End(job_m2, "completed");
+  sink_.End(m2, "completed");
+  sink_.End(inst, "completed");
+
+  CriticalPathReport report = AnalyzeCriticalPath(sink_, "i1");
+  ASSERT_TRUE(report.found);
+  EXPECT_EQ(report.attributed(), report.makespan());
+  EXPECT_EQ(report.totals.at("compute"), Duration::Seconds(35));
+  EXPECT_EQ(report.totals.at("queue"), Duration::Seconds(5));
+  EXPECT_EQ(report.totals.at("migration"), Duration::Seconds(10));
+
+  ASSERT_EQ(report.segments.size(), 4u);
+  EXPECT_EQ(report.segments[2].category, "migration");  // [20,30]
+  EXPECT_EQ(report.segments[2].start, TimePoint::FromMicros(20000000));
+  EXPECT_EQ(report.segments[2].end, TimePoint::FromMicros(30000000));
+}
+
+TEST_F(SpanDagTest, OpenInstanceExtendsToHorizon) {
+  uint64_t inst = sink_.Begin(SpanKind::kInstance, "i1", 0, 0, "i1");
+  uint64_t a = sink_.Begin(SpanKind::kAttempt, "a", inst, 0, "i1", "a");
+  uint64_t job_a = sink_.Begin(SpanKind::kJob, "a", a, 0, "i1", "a", "n1");
+  At(10);
+  sink_.End(job_a, "completed");
+  sink_.End(a, "completed");
+  At(25);
+  // A later store event moves the horizon; the still-open instance span
+  // is analyzed up to it.
+  sink_.EmitInstant(SpanKind::kCheckpoint, "checkpoint delta");
+
+  CriticalPathReport report = AnalyzeCriticalPath(sink_, "i1");
+  ASSERT_TRUE(report.found);
+  EXPECT_EQ(report.makespan(), Duration::Seconds(25));
+  EXPECT_EQ(report.attributed(), report.makespan());
+  EXPECT_EQ(report.totals.at("compute"), Duration::Seconds(10));
+  EXPECT_EQ(report.totals.at("queue"), Duration::Seconds(15));
+}
+
+TEST_F(SpanDagTest, UnknownInstanceReportsNotFound) {
+  CriticalPathReport report = AnalyzeCriticalPath(sink_, "nope");
+  EXPECT_FALSE(report.found);
+  EXPECT_EQ(report.segments.size(), 0u);
+  EXPECT_NE(report.ToText().find("(no instance span for nope)"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace biopera::obs
