@@ -14,6 +14,7 @@
 
 #include "bench/scenario.h"
 #include "common/strings.h"
+#include "obs/rundiff.h"
 
 namespace biopera::bench {
 namespace {
@@ -30,12 +31,69 @@ bool WriteFileOrWarn(const std::string& path, const std::string& content) {
   return true;
 }
 
+/// Run-differencing self-check (--diff=PATH): re-runs the scenario with
+/// the same seed (must diff empty), a perturbed seed, and a perturbed
+/// outage schedule (each must be classified with the true perturbation as
+/// root cause). Writes the two perturbed diff reports (JSON, one per
+/// line) to `diff_path`. Returns 0 when all three checks hold.
+int RunDiffChecks(const ScenarioResult& base, const std::string& diff_path) {
+  auto parse = [](const ScenarioResult& r, const char* label) {
+    return obs::ParseRunExports(r.lineage_jsonl, r.spans_jsonl, label);
+  };
+  Result<obs::RunLineage> a = parse(base, "seed38");
+  if (!a.ok()) {
+    std::fprintf(stderr, "cannot parse base run exports: %s\n",
+                 a.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("\nrun differencing checks:\n");
+
+  ScenarioResult rerun = RunSharedClusterScenario(/*seed=*/38);
+  Result<obs::RunLineage> a2 = parse(rerun, "seed38-rerun");
+  if (!a2.ok()) return 2;
+  obs::RunDiffReport same = obs::DiffRuns(*a, *a2);
+  bool same_ok = same.identical();
+  std::printf("  same-seed re-run diffs empty: %s (%zu divergences)\n",
+              same_ok ? "yes" : "NO", same.divergences.size());
+  if (!same_ok) std::printf("%s", same.ToText().c_str());
+
+  ScenarioResult seed_run = RunSharedClusterScenario(/*seed=*/39);
+  Result<obs::RunLineage> b = parse(seed_run, "seed39");
+  if (!b.ok()) return 2;
+  obs::RunDiffReport seed_diff = obs::DiffRuns(*a, *b);
+  bool seed_ok = seed_diff.RootCause() == "seed";
+  std::printf("  perturbed seed classified as root cause: %s (root cause: "
+              "%s, %zu divergences)\n",
+              seed_ok ? "yes" : "NO", seed_diff.RootCause().c_str(),
+              seed_diff.divergences.size());
+
+  ScenarioResult outage_run =
+      RunSharedClusterScenario(/*seed=*/38, Duration::Days(1));
+  Result<obs::RunLineage> c = parse(outage_run, "seed38-outage-shift");
+  if (!c.ok()) return 2;
+  obs::RunDiffReport outage_diff = obs::DiffRuns(*a, *c);
+  bool outage_ok = outage_diff.RootCause() == "outage_schedule";
+  std::printf("  perturbed outage schedule classified as root cause: %s "
+              "(root cause: %s, %zu divergences)\n",
+              outage_ok ? "yes" : "NO", outage_diff.RootCause().c_str(),
+              outage_diff.divergences.size());
+
+  if (!diff_path.empty()) {
+    WriteFileOrWarn(diff_path,
+                    seed_diff.ToJson() + "\n" + outage_diff.ToJson() + "\n");
+  }
+  return same_ok && seed_ok && outage_ok ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   std::string timeline_path;
   std::string trace_path;
   std::string spans_path;
   std::string chrome_path;
   std::string report_path;
+  std::string lineage_path;
+  std::string diff_path;
+  bool diff_mode = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--timeline=", 11) == 0) {
       timeline_path = argv[i] + 11;
@@ -47,6 +105,13 @@ int Main(int argc, char** argv) {
       chrome_path = argv[i] + 9;
     } else if (std::strncmp(argv[i], "--report=", 9) == 0) {
       report_path = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--lineage=", 10) == 0) {
+      lineage_path = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--diff=", 7) == 0) {
+      diff_path = argv[i] + 7;
+      diff_mode = true;
+    } else if (std::strcmp(argv[i], "--diff") == 0) {
+      diff_mode = true;
     }
   }
   std::printf("== Figure 5: lifecycle of the all-vs-all (first run, shared "
@@ -57,6 +122,7 @@ int Main(int argc, char** argv) {
   if (!spans_path.empty()) WriteFileOrWarn(spans_path, r.spans_jsonl);
   if (!chrome_path.empty()) WriteFileOrWarn(chrome_path, r.chrome_json);
   if (!report_path.empty()) WriteFileOrWarn(report_path, r.report_text);
+  if (!lineage_path.empty()) WriteFileOrWarn(lineage_path, r.lineage_jsonl);
   std::printf("%s\n", RenderLifecycle(r, /*height=*/12).c_str());
 
   double avail_avg = r.availability.TimeAverage(0, r.wall_days);
@@ -96,6 +162,10 @@ int Main(int argc, char** argv) {
                   ? "yes"
                   : "NO",
               attribution_gap.ToString().c_str());
+  if (diff_mode) {
+    int diff_rc = RunDiffChecks(r, diff_path);
+    if (diff_rc != 0) return diff_rc;
+  }
   return r.completed ? 0 : 1;
 }
 

@@ -82,6 +82,8 @@ ScenarioResult Collect(BenchWorld* world, const std::string& id,
       obs::BuildTimeline(world->obs.trace, ""), world->obs.trace.dropped());
   result.spans_jsonl = world->obs.spans.ExportJsonl();
   result.chrome_json = world->obs.spans.ExportChromeTrace();
+  auto lineage = world->engine->ExportLineageJsonl(id);
+  if (lineage.ok()) result.lineage_jsonl = *lineage;
   obs::ReportInput report_input;
   report_input.instance = id;
   if (summary.ok()) {
@@ -102,10 +104,14 @@ ScenarioResult Collect(BenchWorld* world, const std::string& id,
 
 }  // namespace
 
-ScenarioResult RunSharedClusterScenario(uint64_t seed) {
+ScenarioResult RunSharedClusterScenario(uint64_t seed,
+                                        Duration cluster_outage_shift) {
   core::EngineOptions options;
   options.dispatch_retry = Duration::Minutes(10);
   options.checkpoint_every_commits = 5000;
+  // The lineage header names the run's seed; the least_loaded policy never
+  // draws from the engine rng, so this changes no scheduling decision.
+  options.seed = seed;
   BenchWorld world(options);
   AddLinneusCluster(world.cluster.get());
   AddIkSunCluster(world.cluster.get(), /*nodes=*/2);
@@ -147,7 +153,8 @@ ScenarioResult RunSharedClusterScenario(uint64_t seed) {
                                Duration::Days(3),
                                "2: cluster busy with other jobs");
   // 3: massive hardware failure of the whole cluster, 12 hours.
-  inject.ScheduleClusterOutage(TimePoint::FromMicros(0) + Duration::Days(10),
+  inject.ScheduleClusterOutage(TimePoint::FromMicros(0) + Duration::Days(10) +
+                                   cluster_outage_shift,
                                Duration::Hours(12), "3: cluster failure");
   // 4: the BioOpera server crashes; it recovers automatically 4 h later.
   inject.ScheduleAction(TimePoint::FromMicros(0) + Duration::Days(13),
@@ -225,6 +232,7 @@ ScenarioResult RunNonSharedClusterScenario(uint64_t seed) {
   core::EngineOptions options;
   options.dispatch_retry = Duration::Minutes(10);
   options.checkpoint_every_commits = 5000;
+  options.seed = seed;
   BenchWorld world(options);
   AddIkLinuxCluster(world.cluster.get(), /*cpus=*/1);
 

@@ -42,6 +42,11 @@ struct ScenarioResult {
   std::string spans_jsonl;
   std::string chrome_json;
   std::string report_text;
+  /// Provenance export (JSONL header + one line per attempt): which
+  /// inputs produced which match sets, through which attempts/retries.
+  /// Byte-deterministic for a given seed; pairs with spans_jsonl as the
+  /// input to run differencing (obs::ParseRunExports + obs::DiffRuns).
+  std::string lineage_jsonl;
   /// Critical-path analysis of the scenario's instance: where the
   /// makespan went (compute / queue / recovery / migration / store_stall).
   obs::CriticalPathReport critical_path;
@@ -50,7 +55,11 @@ struct ScenarioResult {
 /// First run (§5.4): the full synthetic-SP38 all-vs-all on the *shared*
 /// linneus + ik-sun clusters, BioOpera jobs at lowest priority, with the
 /// ten numbered disturbance events of Figure 5 scripted onto the timeline.
-ScenarioResult RunSharedClusterScenario(uint64_t seed);
+/// `cluster_outage_shift` moves event 3 (the whole-cluster hardware
+/// failure at day 10) — the run-differencing checks use it to produce an
+/// outage-schedule-perturbed run that is otherwise identical.
+ScenarioResult RunSharedClusterScenario(
+    uint64_t seed, Duration cluster_outage_shift = Duration::Zero());
 
 /// Second run (§5.5): same computation on the dedicated ik-linux cluster;
 /// two planned network outages and the mid-run CPU doubling of Figure 6.

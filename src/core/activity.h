@@ -4,6 +4,8 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/result.h"
 #include "common/time.h"
@@ -28,6 +30,11 @@ struct ActivityInput {
 struct ActivityOutput {
   ocr::Value::Map fields;
   Duration cost = Duration::Seconds(1);
+  /// Execution parameters the activity wants on the task's lineage
+  /// record beyond its bound inputs — PAM matrix id/version, noise
+  /// seeds, thresholds. Flat (key, value) pairs in insertion order;
+  /// ignored (and free) when no Observability is attached.
+  std::vector<std::pair<std::string, std::string>> provenance;
 };
 
 /// The implementation of one external binding. Implementations must be

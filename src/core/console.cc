@@ -8,6 +8,8 @@
 #include "core/planner.h"
 #include "obs/critical_path.h"
 #include "obs/report.h"
+#include "obs/rundiff.h"
+#include "obs/span.h"
 #include "obs/timeline.h"
 
 namespace biopera::core {
@@ -37,11 +39,13 @@ std::vector<std::string> Tokenize(const std::string& line) {
 
 constexpr char kHelp[] = R"(commands:
   TEMPLATES | INSTANCES | NODES | JOBS
-  STATUS <id> | HISTORY <id> [n] | WB <id> <var> | LINEAGE <id> <var>
+  STATUS <id> | HISTORY <id> [n] | WB <id> <var>
+  LINEAGE <id>  (provenance JSONL) | LINEAGE <id> <var>  (who wrote var)
+  DIFF <idA> <idB>
   WHATIF <node> [node...]
   TASKS <id> | ETA <id>
   METRICS [prefix] | STATS | TRACE <id|*> [n] | TIMELINE <node|*> | SCRUB
-  REPORT <id> | CRITPATH <id> | SPANS <id|*> [n]
+  REPORT <id> [--json] | CRITPATH <id> | SPANS <id|*> [n] [kind]
   SUSPEND <id> | RESUME <id> | ABORT <id> | RESTART <id>
   RAISE <id> <event> | INVALIDATE <id> <task> | ARCHIVE <id>
 )";
@@ -155,10 +159,24 @@ Result<std::string> AdminConsole::Execute(const std::string& line) {
   }
 
   if (command == "LINEAGE") {
-    BIOPERA_RETURN_IF_ERROR(need(2));
+    BIOPERA_RETURN_IF_ERROR(need(1));
+    if (args.size() == 2) {
+      // One argument: the instance's full provenance export — which
+      // inputs produced which outputs, through which attempts.
+      return engine_->ExportLineageJsonl(args[1]);
+    }
     BIOPERA_ASSIGN_OR_RETURN(std::string writer,
                              engine_->GetLineage(args[1], args[2]));
     return args[2] + " was written by " + writer + "\n";
+  }
+
+  if (command == "DIFF") {
+    BIOPERA_RETURN_IF_ERROR(need(2));
+    BIOPERA_ASSIGN_OR_RETURN(obs::RunLineage a,
+                             engine_->BuildRunLineage(args[1], args[1]));
+    BIOPERA_ASSIGN_OR_RETURN(obs::RunLineage b,
+                             engine_->BuildRunLineage(args[2], args[2]));
+    return obs::DiffRuns(a, b).ToText();
   }
 
   if (command == "NODES") {
@@ -247,6 +265,13 @@ Result<std::string> AdminConsole::Execute(const std::string& line) {
     BIOPERA_RETURN_IF_ERROR(need(1));
     obs::Observability* obs = engine_->observability();
     if (obs == nullptr) return std::string("(observability not enabled)\n");
+    bool json = false;
+    if (args.size() > 2) {
+      if (args[2] != "--json") {
+        return Status::InvalidArgument("REPORT: unknown option " + args[2]);
+      }
+      json = true;
+    }
     BIOPERA_ASSIGN_OR_RETURN(InstanceSummary s, engine_->Summary(args[1]));
     obs::ReportInput input;
     input.instance = args[1];
@@ -256,6 +281,7 @@ Result<std::string> AdminConsole::Execute(const std::string& line) {
     Result<Duration> remaining = engine_->EstimateRemainingWork(args[1]);
     if (remaining.ok()) input.remaining_work_seconds = remaining->ToSeconds();
     input.now = obs->spans.Now();
+    if (json) return obs::BuildRunReportJson(input, *obs) + "\n";
     return obs::BuildRunReport(input, *obs);
   }
 
@@ -274,9 +300,18 @@ Result<std::string> AdminConsole::Execute(const std::string& line) {
     if (args.size() > 2 && (!ParseInt64(args[2], &n) || n <= 0)) {
       return Status::InvalidArgument("SPANS: bad count " + args[2]);
     }
+    std::string kind;
+    if (args.size() > 3) {
+      obs::SpanKind parsed;
+      if (!obs::SpanKindFromName(args[3], &parsed)) {
+        return Status::InvalidArgument("SPANS: unknown kind " + args[3]);
+      }
+      kind = args[3];
+    }
     std::string filter = args[1] == "*" ? "" : args[1];
     std::string out;
-    for (obs::Span& span : obs->spans.Tail(static_cast<size_t>(n), filter)) {
+    for (obs::Span& span :
+         obs->spans.Tail(static_cast<size_t>(n), filter, kind)) {
       out += span.ToJson() + "\n";
     }
     return out.empty() ? std::string("(no matching spans)\n") : out;

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "obs/json.h"
 #include "ocr/ocr_text.h"
 #include "store/codec.h"
 
@@ -183,6 +184,63 @@ std::string RecString(const Value::Map& rec, const std::string& key) {
                                                    : std::string();
 }
 
+// ---------------------------------------------------------------------------
+// Provenance descriptors and row keys
+// ---------------------------------------------------------------------------
+
+/// Renders one activity parameter/output value as a short, stable
+/// descriptor: scalars verbatim, {first, last} maps as half-open ranges
+/// (sequence-queue partitions), anything bulky as size + content digest —
+/// lineage rows stay small no matter how large a match set grows, while
+/// different contents still yield different descriptors.
+std::string DescribeValue(const Value& v) {
+  if (v.is_null()) return "null";
+  if (v.is_bool()) return v.AsBool() ? "true" : "false";
+  if (v.is_int()) return StrFormat("%lld", static_cast<long long>(v.AsInt()));
+  if (v.is_double()) return v.ToText();
+  if (v.is_string()) {
+    const std::string& s = v.AsString();
+    if (s.size() <= 48 && s.find_first_of("\n\r\t") == std::string::npos) {
+      return s;
+    }
+    return StrFormat("len=%zu,fnv64=%016llx", s.size(),
+                     static_cast<unsigned long long>(obs::Fnv1a64(s)));
+  }
+  if (v.is_map()) {
+    const Value::Map& m = v.AsMap();
+    auto first = m.find("first");
+    auto last = m.find("last");
+    if (m.size() == 2 && first != m.end() && last != m.end() &&
+        first->second.is_int() && last->second.is_int()) {
+      return StrFormat("[%lld,%lld)",
+                       static_cast<long long>(first->second.AsInt()),
+                       static_cast<long long>(last->second.AsInt()));
+    }
+    return StrFormat("map(%zu):fnv64=%016llx", m.size(),
+                     static_cast<unsigned long long>(obs::Fnv1a64(v.ToText())));
+  }
+  return StrFormat("list(%zu):fnv64=%016llx", v.AsList().size(),
+                   static_cast<unsigned long long>(obs::Fnv1a64(v.ToText())));
+}
+
+std::vector<std::pair<std::string, std::string>> DescribeValueMap(
+    const Value::Map& m) {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(m.size());
+  for (const auto& [key, value] : m) out.emplace_back(key, DescribeValue(value));
+  return out;
+}
+
+/// Provenance-space row keys. Attempts are zero-padded so the store's
+/// key order is (path, attempt) order, with the in-row sorting before
+/// the out-row of the same attempt ("in" < "out").
+std::string LineageInKey(const std::string& path, int attempt) {
+  return StrFormat("%s/a%04d/in", path.c_str(), attempt);
+}
+std::string LineageOutKey(const std::string& path, int attempt) {
+  return StrFormat("%s/a%04d/out", path.c_str(), attempt);
+}
+
 /// Creates, indexes, and attaches one child node under `parent`. Shared
 /// by ExpandComposite and RecoverInstance so expansion and recovery stay
 /// in lockstep.
@@ -318,6 +376,7 @@ Status Engine::Startup() {
     BIOPERA_RETURN_IF_ERROR(
         spaces_.PutConfig("node/" + node.name, Value(cfg).ToText()));
   }
+  RefreshConfigVersion();
 
   // Restore the instance-id counter.
   Result<std::string> seq = spaces_.GetConfig("next_instance_seq");
@@ -1763,6 +1822,11 @@ void Engine::PumpDispatch() {
         }
         return Verdict::kContinue;
       }
+      if (spans_ != nullptr && entry.input_desc.empty()) {
+        // First execution of this attempt: summarize the bound inputs for
+        // the lineage record written at dispatch below.
+        entry.input_desc = DescribeValueMap(input->params);
+      }
       entry.cached = std::move(*output);
     }
 
@@ -1836,7 +1900,10 @@ void Engine::PumpDispatch() {
     PendingJob pending{entry.instance_id, entry.path, entry.cached->fields,
                        entry.cached->cost, target};
     pending.attempt_span = entry.attempt_span;
+    pending.attempt = node->attempts + 1;
     if (spans_ != nullptr) {
+      pending.input_desc = entry.input_desc;
+      pending.params = entry.cached->provenance;
       pending.job_span = spans_->Begin(
           obs::SpanKind::kJob, entry.path, entry.attempt_span, /*link=*/0,
           entry.instance_id, entry.path, target,
@@ -1853,6 +1920,7 @@ void Engine::PumpDispatch() {
     awareness_.JobDispatched(target);
     WriteBatch batch;
     PersistTask(inst, node, &batch);
+    RecordLineageDispatch(entry, node, target, node->attempts + 1, &batch);
     st = Commit(&batch);
     if (!st.ok()) {
       BIOPERA_LOG(kError) << "dispatch commit failed: " << st.ToString();
@@ -1974,6 +2042,7 @@ EventId Engine::ArmJobWatchdog(cluster::JobId job_id, Duration cost) {
     RecordStore::CommitScope commit_group(GroupTarget());
     WriteBatch batch;
     PersistTask(inst, node, &batch);
+    RecordLineageOutcome(pending, "timed_out", /*with_outputs=*/false, &batch);
     Status st = Commit(&batch);
     if (!st.ok()) {
       BIOPERA_LOG(kError) << "watchdog commit failed: " << st.ToString();
@@ -1982,7 +2051,9 @@ EventId Engine::ArmJobWatchdog(cluster::JobId job_id, Duration cost) {
     ReadyEntry entry;
     entry.instance_id = pending.instance_id;
     entry.path = pending.path;
-    entry.cached = ActivityOutput{pending.outputs, pending.cost};
+    entry.cached = ActivityOutput{pending.outputs, pending.cost,
+                                  std::move(pending.params)};
+    entry.input_desc = std::move(pending.input_desc);
     entry.avoid_node = pending.node;
     entry.priority = inst->priority();
     entry.inst_hint = inst;
@@ -2092,6 +2163,7 @@ void Engine::CheckMigrations() {
     inst->SetTaskState(node, TaskState::kReady);
     WriteBatch batch;
     PersistTask(inst, node, &batch);
+    RecordLineageOutcome(pending, "migrated", /*with_outputs=*/false, &batch);
     Status st = Commit(&batch);
     if (!st.ok()) {
       BIOPERA_LOG(kError) << "migration commit failed: " << st.ToString();
@@ -2113,7 +2185,9 @@ void Engine::CheckMigrations() {
     ReadyEntry entry;
     entry.instance_id = pending.instance_id;
     entry.path = pending.path;
-    entry.cached = ActivityOutput{pending.outputs, pending.cost};
+    entry.cached = ActivityOutput{pending.outputs, pending.cost,
+                                  std::move(pending.params)};
+    entry.input_desc = std::move(pending.input_desc);
     entry.priority = inst->priority();
     entry.inst_hint = inst;
     entry.engine_gen = instance_generation_;
@@ -2150,6 +2224,7 @@ void Engine::OnJobFinished(cluster::JobId id, const std::string& node_name) {
   }
   RecordStore::CommitScope commit_group(GroupTarget());
   WriteBatch batch;
+  RecordLineageOutcome(pending, "completed", /*with_outputs=*/true, &batch);
   Status st = CompleteTask(inst, node, std::move(pending.outputs),
                            pending.cost, &batch);
   if (st.ok()) st = Commit(&batch);
@@ -2182,6 +2257,7 @@ void Engine::OnJobFailed(cluster::JobId id, const std::string& node_name,
   if (node == nullptr || node->state != TaskState::kRunning) return;
   RecordStore::CommitScope commit_group(GroupTarget());
   WriteBatch batch;
+  RecordLineageOutcome(pending, "failed", /*with_outputs=*/false, &batch);
   Status st = HandleTaskFailure(inst, node, reason, &batch);
   if (st.ok()) st = Commit(&batch);
   if (!st.ok()) {
@@ -2249,6 +2325,7 @@ void Engine::OnConfigChanged(const cluster::NodeConfig& config) {
   if (!st.ok()) {
     BIOPERA_LOG(kError) << "config update failed: " << st.ToString();
   }
+  RefreshConfigVersion();
   PumpDispatch();
 }
 
@@ -2300,6 +2377,202 @@ void Engine::AppendHistory(const std::string& instance_id,
   if (!st.ok() && !MaybeHandleFenced(st)) {
     BIOPERA_LOG(kWarning) << "history append failed: " << st.ToString();
   }
+}
+
+// ---------------------------------------------------------------------------
+// Provenance / lineage
+// ---------------------------------------------------------------------------
+
+void Engine::RefreshConfigVersion() {
+  // Digest only the node rows: bookkeeping keys (next_instance_seq,
+  // degraded-probe writes) must not look like a configuration change.
+  std::string blob;
+  for (const auto& [key, value] : spaces_.ScanConfig()) {
+    if (key.rfind("node/", 0) != 0) continue;
+    blob += key;
+    blob.push_back('=');
+    blob += value;
+    blob.push_back('\n');
+  }
+  config_version_ = StrFormat(
+      "fnv64:%016llx", static_cast<unsigned long long>(obs::Fnv1a64(blob)));
+}
+
+void Engine::RecordLineageDispatch(const ReadyEntry& entry,
+                                   const TaskNode* node,
+                                   const std::string& target, int attempt,
+                                   WriteBatch* batch) {
+  if (spans_ == nullptr) return;
+  Value::Map rec;
+  rec["t_dispatch_us"] = Value(sim_->Now().micros());
+  rec["node"] = Value(target);
+  const std::string& binding =
+      node->binding_used.empty() && node->def != nullptr ? node->def->binding
+                                                         : node->binding_used;
+  if (!binding.empty()) rec["binding"] = Value(binding);
+  Value::Map in;
+  for (const auto& [key, desc] : entry.input_desc) in[key] = Value(desc);
+  if (!in.empty()) rec["in"] = Value(std::move(in));
+  Value::Map params;
+  for (const auto& [key, desc] : entry.cached->provenance) {
+    params[key] = Value(desc);
+  }
+  if (!params.empty()) rec["param"] = Value(std::move(params));
+  // A timeout/migration re-dispatch of the same attempt number overwrites
+  // this row — the record describes the dispatch that finally reported.
+  spaces_.BatchPutProvenance(batch, entry.instance_id,
+                             LineageInKey(entry.path, attempt),
+                             EncodeValueRecord(Value(std::move(rec))));
+}
+
+void Engine::RecordLineageOutcome(const PendingJob& pending,
+                                  std::string_view outcome, bool with_outputs,
+                                  WriteBatch* batch) {
+  if (spans_ == nullptr) return;
+  Value::Map rec;
+  rec["outcome"] = Value(std::string(outcome));
+  rec["t_finish_us"] = Value(sim_->Now().micros());
+  rec["cost_us"] = Value(pending.cost.micros());
+  if (with_outputs) {
+    Value::Map out;
+    for (const auto& [key, value] : pending.outputs) {
+      out[key] = Value(DescribeValue(value));
+    }
+    if (!out.empty()) rec["out"] = Value(std::move(out));
+  }
+  spaces_.BatchPutProvenance(batch, pending.instance_id,
+                             LineageOutKey(pending.path, pending.attempt),
+                             EncodeValueRecord(Value(std::move(rec))));
+}
+
+Result<std::vector<obs::LineageRecord>> Engine::GetTaskLineage(
+    const std::string& instance_id) const {
+  if (FindInstance(instance_id) == nullptr &&
+      !spaces_.GetInstanceRecord(instance_id, "header").ok()) {
+    return Status::NotFound("no instance " + instance_id);
+  }
+  std::vector<obs::LineageRecord> out;
+  // Provenance keys sort as (path, attempt, in-before-out), so one pass
+  // pairs each attempt's rows.
+  for (const auto& [key, text] : spaces_.ScanProvenance(instance_id)) {
+    bool is_in = false;
+    std::string_view base(key);
+    if (base.size() > 3 && base.substr(base.size() - 3) == "/in") {
+      is_in = true;
+      base.remove_suffix(3);
+    } else if (base.size() > 4 && base.substr(base.size() - 4) == "/out") {
+      base.remove_suffix(4);
+    } else {
+      continue;  // unknown row shape (forward compatibility)
+    }
+    // base = "<path>/aNNNN"
+    size_t slash = base.rfind('/');
+    if (slash == std::string_view::npos || slash + 2 > base.size() ||
+        base[slash + 1] != 'a') {
+      continue;
+    }
+    long long attempt = 0;
+    if (!ParseInt64(std::string(base.substr(slash + 2)), &attempt)) continue;
+    std::string path(base.substr(0, slash));
+    BIOPERA_ASSIGN_OR_RETURN(Value v, DecodeValueRecord(text));
+    if (!v.is_map()) {
+      return Status::Corruption("bad provenance row " + key);
+    }
+    const Value::Map& rec = v.AsMap();
+    obs::LineageRecord* record = nullptr;
+    if (!out.empty() && out.back().task == path &&
+        out.back().attempt == static_cast<int>(attempt)) {
+      record = &out.back();
+    } else {
+      out.emplace_back();
+      record = &out.back();
+      record->instance = instance_id;
+      record->task = std::move(path);
+      record->attempt = static_cast<int>(attempt);
+    }
+    auto copy_descriptors =
+        [&rec](const char* field,
+               std::vector<std::pair<std::string, std::string>>* dst) {
+          auto it = rec.find(field);
+          if (it == rec.end() || !it->second.is_map()) return;
+          for (const auto& [key2, value] : it->second.AsMap()) {
+            if (value.is_string()) dst->emplace_back(key2, value.AsString());
+          }
+        };
+    if (is_in) {
+      record->binding = RecString(rec, "binding");
+      record->node = RecString(rec, "node");
+      record->dispatch_us = RecInt(rec, "t_dispatch_us", 0);
+      copy_descriptors("in", &record->inputs);
+      copy_descriptors("param", &record->params);
+    } else {
+      record->outcome = RecString(rec, "outcome");
+      record->finish_us = RecInt(rec, "t_finish_us", -1);
+      record->cost_us = RecInt(rec, "cost_us", -1);
+      copy_descriptors("out", &record->outputs);
+    }
+  }
+  return out;
+}
+
+Result<std::string> Engine::ExportLineageJsonl(
+    const std::string& instance_id) const {
+  BIOPERA_ASSIGN_OR_RETURN(std::vector<obs::LineageRecord> records,
+                           GetTaskLineage(instance_id));
+  obs::LineageHeader header;
+  header.instance = instance_id;
+  header.seed = options_.seed;
+  header.config_version = config_version_;
+  if (const ProcessInstance* inst = FindInstance(instance_id);
+      inst != nullptr) {
+    header.template_name = inst->def().name;
+    header.state = InstanceStateName(inst->state());
+  } else if (Result<std::string> text =
+                 spaces_.GetInstanceRecord(instance_id, "header");
+             text.ok()) {
+    // Recovered-but-not-loaded (engine down) or foreign instance: read
+    // the persisted header record directly.
+    BIOPERA_ASSIGN_OR_RETURN(Value v, DecodeValueRecord(*text));
+    if (v.is_map()) {
+      header.template_name = RecString(v.AsMap(), "template");
+      header.state = RecString(v.AsMap(), "state");
+    }
+  }
+  return obs::LineageExportJsonl(header, records);
+}
+
+Result<obs::RunLineage> Engine::BuildRunLineage(const std::string& instance_id,
+                                                std::string label) const {
+  obs::RunLineage run;
+  run.label = std::move(label);
+  BIOPERA_ASSIGN_OR_RETURN(run.records, GetTaskLineage(instance_id));
+  run.header.instance = instance_id;
+  run.header.seed = options_.seed;
+  run.header.config_version = config_version_;
+  if (const ProcessInstance* inst = FindInstance(instance_id);
+      inst != nullptr) {
+    run.header.template_name = inst->def().name;
+    run.header.state = InstanceStateName(inst->state());
+  }
+  if (spans_ != nullptr) {
+    // The run's environment schedule, from the span sink's overlay
+    // windows (same classification the file-based differ reads from a
+    // span export).
+    spans_->ForEach([&run](const obs::Span& span) {
+      if (span.kind != obs::SpanKind::kNodeOutage &&
+          span.kind != obs::SpanKind::kServerDown &&
+          span.kind != obs::SpanKind::kStoreDegraded) {
+        return;
+      }
+      obs::OutageWindow window;
+      window.kind = std::string(obs::SpanKindName(span.kind));
+      window.node = span.node;
+      window.start_us = span.start.micros();
+      window.end_us = span.open ? -1 : span.end.micros();
+      run.outages.push_back(std::move(window));
+    });
+  }
+  return run;
 }
 
 // ---------------------------------------------------------------------------

@@ -16,6 +16,8 @@
 #include "core/instance.h"
 #include "monitor/adaptive_monitor.h"
 #include "monitor/awareness.h"
+#include "obs/lineage.h"
+#include "obs/rundiff.h"
 #include "obs/trace.h"
 #include "ocr/model.h"
 #include "sched/policy.h"
@@ -180,6 +182,26 @@ class Engine : public cluster::ClusterListener {
   /// Execution history records of an instance, oldest first.
   std::vector<std::string> GetHistory(const std::string& instance_id) const;
 
+  // --- Provenance / lineage --------------------------------------------------
+  /// All lineage records of an instance, read back from the provenance
+  /// space (so they survive crashes and are recovered with the instance),
+  /// ordered by (task path, attempt). Records exist only for dispatches
+  /// made while an Observability context was attached.
+  Result<std::vector<obs::LineageRecord>> GetTaskLineage(
+      const std::string& instance_id) const;
+  /// The instance's full lineage export: one header line plus one line
+  /// per attempt, flat JSONL (see docs/PROVENANCE.md). Byte-identical
+  /// across same-seed runs.
+  Result<std::string> ExportLineageJsonl(const std::string& instance_id) const;
+  /// In-memory run view for differencing two instances of this engine
+  /// (console DIFF). Outage windows come from the span sink when present.
+  Result<obs::RunLineage> BuildRunLineage(const std::string& instance_id,
+                                          std::string label) const;
+  /// Content digest of the configuration space (node rows), recomputed at
+  /// Startup and on every cluster config change. Two runs with different
+  /// versions ran against different declared resources.
+  const std::string& config_version() const { return config_version_; }
+
   const monitor::AwarenessModel& awareness() const { return awareness_; }
 
   /// The observability context from EngineOptions (nullptr if not set).
@@ -295,6 +317,9 @@ class Engine : public cluster::ClusterListener {
     /// Span covering this attempt from enqueue to its terminal outcome
     /// (0 when spans are not enabled).
     uint64_t attempt_span = 0;
+    /// Input descriptors captured when the activity first executed (empty
+    /// until then, and always empty when spans are not enabled).
+    std::vector<std::pair<std::string, std::string>> input_desc;
 
     ReadyKey key() const { return {-priority, seq}; }
   };
@@ -311,6 +336,12 @@ class Engine : public cluster::ClusterListener {
     /// execution slice opened at dispatch.
     uint64_t attempt_span = 0;
     uint64_t job_span = 0;
+    /// Lineage carry-through: the attempt number this dispatch persisted
+    /// under, plus the input/parameter descriptors so a timeout or
+    /// migration re-queue keeps them for the next attempt's record.
+    int attempt = 0;
+    std::vector<std::pair<std::string, std::string>> input_desc;
+    std::vector<std::pair<std::string, std::string>> params;
   };
 
   // -- Navigation --
@@ -443,6 +474,19 @@ class Engine : public cluster::ClusterListener {
   /// Closes an attempt span with its terminal outcome.
   void EndAttemptSpan(uint64_t attempt_span, std::string_view outcome);
 
+  // -- Provenance (all no-ops when spans_ == nullptr) --
+  /// Writes the attempt's in-row (inputs, params, node, binding, dispatch
+  /// time) into the dispatch commit's batch.
+  void RecordLineageDispatch(const ReadyEntry& entry, const TaskNode* node,
+                             const std::string& target, int attempt,
+                             WriteBatch* batch);
+  /// Writes the attempt's out-row (outcome, finish time, cost, output
+  /// descriptors) into the outcome commit's batch.
+  void RecordLineageOutcome(const PendingJob& pending, std::string_view outcome,
+                            bool with_outputs, WriteBatch* batch);
+  /// Recomputes config_version_ from the config space's node rows.
+  void RefreshConfigVersion();
+
   Simulator* sim_;
   cluster::ClusterSim* cluster_;
   Spaces spaces_;
@@ -511,6 +555,8 @@ class Engine : public cluster::ClusterListener {
   obs::SpanSink* spans_ = nullptr;
   uint64_t server_down_span_ = 0;
   uint64_t degraded_span_ = 0;
+  /// See config_version(). Empty until Startup.
+  std::string config_version_;
 
   // Resolved metric handles (null without an Observability context).
   obs::Counter* dispatched_metric_ = nullptr;

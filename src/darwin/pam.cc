@@ -124,4 +124,11 @@ const PamFamily& SharedPamFamily() {
   return family;
 }
 
+std::string_view PamFamilyVersion() {
+  // Bump the revision whenever the construction above changes scores:
+  // lineage records carry this id, so old exports keep naming the
+  // family that actually scored them.
+  return "dayhoff-physchem/v1";
+}
+
 }  // namespace biopera::darwin

@@ -64,6 +64,12 @@ class PamFamily {
 /// are cached lazily).
 const PamFamily& SharedPamFamily();
 
+/// Identity of the matrix family for provenance records: which
+/// substitution-model construction (and revision of it) scored a run's
+/// alignments. Two runs whose lineage shows different family versions
+/// are not comparable match-for-match even at the same PAM distance.
+std::string_view PamFamilyVersion();
+
 }  // namespace biopera::darwin
 
 #endif  // BIOPERA_DARWIN_PAM_H_

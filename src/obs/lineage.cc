@@ -1,0 +1,64 @@
+#include "obs/lineage.h"
+
+#include "common/strings.h"
+#include "obs/json.h"
+
+namespace biopera::obs {
+
+namespace {
+
+void AppendDescriptors(
+    std::string* out, const char* prefix,
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  for (const auto& [key, value] : pairs) {
+    *out += ",\"";
+    *out += prefix;
+    *out += JsonEscape(key) + "\":" + JsonQuote(value);
+  }
+}
+
+}  // namespace
+
+std::string LineageRecord::ToJson() const {
+  std::string out = "{\"task\":" + JsonQuote(task) +
+                    StrFormat(",\"attempt\":%d", attempt);
+  if (!binding.empty()) out += ",\"binding\":" + JsonQuote(binding);
+  if (!node.empty()) out += ",\"node\":" + JsonQuote(node);
+  if (!outcome.empty()) out += ",\"outcome\":" + JsonQuote(outcome);
+  out += StrFormat(",\"t_dispatch_us\":%lld",
+                   static_cast<long long>(dispatch_us));
+  if (finish_us >= 0) {
+    out += StrFormat(",\"t_finish_us\":%lld",
+                     static_cast<long long>(finish_us));
+  }
+  if (cost_us >= 0) {
+    out += StrFormat(",\"cost_us\":%lld", static_cast<long long>(cost_us));
+  }
+  AppendDescriptors(&out, "in.", inputs);
+  AppendDescriptors(&out, "param.", params);
+  AppendDescriptors(&out, "out.", outputs);
+  out += "}";
+  return out;
+}
+
+std::string LineageHeader::ToJson() const {
+  std::string out = "{\"lineage_version\":1";
+  out += ",\"instance\":" + JsonQuote(instance);
+  if (!template_name.empty()) {
+    out += ",\"template\":" + JsonQuote(template_name);
+  }
+  if (!state.empty()) out += ",\"state\":" + JsonQuote(state);
+  out += StrFormat(",\"seed\":%llu", static_cast<unsigned long long>(seed));
+  out += ",\"config_version\":" + JsonQuote(config_version);
+  out += "}";
+  return out;
+}
+
+std::string LineageExportJsonl(const LineageHeader& header,
+                               const std::vector<LineageRecord>& records) {
+  std::string out = header.ToJson() + "\n";
+  for (const auto& record : records) out += record.ToJson() + "\n";
+  return out;
+}
+
+}  // namespace biopera::obs

@@ -32,6 +32,12 @@ struct ReportInput {
 std::string BuildRunReport(const ReportInput& input, const Observability& obs,
                            size_t top_k = 5);
 
+/// `REPORT <id> --json`: the same numbers as BuildRunReport as one JSON
+/// object (single line), so CI can trend ETA / utilization /
+/// critical-path figures across runs without scraping the text view.
+std::string BuildRunReportJson(const ReportInput& input,
+                               const Observability& obs, size_t top_k = 5);
+
 }  // namespace biopera::obs
 
 #endif  // BIOPERA_OBS_REPORT_H_

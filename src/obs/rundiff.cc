@@ -1,0 +1,414 @@
+#include "obs/rundiff.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "common/strings.h"
+#include "obs/json.h"
+
+namespace biopera::obs {
+
+namespace {
+
+/// One parsed field of a flat JSON object line: the key, the value's
+/// text (strings unescaped, numbers/booleans verbatim), and whether the
+/// value was a string literal.
+struct FlatField {
+  std::string key;
+  std::string value;
+  bool is_string = false;
+};
+
+void SkipWs(std::string_view line, size_t* i) {
+  while (*i < line.size() &&
+         (line[*i] == ' ' || line[*i] == '\t')) {
+    ++*i;
+  }
+}
+
+/// Scans a JSON string literal starting at the opening quote; returns
+/// the unescaped contents and advances `*i` past the closing quote.
+Result<std::string> ScanString(std::string_view line, size_t* i) {
+  if (*i >= line.size() || line[*i] != '"') {
+    return Status::InvalidArgument("expected string");
+  }
+  size_t start = ++*i;
+  while (*i < line.size()) {
+    if (line[*i] == '\\') {
+      *i += 2;
+      continue;
+    }
+    if (line[*i] == '"') {
+      Result<std::string> out = JsonUnescape(line.substr(start, *i - start));
+      ++*i;
+      return out;
+    }
+    ++*i;
+  }
+  return Status::InvalidArgument("unterminated string");
+}
+
+/// Parses one flat JSON object line (no nested objects or arrays — all
+/// the exports this consumes are flat) into its fields, in order.
+Result<std::vector<FlatField>> ParseFlatJsonLine(std::string_view line) {
+  std::vector<FlatField> fields;
+  size_t i = 0;
+  SkipWs(line, &i);
+  if (i >= line.size() || line[i] != '{') {
+    return Status::InvalidArgument("expected object");
+  }
+  ++i;
+  SkipWs(line, &i);
+  if (i < line.size() && line[i] == '}') return fields;
+  while (true) {
+    SkipWs(line, &i);
+    BIOPERA_ASSIGN_OR_RETURN(std::string key, ScanString(line, &i));
+    SkipWs(line, &i);
+    if (i >= line.size() || line[i] != ':') {
+      return Status::InvalidArgument("expected ':' after key");
+    }
+    ++i;
+    SkipWs(line, &i);
+    FlatField field;
+    field.key = std::move(key);
+    if (i < line.size() && line[i] == '"') {
+      BIOPERA_ASSIGN_OR_RETURN(field.value, ScanString(line, &i));
+      field.is_string = true;
+    } else {
+      size_t start = i;
+      while (i < line.size() && line[i] != ',' && line[i] != '}') ++i;
+      field.value = std::string(StripWhitespace(line.substr(start, i - start)));
+      if (field.value.empty()) {
+        return Status::InvalidArgument("empty value for key " + field.key);
+      }
+    }
+    fields.push_back(std::move(field));
+    SkipWs(line, &i);
+    if (i >= line.size()) return Status::InvalidArgument("unterminated object");
+    if (line[i] == '}') return fields;
+    if (line[i] != ',') return Status::InvalidArgument("expected ',' or '}'");
+    ++i;
+  }
+}
+
+const FlatField* FindField(const std::vector<FlatField>& fields,
+                           std::string_view key) {
+  for (const auto& field : fields) {
+    if (field.key == key) return &field;
+  }
+  return nullptr;
+}
+
+int64_t FieldInt(const std::vector<FlatField>& fields, std::string_view key,
+                 int64_t fallback) {
+  const FlatField* field = FindField(fields, key);
+  if (field == nullptr) return fallback;
+  long long value = 0;
+  if (!ParseInt64(field->value, &value)) return fallback;
+  return value;
+}
+
+std::string FieldString(const std::vector<FlatField>& fields,
+                        std::string_view key) {
+  const FlatField* field = FindField(fields, key);
+  return field == nullptr ? "" : field->value;
+}
+
+constexpr std::string_view kOutageKinds[] = {"node_outage", "server_down",
+                                             "store_degraded"};
+
+bool IsOutageKind(std::string_view kind) {
+  for (std::string_view k : kOutageKinds) {
+    if (k == kind) return true;
+  }
+  return false;
+}
+
+using DescriptorMap = std::map<std::string, std::string>;
+
+DescriptorMap ToMap(
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  return DescriptorMap(pairs.begin(), pairs.end());
+}
+
+/// First difference between two descriptor maps, or nullopt when equal.
+std::optional<std::string> DiffDescriptors(const DescriptorMap& a,
+                                           const DescriptorMap& b,
+                                           std::string_view label_a,
+                                           std::string_view label_b) {
+  for (const auto& [key, value] : a) {
+    auto it = b.find(key);
+    if (it == b.end()) {
+      return StrFormat("%s only in %s (=%s)", key.c_str(),
+                       std::string(label_a).c_str(), value.c_str());
+    }
+    if (it->second != value) {
+      return StrFormat("%s: %s vs %s", key.c_str(), value.c_str(),
+                       it->second.c_str());
+    }
+  }
+  for (const auto& [key, value] : b) {
+    if (a.find(key) == a.end()) {
+      return StrFormat("%s only in %s (=%s)", key.c_str(),
+                       std::string(label_b).c_str(), value.c_str());
+    }
+  }
+  return std::nullopt;
+}
+
+/// Compact retry signature of one task: "a1=failed a2=completed".
+std::string RetrySignature(const std::map<int, const LineageRecord*>& attempts) {
+  std::string out;
+  for (const auto& [attempt, record] : attempts) {
+    if (!out.empty()) out += " ";
+    out += StrFormat(
+        "a%d=%s", attempt,
+        record->outcome.empty() ? "in_flight" : record->outcome.c_str());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string OutageWindow::ToText() const {
+  std::string out = kind;
+  if (!node.empty()) out += " " + node;
+  out += StrFormat(" [%lld,", static_cast<long long>(start_us));
+  out += end_us < 0 ? "open)" : StrFormat("%lld)",
+                                          static_cast<long long>(end_us));
+  return out;
+}
+
+std::string_view DivergenceCategoryName(DivergenceCategory category) {
+  switch (category) {
+    case DivergenceCategory::kSeed: return "seed";
+    case DivergenceCategory::kConfigVersion: return "config_version";
+    case DivergenceCategory::kInput: return "input";
+    case DivergenceCategory::kOutageSchedule: return "outage_schedule";
+    case DivergenceCategory::kRetryHistory: return "retry_history";
+    case DivergenceCategory::kPlacement: return "placement";
+    case DivergenceCategory::kOutput: return "output";
+  }
+  return "unknown";
+}
+
+std::string RunDiffReport::RootCause() const {
+  if (divergences.empty()) return "none";
+  return std::string(DivergenceCategoryName(divergences.front().category));
+}
+
+std::string RunDiffReport::ToText() const {
+  std::string out =
+      StrFormat("run diff: %s vs %s\n", label_a.c_str(), label_b.c_str());
+  if (divergences.empty()) {
+    out += "no divergences: runs are equivalent\n";
+    return out;
+  }
+  out += StrFormat("%zu divergence(s); root cause: %s\n", divergences.size(),
+                   RootCause().c_str());
+  for (const auto& d : divergences) {
+    out += StrFormat("  [%s]", std::string(DivergenceCategoryName(d.category))
+                                   .c_str());
+    if (!d.path.empty()) out += " " + d.path + ":";
+    out += " " + d.detail + "\n";
+  }
+  return out;
+}
+
+std::string RunDiffReport::ToJson() const {
+  std::string out = "{\"run_a\":" + JsonQuote(label_a) +
+                    ",\"run_b\":" + JsonQuote(label_b) +
+                    ",\"root_cause\":" + JsonQuote(RootCause()) +
+                    StrFormat(",\"divergence_count\":%zu", divergences.size()) +
+                    ",\"divergences\":[";
+  bool first = true;
+  for (const auto& d : divergences) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"category\":" + JsonQuote(DivergenceCategoryName(d.category)) +
+           ",\"path\":" + JsonQuote(d.path) +
+           ",\"detail\":" + JsonQuote(d.detail) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+RunDiffReport DiffRuns(const RunLineage& a, const RunLineage& b) {
+  RunDiffReport report;
+  report.label_a = a.label;
+  report.label_b = b.label;
+  auto add = [&report](DivergenceCategory category, std::string path,
+                       std::string detail) {
+    report.divergences.push_back(
+        {category, std::move(path), std::move(detail)});
+  };
+
+  if (a.header.seed != b.header.seed) {
+    add(DivergenceCategory::kSeed, "",
+        StrFormat("run seed differs: %llu vs %llu",
+                  static_cast<unsigned long long>(a.header.seed),
+                  static_cast<unsigned long long>(b.header.seed)));
+  }
+  if (a.header.config_version != b.header.config_version) {
+    add(DivergenceCategory::kConfigVersion, "",
+        StrFormat("config-space version differs: %s vs %s",
+                  a.header.config_version.c_str(),
+                  b.header.config_version.c_str()));
+  }
+
+  // Outage schedule: order-insensitive window comparison.
+  auto sort_windows = [](std::vector<OutageWindow> windows) {
+    std::sort(windows.begin(), windows.end(),
+              [](const OutageWindow& x, const OutageWindow& y) {
+                return std::tie(x.kind, x.node, x.start_us, x.end_us) <
+                       std::tie(y.kind, y.node, y.start_us, y.end_us);
+              });
+    return windows;
+  };
+  std::vector<OutageWindow> wa = sort_windows(a.outages);
+  std::vector<OutageWindow> wb = sort_windows(b.outages);
+  for (const auto& w : wa) {
+    if (std::find(wb.begin(), wb.end(), w) == wb.end()) {
+      add(DivergenceCategory::kOutageSchedule, "",
+          StrFormat("window only in %s: %s", a.label.c_str(),
+                    w.ToText().c_str()));
+    }
+  }
+  for (const auto& w : wb) {
+    if (std::find(wa.begin(), wa.end(), w) == wa.end()) {
+      add(DivergenceCategory::kOutageSchedule, "",
+          StrFormat("window only in %s: %s", b.label.c_str(),
+                    w.ToText().c_str()));
+    }
+  }
+
+  // Align tasks by stable path identity, then attempts by number.
+  using AttemptMap = std::map<int, const LineageRecord*>;
+  std::map<std::string, AttemptMap> tasks_a, tasks_b;
+  for (const auto& r : a.records) tasks_a[r.task][r.attempt] = &r;
+  for (const auto& r : b.records) tasks_b[r.task][r.attempt] = &r;
+
+  for (const auto& [path, attempts_a] : tasks_a) {
+    auto it = tasks_b.find(path);
+    if (it == tasks_b.end()) {
+      add(DivergenceCategory::kRetryHistory, path,
+          StrFormat("task ran only in %s", a.label.c_str()));
+      continue;
+    }
+    const AttemptMap& attempts_b = it->second;
+    std::string sig_a = RetrySignature(attempts_a);
+    std::string sig_b = RetrySignature(attempts_b);
+    if (sig_a != sig_b) {
+      add(DivergenceCategory::kRetryHistory, path,
+          StrFormat("attempt history differs: {%s} vs {%s}", sig_a.c_str(),
+                    sig_b.c_str()));
+    }
+    for (const auto& [attempt, ra] : attempts_a) {
+      auto bt = attempts_b.find(attempt);
+      if (bt == attempts_b.end()) continue;  // covered by the signature
+      const LineageRecord* rb = bt->second;
+      DescriptorMap in_a = ToMap(ra->inputs), in_b = ToMap(rb->inputs);
+      for (const auto& p : ra->params) in_a.insert(p);
+      for (const auto& p : rb->params) in_b.insert(p);
+      if (auto d = DiffDescriptors(in_a, in_b, a.label, b.label)) {
+        add(DivergenceCategory::kInput, path,
+            StrFormat("attempt %d input %s", attempt, d->c_str()));
+      }
+      if (ra->node != rb->node) {
+        add(DivergenceCategory::kPlacement, path,
+            StrFormat("attempt %d ran on %s vs %s", attempt,
+                      ra->node.c_str(), rb->node.c_str()));
+      }
+      if (auto d = DiffDescriptors(ToMap(ra->outputs), ToMap(rb->outputs),
+                                   a.label, b.label)) {
+        add(DivergenceCategory::kOutput, path,
+            StrFormat("attempt %d output %s", attempt, d->c_str()));
+      }
+    }
+  }
+  for (const auto& [path, attempts_b] : tasks_b) {
+    if (tasks_a.find(path) == tasks_a.end()) {
+      add(DivergenceCategory::kRetryHistory, path,
+          StrFormat("task ran only in %s", b.label.c_str()));
+    }
+  }
+
+  std::stable_sort(report.divergences.begin(), report.divergences.end(),
+                   [](const Divergence& x, const Divergence& y) {
+                     return std::tie(x.category, x.path, x.detail) <
+                            std::tie(y.category, y.path, y.detail);
+                   });
+  return report;
+}
+
+Result<RunLineage> ParseRunExports(std::string_view lineage_jsonl,
+                                   std::string_view spans_jsonl,
+                                   std::string label) {
+  RunLineage run;
+  run.label = std::move(label);
+  bool saw_header = false;
+  for (std::string_view line_raw : StrSplit(lineage_jsonl, '\n')) {
+    std::string_view line = StripWhitespace(line_raw);
+    if (line.empty()) continue;
+    BIOPERA_ASSIGN_OR_RETURN(std::vector<FlatField> fields,
+                             ParseFlatJsonLine(line));
+    if (FindField(fields, "truncated") != nullptr) continue;
+    if (!saw_header) {
+      if (FindField(fields, "lineage_version") == nullptr) {
+        return Status::InvalidArgument(
+            "lineage export does not start with a header line");
+      }
+      run.header.instance = FieldString(fields, "instance");
+      run.header.template_name = FieldString(fields, "template");
+      run.header.state = FieldString(fields, "state");
+      run.header.seed =
+          static_cast<uint64_t>(FieldInt(fields, "seed", 0));
+      run.header.config_version = FieldString(fields, "config_version");
+      saw_header = true;
+      continue;
+    }
+    LineageRecord record;
+    record.instance = run.header.instance;
+    record.task = FieldString(fields, "task");
+    record.attempt = static_cast<int>(FieldInt(fields, "attempt", 0));
+    record.binding = FieldString(fields, "binding");
+    record.node = FieldString(fields, "node");
+    record.outcome = FieldString(fields, "outcome");
+    record.dispatch_us = FieldInt(fields, "t_dispatch_us", 0);
+    record.finish_us = FieldInt(fields, "t_finish_us", -1);
+    record.cost_us = FieldInt(fields, "cost_us", -1);
+    for (const auto& field : fields) {
+      if (StartsWith(field.key, "in.")) {
+        record.inputs.emplace_back(field.key.substr(3), field.value);
+      } else if (StartsWith(field.key, "param.")) {
+        record.params.emplace_back(field.key.substr(6), field.value);
+      } else if (StartsWith(field.key, "out.")) {
+        record.outputs.emplace_back(field.key.substr(4), field.value);
+      }
+    }
+    run.records.push_back(std::move(record));
+  }
+  if (!saw_header) {
+    return Status::InvalidArgument("empty lineage export");
+  }
+
+  for (std::string_view line_raw : StrSplit(spans_jsonl, '\n')) {
+    std::string_view line = StripWhitespace(line_raw);
+    if (line.empty()) continue;
+    Result<std::vector<FlatField>> fields = ParseFlatJsonLine(line);
+    if (!fields.ok()) continue;  // Chrome-trace brackets etc.
+    if (FindField(*fields, "truncated") != nullptr) continue;
+    std::string kind = FieldString(*fields, "kind");
+    if (!IsOutageKind(kind)) continue;
+    OutageWindow window;
+    window.kind = std::move(kind);
+    window.node = FieldString(*fields, "node");
+    window.start_us = FieldInt(*fields, "start_us", 0);
+    window.end_us = FieldInt(*fields, "end_us", -1);
+    run.outages.push_back(std::move(window));
+  }
+  return run;
+}
+
+}  // namespace biopera::obs

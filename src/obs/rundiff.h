@@ -1,0 +1,90 @@
+#ifndef BIOPERA_OBS_RUNDIFF_H_
+#define BIOPERA_OBS_RUNDIFF_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/lineage.h"
+
+namespace biopera::obs {
+
+/// One environment-schedule window reconstructed from a run's span
+/// export: a node outage, a server-down window, or a store-degraded
+/// window. Two runs with different windows saw different worlds.
+struct OutageWindow {
+  std::string kind;  // "node_outage", "server_down", "store_degraded"
+  std::string node;  // empty for server/store windows
+  int64_t start_us = 0;
+  int64_t end_us = -1;  // -1 = still open at export time
+
+  std::string ToText() const;
+  bool operator==(const OutageWindow&) const = default;
+};
+
+/// Everything run differencing needs from one run: the lineage header
+/// (seed, config version), the per-attempt lineage records, and the
+/// outage schedule from the span export.
+struct RunLineage {
+  std::string label;  // file name or instance id, for the report
+  LineageHeader header;
+  std::vector<LineageRecord> records;
+  std::vector<OutageWindow> outages;
+};
+
+/// Why two runs diverged, most-root-cause first: enumerator order IS
+/// the root-cause ranking. Seed, configuration and input deltas come
+/// before the environment schedule, which comes before downstream
+/// scheduling noise (retries, placement) and finally observed output
+/// differences.
+enum class DivergenceCategory {
+  kSeed = 0,
+  kConfigVersion,
+  kInput,
+  kOutageSchedule,
+  kRetryHistory,
+  kPlacement,
+  kOutput,
+};
+
+std::string_view DivergenceCategoryName(DivergenceCategory category);
+
+/// One classified difference between the two runs.
+struct Divergence {
+  DivergenceCategory category = DivergenceCategory::kOutput;
+  std::string path;  // task path, or "" for run-level divergences
+  std::string detail;
+};
+
+/// The structured diff of two runs. `divergences` is sorted by
+/// (category rank, path, detail); the first entry's category is the
+/// root cause.
+struct RunDiffReport {
+  std::string label_a;
+  std::string label_b;
+  std::vector<Divergence> divergences;
+
+  bool identical() const { return divergences.empty(); }
+  /// Category name of the top-ranked divergence, or "none".
+  std::string RootCause() const;
+  std::string ToText() const;
+  std::string ToJson() const;
+};
+
+/// Aligns the two runs' tasks by stable path identity and classifies
+/// every divergence.
+RunDiffReport DiffRuns(const RunLineage& a, const RunLineage& b);
+
+/// Rebuilds a RunLineage from a run's exports: the lineage JSONL
+/// (header + records) and, optionally, the span JSONL (outage
+/// schedule). Lines it cannot attribute (truncation markers,
+/// non-environment spans) are skipped.
+Result<RunLineage> ParseRunExports(std::string_view lineage_jsonl,
+                                   std::string_view spans_jsonl,
+                                   std::string label);
+
+}  // namespace biopera::obs
+
+#endif  // BIOPERA_OBS_RUNDIFF_H_

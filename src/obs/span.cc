@@ -57,6 +57,16 @@ std::string_view SpanKindName(SpanKind kind) {
   return "unknown";
 }
 
+bool SpanKindFromName(std::string_view name, SpanKind* kind) {
+  for (const auto& entry : kSpanKindNames) {
+    if (entry.name == name) {
+      *kind = entry.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::string Span::ToJson() const {
   std::string out = StrFormat(
       "{\"id\":%llu,\"kind\":\"%s\",\"start_us\":%lld",
@@ -169,12 +179,15 @@ void SpanSink::ForEach(const std::function<void(const Span&)>& fn) const {
   for (const Span& span : spans_) fn(span);
 }
 
-std::vector<Span> SpanSink::Tail(size_t n, const std::string& instance) const {
+std::vector<Span> SpanSink::Tail(size_t n, const std::string& instance,
+                                 const std::string& kind) const {
+  SpanKind want = SpanKind::kInstance;
+  const bool filter_kind = !kind.empty() && SpanKindFromName(kind, &want);
   std::vector<Span> matched;
   for (const Span& span : spans_) {
-    if (instance.empty() || span.instance == instance) {
-      matched.push_back(span);
-    }
+    if (!instance.empty() && span.instance != instance) continue;
+    if (filter_kind && span.kind != want) continue;
+    matched.push_back(span);
   }
   if (matched.size() > n) {
     matched.erase(matched.begin(),

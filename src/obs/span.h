@@ -29,6 +29,8 @@ enum class SpanKind {
 };
 
 std::string_view SpanKindName(SpanKind kind);
+/// Inverse of SpanKindName: true and sets `*kind` for a known name.
+bool SpanKindFromName(std::string_view name, SpanKind* kind);
 
 /// One interval on the causal timeline, stamped in virtual time. The id
 /// fields are 0 when not applicable; `attrs` carries span-specific detail
@@ -114,8 +116,10 @@ class SpanSink {
   /// Visits stored spans in id order.
   void ForEach(const std::function<void(const Span&)>& fn) const;
   /// The most recent `n` spans (oldest of those first), optionally
-  /// filtered by instance id ("" matches all).
-  std::vector<Span> Tail(size_t n, const std::string& instance = "") const;
+  /// filtered by instance id and/or span kind name ("" matches all) —
+  /// the console's `SPANS <id|*> [n] [kind]` filters.
+  std::vector<Span> Tail(size_t n, const std::string& instance = "",
+                         const std::string& kind = "") const;
 
   /// One JSON object per line, id order. When spans were dropped, the
   /// first line is a truncation marker.

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/strings.h"
+#include "obs/json.h"
 
 namespace biopera::obs {
 
@@ -106,8 +107,10 @@ std::string TimelineCsv(const std::vector<TimelineInterval>& intervals,
                      static_cast<unsigned long long>(dropped_events));
   }
   for (const TimelineInterval& iv : intervals) {
-    out += StrFormat("%s,%s,%s,%lld,%lld,%s\n", iv.node.c_str(),
-                     iv.instance.c_str(), iv.task.c_str(),
+    // Names come from user-controlled templates; CsvField keeps a
+    // hostile name from breaking the column structure.
+    out += StrFormat("%s,%s,%s,%lld,%lld,%s\n", CsvField(iv.node).c_str(),
+                     CsvField(iv.instance).c_str(), CsvField(iv.task).c_str(),
                      static_cast<long long>(iv.start.micros()),
                      static_cast<long long>(iv.end.micros()),
                      iv.outcome.c_str());

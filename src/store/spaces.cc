@@ -9,6 +9,7 @@ constexpr char kTemplateTable[] = "template";
 constexpr char kInstanceTable[] = "instance";
 constexpr char kConfigTable[] = "config";
 constexpr char kHistoryTable[] = "history";
+constexpr char kProvenanceTable[] = "provenance";
 
 std::string InstanceKey(std::string_view instance_id, std::string_view key) {
   std::string out(instance_id);
@@ -84,7 +85,32 @@ Status Spaces::DeleteInstance(std::string_view instance_id) {
   for (auto& [k, v] : store_->Scan(kInstanceTable, prefix)) {
     batch.Delete(kInstanceTable, k);
   }
+  // Lineage is instance-scoped: archiving the instance retires its
+  // provenance rows too (history stays, as before).
+  for (auto& [k, v] : store_->Scan(kProvenanceTable, prefix)) {
+    batch.Delete(kProvenanceTable, k);
+  }
   return store_->Apply(batch, epoch_);
+}
+
+void Spaces::BatchPutProvenance(WriteBatch* batch,
+                                std::string_view instance_id,
+                                std::string_view key, std::string_view value) {
+  batch->Put(kProvenanceTable, InstanceKey(instance_id, key), value);
+}
+
+Result<std::string> Spaces::GetProvenance(std::string_view instance_id,
+                                          std::string_view key) const {
+  return store_->Get(kProvenanceTable, InstanceKey(instance_id, key));
+}
+
+std::vector<std::pair<std::string, std::string>> Spaces::ScanProvenance(
+    std::string_view instance_id) const {
+  std::string prefix(instance_id);
+  prefix.push_back('/');
+  auto rows = store_->Scan(kProvenanceTable, prefix);
+  for (auto& [k, v] : rows) k = k.substr(prefix.size());
+  return rows;
 }
 
 Status Spaces::PutConfig(std::string_view key, std::string_view value) {

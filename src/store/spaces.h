@@ -46,6 +46,20 @@ class Spaces {
   std::vector<std::string> ListInstances() const;
   Status DeleteInstance(std::string_view instance_id);
 
+  // --- Provenance space ---------------------------------------------------
+  /// Lineage records, keyed "<instance_id>/<record>" like the instance
+  /// space. The engine writes them in the same commit batches as the
+  /// task records they describe, so lineage is crash-atomic with the
+  /// state transition it explains and is recovered with the instance.
+  void BatchPutProvenance(WriteBatch* batch, std::string_view instance_id,
+                          std::string_view key, std::string_view value);
+  Result<std::string> GetProvenance(std::string_view instance_id,
+                                    std::string_view key) const;
+  /// All of an instance's lineage records in key order, "<id>/" prefix
+  /// stripped.
+  std::vector<std::pair<std::string, std::string>> ScanProvenance(
+      std::string_view instance_id) const;
+
   // --- Configuration space ------------------------------------------------
   Status PutConfig(std::string_view key, std::string_view value);
   Result<std::string> GetConfig(std::string_view key) const;

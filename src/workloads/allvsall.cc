@@ -7,6 +7,7 @@
 #include "common/strings.h"
 #include "darwin/align.h"
 #include "darwin/banded.h"
+#include "darwin/pam.h"
 #include "ocr/builder.h"
 #include "workloads/partition.h"
 
@@ -394,6 +395,11 @@ Status RegisterAllVsAllActivities(ActivityRegistry* registry,
                                    static_cast<size_t>(num_teus.AsInt()));
         ActivityOutput out;
         out.fields["partition"] = TeusToValue(teus);
+        out.provenance.emplace_back(
+            "partition_strategy",
+            ctx->partition_by_cost ? "by_cost" : "by_count");
+        out.provenance.emplace_back(
+            "queue_entries", StrFormat("%zu", entries.size()));
         out.cost = Duration::Seconds(
             2.0 + 2e-5 * static_cast<double>(entries.size()));
         return out;
@@ -413,6 +419,21 @@ Status RegisterAllVsAllActivities(ActivityRegistry* registry,
         std::vector<uint32_t> lengths = QueueLengths(*ctx, entries);
         ActivityOutput out;
         out.cost = FixedPassCost(*ctx, lengths, teu.first, teu.last);
+        out.provenance.emplace_back(
+            "pam_matrix",
+            StrFormat("%s/pam%d",
+                      std::string(darwin::PamFamilyVersion()).c_str(),
+                      ctx->fixed_pam));
+        out.provenance.emplace_back(
+            "match_threshold", StrFormat("%g", ctx->match_threshold));
+        out.provenance.emplace_back(
+            "mode", ctx->dataset != nullptr ? "real" : "synthetic");
+        if (ctx->dataset == nullptr) {
+          out.provenance.emplace_back(
+              "noise_seed",
+              StrFormat("0x%llx",
+                        static_cast<unsigned long long>(ctx->noise_seed)));
+        }
         if (ctx->dataset != nullptr) {
           // Real computation: align each TEU entry against all later ones.
           const darwin::ScoringMatrix& matrix =
@@ -470,6 +491,10 @@ Status RegisterAllVsAllActivities(ActivityRegistry* registry,
         std::vector<uint32_t> lengths = QueueLengths(*ctx, entries);
         ActivityOutput out;
         out.cost = RefinePassCost(*ctx, lengths, teu.first, teu.last);
+        out.provenance.emplace_back(
+            "pam_matrix", std::string(darwin::PamFamilyVersion()));
+        out.provenance.emplace_back(
+            "mode", ctx->dataset != nullptr ? "real" : "synthetic");
         if (ctx->dataset != nullptr) {
           const Value& raw = input.Get("matches");
           if (!raw.is_string()) {

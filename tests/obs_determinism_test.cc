@@ -12,6 +12,7 @@
 #include "darwin/generator.h"
 #include "obs/critical_path.h"
 #include "obs/report.h"
+#include "obs/rundiff.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
 #include "ocr/builder.h"
@@ -35,6 +36,7 @@ struct RunExports {
   std::string spans_jsonl;
   std::string chrome_json;
   std::string report_text;
+  std::string lineage_jsonl;
   /// Critical-path invariants of the chaotic instance.
   bool critpath_found = false;
   int64_t critpath_makespan_us = 0;
@@ -149,6 +151,7 @@ RunExports RunScriptedChaos(uint64_t seed, bool group_commit = true) {
   out.trace_jsonl = obs.trace.ExportJsonl();
   out.spans_jsonl = obs.spans.ExportJsonl();
   out.chrome_json = obs.spans.ExportChromeTrace();
+  out.lineage_jsonl = engine.ExportLineageJsonl(*id).value_or("");
   obs::ReportInput report_input;
   report_input.instance = *id;
   auto summary = engine.Summary(*id);
@@ -193,6 +196,23 @@ TEST(ObsDeterminismTest, SameSeedExportsAreByteIdentical) {
   EXPECT_FALSE(first.spans_jsonl.empty());
   EXPECT_FALSE(first.chrome_json.empty());
   EXPECT_FALSE(first.report_text.empty());
+  // The provenance export is held to the same bar: same-seed chaos runs
+  // (node crashes, retries, server crash + WAL recovery) must produce a
+  // byte-identical lineage log, and it must record real attempts.
+  EXPECT_EQ(first.lineage_jsonl, second.lineage_jsonl);
+  EXPECT_NE(first.lineage_jsonl.find("\"lineage_version\":1"),
+            std::string::npos);
+  EXPECT_NE(first.lineage_jsonl.find("\"outcome\":\"completed\""),
+            std::string::npos);
+  // Two runs of the same scenario diff empty (console DIFF / bench
+  // --diff rely on exactly this).
+  auto run_a = obs::ParseRunExports(first.lineage_jsonl, first.spans_jsonl,
+                                    "a");
+  auto run_b = obs::ParseRunExports(second.lineage_jsonl, second.spans_jsonl,
+                                    "b");
+  ASSERT_TRUE(run_a.ok()) << run_a.status().ToString();
+  ASSERT_TRUE(run_b.ok()) << run_b.status().ToString();
+  EXPECT_TRUE(obs::DiffRuns(*run_a, *run_b).identical());
 }
 
 TEST(ObsDeterminismTest, ChaosCriticalPathAttributionIsExact) {
