@@ -1,0 +1,244 @@
+// Alignment-kernel throughput and cost-model calibration.
+//
+// Measures DP cells/second of every Smith-Waterman kernel the host
+// supports (double-precision scalar baseline, quantized scalar, SSE2,
+// AVX2) on length-360 random pairs — the dataset's mean length — plus the
+// banded screen, then derives a modern-hardware `sw_cell_seconds` from
+// the fastest kernel (CalibratedCostOptions) with the kernel variant
+// recorded as provenance. Finally it runs the small real-dataset
+// all-vs-all once inline and once on a real-thread pool, checking the
+// span/lineage exports stay byte-identical while recording both
+// wall-clock times.
+//
+// `--json[=path]` writes BENCH_alignment.json for the CI artifact.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "darwin/align.h"
+#include "darwin/align_simd.h"
+#include "darwin/banded.h"
+#include "darwin/cost_model.h"
+#include "darwin/generator.h"
+#include "darwin/pam.h"
+#include "exec/thread_pool.h"
+#include "workloads/allvsall.h"
+
+namespace biopera::bench {
+namespace {
+
+using darwin::Sequence;
+using darwin::SwKernel;
+
+constexpr size_t kLength = 360;
+constexpr size_t kTargets = 32;
+constexpr double kMinSeconds = 0.2;
+
+Sequence MakeRandom(size_t length, uint64_t seed) {
+  Rng rng(seed);
+  const auto& f = darwin::BackgroundFrequencies();
+  std::vector<double> weights(f.begin(), f.end());
+  std::vector<uint8_t> residues(length);
+  for (auto& r : residues) r = static_cast<uint8_t>(rng.Discrete(weights));
+  return Sequence("bench", std::move(residues));
+}
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Throughput {
+  double cells_per_second = 0;
+};
+
+/// Repeats `body` (which processes `cells_per_round` DP cells) until at
+/// least kMinSeconds elapsed; returns the sustained throughput.
+template <typename Body>
+Throughput Measure(double cells_per_round, Body body) {
+  body();  // warm-up: profile construction, cache effects
+  double start = NowSeconds();
+  double rounds = 0;
+  do {
+    body();
+    ++rounds;
+  } while (NowSeconds() - start < kMinSeconds);
+  double elapsed = NowSeconds() - start;
+  return Throughput{cells_per_round * rounds / elapsed};
+}
+
+struct PoolRun {
+  double wall_seconds = 0;
+  std::string spans;
+  std::string lineage;
+};
+
+/// The 24-entry real-mode all-vs-all (actual kernels, not the cost
+/// model), optionally pre-executing activities on `pool`.
+PoolRun RunRealAllVsAll(exec::ThreadPool* pool) {
+  Rng rng(7);
+  darwin::GeneratorOptions gen;
+  gen.num_sequences = 24;
+  gen.mean_length = 120;
+  gen.min_length = 60;
+  gen.max_member_pam = 100;
+  gen.fragment_probability = 0;
+  auto data = darwin::GenerateDataset(gen, &rng);
+  auto ctx = workloads::MakeRealContext(&data.dataset,
+                                        &darwin::SharedPamFamily(), 60);
+  core::EngineOptions options;
+  options.executor = pool;
+  BenchWorld world(options);
+  AddIkSunCluster(world.cluster.get());
+  if (!workloads::RegisterAllVsAllActivities(&world.registry, ctx).ok()) {
+    std::abort();
+  }
+  if (!world.engine->Startup().ok()) std::abort();
+  world.engine->RegisterTemplate(workloads::BuildAllVsAllProcess());
+  world.engine->RegisterTemplate(workloads::BuildAlignPartitionProcess());
+  ocr::Value::Map args;
+  args["db_name"] = ocr::Value("calib-real24");
+  args["num_teus"] = ocr::Value(6);
+  double start = NowSeconds();
+  auto id = world.engine->StartProcess("all_vs_all", args);
+  if (!id.ok()) std::abort();
+  world.sim.Run();
+  PoolRun out;
+  out.wall_seconds = NowSeconds() - start;
+  auto summary = world.engine->Summary(*id);
+  if (!summary.ok() || summary->state != core::InstanceState::kDone) {
+    std::fprintf(stderr, "alignment_calibration: real run did not finish\n");
+    std::abort();
+  }
+  out.spans = world.obs.spans.ExportJsonl();
+  out.lineage = world.engine->ExportLineageJsonl(*id).value_or("");
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  std::string json_path =
+      JsonPathFromArgs(argc, argv, "BENCH_alignment.json");
+  std::printf("== Alignment kernels: throughput and calibration ==\n\n");
+
+  Sequence query = MakeRandom(kLength, 1);
+  std::vector<Sequence> target_storage;
+  std::vector<const Sequence*> targets;
+  for (size_t t = 0; t < kTargets; ++t) {
+    target_storage.push_back(MakeRandom(kLength, 100 + t));
+  }
+  for (const auto& s : target_storage) targets.push_back(&s);
+  const darwin::ScoringMatrix& matrix = darwin::SharedPamFamily().Scoring(250);
+  const darwin::QuantizedMatrix& qmatrix =
+      darwin::SharedPamFamily().QuantizedScoring(250);
+  const double batch_cells =
+      static_cast<double>(kLength) * kLength * kTargets;
+
+  BenchJson json("alignment");
+  TextTable table({"kernel", "cells/s", "vs scalar"});
+
+  // Double-precision scalar: the pre-SIMD production baseline.
+  Throughput scalar = Measure(batch_cells, [&] {
+    for (const Sequence* t : targets) {
+      darwin::SmithWatermanScore(query, *t, matrix);
+    }
+  });
+  table.AddRow({"scalar", StrFormat("%.3g", scalar.cells_per_second), "1.0"});
+  json.Add("kernel_scalar",
+           {{"cells_per_s", scalar.cells_per_second},
+            {"length", static_cast<double>(kLength)},
+            {"speedup_vs_scalar", 1.0}});
+
+  double best_cells_per_second = scalar.cells_per_second;
+  std::string best_kernel = "scalar";
+  for (SwKernel kernel : {SwKernel::kSse2, SwKernel::kAvx2}) {
+    std::string name(darwin::SwKernelName(kernel));
+    if (!darwin::SwKernelSupported(kernel)) {
+      table.AddRow({name, "unsupported", "-"});
+      continue;
+    }
+    Throughput simd = Measure(batch_cells, [&] {
+      darwin::ScorePairs(query, targets, matrix, qmatrix, {}, kernel);
+    });
+    double speedup = simd.cells_per_second / scalar.cells_per_second;
+    table.AddRow({name, StrFormat("%.3g", simd.cells_per_second),
+                  StrFormat("%.1fx", speedup)});
+    json.Add(StrFormat("kernel_%s", name.c_str()),
+             {{"cells_per_s", simd.cells_per_second},
+              {"length", static_cast<double>(kLength)},
+              {"speedup_vs_scalar", speedup}});
+    if (simd.cells_per_second > best_cells_per_second) {
+      best_cells_per_second = simd.cells_per_second;
+      best_kernel = name;
+    }
+  }
+
+  // Banded screen throughput (cells actually computed: ~len * band).
+  const size_t band = darwin::SuggestBand(kLength, kLength, 250);
+  const double banded_cells =
+      static_cast<double>(kLength) * std::min(2 * band + 1, kLength) *
+      kTargets;
+  Throughput banded = Measure(banded_cells, [&] {
+    for (const Sequence* t : targets) {
+      darwin::BandedSmithWatermanScore(query, *t, matrix, band);
+    }
+  });
+  table.AddRow({StrFormat("banded(b=%zu)", band),
+                StrFormat("%.3g", banded.cells_per_second),
+                StrFormat("%.1fx",
+                          banded.cells_per_second / scalar.cells_per_second)});
+  json.Add("kernel_banded", {{"cells_per_s", banded.cells_per_second},
+                             {"band", static_cast<double>(band)},
+                             {"length", static_cast<double>(kLength)}});
+  std::printf("%s\n", table.ToString().c_str());
+
+  // Cost-model calibration from the fastest kernel, with provenance.
+  darwin::CostModelOptions calibrated =
+      darwin::CalibratedCostOptions(best_cells_per_second);
+  darwin::CostModelOptions reference;
+  std::printf("calibration: %s kernel => sw_cell_seconds = %.3g "
+              "(reference 1999 model: %.3g, %.0fx)\n\n",
+              best_kernel.c_str(), calibrated.sw_cell_seconds,
+              reference.sw_cell_seconds,
+              reference.sw_cell_seconds / calibrated.sw_cell_seconds);
+  json.Add("calibration",
+           {{"sw_cell_seconds", calibrated.sw_cell_seconds},
+            {"cells_per_s", best_cells_per_second},
+            {"reference_sw_cell_seconds", reference.sw_cell_seconds}},
+           {{"kernel", best_kernel}});
+
+  // Real-thread execution beneath virtual time: byte-identical exports,
+  // wall-clock recorded for both configurations.
+  PoolRun inline_run = RunRealAllVsAll(nullptr);
+  exec::ThreadPool pool(exec::ThreadPool::HardwareThreads());
+  PoolRun pooled_run = RunRealAllVsAll(&pool);
+  bool identical = inline_run.spans == pooled_run.spans &&
+                   inline_run.lineage == pooled_run.lineage;
+  std::printf("real all-vs-all (24 entries): inline %.3fs, pool(%zu) %.3fs, "
+              "exports byte-identical: %s\n",
+              inline_run.wall_seconds, pool.size() + 1,
+              pooled_run.wall_seconds, identical ? "yes" : "NO");
+  json.Add("thread_pool_real_run",
+           {{"inline_wall_s", inline_run.wall_seconds},
+            {"pool_wall_s", pooled_run.wall_seconds},
+            {"pool_threads", static_cast<double>(pool.size() + 1)},
+            {"exports_byte_identical", identical ? 1.0 : 0.0}});
+  if (!identical) {
+    std::fprintf(stderr,
+                 "alignment_calibration: pool run diverged from inline!\n");
+    return 1;
+  }
+
+  if (!json_path.empty() && !json.Write(json_path)) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace biopera::bench
+
+int main(int argc, char** argv) { return biopera::bench::Main(argc, argv); }

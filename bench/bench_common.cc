@@ -95,20 +95,25 @@ std::string JsonPathFromArgs(int argc, char** argv,
   return "";
 }
 
-void BenchJson::Add(const std::string& name,
-                    std::vector<std::pair<std::string, double>> fields) {
-  rows_.emplace_back(name, std::move(fields));
+void BenchJson::Add(
+    const std::string& name,
+    std::vector<std::pair<std::string, double>> fields,
+    std::vector<std::pair<std::string, std::string>> text_fields) {
+  rows_.push_back({name, std::move(fields), std::move(text_fields)});
 }
 
 bool BenchJson::Write(const std::string& path) const {
   std::string out = "{\n  \"bench\": \"" + bench_name_ + "\",\n  \"results\": [";
   bool first_row = true;
-  for (const auto& [name, fields] : rows_) {
+  for (const auto& row : rows_) {
     out += first_row ? "\n" : ",\n";
     first_row = false;
-    out += "    {\"name\": \"" + name + "\"";
-    for (const auto& [key, value] : fields) {
+    out += "    {\"name\": \"" + row.name + "\"";
+    for (const auto& [key, value] : row.fields) {
       out += StrFormat(", \"%s\": %.6g", key.c_str(), value);
+    }
+    for (const auto& [key, value] : row.text_fields) {
+      out += StrFormat(", \"%s\": \"%s\"", key.c_str(), value.c_str());
     }
     out += "}";
   }

@@ -80,18 +80,24 @@ class BenchJson {
   explicit BenchJson(std::string bench_name)
       : bench_name_(std::move(bench_name)) {}
 
+  /// `text_fields` become JSON string values — provenance that is not a
+  /// number (e.g. which SIMD kernel produced a throughput row).
   void Add(const std::string& name,
-           std::vector<std::pair<std::string, double>> fields);
+           std::vector<std::pair<std::string, double>> fields,
+           std::vector<std::pair<std::string, std::string>> text_fields = {});
 
   /// Writes `{"bench": ..., "results": [...]}` to `path`; returns false
   /// (after logging to stderr) if the file cannot be written.
   bool Write(const std::string& path) const;
 
  private:
+  struct Row {
+    std::string name;
+    std::vector<std::pair<std::string, double>> fields;
+    std::vector<std::pair<std::string, std::string>> text_fields;
+  };
   std::string bench_name_;
-  std::vector<std::pair<std::string,
-                        std::vector<std::pair<std::string, double>>>>
-      rows_;
+  std::vector<Row> rows_;
 };
 
 }  // namespace biopera::bench

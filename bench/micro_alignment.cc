@@ -4,8 +4,10 @@
 // experiments assume.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
 #include "common/rng.h"
 #include "darwin/align.h"
+#include "darwin/align_simd.h"
 #include "darwin/banded.h"
 #include "darwin/generator.h"
 #include "darwin/pam.h"
@@ -36,6 +38,41 @@ void BM_SmithWatermanScore(benchmark::State& state) {
 }
 BENCHMARK(BM_SmithWatermanScore)->Arg(100)->Arg(360)->Arg(1000);
 
+// Striped-SIMD kernels (one query profile, a batch of targets) next to
+// the scalar baseline above; arg is the kernel enum value. Unsupported
+// kernels skip so the suite runs unchanged on non-AVX2 machines.
+void BM_SimdScorePairs(benchmark::State& state) {
+  const auto kernel = static_cast<SwKernel>(state.range(0));
+  if (!SwKernelSupported(kernel)) {
+    state.SkipWithError("kernel unsupported on this host");
+    return;
+  }
+  const size_t len = 360;
+  const size_t num_targets = 16;
+  Sequence query = MakeRandom(len, 31);
+  std::vector<Sequence> storage;
+  std::vector<const Sequence*> targets;
+  for (size_t t = 0; t < num_targets; ++t) {
+    storage.push_back(MakeRandom(len, 32 + t));
+  }
+  for (const auto& s : storage) targets.push_back(&s);
+  const PamFamily& family = SharedPamFamily();
+  const ScoringMatrix& matrix = family.Scoring(250);
+  const QuantizedMatrix& qmatrix = family.QuantizedScoring(250);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ScorePairs(query, targets, matrix, qmatrix, {}, kernel));
+  }
+  state.counters["cells/s"] = benchmark::Counter(
+      static_cast<double>(len) * len * num_targets * state.iterations(),
+      benchmark::Counter::kIsRate);
+  state.SetLabel(std::string(SwKernelName(kernel)));
+}
+BENCHMARK(BM_SimdScorePairs)
+    ->Arg(static_cast<int>(SwKernel::kScalar))
+    ->Arg(static_cast<int>(SwKernel::kSse2))
+    ->Arg(static_cast<int>(SwKernel::kAvx2));
+
 void BM_BandedSmithWaterman(benchmark::State& state) {
   const size_t len = 360;
   const size_t band = static_cast<size_t>(state.range(0));
@@ -46,7 +83,13 @@ void BM_BandedSmithWaterman(benchmark::State& state) {
     benchmark::DoNotOptimize(
         BandedSmithWatermanScore(a, b, matrix, band));
   }
+  // Cells actually computed per pass: len rows of (at most) 2*band+1.
   state.counters["band"] = static_cast<double>(band);
+  state.counters["cells/s"] = benchmark::Counter(
+      static_cast<double>(len) *
+          static_cast<double>(std::min(2 * band + 1, len)) *
+          state.iterations(),
+      benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_BandedSmithWaterman)->Arg(16)->Arg(64)->Arg(512);
 
@@ -100,4 +143,7 @@ BENCHMARK(BM_DatasetGeneration)->Arg(100)->Arg(532);
 }  // namespace
 }  // namespace biopera::darwin
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return biopera::bench::RunBenchmarkMain(argc, argv,
+                                          "BENCH_micro_alignment.json");
+}

@@ -5,11 +5,20 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "exec/thread_pool.h"
 #include "obs/json.h"
 #include "ocr/ocr_text.h"
 #include "store/codec.h"
 
 namespace biopera::core {
+
+/// One speculative activity execution: the input it ran with (captured on
+/// the engine thread), and the result filled in by a pool worker. The
+/// pool's batch join publishes `output` before the scan reads it.
+struct Engine::PreExecState {
+  ActivityInput input;
+  std::optional<Result<ActivityOutput>> output;
+};
 
 using ocr::ControlConnector;
 using ocr::ProcessDef;
@@ -286,6 +295,10 @@ Engine::Engine(Simulator* sim, cluster::ClusterSim* cluster,
     pump_runs_metric_ = obs->metrics.GetCounter("engine_pump_runs_total");
     pump_scanned_metric_ =
         obs->metrics.GetCounter("engine_pump_entries_scanned_total");
+    preexec_batches_metric_ =
+        obs->metrics.GetCounter("engine_preexec_batches_total");
+    preexec_tasks_metric_ =
+        obs->metrics.GetCounter("engine_preexec_activities_total");
     completed_metric_ = obs->metrics.GetCounter("engine_tasks_completed_total");
     failed_metric_ = obs->metrics.GetCounter("engine_tasks_failed_total");
     timed_out_metric_ = obs->metrics.GetCounter("engine_jobs_timed_out_total");
@@ -1735,6 +1748,41 @@ void Engine::SchedulePumpRetry() {
   });
 }
 
+void Engine::PreExecuteReady() {
+  if (options_.executor == nullptr || storage_failing_) return;
+  std::vector<std::function<void()>> tasks;
+  for (auto& [key, entry] : ready_) {
+    if (entry.cached.has_value() || entry.pre_exec != nullptr) continue;
+    // Mirror the scan's validation: only entries it would execute are
+    // worth speculating on. Entries that fail validation here are left
+    // for the scan, which reports failures in deterministic order.
+    ProcessInstance* inst = FindInstance(entry.instance_id);
+    if (inst == nullptr || inst->state() != InstanceState::kRunning) {
+      continue;
+    }
+    TaskNode* node = inst->FindByPath(entry.path);
+    if (node == nullptr || node->state != TaskState::kReady) continue;
+    std::string binding =
+        node->binding_used.empty() ? node->def->binding : node->binding_used;
+    Result<ActivityFn> fn = registry_->Find(binding);
+    if (!fn.ok()) continue;
+    Result<ActivityInput> input = BuildInput(inst, node);
+    if (!input.ok()) continue;
+    auto state = std::make_shared<PreExecState>();
+    state->input = std::move(*input);
+    entry.pre_exec = state;
+    tasks.push_back([state, fn = std::move(*fn)] {
+      state->output = fn(state->input);
+    });
+  }
+  if (tasks.empty()) return;
+  if (preexec_batches_metric_ != nullptr) {
+    preexec_batches_metric_->Increment();
+    preexec_tasks_metric_->Increment(tasks.size());
+  }
+  options_.executor->RunBatch(std::move(tasks));
+}
+
 void Engine::PumpDispatch() {
   if (!up_ || degraded_) return;  // degraded: no dispatch until writes heal
   // One commit group per pump: state transitions for all entries handled
@@ -1742,6 +1790,11 @@ void Engine::PumpDispatch() {
   // the pre-dispatch flush barriers below.
   RecordStore::CommitScope commit_group(GroupTarget());
   if (pump_runs_metric_ != nullptr) pump_runs_metric_->Increment();
+  // Real-thread execution beneath virtual time: run all ready activity
+  // kernels concurrently and join before the scan consumes anything, so
+  // scan order — and with it every commit, span, lineage record and
+  // trace event — is exactly the inline order.
+  PreExecuteReady();
   pumping_ = true;
   pump_frozen_.clear();
   bool starved = false;
@@ -1803,8 +1856,18 @@ void Engine::PumpDispatch() {
           node->binding_used.empty() ? node->def->binding : node->binding_used;
       Result<ActivityFn> fn = registry_->Find(binding);
       Result<ActivityInput> input = BuildInput(inst, node);
+      // A speculative pool execution is consumed only when the freshly
+      // assembled input equals the one it ran with; earlier entries in
+      // this scan may have navigated state that changes the input, in
+      // which case the activity re-runs inline (it is pure, so an equal
+      // input guarantees the inline result).
+      std::shared_ptr<PreExecState> pre = std::move(entry.pre_exec);
+      bool use_pre = pre != nullptr && pre->output.has_value() &&
+                     fn.ok() && input.ok() && !storage_failing_ &&
+                     pre->input.params == input->params;
       Result<ActivityOutput> output =
-          !fn.ok() ? Result<ActivityOutput>(fn.status())
+          use_pre ? std::move(*pre->output)
+          : !fn.ok() ? Result<ActivityOutput>(fn.status())
           : !input.ok()
               ? Result<ActivityOutput>(input.status())
               : (storage_failing_

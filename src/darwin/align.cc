@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <vector>
+
+#include "darwin/align_simd.h"
 
 namespace biopera::darwin {
 
@@ -121,10 +124,24 @@ Result<AlignmentResult> SmithWatermanAlign(const Sequence& a,
 
 namespace {
 
+// Aligns (a, b) under the matrix at `pam`, memoized per refinement so no
+// pair is fully aligned twice at the same distance: the coarse grid and
+// the golden-section narrowing share the cache (the narrowing routinely
+// lands back on grid points, e.g. when min_pam * 2^k == max_pam). Scoring
+// runs through the striped SIMD kernel with exact-scalar promotion.
 double EvalPam(const Sequence& a, const Sequence& b, const PamFamily& family,
-               const GapPenalty& gaps, int pam, RefinementResult* stats) {
+               const GapPenalty& gaps, int pam, RefinementResult* stats,
+               std::map<int, double>* memo) {
+  auto it = memo->find(pam);
+  if (it != memo->end()) {
+    ++stats->cache_hits;
+    return it->second;
+  }
   ++stats->evaluations;
-  return SmithWatermanScore(a, b, family.Scoring(pam), gaps);
+  double score = SimdSmithWatermanScore(a, b, family.Scoring(pam),
+                                        family.QuantizedScoring(pam), gaps);
+  memo->emplace(pam, score);
+  return score;
 }
 
 }  // namespace
@@ -134,6 +151,7 @@ RefinementResult RefinePamDistance(const Sequence& a, const Sequence& b,
                                    const GapPenalty& gaps,
                                    const RefinementOptions& options) {
   RefinementResult result;
+  std::map<int, double> memo;
   // Coarse log-spaced scan.
   int best_pam = options.min_pam;
   double best_score = -1;
@@ -144,7 +162,7 @@ RefinementResult RefinePamDistance(const Sequence& a, const Sequence& b,
   grid.push_back(options.max_pam);
   int best_idx = 0;
   for (size_t k = 0; k < grid.size(); ++k) {
-    double s = EvalPam(a, b, family, gaps, grid[k], &result);
+    double s = EvalPam(a, b, family, gaps, grid[k], &result, &memo);
     if (s > best_score) {
       best_score = s;
       best_pam = grid[k];
@@ -160,8 +178,8 @@ RefinementResult RefinePamDistance(const Sequence& a, const Sequence& b,
   while (hi - lo > 8) {
     int m1 = lo + (hi - lo) / 3;
     int m2 = hi - (hi - lo) / 3;
-    double s1 = EvalPam(a, b, family, gaps, m1, &result);
-    double s2 = EvalPam(a, b, family, gaps, m2, &result);
+    double s1 = EvalPam(a, b, family, gaps, m1, &result, &memo);
+    double s2 = EvalPam(a, b, family, gaps, m2, &result, &memo);
     if (s1 > best_score) {
       best_score = s1;
       best_pam = m1;

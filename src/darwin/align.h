@@ -47,6 +47,7 @@ struct RefinementResult {
   int best_pam = 0;
   double best_score = 0;
   int evaluations = 0;  // number of full alignments computed
+  int cache_hits = 0;   // distances re-queried but served from the memo
 };
 
 struct RefinementOptions {

@@ -4,6 +4,13 @@
 
 namespace biopera::darwin {
 
+CostModelOptions CalibratedCostOptions(double cells_per_second,
+                                       const CostModelOptions& base) {
+  CostModelOptions out = base;
+  if (cells_per_second > 0) out.sw_cell_seconds = 1.0 / cells_per_second;
+  return out;
+}
+
 Duration CostModel::PairCost(size_t len_a, size_t len_b) const {
   double cells = static_cast<double>(len_a) * static_cast<double>(len_b);
   return Duration::Seconds(cells * options_.sw_cell_seconds);

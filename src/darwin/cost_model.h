@@ -35,6 +35,16 @@ struct CostModelOptions {
   double match_io_seconds = 2e-4;
 };
 
+/// Re-bases a cost model on a *measured* alignment throughput (DP
+/// cells/second of whichever kernel the host machine resolved — scalar,
+/// SSE2 or AVX2; see ResolveSwKernel / BENCH_alignment.json). Only
+/// `sw_cell_seconds` changes; the era-calibrated defaults above stay the
+/// reference for reproducing the paper's figures, so callers opt into a
+/// modern-hardware model explicitly and record the kernel provenance
+/// alongside the derived number.
+CostModelOptions CalibratedCostOptions(double cells_per_second,
+                                       const CostModelOptions& base = {});
+
 class CostModel {
  public:
   explicit CostModel(const CostModelOptions& options = {})

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 
 namespace biopera::darwin {
 
@@ -76,6 +77,11 @@ PamFamily::PamFamily() {
 }
 
 const MutationMatrix& PamFamily::Mutation(int n) const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return MutationLocked(n);
+}
+
+const MutationMatrix& PamFamily::MutationLocked(int n) const {
   assert(n >= 1 && n <= kMaxPam);
   auto it = mutation_cache_.find(n);
   if (it != mutation_cache_.end()) return *it->second;
@@ -84,7 +90,7 @@ const MutationMatrix& PamFamily::Mutation(int n) const {
     result->p = pam1_.p;
   } else {
     // Binary exponentiation over cached powers.
-    const MutationMatrix& half = Mutation(n / 2);
+    const MutationMatrix& half = MutationLocked(n / 2);
     result->p = Multiply(half.p, half.p);
     if (n % 2 == 1) result->p = Multiply(result->p, pam1_.p);
   }
@@ -95,9 +101,10 @@ const MutationMatrix& PamFamily::Mutation(int n) const {
 
 const ScoringMatrix& PamFamily::Scoring(int n) const {
   assert(n >= 1 && n <= kMaxPam);
+  std::lock_guard<std::mutex> lock(cache_mu_);
   auto it = scoring_cache_.find(n);
   if (it != scoring_cache_.end()) return *it->second;
-  const MutationMatrix& m = Mutation(n);
+  const MutationMatrix& m = MutationLocked(n);
   const auto& f = BackgroundFrequencies();
   auto result = std::make_unique<ScoringMatrix>();
   result->pam = n;
@@ -109,6 +116,37 @@ const ScoringMatrix& PamFamily::Scoring(int n) const {
   const ScoringMatrix& ref = *result;
   scoring_cache_[n] = std::move(result);
   return ref;
+}
+
+const QuantizedMatrix& PamFamily::QuantizedScoring(int n) const {
+  const ScoringMatrix& scoring = Scoring(n);
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = quantized_cache_.find(n);
+  if (it != quantized_cache_.end()) return *it->second;
+  auto result = std::make_unique<QuantizedMatrix>(QuantizeScoring(scoring));
+  const QuantizedMatrix& ref = *result;
+  quantized_cache_[n] = std::move(result);
+  return ref;
+}
+
+QuantizedMatrix QuantizeScoring(const ScoringMatrix& matrix) {
+  QuantizedMatrix q;
+  q.pam = matrix.pam;
+  for (int i = 0; i < kAlphabetSize; ++i) {
+    for (int j = 0; j < kAlphabetSize; ++j) {
+      double scaled = matrix.score[i][j] * kSwScoreScale;
+      long rounded = std::lround(scaled);
+      if (rounded > INT16_MAX) rounded = INT16_MAX;
+      if (rounded < INT16_MIN) rounded = INT16_MIN;
+      q.score[i][j] = static_cast<int16_t>(rounded);
+      if (q.score[i][j] > q.max_score) q.max_score = q.score[i][j];
+      double err = std::abs(static_cast<double>(q.score[i][j]) /
+                                kSwScoreScale -
+                            matrix.score[i][j]);
+      if (err > q.max_entry_error) q.max_entry_error = err;
+    }
+  }
+  return q;
 }
 
 double PamFamily::ExpectedDifference(int n) const {

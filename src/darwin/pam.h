@@ -2,8 +2,10 @@
 #define BIOPERA_DARWIN_PAM_H_
 
 #include <array>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "darwin/sequence.h"
 
@@ -17,6 +19,29 @@ struct ScoringMatrix {
 
   double operator()(int a, int b) const { return score[a][b]; }
 };
+
+/// Fixed-point quantization scale for the integer SIMD kernels: one
+/// Dayhoff log-odds unit maps to kSwScoreScale int16 units. A power of
+/// two so de-quantizing (quantized / kSwScoreScale) is exact in double.
+inline constexpr int kSwScoreScale = 8;
+
+/// A ScoringMatrix quantized to saturating int16 units for the striped
+/// SIMD kernels (see src/darwin/align_simd.h and docs/KERNELS.md).
+/// Entry (i, j) = round(score[i][j] * kSwScoreScale), clamped to the
+/// int16 range.
+struct QuantizedMatrix {
+  double pam = 0;
+  std::array<std::array<int16_t, kAlphabetSize>, kAlphabetSize> score{};
+  int16_t max_score = 0;  // largest entry; bounds per-cell growth
+  // Largest |rounded - exact| over all entries, in log-odds units; feeds
+  // the per-pair quantization error bound (align_simd.h).
+  double max_entry_error = 0;
+
+  int16_t operator()(int a, int b) const { return score[a][b]; }
+};
+
+/// Quantizes a double scoring matrix to int16 units (scale kSwScoreScale).
+QuantizedMatrix QuantizeScoring(const ScoringMatrix& matrix);
 
 /// A 20x20 row-stochastic residue mutation matrix: entry (i, j) is the
 /// probability that residue i is observed as j after the matrix's
@@ -42,10 +67,18 @@ class PamFamily {
   PamFamily();
 
   /// Mutation matrix at integer PAM distance n >= 1 (cached).
+  /// Thread-safe: activity kernels score concurrently on the executor
+  /// pool (src/exec/) and share the process-wide family.
   const MutationMatrix& Mutation(int n) const;
 
-  /// Scoring matrix at integer PAM distance n >= 1 (cached).
+  /// Scoring matrix at integer PAM distance n >= 1 (cached, thread-safe).
   const ScoringMatrix& Scoring(int n) const;
+
+  /// Scoring matrix quantized for the SIMD kernels at integer PAM
+  /// distance n >= 1 (cached, thread-safe). Cached per matrix so batched
+  /// scoring never re-quantizes; the striped query profile itself is
+  /// rebuilt per (query, matrix) — it is O(20 * len) to build.
+  const QuantizedMatrix& QuantizedScoring(int n) const;
 
   /// Expected fraction of mutated positions after n PAM units.
   double ExpectedDifference(int n) const;
@@ -55,9 +88,14 @@ class PamFamily {
   static constexpr int kMaxPam = 1000;
 
  private:
+  // Assumes cache_mu_ is held; Mutation recurses through cached powers.
+  const MutationMatrix& MutationLocked(int n) const;
+
   MutationMatrix pam1_;
+  mutable std::mutex cache_mu_;
   mutable std::map<int, std::unique_ptr<MutationMatrix>> mutation_cache_;
   mutable std::map<int, std::unique_ptr<ScoringMatrix>> scoring_cache_;
+  mutable std::map<int, std::unique_ptr<QuantizedMatrix>> quantized_cache_;
 };
 
 /// Returns the process-wide shared family (construction is cheap; powers

@@ -1,0 +1,63 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace biopera::exec {
+
+ThreadPool::ThreadPool(size_t threads) {
+  size_t n = std::max<size_t>(1, threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+size_t ThreadPool::HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+bool ThreadPool::RunOneTask(std::unique_lock<std::mutex>* lock) {
+  if (queue_.empty()) return false;
+  std::function<void()> task = std::move(queue_.front());
+  queue_.pop_front();
+  lock->unlock();
+  task();
+  lock->lock();
+  if (--in_flight_ == 0) done_cv_.notify_all();
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (RunOneTask(&lock)) continue;
+    if (stopping_) return;
+    work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+  }
+}
+
+void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (auto& task : tasks) queue_.push_back(std::move(task));
+  in_flight_ += tasks.size();
+  work_cv_.notify_all();
+  // The caller is a worker too: drain what we can, then wait for the
+  // stragglers other threads are still running.
+  while (RunOneTask(&lock)) {
+  }
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+}  // namespace biopera::exec

@@ -1,0 +1,62 @@
+#ifndef BIOPERA_EXEC_THREAD_POOL_H_
+#define BIOPERA_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace biopera::exec {
+
+/// A batch-oriented pool of real OS threads beneath the virtual-time
+/// engine. The engine hands it one batch of activity kernels per pump
+/// (see Engine::PreExecuteReady), blocks until every task has finished,
+/// and only then applies results in deterministic scan order — so the
+/// pool changes wall-clock time, never virtual time.
+///
+/// RunBatch is synchronous and single-caller by design: there is no
+/// cross-batch queueing to reason about, and a crashed/aborted batch
+/// cannot leak tasks into the next one. The calling thread drains tasks
+/// too, so a pool on a single-core machine degenerates to inline
+/// execution plus a bounded constant of synchronization.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to at least 1). Use
+  /// HardwareThreads() for "one per core".
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (excluding the RunBatch caller).
+  size_t size() const { return workers_.size(); }
+
+  /// Runs every task, returning once all have completed. Tasks must not
+  /// call RunBatch on the same pool. Tasks run concurrently: anything
+  /// they touch must be thread-safe or task-local.
+  void RunBatch(std::vector<std::function<void()>> tasks);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static size_t HardwareThreads();
+
+ private:
+  void WorkerLoop();
+  // Pops and runs one queued task; returns false if the queue was empty.
+  bool RunOneTask(std::unique_lock<std::mutex>* lock);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait: queue non-empty/stop
+  std::condition_variable done_cv_;  // caller waits: batch drained
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently running tasks
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace biopera::exec
+
+#endif  // BIOPERA_EXEC_THREAD_POOL_H_
