@@ -59,7 +59,8 @@ std::string MakeTempDir() {
 }
 }  // namespace
 
-BenchWorld::BenchWorld(const core::EngineOptions& options)
+BenchWorld::BenchWorld(const core::EngineOptions& options,
+                       bool with_fault_channel)
     : store_dir(MakeTempDir()),
       fault_fs(std::make_unique<FaultFs>(Fs::Default())) {
   auto opened = RecordStore::Open(store_dir, fault_fs.get());
@@ -73,6 +74,11 @@ BenchWorld::BenchWorld(const core::EngineOptions& options)
   core::EngineOptions engine_options = options;
   if (engine_options.observability == nullptr) {
     engine_options.observability = &obs;
+  }
+  if (with_fault_channel && engine_options.channel == nullptr) {
+    channel = std::make_unique<comms::FaultChannel>();
+    channel->BindSimulator(&sim);
+    engine_options.channel = channel.get();
   }
   engine = std::make_unique<core::Engine>(&sim, cluster.get(), store.get(),
                                           &registry, engine_options);

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "comms/channel.h"
 #include "common/rng.h"
 #include "core/engine.h"
 #include "obs/trace.h"
@@ -45,7 +46,13 @@ void AddIkLinuxCluster(cluster::ClusterSim* cluster, int cpus = 1);
 /// supplies its own context in `options`, the world's `obs` instruments
 /// the whole stack, so every bench can dump a metrics snapshot.
 struct BenchWorld {
-  explicit BenchWorld(const core::EngineOptions& options = {});
+  /// With `with_fault_channel` the engine talks to the PECs through a
+  /// FaultChannel owned by the world (bound to `sim`, installed as
+  /// EngineOptions.channel) so scenarios can script message-level faults
+  /// and per-link partitions. Off by default: the fault-free benches keep
+  /// the engine's own channel and stay byte-identical to their fixtures.
+  explicit BenchWorld(const core::EngineOptions& options = {},
+                      bool with_fault_channel = false);
   ~BenchWorld();
   BenchWorld(const BenchWorld&) = delete;
   BenchWorld& operator=(const BenchWorld&) = delete;
@@ -53,6 +60,9 @@ struct BenchWorld {
   Simulator sim;
   std::string store_dir;
   obs::Observability obs;
+  /// The control-plane fault injector (null unless requested). Declared
+  /// before `engine` so it outlives the engine's detach.
+  std::unique_ptr<comms::FaultChannel> channel;
   /// The store runs behind a fault filesystem so scenarios can script
   /// storage outages (e.g. a disk-full window) the way they script node
   /// crashes. Declared before `store` so it outlives it.

@@ -93,7 +93,9 @@ int Main(int argc, char** argv) {
   std::string report_path;
   std::string lineage_path;
   std::string diff_path;
+  std::string comms_json_path = "BENCH_comms.json";
   bool diff_mode = false;
+  bool storm_mode = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--timeline=", 11) == 0) {
       timeline_path = argv[i] + 11;
@@ -112,11 +114,17 @@ int Main(int argc, char** argv) {
       diff_mode = true;
     } else if (std::strcmp(argv[i], "--diff") == 0) {
       diff_mode = true;
+    } else if (std::strncmp(argv[i], "--comms-json=", 13) == 0) {
+      comms_json_path = argv[i] + 13;
+    } else if (std::strcmp(argv[i], "--partition-storm") == 0) {
+      storm_mode = true;
     }
   }
   std::printf("== Figure 5: lifecycle of the all-vs-all (first run, shared "
-              "cluster) ==\n\n");
-  ScenarioResult r = RunSharedClusterScenario(/*seed=*/38);
+              "cluster%s) ==\n\n",
+              storm_mode ? ", under a control-plane partition storm" : "");
+  ScenarioResult r = RunSharedClusterScenario(
+      /*seed=*/38, /*cluster_outage_shift=*/Duration::Zero(), storm_mode);
   if (!timeline_path.empty()) WriteFileOrWarn(timeline_path, r.timeline_csv);
   if (!trace_path.empty()) WriteFileOrWarn(trace_path, r.trace_jsonl);
   if (!spans_path.empty()) WriteFileOrWarn(spans_path, r.spans_jsonl);
@@ -162,9 +170,21 @@ int Main(int argc, char** argv) {
                   ? "yes"
                   : "NO",
               attribution_gap.ToString().c_str());
+  if (storm_mode) {
+    std::printf("\n%s", RenderCommsStats(r).c_str());
+    if (!WriteCommsJson(r, "fig5_partition_storm", comms_json_path)) {
+      return 2;
+    }
+  }
   if (diff_mode) {
-    int diff_rc = RunDiffChecks(r, diff_path);
-    if (diff_rc != 0) return diff_rc;
+    if (storm_mode) {
+      // The diff baselines are fault-free runs; a storm run would diff
+      // against them everywhere by construction.
+      std::printf("\n(--diff skipped under --partition-storm)\n");
+    } else {
+      int diff_rc = RunDiffChecks(r, diff_path);
+      if (diff_rc != 0) return diff_rc;
+    }
   }
   return r.completed ? 0 : 1;
 }

@@ -6,6 +6,8 @@
 // 8 to 16 processors at the mid-run upgrade which BioOpera exploits
 // immediately and automatically.
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench/scenario.h"
 #include "common/strings.h"
@@ -13,10 +15,20 @@
 namespace biopera::bench {
 namespace {
 
-int Main() {
+int Main(int argc, char** argv) {
+  std::string comms_json_path = "BENCH_comms_fig6.json";
+  bool storm_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--partition-storm") == 0) {
+      storm_mode = true;
+    } else if (std::strncmp(argv[i], "--comms-json=", 13) == 0) {
+      comms_json_path = argv[i] + 13;
+    }
+  }
   std::printf("== Figure 6: lifecycle of the all-vs-all (second run, "
-              "non-shared cluster) ==\n\n");
-  ScenarioResult r = RunNonSharedClusterScenario(/*seed=*/38);
+              "non-shared cluster%s) ==\n\n",
+              storm_mode ? ", under a control-plane partition storm" : "");
+  ScenarioResult r = RunNonSharedClusterScenario(/*seed=*/38, storm_mode);
   std::printf("%s\n", RenderLifecycle(r, /*height=*/8).c_str());
 
   double avail_avg = r.availability.TimeAverage(0, r.wall_days);
@@ -40,10 +52,16 @@ int Main() {
               "(util %.1f -> %.1f): %s\n",
               util_before, util_after,
               util_after > 1.6 * util_before ? "yes" : "NO");
+  if (storm_mode) {
+    std::printf("\n%s", RenderCommsStats(r).c_str());
+    if (!WriteCommsJson(r, "fig6_partition_storm", comms_json_path)) {
+      return 2;
+    }
+  }
   return r.completed ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace biopera::bench
 
-int main() { return biopera::bench::Main(); }
+int main(int argc, char** argv) { return biopera::bench::Main(argc, argv); }

@@ -59,6 +59,66 @@ void RunToCompletion(BenchWorld* world, const std::string& id,
   }
 }
 
+/// Lease-mode engine settings for a partition-storm run: death and
+/// rebirth are detected from heartbeats (month-scale cadence, so the
+/// heartbeat traffic stays proportionate to the run), and the job
+/// watchdog backstops completions whose report the storm swallowed.
+void ApplyStormEngineOptions(core::EngineOptions* options) {
+  options->heartbeat_interval = Duration::Minutes(5);
+  options->lease_misses_to_suspect = 3;
+  // TEUs are day-scale: ride out the typical short partition (suspect,
+  // reconcile) and condemn only the long tail, so rescheduling does not
+  // dominate the storm run.
+  options->lease_condemn_grace = Duration::Minutes(45);
+  options->job_timeout_factor = 3.0;
+}
+
+/// Arms the storm: a steady message-fault profile on every link plus
+/// random asymmetric per-link partitions and short link flaps for the
+/// whole run. Both rngs must outlive the run (the partition/flap daemons
+/// keep drawing from them).
+void ArmPartitionStorm(BenchWorld* world, cluster::FailureInjector* inject,
+                       Rng* fault_rng, Rng* env_rng) {
+  comms::FaultProfile profile;
+  profile.drop = 0.02;
+  profile.dup = 0.03;
+  profile.delay = 0.02;
+  profile.reorder = 0.03;
+  profile.delay_min = Duration::Seconds(5);
+  profile.delay_max = Duration::Minutes(2);
+  world->channel->SetRandomFaults(profile, fault_rng);
+  inject->StartRandomPartitions(world->channel.get(), Duration::Hours(8),
+                                Duration::Minutes(20), env_rng);
+  inject->StartRandomFlaps(world->channel.get(), Duration::Hours(12),
+                           Duration::Minutes(1), env_rng);
+}
+
+/// Heals the storm and drains: faults off, all links reconnected, every
+/// node repaired, then up to 70 more days for the backlog. The storm's
+/// stale load views leave the small clusters heavily oversubscribed
+/// (day-scale jobs time-sharing a CPU at a fraction of their speed), so
+/// the drained tail is long; a failed instance is restarted — the storm
+/// can exhaust retry budgets.
+void QuiesceAfterStorm(BenchWorld* world, cluster::FailureInjector* inject,
+                       const std::string& id) {
+  world->channel->StopRandomFaults();
+  inject->StopRandomPartitions();
+  inject->StopRandomFlaps();
+  for (const auto& node : world->cluster->Nodes()) {
+    world->cluster->RepairNode(node.name);
+    world->channel->SetConnected(node.name, true);
+  }
+  for (int i = 0; i < 280; ++i) {
+    world->sim.RunFor(Duration::Hours(6));
+    auto state = world->engine->GetInstanceState(id);
+    if (!state.ok()) break;
+    if (*state == core::InstanceState::kDone) break;
+    if (*state == core::InstanceState::kFailed) {
+      (void)world->engine->Restart(id);
+    }
+  }
+}
+
 ScenarioResult Collect(BenchWorld* world, const std::string& id,
                        int manual_interventions) {
   ScenarioResult result;
@@ -76,7 +136,28 @@ ScenarioResult Collect(BenchWorld* world, const std::string& id,
   result.monitor_reports = mon.reports_sent;
   result.max_cpus = static_cast<int>(result.availability.MaxOver(0, 1e9));
   result.manual_interventions = manual_interventions;
-  result.metrics_text = world->obs.metrics.Snapshot().ToText();
+  obs::MetricsSnapshot snapshot = world->obs.metrics.Snapshot();
+  result.metrics_text = snapshot.ToText();
+  if (world->channel != nullptr) {
+    auto metric = [&snapshot](const char* key) {
+      const auto* entry = snapshot.Find(key);
+      return entry != nullptr ? entry->value : 0.0;
+    };
+    result.comms.enabled = true;
+    result.comms.faults_injected = world->channel->faults_injected();
+    result.comms.nodes_suspected =
+        metric("engine_comms_nodes_suspected_total");
+    result.comms.nodes_condemned =
+        metric("engine_comms_nodes_condemned_total");
+    result.comms.nodes_reconciled =
+        metric("engine_comms_nodes_reconciled_total");
+    result.comms.reports_fenced = metric("engine_comms_reports_fenced_total");
+    result.comms.reports_duplicate =
+        metric("engine_comms_reports_duplicate_total");
+    result.comms.kill_retries = metric("engine_comms_kill_retries_total");
+    result.comms.kills_abandoned =
+        metric("engine_comms_kills_abandoned_total");
+  }
   result.trace_jsonl = world->obs.trace.ExportJsonl();
   result.timeline_csv = obs::TimelineCsv(
       obs::BuildTimeline(world->obs.trace, ""), world->obs.trace.dropped());
@@ -105,19 +186,23 @@ ScenarioResult Collect(BenchWorld* world, const std::string& id,
 }  // namespace
 
 ScenarioResult RunSharedClusterScenario(uint64_t seed,
-                                        Duration cluster_outage_shift) {
+                                        Duration cluster_outage_shift,
+                                        bool partition_storm) {
   core::EngineOptions options;
   options.dispatch_retry = Duration::Minutes(10);
   options.checkpoint_every_commits = 5000;
   // The lineage header names the run's seed; the least_loaded policy never
   // draws from the engine rng, so this changes no scheduling decision.
   options.seed = seed;
-  BenchWorld world(options);
+  if (partition_storm) ApplyStormEngineOptions(&options);
+  BenchWorld world(options, /*with_fault_channel=*/partition_storm);
   AddLinneusCluster(world.cluster.get());
   AddIkSunCluster(world.cluster.get(), /*nodes=*/2);
 
   auto ctx = MakeSp38Context(seed);
   Rng env_rng(seed ^ 0xfeedULL);
+  Rng storm_fault_rng(seed ^ 0xfa17ULL);
+  Rng storm_env_rng(seed ^ 0x5707ULL);
 
   // Other users of the shared cluster: episodes that often fill entire
   // machines (BioOpera runs in nice mode and yields to them).
@@ -131,6 +216,9 @@ ScenarioResult RunSharedClusterScenario(uint64_t seed,
 
   std::string id = StartAllVsAll(&world, ctx);
   cluster::FailureInjector inject(world.cluster.get());
+  if (partition_storm) {
+    ArmPartitionStorm(&world, &inject, &storm_fault_rng, &storm_env_rng);
+  }
   core::Engine* engine = world.engine.get();
   cluster::ClusterSim* cluster = world.cluster.get();
   Simulator* sim = &world.sim;
@@ -224,21 +312,29 @@ ScenarioResult RunSharedClusterScenario(uint64_t seed,
     cluster->SetConnected("ik-sun1", true);
   });
 
-  RunToCompletion(&world, id, /*max_days=*/90);
+  RunToCompletion(&world, id, /*max_days=*/partition_storm ? 120 : 90);
+  if (partition_storm) QuiesceAfterStorm(&world, &inject, id);
   return Collect(&world, id, manual);
 }
 
-ScenarioResult RunNonSharedClusterScenario(uint64_t seed) {
+ScenarioResult RunNonSharedClusterScenario(uint64_t seed,
+                                           bool partition_storm) {
   core::EngineOptions options;
   options.dispatch_retry = Duration::Minutes(10);
   options.checkpoint_every_commits = 5000;
   options.seed = seed;
-  BenchWorld world(options);
+  if (partition_storm) ApplyStormEngineOptions(&options);
+  BenchWorld world(options, /*with_fault_channel=*/partition_storm);
   AddIkLinuxCluster(world.cluster.get(), /*cpus=*/1);
 
   auto ctx = MakeSp38Context(seed);
+  Rng storm_fault_rng(seed ^ 0xfa17ULL);
+  Rng storm_env_rng(seed ^ 0x5707ULL);
   std::string id = StartAllVsAll(&world, ctx);
   cluster::FailureInjector inject(world.cluster.get());
+  if (partition_storm) {
+    ArmPartitionStorm(&world, &inject, &storm_fault_rng, &storm_env_rng);
+  }
   core::Engine* engine = world.engine.get();
   int manual = 0;
 
@@ -266,7 +362,8 @@ ScenarioResult RunNonSharedClusterScenario(uint64_t seed) {
   inject.ScheduleCpuUpgrade(TimePoint::FromMicros(0) + Duration::Days(25), 2,
                             "OS config change: 2nd processor per node");
 
-  RunToCompletion(&world, id, /*max_days=*/90);
+  RunToCompletion(&world, id, /*max_days=*/partition_storm ? 120 : 90);
+  if (partition_storm) QuiesceAfterStorm(&world, &inject, id);
   return Collect(&world, id, manual);
 }
 
@@ -291,6 +388,46 @@ std::string RenderLifecycle(const ScenarioResult& result, int height) {
     }
   }
   return out;
+}
+
+std::string RenderCommsStats(const ScenarioResult& result) {
+  if (!result.comms.enabled) return "";
+  const CommsStats& c = result.comms;
+  std::string out = "partition storm (lossy control plane):\n";
+  out += StrFormat("  message faults injected: %llu "
+                   "(drop/dup/delay/reorder)\n",
+                   (unsigned long long)c.faults_injected);
+  out += StrFormat("  lease detector: %.0f suspected, %.0f condemned, "
+                   "%.0f reconciled\n",
+                   c.nodes_suspected, c.nodes_condemned, c.nodes_reconciled);
+  out += StrFormat("  exactly-once: %.0f stale reports fenced, %.0f "
+                   "duplicates suppressed\n",
+                   c.reports_fenced, c.reports_duplicate);
+  out += StrFormat("  kill protocol: %.0f retries, %.0f abandoned to "
+                   "condemnation\n",
+                   c.kill_retries, c.kills_abandoned);
+  return out;
+}
+
+bool WriteCommsJson(const ScenarioResult& result,
+                    const std::string& bench_name, const std::string& path) {
+  if (!result.comms.enabled) return false;
+  const CommsStats& c = result.comms;
+  BenchJson json(bench_name);
+  json.Add("partition_storm",
+           {{"completed", result.completed ? 1.0 : 0.0},
+            {"wall_days", result.wall_days},
+            {"faults_injected", static_cast<double>(c.faults_injected)},
+            {"nodes_suspected", c.nodes_suspected},
+            {"nodes_condemned", c.nodes_condemned},
+            {"nodes_reconciled", c.nodes_reconciled},
+            {"reports_fenced", c.reports_fenced},
+            {"reports_duplicate", c.reports_duplicate},
+            {"kill_retries", c.kill_retries},
+            {"kills_abandoned", c.kills_abandoned},
+            {"manual_interventions",
+             static_cast<double>(result.manual_interventions)}});
+  return json.Write(path);
 }
 
 }  // namespace biopera::bench

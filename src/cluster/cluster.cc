@@ -51,7 +51,9 @@ Status ClusterSim::AddNode(const NodeConfig& config) {
   Node node;
   node.config = config;
   node.last_update = sim_->Now();
-  nodes_.emplace(config.name, std::move(node));
+  auto [it, inserted] = nodes_.emplace(config.name, std::move(node));
+  (void)inserted;
+  ArmHeartbeat(&it->second);  // no-op unless heartbeats are enabled
   UpdateTrace();
   return Status::OK();
 }
@@ -135,22 +137,44 @@ void ClusterSim::Reschedule(Node* node) {
   }
 }
 
-Status ClusterSim::StartJob(JobId id, const std::string& node_name,
-                            Duration work) {
-  Node* node = Find(node_name);
-  if (node == nullptr) return Status::NotFound("node " + node_name);
-  if (!node->up) return Status::Unavailable("node " + node_name + " is down");
+bool ClusterSim::CommandReachable(const Node& node) const {
+  if (channel_ != nullptr) return channel_->CommandLinkUp(node.config.name);
+  return node.connected;
+}
+
+bool ClusterSim::ReportReachable(const Node& node) const {
+  if (channel_ != nullptr) return channel_->ReportLinkUp(node.config.name);
+  return node.connected;
+}
+
+Status ClusterSim::StartJobInternal(JobId id, Node* node, Duration work,
+                                    uint64_t fence) {
+  if (!node->up) {
+    return Status::Unavailable("node " + node->config.name + " is down");
+  }
   if (job_locations_.contains(id)) {
     return Status::AlreadyExists(StrFormat("job %llu already running",
                                            static_cast<unsigned long long>(id)));
   }
   Advance(node);
   node->jobs.push_back(
-      Job{id, work.ToSeconds(), work.ToSeconds(), kInvalidEventId});
-  job_locations_[id] = node_name;
+      Job{id, work.ToSeconds(), work.ToSeconds(), fence, kInvalidEventId});
+  job_locations_[id] = node->config.name;
   Reschedule(node);
   UpdateTrace();
   return Status::OK();
+}
+
+Status ClusterSim::StartJob(JobId id, const std::string& node_name,
+                            Duration work) {
+  Node* node = Find(node_name);
+  if (node == nullptr) return Status::NotFound("node " + node_name);
+  // Defined disconnected semantics: a command to an unreachable node
+  // fails loudly instead of silently applying.
+  if (!CommandReachable(*node)) {
+    return Status::Unavailable("node " + node_name + " is unreachable");
+  }
+  return StartJobInternal(id, node, work, /*fence=*/0);
 }
 
 Status ClusterSim::KillJob(JobId id) {
@@ -161,17 +185,14 @@ Status ClusterSim::KillJob(JobId id) {
   }
   Node* node = Find(it->second);
   assert(node != nullptr);
-  Advance(node);
-  auto job = std::find_if(node->jobs.begin(), node->jobs.end(),
-                          [&](const Job& j) { return j.id == id; });
-  assert(job != node->jobs.end());
-  if (job->completion != kInvalidEventId) sim_->Cancel(job->completion);
-  wasted_seconds_ += job->initial_seconds - job->remaining_seconds;
-  node->jobs.erase(job);
-  job_locations_.erase(it);
-  Reschedule(node);
-  UpdateTrace();
-  return Status::OK();
+  if (!CommandReachable(*node)) {
+    return Status::Unavailable("node " + it->second + " is unreachable");
+  }
+  comms::Message msg;
+  msg.type = comms::MessageType::kKill;
+  msg.node = it->second;
+  msg.job = id;
+  return HandleKill(msg);
 }
 
 void ClusterSim::KillAllJobs() {
@@ -220,17 +241,34 @@ void ClusterSim::CompleteJob(Node* node, JobId id) {
   auto job = std::find_if(node->jobs.begin(), node->jobs.end(),
                           [&](const Job& j) { return j.id == id; });
   if (job == node->jobs.end()) return;  // raced with a kill
+  uint64_t fence = job->fence;
   node->jobs.erase(job);
   job_locations_.erase(id);
-  Report(node, id, /*success=*/true, "");
+  // Remember the outcome so a duplicated launch of this attempt re-sends
+  // the report instead of re-running the work.
+  if (fence != 0) finished_jobs_[id] = FinishedJob{fence, true, ""};
+  Report(node, id, fence, /*success=*/true, "");
   Reschedule(node);  // survivors get a bigger share
   UpdateTrace();
 }
 
-void ClusterSim::Report(Node* node, JobId id, bool success,
+void ClusterSim::Report(Node* node, JobId id, uint64_t fence, bool success,
                         const std::string& reason) {
+  if (channel_ != nullptr) {
+    comms::Message msg;
+    msg.type = success ? comms::MessageType::kCompletion
+                       : comms::MessageType::kFailure;
+    msg.node = node->config.name;
+    msg.job = id;
+    msg.fence = fence;
+    msg.reason = reason;
+    if (!channel_->SendReport(msg)) {
+      node->pending_reports.push_back({id, fence, success, reason});
+    }
+    return;
+  }
   if (!node->connected) {
-    node->pending_reports.push_back({id, success, reason});
+    node->pending_reports.push_back({id, fence, success, reason});
     return;
   }
   if (listener_ == nullptr) return;
@@ -242,9 +280,24 @@ void ClusterSim::Report(Node* node, JobId id, bool success,
 }
 
 void ClusterSim::FlushReports(Node* node) {
-  while (!node->pending_reports.empty() && node->connected) {
+  // Strictly enqueue (FIFO) order: the deque is drained front-first and
+  // every path that queues appends at the back, so a reconnect replays
+  // the outage's reports in exactly the order the node produced them.
+  while (!node->pending_reports.empty() && ReportReachable(*node) &&
+         node->connected) {
     auto report = node->pending_reports.front();
     node->pending_reports.pop_front();
+    if (channel_ != nullptr) {
+      comms::Message msg;
+      msg.type = report.success ? comms::MessageType::kCompletion
+                                : comms::MessageType::kFailure;
+      msg.node = node->config.name;
+      msg.job = report.id;
+      msg.fence = report.fence;
+      msg.reason = report.reason;
+      channel_->SendReport(msg);
+      continue;
+    }
     if (listener_ != nullptr) {
       if (report.success) {
         listener_->OnJobFinished(report.id, node->config.name);
@@ -261,6 +314,7 @@ Status ClusterSim::CrashNode(const std::string& name) {
   if (!node->up) return Status::OK();
   Advance(node);
   node->up = false;
+  CancelHeartbeat(node);
   // Running jobs die with the node; queued reports die with the PEC.
   std::vector<JobId> lost;
   for (Job& job : node->jobs) {
@@ -280,8 +334,10 @@ Status ClusterSim::CrashNode(const std::string& name) {
                       {{"jobs_lost", StrFormat("%zu", lost.size())}});
   }
   // The server detects the dead PEC (heartbeat timeout) and classifies the
-  // node's active jobs as failed (paper §5.4 events 3 and 7).
-  if (listener_ != nullptr) {
+  // node's active jobs as failed (paper §5.4 events 3 and 7). In silent
+  // mode there is no such modelling shortcut: the crash only shows up as
+  // missed leases and the engine's suspicion machinery takes over.
+  if (listener_ != nullptr && !silent_crashes_) {
     listener_->OnNodeDown(name);
     for (JobId id : lost) {
       listener_->OnJobFailed(id, name, "node crash");
@@ -296,6 +352,7 @@ Status ClusterSim::RepairNode(const std::string& name) {
   if (node->up) return Status::OK();
   node->up = true;
   node->last_update = sim_->Now();
+  ArmHeartbeat(node);
   UpdateTrace();
   if (obs_ != nullptr) {
     obs_->trace.Emit(obs::EventType::kNodeUp, "", "", name);
@@ -303,7 +360,7 @@ Status ClusterSim::RepairNode(const std::string& name) {
         obs_->spans.FindOpen(obs::SpanKind::kNodeOutage, "", name),
         "repaired");
   }
-  if (listener_ != nullptr) listener_->OnNodeUp(name);
+  if (listener_ != nullptr && !silent_crashes_) listener_->OnNodeUp(name);
   return Status::OK();
 }
 
@@ -332,7 +389,13 @@ Status ClusterSim::SetExternalLoad(const std::string& name,
   // Raw load change; the PEC's adaptive monitor decides whether to
   // propagate a report (wired externally via the monitor module). The PEC
   // reports the *external* load fraction — it can tell its own jobs apart.
-  if (listener_ != nullptr && node->connected && node->up) {
+  if (node->up && channel_ != nullptr) {
+    comms::Message msg;
+    msg.type = comms::MessageType::kLoad;
+    msg.node = name;
+    msg.load = node->external_busy / node->config.num_cpus;
+    channel_->SendReport(msg);  // ephemeral: not queued when the link is down
+  } else if (listener_ != nullptr && node->connected && node->up) {
     listener_->OnLoadReport(name,
                             node->external_busy / node->config.num_cpus);
   }
@@ -347,6 +410,12 @@ double ClusterSim::ExternalLoad(const std::string& name) const {
 Status ClusterSim::SetConnected(const std::string& name, bool connected) {
   Node* node = Find(name);
   if (node == nullptr) return Status::NotFound("node " + name);
+  if (channel_ != nullptr) {
+    // Symmetric outage on the channel; OnChannelLink mirrors the report
+    // link into `connected` and flushes.
+    channel_->SetConnected(name, connected);
+    return Status::OK();
+  }
   if (node->connected == connected) return Status::OK();
   node->connected = connected;
   if (connected) FlushReports(node);
@@ -355,9 +424,168 @@ Status ClusterSim::SetConnected(const std::string& name, bool connected) {
 
 void ClusterSim::SetAllConnected(bool connected) {
   for (auto& [name, node] : nodes_) {
+    if (channel_ != nullptr) {
+      channel_->SetConnected(name, connected);
+      continue;
+    }
     node.connected = connected;
     if (connected) FlushReports(&node);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Message channel (the engine <-> PEC seam)
+// ---------------------------------------------------------------------------
+
+void ClusterSim::AttachChannel(comms::Channel* channel) {
+  channel_ = channel;
+  if (channel_ == nullptr) return;
+  channel_->BindSimulator(sim_);
+  channel_->SetCommandHandler(this);
+  channel_->SetLinkObserver(
+      [this](const std::string& name) { OnChannelLink(name); });
+}
+
+void ClusterSim::DetachChannel(comms::Channel* channel) {
+  if (channel_ != channel || channel_ == nullptr) return;
+  channel_->SetCommandHandler(nullptr);
+  channel_->SetLinkObserver(nullptr);
+  channel_ = nullptr;
+}
+
+void ClusterSim::OnChannelLink(const std::string& name) {
+  Node* node = Find(name);
+  if (node != nullptr) {
+    node->connected = channel_->ReportLinkUp(name);
+    if (node->connected) FlushReports(node);
+  }
+  if (listener_ != nullptr) listener_->OnLinkChanged(name);
+}
+
+Status ClusterSim::HandleCommand(const comms::Message& msg) {
+  switch (msg.type) {
+    case comms::MessageType::kLaunch:
+      return HandleLaunch(msg);
+    case comms::MessageType::kKill:
+      return HandleKill(msg);
+    case comms::MessageType::kProbe:
+      return HandleProbe(msg);
+    default:
+      return Status::InvalidArgument("not a command");
+  }
+}
+
+Status ClusterSim::HandleLaunch(const comms::Message& msg) {
+  Node* node = Find(msg.node);
+  if (node == nullptr) return Status::NotFound("node " + msg.node);
+  if (msg.fence != 0) {
+    // Exactly-once dedup. A tombstoned attempt was killed — a late
+    // duplicate of its launch must not resurrect it.
+    if (auto dead = dead_jobs_.find(msg.job);
+        dead != dead_jobs_.end() && dead->second == msg.fence) {
+      return Status::OK();
+    }
+    // A finished attempt re-sends its report (maybe the first was lost)
+    // instead of burning CPU on a rerun.
+    if (auto fin = finished_jobs_.find(msg.job);
+        fin != finished_jobs_.end() && fin->second.fence == msg.fence) {
+      if (node->up) {
+        Report(node, msg.job, fin->second.fence, fin->second.success,
+               fin->second.reason);
+      }
+      return Status::OK();
+    }
+    // Already running with the same fence: benign duplicate, idempotent.
+    if (auto loc = job_locations_.find(msg.job);
+        loc != job_locations_.end()) {
+      Node* running_on = Find(loc->second);
+      for (const Job& job : running_on->jobs) {
+        if (job.id == msg.job && job.fence == msg.fence) {
+          return Status::OK();
+        }
+      }
+      return Status::AlreadyExists(
+          StrFormat("job %llu already running under another fence",
+                    static_cast<unsigned long long>(msg.job)));
+    }
+  }
+  return StartJobInternal(msg.job, node, msg.work, msg.fence);
+}
+
+Status ClusterSim::HandleKill(const comms::Message& msg) {
+  auto it = job_locations_.find(msg.job);
+  if (it == job_locations_.end()) {
+    // The launch may still be in flight (delayed or reordered past this
+    // kill): tombstone the attempt so it can never start afterwards.
+    if (msg.fence != 0 && !finished_jobs_.contains(msg.job)) {
+      dead_jobs_[msg.job] = msg.fence;
+    }
+    return Status::NotFound(StrFormat(
+        "job %llu not running", static_cast<unsigned long long>(msg.job)));
+  }
+  Node* node = Find(it->second);
+  assert(node != nullptr);
+  Advance(node);
+  auto job = std::find_if(node->jobs.begin(), node->jobs.end(),
+                          [&](const Job& j) { return j.id == msg.job; });
+  assert(job != node->jobs.end());
+  if (job->completion != kInvalidEventId) sim_->Cancel(job->completion);
+  wasted_seconds_ += job->initial_seconds - job->remaining_seconds;
+  // Tombstone the killed attempt against delayed duplicates of its
+  // launch (fence 0 = legacy caller, outside the protocol).
+  if (job->fence != 0) dead_jobs_[msg.job] = job->fence;
+  node->jobs.erase(job);
+  job_locations_.erase(it);
+  Reschedule(node);
+  UpdateTrace();
+  return Status::OK();
+}
+
+Status ClusterSim::HandleProbe(const comms::Message& msg) {
+  Node* node = Find(msg.node);
+  if (node == nullptr) return Status::NotFound("node " + msg.node);
+  if (!node->up) return Status::Unavailable("node " + msg.node + " is down");
+  // A reachable PEC answers immediately — this is how a falsely suspected
+  // node reconciles without waiting a full heartbeat interval.
+  SendHeartbeat(node);
+  return Status::OK();
+}
+
+void ClusterSim::EnableHeartbeats(Duration interval) {
+  heartbeat_interval_ = interval;
+  for (auto& [name, node] : nodes_) ArmHeartbeat(&node);
+}
+
+void ClusterSim::ArmHeartbeat(Node* node) {
+  if (heartbeat_interval_ <= Duration::Zero() || !node->up ||
+      node->heartbeat != kInvalidEventId) {
+    return;
+  }
+  // A daemon: heartbeats alone never keep the simulation alive.
+  std::string name = node->config.name;
+  node->heartbeat = sim_->ScheduleDaemon(heartbeat_interval_, [this, name] {
+    Node* n = Find(name);
+    if (n == nullptr) return;
+    n->heartbeat = kInvalidEventId;
+    if (!n->up) return;
+    SendHeartbeat(n);
+    ArmHeartbeat(n);
+  });
+}
+
+void ClusterSim::CancelHeartbeat(Node* node) {
+  if (node->heartbeat != kInvalidEventId) {
+    sim_->Cancel(node->heartbeat);
+    node->heartbeat = kInvalidEventId;
+  }
+}
+
+void ClusterSim::SendHeartbeat(Node* node) {
+  if (channel_ == nullptr) return;
+  comms::Message msg;
+  msg.type = comms::MessageType::kHeartbeat;
+  msg.node = node->config.name;
+  channel_->SendReport(msg);  // ephemeral: lost when the report link is down
 }
 
 void ClusterSim::Annotate(std::string label) {

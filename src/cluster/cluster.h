@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "comms/channel.h"
 #include "common/result.h"
 #include "common/stats.h"
 #include "common/time.h"
@@ -50,6 +51,10 @@ class ClusterListener {
   /// by the PEC's adaptive monitor.
   virtual void OnLoadReport(const std::string& node, double load) = 0;
   virtual void OnConfigChanged(const NodeConfig& config) = 0;
+  /// Either channel link of `node` changed state (only fired when a
+  /// comms::Channel is attached). Default no-op so legacy listeners keep
+  /// compiling; the engine uses it to flush queued kills and re-pump.
+  virtual void OnLinkChanged(const std::string& node) { (void)node; }
 };
 
 /// A timestamped annotation on the experiment timeline (the numbered
@@ -65,7 +70,7 @@ struct TraceEvent {
 /// the node. Job progress integrates node speed x share over time, so
 /// completions respond to failures, external load changes, and mid-run
 /// hardware upgrades exactly as the engine would observe on real hardware.
-class ClusterSim {
+class ClusterSim : public comms::CommandHandler {
  public:
   explicit ClusterSim(Simulator* sim);
   ClusterSim(const ClusterSim&) = delete;
@@ -73,6 +78,31 @@ class ClusterSim {
 
   void SetListener(ClusterListener* listener) { listener_ = listener; }
   ClusterListener* listener() const { return listener_; }
+
+  // --- Message channel -----------------------------------------------------
+  /// Routes this cluster's control plane through `channel`: the cluster
+  /// becomes the channel's command handler, completion/failure/load
+  /// reports travel as messages (gated by the per-node report link), and
+  /// SetConnected maps onto the channel's links. The channel must outlive
+  /// the attachment. Replaces any previously attached channel.
+  void AttachChannel(comms::Channel* channel);
+  /// Detaches `channel` if it is the attached one (engine teardown).
+  void DetachChannel(comms::Channel* channel);
+  comms::Channel* channel() const { return channel_; }
+  /// PEC side of the protocol: launch / kill / probe, with the
+  /// exactly-once dedup memory (fence-keyed finished-job and tombstone
+  /// tables) absorbing duplicated, delayed and reordered commands.
+  Status HandleCommand(const comms::Message& msg) override;
+
+  /// Starts per-node heartbeat daemons on the attached channel (lease
+  /// mode): every `interval` each up node emits a kHeartbeat report.
+  /// Heartbeats are ephemeral — a down report link drops them (that is
+  /// the signal the engine's failure detector feeds on).
+  void EnableHeartbeats(Duration interval);
+  /// Lease mode: CrashNode/RepairNode stop notifying the listener
+  /// directly — the server must detect death via missed leases and
+  /// rebirth via resumed heartbeats, as on a real network.
+  void SetSilentCrashes(bool silent) { silent_crashes_ = silent; }
 
   /// Attaches an observability context: node up/down transitions and
   /// Annotate() marks are mirrored into its trace sink (stamped with this
@@ -91,10 +121,13 @@ class ClusterSim {
 
   // --- Job control (called by the dispatcher) -----------------------------
   /// Starts a job of `work` CPU-time (at reference speed 1.0) on `node`.
-  /// Fails if the node is down or unknown.
+  /// Fails if the node is down, unknown, or — defined semantics, never a
+  /// silent apply — unreachable (Unavailable when the command link / the
+  /// legacy connected flag is down).
   Status StartJob(JobId id, const std::string& node, Duration work);
   /// Kills a running job without any report (used when the server aborts
-  /// or migrates it). Returns NotFound if not running.
+  /// or migrates it). Returns NotFound if not running, Unavailable (and
+  /// does nothing) if the node is unreachable.
   Status KillJob(JobId id);
   /// Kills every running job (server crash semantics: ongoing processes
   /// are stopped; the recovered server re-dispatches from the store).
@@ -143,6 +176,9 @@ class ClusterSim {
     JobId id;
     double remaining_seconds;  // at reference speed 1.0
     double initial_seconds;
+    /// Fencing token of the launch that started this attempt (0 for
+    /// legacy direct StartJob calls); echoed in every report.
+    uint64_t fence = 0;
     EventId completion = kInvalidEventId;
   };
   struct Node {
@@ -152,13 +188,17 @@ class ClusterSim {
     double external_busy = 0;
     std::vector<Job> jobs;
     TimePoint last_update;
-    /// Reports queued while disconnected: (job, success, reason).
+    /// Reports queued while disconnected, flushed strictly in enqueue
+    /// (FIFO) order on reconnect — locked by a cluster_test regression.
     struct PendingReport {
       JobId id;
+      uint64_t fence;
       bool success;
       std::string reason;
     };
     std::deque<PendingReport> pending_reports;
+    /// Lease-mode heartbeat daemon (kInvalidEventId when disabled/down).
+    EventId heartbeat = kInvalidEventId;
 
     double RatePerJob() const;
     double EffectiveBusyCpus() const;
@@ -171,15 +211,50 @@ class ClusterSim {
   /// Re-schedules completion events after any rate change.
   void Reschedule(Node* node);
   void CompleteJob(Node* node, JobId id);
-  void Report(Node* node, JobId id, bool success, const std::string& reason);
+  void Report(Node* node, JobId id, uint64_t fence, bool success,
+              const std::string& reason);
   void FlushReports(Node* node);
   void UpdateTrace();
+
+  // -- Channel protocol --
+  Status HandleLaunch(const comms::Message& msg);
+  Status HandleKill(const comms::Message& msg);
+  Status HandleProbe(const comms::Message& msg);
+  Status StartJobInternal(JobId id, Node* node, Duration work,
+                          uint64_t fence);
+  /// A command can reach `node` (channel command link, or the legacy
+  /// connected flag when no channel is attached).
+  bool CommandReachable(const Node& node) const;
+  bool ReportReachable(const Node& node) const;
+  /// The channel told us a link of `name` changed: mirror the report link
+  /// into `connected`, flush queued reports on reconnect, notify the
+  /// listener.
+  void OnChannelLink(const std::string& name);
+  void ArmHeartbeat(Node* node);
+  void CancelHeartbeat(Node* node);
+  void SendHeartbeat(Node* node);
 
   Simulator* sim_;
   ClusterListener* listener_ = nullptr;
   obs::Observability* obs_ = nullptr;
+  comms::Channel* channel_ = nullptr;
+  Duration heartbeat_interval_ = Duration::Zero();
+  bool silent_crashes_ = false;
   std::map<std::string, Node> nodes_;
   std::map<JobId, std::string> job_locations_;
+  /// Exactly-once memory (fence-keyed, so a new engine epoch reusing job
+  /// ids is unaffected). finished_jobs_: last outcome per completed
+  /// attempt — a duplicated launch re-sends the report instead of
+  /// re-running. dead_jobs_: attempts killed (or killed-in-flight) — a
+  /// delayed duplicate launch cannot resurrect them. Only fence != 0
+  /// (protocol-mode) attempts are remembered.
+  struct FinishedJob {
+    uint64_t fence;
+    bool success;
+    std::string reason;
+  };
+  std::map<JobId, FinishedJob> finished_jobs_;
+  std::map<JobId, uint64_t> dead_jobs_;
   StepSeries availability_;
   StepSeries utilization_;
   std::vector<TraceEvent> events_;

@@ -97,6 +97,115 @@ void FailureInjector::StopRandomFailures() {
   }
 }
 
+void FailureInjector::StartRandomPartitions(comms::Channel* channel,
+                                            Duration mtbf,
+                                            Duration mean_duration, Rng* rng) {
+  partition_channel_ = channel;
+  partitions_active_ = true;
+  partition_mtbf_ = mtbf;
+  partition_mean_duration_ = mean_duration;
+  partition_rng_ = rng;
+  ScheduleNextRandomPartition();
+}
+
+void FailureInjector::StopRandomPartitions() {
+  partitions_active_ = false;
+  if (partition_event_ != kInvalidEventId) {
+    cluster_->sim()->Cancel(partition_event_);
+    partition_event_ = kInvalidEventId;
+  }
+}
+
+void FailureInjector::ScheduleNextRandomPartition() {
+  if (!partitions_active_) return;
+  Duration gap = Duration::Seconds(
+      partition_rng_->Exponential(partition_mtbf_.ToSeconds()));
+  partition_event_ = cluster_->sim()->ScheduleDaemon(gap, [this] {
+    partition_event_ = kInvalidEventId;
+    if (!partitions_active_) return;
+    auto nodes = cluster_->Nodes();
+    if (!nodes.empty()) {
+      const std::string victim =
+          nodes[partition_rng_->NextUint64(nodes.size())].name;
+      // 0: commands blackholed, 1: reports blackholed, 2: full partition.
+      const uint64_t direction = partition_rng_->NextUint64(3);
+      Duration duration = Duration::Seconds(
+          partition_rng_->Exponential(partition_mean_duration_.ToSeconds()));
+      const char* kind = direction == 0   ? "cmd"
+                         : direction == 1 ? "rpt"
+                                          : "both";
+      cluster_->Annotate("partition(" + std::string(kind) + "): " + victim);
+      if (direction == 0 || direction == 2) {
+        partition_channel_->SetCommandLink(victim, false);
+      }
+      if (direction == 1 || direction == 2) {
+        partition_channel_->SetReportLink(victim, false);
+      }
+      cluster_->sim()->Schedule(duration, [this, victim, direction] {
+        if (direction == 0 || direction == 2) {
+          partition_channel_->SetCommandLink(victim, true);
+        }
+        if (direction == 1 || direction == 2) {
+          partition_channel_->SetReportLink(victim, true);
+        }
+      });
+    }
+    ScheduleNextRandomPartition();
+  });
+}
+
+void FailureInjector::StartRandomFlaps(comms::Channel* channel, Duration mtbf,
+                                       Duration mean_flap, Rng* rng) {
+  flap_channel_ = channel;
+  flaps_active_ = true;
+  flap_mtbf_ = mtbf;
+  flap_mean_ = mean_flap;
+  flap_rng_ = rng;
+  ScheduleNextRandomFlap();
+}
+
+void FailureInjector::StopRandomFlaps() {
+  flaps_active_ = false;
+  if (flap_event_ != kInvalidEventId) {
+    cluster_->sim()->Cancel(flap_event_);
+    flap_event_ = kInvalidEventId;
+  }
+}
+
+void FailureInjector::ScheduleNextRandomFlap() {
+  if (!flaps_active_) return;
+  Duration gap =
+      Duration::Seconds(flap_rng_->Exponential(flap_mtbf_.ToSeconds()));
+  flap_event_ = cluster_->sim()->ScheduleDaemon(gap, [this] {
+    flap_event_ = kInvalidEventId;
+    if (!flaps_active_) return;
+    auto nodes = cluster_->Nodes();
+    if (!nodes.empty()) {
+      const std::string victim =
+          nodes[flap_rng_->NextUint64(nodes.size())].name;
+      // 2-5 down/up bounces; legs drawn now so the storm's shape is fixed
+      // at scheduling time (deterministic under any later rng consumers).
+      const int bounces = 2 + static_cast<int>(flap_rng_->NextUint64(4));
+      cluster_->Annotate("link flap: " + victim);
+      Duration at = Duration::Zero();
+      for (int i = 0; i < bounces; ++i) {
+        Duration down_leg =
+            Duration::Seconds(flap_rng_->Exponential(flap_mean_.ToSeconds()));
+        cluster_->sim()->Schedule(at, [this, victim] {
+          flap_channel_->SetConnected(victim, false);
+        });
+        cluster_->sim()->Schedule(at + down_leg, [this, victim] {
+          flap_channel_->SetConnected(victim, true);
+        });
+        Duration up_leg =
+            Duration::Seconds(flap_rng_->Exponential(flap_mean_.ToSeconds()));
+        at = at + down_leg + up_leg;
+      }
+    }
+    ScheduleNextRandomFlap();
+  });
+}
+
 void FailureInjector::ScheduleNextRandomFailure() {
   if (!random_active_) return;
   Duration gap = Duration::Seconds(rng_->Exponential(mtbf_.ToSeconds()));

@@ -54,8 +54,29 @@ class FailureInjector {
                                Rng* rng);
   void StopRandomFailures();
 
+  /// Starts a Poisson process of *link* partitions on the control-plane
+  /// channel: every Exponential(`mtbf`) a random node loses a random
+  /// direction — its command link, its report link, or both — for
+  /// Exponential(`mean_duration`). Asymmetric partitions are the failure
+  /// mode the lease detector exists for: a node that can receive commands
+  /// but whose reports are blackholed looks exactly like a dead one.
+  void StartRandomPartitions(comms::Channel* channel, Duration mtbf,
+                             Duration mean_duration, Rng* rng);
+  void StopRandomPartitions();
+
+  /// Starts a Poisson process of link *flaps*: every Exponential(`mtbf`)
+  /// a random node's links bounce down/up several times in quick
+  /// succession (each leg Exponential(`mean_flap`) long) — the reconnect
+  /// storm that shakes out report-flush-order and duplicate-suppression
+  /// bugs.
+  void StartRandomFlaps(comms::Channel* channel, Duration mtbf,
+                        Duration mean_flap, Rng* rng);
+  void StopRandomFlaps();
+
  private:
   void ScheduleNextRandomFailure();
+  void ScheduleNextRandomPartition();
+  void ScheduleNextRandomFlap();
 
   ClusterSim* cluster_;
   bool random_active_ = false;
@@ -63,6 +84,20 @@ class FailureInjector {
   Duration mean_downtime_;
   Rng* rng_ = nullptr;
   EventId random_event_ = kInvalidEventId;
+
+  comms::Channel* partition_channel_ = nullptr;
+  bool partitions_active_ = false;
+  Duration partition_mtbf_;
+  Duration partition_mean_duration_;
+  Rng* partition_rng_ = nullptr;
+  EventId partition_event_ = kInvalidEventId;
+
+  comms::Channel* flap_channel_ = nullptr;
+  bool flaps_active_ = false;
+  Duration flap_mtbf_;
+  Duration flap_mean_;
+  Rng* flap_rng_ = nullptr;
+  EventId flap_event_ = kInvalidEventId;
 };
 
 }  // namespace biopera::cluster

@@ -281,6 +281,23 @@ Engine::Engine(Simulator* sim, cluster::ClusterSim* cluster,
       options_(options),
       rng_(options.seed) {
   cluster_->SetListener(this);
+  // All engine<->PEC traffic goes through the comms seam. Without an
+  // explicit channel the engine owns a plain one (synchronous, lossless —
+  // byte-identical to the direct calls it replaced).
+  if (options_.channel != nullptr) {
+    channel_ = options_.channel;
+  } else {
+    owned_channel_ = std::make_unique<comms::Channel>();
+    channel_ = owned_channel_.get();
+  }
+  channel_->SetReportHandler(this);
+  cluster_->AttachChannel(channel_);
+  if (options_.heartbeat_interval > Duration::Zero()) {
+    // Lease mode: failure detection runs on heartbeats alone — the
+    // cluster stops telling the listener about crashes/repairs directly.
+    cluster_->SetSilentCrashes(true);
+    cluster_->EnableHeartbeats(options_.heartbeat_interval);
+  }
   RecordStore::CheckpointPolicy checkpoint_policy;
   checkpoint_policy.wal_bytes = options_.checkpoint_wal_bytes;
   checkpoint_policy.every_commits = options_.checkpoint_every_commits;
@@ -320,6 +337,21 @@ Engine::Engine(Simulator* sim, cluster::ClusterSim* cluster,
     cost_buckets.first_bound = 1.0;
     task_cost_metric_ =
         obs->metrics.GetHistogram("engine_task_cost_seconds", {}, cost_buckets);
+    suspected_metric_ =
+        obs->metrics.GetCounter("engine_comms_nodes_suspected_total");
+    condemned_metric_ =
+        obs->metrics.GetCounter("engine_comms_nodes_condemned_total");
+    reconciled_metric_ =
+        obs->metrics.GetCounter("engine_comms_nodes_reconciled_total");
+    fenced_reports_metric_ =
+        obs->metrics.GetCounter("engine_comms_reports_fenced_total");
+    dup_reports_metric_ =
+        obs->metrics.GetCounter("engine_comms_reports_duplicate_total");
+    kill_retries_metric_ =
+        obs->metrics.GetCounter("engine_comms_kill_retries_total");
+    kill_gave_up_metric_ =
+        obs->metrics.GetCounter("engine_comms_kills_abandoned_total");
+    suspected_gauge_ = obs->metrics.GetGauge("engine_comms_nodes_suspected");
   }
 }
 
@@ -342,6 +374,13 @@ void Engine::SyncObsGauges() {
 Engine::~Engine() {
   // Another engine (a promoted backup) may have registered after us.
   if (cluster_->listener() == this) cluster_->SetListener(nullptr);
+  CancelPendingKills();
+  if (lease_check_ != kInvalidEventId) {
+    sim_->Cancel(lease_check_);
+    lease_check_ = kInvalidEventId;
+  }
+  if (channel_->report_handler() == this) channel_->SetReportHandler(nullptr);
+  cluster_->DetachChannel(channel_);
   spaces_.store()->ClearFlushFailureHandler(this);
 }
 
@@ -390,6 +429,22 @@ Status Engine::Startup() {
         spaces_.PutConfig("node/" + node.name, Value(cfg).ToText()));
   }
   RefreshConfigVersion();
+
+  // Fences restart per incarnation: writer_epoch << 20 | counter — a new
+  // epoch makes every old attempt's reports distinguishable from ours.
+  next_fence_seq_ = 0;
+  if (options_.heartbeat_interval > Duration::Zero()) {
+    // Every node starts with a fresh lease; nodes that are actually dead
+    // miss their heartbeats and get suspected, then condemned.
+    leases_.clear();
+    if (suspected_gauge_ != nullptr) suspected_gauge_->Set(0);
+    for (const cluster::NodeConfig& node : cluster_->Nodes()) {
+      NodeLease lease;
+      lease.last_heartbeat = sim_->Now();
+      leases_[node.name] = lease;
+    }
+    ArmLeaseCheck();
+  }
 
   // Restore the instance-id counter.
   Result<std::string> seq = spaces_.GetConfig("next_instance_seq");
@@ -463,7 +518,21 @@ void Engine::Crash() {
   }
   up_ = false;
   // Ongoing jobs are stopped when the server dies (paper §5.4, event 4).
+  // This is out-of-band teardown, not a control-plane message — the
+  // simulated world stops the jobs with the server.
   cluster_->KillAllJobs();
+  CancelPendingKills();
+  if (lease_check_ != kInvalidEventId) {
+    sim_->Cancel(lease_check_);
+    lease_check_ = kInvalidEventId;
+  }
+  if (spans_ != nullptr) {
+    for (const auto& [name, lease] : leases_) {
+      spans_->End(lease.suspicion_span, "server_crashed");
+    }
+  }
+  leases_.clear();
+  if (suspected_gauge_ != nullptr) suspected_gauge_->Set(0);
   monitors_.clear();
   instances_.clear();
   ++instance_generation_;
@@ -761,7 +830,8 @@ Status Engine::Abort(const std::string& instance_id) {
     to_kill.assign(it->second.begin(), it->second.end());
   }
   for (cluster::JobId job_id : to_kill) {
-    cluster_->KillJob(job_id);
+    const PendingJob& doomed = jobs_.at(job_id);
+    SendKill(doomed.node, job_id, doomed.fence);
     TakeJob(job_id, /*failed=*/false, "killed");
   }
   DropParkedForInstance(instance_id);
@@ -796,7 +866,8 @@ Status Engine::Restart(const std::string& instance_id) {
     stale.assign(it->second.begin(), it->second.end());
   }
   for (cluster::JobId job_id : stale) {
-    cluster_->KillJob(job_id);  // NotFound if it already finished silently
+    const PendingJob& doomed = jobs_.at(job_id);
+    SendKill(doomed.node, job_id, doomed.fence);
     TakeJob(job_id, /*failed=*/false, "killed");
   }
   // Entries parked while the instance was suspended are dispatchable again.
@@ -873,7 +944,8 @@ void Engine::DiscardSubtree(ProcessInstance* inst, TaskNode* node,
     }
   }
   for (cluster::JobId job_id : stale) {
-    cluster_->KillJob(job_id);
+    const PendingJob& doomed = jobs_.at(job_id);
+    SendKill(doomed.node, job_id, doomed.fence);
     TakeJob(job_id, /*failed=*/false, "killed");
   }
   std::function<void(TaskNode*)> discard = [&](TaskNode* n) {
@@ -1950,11 +2022,27 @@ void Engine::PumpDispatch() {
       }
     }
     cluster::JobId job_id = next_job_id_++;
-    Status st = cluster_->StartJob(job_id, target, entry.cached->cost);
+    // Fence this attempt: reports are applied only when they echo the
+    // token, so duplicated/zombie reports of other attempts cannot
+    // double-apply (docs/COMMS.md).
+    const uint64_t fence = (spaces_.epoch() << 20) | ++next_fence_seq_;
+    comms::Message launch;
+    launch.type = comms::MessageType::kLaunch;
+    launch.node = target;
+    launch.job = job_id;
+    launch.fence = fence;
+    launch.work = entry.cached->cost;
+    Status st = channel_->SendCommand(launch);
     if (!st.ok()) {
-      // Raced with a node failure; keep queued (not parked: placement
-      // succeeded, so the class is not capacity-starved) and try
-      // elsewhere at the next pump.
+      // Raced with a node failure or an unreachable command link; keep
+      // queued (not parked: placement succeeded, so the class is not
+      // capacity-starved) and try elsewhere at the next pump.
+      if (st.IsUnavailable()) {
+        // The connect refusal is itself a detection signal: stop placing
+        // work on the node until its command link heals (OnLinkChanged)
+        // or, in lease mode, until the detector reconciles it.
+        awareness_.NodeDown(target, sim_->Now());
+      }
       starved = true;
       ReadyKey key = entry.key();
       ready_.emplace(key, std::move(entry));
@@ -1962,6 +2050,7 @@ void Engine::PumpDispatch() {
     }
     PendingJob pending{entry.instance_id, entry.path, entry.cached->fields,
                        entry.cached->cost, target};
+    pending.fence = fence;
     pending.attempt_span = entry.attempt_span;
     pending.attempt = node->attempts + 1;
     if (spans_ != nullptr) {
@@ -2085,7 +2174,9 @@ EventId Engine::ArmJobWatchdog(cluster::JobId job_id, Duration cost) {
     PendingJob pending = TakeJob(it, /*failed=*/true, "timed_out");
     // The PEC never reported (lost report, silent stall, partition):
     // declare the job lost and re-schedule (paper event 10, automated).
-    cluster_->KillJob(job_id);  // NotFound if it silently completed
+    // The kill carries this attempt's fence: even if the node is alive
+    // and finishes later, its zombie report is fenced off.
+    SendKill(pending.node, job_id, pending.fence);
     AppendHistory(pending.instance_id,
                   StrFormat("job for %s on %s timed out; re-scheduling",
                             pending.path.c_str(), pending.node.c_str()));
@@ -2097,37 +2188,41 @@ EventId Engine::ArmJobWatchdog(cluster::JobId job_id, Duration cost) {
           {{"job", StrFormat("%llu",
                              static_cast<unsigned long long>(job_id))}});
     }
-    ProcessInstance* inst = FindInstance(pending.instance_id);
-    if (inst == nullptr) return;
-    TaskNode* node = inst->FindByPath(pending.path);
-    if (node == nullptr || node->state != TaskState::kRunning) return;
-    inst->SetTaskState(node, TaskState::kReady);
-    RecordStore::CommitScope commit_group(GroupTarget());
-    WriteBatch batch;
-    PersistTask(inst, node, &batch);
-    RecordLineageOutcome(pending, "timed_out", /*with_outputs=*/false, &batch);
-    Status st = Commit(&batch);
-    if (!st.ok()) {
-      BIOPERA_LOG(kError) << "watchdog commit failed: " << st.ToString();
-      return;
-    }
-    ReadyEntry entry;
-    entry.instance_id = pending.instance_id;
-    entry.path = pending.path;
-    entry.cached = ActivityOutput{pending.outputs, pending.cost,
-                                  std::move(pending.params)};
-    entry.input_desc = std::move(pending.input_desc);
-    entry.avoid_node = pending.node;
-    entry.priority = inst->priority();
-    entry.inst_hint = inst;
-    entry.engine_gen = instance_generation_;
-    entry.node_hint = node;
-    entry.structure_gen = inst->structure_generation();
-    if (node->def != nullptr) entry.resource_class = node->def->resource_class;
-    BeginAttemptSpan(&entry, inst, node);
-    PushEntry(std::move(entry));
-    PumpDispatch();
+    RequeueLostJob(std::move(pending), "timed_out");
   });
+}
+
+void Engine::RequeueLostJob(PendingJob pending, std::string_view outcome) {
+  ProcessInstance* inst = FindInstance(pending.instance_id);
+  if (inst == nullptr) return;
+  TaskNode* node = inst->FindByPath(pending.path);
+  if (node == nullptr || node->state != TaskState::kRunning) return;
+  inst->SetTaskState(node, TaskState::kReady);
+  RecordStore::CommitScope commit_group(GroupTarget());
+  WriteBatch batch;
+  PersistTask(inst, node, &batch);
+  RecordLineageOutcome(pending, outcome, /*with_outputs=*/false, &batch);
+  Status st = Commit(&batch);
+  if (!st.ok()) {
+    BIOPERA_LOG(kError) << "lost-job requeue commit failed: " << st.ToString();
+    return;
+  }
+  ReadyEntry entry;
+  entry.instance_id = pending.instance_id;
+  entry.path = pending.path;
+  entry.cached = ActivityOutput{pending.outputs, pending.cost,
+                                std::move(pending.params)};
+  entry.input_desc = std::move(pending.input_desc);
+  entry.avoid_node = pending.node;
+  entry.priority = inst->priority();
+  entry.inst_hint = inst;
+  entry.engine_gen = instance_generation_;
+  entry.node_hint = node;
+  entry.structure_gen = inst->structure_generation();
+  if (node->def != nullptr) entry.resource_class = node->def->resource_class;
+  BeginAttemptSpan(&entry, inst, node);
+  PushEntry(std::move(entry));
+  PumpDispatch();
 }
 
 Result<Duration> Engine::EstimateRemainingWork(
@@ -2219,7 +2314,8 @@ void Engine::CheckMigrations() {
     }
   }
   for (cluster::JobId job_id : to_migrate) {
-    cluster_->KillJob(job_id);
+    const PendingJob& doomed = jobs_.at(job_id);
+    SendKill(doomed.node, job_id, doomed.fence);
     PendingJob pending = TakeJob(job_id, /*failed=*/false, "migrated");
     ProcessInstance* inst = FindInstance(pending.instance_id);
     TaskNode* node = inst->FindByPath(pending.path);
@@ -2268,6 +2364,12 @@ void Engine::CheckMigrations() {
 // ---------------------------------------------------------------------------
 
 void Engine::OnJobFinished(cluster::JobId id, const std::string& node_name) {
+  // Legacy direct-notification entry point; channel reports arrive
+  // through HandleReport, which fences them first.
+  ApplyJobFinished(id, node_name);
+}
+
+void Engine::ApplyJobFinished(cluster::JobId id, const std::string& node_name) {
   if (!up_) return;
   auto it = jobs_.find(id);
   if (it == jobs_.end()) return;  // stale report from before a crash
@@ -2310,6 +2412,11 @@ void Engine::OnJobFinished(cluster::JobId id, const std::string& node_name) {
 
 void Engine::OnJobFailed(cluster::JobId id, const std::string& node_name,
                          const std::string& reason) {
+  ApplyJobFailed(id, node_name, reason);
+}
+
+void Engine::ApplyJobFailed(cluster::JobId id, const std::string& node_name,
+                            const std::string& reason) {
   if (!up_) return;
   auto it = jobs_.find(id);
   if (it == jobs_.end()) return;
@@ -2390,6 +2497,333 @@ void Engine::OnConfigChanged(const cluster::NodeConfig& config) {
   }
   RefreshConfigVersion();
   PumpDispatch();
+}
+
+// ---------------------------------------------------------------------------
+// Control plane (comms seam)
+// ---------------------------------------------------------------------------
+
+void Engine::HandleReport(const comms::Message& msg) {
+  if (!up_) return;
+  switch (msg.type) {
+    case comms::MessageType::kHeartbeat:
+      HandleHeartbeat(msg.node);
+      return;
+    case comms::MessageType::kLoad:
+      OnLoadReport(msg.node, msg.load);
+      return;
+    case comms::MessageType::kCompletion:
+    case comms::MessageType::kFailure:
+      break;
+    default:
+      return;  // commands never arrive on the report plane
+  }
+  auto it = jobs_.find(msg.job);
+  if (it == jobs_.end()) {
+    // Already applied (a duplicated or reordered report), or a zombie from
+    // an attempt this server no longer tracks (killed, condemned,
+    // pre-crash). Idempotent drop either way.
+    if (dup_reports_metric_ != nullptr) dup_reports_metric_->Increment();
+    return;
+  }
+  if (msg.fence != 0 && msg.fence != it->second.fence) {
+    // A live job id but the wrong attempt epoch: the fencing token does
+    // the tie-break (docs/COMMS.md). Only the current attempt may apply.
+    if (fenced_reports_metric_ != nullptr) fenced_reports_metric_->Increment();
+    return;
+  }
+  if (msg.type == comms::MessageType::kCompletion) {
+    ApplyJobFinished(msg.job, msg.node);
+  } else {
+    ApplyJobFailed(msg.job, msg.node, msg.reason);
+  }
+}
+
+void Engine::OnLinkChanged(const std::string& node) {
+  if (!up_) return;
+  if (!channel_->CommandLinkUp(node)) {
+    // Command plane lost: stop placing work there. Jobs already on the
+    // node keep running — their reports still arrive while the report
+    // link is up, and the watchdog/lease machinery covers the rest.
+    awareness_.NodeDown(node, sim_->Now());
+    return;
+  }
+  FlushPendingKills(node);
+  // Command plane (re)established. Restore placement eligibility unless
+  // the lease detector disagrees (suspected/condemned nodes rejoin via
+  // heartbeats only) or the node itself is dead.
+  if (GetLeaseState(node) != LeaseState::kUp) return;
+  if (!cluster_->IsUp(node)) return;
+  awareness_.NodeUp(node, sim_->Now());
+  WakeClassesForNode(node);
+  PumpDispatch();
+}
+
+void Engine::SendKill(const std::string& node, cluster::JobId job,
+                      uint64_t fence) {
+  comms::Message msg;
+  msg.type = comms::MessageType::kKill;
+  msg.node = node;
+  msg.job = job;
+  msg.fence = fence;
+  Status st = channel_->SendCommand(msg);
+  if (st.ok() || st.IsNotFound()) {
+    // Delivered (NotFound: the job is already gone — same outcome). A
+    // FaultChannel drop also lands here: in-flight loss gives no receipt,
+    // and the fence protects against the surviving zombie's report.
+    if (auto it = pending_kills_.find(job); it != pending_kills_.end()) {
+      if (it->second.retry != kInvalidEventId) sim_->Cancel(it->second.retry);
+      pending_kills_.erase(it);
+    }
+    return;
+  }
+  // Undeliverable (command link down): never silently forgotten — queue
+  // for backoff retries and for an immediate flush when the link heals.
+  auto [it, inserted] = pending_kills_.try_emplace(job);
+  PendingKill& kill = it->second;
+  kill.node = node;
+  kill.fence = fence;
+  if (!inserted && kill.retry != kInvalidEventId) return;  // already scheduled
+  ScheduleKillRetry(job);
+}
+
+void Engine::ScheduleKillRetry(cluster::JobId job) {
+  auto it = pending_kills_.find(job);
+  if (it == pending_kills_.end()) return;
+  PendingKill& kill = it->second;
+  if (kill.attempts >= options_.kill_retry_limit) {
+    // Retry budget exhausted: the fence still guarantees the zombie's
+    // eventual report cannot double-apply.
+    if (kill_gave_up_metric_ != nullptr) kill_gave_up_metric_->Increment();
+    pending_kills_.erase(it);
+    return;
+  }
+  Duration delay = comms::RetryBackoff(
+      options_.kill_retry_base, options_.kill_retry_max, options_.seed,
+      kill.node, job, kill.attempts);
+  ++kill.attempts;
+  // A regular event (not a daemon): an owed kill keeps the run alive, but
+  // only until the bounded retries run out.
+  kill.retry = sim_->Schedule(delay, [this, job] {
+    auto retry_it = pending_kills_.find(job);
+    if (retry_it == pending_kills_.end()) return;
+    retry_it->second.retry = kInvalidEventId;
+    if (kill_retries_metric_ != nullptr) kill_retries_metric_->Increment();
+    comms::Message msg;
+    msg.type = comms::MessageType::kKill;
+    msg.node = retry_it->second.node;
+    msg.job = job;
+    msg.fence = retry_it->second.fence;
+    Status st = channel_->SendCommand(msg);
+    if (st.ok() || st.IsNotFound()) {
+      pending_kills_.erase(retry_it);
+    } else {
+      ScheduleKillRetry(job);
+    }
+  });
+}
+
+void Engine::FlushPendingKills(const std::string& node) {
+  std::vector<cluster::JobId> due;
+  for (const auto& [job, kill] : pending_kills_) {
+    if (kill.node == node) due.push_back(job);
+  }
+  for (cluster::JobId job : due) {
+    auto it = pending_kills_.find(job);
+    if (it == pending_kills_.end()) continue;
+    if (it->second.retry != kInvalidEventId) {
+      sim_->Cancel(it->second.retry);
+      it->second.retry = kInvalidEventId;
+    }
+    comms::Message msg;
+    msg.type = comms::MessageType::kKill;
+    msg.node = it->second.node;
+    msg.job = job;
+    msg.fence = it->second.fence;
+    Status st = channel_->SendCommand(msg);
+    if (st.ok() || st.IsNotFound()) {
+      pending_kills_.erase(it);
+    } else {
+      ScheduleKillRetry(job);
+    }
+  }
+}
+
+void Engine::CancelPendingKills() {
+  for (auto& [job, kill] : pending_kills_) {
+    if (kill.retry != kInvalidEventId) sim_->Cancel(kill.retry);
+  }
+  pending_kills_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Lease-based failure detection (heartbeat mode)
+// ---------------------------------------------------------------------------
+
+Engine::LeaseState Engine::GetLeaseState(const std::string& node) const {
+  if (options_.heartbeat_interval <= Duration::Zero()) {
+    // Legacy mode: detection is instantaneous, so known nodes are kUp.
+    return cluster_->GetNode(node).ok() ? LeaseState::kUp
+                                        : LeaseState::kUnknown;
+  }
+  auto it = leases_.find(node);
+  return it == leases_.end() ? LeaseState::kUnknown : it->second.state;
+}
+
+void Engine::ArmLeaseCheck() {
+  if (options_.heartbeat_interval <= Duration::Zero()) return;
+  lease_check_ = sim_->ScheduleDaemon(options_.heartbeat_interval, [this] {
+    lease_check_ = kInvalidEventId;
+    if (!up_) return;
+    CheckLeases();
+    ArmLeaseCheck();
+  });
+}
+
+void Engine::CheckLeases() {
+  const TimePoint now = sim_->Now();
+  const Duration suspect_after =
+      options_.heartbeat_interval * options_.lease_misses_to_suspect;
+  // Decide first, act second: SuspectNode's probe can reconcile a node
+  // synchronously, and CondemnNode re-queues work — neither may mutate
+  // the table mid-scan.
+  std::vector<std::string> to_suspect;
+  std::vector<std::string> to_condemn;
+  for (const auto& [name, lease] : leases_) {
+    switch (lease.state) {
+      case LeaseState::kUp:
+        if (now - lease.last_heartbeat >= suspect_after) {
+          to_suspect.push_back(name);
+        }
+        break;
+      case LeaseState::kSuspected:
+        if (now - lease.suspected_at >= options_.lease_condemn_grace) {
+          to_condemn.push_back(name);
+        }
+        break;
+      default:
+        break;  // condemned nodes rejoin only via a heartbeat
+    }
+  }
+  for (const std::string& name : to_suspect) SuspectNode(name);
+  for (const std::string& name : to_condemn) CondemnNode(name);
+}
+
+void Engine::HandleHeartbeat(const std::string& node) {
+  if (!up_ || options_.heartbeat_interval <= Duration::Zero()) return;
+  auto it = leases_.try_emplace(node).first;  // nodes may join after Startup
+  NodeLease& lease = it->second;
+  lease.last_heartbeat = sim_->Now();
+  switch (lease.state) {
+    case LeaseState::kUp:
+      break;
+    case LeaseState::kSuspected:
+      ReconcileNode(node);
+      break;
+    case LeaseState::kCondemned: {
+      // The node outlived its condemnation (it really crashed and came
+      // back, or a long partition healed). Rejoin: its old jobs were
+      // already re-queued; pending kills fence off any zombies.
+      lease.state = LeaseState::kUp;
+      if (reconciled_metric_ != nullptr) {
+        reconciled_metric_->Increment();
+        options_.observability->trace.Emit(obs::EventType::kNodeReconciled, "",
+                                           "", node, {{"from", "condemned"}});
+      }
+      OnNodeUp(node);
+      FlushPendingKills(node);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void Engine::SuspectNode(const std::string& node) {
+  auto it = leases_.find(node);
+  if (it == leases_.end() || it->second.state != LeaseState::kUp) return;
+  NodeLease& lease = it->second;
+  lease.state = LeaseState::kSuspected;
+  lease.suspected_at = sim_->Now();
+  if (suspected_metric_ != nullptr) {
+    suspected_metric_->Increment();
+    suspected_gauge_->Add(1);
+    options_.observability->trace.Emit(
+        obs::EventType::kNodeSuspected, "", "", node,
+        {{"misses", StrFormat("%d", options_.lease_misses_to_suspect)}});
+  }
+  if (spans_ != nullptr) {
+    lease.suspicion_span = spans_->Begin(
+        obs::SpanKind::kSuspicion, "suspected " + node, /*parent=*/0,
+        /*link=*/0, /*instance=*/"", /*task=*/"", node, {});
+  }
+  // Stop placing work on the suspect (the scheduler consults awareness);
+  // jobs already there keep running — a false suspicion must not lose
+  // them. The adaptive monitor stays: its samples are harmless.
+  awareness_.NodeDown(node, sim_->Now());
+  // Ask directly. A reachable PEC answers with a heartbeat, reconciling
+  // the suspicion (possibly synchronously, on a lossless channel).
+  comms::Message probe;
+  probe.type = comms::MessageType::kProbe;
+  probe.node = node;
+  (void)channel_->SendCommand(probe);
+}
+
+void Engine::ReconcileNode(const std::string& node) {
+  auto it = leases_.find(node);
+  if (it == leases_.end() || it->second.state != LeaseState::kSuspected) return;
+  NodeLease& lease = it->second;
+  lease.state = LeaseState::kUp;
+  if (reconciled_metric_ != nullptr) {
+    reconciled_metric_->Increment();
+    suspected_gauge_->Add(-1);
+    options_.observability->trace.Emit(obs::EventType::kNodeReconciled, "", "",
+                                       node, {{"from", "suspected"}});
+  }
+  if (spans_ != nullptr) {
+    spans_->End(lease.suspicion_span, "reconciled");
+    lease.suspicion_span = 0;
+  }
+  // False suspicion: restore placement eligibility. Running jobs were
+  // never touched, so nothing is lost and nothing re-executes.
+  OnNodeUp(node);
+}
+
+void Engine::CondemnNode(const std::string& node) {
+  auto it = leases_.find(node);
+  if (it == leases_.end() || it->second.state != LeaseState::kSuspected) return;
+  NodeLease& lease = it->second;
+  lease.state = LeaseState::kCondemned;
+  if (condemned_metric_ != nullptr) {
+    condemned_metric_->Increment();
+    suspected_gauge_->Add(-1);
+    options_.observability->trace.Emit(
+        obs::EventType::kNodeCondemned, "", "", node,
+        {{"grace_us",
+          StrFormat("%lld", static_cast<long long>(
+                                options_.lease_condemn_grace.micros()))}});
+  }
+  if (spans_ != nullptr) {
+    spans_->End(lease.suspicion_span, "condemned");
+    lease.suspicion_span = 0;
+  }
+  monitors_.erase(node);
+  // Give up on the node's outstanding jobs and re-schedule them
+  // elsewhere. Each gets a (best-effort) fenced kill: if the node is
+  // secretly alive, the kill — or failing that, the fence — neutralizes
+  // the zombie attempt.
+  std::vector<cluster::JobId> lost;
+  if (auto jobs_it = jobs_by_node_.find(node); jobs_it != jobs_by_node_.end()) {
+    lost.assign(jobs_it->second.begin(), jobs_it->second.end());
+  }
+  for (cluster::JobId job_id : lost) {
+    PendingJob pending = TakeJob(job_id, /*failed=*/true, "condemned");
+    SendKill(node, job_id, pending.fence);
+    AppendHistory(pending.instance_id,
+                  StrFormat("node %s condemned; re-scheduling %s",
+                            node.c_str(), pending.path.c_str()));
+    RequeueLostJob(std::move(pending), "condemned");
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "comms/channel.h"
 #include "common/result.h"
 #include "core/activity.h"
 #include "core/instance.h"
@@ -69,6 +70,35 @@ struct EngineOptions {
   Duration degraded_retry_initial = Duration::Seconds(1);
   Duration degraded_retry_max = Duration::Minutes(5);
   monitor::AdaptiveMonitorOptions monitor_options;
+  /// Control-plane channel between the engine and the PECs. When null the
+  /// engine creates and owns a plain comms::Channel (lossless, synchronous
+  /// delivery — byte-identical to the pre-seam direct calls). Pass a
+  /// comms::FaultChannel to subject every launch/kill command and every
+  /// completion/heartbeat report to drops, delays, duplicates, reorders
+  /// and asymmetric partitions (see docs/COMMS.md). Must outlive the
+  /// engine.
+  comms::Channel* channel = nullptr;
+  /// Lease-based failure detection. When non-zero, PECs heartbeat at this
+  /// interval, direct crash/repair notifications are disabled
+  /// (ClusterSim::SetSilentCrashes), and the engine runs the
+  /// suspected/condemned state machine of docs/COMMS.md: a node missing
+  /// `lease_misses_to_suspect` consecutive heartbeats is *suspected*
+  /// (scheduler stops placing on it; a probe is sent); if silence persists
+  /// for `lease_condemn_grace` more it is *condemned* and its jobs are
+  /// re-queued. A heartbeat at any point reconciles the node without
+  /// losing running jobs. Zero keeps the legacy instant-notification mode.
+  Duration heartbeat_interval = Duration::Zero();
+  int lease_misses_to_suspect = 3;
+  Duration lease_condemn_grace = Duration::Minutes(2);
+  /// Kill-command retry policy: a kKill that cannot be delivered (link
+  /// down, injected drop) is retried with exponential backoff
+  /// (`kill_retry_base` doubling to `kill_retry_max`, plus deterministic
+  /// per-(node,job,attempt) jitter — comms::RetryBackoff) at most
+  /// `kill_retry_limit` times; undeliverable kills are also flushed
+  /// immediately when the command link comes back.
+  Duration kill_retry_base = Duration::Seconds(2);
+  Duration kill_retry_max = Duration::Minutes(4);
+  int kill_retry_limit = 8;
   /// Deterministic seed for engine-internal randomness (random policy).
   uint64_t seed = 1;
   /// Optional observability context. When set, the engine emits trace
@@ -109,7 +139,7 @@ struct InstanceSummary {
 /// takes effect in memory, so Crash() + Startup() at any point resumes the
 /// computation without losing completed activities — the paper's central
 /// dependability property.
-class Engine : public cluster::ClusterListener {
+class Engine : public cluster::ClusterListener, public comms::ReportHandler {
  public:
   Engine(Simulator* sim, cluster::ClusterSim* cluster, RecordStore* store,
          ActivityRegistry* registry, const EngineOptions& options = {});
@@ -295,6 +325,25 @@ class Engine : public cluster::ClusterListener {
   void OnNodeUp(const std::string& node) override;
   void OnLoadReport(const std::string& node, double load) override;
   void OnConfigChanged(const cluster::NodeConfig& config) override;
+  void OnLinkChanged(const std::string& node) override;
+
+  // --- comms::ReportHandler --------------------------------------------------
+  /// Report-plane entry point: every heartbeat / completion / failure /
+  /// load message from the PECs arrives here (possibly dropped, delayed,
+  /// duplicated or reordered by a FaultChannel). Completion and failure
+  /// reports are fenced: a report whose (job, fence) does not match the
+  /// engine's outstanding attempt is a duplicate or a zombie from a
+  /// condemned attempt and is dropped idempotently.
+  void HandleReport(const comms::Message& msg) override;
+
+  /// Lease-detector state of a node (legacy mode reports kUp for known
+  /// nodes). See docs/COMMS.md.
+  enum class LeaseState { kUp, kSuspected, kCondemned, kUnknown };
+  LeaseState GetLeaseState(const std::string& node) const;
+
+  /// The control-plane channel in use (owned default or the one from
+  /// EngineOptions).
+  comms::Channel* channel() const { return channel_; }
 
  private:
   friend class OutagePlanner;
@@ -351,6 +400,11 @@ class Engine : public cluster::ClusterListener {
     ocr::Value::Map outputs;
     Duration cost;
     std::string node;
+    /// Attempt-epoch fencing token stamped on the launch command. A
+    /// completion/failure report is applied only if its fence matches —
+    /// duplicated, reordered, and zombie (post-condemnation) reports of
+    /// older attempts are dropped idempotently. 0 only before dispatch.
+    uint64_t fence = 0;
     /// Lost-report watchdog event, cancelled when the job reports in time
     /// (kInvalidEventId when the watchdog is disabled).
     EventId watchdog = kInvalidEventId;
@@ -424,6 +478,34 @@ class Engine : public cluster::ClusterListener {
   EventId ArmJobWatchdog(cluster::JobId job_id, Duration cost);
   /// Kill-and-restart migration check (see EngineOptions).
   void CheckMigrations();
+  /// Re-queues a job taken from the job table as a fresh attempt
+  /// (watchdog timeouts and lease condemnations share this path).
+  /// `outcome` labels the lineage record and attempt span; `avoid_node`
+  /// steers the next placement away from the possibly-partitioned node.
+  void RequeueLostJob(PendingJob pending, std::string_view outcome);
+
+  // -- Control plane (comms seam) --
+  /// Applies a verified completion/failure (fence already checked).
+  void ApplyJobFinished(cluster::JobId id, const std::string& node);
+  void ApplyJobFailed(cluster::JobId id, const std::string& node,
+                      const std::string& reason);
+  /// Sends a kKill for (node, job, fence); an undeliverable kill enters
+  /// the bounded-retry registry instead of being lost.
+  void SendKill(const std::string& node, cluster::JobId job, uint64_t fence);
+  void ScheduleKillRetry(cluster::JobId job);
+  /// Command link to `node` came back: re-send its queued kills now.
+  void FlushPendingKills(const std::string& node);
+  void CancelPendingKills();
+
+  // -- Lease detector (heartbeat mode only) --
+  void ArmLeaseCheck();
+  void CheckLeases();
+  void HandleHeartbeat(const std::string& node);
+  void SuspectNode(const std::string& node);
+  void CondemnNode(const std::string& node);
+  /// A suspected (not yet condemned) node heartbeated: false suspicion —
+  /// restore it without touching its still-running jobs.
+  void ReconcileNode(const std::string& node);
 
   // -- Parked-entry wakeups --
   /// Marks a parked resource class dispatch-eligible again; the next pump
@@ -564,6 +646,36 @@ class Engine : public cluster::ClusterListener {
   std::deque<ReadyEntry> pump_overflow_;
   std::set<std::string, std::less<>> pump_frozen_;
 
+  // -- Control plane state --
+  /// Owned default channel (used when EngineOptions.channel is null).
+  std::unique_ptr<comms::Channel> owned_channel_;
+  /// The channel the cluster is attached through (never null after the
+  /// constructor).
+  comms::Channel* channel_ = nullptr;
+  /// Per-Startup fence counter; fences are writer_epoch << 20 | counter,
+  /// so attempts of different server incarnations never collide.
+  uint64_t next_fence_seq_ = 0;
+  /// Undeliverable kKill commands awaiting retry/backoff or a link-up
+  /// flush. Keyed by job id; a job's entry is dropped once the kill
+  /// delivers, the retry budget is exhausted, or the attempt resolves.
+  struct PendingKill {
+    std::string node;
+    uint64_t fence = 0;
+    int attempts = 0;
+    EventId retry = kInvalidEventId;
+  };
+  std::map<cluster::JobId, PendingKill> pending_kills_;
+  /// Lease table (heartbeat mode only; empty in legacy mode).
+  struct NodeLease {
+    TimePoint last_heartbeat;
+    LeaseState state = LeaseState::kUp;
+    TimePoint suspected_at;
+    /// Suspicion span (0 when spans are off or node not suspected).
+    uint64_t suspicion_span = 0;
+  };
+  std::map<std::string, NodeLease> leases_;
+  EventId lease_check_ = kInvalidEventId;
+
   std::map<cluster::JobId, PendingJob> jobs_;
   /// Secondary indices over jobs_ (deterministic JobId order inside each
   /// bucket) so Abort/Restart/DiscardSubtree/EstimateRemainingWork/
@@ -605,6 +717,15 @@ class Engine : public cluster::ClusterListener {
   obs::Gauge* parked_suspended_gauge_ = nullptr;
   obs::Gauge* running_jobs_gauge_ = nullptr;
   obs::Histogram* task_cost_metric_ = nullptr;
+  // Control-plane metrics.
+  obs::Counter* suspected_metric_ = nullptr;
+  obs::Counter* condemned_metric_ = nullptr;
+  obs::Counter* reconciled_metric_ = nullptr;
+  obs::Counter* fenced_reports_metric_ = nullptr;
+  obs::Counter* dup_reports_metric_ = nullptr;
+  obs::Counter* kill_retries_metric_ = nullptr;
+  obs::Counter* kill_gave_up_metric_ = nullptr;
+  obs::Gauge* suspected_gauge_ = nullptr;
 };
 
 }  // namespace biopera::core

@@ -1,0 +1,48 @@
+#include "obs/invariants.h"
+
+#include <map>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace biopera::obs {
+
+std::string InvariantViolation::ToText() const {
+  return instance + "/" + task + ": " + what;
+}
+
+std::vector<InvariantViolation> CheckExactlyOnce(
+    const SpanSink& spans, const std::string& instance) {
+  // (instance, task) -> completed counts per kind.
+  struct Counts {
+    int jobs = 0;
+    int attempts = 0;
+  };
+  std::map<std::pair<std::string, std::string>, Counts> per_task;
+  spans.ForEach([&](const Span& span) {
+    if (span.open || span.outcome != "completed") return;
+    if (!instance.empty() && span.instance != instance) return;
+    if (span.task.empty()) return;
+    Counts& counts = per_task[{span.instance, span.task}];
+    if (span.kind == SpanKind::kJob) ++counts.jobs;
+    if (span.kind == SpanKind::kAttempt) ++counts.attempts;
+  });
+  std::vector<InvariantViolation> violations;
+  for (const auto& [key, counts] : per_task) {
+    if (counts.jobs > 1) {
+      violations.push_back(
+          {key.first, key.second,
+           StrFormat("completed %d times at job level (exactly-once "
+                     "violated)", counts.jobs)});
+    }
+    if (counts.attempts > 1) {
+      violations.push_back(
+          {key.first, key.second,
+           StrFormat("%d attempts reached the completed outcome "
+                     "(double-applied output)", counts.attempts)});
+    }
+  }
+  return violations;
+}
+
+}  // namespace biopera::obs

@@ -1,0 +1,35 @@
+#ifndef BIOPERA_OBS_INVARIANTS_H_
+#define BIOPERA_OBS_INVARIANTS_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/span.h"
+
+namespace biopera::obs {
+
+/// One violated run-level invariant, anchored to the (instance, task) it
+/// concerns.
+struct InvariantViolation {
+  std::string instance;
+  std::string task;
+  std::string what;
+
+  std::string ToText() const;
+};
+
+/// Checks the exactly-once property over a run's span export: for every
+/// (instance, task), at most one completed kJob span and at most one
+/// completed kAttempt span — i.e. no task's output was applied twice, no
+/// matter how many duplicated, reordered or zombie reports the control
+/// plane produced. `instance` restricts the check ("" = all instances).
+///
+/// Caveat: Invalidate() and sphere-of-atomicity compensation legitimately
+/// re-complete tasks; apply the checker to runs without them (the chaos
+/// and fuzz harnesses, the partition-storm bench).
+std::vector<InvariantViolation> CheckExactlyOnce(
+    const SpanSink& spans, const std::string& instance = "");
+
+}  // namespace biopera::obs
+
+#endif  // BIOPERA_OBS_INVARIANTS_H_

@@ -23,6 +23,7 @@ constexpr struct {
     {SpanKind::kServerDown, "server_down"},
     {SpanKind::kStoreDegraded, "store_degraded"},
     {SpanKind::kNodeOutage, "node_outage"},
+    {SpanKind::kSuspicion, "suspicion"},
 };
 
 /// The Chrome-trace track a span renders on. Execution slices go on the
@@ -33,6 +34,7 @@ std::string ChromeTrack(const Span& span) {
   switch (span.kind) {
     case SpanKind::kJob:
     case SpanKind::kNodeOutage:
+    case SpanKind::kSuspicion:
       return "node " + span.node;
     case SpanKind::kCommitBatch:
     case SpanKind::kCheckpoint:

@@ -26,6 +26,7 @@ enum class SpanKind {
   kServerDown,     // server crash -> next startup
   kStoreDegraded,  // store degraded window (failed flush -> healthy retry)
   kNodeOutage,     // one node's down -> up window
+  kSuspicion,      // lease detector: node suspected -> reconciled/condemned
 };
 
 std::string_view SpanKindName(SpanKind kind);

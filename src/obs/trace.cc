@@ -30,6 +30,9 @@ constexpr struct {
     {EventType::kStoreScrubbed, "store_scrubbed"},
     {EventType::kServerFenced, "server_fenced"},
     {EventType::kAnnotation, "annotation"},
+    {EventType::kNodeSuspected, "node_suspected"},
+    {EventType::kNodeCondemned, "node_condemned"},
+    {EventType::kNodeReconciled, "node_reconciled"},
 };
 
 }  // namespace

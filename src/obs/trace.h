@@ -34,6 +34,9 @@ enum class EventType {
   kStoreScrubbed,
   kServerFenced,
   kAnnotation,
+  kNodeSuspected,   // lease detector: heartbeats went missing
+  kNodeCondemned,   // suspicion grace expired; jobs re-scheduled
+  kNodeReconciled,  // a suspected/condemned node heartbeated again
 };
 
 std::string_view EventTypeName(EventType type);

@@ -216,6 +216,42 @@ TEST(ClusterTest, DisconnectedReportsQueueAndFlushOnReconnect) {
   ASSERT_EQ(f.listener.finished.size(), 1u);
 }
 
+TEST(ClusterTest, ReconnectFlushesReportsInEnqueueOrder) {
+  // Regression: the flush drains the deque front-first and every queueing
+  // path appends at the back, so a reconnect replays the outage's reports
+  // in exactly the order the node produced them.
+  Fixture f;
+  ASSERT_OK(f.cluster.AddNode({.name = "n", .num_cpus = 3}));
+  ASSERT_OK(f.cluster.StartJob(1, "n", Duration::Seconds(10)));
+  ASSERT_OK(f.cluster.StartJob(2, "n", Duration::Seconds(20)));
+  ASSERT_OK(f.cluster.StartJob(3, "n", Duration::Seconds(30)));
+  ASSERT_OK(f.cluster.SetConnected("n", false));
+  f.sim.Run();  // all three complete behind the partition, in 1-2-3 order
+  EXPECT_TRUE(f.listener.finished.empty());
+  ASSERT_OK(f.cluster.SetConnected("n", true));
+  ASSERT_EQ(f.listener.finished.size(), 3u);
+  EXPECT_EQ(f.listener.finished[0].first, 1u);
+  EXPECT_EQ(f.listener.finished[1].first, 2u);
+  EXPECT_EQ(f.listener.finished[2].first, 3u);
+}
+
+TEST(ClusterTest, DisconnectedNodeRefusesCommands) {
+  // Commands against an unreachable node have defined semantics: they
+  // fail Unavailable and are never silently applied.
+  Fixture f;
+  ASSERT_OK(f.cluster.AddNode({.name = "n", .num_cpus = 2}));
+  ASSERT_OK(f.cluster.StartJob(1, "n", Duration::Seconds(100)));
+  ASSERT_OK(f.cluster.SetConnected("n", false));
+  EXPECT_TRUE(
+      f.cluster.StartJob(2, "n", Duration::Seconds(100)).IsUnavailable());
+  EXPECT_EQ(f.cluster.NumRunningJobs(), 1u);
+  EXPECT_TRUE(f.cluster.KillJob(1).IsUnavailable());
+  EXPECT_EQ(f.cluster.NumRunningJobs(), 1u);
+  ASSERT_OK(f.cluster.SetConnected("n", true));
+  ASSERT_OK(f.cluster.KillJob(1));
+  EXPECT_EQ(f.cluster.NumRunningJobs(), 0u);
+}
+
 TEST(ClusterTest, CrashDropsQueuedReports) {
   Fixture f;
   ASSERT_OK(f.cluster.AddNode({.name = "n", .num_cpus = 1}));
