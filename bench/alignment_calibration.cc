@@ -23,6 +23,7 @@
 #include "darwin/align.h"
 #include "darwin/align_simd.h"
 #include "darwin/banded.h"
+#include "darwin/banded_simd.h"
 #include "darwin/cost_model.h"
 #include "darwin/generator.h"
 #include "darwin/pam.h"
@@ -195,6 +196,32 @@ int Main(int argc, char** argv) {
   json.Add("kernel_banded", {{"cells_per_s", banded.cells_per_second},
                              {"band", static_cast<double>(band)},
                              {"length", static_cast<double>(kLength)}});
+
+  // Banded SIMD: the quantized int16 banded kernel, scalar and AVX2 row
+  // pass, against the double banded baseline above.
+  for (SwKernel kernel : {SwKernel::kScalar, SwKernel::kAvx2}) {
+    std::string name(darwin::SwKernelName(kernel));
+    std::string row = StrFormat("banded-simd-%s(b=%zu)", name.c_str(), band);
+    if (!darwin::SwKernelSupported(kernel)) {
+      table.AddRow({row, "unsupported", "-"});
+      continue;
+    }
+    Throughput banded_simd = Measure(banded_cells, [&] {
+      for (const Sequence* t : targets) {
+        darwin::BandedSimdScore(query, *t, qmatrix, band, {}, kernel);
+      }
+    });
+    table.AddRow(
+        {row, StrFormat("%.3g", banded_simd.cells_per_second),
+         StrFormat("%.1fx",
+                   banded_simd.cells_per_second / scalar.cells_per_second)});
+    json.Add(StrFormat("kernel_banded_simd_%s", name.c_str()),
+             {{"cells_per_s", banded_simd.cells_per_second},
+              {"band", static_cast<double>(band)},
+              {"length", static_cast<double>(kLength)},
+              {"speedup_vs_banded",
+               banded_simd.cells_per_second / banded.cells_per_second}});
+  }
   std::printf("%s\n", table.ToString().c_str());
 
   // Cost-model calibration from the fastest kernel, with provenance.

@@ -1,0 +1,245 @@
+// Saturation bench of the sharded multi-engine service: how many process
+// instances the virtual laboratory sustains as engine shards are added.
+//
+// Each shard owns a 16-CPU cluster partition, so shard count scales the
+// lab's aggregate capacity the way adding machine rooms did for BioOpera:
+// throughput is measured in *virtual* time (tasks dispatched per virtual
+// hour at quiescence) because that is the quantity the paper's weeks-long
+// runs care about. Wall-clock cost of the lockstep barriers (total, and
+// per barrier) is reported alongside so the scheduling overhead of the
+// front door stays visible — on a single-core host the shards pump
+// sequentially inside each barrier, so wall time is NOT expected to drop
+// with shard count; aggregate virtual throughput is.
+//
+// The curve: live-instance levels 1000 -> 10000 at 1, 2, 4 and 8 shards,
+// plus a same-seed determinism self-check (two identical 2-shard runs
+// must produce byte-identical per-shard span exports).
+//
+// `--json[=path]` writes BENCH_shard.json for the CI artifact.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/engine.h"
+#include "ocr/builder.h"
+#include "service/service.h"
+
+namespace biopera::bench {
+namespace {
+
+using service::ServiceOptions;
+using service::ShardedService;
+using service::Submission;
+
+constexpr int kNodesPerShard = 4;
+constexpr int kCpusPerNode = 4;
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string MakeRunDir(const std::string& tag) {
+  auto base = std::filesystem::temp_directory_path() / "biopera_shard_bench";
+  std::filesystem::create_directories(base);
+  auto dir = base / (tag + "." + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+/// A two-stage instance: prepare (30 virtual minutes) then run (1 virtual
+/// hour) — enough structure that the pump navigates between stages, cheap
+/// enough that 10k instances stay tractable.
+ocr::ProcessDef JobProcess() {
+  auto def = ocr::ProcessBuilder("shard_job")
+                 .Task(ocr::TaskBuilder::Activity("prepare", "bench.prepare"))
+                 .Task(ocr::TaskBuilder::Activity("run", "bench.run"))
+                 .Connect("prepare", "run")
+                 .Build();
+  if (!def.ok()) std::abort();
+  return std::move(*def);
+}
+
+void RegisterJobActivities(core::ActivityRegistry* registry) {
+  auto activity = [](Duration cost) {
+    return [cost](const core::ActivityInput&) -> Result<core::ActivityOutput> {
+      core::ActivityOutput out;
+      out.cost = cost;
+      return out;
+    };
+  };
+  if (!registry->Register("bench.prepare", activity(Duration::Minutes(30)))
+           .ok()) {
+    std::abort();
+  }
+  if (!registry->Register("bench.run", activity(Duration::Hours(1))).ok()) {
+    std::abort();
+  }
+}
+
+struct RunResult {
+  double virtual_hours = 0;
+  double tasks_per_virtual_hour = 0;
+  uint64_t dispatched = 0;
+  uint64_t barriers = 0;
+  double barrier_wall_ms_avg = 0;
+  double wall_seconds = 0;
+  uint64_t pump_runs = 0;
+  std::vector<std::string> shard_spans;
+};
+
+/// Submits `live` instances against `shards` shards and barriers the
+/// service to quiescence; with `export_spans` the per-shard span exports
+/// are captured for the determinism self-check.
+RunResult RunLevel(int shards, int live, uint64_t seed, bool export_spans) {
+  core::ActivityRegistry registry;
+  RegisterJobActivities(&registry);
+
+  ServiceOptions options;
+  options.shards = shards;
+  options.seed = seed;
+  // One virtual hour per barrier: liveness polls are O(live) per barrier,
+  // so the quantum must be coarse at 10k live instances.
+  options.barrier_quantum = Duration::Hours(1);
+  options.shard.engine.adaptive_monitoring = false;
+  options.configure_cluster = [](int index, cluster::ClusterSim* cluster) {
+    for (int n = 0; n < kNodesPerShard; ++n) {
+      Status st = cluster->AddNode(
+          {.name = StrFormat("s%d-n%d", index, n),
+           .num_cpus = kCpusPerNode,
+           .speed = 1.0});
+      if (!st.ok()) std::abort();
+    }
+  };
+
+  std::string dir =
+      MakeRunDir(StrFormat("s%d_l%d_%llu", shards, live,
+                           static_cast<unsigned long long>(seed)));
+  ShardedService svc(dir, &registry, options);
+  if (!svc.Startup().ok()) std::abort();
+  if (!svc.RegisterTemplate(JobProcess()).ok()) std::abort();
+
+  double start = NowSeconds();
+  for (int i = 0; i < live; ++i) {
+    Submission sub;
+    sub.tenant = StrFormat("t%d", i % 4);
+    sub.template_name = "shard_job";
+    auto ticket = svc.Submit(sub);
+    if (!ticket.ok() || ticket->backlogged) std::abort();
+  }
+  svc.RunUntilQuiescent(/*max_barriers=*/1 << 20);
+  double wall = NowSeconds() - start;
+
+  service::ServiceStats stats = svc.GetStats();
+  if (stats.live != 0) {
+    std::fprintf(stderr, "shard_saturation: %zu instances still live\n",
+                 stats.live);
+    std::abort();
+  }
+  RunResult out;
+  out.virtual_hours = svc.VirtualNow().SinceEpoch().ToHours();
+  out.dispatched = stats.dispatched;
+  out.tasks_per_virtual_hour =
+      out.virtual_hours == 0 ? 0 : stats.dispatched / out.virtual_hours;
+  out.barriers = stats.barriers;
+  out.barrier_wall_ms_avg =
+      stats.barriers == 0
+          ? 0
+          : stats.barrier_wall_ns / 1e6 / static_cast<double>(stats.barriers);
+  out.wall_seconds = wall;
+  out.pump_runs = stats.pump_runs;
+  if (export_spans) {
+    for (int s = 0; s < svc.hosted_shards(); ++s) {
+      out.shard_spans.push_back(svc.ExportShardSpans(s));
+    }
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  std::string json_path = JsonPathFromArgs(argc, argv, "BENCH_shard.json");
+  std::printf("== Sharded service saturation: 1k -> 10k instances ==\n\n");
+
+  const std::vector<int> kShardCounts = {1, 2, 4, 8};
+  const std::vector<int> kLevels = {1000, 4000, 10000};
+
+  BenchJson json("shard_saturation");
+  TextTable table({"shards", "live", "virt hours", "tasks/vh", "barriers",
+                   "barrier ms", "wall s"});
+  // tasks/virtual-hour at the top level, per shard count, for the speedup
+  // summary rows.
+  std::vector<double> top_throughput(kShardCounts.size(), 0);
+
+  for (size_t si = 0; si < kShardCounts.size(); ++si) {
+    int shards = kShardCounts[si];
+    for (int live : kLevels) {
+      RunResult r = RunLevel(shards, live, /*seed=*/42, false);
+      table.AddRow({StrFormat("%d", shards), StrFormat("%d", live),
+                    StrFormat("%.0f", r.virtual_hours),
+                    StrFormat("%.1f", r.tasks_per_virtual_hour),
+                    StrFormat("%llu",
+                              static_cast<unsigned long long>(r.barriers)),
+                    StrFormat("%.2f", r.barrier_wall_ms_avg),
+                    StrFormat("%.2f", r.wall_seconds)});
+      json.Add(StrFormat("shards_%d_live_%d", shards, live),
+               {{"shards", static_cast<double>(shards)},
+                {"live_instances", static_cast<double>(live)},
+                {"virtual_hours", r.virtual_hours},
+                {"tasks_dispatched", static_cast<double>(r.dispatched)},
+                {"tasks_per_virtual_hour", r.tasks_per_virtual_hour},
+                {"barriers", static_cast<double>(r.barriers)},
+                {"barrier_wall_ms_avg", r.barrier_wall_ms_avg},
+                {"pump_runs", static_cast<double>(r.pump_runs)},
+                {"wall_seconds", r.wall_seconds}});
+      if (live == kLevels.back()) top_throughput[si] = r.tasks_per_virtual_hour;
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // Aggregate virtual throughput vs the single-shard baseline: each shard
+  // brings its own 16-CPU partition, so the curve should be near-linear.
+  for (size_t si = 0; si < kShardCounts.size(); ++si) {
+    double speedup = top_throughput[0] == 0
+                         ? 0
+                         : top_throughput[si] / top_throughput[0];
+    std::printf("%d shard(s): %.1f tasks/virtual-hour (%.2fx vs 1 shard)\n",
+                kShardCounts[si], top_throughput[si], speedup);
+    json.Add(StrFormat("speedup_%dshards", kShardCounts[si]),
+             {{"shards", static_cast<double>(kShardCounts[si])},
+              {"tasks_per_virtual_hour", top_throughput[si]},
+              {"speedup_vs_1shard", speedup}});
+  }
+  bool scaled = top_throughput.back() >= 3.0 * top_throughput[0];
+  std::printf("aggregate throughput at 8 shards: %s (>= 3x required)\n\n",
+              scaled ? "ok" : "BELOW TARGET");
+
+  // Same-seed determinism self-check: two identical 2-shard runs must
+  // export byte-identical per-shard spans.
+  RunResult a = RunLevel(2, 1000, /*seed=*/7, true);
+  RunResult b = RunLevel(2, 1000, /*seed=*/7, true);
+  bool identical = a.shard_spans == b.shard_spans;
+  std::printf("same-seed 2-shard reruns byte-identical: %s\n",
+              identical ? "yes" : "NO");
+  json.Add("determinism_check",
+           {{"exports_byte_identical", identical ? 1.0 : 0.0},
+            {"shards", 2.0},
+            {"live_instances", 1000.0}});
+  if (!identical || !scaled) return 1;
+
+  if (!json_path.empty() && !json.Write(json_path)) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace biopera::bench
+
+int main(int argc, char** argv) { return biopera::bench::Main(argc, argv); }

@@ -316,6 +316,8 @@ Engine::Engine(Simulator* sim, cluster::ClusterSim* cluster,
         obs->metrics.GetCounter("engine_preexec_batches_total");
     preexec_tasks_metric_ =
         obs->metrics.GetCounter("engine_preexec_activities_total");
+    preexec_lookahead_metric_ =
+        obs->metrics.GetCounter("engine_preexec_lookahead_total");
     completed_metric_ = obs->metrics.GetCounter("engine_tasks_completed_total");
     failed_metric_ = obs->metrics.GetCounter("engine_tasks_failed_total");
     timed_out_metric_ = obs->metrics.GetCounter("engine_jobs_timed_out_total");
@@ -542,6 +544,7 @@ void Engine::Crash() {
   woken_classes_.clear();
   pump_overflow_.clear();
   pump_frozen_.clear();
+  lookahead_spec_.clear();
   for (const auto& [job_id, pending] : jobs_) {
     if (pending.watchdog != kInvalidEventId) sim_->Cancel(pending.watchdog);
   }
@@ -678,6 +681,7 @@ void Engine::TearDownFenced() {
   woken_classes_.clear();
   pump_overflow_.clear();
   pump_frozen_.clear();
+  lookahead_spec_.clear();
   for (const auto& [job_id, pending] : jobs_) {
     if (pending.watchdog != kInvalidEventId) sim_->Cancel(pending.watchdog);
   }
@@ -1641,6 +1645,15 @@ void Engine::EnqueueReady(ProcessInstance* inst, TaskNode* node) {
   entry.node_hint = node;
   entry.structure_gen = inst->structure_generation();
   if (node->def != nullptr) entry.resource_class = node->def->resource_class;
+  // A lookahead speculation for this task may already be computed; the
+  // scan's input-equality gate decides whether it is still valid.
+  if (!lookahead_spec_.empty()) {
+    auto spec = lookahead_spec_.find({entry.instance_id, entry.path});
+    if (spec != lookahead_spec_.end()) {
+      entry.pre_exec = std::move(spec->second);
+      lookahead_spec_.erase(spec);
+    }
+  }
   BeginAttemptSpan(&entry, inst, node);
   PushEntry(std::move(entry));
 }
@@ -1823,11 +1836,91 @@ void Engine::SchedulePumpRetry() {
 void Engine::PreExecuteReady() {
   if (options_.executor == nullptr || storage_failing_) return;
   std::vector<std::function<void()>> tasks;
-  for (auto& [key, entry] : ready_) {
+  // Mirror the scan's validation: only entries it would execute are
+  // worth speculating on. Entries that fail validation here are left
+  // for the scan, which reports failures in deterministic order.
+  auto speculate = [&](ReadyEntry& entry) {
+    if (entry.cached.has_value() || entry.pre_exec != nullptr) return;
+    ProcessInstance* inst = FindInstance(entry.instance_id);
+    if (inst == nullptr || inst->state() != InstanceState::kRunning) {
+      return;
+    }
+    TaskNode* node = inst->FindByPath(entry.path);
+    if (node == nullptr || node->state != TaskState::kReady) return;
+    std::string binding =
+        node->binding_used.empty() ? node->def->binding : node->binding_used;
+    Result<ActivityFn> fn = registry_->Find(binding);
+    if (!fn.ok()) return;
+    Result<ActivityInput> input = BuildInput(inst, node);
+    if (!input.ok()) return;
+    auto state = std::make_shared<PreExecState>();
+    state->input = std::move(*input);
+    entry.pre_exec = state;
+    tasks.push_back([state, fn = std::move(*fn)] {
+      state->output = fn(state->input);
+    });
+  };
+  for (auto& [key, entry] : ready_) speculate(entry);
+  if (options_.preexec_lookahead > 0) {
+    // Look ahead past this pump: inactive activity nodes are the ready
+    // frontier of *future* pumps — navigation marks them ready as their
+    // predecessors complete. Their inputs are assembled as they read
+    // right now; if navigation changes an input before the node is
+    // scanned (a data dependency on a still-pending output), the scan's
+    // equality gate discards the speculation and re-runs inline, so
+    // lookahead depth never affects results — only how much of the
+    // frontier's pure compute overlaps with simulated time. The walk is
+    // budgeted to bound wasted work on low-hit-rate graphs.
+    size_t budget = static_cast<size_t>(options_.preexec_lookahead) * 16;
+    // Drop speculations nothing will consume: their instance finished
+    // (or was archived) before the node ever became ready.
+    for (auto it = lookahead_spec_.begin(); it != lookahead_spec_.end();) {
+      ProcessInstance* inst = FindInstance(it->first.first);
+      if (inst == nullptr || inst->state() != InstanceState::kRunning) {
+        it = lookahead_spec_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto& [id, inst] : instances_) {
+      if (budget == 0) break;
+      if (inst->state() != InstanceState::kRunning) continue;
+      inst->ForEachNode([&](TaskNode* node) {
+        if (budget == 0) return;
+        if (node->def == nullptr || node->def->binding.empty()) return;
+        if (node->state != TaskState::kInactive) return;
+        std::pair<std::string, std::string> key{inst->id(), node->path};
+        if (lookahead_spec_.contains(key)) return;
+        Result<ActivityFn> fn = registry_->Find(node->def->binding);
+        if (!fn.ok()) return;
+        Result<ActivityInput> input = BuildInput(inst.get(), node);
+        if (!input.ok()) return;
+        auto state = std::make_shared<PreExecState>();
+        state->input = std::move(*input);
+        lookahead_spec_.emplace(std::move(key), state);
+        tasks.push_back([state, fn = std::move(*fn)] {
+          state->output = fn(state->input);
+        });
+        if (preexec_lookahead_metric_ != nullptr) {
+          preexec_lookahead_metric_->Increment();
+        }
+        --budget;
+      });
+    }
+  }
+  if (tasks.empty()) return;
+  if (preexec_batches_metric_ != nullptr) {
+    preexec_batches_metric_->Increment();
+    preexec_tasks_metric_->Increment(tasks.size());
+  }
+  options_.executor->RunBatch(std::move(tasks));
+}
+
+bool Engine::PreExecuteOverflow() {
+  if (options_.executor == nullptr || storage_failing_) return false;
+  std::vector<std::function<void()>> tasks;
+  for (ReadyEntry& entry : pump_overflow_) {
     if (entry.cached.has_value() || entry.pre_exec != nullptr) continue;
-    // Mirror the scan's validation: only entries it would execute are
-    // worth speculating on. Entries that fail validation here are left
-    // for the scan, which reports failures in deterministic order.
     ProcessInstance* inst = FindInstance(entry.instance_id);
     if (inst == nullptr || inst->state() != InstanceState::kRunning) {
       continue;
@@ -1847,12 +1940,13 @@ void Engine::PreExecuteReady() {
       state->output = fn(state->input);
     });
   }
-  if (tasks.empty()) return;
+  if (tasks.empty()) return false;
   if (preexec_batches_metric_ != nullptr) {
     preexec_batches_metric_->Increment();
     preexec_tasks_metric_->Increment(tasks.size());
   }
   options_.executor->RunBatch(std::move(tasks));
+  return true;
 }
 
 void Engine::PumpDispatch() {
@@ -2135,11 +2229,22 @@ void Engine::PumpDispatch() {
   }
   // Round 2: entries enqueued while the pump ran (navigation inside
   // completion and failure handling), in enqueue order — exactly where
-  // the old deque's mid-pump appends were scanned.
+  // the old deque's mid-pump appends were scanned. With an executor,
+  // each overflow wave — the next ready frontier — is first pre-executed
+  // as one pool batch (up to preexec_lookahead waves per pump), so
+  // speculation extends beyond the frontier PreExecuteReady covered; the
+  // drain itself keeps the exact inline order, and the input-equality
+  // gate in scan_entry keeps the results byte-identical.
+  int lookahead = options_.preexec_lookahead;
   while (verdict == Verdict::kContinue && !pump_overflow_.empty()) {
-    ReadyEntry entry = std::move(pump_overflow_.front());
-    pump_overflow_.pop_front();
-    verdict = scan_entry(std::move(entry));
+    if (lookahead > 0 && PreExecuteOverflow()) --lookahead;
+    size_t wave = pump_overflow_.size();
+    while (verdict == Verdict::kContinue && wave-- > 0 &&
+           !pump_overflow_.empty()) {
+      ReadyEntry entry = std::move(pump_overflow_.front());
+      pump_overflow_.pop_front();
+      verdict = scan_entry(std::move(entry));
+    }
   }
   pumping_ = false;
   // A mid-scan stop (fenced/degraded) leaves overflow entries; return

@@ -116,6 +116,17 @@ struct EngineOptions {
   /// implementations must be pure functions of their input (already
   /// required for crash re-execution). Must outlive the engine.
   exec::ThreadPool* executor = nullptr;
+  /// Speculation depth beyond the current pump's scan set. With an
+  /// executor and lookahead > 0, the pre-execute batch also covers
+  /// capacity-parked entries — the next ready frontier, dispatched by
+  /// *future* pumps once their resource class frees — and up to this
+  /// many mid-pump overflow waves (entries navigation enqueues while the
+  /// scan runs) are batched before the scan's tail drains them. 0
+  /// restores single-frontier speculation. Any value yields
+  /// byte-identical runs: a speculative result is only consumed when the
+  /// freshly built input equals the captured one (see the exec_test
+  /// pool-vs-inline identity check).
+  int preexec_lookahead = 4;
 };
 
 /// A summary row for one instance (monitoring queries, examples, benches).
@@ -471,6 +482,10 @@ class Engine : public cluster::ClusterListener, public comms::ReportHandler {
   /// input assembly, validation, ordering, failure handling and all
   /// observability stay on the engine thread.
   void PreExecuteReady();
+  /// Same speculation over the current pump-overflow wave (the next ready
+  /// frontier); returns true when a batch actually ran. Bounded per pump
+  /// by options.preexec_lookahead.
+  bool PreExecuteOverflow();
   void PumpDispatch();
   void SchedulePumpRetry();
   /// Arms the lost-report watchdog; returns its event id (kInvalidEventId
@@ -644,6 +659,13 @@ class Engine : public cluster::ClusterListener, public comms::ReportHandler {
   /// pump ends (or capacity frees mid-pump).
   bool pumping_ = false;
   std::deque<ReadyEntry> pump_overflow_;
+  /// Lookahead speculations for tasks that are not ready yet (inactive
+  /// nodes whose input could be assembled early), keyed by (instance id,
+  /// path). EnqueueReady attaches a hit to the new entry; the scan's
+  /// input-equality gate validates it like any other speculation.
+  std::map<std::pair<std::string, std::string>,
+           std::shared_ptr<PreExecState>>
+      lookahead_spec_;
   std::set<std::string, std::less<>> pump_frozen_;
 
   // -- Control plane state --
@@ -704,6 +726,7 @@ class Engine : public cluster::ClusterListener, public comms::ReportHandler {
   obs::Counter* pump_scanned_metric_ = nullptr;
   obs::Counter* preexec_batches_metric_ = nullptr;
   obs::Counter* preexec_tasks_metric_ = nullptr;
+  obs::Counter* preexec_lookahead_metric_ = nullptr;
   obs::Counter* completed_metric_ = nullptr;
   obs::Counter* failed_metric_ = nullptr;
   obs::Counter* timed_out_metric_ = nullptr;

@@ -1,0 +1,147 @@
+#include "darwin/banded_simd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+namespace biopera::darwin {
+
+namespace {
+
+int16_t QuantizePenalty(double penalty) {
+  long rounded = std::lround(penalty * kSwScoreScale);
+  if (rounded < 0) rounded = 0;
+  if (rounded > INT16_MAX) rounded = INT16_MAX;
+  return static_cast<int16_t>(rounded);
+}
+
+inline int16_t Subs16(int16_t a, int16_t b) {
+  int32_t v = static_cast<int32_t>(a) - b;
+  if (v > INT16_MAX) return INT16_MAX;
+  if (v < INT16_MIN) return INT16_MIN;
+  return static_cast<int16_t>(v);
+}
+
+inline int16_t Adds16(int16_t a, int16_t b) {
+  int32_t v = static_cast<int32_t>(a) + b;
+  if (v > INT16_MAX) return INT16_MAX;
+  if (v < INT16_MIN) return INT16_MIN;
+  return static_cast<int16_t>(v);
+}
+
+/// Scalar pass 1, the reference for the AVX2 variant: identical
+/// saturating-int16 operations cell by cell, so the kernels agree
+/// bit-for-bit (including when and where saturation clamps).
+void ScalarBandedRowPass(const int16_t* h_prev, const int16_t* e_prev,
+                         const int16_t* prof, int16_t open, int16_t extend,
+                         size_t lo, size_t hi, int16_t* h_cur,
+                         int16_t* e_cur) {
+  for (size_t j = lo; j <= hi; ++j) {
+    int16_t e = std::max(Subs16(h_prev[j], open), Subs16(e_prev[j], extend));
+    e_cur[j] = e;
+    int16_t match = Adds16(h_prev[j - 1], prof[j]);
+    h_cur[j] = std::max({static_cast<int16_t>(0), match, e});
+  }
+}
+
+}  // namespace
+
+SwScore BandedSimdScore(const Sequence& a, const Sequence& b,
+                        const QuantizedMatrix& qmatrix, size_t band,
+                        const GapPenalty& gaps, SwKernel kernel) {
+  const size_t n = a.length();
+  const size_t m = b.length();
+  if (n == 0 || m == 0) return {};
+  kernel = ResolveSwKernel(kernel);
+  // Only the scalar and AVX2 variants exist for the banded row shape;
+  // kSse2 (a striped-layout kernel) falls back to scalar here.
+  const bool use_avx2 = kernel == SwKernel::kAvx2;
+
+  const int16_t open = QuantizePenalty(gaps.open);
+  const int16_t extend = QuantizePenalty(gaps.extend);
+
+  // Target profile: prof[r][j] = score(r, b[j-1]) for j in 1..m, so each
+  // row's pass 1 reads one contiguous slice (no per-cell gather).
+  std::vector<int16_t> profile(static_cast<size_t>(kAlphabetSize) * (m + 2),
+                               0);
+  for (int r = 0; r < kAlphabetSize; ++r) {
+    int16_t* prof = profile.data() + static_cast<size_t>(r) * (m + 2);
+    for (size_t j = 1; j <= m; ++j) prof[j] = qmatrix.score[r][b[j - 1]];
+  }
+
+  // Full-width rows (+16 slack so unaligned vector tails never read past
+  // the allocation). Cells outside a row's window hold 0, the value the
+  // scalar double kernel assumes for out-of-band reads.
+  const size_t width = m + 2 + 16;
+  std::vector<int16_t> h_prev(width, 0), h_cur(width, 0);
+  std::vector<int16_t> e_prev(width, 0), e_cur(width, 0);
+
+  int16_t best = 0;
+  size_t prev_lo = 1, prev_hi = 0;  // empty before the first row
+  for (size_t i = 1; i <= n; ++i) {
+    const size_t center = (i * m) / n;
+    const size_t lo = center > band ? std::max<size_t>(1, center - band) : 1;
+    const size_t hi = std::min(m, center + band);
+    // The window only ever moves right; zero the cells this row reads
+    // that the previous row did not write (stale values from row i-2).
+    const size_t read_lo = lo == 0 ? 0 : lo - 1;
+    for (size_t j = read_lo; j < std::min(prev_lo, hi + 1); ++j) {
+      h_prev[j] = 0;
+      e_prev[j] = 0;
+    }
+    for (size_t j = std::max(prev_hi + 1, read_lo); j <= hi; ++j) {
+      h_prev[j] = 0;
+      e_prev[j] = 0;
+    }
+
+    const int16_t* prof =
+        profile.data() + static_cast<size_t>(a[i - 1]) * (m + 2);
+#if BIOPERA_HAVE_AVX2
+    if (use_avx2) {
+      internal::Avx2BandedRowPass(h_prev.data(), e_prev.data(), prof, open,
+                                  extend, lo, hi, h_cur.data(),
+                                  e_cur.data());
+    } else {
+      ScalarBandedRowPass(h_prev.data(), e_prev.data(), prof, open, extend,
+                          lo, hi, h_cur.data(), e_cur.data());
+    }
+#else
+    (void)use_avx2;
+    ScalarBandedRowPass(h_prev.data(), e_prev.data(), prof, open, extend, lo,
+                        hi, h_cur.data(), e_cur.data());
+#endif
+
+    // Pass 2: fold the horizontal-gap chain F left to right. f_j sees the
+    // final h_{j-1} (after its own F fold), so this is the sequential
+    // part; same saturating arithmetic as pass 1.
+    int16_t f = 0, h_left = 0;
+    for (size_t j = lo; j <= hi; ++j) {
+      f = std::max(Subs16(h_left, open), Subs16(f, extend));
+      int16_t cell = std::max(h_cur[j], f);
+      h_cur[j] = cell;
+      h_left = cell;
+      best = std::max(best, cell);
+    }
+
+    std::swap(h_prev, h_cur);
+    std::swap(e_prev, e_cur);
+    prev_lo = lo;
+    prev_hi = hi;
+  }
+  return {best, best == INT16_MAX};
+}
+
+double BandedSimdSmithWatermanScore(const Sequence& a, const Sequence& b,
+                                    const ScoringMatrix& matrix,
+                                    const QuantizedMatrix& qmatrix,
+                                    size_t band, const GapPenalty& gaps,
+                                    SwKernel kernel) {
+  SwScore s = BandedSimdScore(a, b, qmatrix, band, gaps, kernel);
+  if (s.saturated) {
+    return BandedSmithWatermanScore(a, b, matrix, band, gaps);
+  }
+  return s.Value();
+}
+
+}  // namespace biopera::darwin

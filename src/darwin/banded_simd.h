@@ -1,0 +1,61 @@
+#ifndef BIOPERA_DARWIN_BANDED_SIMD_H_
+#define BIOPERA_DARWIN_BANDED_SIMD_H_
+
+#include <cstdint>
+
+#include "darwin/align_simd.h"
+#include "darwin/banded.h"
+
+/// SIMD-banded Smith-Waterman: the quantized int16 counterpart of
+/// BandedSmithWatermanScore for the all-vs-all screen's diagonal case.
+///
+/// Each row's band window is processed in two passes. Pass 1 is the
+/// vectorizable part — the vertical-gap state E, the diagonal match term
+/// and the zero clamp have no intra-row dependency, so they run 16 cells
+/// per AVX2 vector against a prebuilt target profile. Pass 2 folds in the
+/// horizontal-gap state F, whose left-to-right chain (f_j depends on the
+/// *final* h_{j-1}) is inherently sequential; it runs scalar in the same
+/// saturating int16 arithmetic. Both the scalar and the AVX2 variant of
+/// pass 1 evaluate the identical saturating-int16 recurrence, so the two
+/// kernels are bit-identical cell by cell — the same argument as the
+/// striped kernels in align_simd.h (docs/KERNELS.md). A saturated best
+/// (+32767) promotes to the exact double banded kernel.
+
+namespace biopera::darwin {
+
+/// Quantized banded score of `a` vs `b` over a band of half width `band`
+/// around the length-proportional diagonal (same geometry as
+/// BandedSmithWatermanScore). `kernel` resolves as ResolveSwKernel with
+/// kSse2 mapped to the scalar variant (only AVX2 is implemented for the
+/// banded shape). A saturated result must be re-scored with the exact
+/// double kernel.
+SwScore BandedSimdScore(const Sequence& a, const Sequence& b,
+                        const QuantizedMatrix& qmatrix, size_t band,
+                        const GapPenalty& gaps = GapPenalty(),
+                        SwKernel kernel = SwKernel::kAuto);
+
+/// De-quantized convenience: quantized banded kernel with automatic
+/// promotion to the exact double banded kernel on saturation. The result
+/// is within QuantizationErrorBound of BandedSmithWatermanScore for the
+/// same band.
+double BandedSimdSmithWatermanScore(const Sequence& a, const Sequence& b,
+                                    const ScoringMatrix& matrix,
+                                    const QuantizedMatrix& qmatrix,
+                                    size_t band,
+                                    const GapPenalty& gaps = GapPenalty(),
+                                    SwKernel kernel = SwKernel::kAuto);
+
+namespace internal {
+/// AVX2 pass 1 of one banded row over window [lo, hi] (1-based): writes
+/// e_cur[j] = max(h_prev[j] - open, e_prev[j] - extend) and the pre-F
+/// h_cur[j] = max(0, h_prev[j-1] + prof[j], e_cur[j]). `prof` is the
+/// per-row slice of the target profile (prof[j] = score(a_i, b[j-1])).
+/// Compiled in banded_simd_avx2.cc with -mavx2.
+void Avx2BandedRowPass(const int16_t* h_prev, const int16_t* e_prev,
+                       const int16_t* prof, int16_t open, int16_t extend,
+                       size_t lo, size_t hi, int16_t* h_cur, int16_t* e_cur);
+}  // namespace internal
+
+}  // namespace biopera::darwin
+
+#endif  // BIOPERA_DARWIN_BANDED_SIMD_H_

@@ -1,0 +1,42 @@
+// AVX2 variant of the banded Smith-Waterman row pass. Like
+// align_simd_avx2.cc this is compiled with -mavx2 in its own translation
+// unit; callers reach it through runtime dispatch in banded_simd.cc.
+
+#include "darwin/banded_simd.h"
+
+#if BIOPERA_HAVE_AVX2
+
+#include <immintrin.h>
+
+namespace biopera::darwin::internal {
+
+void Avx2BandedRowPass(const int16_t* h_prev, const int16_t* e_prev,
+                       const int16_t* prof, int16_t open, int16_t extend,
+                       size_t lo, size_t hi, int16_t* h_cur, int16_t* e_cur) {
+  const __m256i v_zero = _mm256_setzero_si256();
+  const __m256i v_open = _mm256_set1_epi16(open);
+  const __m256i v_ext = _mm256_set1_epi16(extend);
+  // The last chunk reads and writes up to 15 cells past `hi`; the driver
+  // allocates the slack and zeroes every cell a later row reads, so the
+  // tail junk is never observed.
+  for (size_t j = lo; j <= hi; j += 16) {
+    __m256i v_h = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(h_prev + j));
+    __m256i v_e = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(e_prev + j));
+    __m256i v_e2 = _mm256_max_epi16(_mm256_subs_epi16(v_h, v_open),
+                                    _mm256_subs_epi16(v_e, v_ext));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(e_cur + j), v_e2);
+    __m256i v_diag = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(h_prev + j - 1));
+    __m256i v_match = _mm256_adds_epi16(
+        v_diag,
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(prof + j)));
+    __m256i v_t = _mm256_max_epi16(_mm256_max_epi16(v_match, v_e2), v_zero);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(h_cur + j), v_t);
+  }
+}
+
+}  // namespace biopera::darwin::internal
+
+#endif  // BIOPERA_HAVE_AVX2

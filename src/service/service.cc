@@ -1,0 +1,491 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "exec/thread_pool.h"
+#include "obs/json.h"
+#include "obs/timeline.h"
+
+namespace biopera::service {
+
+namespace {
+
+/// Wall-clock delta helper for barrier accounting (never feeds virtual
+/// time or any determinism-bearing state).
+uint64_t WallNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+ShardedService::ShardedService(std::string root_dir,
+                               core::ActivityRegistry* registry,
+                               ServiceOptions options)
+    : root_dir_(std::move(root_dir)),
+      registry_(registry),
+      options_(std::move(options)) {
+  if (options_.shards < 1) options_.shards = 1;
+}
+
+ShardedService::~ShardedService() = default;
+
+std::string ShardedService::ShardDir(int index) const {
+  return root_dir_ + "/" + StrFormat("shard-%03d", index);
+}
+
+std::string ShardedService::ManifestPath() const {
+  return root_dir_ + "/MANIFEST";
+}
+
+Status ShardedService::Startup() {
+  if (started_) return Status::FailedPrecondition("service already started");
+  std::error_code ec;
+  std::filesystem::create_directories(root_dir_, ec);
+  if (ec) {
+    return Status::IOError("cannot create service root " + root_dir_);
+  }
+
+  // Hosted shards = requested routing shards plus every pre-existing
+  // shard directory beyond them: a shrink keeps old shards hosted (and
+  // recovering, and serving queries) but routes no new work to them, so
+  // they drain instead of orphaning instances.
+  int hosted = options_.shards;
+  for (int i = hosted;; ++i) {
+    if (!std::filesystem::is_directory(ShardDir(i))) break;
+    hosted = i + 1;
+  }
+
+  EngineShard::Options shard_options = options_.shard;
+  shard_options.engine.seed = options_.seed;
+  if (options_.pool != nullptr &&
+      shard_options.engine.executor == options_.pool) {
+    // The barrier pool cannot be re-entered from inside a shard pump
+    // (ThreadPool::RunBatch is single-caller); hosted engines fall back
+    // to inline kernel execution.
+    shard_options.engine.executor = nullptr;
+  }
+
+  for (int i = 0; i < hosted; ++i) {
+    auto shard = std::make_unique<EngineShard>(i, ShardDir(i), registry_,
+                                               shard_options);
+    if (!shard->ok()) {
+      return Status::IOError(
+          StrFormat("shard %d: store open failed under %s", i,
+                    root_dir_.c_str()));
+    }
+    if (options_.configure_cluster) {
+      options_.configure_cluster(i, shard->cluster.get());
+    }
+    BIOPERA_RETURN_IF_ERROR(shard->engine->Startup());
+    shards_.push_back(std::move(shard));
+  }
+  router_ = std::make_unique<Router>(options_.shards, options_.placement,
+                                     options_.virtual_nodes);
+  BIOPERA_RETURN_IF_ERROR(LoadManifest());
+  RefreshLiveness();
+  started_ = true;
+  return Status::OK();
+}
+
+Status ShardedService::LoadManifest() {
+  std::ifstream in(ManifestPath());
+  if (!in.is_open()) return Status::OK();  // fresh service
+  std::string line;
+  while (std::getline(in, line)) {
+    // instance <global> <shard> <local-id> <tenant-json-escaped>
+    std::istringstream row(line);
+    std::string kind;
+    row >> kind;
+    if (kind != "instance") continue;
+    InstanceRec rec;
+    std::string tenant_escaped;
+    row >> rec.global_id >> rec.shard >> rec.instance_id >> tenant_escaped;
+    if (rec.global_id.empty() || rec.shard < 0 ||
+        rec.shard >= static_cast<int>(shards_.size())) {
+      continue;  // tolerate trailing garbage from a torn append
+    }
+    rec.tenant = obs::JsonUnescape(tenant_escaped).value_or(tenant_escaped);
+    // g<seq> handles: keep the sequence monotone across restarts.
+    if (rec.global_id.size() > 1 && rec.global_id[0] == 'g') {
+      uint64_t seq = std::strtoull(rec.global_id.c_str() + 1, nullptr, 10);
+      next_seq_ = std::max(next_seq_, seq + 1);
+    }
+    tenants_[rec.tenant];  // materialize the row
+    instances_[rec.global_id] = std::move(rec);
+  }
+  for (auto& [global_id, rec] : instances_) {
+    auto state = shards_[rec.shard]->engine->GetInstanceState(rec.instance_id);
+    rec.terminal = !state.ok() ||  // archived or lost: nothing to track
+                   (*state != core::InstanceState::kRunning &&
+                    *state != core::InstanceState::kSuspended);
+    if (!rec.terminal) live_ids_.insert(global_id);
+  }
+  return Status::OK();
+}
+
+Status ShardedService::AppendManifest(const InstanceRec& rec) {
+  std::ofstream out(ManifestPath(), std::ios::app);
+  if (!out.is_open()) {
+    return Status::IOError("cannot append service manifest");
+  }
+  out << "instance " << rec.global_id << " " << rec.shard << " "
+      << rec.instance_id << " " << obs::JsonEscape(rec.tenant) << "\n";
+  out.flush();
+  return out.good() ? Status::OK()
+                    : Status::IOError("service manifest write failed");
+}
+
+Status ShardedService::RegisterTemplate(const ocr::ProcessDef& def) {
+  for (auto& shard : shards_) {
+    BIOPERA_RETURN_IF_ERROR(shard->engine->RegisterTemplate(def));
+  }
+  return Status::OK();
+}
+
+bool ShardedService::WithinQuota(const std::string& tenant) const {
+  if (options_.max_live_instances != 0 &&
+      live_ids_.size() >= options_.max_live_instances) {
+    return false;
+  }
+  if (options_.max_live_per_tenant != 0) {
+    auto it = tenants_.find(tenant);
+    if (it != tenants_.end() && it->second.live >= options_.max_live_per_tenant)
+      return false;
+  }
+  return true;
+}
+
+Result<Ticket> ShardedService::Admit(const Submission& submission,
+                                     const std::string& global_id) {
+  const std::string& key =
+      submission.key.empty() ? global_id : submission.key;
+  int target = router_->Place(key);
+  EngineShard* shard = shards_[target].get();
+  BIOPERA_ASSIGN_OR_RETURN(
+      std::string instance_id,
+      shard->engine->StartProcess(submission.template_name, submission.args,
+                                  submission.priority));
+  InstanceRec rec;
+  rec.global_id = global_id;
+  rec.tenant = submission.tenant;
+  rec.instance_id = instance_id;
+  rec.shard = target;
+  Status persisted = AppendManifest(rec);
+  if (!persisted.ok()) {
+    BIOPERA_LOG(kWarning) << "manifest append failed: "
+                          << persisted.ToString();
+  }
+  instances_[global_id] = rec;
+  live_ids_.insert(global_id);
+  TenantStats& tstats = tenants_[submission.tenant];
+  ++tstats.admitted;
+  ++tstats.live;
+  ++stats_.admitted;
+  Ticket ticket;
+  ticket.global_id = global_id;
+  ticket.shard = target;
+  ticket.instance_id = instance_id;
+  return ticket;
+}
+
+Result<Ticket> ShardedService::Submit(const Submission& submission) {
+  if (!started_) return Status::FailedPrecondition("service not started");
+  ++stats_.submitted;
+  const std::string global_id = StrFormat(
+      "g%llu", static_cast<unsigned long long>(next_seq_++));
+  if (WithinQuota(submission.tenant)) {
+    return Admit(submission, global_id);
+  }
+  if (backlog_depth_ >= options_.max_backlog) {
+    ++tenants_[submission.tenant].rejected;
+    ++stats_.rejected;
+    --next_seq_;  // the handle was never issued
+    return Status::Unavailable("admission quota reached and backlog full");
+  }
+  backlog_[submission.tenant].emplace_back(global_id, submission);
+  ++backlog_depth_;
+  ++tenants_[submission.tenant].backlog;
+  Ticket ticket;
+  ticket.global_id = global_id;
+  ticket.backlogged = true;
+  return ticket;
+}
+
+void ShardedService::DrainBacklog() {
+  if (backlog_depth_ == 0) return;
+  // Round-robin across tenants (FIFO within one): each cycle admits at
+  // most one submission per tenant, so a heavy tenant cannot starve the
+  // others while quotas free up.
+  bool progressed = true;
+  while (backlog_depth_ > 0 && progressed) {
+    progressed = false;
+    // Start the cycle after the tenant that was served last.
+    auto start = backlog_.upper_bound(backlog_cursor_);
+    for (size_t visited = 0; visited < backlog_.size() + 1; ++visited) {
+      if (backlog_.empty()) break;
+      if (start == backlog_.end()) start = backlog_.begin();
+      auto current = start++;
+      const std::string tenant = current->first;
+      if (current->second.empty()) {
+        backlog_.erase(current);
+        continue;
+      }
+      if (!WithinQuota(tenant)) continue;
+      auto [global_id, submission] = std::move(current->second.front());
+      current->second.pop_front();
+      --backlog_depth_;
+      TenantStats& tstats = tenants_[tenant];
+      if (tstats.backlog > 0) --tstats.backlog;
+      backlog_cursor_ = tenant;
+      Result<Ticket> admitted = Admit(submission, global_id);
+      if (!admitted.ok()) {
+        BIOPERA_LOG(kWarning)
+            << "backlogged submission " << global_id
+            << " failed to start: " << admitted.status().ToString();
+        ++tstats.rejected;
+        ++stats_.rejected;
+      }
+      progressed = true;
+      if (current->second.empty()) backlog_.erase(tenant);
+    }
+  }
+}
+
+void ShardedService::RefreshLiveness() {
+  for (auto it = live_ids_.begin(); it != live_ids_.end();) {
+    InstanceRec& rec = instances_[*it];
+    auto state = shards_[rec.shard]->engine->GetInstanceState(rec.instance_id);
+    bool terminal = !state.ok() ||
+                    (*state != core::InstanceState::kRunning &&
+                     *state != core::InstanceState::kSuspended);
+    if (terminal) {
+      rec.terminal = true;
+      TenantStats& tstats = tenants_[rec.tenant];
+      if (tstats.live > 0) --tstats.live;
+      it = live_ids_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ShardedService::AdvanceAll(TimePoint target) {
+  const uint64_t t0 = WallNowNs();
+  if (options_.pool != nullptr && shards_.size() > 1) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(shards_.size());
+    for (auto& shard : shards_) {
+      EngineShard* s = shard.get();
+      tasks.push_back([s, target] { s->sim.RunUntil(target); });
+    }
+    options_.pool->RunBatch(std::move(tasks));
+  } else {
+    for (auto& shard : shards_) shard->sim.RunUntil(target);
+  }
+  stats_.barrier_wall_ns += WallNowNs() - t0;
+  ++stats_.barriers;
+}
+
+bool ShardedService::StepBarrier() {
+  DrainBacklog();
+  // Barrier target: the earliest pending event among shards that still
+  // have regular work, plus the quantum. Shards with only daemon events
+  // (periodic monitors) do not drive the barrier, but are advanced to
+  // the same target so the lockstep clock never skews.
+  bool any = false;
+  TimePoint earliest;
+  for (auto& shard : shards_) {
+    if (shard->sim.NumPendingRegular() == 0) continue;
+    TimePoint t;
+    if (shard->sim.NextEventTime(&t) && (!any || t < earliest)) {
+      earliest = t;
+      any = true;
+    }
+  }
+  if (!any) return false;
+  AdvanceAll(earliest + options_.barrier_quantum);
+  RefreshLiveness();
+  DrainBacklog();
+  return true;
+}
+
+void ShardedService::RunUntilQuiescent(size_t max_barriers) {
+  size_t steps = 0;
+  while (StepBarrier()) {
+    if (max_barriers != 0 && ++steps >= max_barriers) break;
+  }
+}
+
+void ShardedService::AdvanceUntil(TimePoint t) {
+  DrainBacklog();
+  AdvanceAll(t);
+  RefreshLiveness();
+  DrainBacklog();
+}
+
+TimePoint ShardedService::VirtualNow() const {
+  TimePoint now;
+  for (const auto& shard : shards_) now = std::max(now, shard->sim.Now());
+  return now;
+}
+
+Result<Ticket> ShardedService::Find(const std::string& global_id) const {
+  auto it = instances_.find(global_id);
+  if (it == instances_.end()) {
+    // Backlogged submissions have a handle but no placement yet.
+    for (const auto& [tenant, queue] : backlog_) {
+      for (const auto& [queued_id, submission] : queue) {
+        if (queued_id == global_id) {
+          Ticket ticket;
+          ticket.global_id = global_id;
+          ticket.backlogged = true;
+          return ticket;
+        }
+      }
+    }
+    return Status::NotFound("no instance " + global_id);
+  }
+  Ticket ticket;
+  ticket.global_id = global_id;
+  ticket.shard = it->second.shard;
+  ticket.instance_id = it->second.instance_id;
+  return ticket;
+}
+
+Result<core::InstanceState> ShardedService::GetState(
+    const std::string& global_id) const {
+  BIOPERA_ASSIGN_OR_RETURN(Ticket ticket, Find(global_id));
+  if (ticket.backlogged) {
+    return Status::Unavailable(global_id + " is queued for admission");
+  }
+  return shards_[ticket.shard]->engine->GetInstanceState(ticket.instance_id);
+}
+
+Result<ocr::Value> ShardedService::GetWhiteboardValue(
+    const std::string& global_id, const std::string& var) const {
+  BIOPERA_ASSIGN_OR_RETURN(Ticket ticket, Find(global_id));
+  if (ticket.backlogged) {
+    return Status::Unavailable(global_id + " is queued for admission");
+  }
+  return shards_[ticket.shard]->engine->GetWhiteboardValue(
+      ticket.instance_id, var);
+}
+
+size_t ShardedService::LiveInstances() const { return live_ids_.size(); }
+
+ServiceStats ShardedService::GetStats() const {
+  ServiceStats stats = stats_;
+  stats.backlog_depth = backlog_depth_;
+  stats.live = live_ids_.size();
+  for (const auto& shard : shards_) {
+    core::Engine::DispatchStats ds = shard->engine->GetDispatchStats();
+    stats.pump_runs += ds.pump_runs;
+    stats.dispatched += ds.dispatched;
+    stats.running_jobs += ds.running_jobs;
+    stats.queue_depth += ds.ready + ds.parked_starved + ds.parked_suspended;
+  }
+  return stats;
+}
+
+std::map<std::string, ShardedService::TenantStats>
+ShardedService::GetTenantStats() const {
+  return tenants_;
+}
+
+std::string ShardedService::BuildCrossShardReport() const {
+  std::ostringstream out;
+  size_t done = 0, failed = 0, live = 0;
+  uint64_t tasks_done = 0, tasks_total = 0;
+  struct ShardRow {
+    size_t live = 0, done = 0, failed = 0;
+    core::Engine::DispatchStats dispatch;
+    uint64_t epoch = 0;
+  };
+  std::vector<ShardRow> rows(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    ShardRow& row = rows[i];
+    row.dispatch = shards_[i]->engine->GetDispatchStats();
+    row.epoch = shards_[i]->engine->writer_epoch();
+    for (const auto& summary : shards_[i]->engine->ListInstances()) {
+      tasks_done += summary.tasks_done;
+      tasks_total += summary.tasks_total;
+      switch (summary.state) {
+        case core::InstanceState::kDone:
+          ++row.done;
+          ++done;
+          break;
+        case core::InstanceState::kFailed:
+        case core::InstanceState::kAborted:
+          ++row.failed;
+          ++failed;
+          break;
+        default:
+          ++row.live;
+          ++live;
+          break;
+      }
+    }
+  }
+  out << "=== cross-shard run report @ " << VirtualNow().ToString()
+      << " ===\n";
+  out << StrFormat(
+      "shards: %d hosted / %d routed   instances: %zu live, %zu done, "
+      "%zu failed   backlog: %zu\n",
+      hosted_shards(), routed_shards(), live, done, failed, backlog_depth_);
+  double pct = tasks_total == 0
+                   ? 0.0
+                   : 100.0 * static_cast<double>(tasks_done) /
+                         static_cast<double>(tasks_total);
+  out << StrFormat("activities: %llu / %llu (%.1f%%)\n",
+                   static_cast<unsigned long long>(tasks_done),
+                   static_cast<unsigned long long>(tasks_total), pct);
+  out << "shard  live  done  fail  queue  running  pumps  dispatched  "
+         "epoch\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ShardRow& row = rows[i];
+    out << StrFormat(
+        "%5zu %5zu %5zu %5zu %6zu %8zu %6llu %11llu %6llu%s\n", i, row.live,
+        row.done, row.failed,
+        row.dispatch.ready + row.dispatch.parked_starved +
+            row.dispatch.parked_suspended,
+        row.dispatch.running_jobs,
+        static_cast<unsigned long long>(row.dispatch.pump_runs),
+        static_cast<unsigned long long>(row.dispatch.dispatched),
+        static_cast<unsigned long long>(row.epoch),
+        static_cast<int>(i) >= options_.shards ? "  (draining)" : "");
+  }
+  if (!tenants_.empty()) {
+    out << "tenant  live  backlog  admitted  rejected\n";
+    for (const auto& [tenant, tstats] : tenants_) {
+      out << StrFormat("%s  %zu  %zu  %llu  %llu\n", tenant.c_str(),
+                       tstats.live, tstats.backlog,
+                       static_cast<unsigned long long>(tstats.admitted),
+                       static_cast<unsigned long long>(tstats.rejected));
+    }
+  }
+  return out.str();
+}
+
+std::string ShardedService::ExportShardSpans(int shard) const {
+  return shards_[shard]->obs.spans.ExportJsonl();
+}
+
+std::string ShardedService::ExportShardTrace(int shard) const {
+  return shards_[shard]->obs.trace.ExportJsonl();
+}
+
+std::string ShardedService::ExportShardTimeline(int shard) const {
+  const obs::Observability& obs = shards_[shard]->obs;
+  return obs::TimelineCsv(obs::BuildTimeline(obs.trace), obs.trace.dropped());
+}
+
+}  // namespace biopera::service

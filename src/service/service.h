@@ -1,0 +1,227 @@
+#ifndef BIOPERA_SERVICE_SERVICE_H_
+#define BIOPERA_SERVICE_SERVICE_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/engine.h"
+#include "ocr/model.h"
+#include "service/router.h"
+#include "service/shard.h"
+
+namespace biopera::exec {
+class ThreadPool;
+}
+
+namespace biopera::service {
+
+/// Configuration of the sharded multi-engine service (docs/SHARDING.md).
+struct ServiceOptions {
+  /// Engine shards that receive *new* placements. A reopen additionally
+  /// hosts every pre-existing shard directory beyond this count (so a
+  /// shrink drains old shards instead of orphaning their instances).
+  int shards = 1;
+  /// Service-wide seed; shard i's engine runs on ShardSeed(seed, i).
+  uint64_t seed = 1;
+  PlacementMode placement = PlacementMode::kConsistentHash;
+  int virtual_nodes = 64;
+  /// Lockstep barrier quantum: every barrier advances all shards to
+  /// (earliest pending event across shards with regular work) + quantum.
+  /// Larger quanta amortize barrier overhead; any value yields the same
+  /// per-shard execution (shards share no state between barriers).
+  Duration barrier_quantum = Duration::Minutes(1);
+  /// Admission control, all "0 = unlimited": global live-instance cap,
+  /// per-tenant live cap, and the bounded backlog that absorbs
+  /// over-quota submissions until capacity frees (beyond it, submissions
+  /// are rejected with Unavailable).
+  size_t max_live_instances = 0;
+  size_t max_live_per_tenant = 0;
+  size_t max_backlog = 0;
+  /// Pumps shard barriers concurrently (one RunUntil task per shard).
+  /// Because the pool is consumed here, hosted engines must not also use
+  /// it as their executor: Startup() nulls shard.engine.executor when it
+  /// equals this pool. Must outlive the service.
+  exec::ThreadPool* pool = nullptr;
+  /// Per-shard world options (engine template, fault channel, sink
+  /// capacities). shard.engine.seed is the template seed replaced per
+  /// shard; see EngineShard::Options.
+  EngineShard::Options shard;
+  /// Builds shard `index`'s cluster (required: a shard without nodes can
+  /// dispatch nothing). Must be deterministic per index.
+  std::function<void(int index, cluster::ClusterSim*)> configure_cluster;
+};
+
+/// One unit of work at the front door.
+struct Submission {
+  std::string tenant = "default";
+  std::string template_name;
+  ocr::Value::Map args;
+  int priority = 0;
+  /// Placement affinity key; empty uses the assigned global id (spreads
+  /// uniformly). Submissions sharing a key land on the same shard.
+  std::string key;
+};
+
+/// Admission outcome: the service-wide handle plus, once started, the
+/// owning shard and its engine-local instance id.
+struct Ticket {
+  std::string global_id;
+  int shard = -1;           // -1 while backlogged
+  std::string instance_id;  // empty while backlogged
+  bool backlogged = false;
+};
+
+/// Aggregate service counters (console STATS / bench output).
+struct ServiceStats {
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;
+  uint64_t barriers = 0;
+  uint64_t barrier_wall_ns = 0;  // wall time inside StepBarrier advances
+  size_t backlog_depth = 0;
+  size_t live = 0;
+  // Aggregated engine dispatch stats across hosted shards.
+  uint64_t pump_runs = 0;
+  uint64_t dispatched = 0;
+  uint64_t running_jobs = 0;
+  uint64_t queue_depth = 0;
+};
+
+/// The virtual laboratory: N single-engine shards behind an admission/
+/// routing front door. Instances are partitioned across shards by
+/// consistent hashing (or round-robin), each shard owns its own store and
+/// deterministic RNG stream, and virtual time advances in lockstep
+/// barriers — concurrently on a thread pool when one is provided — so
+/// same-seed runs stay byte-identical per shard regardless of shard
+/// interleaving, pool size, or barrier quantum. See docs/SHARDING.md.
+class ShardedService {
+ public:
+  /// `root_dir` holds one subdirectory per shard ("shard-000", ...) plus
+  /// the service MANIFEST (instance -> shard placements, so lookups and
+  /// reopens with a different shard count stay correct). The registry is
+  /// shared by all shard engines and must outlive the service.
+  ShardedService(std::string root_dir, core::ActivityRegistry* registry,
+                 ServiceOptions options);
+  ~ShardedService();
+  ShardedService(const ShardedService&) = delete;
+  ShardedService& operator=(const ShardedService&) = delete;
+
+  /// Creates/reopens every shard world, starts the engines (each
+  /// acquires a fresh writer epoch on its own store, fencing any earlier
+  /// service generation per shard), loads the manifest and reconciles it
+  /// against the recovered instances. Hosted shard count =
+  /// max(options.shards, existing shard directories).
+  Status Startup();
+
+  /// Registers the template on every hosted shard.
+  Status RegisterTemplate(const ocr::ProcessDef& def);
+
+  /// Admission: starts the instance on its routed shard if the quotas
+  /// allow, queues it in the bounded backlog otherwise, rejects with
+  /// Unavailable when the backlog is full. Backlogged work is
+  /// admitted (round-robin across tenants, FIFO within one) as capacity
+  /// frees at barrier boundaries. The backlog is in-memory: work queued
+  /// but not yet started does not survive a service restart.
+  Result<Ticket> Submit(const Submission& submission);
+
+  /// One lockstep barrier: drains admissions, advances every hosted
+  /// shard to the common target time (concurrently when a pool is set),
+  /// then refreshes liveness and drains again. Returns false when fully
+  /// quiescent (no regular events anywhere and an un-admittable or empty
+  /// backlog).
+  bool StepBarrier();
+  /// Barriers until quiescent. `max_barriers` bounds runaway loops
+  /// (0 = unbounded).
+  void RunUntilQuiescent(size_t max_barriers = 0);
+  /// Single barrier to exactly `t` on every shard (chaos scripting).
+  void AdvanceUntil(TimePoint t);
+
+  /// The lockstep clock: every hosted shard's virtual now after a
+  /// barrier (the max across shards between barriers).
+  TimePoint VirtualNow() const;
+
+  // --- Queries --------------------------------------------------------------
+  Result<Ticket> Find(const std::string& global_id) const;
+  Result<core::InstanceState> GetState(const std::string& global_id) const;
+  Result<ocr::Value> GetWhiteboardValue(const std::string& global_id,
+                                        const std::string& var) const;
+
+  int hosted_shards() const { return static_cast<int>(shards_.size()); }
+  int routed_shards() const { return options_.shards; }
+  /// Hosted shard world (0 <= i < hosted_shards()); null before Startup.
+  EngineShard* shard(int i) { return shards_[i].get(); }
+  const EngineShard* shard(int i) const { return shards_[i].get(); }
+
+  size_t LiveInstances() const;
+  ServiceStats GetStats() const;
+
+  struct TenantStats {
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;
+    size_t live = 0;
+    size_t backlog = 0;
+  };
+  std::map<std::string, TenantStats> GetTenantStats() const;
+
+  /// Merged cross-shard run report: service totals, per-shard and
+  /// per-tenant tables. Deterministic for same-seed runs.
+  std::string BuildCrossShardReport() const;
+
+  // --- Per-shard export fan-in (byte-identity checks, artifacts) ------------
+  std::string ExportShardSpans(int shard) const;
+  std::string ExportShardTrace(int shard) const;
+  std::string ExportShardTimeline(int shard) const;
+
+ private:
+  struct InstanceRec {
+    std::string global_id;
+    std::string tenant;
+    std::string instance_id;
+    int shard = -1;
+    bool terminal = false;
+  };
+
+  Result<Ticket> Admit(const Submission& submission,
+                       const std::string& global_id);
+  bool WithinQuota(const std::string& tenant) const;
+  /// Admits backlogged submissions round-robin across tenants while the
+  /// quotas allow.
+  void DrainBacklog();
+  /// Polls non-terminal instances and updates live counts.
+  void RefreshLiveness();
+  void AdvanceAll(TimePoint target);
+
+  Status LoadManifest();
+  Status AppendManifest(const InstanceRec& rec);
+  std::string ManifestPath() const;
+  std::string ShardDir(int index) const;
+
+  std::string root_dir_;
+  core::ActivityRegistry* registry_;
+  ServiceOptions options_;
+  std::unique_ptr<Router> router_;
+  std::vector<std::unique_ptr<EngineShard>> shards_;
+
+  std::map<std::string, InstanceRec> instances_;  // by global id
+  std::set<std::string> live_ids_;                // non-terminal global ids
+  std::map<std::string, TenantStats> tenants_;
+  /// Backlog: FIFO per tenant + rotation cursor for fairness.
+  std::map<std::string, std::deque<std::pair<std::string, Submission>>>
+      backlog_;
+  std::string backlog_cursor_;  // tenant after which the next drain starts
+  size_t backlog_depth_ = 0;
+  uint64_t next_seq_ = 1;
+  ServiceStats stats_;
+  bool started_ = false;
+};
+
+}  // namespace biopera::service
+
+#endif  // BIOPERA_SERVICE_SERVICE_H_

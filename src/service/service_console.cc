@@ -1,0 +1,146 @@
+#include "service/service_console.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/strings.h"
+#include "core/console.h"
+#include "obs/metrics.h"
+
+namespace biopera::service {
+
+namespace {
+
+std::vector<std::string> SplitWords(const std::string& line) {
+  std::vector<std::string> words;
+  std::istringstream in(line);
+  std::string word;
+  while (in >> word) words.push_back(word);
+  return words;
+}
+
+}  // namespace
+
+Result<std::string> ServiceConsole::MergedMetrics(
+    const std::string& prefix) const {
+  // Counters and gauges sum across shards; histograms merge counts, sums
+  // and per-bucket tallies (all shards share bucket bounds for a metric
+  // because the instrumented code is identical).
+  std::map<std::string, obs::MetricsSnapshot::Entry> merged;
+  for (int i = 0; i < service_->hosted_shards(); ++i) {
+    obs::MetricsSnapshot snapshot =
+        service_->shard(i)->obs.metrics.Snapshot();
+    for (const auto& entry : snapshot.entries) {
+      auto [it, inserted] = merged.emplace(entry.key, entry);
+      if (inserted) continue;
+      obs::MetricsSnapshot::Entry& acc = it->second;
+      acc.value += entry.value;
+      acc.count += entry.count;
+      acc.sum += entry.sum;
+      if (acc.buckets.size() == entry.buckets.size()) {
+        for (size_t b = 0; b < acc.buckets.size(); ++b) {
+          acc.buckets[b] += entry.buckets[b];
+        }
+      }
+    }
+  }
+  obs::MetricsSnapshot out;
+  out.entries.reserve(merged.size());
+  for (auto& [key, entry] : merged) out.entries.push_back(std::move(entry));
+  return out.ToText(prefix);
+}
+
+Result<std::string> ServiceConsole::Execute(const std::string& line) {
+  std::vector<std::string> words = SplitWords(line);
+  if (words.empty()) return Status::InvalidArgument("empty command");
+
+  // Shard passthrough: @<i> <cmd...>
+  if (words[0].size() > 1 && words[0][0] == '@') {
+    int shard = std::atoi(words[0].c_str() + 1);
+    if (shard < 0 || shard >= service_->hosted_shards()) {
+      return Status::NotFound(StrFormat("no shard %d", shard));
+    }
+    size_t rest = line.find(words[0]) + words[0].size();
+    while (rest < line.size() && line[rest] == ' ') ++rest;
+    if (rest >= line.size()) {
+      return Status::InvalidArgument("usage: @<shard> <command>");
+    }
+    return service_->shard(shard)->console->Execute(line.substr(rest));
+  }
+
+  const std::string& cmd = words[0];
+  if (cmd == "SHARDS") {
+    std::ostringstream out;
+    out << StrFormat("%d hosted / %d routed\n", service_->hosted_shards(),
+                     service_->routed_shards());
+    out << "shard  live  dir\n";
+    for (int i = 0; i < service_->hosted_shards(); ++i) {
+      const EngineShard* shard = service_->shard(i);
+      out << StrFormat("%5d %5zu  %s%s\n", i, shard->LiveInstances(),
+                       shard->dir.c_str(),
+                       i >= service_->routed_shards() ? "  (draining)" : "");
+    }
+    return out.str();
+  }
+  if (cmd == "STATS") {
+    ServiceStats stats = service_->GetStats();
+    return StrFormat(
+        "submitted=%llu admitted=%llu rejected=%llu backlog=%zu live=%zu\n"
+        "barriers=%llu barrier_wall_ms=%.1f\n"
+        "pump_runs=%llu dispatched=%llu running=%llu queue=%llu\n",
+        static_cast<unsigned long long>(stats.submitted),
+        static_cast<unsigned long long>(stats.admitted),
+        static_cast<unsigned long long>(stats.rejected), stats.backlog_depth,
+        stats.live, static_cast<unsigned long long>(stats.barriers),
+        static_cast<double>(stats.barrier_wall_ns) / 1e6,
+        static_cast<unsigned long long>(stats.pump_runs),
+        static_cast<unsigned long long>(stats.dispatched),
+        static_cast<unsigned long long>(stats.running_jobs),
+        static_cast<unsigned long long>(stats.queue_depth));
+  }
+  if (cmd == "TENANTS") {
+    std::ostringstream out;
+    out << "tenant  live  backlog  admitted  rejected\n";
+    for (const auto& [tenant, tstats] : service_->GetTenantStats()) {
+      out << StrFormat("%s  %zu  %zu  %llu  %llu\n", tenant.c_str(),
+                       tstats.live, tstats.backlog,
+                       static_cast<unsigned long long>(tstats.admitted),
+                       static_cast<unsigned long long>(tstats.rejected));
+    }
+    return out.str();
+  }
+  if (cmd == "REPORT") return service_->BuildCrossShardReport();
+  if (cmd == "METRICS") {
+    return MergedMetrics(words.size() > 1 ? words[1] : "");
+  }
+
+  // Global-id instance commands: rewrite to the owning shard console.
+  static const char* kInstanceCommands[] = {"STATUS",  "SUSPEND", "RESUME",
+                                            "ABORT",   "RESTART", "HISTORY",
+                                            "WB",      "LINEAGE"};
+  for (const char* known : kInstanceCommands) {
+    if (cmd != known) continue;
+    if (words.size() < 2) {
+      return Status::InvalidArgument(cmd + " needs a global instance id");
+    }
+    BIOPERA_ASSIGN_OR_RETURN(Ticket ticket, service_->Find(words[1]));
+    if (ticket.backlogged) {
+      return std::string(words[1] + ": queued for admission (no shard yet)\n");
+    }
+    std::string rewritten = cmd;
+    rewritten += " " + ticket.instance_id;
+    for (size_t w = 2; w < words.size(); ++w) rewritten += " " + words[w];
+    BIOPERA_ASSIGN_OR_RETURN(
+        std::string out,
+        service_->shard(ticket.shard)->console->Execute(rewritten));
+    return StrFormat("[shard %d] ", ticket.shard) + out;
+  }
+
+  return Status::InvalidArgument(
+      "unknown service command " + cmd +
+      " (try SHARDS, STATS, TENANTS, REPORT, METRICS, @<shard> <cmd>, or an "
+      "instance command with a global id)");
+}
+
+}  // namespace biopera::service

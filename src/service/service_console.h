@@ -1,0 +1,35 @@
+#ifndef BIOPERA_SERVICE_SERVICE_CONSOLE_H_
+#define BIOPERA_SERVICE_SERVICE_CONSOLE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "service/service.h"
+
+namespace biopera::service {
+
+/// Operator console over the whole sharded service. Three command forms:
+///
+///  * Service-level: SHARDS, STATS, TENANTS, REPORT, METRICS [prefix]
+///    (metrics merged by summing every shard's registry snapshot).
+///  * Shard passthrough: `@<i> <cmd>` runs `<cmd>` verbatim on shard i's
+///    AdminConsole (e.g. `@2 PS`, `@0 SCRUB`).
+///  * Instance commands addressed by *global* id: STATUS / SUSPEND /
+///    RESUME / ABORT / RESTART / HISTORY / WB / LINEAGE are routed to the
+///    owning shard with the id rewritten to the engine-local one.
+class ServiceConsole {
+ public:
+  explicit ServiceConsole(ShardedService* service) : service_(service) {}
+
+  /// Executes one command line; the result is the console output text.
+  Result<std::string> Execute(const std::string& line);
+
+ private:
+  Result<std::string> MergedMetrics(const std::string& prefix) const;
+
+  ShardedService* service_;
+};
+
+}  // namespace biopera::service
+
+#endif  // BIOPERA_SERVICE_SERVICE_CONSOLE_H_

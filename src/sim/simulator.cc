@@ -43,6 +43,15 @@ bool Simulator::Cancel(EventId id) {
   return true;
 }
 
+bool Simulator::NextEventTime(TimePoint* t) {
+  while (!queue_.empty() && live_.find(queue_.top().id) == live_.end()) {
+    queue_.pop();  // cancelled; drop the stale heap entry
+  }
+  if (queue_.empty()) return false;
+  *t = queue_.top().time;
+  return true;
+}
+
 bool Simulator::PopNext(Entry* out, bool* daemon) {
   while (!queue_.empty()) {
     Entry e = std::move(const_cast<Entry&>(queue_.top()));

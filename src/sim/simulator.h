@@ -66,6 +66,12 @@ class Simulator : public Clock {
   /// Runs for `d` of virtual time from now.
   void RunFor(Duration d) { RunUntil(now_ + d); }
 
+  /// Time of the earliest pending event (daemons included). Returns false
+  /// when nothing is scheduled. Prunes cancelled entries off the heap
+  /// head, so it is not const; it never executes or reorders anything.
+  /// The sharded service uses it to pick lockstep barrier targets.
+  bool NextEventTime(TimePoint* t);
+
   /// Number of pending (non-cancelled) events, daemons included.
   size_t NumPending() const { return live_.size(); }
   /// Pending regular (non-daemon) events.

@@ -8,6 +8,7 @@
 #include "darwin/align.h"
 #include "darwin/align_simd.h"
 #include "darwin/banded.h"
+#include "darwin/banded_simd.h"
 #include "darwin/pam.h"
 #include "ocr/builder.h"
 #include "workloads/partition.h"
@@ -441,14 +442,36 @@ Status RegisterAllVsAllActivities(ActivityRegistry* registry,
               ctx->pam->Scoring(ctx->fixed_pam);
           std::vector<Match> matches;
           if (ctx->use_banded_screen) {
-            // Banded screen: per-pair scalar kernel over a narrow band.
+            // Banded screen: quantized SIMD banded kernel per pair, with
+            // saturated pairs and pairs inside the quantization band of
+            // the threshold re-scored by the exact double banded kernel —
+            // the accept set and the recorded scores are bit-identical to
+            // screening every pair with BandedSmithWatermanScore.
+            const darwin::QuantizedMatrix& qmatrix =
+                ctx->pam->QuantizedScoring(ctx->fixed_pam);
+            const darwin::SwKernel kernel = darwin::ResolveSwKernel();
+            uint64_t banded_rescored = 0;
             auto align_pair = [&](uint32_t ei, uint32_t ej) {
               const darwin::Sequence& sa = (*ctx->dataset)[ei];
               const darwin::Sequence& sb = (*ctx->dataset)[ej];
-              double score = darwin::BandedSmithWatermanScore(
-                  sa, sb, matrix,
-                  darwin::SuggestBand(sa.length(), sb.length(),
-                                      ctx->fixed_pam));
+              const size_t band = darwin::SuggestBand(
+                  sa.length(), sb.length(), ctx->fixed_pam);
+              darwin::SwScore q = darwin::BandedSimdScore(
+                  sa, sb, qmatrix, band, darwin::GapPenalty{}, kernel);
+              double score;
+              if (q.saturated) {
+                score = darwin::BandedSmithWatermanScore(sa, sb, matrix,
+                                                         band);
+                ++banded_rescored;
+              } else {
+                double bound = darwin::QuantizationErrorBound(
+                    sa.length(), sb.length(), qmatrix,
+                    darwin::GapPenalty{});
+                if (q.Value() < ctx->match_threshold - bound) return;
+                score = darwin::BandedSmithWatermanScore(sa, sb, matrix,
+                                                         band);
+                ++banded_rescored;
+              }
               if (score >= ctx->match_threshold) {
                 Match m;
                 m.entry_a = std::min(ei, ej);
@@ -467,6 +490,12 @@ Status RegisterAllVsAllActivities(ActivityRegistry* registry,
                 align_pair(entries[qi], entries[qj]);
               }
             }
+            out.provenance.emplace_back(
+                "sw_kernel", std::string(darwin::SwKernelName(kernel)));
+            out.provenance.emplace_back(
+                "sw_rescored",
+                StrFormat("%llu", static_cast<unsigned long long>(
+                                      banded_rescored)));
           } else {
             // Full pass: one striped-SIMD batch per query entry, with
             // every pair inside the quantization band of the threshold

@@ -83,11 +83,15 @@ struct EngineExports {
   std::string master_file;
   uint64_t preexec_batches = 0;
   uint64_t preexec_tasks = 0;
+  uint64_t preexec_lookahead = 0;
 };
 
 /// One small real-mode all-vs-all (actual Smith-Waterman kernels, not the
 /// cost model), optionally pre-executing dispatched activities on a pool.
-EngineExports RunRealAllVsAll(uint64_t seed, ThreadPool* pool) {
+/// `lookahead` sets EngineOptions::preexec_lookahead (-1 keeps default);
+/// `num_teus` widens the fan-out past cluster capacity so entries park.
+EngineExports RunRealAllVsAll(uint64_t seed, ThreadPool* pool,
+                              int lookahead = -1, int num_teus = 4) {
   Rng rng(seed);
   darwin::GeneratorOptions gen;
   gen.num_sequences = 16;
@@ -116,6 +120,7 @@ EngineExports RunRealAllVsAll(uint64_t seed, ThreadPool* pool) {
   EngineOptions options;
   options.observability = &obs;
   options.executor = pool;
+  if (lookahead >= 0) options.preexec_lookahead = lookahead;
   Engine engine(&sim, &cluster, store.get(), &registry, options);
   EXPECT_TRUE(engine.Startup().ok());
   EXPECT_TRUE(engine.RegisterTemplate(workloads::BuildAllVsAllProcess()).ok());
@@ -123,7 +128,7 @@ EngineExports RunRealAllVsAll(uint64_t seed, ThreadPool* pool) {
       engine.RegisterTemplate(workloads::BuildAlignPartitionProcess()).ok());
   Value::Map args;
   args["db_name"] = Value("exec-real16");
-  args["num_teus"] = Value(4);
+  args["num_teus"] = Value(num_teus);
   auto id = engine.StartProcess("all_vs_all", args);
   EXPECT_TRUE(id.ok());
   sim.Run();
@@ -139,10 +144,15 @@ EngineExports RunRealAllVsAll(uint64_t seed, ThreadPool* pool) {
   obs::MetricsSnapshot snap = obs.metrics.Snapshot();
   const auto* batches = snap.Find("engine_preexec_batches_total");
   const auto* tasks = snap.Find("engine_preexec_activities_total");
+  const auto* lookahead_specs = snap.Find("engine_preexec_lookahead_total");
   out.preexec_batches =
       batches == nullptr ? 0 : static_cast<uint64_t>(batches->value);
   out.preexec_tasks =
       tasks == nullptr ? 0 : static_cast<uint64_t>(tasks->value);
+  out.preexec_lookahead =
+      lookahead_specs == nullptr
+          ? 0
+          : static_cast<uint64_t>(lookahead_specs->value);
   return out;
 }
 
@@ -172,6 +182,41 @@ TEST(ThreadPoolEngineTest, PooledRunsAreMutuallyDeterministic) {
   EXPECT_EQ(a.spans_jsonl, b.spans_jsonl);
   EXPECT_EQ(a.lineage_jsonl, b.lineage_jsonl);
   EXPECT_EQ(a.master_file, b.master_file);
+}
+
+// Multi-frontier speculation: with preexec_lookahead > 0, inactive
+// activity nodes — the ready frontier of *future* pumps — are also
+// pre-executed as pool batches, and overflow waves that form mid-pump
+// get their own batches. The byte-identity contract must hold at every
+// depth — against the inline run AND against single-frontier
+// speculation.
+TEST(ThreadPoolEngineTest, LookaheadDepthsAreByteIdentical) {
+  ThreadPool pool(4);
+  // 12 TEUs against 4 cpus: most of the fan-out parks for capacity, so
+  // plenty of inactive downstream nodes exist while pumps run.
+  EngineExports inline_run = RunRealAllVsAll(31, nullptr, -1, 12);
+  EngineExports frontier_only = RunRealAllVsAll(31, &pool, 0, 12);
+  EngineExports deep = RunRealAllVsAll(31, &pool, 8, 12);
+
+  EXPECT_GT(frontier_only.preexec_batches, 0u);
+  // Depth 0 never reaches past the current ready set; depth 8 must
+  // speculate ahead of it.
+  EXPECT_EQ(frontier_only.preexec_lookahead, 0u);
+  EXPECT_GT(deep.preexec_lookahead, 0u);
+  // Speculation count is conserved: lookahead moves pre-execution
+  // earlier (overlapping more compute with the pump) but every activity
+  // is still speculated at most once.
+  EXPECT_EQ(deep.preexec_tasks, frontier_only.preexec_tasks);
+
+  EXPECT_FALSE(inline_run.spans_jsonl.empty());
+  EXPECT_EQ(inline_run.spans_jsonl, frontier_only.spans_jsonl);
+  EXPECT_EQ(inline_run.spans_jsonl, deep.spans_jsonl);
+  EXPECT_EQ(inline_run.lineage_jsonl, frontier_only.lineage_jsonl);
+  EXPECT_EQ(inline_run.lineage_jsonl, deep.lineage_jsonl);
+  EXPECT_EQ(inline_run.trace_jsonl, frontier_only.trace_jsonl);
+  EXPECT_EQ(inline_run.trace_jsonl, deep.trace_jsonl);
+  EXPECT_EQ(inline_run.master_file, frontier_only.master_file);
+  EXPECT_EQ(inline_run.master_file, deep.master_file);
 }
 
 }  // namespace
