@@ -6,7 +6,9 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "exec/thread_pool.h"
+#include "obs/barrier_profile.h"
 #include "obs/json.h"
+#include "obs/quantile.h"
 #include "ocr/ocr_text.h"
 #include "store/codec.h"
 
@@ -549,6 +551,7 @@ void Engine::Crash() {
     if (pending.watchdog != kInvalidEventId) sim_->Cancel(pending.watchdog);
   }
   jobs_.clear();
+  NoteJobsMaybeDrained();
   jobs_by_instance_.clear();
   jobs_by_node_.clear();
   awareness_ = monitor::AwarenessModel();
@@ -686,6 +689,7 @@ void Engine::TearDownFenced() {
     if (pending.watchdog != kInvalidEventId) sim_->Cancel(pending.watchdog);
   }
   jobs_.clear();
+  NoteJobsMaybeDrained();
   jobs_by_instance_.clear();
   jobs_by_node_.clear();
   awareness_ = monitor::AwarenessModel();
@@ -1743,6 +1747,13 @@ Engine::DispatchStats Engine::GetDispatchStats() const {
     stats.entries_scanned = pump_scanned_metric_->value();
     stats.dispatched = dispatched_metric_->value();
   }
+  stats.busy_virtual_us = busy_virtual_us_;
+  if (busy_open_) {
+    // The open window counts up to "now" so per-barrier deltas are
+    // monotone even while jobs are still in flight.
+    stats.busy_virtual_us +=
+        static_cast<uint64_t>((sim_->Now() - busy_since_).micros());
+  }
   return stats;
 }
 
@@ -1751,12 +1762,28 @@ void Engine::IndexJob(cluster::JobId job_id, const PendingJob& pending) {
   jobs_by_node_[pending.node].insert(job_id);
 }
 
+void Engine::NoteJobsNonEmpty() {
+  if (!busy_open_ && !jobs_.empty()) {
+    busy_open_ = true;
+    busy_since_ = sim_->Now();
+  }
+}
+
+void Engine::NoteJobsMaybeDrained() {
+  if (busy_open_ && jobs_.empty()) {
+    busy_open_ = false;
+    busy_virtual_us_ +=
+        static_cast<uint64_t>((sim_->Now() - busy_since_).micros());
+  }
+}
+
 Engine::PendingJob Engine::TakeJob(
     std::map<cluster::JobId, PendingJob>::iterator it, bool failed,
     std::string_view outcome) {
   cluster::JobId job_id = it->first;
   PendingJob pending = std::move(it->second);
   jobs_.erase(it);
+  NoteJobsMaybeDrained();
   if (spans_ != nullptr) {
     spans_->End(pending.job_span, std::string(outcome));
     spans_->End(pending.attempt_span, std::string(outcome));
@@ -1913,7 +1940,12 @@ void Engine::PreExecuteReady() {
     preexec_batches_metric_->Increment();
     preexec_tasks_metric_->Increment(tasks.size());
   }
-  options_.executor->RunBatch(std::move(tasks));
+  {
+    // Pool-batched kernel execution is `kernel` wall time, not `pump`.
+    obs::WallProfile::Scope kernel_scope(options_.wall_profile,
+                                         obs::WallProfile::kKernel);
+    options_.executor->RunBatch(std::move(tasks));
+  }
 }
 
 bool Engine::PreExecuteOverflow() {
@@ -1945,12 +1977,35 @@ bool Engine::PreExecuteOverflow() {
     preexec_batches_metric_->Increment();
     preexec_tasks_metric_->Increment(tasks.size());
   }
-  options_.executor->RunBatch(std::move(tasks));
+  {
+    // Pool-batched kernel execution is `kernel` wall time, not `pump`.
+    obs::WallProfile::Scope kernel_scope(options_.wall_profile,
+                                         obs::WallProfile::kKernel);
+    options_.executor->RunBatch(std::move(tasks));
+  }
   return true;
 }
 
+namespace {
+
+/// Inline kernel execution, attributed to the `kernel` wall bucket so the
+/// barrier-stall profiler separates compute from dispatcher navigation.
+Result<ActivityOutput> RunKernelScoped(obs::WallProfile* profile,
+                                       const ActivityFn& fn,
+                                       const ActivityInput& input) {
+  obs::WallProfile::Scope scope(profile, obs::WallProfile::kKernel);
+  return fn(input);
+}
+
+}  // namespace
+
 void Engine::PumpDispatch() {
   if (!up_ || degraded_) return;  // degraded: no dispatch until writes heal
+  // Wall-clock self-time of the whole pump is `pump`; the kernel and
+  // store scopes opened inside subtract themselves out, so the three
+  // buckets never double-count (see obs::WallProfile).
+  obs::WallProfile::Scope pump_scope(options_.wall_profile,
+                                     obs::WallProfile::kPump);
   // One commit group per pump: state transitions for all entries handled
   // in this pass coalesce into (at most) a few WAL records, bounded by
   // the pre-dispatch flush barriers below.
@@ -2039,7 +2094,7 @@ void Engine::PumpDispatch() {
               : (storage_failing_
                      ? Result<ActivityOutput>(Status::IOError(
                            "storage full: cannot write activity results"))
-                     : (*fn)(*input));
+                     : RunKernelScoped(options_.wall_profile, *fn, *input));
       if (!output.ok()) {
         EndAttemptSpan(entry.attempt_span, "failed");
         WriteBatch batch;
@@ -2161,6 +2216,7 @@ void Engine::PumpDispatch() {
     pending.watchdog = ArmJobWatchdog(job_id, entry.cached->cost);
     IndexJob(job_id, pending);
     jobs_[job_id] = std::move(pending);
+    NoteJobsNonEmpty();
     inst->SetTaskState(node, TaskState::kRunning);
     node->started = sim_->Now();
     awareness_.JobDispatched(target);
@@ -2483,6 +2539,11 @@ void Engine::ApplyJobFinished(cluster::JobId id, const std::string& node_name) {
   if (inst == nullptr) return;
   TaskNode* node = inst->FindByPath(pending.path);
   if (node == nullptr || node->state != TaskState::kRunning) return;
+  if (options_.job_cost_sensor != nullptr) {
+    // Streaming straggler sensor: virtual compute cost of every completed
+    // job, independent of whether an Observability context is attached.
+    options_.job_cost_sensor->Observe(pending.cost.ToSeconds());
+  }
   if (completed_metric_ != nullptr) {
     completed_metric_->Increment();
     task_cost_metric_->Observe(pending.cost.ToSeconds());

@@ -29,6 +29,11 @@ namespace biopera::exec {
 class ThreadPool;
 }
 
+namespace biopera::obs {
+class WallProfile;
+struct QuantileSensor;
+}  // namespace biopera::obs
+
 namespace biopera::core {
 
 /// Engine configuration.
@@ -127,6 +132,18 @@ struct EngineOptions {
   /// freshly built input equals the captured one (see the exec_test
   /// pool-vs-inline identity check).
   int preexec_lookahead = 4;
+  /// Optional wall-clock self-time profile (obs::WallProfile): the engine
+  /// scopes its dispatch pumps as `pump` and its kernel executions
+  /// (inline and thread-pool batches) as `kernel`; the store adds `store`
+  /// via RecordStore::SetWallProfile. Feeds only the sharded service's
+  /// barrier-stall profiler — never virtual time. Null-check-only when
+  /// unset. Must outlive the engine.
+  obs::WallProfile* wall_profile = nullptr;
+  /// Optional streaming sensor fed every completed job's virtual compute
+  /// cost in seconds (obs::QuantileSensor) — the per-job half of the
+  /// sharded service's straggler sensors. Null-check-only when unset.
+  /// Must outlive the engine.
+  obs::QuantileSensor* job_cost_sensor = nullptr;
 };
 
 /// A summary row for one instance (monitoring queries, examples, benches).
@@ -318,6 +335,10 @@ class Engine : public cluster::ClusterListener, public comms::ReportHandler {
     uint64_t pump_runs = 0;        // engine_pump_runs_total
     uint64_t entries_scanned = 0;  // engine_pump_entries_scanned_total
     uint64_t dispatched = 0;       // engine_tasks_dispatched_total
+    /// Virtual microseconds this engine had at least one job in flight —
+    /// a deterministic utilization clock. The sharded service takes
+    /// per-barrier deltas of it to feed the straggler step sensors.
+    uint64_t busy_virtual_us = 0;
   };
   DispatchStats GetDispatchStats() const;
 
@@ -539,6 +560,10 @@ class Engine : public cluster::ClusterListener, public comms::ReportHandler {
 
   // -- Job table --
   void IndexJob(cluster::JobId job_id, const PendingJob& pending);
+  /// Busy-clock transitions (DispatchStats::busy_virtual_us): call after
+  /// inserting into jobs_ / before or after removing from it.
+  void NoteJobsNonEmpty();
+  void NoteJobsMaybeDrained();
   /// Removes a job from the table and the per-node / per-instance
   /// indices, cancels its watchdog, releases its awareness slot, wakes
   /// the classes its node serves and closes the job span with `outcome`
@@ -699,6 +724,13 @@ class Engine : public cluster::ClusterListener, public comms::ReportHandler {
   EventId lease_check_ = kInvalidEventId;
 
   std::map<cluster::JobId, PendingJob> jobs_;
+  /// Busy-clock state for DispatchStats::busy_virtual_us: closed busy
+  /// windows accumulate here; a window opens when jobs_ becomes non-empty
+  /// (busy_since_) and closes when it drains. Maintained by
+  /// NoteJobsNonEmpty / NoteJobsMaybeDrained around every jobs_ mutation.
+  uint64_t busy_virtual_us_ = 0;
+  TimePoint busy_since_;
+  bool busy_open_ = false;
   /// Secondary indices over jobs_ (deterministic JobId order inside each
   /// bucket) so Abort/Restart/DiscardSubtree/EstimateRemainingWork/
   /// ListTasks and the migration scan touch only their own jobs.

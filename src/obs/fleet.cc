@@ -1,0 +1,221 @@
+#include "obs/fleet.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+#include "obs/json.h"
+
+namespace biopera::obs {
+
+namespace {
+
+std::string ShardLabel(int shard) {
+  return shard < 0 ? "front" : StrFormat("%d", shard);
+}
+
+}  // namespace
+
+uint64_t FleetSpanId(int shard, uint64_t local_id) {
+  if (local_id == 0) return 0;  // "no span" stays "no span"
+  return (static_cast<uint64_t>(shard + 1) << 40) | local_id;
+}
+
+std::vector<Span> FederateSpans(const std::vector<FleetSource>& sources) {
+  std::vector<Span> out;
+  size_t total = 0;
+  for (const FleetSource& source : sources) {
+    if (source.spans != nullptr) total += source.spans->size();
+  }
+  out.reserve(total);
+  for (const FleetSource& source : sources) {
+    if (source.spans == nullptr) continue;
+    source.spans->ForEach([&](const Span& span) {
+      Span copy = span;
+      copy.id = FleetSpanId(source.shard, span.id);
+      copy.parent = FleetSpanId(source.shard, span.parent);
+      copy.link = FleetSpanId(source.shard, span.link);
+      copy.attrs.insert(copy.attrs.begin(),
+                        {"shard", ShardLabel(source.shard)});
+      out.push_back(std::move(copy));
+    });
+  }
+  std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+std::string FederateSpansJsonl(const std::vector<FleetSource>& sources) {
+  uint64_t dropped = 0;
+  for (const FleetSource& source : sources) {
+    if (source.spans != nullptr) dropped += source.spans->dropped();
+  }
+  std::string out;
+  if (dropped > 0) {
+    out += StrFormat("{\"truncated\":true,\"spans_dropped\":%llu}\n",
+                     static_cast<unsigned long long>(dropped));
+  }
+  for (const Span& span : FederateSpans(sources)) {
+    out += span.ToJson();
+    out += "\n";
+  }
+  return out;
+}
+
+std::string FederateChromeTrace(const std::vector<FleetSource>& sources) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto append = [&](const std::string& event) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n";
+    out += event;
+  };
+
+  uint64_t dropped = 0;
+  for (const FleetSource& source : sources) {
+    if (source.spans == nullptr) continue;
+    dropped += source.spans->dropped();
+    const int pid = source.shard + 2;  // front door (-1) renders as pid 1
+    const std::string process =
+        source.shard < 0 ? "front door" : StrFormat("shard %d", source.shard);
+    append(StrFormat(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+        "\"args\":{\"name\":\"%s\"}}",
+        pid, process.c_str()));
+    append(StrFormat(
+        "{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":%d,"
+        "\"args\":{\"sort_index\":%d}}",
+        pid, pid));
+
+    // Per-source track layout, tids by first appearance in id order —
+    // identical to the single-sink export, so the federated document is
+    // deterministic whenever the per-shard sinks are.
+    std::map<std::string, int> track_tids;
+    std::vector<std::string> tracks;
+    source.spans->ForEach([&](const Span& span) {
+      std::string track = ChromeTrackForSpan(span);
+      if (track_tids.emplace(track, static_cast<int>(tracks.size()) + 1)
+              .second) {
+        tracks.push_back(std::move(track));
+      }
+    });
+    for (size_t i = 0; i < tracks.size(); ++i) {
+      append(StrFormat(
+          "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
+          "\"args\":{\"name\":\"%s\"}}",
+          pid, static_cast<int>(i) + 1, JsonEscape(tracks[i]).c_str()));
+    }
+    source.spans->ForEach([&](const Span& span) {
+      int64_t dur = span.open ? 0 : (span.end - span.start).micros();
+      std::string event = StrFormat(
+          "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%lld,"
+          "\"dur\":%lld,\"pid\":%d,\"tid\":%d,\"args\":{\"id\":\"%llu\"",
+          JsonEscape(span.name).c_str(),
+          std::string(SpanKindName(span.kind)).c_str(),
+          static_cast<long long>(span.start.micros()),
+          static_cast<long long>(std::max<int64_t>(0, dur)), pid,
+          track_tids[ChromeTrackForSpan(span)],
+          static_cast<unsigned long long>(
+              FleetSpanId(source.shard, span.id)));
+      if (span.parent != 0) {
+        event += StrFormat(",\"parent\":\"%llu\"",
+                           static_cast<unsigned long long>(
+                               FleetSpanId(source.shard, span.parent)));
+      }
+      if (!span.instance.empty()) {
+        event += ",\"instance\":\"" + JsonEscape(span.instance) + "\"";
+      }
+      if (!span.outcome.empty()) {
+        event += ",\"outcome\":\"" + JsonEscape(span.outcome) + "\"";
+      }
+      if (span.open) event += ",\"open\":\"true\"";
+      event += "}}";
+      append(event);
+    });
+  }
+  out += "\n]";
+  if (dropped > 0) {
+    out += StrFormat(
+        ",\"otherData\":{\"truncated\":\"true\",\"spans_dropped\":\"%llu\"}",
+        static_cast<unsigned long long>(dropped));
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string MergeJsonlByShard(
+    const std::vector<std::pair<int, std::string>>& sources) {
+  std::string out;
+  for (const auto& [shard, jsonl] : sources) {
+    const std::string prefix =
+        StrFormat("{\"shard\":%d,", shard);
+    size_t at = 0;
+    while (at < jsonl.size()) {
+      size_t end = jsonl.find('\n', at);
+      if (end == std::string::npos) end = jsonl.size();
+      if (end > at) {
+        std::string_view line(jsonl.data() + at, end - at);
+        if (line.size() >= 2 && line.front() == '{') {
+          out += prefix;
+          out += line.substr(1);
+        } else {
+          out += line;  // tolerate non-object lines verbatim
+        }
+        out += "\n";
+      }
+      at = end + 1;
+    }
+  }
+  return out;
+}
+
+CriticalPathReport AnalyzeFleetCriticalPath(const FleetPathInput& input) {
+  CriticalPathReport report =
+      input.shard_spans == nullptr
+          ? CriticalPathReport{}
+          : AnalyzeCriticalPath(*input.shard_spans, input.instance);
+  if (!report.found) return report;
+  const TimePoint admitted = report.start;  // instance span opens at admit
+  if (input.submitted >= admitted) return report;
+
+  // The first lockstep barrier boundary after submission is the earliest
+  // instant the backlog could have been drained; everything before it is
+  // structural barrier wait, everything after is quota-induced backlog
+  // wait. A submission admitted with no boundary in between waited only
+  // on the barrier.
+  TimePoint boundary = admitted;
+  for (const TimePoint& t : input.barriers) {
+    if (t > input.submitted) {
+      boundary = std::min(t, admitted);
+      break;
+    }
+  }
+  std::vector<CriticalPathSegment> prefix;
+  if (boundary > input.submitted) {
+    CriticalPathSegment seg;
+    seg.start = input.submitted;
+    seg.end = boundary;
+    seg.category = "barrier_wait";
+    prefix.push_back(std::move(seg));
+  }
+  if (admitted > boundary) {
+    CriticalPathSegment seg;
+    seg.start = boundary;
+    seg.end = admitted;
+    seg.category = "backlog_wait";
+    prefix.push_back(std::move(seg));
+  }
+  for (const CriticalPathSegment& seg : prefix) {
+    report.totals[seg.category] =
+        report.totals[seg.category] + (seg.end - seg.start);
+  }
+  report.segments.insert(report.segments.begin(), prefix.begin(),
+                         prefix.end());
+  report.start = input.submitted;
+  return report;
+}
+
+}  // namespace biopera::obs

@@ -1,0 +1,117 @@
+#include "obs/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace biopera::obs {
+
+StreamingQuantile::StreamingQuantile(double quantile)
+    : q_(std::min(std::max(quantile, 0.0), 1.0)) {}
+
+void StreamingQuantile::Observe(double value) {
+  if (count_ < 5) {
+    height_[count_++] = value;
+    if (count_ == 5) {
+      std::sort(height_, height_ + 5);
+      desired_[0] = 1;
+      desired_[1] = 1 + 2 * q_;
+      desired_[2] = 1 + 4 * q_;
+      desired_[3] = 3 + 2 * q_;
+      desired_[4] = 5;
+      rate_[0] = 0;
+      rate_[1] = q_ / 2;
+      rate_[2] = q_;
+      rate_[3] = (1 + q_) / 2;
+      rate_[4] = 1;
+    }
+    return;
+  }
+  ++count_;
+
+  // Locate the marker cell the observation falls into, extending the
+  // extreme markers when it lands outside them.
+  int cell;
+  if (value < height_[0]) {
+    height_[0] = value;
+    cell = 0;
+  } else if (value >= height_[4]) {
+    height_[4] = std::max(height_[4], value);
+    cell = 3;
+  } else {
+    cell = 0;
+    while (cell < 3 && value >= height_[cell + 1]) ++cell;
+  }
+  for (int i = cell + 1; i < 5; ++i) pos_[i] += 1;
+  for (int i = 0; i < 5; ++i) desired_[i] += rate_[i];
+
+  // Nudge the middle markers toward their desired positions: parabolic
+  // (P-square) prediction, clamped to stay monotone, else linear.
+  for (int i = 1; i <= 3; ++i) {
+    double d = desired_[i] - pos_[i];
+    if ((d >= 1 && pos_[i + 1] - pos_[i] > 1) ||
+        (d <= -1 && pos_[i - 1] - pos_[i] < -1)) {
+      double s = d >= 0 ? 1 : -1;
+      double parabolic =
+          height_[i] +
+          s / (pos_[i + 1] - pos_[i - 1]) *
+              ((pos_[i] - pos_[i - 1] + s) * (height_[i + 1] - height_[i]) /
+                   (pos_[i + 1] - pos_[i]) +
+               (pos_[i + 1] - pos_[i] - s) * (height_[i] - height_[i - 1]) /
+                   (pos_[i] - pos_[i - 1]));
+      if (height_[i - 1] < parabolic && parabolic < height_[i + 1]) {
+        height_[i] = parabolic;
+      } else {
+        int j = i + static_cast<int>(s);
+        height_[i] += s * (height_[j] - height_[i]) / (pos_[j] - pos_[i]);
+      }
+      pos_[i] += s;
+    }
+  }
+}
+
+double StreamingQuantile::Estimate() const {
+  if (count_ == 0) return 0;
+  if (count_ <= 5) {
+    double sorted[5];
+    std::copy(height_, height_ + count_, sorted);
+    std::sort(sorted, sorted + count_);
+    // Exact order statistic at the requested quantile (nearest-rank).
+    double rank = std::ceil(q_ * static_cast<double>(count_));
+    int index = static_cast<int>(std::max(rank, 1.0)) - 1;
+    return sorted[std::min<int>(index, static_cast<int>(count_) - 1)];
+  }
+  return height_[2];
+}
+
+double StreamingQuantile::min() const {
+  if (count_ == 0) return 0;
+  if (count_ < 5) return *std::min_element(height_, height_ + count_);
+  return height_[0];
+}
+
+double StreamingQuantile::max() const {
+  if (count_ == 0) return 0;
+  if (count_ < 5) return *std::max_element(height_, height_ + count_);
+  return height_[4];
+}
+
+void QuantileSensor::Observe(double value) {
+  p50.Observe(value);
+  p90.Observe(value);
+  p99.Observe(value);
+  if (count == 0 || value < min) min = value;
+  if (count == 0 || value > max) max = value;
+  ++count;
+  sum += value;
+}
+
+std::string QuantileSensor::ToRow(const std::string& label) const {
+  return StrFormat(
+      "%s  n=%llu  mean=%.3f  p50=%.3f  p90=%.3f  p99=%.3f  max=%.3f",
+      label.c_str(), static_cast<unsigned long long>(count), mean(),
+      p50.Estimate(), p90.Estimate(), p99.Estimate(), max);
+}
+
+}  // namespace biopera::obs

@@ -1,0 +1,63 @@
+#ifndef BIOPERA_OBS_QUANTILE_H_
+#define BIOPERA_OBS_QUANTILE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace biopera::obs {
+
+/// Online single-quantile estimator (the P-square algorithm of Jain &
+/// Chlamtac): five markers track one running quantile in O(1) memory and
+/// O(1) work per observation, with no sample buffer — the streaming
+/// straggler sensor ROADMAP item 2's adaptive planner consumes. Exact
+/// while count() <= 5; afterwards the middle markers move by parabolic
+/// (falling back to linear) interpolation. The estimate is a pure
+/// function of the observation sequence, so same-seed virtual-time runs
+/// export byte-identical values.
+class StreamingQuantile {
+ public:
+  explicit StreamingQuantile(double quantile = 0.5);
+
+  void Observe(double value);
+
+  /// Current estimate: exact order statistic while count() <= 5, the
+  /// P-square middle-marker height afterwards; 0 when empty.
+  double Estimate() const;
+
+  double quantile() const { return q_; }
+  uint64_t count() const { return count_; }
+  double min() const;
+  double max() const;
+
+ private:
+  double q_;
+  uint64_t count_ = 0;
+  double height_[5] = {0, 0, 0, 0, 0};   // marker heights (sorted)
+  double pos_[5] = {1, 2, 3, 4, 5};      // actual marker positions
+  double desired_[5] = {0, 0, 0, 0, 0};  // desired marker positions
+  double rate_[5] = {0, 0, 0, 0, 0};     // desired-position increments
+};
+
+/// One named streaming sensor: p50/p90/p99 estimators plus exact
+/// count/sum/extrema. Fed with per-barrier shard step times and per-job
+/// compute costs (virtual seconds); `ToRow` prints one deterministic
+/// fixed-format report line.
+struct QuantileSensor {
+  StreamingQuantile p50{0.50};
+  StreamingQuantile p90{0.90};
+  StreamingQuantile p99{0.99};
+  uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+
+  void Observe(double value);
+  double mean() const { return count == 0 ? 0 : sum / count; }
+  /// "<label>  n=..  mean=..  p50=..  p90=..  p99=..  max=.." — values in
+  /// the unit the sensor was fed with.
+  std::string ToRow(const std::string& label) const;
+};
+
+}  // namespace biopera::obs
+
+#endif  // BIOPERA_OBS_QUANTILE_H_

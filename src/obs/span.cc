@@ -24,13 +24,13 @@ constexpr struct {
     {SpanKind::kStoreDegraded, "store_degraded"},
     {SpanKind::kNodeOutage, "node_outage"},
     {SpanKind::kSuspicion, "suspicion"},
+    {SpanKind::kAdmission, "admission"},
+    {SpanKind::kBarrier, "barrier"},
 };
 
-/// The Chrome-trace track a span renders on. Execution slices go on the
-/// node's track, causal/queueing spans on the instance's track, store and
-/// server windows on their own shared tracks — deterministic, so exports
-/// are byte-stable.
-std::string ChromeTrack(const Span& span) {
+}  // namespace
+
+std::string ChromeTrackForSpan(const Span& span) {
   switch (span.kind) {
     case SpanKind::kJob:
     case SpanKind::kNodeOutage:
@@ -42,6 +42,10 @@ std::string ChromeTrack(const Span& span) {
       return "store";
     case SpanKind::kServerDown:
       return "server";
+    case SpanKind::kAdmission:
+      return "front door";
+    case SpanKind::kBarrier:
+      return "barriers";
     case SpanKind::kInstance:
     case SpanKind::kAttempt:
     case SpanKind::kRecovery:
@@ -49,8 +53,6 @@ std::string ChromeTrack(const Span& span) {
   }
   return "other";
 }
-
-}  // namespace
 
 std::string_view SpanKindName(SpanKind kind) {
   for (const auto& entry : kSpanKindNames) {
@@ -217,7 +219,7 @@ std::string SpanSink::ExportChromeTrace() const {
   std::map<std::string, int> track_tids;
   std::vector<std::string> tracks;
   for (const Span& span : spans_) {
-    std::string track = ChromeTrack(span);
+    std::string track = ChromeTrackForSpan(span);
     if (track_tids.emplace(track, static_cast<int>(tracks.size()) + 1).second) {
       tracks.push_back(std::move(track));
     }
@@ -250,7 +252,7 @@ std::string SpanSink::ExportChromeTrace() const {
         std::string(SpanKindName(span.kind)).c_str(),
         static_cast<long long>(span.start.micros()),
         static_cast<long long>(std::max<int64_t>(0, dur)),
-        track_tids[ChromeTrack(span)],
+        track_tids[ChromeTrackForSpan(span)],
         static_cast<unsigned long long>(span.id));
     if (span.parent != 0) {
       event += StrFormat(",\"parent\":\"%llu\"",

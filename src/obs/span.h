@@ -27,6 +27,8 @@ enum class SpanKind {
   kStoreDegraded,  // store degraded window (failed flush -> healthy retry)
   kNodeOutage,     // one node's down -> up window
   kSuspicion,      // lease detector: node suspected -> reconciled/condemned
+  kAdmission,      // service front door: submission -> admitted/rejected
+  kBarrier,        // one lockstep barrier of the sharded service
 };
 
 std::string_view SpanKindName(SpanKind kind);
@@ -55,6 +57,12 @@ struct Span {
   /// Single-line JSON object (one JSONL row).
   std::string ToJson() const;
 };
+
+/// The Chrome-trace track a span renders on (execution slices on the
+/// node's track, causal spans on the instance's, store/server windows on
+/// shared tracks). Deterministic, shared by the per-sink export and the
+/// fleet federation (obs/fleet.h).
+std::string ChromeTrackForSpan(const Span& span);
 
 /// Bounded append-only span store. Ids are sequential and dense (span k
 /// lives at index k-1), so lookups are O(1); once `capacity` spans have

@@ -33,6 +33,7 @@ constexpr struct {
     {EventType::kNodeSuspected, "node_suspected"},
     {EventType::kNodeCondemned, "node_condemned"},
     {EventType::kNodeReconciled, "node_reconciled"},
+    {EventType::kSloStateChanged, "slo_state_changed"},
 };
 
 }  // namespace

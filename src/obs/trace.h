@@ -37,6 +37,7 @@ enum class EventType {
   kNodeSuspected,   // lease detector: heartbeats went missing
   kNodeCondemned,   // suspicion grace expired; jobs re-scheduled
   kNodeReconciled,  // a suspected/condemned node heartbeated again
+  kSloStateChanged,  // a declarative SLO rule crossed a health threshold
 };
 
 std::string_view EventTypeName(EventType type);

@@ -34,6 +34,23 @@ ShardedService::ShardedService(std::string root_dir,
       registry_(registry),
       options_(std::move(options)) {
   if (options_.shards < 1) options_.shards = 1;
+  fleet_clock_ = std::make_unique<FleetClock>(this);
+  fleet_obs_ = std::make_unique<obs::Observability>(
+      options_.fleet_trace_capacity, options_.fleet_span_capacity);
+  fleet_obs_->SetClock(fleet_clock_.get());
+  slo_rules_ =
+      options_.slo_rules.empty() ? DefaultSloRules() : options_.slo_rules;
+  // Register the service-level families up front so METRICS key order is
+  // deterministic regardless of which events fire first.
+  obs::Registry& reg = fleet_obs_->metrics;
+  submitted_metric_ = reg.GetCounter("service_submitted_total");
+  admitted_metric_ = reg.GetCounter("service_admitted_total");
+  rejected_metric_ = reg.GetCounter("service_rejected_total");
+  barriers_metric_ = reg.GetCounter("service_barriers_total");
+  backlog_drained_metric_ = reg.GetCounter("service_backlog_drained_total");
+  backlog_gauge_ = reg.GetGauge("service_backlog_depth");
+  live_gauge_ = reg.GetGauge("service_live_instances");
+  barrier_wall_gauge_ = reg.GetGauge("service_barrier_wall_seconds_total");
 }
 
 ShardedService::~ShardedService() = default;
@@ -90,8 +107,17 @@ Status ShardedService::Startup() {
   }
   router_ = std::make_unique<Router>(options_.shards, options_.placement,
                                      options_.virtual_nodes);
+  barrier_profiler_ = std::make_unique<obs::BarrierProfiler>(
+      hosted, &fleet_obs_->metrics, options_.barrier_profile_records);
+  step_sensors_.resize(hosted);
+  placement_metrics_.resize(hosted);
+  for (int i = 0; i < hosted; ++i) {
+    placement_metrics_[i] = fleet_obs_->metrics.GetCounter(
+        "service_placements_total", {{"shard", StrFormat("%d", i)}});
+  }
   BIOPERA_RETURN_IF_ERROR(LoadManifest());
   RefreshLiveness();
+  UpdateGauges();
   started_ = true;
   return Status::OK();
 }
@@ -119,7 +145,8 @@ Status ShardedService::LoadManifest() {
       uint64_t seq = std::strtoull(rec.global_id.c_str() + 1, nullptr, 10);
       next_seq_ = std::max(next_seq_, seq + 1);
     }
-    tenants_[rec.tenant];  // materialize the row
+    tenants_[rec.tenant];        // materialize the row
+    TenantMetricsFor(rec.tenant);  // ...and its metric keys
     instances_[rec.global_id] = std::move(rec);
   }
   for (auto& [global_id, rec] : instances_) {
@@ -164,21 +191,61 @@ bool ShardedService::WithinQuota(const std::string& tenant) const {
   return true;
 }
 
+ShardedService::TenantMetrics& ShardedService::TenantMetricsFor(
+    const std::string& tenant) {
+  auto it = tenant_metrics_.find(tenant);
+  if (it != tenant_metrics_.end()) return it->second;
+  obs::Registry& reg = fleet_obs_->metrics;
+  const obs::Labels labels = {{"tenant", tenant}};
+  TenantMetrics tm;
+  tm.admitted = reg.GetCounter("service_admitted_total", labels);
+  tm.rejected = reg.GetCounter("service_rejected_total", labels);
+  tm.backlog = reg.GetGauge("service_backlog_depth", labels);
+  tm.live = reg.GetGauge("service_live_instances", labels);
+  // Admission wait in virtual hours: first bucket < 36 virtual seconds,
+  // top bucket beyond a month — wide enough for backlog storms.
+  obs::HistogramOptions wait_options;
+  wait_options.first_bound = 0.01;
+  wait_options.growth = 3.0;
+  wait_options.num_buckets = 12;
+  tm.admission_wait =
+      reg.GetHistogram("service_admission_wait_hours", labels, wait_options);
+  return tenant_metrics_.emplace(tenant, tm).first->second;
+}
+
+void ShardedService::UpdateGauges() {
+  backlog_gauge_->Set(static_cast<double>(backlog_depth_));
+  live_gauge_->Set(static_cast<double>(live_ids_.size()));
+  for (const auto& [tenant, tstats] : tenants_) {
+    TenantMetrics& tm = TenantMetricsFor(tenant);
+    tm.backlog->Set(static_cast<double>(tstats.backlog));
+    tm.live->Set(static_cast<double>(tstats.live));
+  }
+}
+
 Result<Ticket> ShardedService::Admit(const Submission& submission,
-                                     const std::string& global_id) {
+                                     const std::string& global_id,
+                                     TimePoint submitted,
+                                     uint64_t admission_span) {
   const std::string& key =
       submission.key.empty() ? global_id : submission.key;
   int target = router_->Place(key);
   EngineShard* shard = shards_[target].get();
-  BIOPERA_ASSIGN_OR_RETURN(
-      std::string instance_id,
-      shard->engine->StartProcess(submission.template_name, submission.args,
-                                  submission.priority));
+  auto started = shard->engine->StartProcess(
+      submission.template_name, submission.args, submission.priority);
+  if (!started.ok()) {
+    fleet_obs_->spans.End(admission_span, "failed",
+                          {{"error", started.status().ToString()}});
+    return started.status();
+  }
+  const std::string& instance_id = *started;
   InstanceRec rec;
   rec.global_id = global_id;
   rec.tenant = submission.tenant;
   rec.instance_id = instance_id;
   rec.shard = target;
+  rec.submitted = submitted;
+  rec.submit_known = true;
   Status persisted = AppendManifest(rec);
   if (!persisted.ok()) {
     BIOPERA_LOG(kWarning) << "manifest append failed: "
@@ -190,6 +257,16 @@ Result<Ticket> ShardedService::Admit(const Submission& submission,
   ++tstats.admitted;
   ++tstats.live;
   ++stats_.admitted;
+  admitted_metric_->Increment();
+  TenantMetrics& tm = TenantMetricsFor(submission.tenant);
+  tm.admitted->Increment();
+  tm.admission_wait->Observe((VirtualNow() - submitted).ToSeconds() / 3600.0);
+  if (target < static_cast<int>(placement_metrics_.size())) {
+    placement_metrics_[target]->Increment();
+  }
+  fleet_obs_->spans.End(admission_span, "admitted",
+                        {{"shard", StrFormat("%d", target)},
+                         {"instance", instance_id}});
   Ticket ticket;
   ticket.global_id = global_id;
   ticket.shard = target;
@@ -200,20 +277,43 @@ Result<Ticket> ShardedService::Admit(const Submission& submission,
 Result<Ticket> ShardedService::Submit(const Submission& submission) {
   if (!started_) return Status::FailedPrecondition("service not started");
   ++stats_.submitted;
+  submitted_metric_->Increment();
   const std::string global_id = StrFormat(
       "g%llu", static_cast<unsigned long long>(next_seq_++));
+  const TimePoint submitted = VirtualNow();
   if (WithinQuota(submission.tenant)) {
-    return Admit(submission, global_id);
+    // Open the admission span before placement so an immediate admit
+    // still leaves a (zero-duration) front-door record on the timeline.
+    uint64_t span = fleet_obs_->spans.Begin(
+        obs::SpanKind::kAdmission, global_id, 0, 0, global_id, "", "",
+        {{"tenant", submission.tenant}});
+    Result<Ticket> ticket = Admit(submission, global_id, submitted, span);
+    if (ticket.ok()) UpdateGauges();
+    return ticket;
   }
   if (backlog_depth_ >= options_.max_backlog) {
     ++tenants_[submission.tenant].rejected;
     ++stats_.rejected;
+    rejected_metric_->Increment();
+    TenantMetricsFor(submission.tenant).rejected->Increment();
+    fleet_obs_->spans.EmitInstant(obs::SpanKind::kAdmission, global_id, 0,
+                                  global_id, "", "",
+                                  {{"tenant", submission.tenant}},
+                                  "rejected");
     --next_seq_;  // the handle was never issued
     return Status::Unavailable("admission quota reached and backlog full");
   }
-  backlog_[submission.tenant].emplace_back(global_id, submission);
+  BacklogEntry entry;
+  entry.global_id = global_id;
+  entry.submission = submission;
+  entry.submitted = submitted;
+  entry.span = fleet_obs_->spans.Begin(
+      obs::SpanKind::kAdmission, global_id, 0, 0, global_id, "", "",
+      {{"tenant", submission.tenant}, {"backlogged", "1"}});
+  backlog_[submission.tenant].push_back(std::move(entry));
   ++backlog_depth_;
   ++tenants_[submission.tenant].backlog;
+  UpdateGauges();
   Ticket ticket;
   ticket.global_id = global_id;
   ticket.backlogged = true;
@@ -240,19 +340,25 @@ void ShardedService::DrainBacklog() {
         continue;
       }
       if (!WithinQuota(tenant)) continue;
-      auto [global_id, submission] = std::move(current->second.front());
+      BacklogEntry entry = std::move(current->second.front());
       current->second.pop_front();
       --backlog_depth_;
       TenantStats& tstats = tenants_[tenant];
       if (tstats.backlog > 0) --tstats.backlog;
       backlog_cursor_ = tenant;
-      Result<Ticket> admitted = Admit(submission, global_id);
-      if (!admitted.ok()) {
+      Result<Ticket> admitted =
+          Admit(entry.submission, entry.global_id, entry.submitted,
+                entry.span);
+      if (admitted.ok()) {
+        backlog_drained_metric_->Increment();
+      } else {
         BIOPERA_LOG(kWarning)
-            << "backlogged submission " << global_id
+            << "backlogged submission " << entry.global_id
             << " failed to start: " << admitted.status().ToString();
         ++tstats.rejected;
         ++stats_.rejected;
+        rejected_metric_->Increment();
+        TenantMetricsFor(tenant).rejected->Increment();
       }
       progressed = true;
       if (current->second.empty()) backlog_.erase(tenant);
@@ -279,20 +385,71 @@ void ShardedService::RefreshLiveness() {
 }
 
 void ShardedService::AdvanceAll(TimePoint target) {
+  const TimePoint virtual_start = VirtualNow();
+  const uint64_t barrier_seq = stats_.barriers + 1;
+  const uint64_t barrier_span = fleet_obs_->spans.Begin(
+      obs::SpanKind::kBarrier,
+      StrFormat("barrier %llu",
+                static_cast<unsigned long long>(barrier_seq)),
+      0, 0, "", "", "", {{"target", target.ToString()}});
+
+  // One raw profile sample per shard: the shard's own RunUntil wall time
+  // (measured on the pumping thread), then the pump/kernel/store buckets
+  // drained from its wall profile after the join (ThreadPool::RunBatch
+  // joins, so the drains are ordered after every pump).
+  std::vector<obs::BarrierProfiler::RawSample> raw(shards_.size());
   const uint64_t t0 = WallNowNs();
   if (options_.pool != nullptr && shards_.size() > 1) {
     std::vector<std::function<void()>> tasks;
     tasks.reserve(shards_.size());
-    for (auto& shard : shards_) {
-      EngineShard* s = shard.get();
-      tasks.push_back([s, target] { s->sim.RunUntil(target); });
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      EngineShard* s = shards_[i].get();
+      obs::BarrierProfiler::RawSample* sample = &raw[i];
+      tasks.push_back([s, target, sample] {
+        const uint64_t s0 = WallNowNs();
+        s->sim.RunUntil(target);
+        sample->step_ns = WallNowNs() - s0;
+      });
     }
     options_.pool->RunBatch(std::move(tasks));
   } else {
-    for (auto& shard : shards_) shard->sim.RunUntil(target);
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      const uint64_t s0 = WallNowNs();
+      shards_[i]->sim.RunUntil(target);
+      raw[i].step_ns = WallNowNs() - s0;
+    }
   }
-  stats_.barrier_wall_ns += WallNowNs() - t0;
+  const uint64_t wall_ns = WallNowNs() - t0;
+  stats_.barrier_wall_ns += wall_ns;
   ++stats_.barriers;
+  barriers_metric_->Increment();
+  barrier_wall_gauge_->Set(static_cast<double>(stats_.barrier_wall_ns) / 1e9);
+
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    uint64_t buckets[obs::WallProfile::kNumBuckets];
+    shards_[i]->wall_profile.Drain(buckets);
+    raw[i].pump_ns = buckets[obs::WallProfile::kPump];
+    raw[i].kernel_ns = buckets[obs::WallProfile::kKernel];
+    raw[i].store_ns = buckets[obs::WallProfile::kStore];
+  }
+  const TimePoint virtual_end = VirtualNow();
+  if (barrier_profiler_ != nullptr) {
+    barrier_profiler_->Record(wall_ns, virtual_start, virtual_end, raw);
+  }
+  barrier_bounds_.push_back(virtual_end);
+
+  // Streaming straggler sensors: each shard's *virtual* busy time this
+  // barrier (deterministic), not its wall time.
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const uint64_t busy =
+        shards_[i]->engine->GetDispatchStats().busy_virtual_us;
+    const uint64_t delta = busy - step_sensors_[i].last_busy_us;
+    step_sensors_[i].last_busy_us = busy;
+    if (delta > 0) {
+      step_sensors_[i].step.Observe(static_cast<double>(delta) / 1e6);
+    }
+  }
+  fleet_obs_->spans.End(barrier_span, "advanced");
 }
 
 bool ShardedService::StepBarrier() {
@@ -315,6 +472,8 @@ bool ShardedService::StepBarrier() {
   AdvanceAll(earliest + options_.barrier_quantum);
   RefreshLiveness();
   DrainBacklog();
+  UpdateGauges();
+  EvaluateHealth();
   return true;
 }
 
@@ -330,6 +489,8 @@ void ShardedService::AdvanceUntil(TimePoint t) {
   AdvanceAll(t);
   RefreshLiveness();
   DrainBacklog();
+  UpdateGauges();
+  EvaluateHealth();
 }
 
 TimePoint ShardedService::VirtualNow() const {
@@ -343,8 +504,8 @@ Result<Ticket> ShardedService::Find(const std::string& global_id) const {
   if (it == instances_.end()) {
     // Backlogged submissions have a handle but no placement yet.
     for (const auto& [tenant, queue] : backlog_) {
-      for (const auto& [queued_id, submission] : queue) {
-        if (queued_id == global_id) {
+      for (const BacklogEntry& entry : queue) {
+        if (entry.global_id == global_id) {
           Ticket ticket;
           ticket.global_id = global_id;
           ticket.backlogged = true;
@@ -473,6 +634,160 @@ std::string ShardedService::BuildCrossShardReport() const {
     }
   }
   return out.str();
+}
+
+std::map<std::string, double> ShardedService::CollectSloSensors() const {
+  std::map<std::string, double> sensors;
+  sensors["backlog_depth"] = static_cast<double>(backlog_depth_);
+  const uint64_t decided = stats_.admitted + stats_.rejected;
+  sensors["rejection_ratio"] =
+      decided == 0 ? 0.0
+                   : static_cast<double>(stats_.rejected) /
+                         static_cast<double>(decided);
+  double wait_p99 = 0.0;
+  for (const auto& [tenant, tm] : tenant_metrics_) {
+    if (tm.admission_wait != nullptr) {
+      wait_p99 = std::max(wait_p99, tm.admission_wait->Percentile(99.0));
+    }
+  }
+  sensors["admission_wait_p99_hours"] = wait_p99;
+  // Straggler skew: slowest shard's streaming p90 busy-time over the
+  // fleet mean p90. 1.0 when balanced (or before any data).
+  double max_p90 = 0.0, sum_p90 = 0.0;
+  int with_data = 0;
+  for (const auto& sensor : step_sensors_) {
+    if (sensor.step.count == 0) continue;
+    const double p90 = sensor.step.p90.Estimate();
+    max_p90 = std::max(max_p90, p90);
+    sum_p90 += p90;
+    ++with_data;
+  }
+  sensors["shard_busy_skew"] =
+      (with_data == 0 || sum_p90 <= 0.0)
+          ? 1.0
+          : max_p90 / (sum_p90 / static_cast<double>(with_data));
+  return sensors;
+}
+
+HealthReport ShardedService::EvaluateHealth() {
+  HealthReport report = EvaluateSlo(slo_rules_, CollectSloSensors());
+  for (const SloVerdict& verdict : report.verdicts) {
+    HealthState& last = rule_state_[verdict.rule.name];  // defaults to kOk
+    if (verdict.state == last) continue;
+    fleet_obs_->trace.Emit(
+        obs::EventType::kSloStateChanged, "", "", "",
+        {{"rule", verdict.rule.name},
+         {"sensor", verdict.rule.sensor},
+         {"value", StrFormat("%.3f", verdict.value)},
+         {"from", HealthStateName(last)},
+         {"to", HealthStateName(verdict.state)}});
+    last = verdict.state;
+  }
+  overall_health_ = report.overall;
+  return report;
+}
+
+std::string ShardedService::BuildFleetReport() const {
+  std::ostringstream out;
+  out << "=== fleet report @ " << VirtualNow().ToString() << " ===\n";
+  out << StrFormat(
+      "submitted=%llu admitted=%llu rejected=%llu backlog=%zu live=%zu "
+      "barriers=%llu\n",
+      static_cast<unsigned long long>(stats_.submitted),
+      static_cast<unsigned long long>(stats_.admitted),
+      static_cast<unsigned long long>(stats_.rejected), backlog_depth_,
+      live_ids_.size(), static_cast<unsigned long long>(stats_.barriers));
+  if (!tenants_.empty()) {
+    out << "--- tenants (admission wait in virtual hours) ---\n";
+    out << "tenant  live  backlog  admitted  rejected  wait_p50  wait_p99\n";
+    for (const auto& [tenant, tstats] : tenants_) {
+      double p50 = 0.0, p99 = 0.0;
+      auto it = tenant_metrics_.find(tenant);
+      if (it != tenant_metrics_.end() && it->second.admission_wait != nullptr) {
+        p50 = it->second.admission_wait->Percentile(50.0);
+        p99 = it->second.admission_wait->Percentile(99.0);
+      }
+      out << StrFormat("%s  %zu  %zu  %llu  %llu  %.3f  %.3f\n",
+                       tenant.c_str(), tstats.live, tstats.backlog,
+                       static_cast<unsigned long long>(tstats.admitted),
+                       static_cast<unsigned long long>(tstats.rejected), p50,
+                       p99);
+    }
+  }
+  out << "--- streaming straggler sensors ---\n";
+  for (size_t i = 0; i < step_sensors_.size(); ++i) {
+    out << step_sensors_[i].step.ToRow(
+               StrFormat("shard %zu step-busy (virtual s)", i))
+        << "\n";
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    out << shards_[i]->job_cost_sensor.ToRow(
+               StrFormat("shard %zu job-cost (virtual s)", i))
+        << "\n";
+  }
+  out << "--- SLO ---\n";
+  out << EvaluateSlo(slo_rules_, CollectSloSensors()).ToText();
+  return out.str();
+}
+
+std::string ShardedService::ExportFleetSpans() const {
+  std::vector<obs::FleetSource> sources;
+  sources.push_back({-1, &fleet_obs_->spans});
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    sources.push_back({static_cast<int>(i), &shards_[i]->obs.spans});
+  }
+  return obs::FederateSpansJsonl(sources);
+}
+
+std::string ShardedService::ExportFleetChrome() const {
+  std::vector<obs::FleetSource> sources;
+  sources.push_back({-1, &fleet_obs_->spans});
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    sources.push_back({static_cast<int>(i), &shards_[i]->obs.spans});
+  }
+  return obs::FederateChromeTrace(sources);
+}
+
+std::string ShardedService::ExportFleetLineage() const {
+  std::vector<std::pair<int, std::string>> sources;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::vector<std::string> ids;
+    for (const auto& summary : shards_[i]->engine->ListInstances()) {
+      ids.push_back(summary.id);
+    }
+    std::sort(ids.begin(), ids.end());
+    std::string shard_lineage;
+    for (const std::string& id : ids) {
+      auto jsonl = shards_[i]->engine->ExportLineageJsonl(id);
+      if (jsonl.ok()) shard_lineage += *jsonl;
+    }
+    sources.emplace_back(static_cast<int>(i), std::move(shard_lineage));
+  }
+  return obs::MergeJsonlByShard(sources);
+}
+
+std::string ShardedService::ExportBarrierProfile() const {
+  if (barrier_profiler_ == nullptr) return "";
+  return barrier_profiler_->ExportChromeTrace();
+}
+
+Result<obs::CriticalPathReport> ShardedService::FleetCriticalPath(
+    const std::string& global_id) const {
+  auto it = instances_.find(global_id);
+  if (it == instances_.end()) {
+    return Status::NotFound("no instance " + global_id);
+  }
+  const InstanceRec& rec = it->second;
+  obs::FleetPathInput input;
+  input.shard_spans = &shards_[rec.shard]->obs.spans;
+  input.shard = rec.shard;
+  input.instance = rec.instance_id;
+  // Manifest-recovered instances predate this service generation: no
+  // submit time is known, so stamp "now" — the analyzer then leaves the
+  // shard-local report unextended.
+  input.submitted = rec.submit_known ? rec.submitted : VirtualNow();
+  input.barriers = barrier_bounds_;
+  return obs::AnalyzeFleetCriticalPath(input);
 }
 
 std::string ShardedService::ExportShardSpans(int shard) const {

@@ -12,9 +12,13 @@
 
 #include "common/result.h"
 #include "core/engine.h"
+#include "obs/barrier_profile.h"
+#include "obs/fleet.h"
+#include "obs/quantile.h"
 #include "ocr/model.h"
 #include "service/router.h"
 #include "service/shard.h"
+#include "service/slo.h"
 
 namespace biopera::exec {
 class ThreadPool;
@@ -56,6 +60,16 @@ struct ServiceOptions {
   /// Builds shard `index`'s cluster (required: a shard without nodes can
   /// dispatch nothing). Must be deterministic per index.
   std::function<void(int index, cluster::ClusterSim*)> configure_cluster;
+  /// Fleet observability context capacities (the front door's own trace /
+  /// span sinks; per-shard sinks are sized via `shard`).
+  size_t fleet_trace_capacity = 65536;
+  size_t fleet_span_capacity = 1 << 20;
+  /// Declarative health rules evaluated against the fleet SLO sensors at
+  /// every barrier; empty installs DefaultSloRules().
+  std::vector<SloRule> slo_rules;
+  /// Per-barrier stall records kept for the Chrome export (totals and
+  /// histograms accumulate beyond it).
+  size_t barrier_profile_records = 4096;
 };
 
 /// One unit of work at the front door.
@@ -174,6 +188,58 @@ class ShardedService {
   /// per-tenant tables. Deterministic for same-seed runs.
   std::string BuildCrossShardReport() const;
 
+  // --- Fleet observability (docs/OBSERVABILITY.md) --------------------------
+  /// The front door's own observability context: fleet metric registry
+  /// (admission/SLO counters and histograms, barrier-stall histograms),
+  /// admission + barrier spans, SLO trace events. Stamped from the
+  /// lockstep clock (max shard virtual now).
+  obs::Observability& fleet_obs() { return *fleet_obs_; }
+  const obs::Observability& fleet_obs() const { return *fleet_obs_; }
+
+  /// Wall-clock barrier-stall attribution; null before Startup().
+  const obs::BarrierProfiler* barrier_profiler() const {
+    return barrier_profiler_.get();
+  }
+  /// Virtual end time of every barrier so far, ascending (feeds the
+  /// fleet critical path's barrier_wait attribution).
+  const std::vector<TimePoint>& barrier_bounds() const {
+    return barrier_bounds_;
+  }
+
+  /// The scalar SLO sensor sample the health rules read: backlog_depth,
+  /// rejection_ratio, admission_wait_p99_hours, shard_busy_skew. All
+  /// virtual-time or count quantities — deterministic for same seeds.
+  std::map<std::string, double> CollectSloSensors() const;
+  /// Evaluates the SLO rules, emits a kSloStateChanged trace event for
+  /// every rule whose health state changed, and returns the report.
+  /// Called automatically at every barrier; console HEALTH calls it too.
+  HealthReport EvaluateHealth();
+
+  /// Deterministic fleet report (console FLEETREPORT): service totals,
+  /// per-tenant admission-wait percentiles, streaming straggler sensors
+  /// and the SLO verdicts. No wall-clock quantities.
+  std::string BuildFleetReport() const;
+
+  // --- Fleet export fan-in ---------------------------------------------------
+  /// Federated span timeline across the front door + every shard, JSONL
+  /// with fleet-global ids. Byte-identical for same-seed runs.
+  std::string ExportFleetSpans() const;
+  /// Same federation as one Chrome/Perfetto document (one process per
+  /// shard plus the front door).
+  std::string ExportFleetChrome() const;
+  /// Every hosted instance's lineage export, tagged `"shard":<k>` per
+  /// line and ordered by (shard, engine instance id). Byte-identical for
+  /// same-seed runs.
+  std::string ExportFleetLineage() const;
+  /// The barrier-stall profile as a Chrome document (one track per
+  /// shard). Wall-clock: values vary run to run; only the tiling
+  /// invariant is stable.
+  std::string ExportBarrierProfile() const;
+  /// Fleet critical path of one submission: the shard-local critical
+  /// path extended back to Submit() time with barrier_wait/backlog_wait.
+  Result<obs::CriticalPathReport> FleetCriticalPath(
+      const std::string& global_id) const;
+
   // --- Per-shard export fan-in (byte-identity checks, artifacts) ------------
   std::string ExportShardSpans(int shard) const;
   std::string ExportShardTrace(int shard) const;
@@ -186,10 +252,25 @@ class ShardedService {
     std::string instance_id;
     int shard = -1;
     bool terminal = false;
+    TimePoint submitted;        // front-door Submit() virtual time
+    bool submit_known = false;  // false for manifest-recovered instances
   };
 
+  /// Cached per-tenant metric handles in the fleet registry.
+  struct TenantMetrics {
+    obs::Counter* admitted = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Gauge* backlog = nullptr;
+    obs::Gauge* live = nullptr;
+    obs::Histogram* admission_wait = nullptr;  // virtual hours
+  };
+  TenantMetrics& TenantMetricsFor(const std::string& tenant);
+  /// Mirrors backlog/live totals into the fleet gauges.
+  void UpdateGauges();
+
   Result<Ticket> Admit(const Submission& submission,
-                       const std::string& global_id);
+                       const std::string& global_id, TimePoint submitted,
+                       uint64_t admission_span);
   bool WithinQuota(const std::string& tenant) const;
   /// Admits backlogged submissions round-robin across tenants while the
   /// quotas allow.
@@ -203,6 +284,17 @@ class ShardedService {
   std::string ManifestPath() const;
   std::string ShardDir(int index) const;
 
+  /// The lockstep clock as a Clock: stamps the front door's trace/span
+  /// sinks with max shard virtual now.
+  class FleetClock : public Clock {
+   public:
+    explicit FleetClock(const ShardedService* service) : service_(service) {}
+    TimePoint Now() const override { return service_->VirtualNow(); }
+
+   private:
+    const ShardedService* service_;
+  };
+
   std::string root_dir_;
   core::ActivityRegistry* registry_;
   ServiceOptions options_;
@@ -212,14 +304,53 @@ class ShardedService {
   std::map<std::string, InstanceRec> instances_;  // by global id
   std::set<std::string> live_ids_;                // non-terminal global ids
   std::map<std::string, TenantStats> tenants_;
+  /// One backlogged submission: handle, payload, and the front-door
+  /// context (submit time, open admission span) the admission metrics
+  /// need when it finally starts.
+  struct BacklogEntry {
+    std::string global_id;
+    Submission submission;
+    TimePoint submitted;
+    uint64_t span = 0;  // open kAdmission span in the fleet sink
+  };
   /// Backlog: FIFO per tenant + rotation cursor for fairness.
-  std::map<std::string, std::deque<std::pair<std::string, Submission>>>
-      backlog_;
+  std::map<std::string, std::deque<BacklogEntry>> backlog_;
   std::string backlog_cursor_;  // tenant after which the next drain starts
   size_t backlog_depth_ = 0;
   uint64_t next_seq_ = 1;
   ServiceStats stats_;
   bool started_ = false;
+
+  // --- Fleet observability state ---------------------------------------------
+  std::unique_ptr<FleetClock> fleet_clock_;
+  std::unique_ptr<obs::Observability> fleet_obs_;
+  std::unique_ptr<obs::BarrierProfiler> barrier_profiler_;
+  std::vector<TimePoint> barrier_bounds_;
+  /// Per-shard streaming step sensor: virtual seconds of engine busy time
+  /// per barrier (the deterministic straggler signal), fed from
+  /// DispatchStats::busy_virtual_us deltas.
+  struct ShardStepSensor {
+    obs::QuantileSensor step;
+    uint64_t last_busy_us = 0;
+  };
+  std::vector<ShardStepSensor> step_sensors_;
+  std::vector<SloRule> slo_rules_;
+  /// Last health state per rule name (transition detection for
+  /// kSloStateChanged events).
+  std::map<std::string, HealthState> rule_state_;
+  HealthState overall_health_ = HealthState::kOk;
+  std::map<std::string, TenantMetrics> tenant_metrics_;
+  obs::Counter* submitted_metric_ = nullptr;
+  obs::Counter* admitted_metric_ = nullptr;
+  obs::Counter* rejected_metric_ = nullptr;
+  obs::Counter* barriers_metric_ = nullptr;
+  obs::Counter* backlog_drained_metric_ = nullptr;
+  obs::Gauge* backlog_gauge_ = nullptr;
+  obs::Gauge* live_gauge_ = nullptr;
+  /// Cumulative StepBarrier advance wall time in seconds. The *key* is
+  /// registered deterministically; the value is wall clock.
+  obs::Gauge* barrier_wall_gauge_ = nullptr;
+  std::vector<obs::Counter*> placement_metrics_;  // per routed shard
 };
 
 }  // namespace biopera::service

@@ -1,5 +1,6 @@
 #include "service/service_console.h"
 
+#include <algorithm>
 #include <map>
 #include <sstream>
 #include <vector>
@@ -20,34 +21,64 @@ std::vector<std::string> SplitWords(const std::string& line) {
   return words;
 }
 
+/// Injects a `shard=<i>` label into a snapshot key ("name" or
+/// "name{a=b,...}"), keeping the label list sorted by name — the same
+/// order MetricKey produces, so injected and native keys collate
+/// identically.
+std::string InjectShardLabel(const std::string& key, int shard) {
+  const std::string label = StrFormat("shard=%d", shard);
+  const size_t brace = key.find('{');
+  if (brace == std::string::npos) return key + "{" + label + "}";
+  std::vector<std::string> parts;
+  std::string inside = key.substr(brace + 1, key.size() - brace - 2);
+  size_t from = 0;
+  while (from <= inside.size()) {
+    size_t comma = inside.find(',', from);
+    if (comma == std::string::npos) comma = inside.size();
+    parts.push_back(inside.substr(from, comma - from));
+    from = comma + 1;
+  }
+  auto at = parts.begin();
+  while (at != parts.end() &&
+         at->substr(0, at->find('=')) < std::string("shard")) {
+    ++at;
+  }
+  parts.insert(at, label);
+  std::string out = key.substr(0, brace) + "{";
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += ",";
+    out += parts[i];
+  }
+  out += "}";
+  return out;
+}
+
 }  // namespace
 
 Result<std::string> ServiceConsole::MergedMetrics(
     const std::string& prefix) const {
-  // Counters and gauges sum across shards; histograms merge counts, sums
-  // and per-bucket tallies (all shards share bucket bounds for a metric
-  // because the instrumented code is identical).
-  std::map<std::string, obs::MetricsSnapshot::Entry> merged;
+  // Every shard's rows keep their identity via an injected shard=<i>
+  // label (per-shard attribution survives the merge instead of being
+  // summed away); the fleet registry's own rows — service_* admission
+  // counters, SLO sensors, barrier-stall histograms — pass through
+  // verbatim. The result is merge-sorted by key, so the row *order* is
+  // deterministic even when wall-clock values are not.
+  std::vector<obs::MetricsSnapshot::Entry> rows;
   for (int i = 0; i < service_->hosted_shards(); ++i) {
     obs::MetricsSnapshot snapshot =
         service_->shard(i)->obs.metrics.Snapshot();
-    for (const auto& entry : snapshot.entries) {
-      auto [it, inserted] = merged.emplace(entry.key, entry);
-      if (inserted) continue;
-      obs::MetricsSnapshot::Entry& acc = it->second;
-      acc.value += entry.value;
-      acc.count += entry.count;
-      acc.sum += entry.sum;
-      if (acc.buckets.size() == entry.buckets.size()) {
-        for (size_t b = 0; b < acc.buckets.size(); ++b) {
-          acc.buckets[b] += entry.buckets[b];
-        }
-      }
+    for (auto& entry : snapshot.entries) {
+      entry.key = InjectShardLabel(entry.key, i);
+      rows.push_back(std::move(entry));
     }
   }
+  obs::MetricsSnapshot fleet = service_->fleet_obs().metrics.Snapshot();
+  for (auto& entry : fleet.entries) rows.push_back(std::move(entry));
+  std::sort(rows.begin(), rows.end(),
+            [](const obs::MetricsSnapshot::Entry& a,
+               const obs::MetricsSnapshot::Entry& b) { return a.key < b.key; });
   obs::MetricsSnapshot out;
-  out.entries.reserve(merged.size());
-  for (auto& [key, entry] : merged) out.entries.push_back(std::move(entry));
+  out.entries = std::move(rows);
   return out.ToText(prefix);
 }
 
@@ -111,6 +142,8 @@ Result<std::string> ServiceConsole::Execute(const std::string& line) {
     return out.str();
   }
   if (cmd == "REPORT") return service_->BuildCrossShardReport();
+  if (cmd == "FLEETREPORT") return service_->BuildFleetReport();
+  if (cmd == "HEALTH") return service_->EvaluateHealth().ToText();
   if (cmd == "METRICS") {
     return MergedMetrics(words.size() > 1 ? words[1] : "");
   }
@@ -139,8 +172,8 @@ Result<std::string> ServiceConsole::Execute(const std::string& line) {
 
   return Status::InvalidArgument(
       "unknown service command " + cmd +
-      " (try SHARDS, STATS, TENANTS, REPORT, METRICS, @<shard> <cmd>, or an "
-      "instance command with a global id)");
+      " (try SHARDS, STATS, TENANTS, REPORT, FLEETREPORT, HEALTH, METRICS, "
+      "@<shard> <cmd>, or an instance command with a global id)");
 }
 
 }  // namespace biopera::service

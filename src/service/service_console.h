@@ -10,8 +10,11 @@ namespace biopera::service {
 
 /// Operator console over the whole sharded service. Three command forms:
 ///
-///  * Service-level: SHARDS, STATS, TENANTS, REPORT, METRICS [prefix]
-///    (metrics merged by summing every shard's registry snapshot).
+///  * Service-level: SHARDS, STATS, TENANTS, REPORT, FLEETREPORT, HEALTH,
+///    METRICS [prefix]. METRICS shows every shard's registry rows with a
+///    `shard=<i>` label injected (plus the fleet registry's own rows
+///    verbatim), merge-sorted by key — per-shard attribution survives the
+///    merge instead of being summed away.
 ///  * Shard passthrough: `@<i> <cmd>` runs `<cmd>` verbatim on shard i's
 ///    AdminConsole (e.g. `@2 PS`, `@0 SCRUB`).
 ///  * Instance commands addressed by *global* id: STATUS / SUSPEND /

@@ -20,10 +20,13 @@ EngineShard::EngineShard(int idx, std::string shard_dir,
     return;
   }
   store = std::move(*opened);
+  store->SetWallProfile(&wall_profile);
   cluster = std::make_unique<cluster::ClusterSim>(&sim);
   core::EngineOptions engine_options = options.engine;
   engine_options.seed = ShardSeed(options.engine.seed, index);
   engine_options.observability = &obs;
+  engine_options.wall_profile = &wall_profile;
+  engine_options.job_cost_sensor = &job_cost_sensor;
   if (options.fault_channel) {
     channel = std::make_unique<comms::FaultChannel>();
     channel->BindSimulator(&sim);

@@ -8,6 +8,8 @@
 #include "comms/channel.h"
 #include "core/console.h"
 #include "core/engine.h"
+#include "obs/barrier_profile.h"
+#include "obs/quantile.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
 #include "store/fs.h"
@@ -61,6 +63,14 @@ class EngineShard {
   std::string dir;
   Simulator sim;
   obs::Observability obs;
+  /// Wall-clock self-time buckets (pump / kernel / store) the engine and
+  /// store charge while this shard steps; the service drains them once per
+  /// barrier for the barrier-stall profiler. Declared before `engine` so
+  /// the engine (which holds a pointer) dies first.
+  obs::WallProfile wall_profile;
+  /// Streaming per-job virtual compute-time quantiles (P²), fed by the
+  /// engine on every job completion. Deterministic for a deterministic run.
+  obs::QuantileSensor job_cost_sensor;
   /// Per-shard control-plane fault injector (null unless requested).
   std::unique_ptr<comms::FaultChannel> channel;
   std::unique_ptr<RecordStore> store;

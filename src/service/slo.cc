@@ -1,0 +1,78 @@
+#include "service/slo.h"
+
+#include <cstdio>
+
+namespace biopera {
+namespace service {
+
+const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kOk:
+      return "ok";
+    case HealthState::kWarn:
+      return "warn";
+    case HealthState::kCrit:
+      return "crit";
+  }
+  return "unknown";
+}
+
+HealthReport EvaluateSlo(const std::vector<SloRule>& rules,
+                         const std::map<std::string, double>& sensors) {
+  HealthReport report;
+  report.verdicts.reserve(rules.size());
+  for (const SloRule& rule : rules) {
+    SloVerdict verdict;
+    verdict.rule = rule;
+    auto it = sensors.find(rule.sensor);
+    if (it == sensors.end()) {
+      verdict.missing = true;
+    } else {
+      verdict.value = it->second;
+      if (verdict.value >= rule.crit) {
+        verdict.state = HealthState::kCrit;
+      } else if (verdict.value >= rule.warn) {
+        verdict.state = HealthState::kWarn;
+      }
+    }
+    if (static_cast<int>(verdict.state) > static_cast<int>(report.overall)) {
+      report.overall = verdict.state;
+    }
+    report.verdicts.push_back(std::move(verdict));
+  }
+  return report;
+}
+
+std::string HealthReport::ToText() const {
+  std::string out = "health: ";
+  out += HealthStateName(overall);
+  out += "\n";
+  char line[256];
+  for (const SloVerdict& v : verdicts) {
+    if (v.missing) {
+      std::snprintf(line, sizeof(line),
+                    "  %-16s %-24s value=n/a       warn>=%-10.3f crit>=%-10.3f %s\n",
+                    v.rule.name.c_str(), v.rule.sensor.c_str(), v.rule.warn,
+                    v.rule.crit, HealthStateName(v.state));
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "  %-16s %-24s value=%-9.3f warn>=%-10.3f crit>=%-10.3f %s\n",
+                    v.rule.name.c_str(), v.rule.sensor.c_str(), v.value,
+                    v.rule.warn, v.rule.crit, HealthStateName(v.state));
+    }
+    out += line;
+  }
+  return out;
+}
+
+std::vector<SloRule> DefaultSloRules() {
+  return {
+      {"backlog", "backlog_depth", 64.0, 512.0},
+      {"rejections", "rejection_ratio", 0.01, 0.10},
+      {"admission-wait", "admission_wait_p99_hours", 2.0, 24.0},
+      {"straggler-skew", "shard_busy_skew", 2.0, 4.0},
+  };
+}
+
+}  // namespace service
+}  // namespace biopera

@@ -1,0 +1,61 @@
+// Declarative SLO rules for the sharded service.
+//
+// A rule names a fleet sensor (a scalar the service computes from its
+// deterministic state: backlog depth, rejection ratio, admission-wait
+// percentile, shard busy skew) and two inclusive thresholds. Higher sensor
+// values are always worse; crossing `warn` yields kWarn, crossing `crit`
+// yields kCrit. Evaluation is a pure function of (rules, sensor map), so
+// health reports stay byte-identical across same-seed reruns.
+#ifndef BIOPERA_SERVICE_SLO_H_
+#define BIOPERA_SERVICE_SLO_H_
+
+#include <string>
+#include <map>
+#include <vector>
+
+namespace biopera {
+namespace service {
+
+enum class HealthState {
+  kOk = 0,
+  kWarn = 1,
+  kCrit = 2,
+};
+
+// "ok" / "warn" / "crit".
+const char* HealthStateName(HealthState state);
+
+struct SloRule {
+  std::string name;    // human-readable rule name, e.g. "backlog"
+  std::string sensor;  // sensor key the rule reads, e.g. "backlog_depth"
+  double warn = 0.0;   // value >= warn  -> at least kWarn
+  double crit = 0.0;   // value >= crit  -> kCrit
+};
+
+struct SloVerdict {
+  SloRule rule;
+  double value = 0.0;
+  bool missing = false;  // sensor key absent from the sample -> treated as ok
+  HealthState state = HealthState::kOk;
+};
+
+struct HealthReport {
+  HealthState overall = HealthState::kOk;
+  std::vector<SloVerdict> verdicts;
+
+  // Aligned table: one row per rule with value, thresholds, and state.
+  std::string ToText() const;
+};
+
+// Evaluates every rule against the sensor sample. Missing sensors evaluate
+// to kOk and are flagged `missing`. The overall state is the worst verdict.
+HealthReport EvaluateSlo(const std::vector<SloRule>& rules,
+                         const std::map<std::string, double>& sensors);
+
+// The rules the service installs when ServiceOptions::slo_rules is empty.
+std::vector<SloRule> DefaultSloRules();
+
+}  // namespace service
+}  // namespace biopera
+
+#endif  // BIOPERA_SERVICE_SLO_H_

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "obs/barrier_profile.h"
 #include "store/codec.h"
 #include "store/snapshot.h"
 
@@ -191,8 +192,13 @@ Status RecordStore::Apply(const WriteBatch& batch, uint64_t epoch) {
     pending_ += batch.payload();
     ++pending_commits_;
   } else {
-    BIOPERA_RETURN_IF_ERROR(EnsureWal());
-    BIOPERA_RETURN_IF_ERROR(wal_->Append(batch.payload()));
+    {
+      // Direct (non-grouped) commits hit the WAL here: `store` wall time.
+      obs::WallProfile::Scope store_scope(wall_profile_,
+                                          obs::WallProfile::kStore);
+      BIOPERA_RETURN_IF_ERROR(EnsureWal());
+      BIOPERA_RETURN_IF_ERROR(wal_->Append(batch.payload()));
+    }
     live_wal_bytes_ += batch.payload().size() + kWalRecordHeaderBytes;
     if (flushes_metric_ != nullptr) flushes_metric_->Increment();
     BIOPERA_RETURN_IF_ERROR(ApplyPayloadToImage(batch.payload()));
@@ -209,6 +215,10 @@ Status RecordStore::Apply(const WriteBatch& batch, uint64_t epoch) {
 
 Status RecordStore::Flush() {
   if (pending_.empty()) return Status::OK();
+  // The group-commit flush is the store's I/O hot path: `store` wall time
+  // for the barrier-stall profiler.
+  obs::WallProfile::Scope store_scope(wall_profile_,
+                                      obs::WallProfile::kStore);
   BIOPERA_RETURN_IF_ERROR(EnsureWal());
   BIOPERA_RETURN_IF_ERROR(wal_->Append(pending_));
   live_wal_bytes_ += pending_.size() + kWalRecordHeaderBytes;
@@ -530,6 +540,8 @@ Status RecordStore::CheckpointImpl(bool force_full) {
   if (fail_writes_) {
     return Status::IOError("record store: injected write failure");
   }
+  obs::WallProfile::Scope store_scope(wall_profile_,
+                                      obs::WallProfile::kStore);
   BIOPERA_RETURN_IF_ERROR(Flush());
   if (!force_full && dirty_tables_.empty() && live_wal_bytes_ == 0) {
     return Status::OK();  // nothing changed since the last checkpoint

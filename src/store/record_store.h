@@ -15,6 +15,10 @@
 #include "store/fs.h"
 #include "store/wal.h"
 
+namespace biopera::obs {
+class WallProfile;
+}  // namespace biopera::obs
+
 namespace biopera {
 
 /// A batch of mutations applied atomically: either every operation in the
@@ -211,6 +215,12 @@ class RecordStore {
   /// event. nullptr detaches.
   void SetObservability(obs::Observability* obs);
 
+  /// Attaches a wall-clock self-time profile (obs::WallProfile): WAL
+  /// appends, group-commit flushes and checkpoints are scoped as `store`
+  /// time for the sharded service's barrier-stall profiler. Null-check-
+  /// only when unset; never feeds virtual time. nullptr detaches.
+  void SetWallProfile(obs::WallProfile* profile) { wall_profile_ = profile; }
+
   const std::string& dir() const { return dir_; }
   Fs* fs() const { return fs_; }
 
@@ -283,6 +293,7 @@ class RecordStore {
 
   // Resolved metric handles (null without an Observability context).
   obs::Observability* obs_ = nullptr;
+  obs::WallProfile* wall_profile_ = nullptr;
   obs::Counter* commits_metric_ = nullptr;
   obs::Counter* ops_metric_ = nullptr;
   obs::Counter* wal_bytes_metric_ = nullptr;
